@@ -1,0 +1,147 @@
+// Extra ablations for design choices DESIGN.md calls out, beyond the
+// paper's own Fig. 12 grid:
+//
+//   clean-discard     — §IV-C "avoid write-back for clean cache items",
+//                       on vs off, under a read-heavy skewed workload whose
+//                       evictions are mostly clean.
+//   stop-swap         — §IV-E adaptive stop under uniform traffic, on vs
+//                       off vs forced-from-start.
+//   zipf-scrambling   — hot keys clustered in the counter area (default)
+//                       vs scrambled over it (YCSB ScrambledZipfian): the
+//                       locality assumption behind Secure Cache hit ratios.
+//   index choice      — Aria-H vs Aria-C (cuckoo) vs Aria-B+ on the same
+//                       workload: the decoupled-metadata claim measured.
+#include "bench_common.h"
+#include "workload/ycsb.h"
+
+namespace ariabench {
+namespace {
+
+StoreBundle* MakeStore(const std::string& sig, const StoreOptions& opts,
+                       uint64_t keys) {
+  return StoreCache::Instance().Get(
+      sig, [&](StoreBundle* b) { return CreateStore(opts, b); },
+      [&](KVStore* store) {
+        Driver driver;
+        return driver.Prepopulate(store, keys, 16);
+      });
+}
+
+void RunYcsbPoint(benchmark::State& state, StoreBundle* bundle,
+                  const YcsbSpec& spec, uint64_t ops) {
+  YcsbWorkload wl(spec);
+  ReplayAndReport(state, bundle, [&wl] { return wl.Next(); }, ops);
+}
+
+void RegisterCleanDiscard() {
+  for (bool avoid : {true, false}) {
+    std::string name =
+        std::string("Ablation/clean_discard:") + (avoid ? "on" : "off");
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [avoid](benchmark::State& st) {
+          uint64_t keys = Keys(10e6);
+          StoreOptions o = PaperOptions(Scheme::kAria, keys);
+          o.avoid_clean_writeback = avoid;
+          // Small cache: evictions happen constantly, mostly clean at R95.
+          o.cache_bytes = Epc() / 8;
+          StoreBundle* b = MakeStore(
+              std::string("abl-clean/") + (avoid ? "1" : "0"), o, keys);
+          YcsbSpec spec;
+          spec.keyspace = keys;
+          spec.read_ratio = 0.95;
+          RunYcsbPoint(st, b, spec, Ops(200000));
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void RegisterStopSwap() {
+  struct Mode {
+    const char* name;
+    bool enabled;
+    bool start_stopped;
+  };
+  for (Mode m : {Mode{"adaptive", true, false}, Mode{"never", false, false},
+                 Mode{"always", true, true}}) {
+    std::string name = std::string("Ablation/stop_swap:") + m.name;
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [m](benchmark::State& st) {
+          uint64_t keys = Keys(10e6);
+          StoreOptions o = PaperOptions(Scheme::kAria, keys);
+          o.stop_swap_enabled = m.enabled;
+          o.start_stopped = m.start_stopped;
+          StoreBundle* b =
+              MakeStore(std::string("abl-stop/") + m.name, o, keys);
+          YcsbSpec spec;
+          spec.keyspace = keys;
+          spec.read_ratio = 0.95;
+          spec.distribution = KeyDistribution::kUniform;
+          RunYcsbPoint(st, b, spec, Ops(200000));
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void RegisterScrambling() {
+  for (bool scrambled : {false, true}) {
+    std::string name = std::string("Ablation/zipf:") +
+                       (scrambled ? "scrambled" : "clustered");
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [scrambled](benchmark::State& st) {
+          uint64_t keys = Keys(10e6);
+          StoreOptions o = PaperOptions(Scheme::kAria, keys);
+          StoreBundle* b = MakeStore("abl-scramble", o, keys);
+          YcsbSpec spec;
+          spec.keyspace = keys;
+          spec.read_ratio = 0.95;
+          spec.scrambled = scrambled;
+          RunYcsbPoint(st, b, spec, Ops(200000));
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void RegisterIndexes() {
+  struct Ix {
+    const char* name;
+    IndexKind kind;
+    double ops;
+  };
+  for (Ix ix : {Ix{"hash", IndexKind::kHash, 200000},
+                Ix{"cuckoo", IndexKind::kCuckoo, 200000},
+                Ix{"bplus", IndexKind::kBPlusTree, 30000},
+                Ix{"btree", IndexKind::kBTree, 30000}}) {
+    std::string name = std::string("Ablation/index:") + ix.name;
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [ix](benchmark::State& st) {
+          // Trees are ~10x slower; a smaller keyspace keeps setup sane.
+          uint64_t keys = Keys(2e6);
+          StoreOptions o = PaperOptions(Scheme::kAria, keys, ix.kind);
+          StoreBundle* b =
+              MakeStore(std::string("abl-index/") + ix.name, o, keys);
+          YcsbSpec spec;
+          spec.keyspace = keys;
+          spec.read_ratio = 0.95;
+          RunYcsbPoint(st, b, spec, Ops(ix.ops));
+        })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+int dummy = (RegisterCleanDiscard(), RegisterStopSwap(), RegisterScrambling(),
+             RegisterIndexes(), 0);
+
+}  // namespace
+}  // namespace ariabench

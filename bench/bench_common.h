@@ -1,0 +1,187 @@
+// Shared plumbing for the per-figure benchmark binaries.
+//
+// Scaling: the paper ran on a 32 GB i7-7700 with 91 MB EPC and keyspaces of
+// 2M-134M keys. ARIA_BENCH_SCALE (default 0.125) multiplies both the
+// keyspace and the simulated EPC budget, preserving every working-set /
+// EPC ratio the figures depend on. ARIA_BENCH_OPS scales the per-point
+// operation count (default 1.0). Set ARIA_BENCH_SCALE=1 to run the paper's
+// exact sizes (needs ~16 GB RAM and a few hours).
+//
+// All benchmarks use google-benchmark manual time: the reported time is
+// measured wall time PLUS the simulated SGX time (paging, MEE, edge calls),
+// so items_per_second is directly comparable to the paper's ops/s axes.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/store_factory.h"
+#include "metadata/counter_manager.h"
+#include "workload/driver.h"
+
+namespace ariabench {
+
+using namespace aria;  // NOLINT — benchmark binaries only
+
+inline double Scale() {
+  static double s = [] {
+    const char* env = std::getenv("ARIA_BENCH_SCALE");
+    double v = env != nullptr ? std::atof(env) : 0.125;
+    return v > 0 ? v : 0.125;
+  }();
+  return s;
+}
+
+inline double OpsScale() {
+  static double s = [] {
+    const char* env = std::getenv("ARIA_BENCH_OPS");
+    double v = env != nullptr ? std::atof(env) : 1.0;
+    return v > 0 ? v : 1.0;
+  }();
+  return s;
+}
+
+/// Paper keyspace (in keys) scaled down.
+inline uint64_t Keys(double paper_keys) {
+  double k = paper_keys * Scale();
+  return k < 4096 ? 4096 : static_cast<uint64_t>(k);
+}
+
+/// Paper EPC budget scaled down.
+inline uint64_t Epc() {
+  double b = static_cast<double>(sgx::CostModel::kDefaultEpcBytes) * Scale();
+  return b < (1 << 20) ? (1 << 20) : static_cast<uint64_t>(b);
+}
+
+inline uint64_t Ops(double base) {
+  double v = base * OpsScale();
+  return v < 1000 ? 1000 : static_cast<uint64_t>(v);
+}
+
+/// Build-once store reuse: consecutive benchmark points that share a
+/// signature (scheme + sizing + value layout) reuse the same prepopulated
+/// store, since repopulating a multi-million-key store dominates runtime.
+/// Only one store is kept alive at a time (they are ~GB-sized).
+class StoreCache {
+ public:
+  static StoreCache& Instance() {
+    static auto* c = new StoreCache();
+    return *c;
+  }
+
+  /// Returns the store for `signature`, creating and prepopulating it via
+  /// the callbacks if the signature changed. nullptr on failure.
+  StoreBundle* Get(const std::string& signature,
+                   const std::function<Status(StoreBundle*)>& create,
+                   const std::function<Status(KVStore*)>& prepopulate) {
+    if (signature == signature_ && bundle_ != nullptr) return bundle_.get();
+    bundle_.reset();
+    signature_.clear();
+    auto bundle = std::make_unique<StoreBundle>();
+    Status st = create(bundle.get());
+    if (!st.ok()) return nullptr;
+    st = prepopulate(bundle->store.get());
+    if (!st.ok()) return nullptr;
+    bundle_ = std::move(bundle);
+    signature_ = signature;
+    return bundle_.get();
+  }
+
+  void Clear() {
+    bundle_.reset();
+    signature_.clear();
+  }
+
+ private:
+  std::string signature_;
+  std::unique_ptr<StoreBundle> bundle_;
+};
+
+/// Replay `ops` operations and report manual time = wall + simulated.
+/// Adds counters: ops_per_s (throughput), sim_share (simulated fraction),
+/// page_swaps, and for Aria stores the Secure Cache hit ratio.
+inline void ReplayAndReport(benchmark::State& state, StoreBundle* bundle,
+                            const std::function<Op()>& next_op,
+                            uint64_t ops) {
+  if (bundle == nullptr) {
+    state.SkipWithError("store construction failed");
+    return;
+  }
+  Driver driver;
+  // Warm-up: re-establish the workload's hot set in the Secure Cache /
+  // EPC after prepopulation churned it (untimed).
+  {
+    auto w = driver.Run(bundle->store.get(), bundle->enclave.get(), next_op,
+                        ops / 4 + 1);
+    if (!w.ok()) {
+      state.SkipWithError(w.status().ToString().c_str());
+      return;
+    }
+  }
+  uint64_t swaps_before = bundle->enclave->stats().page_swaps;
+  for (auto _ : state) {
+    auto r = driver.Run(bundle->store.get(), bundle->enclave.get(), next_op,
+                        ops);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    state.SetIterationTime(r->TotalSeconds());
+    state.counters["ops_per_s"] =
+        benchmark::Counter(r->Throughput(), benchmark::Counter::kAvgIterations);
+    double total = r->TotalSeconds();
+    state.counters["sim_share"] =
+        benchmark::Counter(total > 0 ? r->sim_seconds / total : 0);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * ops));
+  state.counters["page_swaps"] = benchmark::Counter(
+      static_cast<double>(bundle->enclave->stats().page_swaps - swaps_before));
+  if (CounterManager* cm = bundle->counter_manager()) {
+    SecureCacheStats cs = cm->CacheStats();
+    state.counters["cache_hit"] = benchmark::Counter(cs.HitRatio());
+    state.counters["swap_stopped"] =
+        benchmark::Counter(cs.swap_stopped ? 1 : 0);
+  }
+  state.counters["epc_mb"] = benchmark::Counter(
+      static_cast<double>(bundle->enclave->trusted_bytes_in_use()) / 1048576.0);
+}
+
+/// Store options mirroring the paper's evaluation setup at the current
+/// scale: EPC budget, hash-bucket sizing (0.4 buckets/key) and
+/// ShieldStore's root array capped at (scaled) 64 MB of EPC.
+inline StoreOptions PaperOptions(Scheme scheme, uint64_t keys,
+                                 IndexKind index = IndexKind::kHash) {
+  StoreOptions o;
+  o.scheme = scheme;
+  o.index = index;
+  o.keyspace = keys;
+  o.epc_budget_bytes = Epc();
+  uint64_t buckets = keys * 2 / 5;
+  if (buckets < 1024) buckets = 1024;
+  uint64_t root_cap =
+      static_cast<uint64_t>(64.0 * 1048576.0 * Scale()) / 16;
+  if (root_cap < 1024) root_cap = 1024;
+  o.num_buckets = buckets < root_cap ? buckets : root_cap;
+  o.shieldstore_buckets = o.num_buckets;
+  return o;
+}
+
+inline const char* SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kAria:
+      return "Aria";
+    case Scheme::kAriaNoCache:
+      return "AriaNoCache";
+    case Scheme::kShieldStore:
+      return "ShieldStore";
+    case Scheme::kBaseline:
+      return "Baseline";
+  }
+  return "?";
+}
+
+}  // namespace ariabench

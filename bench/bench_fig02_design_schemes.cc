@@ -1,0 +1,62 @@
+// Figure 2 — "Performance of different design schemes": throughput of
+// Baseline (whole store in EPC), Aria w/o Cache (counters in EPC) and
+// ShieldStore as the keyspace size grows from 4 MB to 128 MB (16-byte keys,
+// zipf 0.99, 50% reads, 16-byte values). The page_swaps counter reproduces
+// the Baseline-PS / Aria w/o Cache-PS lines. Also serves as the measured
+// backing for Table I (see the epc_mb counter: EPC occupation per scheme).
+//
+// Expected shape: Baseline collapses once the working set passes the EPC;
+// Aria w/o Cache stays flat until the counter array itself outgrows the
+// EPC (~119 MB of keys at full scale); ShieldStore is flat but below
+// Aria w/o Cache under skew.
+#include "bench_common.h"
+#include "workload/ycsb.h"
+
+namespace ariabench {
+namespace {
+
+// Paper x-axis: total key bytes in MB (16-byte keys).
+constexpr double kKeyspaceMb[] = {4, 8, 12, 16, 24, 32, 64, 119, 128};
+constexpr Scheme kSchemes[] = {Scheme::kBaseline, Scheme::kAriaNoCache,
+                               Scheme::kShieldStore};
+
+void RunPoint(benchmark::State& state, Scheme scheme, double keyspace_mb) {
+  uint64_t keys = Keys(keyspace_mb * 1048576.0 / 16.0);
+  std::string sig = std::string("fig2/") + SchemeName(scheme) + "/" +
+                    std::to_string(keys);
+  StoreBundle* bundle = StoreCache::Instance().Get(
+      sig,
+      [&](StoreBundle* b) { return CreateStore(PaperOptions(scheme, keys), b); },
+      [&](KVStore* store) {
+        Driver driver;
+        return driver.Prepopulate(store, keys, 16);
+      });
+
+  YcsbSpec spec;
+  spec.keyspace = keys;
+  spec.read_ratio = 0.50;
+  spec.value_size = 16;
+  spec.distribution = KeyDistribution::kZipfian;
+  YcsbWorkload wl(spec);
+  ReplayAndReport(state, bundle, [&wl] { return wl.Next(); }, Ops(200000));
+}
+
+void Register() {
+  for (Scheme scheme : kSchemes) {
+    for (double mb : kKeyspaceMb) {
+      std::string name = std::string("Fig02/") + SchemeName(scheme) +
+                         "/keyspaceMB:" + std::to_string(static_cast<int>(mb));
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [scheme, mb](benchmark::State& st) { RunPoint(st, scheme, mb); })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+int dummy = (Register(), 0);
+
+}  // namespace
+}  // namespace ariabench

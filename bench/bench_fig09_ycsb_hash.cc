@@ -1,0 +1,72 @@
+// Figure 9 — "Overall performance with hash table-based index": six panels
+// (uniform/skew × read ratio 50/95/100 %) × value size {16,128,512} B, for
+// Baseline, Aria w/o Cache, ShieldStore and Aria. Keyspace 10M (scaled).
+//
+// Expected shape: Aria above ShieldStore under skew (~28-40%); ShieldStore
+// slightly ahead under uniform at this keyspace; Baseline far below
+// everything (hardware paging); Aria w/o Cache between ShieldStore and
+// Aria under skew.
+#include "bench_common.h"
+#include "workload/ycsb.h"
+
+namespace ariabench {
+namespace {
+
+constexpr Scheme kSchemes[] = {Scheme::kBaseline, Scheme::kAriaNoCache,
+                               Scheme::kShieldStore, Scheme::kAria};
+constexpr size_t kValueSizes[] = {16, 128, 512};
+constexpr double kReadRatios[] = {0.50, 0.95, 1.00};
+
+void RunPoint(benchmark::State& state, Scheme scheme, size_t value_size,
+              bool skew, double read_ratio) {
+  uint64_t keys = Keys(10e6);
+  std::string sig = std::string("fig9/") + SchemeName(scheme) + "/v" +
+                    std::to_string(value_size);
+  StoreBundle* bundle = StoreCache::Instance().Get(
+      sig,
+      [&](StoreBundle* b) { return CreateStore(PaperOptions(scheme, keys), b); },
+      [&](KVStore* store) {
+        Driver driver;
+        return driver.Prepopulate(store, keys, value_size);
+      });
+
+  YcsbSpec spec;
+  spec.keyspace = keys;
+  spec.read_ratio = read_ratio;
+  spec.value_size = value_size;
+  spec.distribution =
+      skew ? KeyDistribution::kZipfian : KeyDistribution::kUniform;
+  YcsbWorkload wl(spec);
+  ReplayAndReport(state, bundle, [&wl] { return wl.Next(); }, Ops(250000));
+}
+
+void Register() {
+  // Grouped so every (scheme, value size) store is built once and reused
+  // across the six workload panels.
+  for (Scheme scheme : kSchemes) {
+    for (size_t vs : kValueSizes) {
+      for (bool skew : {true, false}) {
+        for (double rr : kReadRatios) {
+          std::string name =
+              std::string("Fig09/") + SchemeName(scheme) +
+              (skew ? "/skew" : "/uniform") +
+              "/rd:" + std::to_string(static_cast<int>(rr * 100)) +
+              "/val:" + std::to_string(vs);
+          benchmark::RegisterBenchmark(
+              name.c_str(),
+              [scheme, vs, skew, rr](benchmark::State& st) {
+                RunPoint(st, scheme, vs, skew, rr);
+              })
+              ->UseManualTime()
+              ->Iterations(1)
+              ->Unit(benchmark::kMillisecond);
+        }
+      }
+    }
+  }
+}
+
+int dummy = (Register(), 0);
+
+}  // namespace
+}  // namespace ariabench

@@ -1,0 +1,71 @@
+// Figure 10 — "Overall performance with B-tree-based index": same grid as
+// Fig. 9 for the tree-capable schemes (Baseline, Aria w/o Cache, Aria).
+// ShieldStore cannot run here — its design is welded to chained hashing,
+// which is exactly the paper's §III usability argument.
+//
+// Expected shape: roughly 10x below the hash-index figures (every descent
+// step decrypts separator records), with Aria on top under skew.
+#include "bench_common.h"
+#include "workload/ycsb.h"
+
+namespace ariabench {
+namespace {
+
+constexpr Scheme kSchemes[] = {Scheme::kBaseline, Scheme::kAriaNoCache,
+                               Scheme::kAria};
+constexpr size_t kValueSizes[] = {16, 128, 512};
+constexpr double kReadRatios[] = {0.50, 0.95, 1.00};
+
+void RunPoint(benchmark::State& state, Scheme scheme, size_t value_size,
+              bool skew, double read_ratio) {
+  uint64_t keys = Keys(10e6);
+  std::string sig = std::string("fig10/") + SchemeName(scheme) + "/v" +
+                    std::to_string(value_size);
+  StoreBundle* bundle = StoreCache::Instance().Get(
+      sig,
+      [&](StoreBundle* b) {
+        return CreateStore(PaperOptions(scheme, keys, IndexKind::kBTree), b);
+      },
+      [&](KVStore* store) {
+        Driver driver;
+        return driver.Prepopulate(store, keys, value_size);
+      });
+
+  YcsbSpec spec;
+  spec.keyspace = keys;
+  spec.read_ratio = read_ratio;
+  spec.value_size = value_size;
+  spec.distribution =
+      skew ? KeyDistribution::kZipfian : KeyDistribution::kUniform;
+  YcsbWorkload wl(spec);
+  ReplayAndReport(state, bundle, [&wl] { return wl.Next(); }, Ops(30000));
+}
+
+void Register() {
+  for (Scheme scheme : kSchemes) {
+    for (size_t vs : kValueSizes) {
+      for (bool skew : {true, false}) {
+        for (double rr : kReadRatios) {
+          std::string name =
+              std::string("Fig10/") + SchemeName(scheme) + "-T" +
+              (skew ? "/skew" : "/uniform") +
+              "/rd:" + std::to_string(static_cast<int>(rr * 100)) +
+              "/val:" + std::to_string(vs);
+          benchmark::RegisterBenchmark(
+              name.c_str(),
+              [scheme, vs, skew, rr](benchmark::State& st) {
+                RunPoint(st, scheme, vs, skew, rr);
+              })
+              ->UseManualTime()
+              ->Iterations(1)
+              ->Unit(benchmark::kMillisecond);
+        }
+      }
+    }
+  }
+}
+
+int dummy = (Register(), 0);
+
+}  // namespace
+}  // namespace ariabench

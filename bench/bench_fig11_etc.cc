@@ -1,0 +1,79 @@
+// Figure 11 — "Throughput with Facebook ETC": the production-workload
+// emulation (40% tiny / 55% small / 5% large values, zipf 0.99 on
+// tiny+small, uniform on large) across read ratios {0,50,95,100}%, with a
+// hash-index panel (Baseline, Aria w/o Cache, ShieldStore, Aria) and a
+// B-tree panel (Baseline, Aria w/o Cache, Aria).
+//
+// Expected shape: Aria above ShieldStore at every read ratio (~32% average
+// in the paper); Aria w/o Cache above ShieldStore at 0% reads (root-update
+// cost) but below it as reads dominate.
+#include "bench_common.h"
+#include "workload/etc.h"
+
+namespace ariabench {
+namespace {
+
+constexpr double kReadRatios[] = {0.0, 0.50, 0.95, 1.00};
+
+void RunPoint(benchmark::State& state, Scheme scheme, IndexKind index,
+              double read_ratio) {
+  uint64_t keys = Keys(10e6);
+  std::string sig = std::string("fig11/") + SchemeName(scheme) +
+                    (index == IndexKind::kBTree ? "/tree" : "/hash");
+  EtcSpec spec;
+  spec.keyspace = keys;
+  spec.read_ratio = read_ratio;
+  EtcWorkload wl(spec);
+
+  StoreBundle* bundle = StoreCache::Instance().Get(
+      sig,
+      [&](StoreBundle* b) {
+        return CreateStore(PaperOptions(scheme, keys, index), b);
+      },
+      [&](KVStore* store) {
+        Driver driver;
+        return driver.Prepopulate(
+            store, keys, [&wl](uint64_t id) { return wl.ValueSizeFor(id); });
+      });
+
+  uint64_t ops = index == IndexKind::kBTree ? Ops(30000) : Ops(200000);
+  ReplayAndReport(state, bundle, [&wl] { return wl.Next(); }, ops);
+}
+
+void Register() {
+  for (Scheme scheme : {Scheme::kBaseline, Scheme::kAriaNoCache,
+                        Scheme::kShieldStore, Scheme::kAria}) {
+    for (double rr : kReadRatios) {
+      std::string name = std::string("Fig11/hash/") + SchemeName(scheme) +
+                         "/rd:" + std::to_string(static_cast<int>(rr * 100));
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [scheme, rr](benchmark::State& st) {
+            RunPoint(st, scheme, IndexKind::kHash, rr);
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  for (Scheme scheme :
+       {Scheme::kBaseline, Scheme::kAriaNoCache, Scheme::kAria}) {
+    for (double rr : kReadRatios) {
+      std::string name = std::string("Fig11/tree/") + SchemeName(scheme) +
+                         "/rd:" + std::to_string(static_cast<int>(rr * 100));
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [scheme, rr](benchmark::State& st) {
+            RunPoint(st, scheme, IndexKind::kBTree, rr);
+          })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+int dummy = (Register(), 0);
+
+}  // namespace
+}  // namespace ariabench

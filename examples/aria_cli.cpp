@@ -1,0 +1,139 @@
+// Interactive shell over an Aria store — the quickest way to poke at the
+// system by hand.
+//
+//   ./build/examples/aria_cli [scheme] [index] [keys]
+//     scheme: aria | nocache | shieldstore | baseline
+//     index:  hash | btree | bplus | cuckoo
+//
+// Commands:
+//   put <key> <value>      get <key>        del <key>
+//   scan <start> <n>       (ordered indexes only)
+//   stats                  fill <n>         quit
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/store_factory.h"
+#include "metadata/counter_manager.h"
+#include "workload/ycsb.h"
+
+using namespace aria;
+
+namespace {
+
+void PrintStats(StoreBundle& bundle) {
+  const sgx::SgxStats& s = bundle.enclave->stats();
+  std::printf("store: %s, %llu keys\n", bundle.label.c_str(),
+              (unsigned long long)bundle.store->size());
+  std::printf("enclave: %.1f MB trusted in use (budget %.1f MB), %llu page "
+              "swaps, %llu ocalls\n",
+              bundle.enclave->trusted_bytes_in_use() / 1048576.0,
+              bundle.enclave->epc_budget_bytes() / 1048576.0,
+              (unsigned long long)s.page_swaps, (unsigned long long)s.ocalls);
+  if (CounterManager* cm = bundle.counter_manager()) {
+    SecureCacheStats cs = cm->CacheStats();
+    std::printf("secure cache: hit %.1f%%, %llu evictions, %llu MAC "
+                "verifications, swap %s\n",
+                cs.HitRatio() * 100, (unsigned long long)cs.evictions,
+                (unsigned long long)cs.mac_verifications,
+                cs.swap_stopped ? "STOPPED" : "active");
+    std::printf("counter area: %llu trees, %llu counters in use\n",
+                (unsigned long long)cm->num_trees(),
+                (unsigned long long)cm->used_counters());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scheme = argc > 1 ? argv[1] : "aria";
+  std::string index = argc > 2 ? argv[2] : "hash";
+  uint64_t keys = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1 << 20;
+
+  StoreOptions options;
+  options.keyspace = keys;
+  if (scheme == "aria") options.scheme = Scheme::kAria;
+  else if (scheme == "nocache") options.scheme = Scheme::kAriaNoCache;
+  else if (scheme == "shieldstore") options.scheme = Scheme::kShieldStore;
+  else if (scheme == "baseline") options.scheme = Scheme::kBaseline;
+  else { std::fprintf(stderr, "unknown scheme %s\n", scheme.c_str()); return 2; }
+  if (index == "hash") options.index = IndexKind::kHash;
+  else if (index == "btree") options.index = IndexKind::kBTree;
+  else if (index == "bplus") options.index = IndexKind::kBPlusTree;
+  else if (index == "cuckoo") options.index = IndexKind::kCuckoo;
+  else { std::fprintf(stderr, "unknown index %s\n", index.c_str()); return 2; }
+
+  StoreBundle bundle;
+  Status st = CreateStore(options, &bundle);
+  if (!st.ok()) {
+    std::fprintf(stderr, "CreateStore: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s ready (type 'help')\n", bundle.label.c_str());
+
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "help") {
+      std::printf("put <k> <v> | get <k> | del <k> | scan <start> <n> | "
+                  "fill <n> | stats | quit\n");
+    } else if (cmd == "put") {
+      std::string k, v;
+      in >> k >> v;
+      st = bundle.store->Put(k, v);
+      std::printf("%s\n", st.ToString().c_str());
+    } else if (cmd == "get") {
+      std::string k, v;
+      in >> k;
+      st = bundle.store->Get(k, &v);
+      if (st.ok()) std::printf("%s\n", v.c_str());
+      else std::printf("%s\n", st.ToString().c_str());
+    } else if (cmd == "del") {
+      std::string k;
+      in >> k;
+      st = bundle.store->Delete(k);
+      std::printf("%s\n", st.ToString().c_str());
+    } else if (cmd == "scan") {
+      std::string start;
+      size_t n = 10;
+      in >> start >> n;
+      auto* ordered = dynamic_cast<OrderedKVStore*>(bundle.store.get());
+      if (ordered == nullptr) {
+        std::printf("scan needs an ordered index (btree/bplus)\n");
+        continue;
+      }
+      std::vector<std::pair<std::string, std::string>> out;
+      st = ordered->RangeScan(start, n, &out);
+      if (!st.ok()) {
+        std::printf("%s\n", st.ToString().c_str());
+        continue;
+      }
+      for (auto& [k, v] : out) std::printf("  %s -> %s\n", k.c_str(), v.c_str());
+      std::printf("(%zu rows)\n", out.size());
+    } else if (cmd == "fill") {
+      uint64_t n = 1000;
+      in >> n;
+      for (uint64_t i = 0; i < n; ++i) {
+        st = bundle.store->Put(MakeKey(i), MakeValue(i, 16));
+        if (!st.ok()) {
+          std::printf("fill stopped at %llu: %s\n", (unsigned long long)i,
+                      st.ToString().c_str());
+          break;
+        }
+      }
+      std::printf("size=%llu\n", (unsigned long long)bundle.store->size());
+    } else if (cmd == "stats") {
+      PrintStats(bundle);
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

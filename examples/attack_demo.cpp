@@ -1,0 +1,95 @@
+// Attack demo: mounts the attacks from the paper's threat model against a
+// live Aria store by writing directly into untrusted memory, and shows each
+// one being detected as an IntegrityViolation.
+//
+//   ./build/examples/attack_demo
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/aria_hash.h"
+#include "core/store_factory.h"
+#include "metadata/counter_manager.h"
+#include "workload/ycsb.h"
+
+using namespace aria;
+
+namespace {
+void Report(const char* attack, const Status& st) {
+  std::printf("  %-46s -> %s\n", attack,
+              st.IsIntegrityViolation() ? "DETECTED" : st.ToString().c_str());
+}
+}  // namespace
+
+int main() {
+  StoreOptions options;
+  options.scheme = Scheme::kAria;
+  options.keyspace = 4096;
+  options.num_buckets = 32;
+  StoreBundle bundle;
+  if (!CreateStore(options, &bundle).ok()) return 1;
+  auto* store = static_cast<AriaHash*>(bundle.store.get());
+
+  for (int i = 0; i < 256; ++i) {
+    if (!store->Put(MakeKey(i), MakeValue(i, 64)).ok()) return 1;
+  }
+  std::printf("store populated with 256 encrypted records\n\n");
+  std::string v;
+
+  // Attack 1: flip a ciphertext bit of a record in untrusted memory.
+  {
+    uint8_t* entry = store->DebugEntry(MakeKey(10));
+    entry[16 + RecordCodec::kHeaderSize] ^= 0x01;
+    Report("tamper record ciphertext", store->Get(MakeKey(10), &v));
+  }
+
+  // Attack 2: replay — snapshot a sealed record, let the owner overwrite
+  // it (bumping its counter), then restore the stale bytes.
+  {
+    uint8_t* entry = store->DebugEntry(MakeKey(11));
+    RecordHeader h = RecordCodec::Peek(entry + 16);
+    size_t size = RecordCodec::SealedSize(h.k_len, h.v_len);
+    std::vector<uint8_t> stale(entry + 16, entry + 16 + size);
+    store->Put(MakeKey(11), MakeValue(11, 64, 2)).ok();
+    std::memcpy(entry + 16, stale.data(), size);
+    Report("replay stale record (rollback)", store->Get(MakeKey(11), &v));
+  }
+
+  // Attack 3: pointer exchange — swap two bucket head pointers (Fig. 7).
+  {
+    uint8_t** c1 = store->DebugBucketCell(MakeKey(0));
+    uint8_t** c2 = store->DebugBucketCell(MakeKey(1));
+    if (c1 != c2) {
+      std::swap(*c1, *c2);
+      Report("exchange two index pointers", store->Get(MakeKey(0), &v));
+      std::swap(*c1, *c2);  // restore
+    }
+  }
+
+  // Attack 4: unauthorized deletion — clear a chain head.
+  {
+    uint8_t** cell = store->DebugBucketCell(MakeKey(20));
+    uint8_t* saved = *cell;
+    *cell = nullptr;
+    Report("unauthorized deletion of a chain", store->Get(MakeKey(20), &v));
+    *cell = saved;
+  }
+
+  // Attack 5: tamper the Merkle-tree-protected counter area.
+  {
+    FlatMerkleTree* tree = bundle.counter_manager()->tree();
+    // Corrupt an inner MT node: every verification chain through it fails.
+    uint8_t* node = tree->NodePtr(1, 0);
+    node[0] ^= 0xFF;
+    Status worst = Status::OK();
+    for (int i = 0; i < 256 && !worst.IsIntegrityViolation(); ++i) {
+      worst = store->Get(MakeKey(i), &v);
+      if (worst.IsNotFound()) worst = Status::OK();
+    }
+    Report("corrupt a Merkle tree inner node", worst);
+    node[0] ^= 0xFF;  // restore
+  }
+
+  std::printf("\nall attacks on untrusted memory were detected\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Multi-tenant demo (§VI-D5): N independent Aria instances share the
+// platform; each gets EPC/N for its Secure Cache. Shows per-tenant
+// throughput as the tenant count grows.
+//
+//   ./build/examples/multi_tenant [tenants] [keys-per-tenant] [ops]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/store_factory.h"
+#include "workload/driver.h"
+
+using namespace aria;
+
+int main(int argc, char** argv) {
+  int tenants = argc > 1 ? std::atoi(argv[1]) : 2;
+  uint64_t keys = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 50000;
+  uint64_t ops = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 100000;
+
+  std::vector<std::unique_ptr<StoreBundle>> bundles;
+  for (int t = 0; t < tenants; ++t) {
+    StoreOptions options;
+    options.scheme = Scheme::kAria;
+    options.keyspace = keys;
+    options.epc_budget_bytes = sgx::CostModel::kDefaultEpcBytes / tenants;
+    options.seed = 500 + t;
+    auto bundle = std::make_unique<StoreBundle>();
+    if (!CreateStore(options, bundle.get()).ok()) return 1;
+    bundles.push_back(std::move(bundle));
+  }
+  std::printf("%d tenants, %.1f MB EPC each, %llu keys each\n", tenants,
+              sgx::CostModel::kDefaultEpcBytes / tenants / 1048576.0,
+              (unsigned long long)keys);
+
+  std::vector<RunResult> results(tenants);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < tenants; ++t) {
+    threads.emplace_back([&, t]() {
+      Driver driver(100 + t);
+      if (!driver.Prepopulate(bundles[t]->store.get(), keys, 16).ok()) return;
+      YcsbSpec spec;
+      spec.keyspace = keys;
+      spec.seed = 9000 + t;
+      auto r = driver.RunYcsb(bundles[t]->store.get(),
+                              bundles[t]->enclave.get(), spec, ops);
+      if (r.ok()) results[t] = r.value();
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  double total = 0;
+  for (int t = 0; t < tenants; ++t) {
+    std::printf("tenant %d: %.0f ops/s (hit ratio n/a per-tenant cache)\n", t,
+                results[t].Throughput());
+    total += results[t].Throughput();
+  }
+  std::printf("aggregate: %.0f ops/s, average per tenant: %.0f ops/s\n", total,
+              total / tenants);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: build an Aria store, put/get/delete a few keys, and inspect
+// the Secure Cache statistics.
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/store_factory.h"
+#include "metadata/counter_manager.h"
+
+int main() {
+  using namespace aria;
+
+  // 1. Configure the store: Aria with a hash index, sized for ~1M keys,
+  //    91 MB simulated EPC (the paper's testbed).
+  StoreOptions options;
+  options.scheme = Scheme::kAria;
+  options.index = IndexKind::kHash;
+  options.keyspace = 1 << 20;
+
+  StoreBundle bundle;
+  Status st = CreateStore(options, &bundle);
+  if (!st.ok()) {
+    std::fprintf(stderr, "CreateStore failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  KVStore* store = bundle.store.get();
+  std::printf("created %s\n", bundle.label.c_str());
+
+  // 2. Basic operations. Every value is AES-CTR encrypted with a fresh
+  //    per-record counter and CMAC-authenticated before it reaches
+  //    untrusted memory.
+  st = store->Put("user:1001", "alice");
+  if (!st.ok()) return 1;
+  st = store->Put("user:1002", "bob");
+  if (!st.ok()) return 1;
+
+  std::string value;
+  st = store->Get("user:1001", &value);
+  std::printf("Get(user:1001) -> %s (%s)\n", value.c_str(),
+              st.ToString().c_str());
+
+  st = store->Put("user:1001", "alice-v2");  // overwrite bumps the counter
+  st = store->Get("user:1001", &value);
+  std::printf("Get(user:1001) -> %s after overwrite\n", value.c_str());
+
+  st = store->Delete("user:1002");
+  st = store->Get("user:1002", &value);
+  std::printf("Get(user:1002) -> %s after delete\n", st.ToString().c_str());
+
+  // 3. Peek at the machinery: Secure Cache and enclave statistics.
+  CounterManager* cm = bundle.counter_manager();
+  SecureCacheStats cache = cm->CacheStats();
+  const sgx::SgxStats& sgx = bundle.enclave->stats();
+  std::printf("\nSecure Cache: hits=%llu misses=%llu pinned=%.1f MB\n",
+              (unsigned long long)cache.hits, (unsigned long long)cache.misses,
+              cache.pinned_bytes / 1048576.0);
+  std::printf("Enclave: trusted bytes in use=%.1f MB, page swaps=%llu\n",
+              bundle.enclave->trusted_bytes_in_use() / 1048576.0,
+              (unsigned long long)sgx.page_swaps);
+  std::printf("\nquickstart OK\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Range-scan tour: the reason Aria supports tree indexes at all (§III).
+// Builds an Aria-T store with an order-book-like keyspace and serves range
+// queries over encrypted records.
+//
+//   ./build/examples/range_scan_tour
+#include <cstdio>
+#include <string>
+
+#include "core/aria_btree.h"
+#include "core/store_factory.h"
+
+using namespace aria;
+
+int main() {
+  StoreOptions options;
+  options.scheme = Scheme::kAria;
+  options.index = IndexKind::kBTree;
+  options.keyspace = 1 << 16;
+  StoreBundle bundle;
+  if (!CreateStore(options, &bundle).ok()) return 1;
+  auto* tree = static_cast<AriaBTree*>(bundle.store.get());
+
+  // A time-series-ish keyspace: orders keyed by zero-padded timestamps.
+  char key[32], value[64];
+  for (int t = 0; t < 5000; ++t) {
+    std::snprintf(key, sizeof(key), "order:%08d", t * 7);
+    std::snprintf(value, sizeof(value), "qty=%d;px=%.2f", t % 100,
+                  100.0 + (t % 997) * 0.01);
+    if (!tree->Put(key, value).ok()) return 1;
+  }
+  std::printf("inserted %llu encrypted orders, tree height %d\n",
+              (unsigned long long)tree->size(), tree->height());
+
+  // Range query: 10 orders starting at a timestamp that may not exist.
+  std::vector<std::pair<std::string, std::string>> out;
+  Status st = tree->RangeScan("order:00010000", 10, &out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "scan: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nscan from order:00010000, limit 10:\n");
+  for (auto& [k, v] : out) {
+    std::printf("  %s -> %s\n", k.c_str(), v.c_str());
+  }
+
+  // Point lookups still work, and a full audit passes.
+  std::string v;
+  if (!tree->Get("order:00000007", &v).ok()) return 1;
+  std::printf("\npoint Get(order:00000007) -> %s\n", v.c_str());
+  Status audit = tree->VerifyFullIntegrity();
+  std::printf("full integrity audit: %s\n", audit.ToString().c_str());
+  return audit.ok() ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+// YCSB / ETC workload runner CLI: replays a workload against any scheme and
+// prints throughput (including simulated SGX time) plus internals.
+//
+//   ./build/examples/ycsb_runner [scheme] [keys] [ops] [read%] [dist]
+//     scheme: aria | nocache | shieldstore | baseline | aria-tree
+//     dist:   zipf | uniform | etc
+//
+//   ./build/examples/ycsb_runner aria 100000 200000 95 zipf
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/store_factory.h"
+#include "metadata/counter_manager.h"
+#include "workload/driver.h"
+
+using namespace aria;
+
+int main(int argc, char** argv) {
+  std::string scheme_name = argc > 1 ? argv[1] : "aria";
+  uint64_t keys = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100000;
+  uint64_t ops = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 200000;
+  double read_ratio = (argc > 4 ? std::atof(argv[4]) : 95.0) / 100.0;
+  std::string dist = argc > 5 ? argv[5] : "zipf";
+
+  StoreOptions options;
+  options.keyspace = keys;
+  if (scheme_name == "aria") {
+    options.scheme = Scheme::kAria;
+  } else if (scheme_name == "aria-tree") {
+    options.scheme = Scheme::kAria;
+    options.index = IndexKind::kBTree;
+  } else if (scheme_name == "nocache") {
+    options.scheme = Scheme::kAriaNoCache;
+  } else if (scheme_name == "shieldstore") {
+    options.scheme = Scheme::kShieldStore;
+  } else if (scheme_name == "baseline") {
+    options.scheme = Scheme::kBaseline;
+  } else {
+    std::fprintf(stderr, "unknown scheme %s\n", scheme_name.c_str());
+    return 2;
+  }
+
+  StoreBundle bundle;
+  Status st = CreateStore(options, &bundle);
+  if (!st.ok()) {
+    std::fprintf(stderr, "CreateStore: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("scheme=%s keys=%llu ops=%llu read=%.0f%% dist=%s\n",
+              bundle.label.c_str(), (unsigned long long)keys,
+              (unsigned long long)ops, read_ratio * 100, dist.c_str());
+
+  Driver driver;
+  std::printf("prepopulating...\n");
+  if (dist == "etc") {
+    EtcSpec spec;
+    spec.keyspace = keys;
+    spec.read_ratio = read_ratio;
+    EtcWorkload wl(spec);
+    st = driver.Prepopulate(bundle.store.get(), keys,
+                            [&wl](uint64_t id) { return wl.ValueSizeFor(id); });
+    if (!st.ok()) {
+      std::fprintf(stderr, "prepopulate: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto r = driver.RunEtc(bundle.store.get(), bundle.enclave.get(), spec, ops);
+    if (!r.ok()) {
+      std::fprintf(stderr, "run: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("throughput: %.0f ops/s (wall %.2fs + simulated %.2fs)\n",
+                r->Throughput(), r->wall_seconds, r->sim_seconds);
+  } else {
+    YcsbSpec spec;
+    spec.keyspace = keys;
+    spec.read_ratio = read_ratio;
+    spec.distribution = dist == "uniform" ? KeyDistribution::kUniform
+                                          : KeyDistribution::kZipfian;
+    st = driver.Prepopulate(bundle.store.get(), keys, spec.value_size);
+    if (!st.ok()) {
+      std::fprintf(stderr, "prepopulate: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto r =
+        driver.RunYcsb(bundle.store.get(), bundle.enclave.get(), spec, ops);
+    if (!r.ok()) {
+      std::fprintf(stderr, "run: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("throughput: %.0f ops/s (wall %.2fs + simulated %.2fs)\n",
+                r->Throughput(), r->wall_seconds, r->sim_seconds);
+  }
+
+  const sgx::SgxStats& s = bundle.enclave->stats();
+  std::printf("enclave: trusted=%.1f MB peak=%.1f MB swaps=%llu ocalls=%llu\n",
+              bundle.enclave->trusted_bytes_in_use() / 1048576.0,
+              s.trusted_bytes_peak / 1048576.0,
+              (unsigned long long)s.page_swaps, (unsigned long long)s.ocalls);
+  if (CounterManager* cm = bundle.counter_manager()) {
+    SecureCacheStats cs = cm->CacheStats();
+    std::printf(
+        "secure cache: hit=%.1f%% evictions=%llu clean-discards=%llu "
+        "swap-stopped=%d pinned=%.1f MB\n",
+        cs.HitRatio() * 100, (unsigned long long)cs.evictions,
+        (unsigned long long)cs.clean_discards, cs.swap_stopped ? 1 : 0,
+        cs.pinned_bytes / 1048576.0);
+  }
+  return 0;
+}

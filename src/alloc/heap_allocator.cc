@@ -1,0 +1,194 @@
+#include "alloc/heap_allocator.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "sgxsim/edge_calls.h"
+
+namespace aria {
+
+namespace {
+// Size classes: powers of two plus midpoints (16, 24, 32, 48, 64, 96, ...).
+// Matches the paper's "different sizes of data blocks" with low internal
+// fragmentation for typical KV record sizes.
+constexpr size_t kMinClass = 16;
+}  // namespace
+
+size_t HeapAllocator::RoundUpToClass(size_t size) {
+  if (size <= kMinClass) return kMinClass;
+  // Round up to p or p + p/2 where p is a power of two.
+  size_t p = kMinClass;
+  while (p < size) {
+    size_t mid = p + p / 2;
+    if (size <= mid && mid > p) return mid;
+    p *= 2;
+  }
+  return p;
+}
+
+HeapAllocator::HeapAllocator(sgx::EnclaveRuntime* enclave)
+    : enclave_(enclave) {}
+
+HeapAllocator::~HeapAllocator() {
+  for (auto& [base, chunk] : chunks_) {
+    (void)base;
+    std::free(chunk->base);
+    if (chunk->bitmap != nullptr) enclave_->TrustedFree(chunk->bitmap);
+  }
+}
+
+HeapAllocator::Chunk* HeapAllocator::NewChunk(size_t block_size,
+                                              size_t num_chunks) {
+  // Acquiring raw memory from the host is the one operation that still
+  // crosses the boundary; it is amortized over kChunkSize/block_size
+  // allocations.
+  enclave_->Ocall();
+  size_t total = kChunkSize * num_chunks;
+  void* base = std::aligned_alloc(kChunkSize, total);
+  if (base == nullptr) return nullptr;
+
+  auto chunk = std::make_unique<Chunk>();
+  chunk->base = static_cast<uint8_t*>(base);
+  chunk->block_size = block_size;
+  chunk->num_blocks = num_chunks > 1 ? 1 : kChunkSize / block_size;
+  chunk->huge_chunks = num_chunks;
+  chunk->bitmap_words = (chunk->num_blocks + 63) / 64;
+  chunk->bitmap = static_cast<uint64_t*>(
+      enclave_->TrustedAlloc(chunk->bitmap_words * sizeof(uint64_t)));
+  if (chunk->bitmap == nullptr) {
+    std::free(base);
+    return nullptr;
+  }
+  stats_.chunks += num_chunks;
+  stats_.bytes_reserved += total;
+  stats_.trusted_metadata_bytes +=
+      chunk->bitmap_words * sizeof(uint64_t) + sizeof(Chunk);
+
+  Chunk* raw = chunk.get();
+  chunks_.emplace(reinterpret_cast<uintptr_t>(base), std::move(chunk));
+  return raw;
+}
+
+Status HeapAllocator::ValidateAndMark(Chunk* chunk, size_t block_index,
+                                      bool expect_used) {
+  size_t word = block_index / 64;
+  uint64_t bit = 1ull << (block_index % 64);
+  enclave_->TouchRead(&chunk->bitmap[word], sizeof(uint64_t));
+  bool used = (chunk->bitmap[word] & bit) != 0;
+  if (used != expect_used) {
+    return Status::IntegrityViolation(
+        expect_used ? "allocator: freeing a block marked free"
+                    : "allocator: free list yielded a block marked in-use");
+  }
+  chunk->bitmap[word] ^= bit;
+  enclave_->TouchWrite(&chunk->bitmap[word], sizeof(uint64_t));
+  return Status::OK();
+}
+
+Result<void*> HeapAllocator::Alloc(size_t size) {
+  if (size == 0) return Status::InvalidArgument("alloc of size 0");
+  stats_.allocs++;
+
+  if (size > kChunkSize) {
+    size_t num_chunks = (size + kChunkSize - 1) / kChunkSize;
+    Chunk* chunk = NewChunk(size, num_chunks);
+    if (chunk == nullptr) return Status::CapacityExceeded("host OOM");
+    chunk->next_unused = 1;
+    ARIA_RETURN_IF_ERROR(ValidateAndMark(chunk, 0, /*expect_used=*/false));
+    stats_.bytes_in_use += size;
+    return static_cast<void*>(chunk->base);
+  }
+
+  size_t klass = RoundUpToClass(size);
+  auto& candidates = class_chunks_[klass];
+
+  // 1. Pop the class free list of any chunk that has one.
+  for (Chunk* chunk : candidates) {
+    if (chunk->free_head == nullptr) continue;
+    uint8_t* block = static_cast<uint8_t*>(chunk->free_head);
+    // The free list lives in untrusted memory: validate before trusting it.
+    size_t offset = static_cast<size_t>(block - chunk->base);
+    if (block < chunk->base || offset >= kChunkSize ||
+        offset % chunk->block_size != 0) {
+      return Status::IntegrityViolation("allocator: corrupted free list");
+    }
+    size_t index = offset / chunk->block_size;
+    ARIA_RETURN_IF_ERROR(ValidateAndMark(chunk, index, /*expect_used=*/false));
+    std::memcpy(&chunk->free_head, block, sizeof(void*));
+    stats_.freelist_hits++;
+    stats_.bytes_in_use += chunk->block_size;
+    return static_cast<void*>(block);
+  }
+
+  // 2. Bump-allocate from a chunk with unused blocks.
+  for (Chunk* chunk : candidates) {
+    if (chunk->next_unused >= chunk->num_blocks) continue;
+    size_t index = chunk->next_unused++;
+    ARIA_RETURN_IF_ERROR(ValidateAndMark(chunk, index, /*expect_used=*/false));
+    stats_.bytes_in_use += chunk->block_size;
+    return static_cast<void*>(chunk->base + index * chunk->block_size);
+  }
+
+  // 3. Carve a fresh chunk for this class.
+  Chunk* chunk = NewChunk(klass, 1);
+  if (chunk == nullptr) return Status::CapacityExceeded("host OOM");
+  candidates.push_back(chunk);
+  size_t index = chunk->next_unused++;
+  ARIA_RETURN_IF_ERROR(ValidateAndMark(chunk, index, /*expect_used=*/false));
+  stats_.bytes_in_use += chunk->block_size;
+  return static_cast<void*>(chunk->base + index * chunk->block_size);
+}
+
+Status HeapAllocator::Free(void* p) {
+  if (p == nullptr) return Status::InvalidArgument("free of nullptr");
+  stats_.frees++;
+  uintptr_t base = reinterpret_cast<uintptr_t>(p) & ~(kChunkSize - 1);
+  auto it = chunks_.find(base);
+  if (it == chunks_.end()) {
+    return Status::IntegrityViolation("allocator: pointer outside any chunk");
+  }
+  Chunk* chunk = it->second.get();
+  size_t offset = reinterpret_cast<uintptr_t>(p) - base;
+  if (offset % chunk->block_size != 0) {
+    return Status::IntegrityViolation("allocator: misaligned block pointer");
+  }
+  size_t index = offset / chunk->block_size;
+  if (index >= chunk->num_blocks) {
+    return Status::IntegrityViolation("allocator: block index out of range");
+  }
+  ARIA_RETURN_IF_ERROR(ValidateAndMark(chunk, index, /*expect_used=*/true));
+  stats_.bytes_in_use -= chunk->block_size;
+
+  if (chunk->huge_chunks > 1) {
+    // Huge allocations are returned to the host directly.
+    enclave_->Ocall();
+    stats_.chunks -= chunk->huge_chunks;
+    stats_.bytes_reserved -= chunk->huge_chunks * kChunkSize;
+    enclave_->TrustedFree(chunk->bitmap);
+    std::free(chunk->base);
+    chunks_.erase(it);
+    return Status::OK();
+  }
+
+  // Push onto the chunk's untrusted free list.
+  std::memcpy(p, &chunk->free_head, sizeof(void*));
+  chunk->free_head = p;
+  return Status::OK();
+}
+
+Result<void*> OcallAllocator::Alloc(size_t size) {
+  sgx::OcallGuard guard(enclave_);
+  guard.CopyParams(sizeof(size_t) + sizeof(void*));
+  void* p = std::malloc(size);
+  if (p == nullptr) return Status::CapacityExceeded("host OOM");
+  return p;
+}
+
+Status OcallAllocator::Free(void* p) {
+  sgx::OcallGuard guard(enclave_);
+  guard.CopyParams(sizeof(void*));
+  std::free(p);
+  return Status::OK();
+}
+
+}  // namespace aria

@@ -1,0 +1,105 @@
+// User-space heap allocator for untrusted memory (paper §V-B).
+//
+// The enclave cannot call the host allocator without an OCALL, so Aria
+// manages untrusted memory itself: the pool is carved into 4 MB chunks,
+// each chunk is cut into equal-size data blocks of one size class, a
+// per-chunk occupation bitmap lives in the EPC (so the allocator's own
+// metadata cannot be corrupted from outside), and per-class free lists are
+// threaded through the free blocks themselves in untrusted memory.
+// Every pop from a free list is validated against the trusted bitmap; a
+// corrupted free-list pointer is detected as an integrity violation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sgxsim/enclave_runtime.h"
+
+namespace aria {
+
+/// Abstract untrusted-memory allocator, so the OCALL-per-allocation
+/// ablation (AriaBase in Fig. 12) can swap in a different implementation.
+class UntrustedAllocator {
+ public:
+  virtual ~UntrustedAllocator() = default;
+
+  /// Allocate at least `size` bytes of untrusted memory.
+  virtual Result<void*> Alloc(size_t size) = 0;
+
+  /// Release a pointer previously returned by Alloc. Returns
+  /// IntegrityViolation if the pointer fails validation (double free,
+  /// pointer not block-aligned, unknown chunk).
+  virtual Status Free(void* p) = 0;
+};
+
+/// Statistics exposed by HeapAllocator for tests and the memory analysis
+/// bench.
+struct HeapAllocatorStats {
+  uint64_t chunks = 0;
+  uint64_t bytes_reserved = 0;       ///< total untrusted pool size
+  uint64_t bytes_in_use = 0;         ///< block bytes currently allocated
+  uint64_t trusted_metadata_bytes = 0;  ///< EPC spent on bitmaps/descriptors
+  uint64_t allocs = 0;
+  uint64_t frees = 0;
+  uint64_t freelist_hits = 0;
+};
+
+/// The Aria user-space allocator.
+class HeapAllocator : public UntrustedAllocator {
+ public:
+  static constexpr size_t kChunkSize = 4 * 1024 * 1024;
+
+  explicit HeapAllocator(sgx::EnclaveRuntime* enclave);
+  ~HeapAllocator() override;
+
+  HeapAllocator(const HeapAllocator&) = delete;
+  HeapAllocator& operator=(const HeapAllocator&) = delete;
+
+  Result<void*> Alloc(size_t size) override;
+  Status Free(void* p) override;
+
+  /// Size class that would service `size` (exposed for tests).
+  static size_t RoundUpToClass(size_t size);
+
+  const HeapAllocatorStats& stats() const { return stats_; }
+
+ private:
+  struct Chunk {
+    uint8_t* base = nullptr;
+    size_t block_size = 0;
+    size_t num_blocks = 0;
+    size_t next_unused = 0;        // bump cursor within the chunk
+    uint64_t* bitmap = nullptr;    // trusted (EPC) occupation bitmap
+    size_t bitmap_words = 0;
+    void* free_head = nullptr;     // untrusted intrusive free list
+    size_t huge_chunks = 1;        // >1 for multi-chunk (huge) allocations
+  };
+
+  Chunk* NewChunk(size_t block_size, size_t num_chunks);
+  Status ValidateAndMark(Chunk* chunk, size_t block_index, bool expect_used);
+
+  sgx::EnclaveRuntime* enclave_;
+  // chunk base address -> descriptor (trusted metadata).
+  std::unordered_map<uintptr_t, std::unique_ptr<Chunk>> chunks_;
+  // size class -> chunks of that class that still have space.
+  std::unordered_map<size_t, std::vector<Chunk*>> class_chunks_;
+  HeapAllocatorStats stats_;
+};
+
+/// Ablation allocator: every Alloc/Free crosses the enclave boundary (one
+/// OCALL), as a naive SGX port would. Used by AriaBase in Fig. 12.
+class OcallAllocator : public UntrustedAllocator {
+ public:
+  explicit OcallAllocator(sgx::EnclaveRuntime* enclave) : enclave_(enclave) {}
+  Result<void*> Alloc(size_t size) override;
+  Status Free(void* p) override;
+
+ private:
+  sgx::EnclaveRuntime* enclave_;
+};
+
+}  // namespace aria

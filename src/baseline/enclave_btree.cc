@@ -1,0 +1,251 @@
+#include "baseline/enclave_btree.h"
+
+namespace aria {
+
+namespace {
+constexpr int kMinDegree = 8;
+constexpr int kMaxKeys = 2 * kMinDegree - 1;
+}  // namespace
+
+struct EnclaveBTree::Rec {
+  uint16_t k_len;
+  uint16_t v_len;
+  uint16_t v_cap;
+  uint8_t dead;
+  uint8_t pad;
+  uint8_t* key() { return reinterpret_cast<uint8_t*>(this + 1); }
+  uint8_t* value() { return key() + k_len; }
+};
+
+struct EnclaveBTree::Node {
+  uint16_t num_keys;
+  uint8_t is_leaf;
+  uint8_t pad[5];
+  Rec* records[kMaxKeys];
+  Node* children[kMaxKeys + 1];
+};
+
+EnclaveBTree::EnclaveBTree(sgx::EnclaveRuntime* enclave)
+    : enclave_(enclave) {}
+
+void EnclaveBTree::FreeSubtree(Node* node) {
+  if (node == nullptr) return;
+  for (int i = 0; i < node->num_keys; ++i) enclave_->TrustedFree(node->records[i]);
+  if (!node->is_leaf) {
+    for (int i = 0; i <= node->num_keys; ++i) FreeSubtree(node->children[i]);
+  }
+  enclave_->TrustedFree(node);
+}
+
+EnclaveBTree::~EnclaveBTree() { FreeSubtree(root_); }
+
+Result<EnclaveBTree::Node*> EnclaveBTree::NewNode(bool is_leaf) {
+  Node* n = static_cast<Node*>(enclave_->TrustedAlloc(sizeof(Node)));
+  if (n == nullptr) return Status::CapacityExceeded("node allocation");
+  n->is_leaf = is_leaf ? 1 : 0;
+  return n;
+}
+
+EnclaveBTree::Rec* EnclaveBTree::NewRec(Slice key, Slice value) {
+  Rec* r = static_cast<Rec*>(
+      enclave_->TrustedAlloc(sizeof(Rec) + key.size() + value.size()));
+  if (r == nullptr) return nullptr;
+  r->k_len = static_cast<uint16_t>(key.size());
+  r->v_len = static_cast<uint16_t>(value.size());
+  r->v_cap = r->v_len;
+  r->dead = 0;
+  std::memcpy(r->key(), key.data(), key.size());
+  std::memcpy(r->value(), value.data(), value.size());
+  enclave_->TouchWrite(r, sizeof(Rec) + key.size() + value.size());
+  return r;
+}
+
+int EnclaveBTree::LowerBound(Node* node, Slice key, bool* eq) {
+  enclave_->TouchRead(node, sizeof(Node));
+  int lo = 0, hi = node->num_keys;
+  *eq = false;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    Rec* r = node->records[mid];
+    enclave_->TouchRead(r, sizeof(Rec) + r->k_len);
+    int cmp = key.compare(Slice(r->key(), r->k_len));
+    if (cmp <= 0) {
+      hi = mid;
+      if (cmp == 0) *eq = true;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (!*eq && lo < node->num_keys) {
+    Rec* r = node->records[lo];
+    enclave_->TouchRead(r, sizeof(Rec) + r->k_len);
+    *eq = key.compare(Slice(r->key(), r->k_len)) == 0;
+  }
+  return lo;
+}
+
+Status EnclaveBTree::SplitChild(Node* parent, int idx) {
+  Node* child = parent->children[idx];
+  auto right_res = NewNode(child->is_leaf != 0);
+  if (!right_res.ok()) return right_res.status();
+  Node* right = right_res.value();
+  constexpr int mid = kMinDegree - 1;
+  for (int j = mid + 1; j < kMaxKeys; ++j) {
+    right->records[j - mid - 1] = child->records[j];
+  }
+  right->num_keys = static_cast<uint16_t>(kMaxKeys - mid - 1);
+  if (!child->is_leaf) {
+    for (int j = mid + 1; j <= kMaxKeys; ++j) {
+      right->children[j - mid - 1] = child->children[j];
+    }
+  }
+  for (int j = parent->num_keys - 1; j >= idx; --j) {
+    parent->records[j + 1] = parent->records[j];
+  }
+  for (int j = parent->num_keys; j > idx; --j) {
+    parent->children[j + 1] = parent->children[j];
+  }
+  parent->records[idx] = child->records[mid];
+  parent->children[idx + 1] = right;
+  parent->num_keys++;
+  child->num_keys = mid;
+  enclave_->TouchWrite(parent, sizeof(Node));
+  enclave_->TouchWrite(child, sizeof(Node));
+  enclave_->TouchWrite(right, sizeof(Node));
+  return Status::OK();
+}
+
+Status EnclaveBTree::Get(Slice key, std::string* value) {
+  Node* node = root_;
+  while (node != nullptr) {
+    bool eq;
+    int i = LowerBound(node, key, &eq);
+    if (eq) {
+      Rec* r = node->records[i];
+      if (r->dead) return Status::NotFound();
+      enclave_->TouchRead(r->value(), r->v_len);
+      value->assign(reinterpret_cast<char*>(r->value()), r->v_len);
+      return Status::OK();
+    }
+    if (node->is_leaf) break;
+    node = node->children[i];
+  }
+  return Status::NotFound();
+}
+
+Status EnclaveBTree::Put(Slice key, Slice value) {
+  if (root_ == nullptr) {
+    auto r = NewNode(true);
+    if (!r.ok()) return r.status();
+    root_ = r.value();
+  }
+  if (root_->num_keys == kMaxKeys) {
+    auto r = NewNode(false);
+    if (!r.ok()) return r.status();
+    Node* nr = r.value();
+    nr->children[0] = root_;
+    root_ = nr;
+    ARIA_RETURN_IF_ERROR(SplitChild(nr, 0));
+  }
+  Node* node = root_;
+  for (;;) {
+    bool eq;
+    int i = LowerBound(node, key, &eq);
+    if (eq) {
+      Rec* r = node->records[i];
+      bool was_dead = r->dead != 0;
+      if (value.size() <= r->v_cap) {
+        r->dead = 0;
+        r->v_len = static_cast<uint16_t>(value.size());
+        std::memcpy(r->value(), value.data(), value.size());
+        enclave_->TouchWrite(r, sizeof(Rec) + r->k_len + value.size());
+      } else {
+        Rec* nr = NewRec(key, value);
+        if (nr == nullptr) return Status::CapacityExceeded("record");
+        node->records[i] = nr;
+        enclave_->TrustedFree(r);
+        enclave_->TouchWrite(node, sizeof(Node));
+      }
+      if (was_dead) size_++;
+      return Status::OK();
+    }
+    if (node->is_leaf) {
+      for (int j = node->num_keys - 1; j >= i; --j) {
+        node->records[j + 1] = node->records[j];
+      }
+      Rec* nr = NewRec(key, value);
+      if (nr == nullptr) return Status::CapacityExceeded("record");
+      node->records[i] = nr;
+      node->num_keys++;
+      enclave_->TouchWrite(node, sizeof(Node));
+      size_++;
+      return Status::OK();
+    }
+    Node* child = node->children[i];
+    if (child->num_keys == kMaxKeys) {
+      ARIA_RETURN_IF_ERROR(SplitChild(node, i));
+      Rec* sep = node->records[i];
+      int cmp = key.compare(Slice(sep->key(), sep->k_len));
+      if (cmp == 0) {
+        continue;  // the raised separator IS the key: next iteration hits it
+      }
+      if (cmp > 0) ++i;
+      child = node->children[i];
+    }
+    node = child;
+  }
+}
+
+Status EnclaveBTree::Delete(Slice key) {
+  // Tombstone deletion: mark the record dead; Get/scan skip it.
+  Node* node = root_;
+  while (node != nullptr) {
+    bool eq;
+    int i = LowerBound(node, key, &eq);
+    if (eq) {
+      Rec* r = node->records[i];
+      if (r->dead) return Status::NotFound();
+      r->dead = 1;
+      enclave_->TouchWrite(&r->dead, 1);
+      size_--;
+      return Status::OK();
+    }
+    if (node->is_leaf) break;
+    node = node->children[i];
+  }
+  return Status::NotFound();
+}
+
+Status EnclaveBTree::ScanNode(
+    Node* node, Slice start, size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  bool eq;
+  int lo = LowerBound(node, start, &eq);
+  for (int i = lo; i <= node->num_keys; ++i) {
+    if (out->size() >= limit) return Status::OK();
+    if (!node->is_leaf) {
+      ARIA_RETURN_IF_ERROR(ScanNode(node->children[i], start, limit, out));
+      if (out->size() >= limit) return Status::OK();
+    }
+    if (i < node->num_keys) {
+      Rec* r = node->records[i];
+      enclave_->TouchRead(r, sizeof(Rec) + r->k_len + r->v_len);
+      if (!r->dead && Slice(r->key(), r->k_len).compare(start) >= 0) {
+        out->emplace_back(
+            std::string(reinterpret_cast<char*>(r->key()), r->k_len),
+            std::string(reinterpret_cast<char*>(r->value()), r->v_len));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status EnclaveBTree::RangeScan(
+    Slice start, size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  if (root_ == nullptr) return Status::OK();
+  return ScanNode(root_, start, limit, out);
+}
+
+}  // namespace aria

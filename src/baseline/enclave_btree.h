@@ -1,0 +1,48 @@
+// B-tree counterpart of the EPC "Baseline": the whole tree (nodes and
+// plaintext records) lives in trusted memory. Used in Fig. 10.
+//
+// Deletion uses tombstones (the entry is marked dead and reclaimed on a
+// later overwrite); search/scan semantics are unaffected. The paper never
+// benchmarks deletes on this baseline.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "core/kv_store.h"
+#include "sgxsim/enclave_runtime.h"
+
+namespace aria {
+
+class EnclaveBTree : public OrderedKVStore {
+ public:
+  explicit EnclaveBTree(sgx::EnclaveRuntime* enclave);
+  ~EnclaveBTree() override;
+
+  Status Put(Slice key, Slice value) override;
+  Status Get(Slice key, std::string* value) override;
+  Status Delete(Slice key) override;
+  Status RangeScan(
+      Slice start, size_t limit,
+      std::vector<std::pair<std::string, std::string>>* out) override;
+  const char* name() const override { return "Baseline-T"; }
+  uint64_t size() const override { return size_; }
+
+ private:
+  struct Node;
+  struct Rec;
+
+  Result<Node*> NewNode(bool is_leaf);
+  Rec* NewRec(Slice key, Slice value);
+  int LowerBound(Node* node, Slice key, bool* eq);
+  Status SplitChild(Node* parent, int idx);
+  Status ScanNode(Node* node, Slice start, size_t limit,
+                  std::vector<std::pair<std::string, std::string>>* out);
+  void FreeSubtree(Node* node);
+
+  sgx::EnclaveRuntime* enclave_;
+  Node* root_ = nullptr;
+  uint64_t size_ = 0;
+};
+
+}  // namespace aria

@@ -1,0 +1,119 @@
+#include "baseline/enclave_kv.h"
+
+#include "common/hash.h"
+
+namespace aria {
+
+EnclaveKV::EnclaveKV(sgx::EnclaveRuntime* enclave, EnclaveKVConfig config)
+    : enclave_(enclave), config_(config) {}
+
+EnclaveKV::~EnclaveKV() {
+  if (buckets_ == nullptr) return;
+  for (uint64_t b = 0; b < config_.num_buckets; ++b) {
+    Entry* e = buckets_[b];
+    while (e != nullptr) {
+      Entry* next = e->next;
+      enclave_->TrustedFree(e);
+      e = next;
+    }
+  }
+  enclave_->TrustedFree(buckets_);
+}
+
+Status EnclaveKV::Init() {
+  buckets_ = static_cast<Entry**>(
+      enclave_->TrustedAlloc(config_.num_buckets * sizeof(Entry*)));
+  if (buckets_ == nullptr) {
+    return Status::CapacityExceeded("bucket array allocation");
+  }
+  return Status::OK();
+}
+
+EnclaveKV::Entry* EnclaveKV::NewEntry(Slice key, Slice value, uint64_t h) {
+  Entry* e = static_cast<Entry*>(
+      enclave_->TrustedAlloc(sizeof(Entry) + key.size() + value.size()));
+  if (e == nullptr) return nullptr;
+  e->next = nullptr;
+  e->hash = h;
+  e->k_len = static_cast<uint16_t>(key.size());
+  e->v_len = static_cast<uint16_t>(value.size());
+  e->v_cap = e->v_len;
+  std::memcpy(e->key(), key.data(), key.size());
+  std::memcpy(e->value(), value.data(), value.size());
+  enclave_->TouchWrite(e, sizeof(Entry) + key.size() + value.size());
+  return e;
+}
+
+Status EnclaveKV::Get(Slice key, std::string* value) {
+  uint64_t h = Hash64(key);
+  Entry* e = buckets_[h % config_.num_buckets];
+  enclave_->TouchRead(&buckets_[h % config_.num_buckets], sizeof(Entry*));
+  while (e != nullptr) {
+    enclave_->TouchRead(e, sizeof(Entry) + e->k_len);
+    if (e->hash == h && e->k_len == key.size() &&
+        std::memcmp(e->key(), key.data(), key.size()) == 0) {
+      enclave_->TouchRead(e->value(), e->v_len);
+      value->assign(reinterpret_cast<char*>(e->value()), e->v_len);
+      return Status::OK();
+    }
+    e = e->next;
+  }
+  return Status::NotFound();
+}
+
+Status EnclaveKV::Put(Slice key, Slice value) {
+  uint64_t h = Hash64(key);
+  uint64_t b = h % config_.num_buckets;
+  enclave_->TouchRead(&buckets_[b], sizeof(Entry*));
+  Entry** loc = &buckets_[b];
+  Entry* e = *loc;
+  while (e != nullptr) {
+    enclave_->TouchRead(e, sizeof(Entry) + e->k_len);
+    if (e->hash == h && e->k_len == key.size() &&
+        std::memcmp(e->key(), key.data(), key.size()) == 0) {
+      if (value.size() <= e->v_cap) {
+        e->v_len = static_cast<uint16_t>(value.size());
+        std::memcpy(e->value(), value.data(), value.size());
+        enclave_->TouchWrite(e->value(), value.size());
+        return Status::OK();
+      }
+      Entry* ne = NewEntry(key, value, h);
+      if (ne == nullptr) return Status::CapacityExceeded("entry allocation");
+      ne->next = e->next;
+      *loc = ne;
+      enclave_->TrustedFree(e);
+      return Status::OK();
+    }
+    loc = &e->next;
+    e = e->next;
+  }
+  Entry* ne = NewEntry(key, value, h);
+  if (ne == nullptr) return Status::CapacityExceeded("entry allocation");
+  ne->next = buckets_[b];
+  buckets_[b] = ne;
+  enclave_->TouchWrite(&buckets_[b], sizeof(Entry*));
+  size_++;
+  return Status::OK();
+}
+
+Status EnclaveKV::Delete(Slice key) {
+  uint64_t h = Hash64(key);
+  uint64_t b = h % config_.num_buckets;
+  Entry** loc = &buckets_[b];
+  Entry* e = *loc;
+  while (e != nullptr) {
+    enclave_->TouchRead(e, sizeof(Entry) + e->k_len);
+    if (e->hash == h && e->k_len == key.size() &&
+        std::memcmp(e->key(), key.data(), key.size()) == 0) {
+      *loc = e->next;
+      enclave_->TrustedFree(e);
+      size_--;
+      return Status::OK();
+    }
+    loc = &e->next;
+    e = e->next;
+  }
+  return Status::NotFound();
+}
+
+}  // namespace aria

@@ -1,0 +1,54 @@
+// "Baseline" scheme (paper §III, Fig. 2): the entire KV store lives inside
+// the enclave with no manual crypto — SGX hardware transparently protects
+// everything, but every byte counts against the EPC, so working sets beyond
+// ~91 MB page constantly. Chained hash table, plaintext entries, all
+// allocations trusted and touched through the enclave runtime.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "core/kv_store.h"
+#include "sgxsim/enclave_runtime.h"
+
+namespace aria {
+
+struct EnclaveKVConfig {
+  uint64_t num_buckets = 1 << 20;
+};
+
+class EnclaveKV : public KVStore {
+ public:
+  EnclaveKV(sgx::EnclaveRuntime* enclave, EnclaveKVConfig config);
+  ~EnclaveKV() override;
+
+  Status Init();
+
+  Status Put(Slice key, Slice value) override;
+  Status Get(Slice key, std::string* value) override;
+  Status Delete(Slice key) override;
+  const char* name() const override { return "Baseline"; }
+  uint64_t size() const override { return size_; }
+
+ private:
+  struct Entry {
+    Entry* next;
+    uint64_t hash;
+    uint16_t k_len;
+    uint16_t v_len;
+    uint16_t v_cap;
+    uint16_t pad;
+    // key bytes, then value bytes
+    uint8_t* key() { return reinterpret_cast<uint8_t*>(this + 1); }
+    uint8_t* value() { return key() + k_len; }
+  };
+
+  Entry* NewEntry(Slice key, Slice value, uint64_t h);
+
+  sgx::EnclaveRuntime* enclave_;
+  EnclaveKVConfig config_;
+  Entry** buckets_ = nullptr;  // trusted
+  uint64_t size_ = 0;
+};
+
+}  // namespace aria

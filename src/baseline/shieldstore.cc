@@ -1,0 +1,243 @@
+#include "baseline/shieldstore.h"
+
+#include "common/hash.h"
+#include "crypto/ctr.h"
+
+namespace aria {
+
+namespace {
+void Increment128(uint8_t ctr[16]) {
+  for (int i = 0; i < 16; ++i) {
+    if (++ctr[i] != 0) break;
+  }
+}
+}  // namespace
+
+ShieldStore::ShieldStore(sgx::EnclaveRuntime* enclave,
+                         UntrustedAllocator* allocator,
+                         const crypto::Aes128* aes,
+                         const crypto::Cmac128* cmac,
+                         crypto::SecureRandom* rng, ShieldStoreConfig config)
+    : enclave_(enclave),
+      allocator_(allocator),
+      aes_(aes),
+      cmac_(cmac),
+      rng_(rng),
+      config_(config) {}
+
+ShieldStore::~ShieldStore() {
+  if (buckets_ != nullptr) {
+    for (uint64_t b = 0; b < config_.num_buckets; ++b) {
+      uint8_t* e = buckets_[b];
+      while (e != nullptr) {
+        uint8_t* next = Next(e);
+        allocator_->Free(e).ok();
+        e = next;
+      }
+    }
+    allocator_->Free(buckets_).ok();
+  }
+  if (roots_ != nullptr) enclave_->TrustedFree(roots_);
+}
+
+Status ShieldStore::Init() {
+  auto table = allocator_->Alloc(config_.num_buckets * sizeof(uint8_t*));
+  if (!table.ok()) return table.status();
+  buckets_ = static_cast<uint8_t**>(table.value());
+  std::memset(buckets_, 0, config_.num_buckets * sizeof(uint8_t*));
+
+  roots_ = static_cast<uint8_t*>(
+      enclave_->TrustedAlloc(config_.num_buckets * kMac));
+  if (roots_ == nullptr) {
+    return Status::CapacityExceeded("shieldstore root allocation");
+  }
+  // Root of an empty bucket = CMAC over the empty MAC sequence.
+  uint8_t empty[16];
+  cmac_->Mac(nullptr, 0, empty);
+  for (uint64_t b = 0; b < config_.num_buckets; ++b) {
+    std::memcpy(roots_ + b * kMac, empty, kMac);
+  }
+  return Status::OK();
+}
+
+uint64_t ShieldStore::trusted_bytes() const {
+  return config_.num_buckets * kMac;
+}
+
+void ShieldStore::EntryMac(uint8_t* e, uint8_t out[16]) const {
+  // Cover everything except the chain pointer (which mutates on inserts):
+  // hint, lengths, counter, ciphertext — bound to the entry address.
+  crypto::Cmac128::Stream mac(*cmac_);
+  uint64_t self = reinterpret_cast<uint64_t>(e);
+  mac.Update(&self, sizeof(self));
+  mac.Update(e + 8, kHeader - 8 + kCounter);
+  mac.Update(Cipher(e), static_cast<size_t>(KLen(e)) + VLen(e));
+  mac.Final(out);
+}
+
+Status ShieldStore::VerifyBucket(uint64_t b, uint64_t* chain_len) {
+  stats_.bucket_verifications++;
+  crypto::Cmac128::Stream root(*cmac_);
+  uint64_t len = 0;
+  for (uint8_t* e = buckets_[b]; e != nullptr; e = Next(e)) {
+    // Bucket-granularity verification reads every entry's MAC (read
+    // amplification grows with the chain).
+    root.Update(Mac(e), kMac);
+    len++;
+    stats_.entries_scanned++;
+  }
+  uint8_t computed[16];
+  root.Final(computed);
+  enclave_->TouchRead(roots_ + b * kMac, kMac);
+  if (!crypto::MacEqual(computed, roots_ + b * kMac)) {
+    return Status::IntegrityViolation("shieldstore bucket root mismatch");
+  }
+  if (chain_len != nullptr) *chain_len = len;
+  return Status::OK();
+}
+
+void ShieldStore::UpdateRoot(uint64_t b) {
+  crypto::Cmac128::Stream root(*cmac_);
+  for (uint8_t* e = buckets_[b]; e != nullptr; e = Next(e)) {
+    root.Update(Mac(e), kMac);
+    stats_.entries_scanned++;
+  }
+  root.Final(roots_ + b * kMac);
+  enclave_->TouchWrite(roots_ + b * kMac, kMac);
+  stats_.root_updates++;
+}
+
+void ShieldStore::SealEntry(uint8_t* e, Slice key, Slice value) {
+  Increment128(Counter(e));
+  uint8_t ctr_block[16];
+  std::memcpy(ctr_block, Counter(e), 16);
+  uint64_t self = reinterpret_cast<uint64_t>(e);
+  for (int i = 0; i < 8; ++i) {
+    ctr_block[i] ^= static_cast<uint8_t>(self >> (8 * i));
+  }
+  uint8_t* ct = Cipher(e);
+  std::memcpy(ct, key.data(), key.size());
+  std::memcpy(ct + key.size(), value.data(), value.size());
+  crypto::AesCtrCrypt(*aes_, ctr_block, ct, ct, key.size() + value.size());
+  EntryMac(e, Mac(e));
+}
+
+Status ShieldStore::FindVerified(uint64_t b, Slice key, uint8_t*** loc_out,
+                                 uint8_t** entry_out,
+                                 std::string* value_out) {
+  *entry_out = nullptr;
+  ARIA_RETURN_IF_ERROR(VerifyBucket(b, nullptr));
+  uint32_t hint = KeyHint(key);
+  uint8_t** loc = &buckets_[b];
+  uint8_t* e = *loc;
+  while (e != nullptr) {
+    if (Hint(e) == hint) {
+      // Verify this entry's own MAC, then decrypt and compare keys.
+      uint8_t mac[16];
+      EntryMac(e, mac);
+      if (!crypto::MacEqual(mac, Mac(e))) {
+        return Status::IntegrityViolation("shieldstore entry MAC mismatch");
+      }
+      uint8_t ctr_block[16];
+      std::memcpy(ctr_block, Counter(e), 16);
+      uint64_t self = reinterpret_cast<uint64_t>(e);
+      for (int i = 0; i < 8; ++i) {
+        ctr_block[i] ^= static_cast<uint8_t>(self >> (8 * i));
+      }
+      // Decrypt the key first; the value only if the key matches.
+      key_scratch_.resize(KLen(e));
+      crypto::AesCtrCrypt(*aes_, ctr_block, Cipher(e),
+                          reinterpret_cast<uint8_t*>(key_scratch_.data()),
+                          key_scratch_.size());
+      enclave_->TouchWrite(key_scratch_.data(), key_scratch_.size());
+      if (Slice(key_scratch_) == key) {
+        if (value_out != nullptr) {
+          value_out->resize(VLen(e));
+          crypto::AesCtrCryptAt(*aes_, ctr_block, KLen(e),
+                                Cipher(e) + KLen(e),
+                                reinterpret_cast<uint8_t*>(value_out->data()),
+                                value_out->size());
+          enclave_->TouchWrite(value_out->data(), value_out->size());
+        }
+        *loc_out = loc;
+        *entry_out = e;
+        return Status::OK();
+      }
+    }
+    loc = reinterpret_cast<uint8_t**>(e);
+    e = *loc;
+  }
+  return Status::OK();
+}
+
+Status ShieldStore::Get(Slice key, std::string* value) {
+  uint64_t b = Hash64(key) % config_.num_buckets;
+  uint8_t** loc;
+  uint8_t* e;
+  ARIA_RETURN_IF_ERROR(FindVerified(b, key, &loc, &e, value));
+  return e != nullptr ? Status::OK() : Status::NotFound();
+}
+
+Status ShieldStore::Put(Slice key, Slice value) {
+  uint64_t b = Hash64(key) % config_.num_buckets;
+  uint8_t** loc;
+  uint8_t* e;
+  ARIA_RETURN_IF_ERROR(FindVerified(b, key, &loc, &e, nullptr));
+  if (e != nullptr) {
+    size_t new_size = EntrySize(key.size(), value.size());
+    size_t old_size = EntrySize(KLen(e), VLen(e));
+    if (new_size <= old_size && !config_.out_of_place_updates) {
+      uint16_t v_len = static_cast<uint16_t>(value.size());
+      std::memcpy(e + 14, &v_len, 2);
+      SealEntry(e, key, value);
+    } else {
+      auto mem = allocator_->Alloc(new_size);
+      if (!mem.ok()) return mem.status();
+      uint8_t* ne = static_cast<uint8_t*>(mem.value());
+      SetNext(ne, Next(e));
+      std::memcpy(ne + 8, e + 8, 4);  // hint
+      uint16_t k_len = static_cast<uint16_t>(key.size());
+      uint16_t v_len = static_cast<uint16_t>(value.size());
+      std::memcpy(ne + 12, &k_len, 2);
+      std::memcpy(ne + 14, &v_len, 2);
+      std::memcpy(Counter(ne), Counter(e), kCounter);
+      SealEntry(ne, key, value);
+      *loc = ne;
+      ARIA_RETURN_IF_ERROR(allocator_->Free(e));
+    }
+    UpdateRoot(b);
+    return Status::OK();
+  }
+
+  auto mem = allocator_->Alloc(EntrySize(key.size(), value.size()));
+  if (!mem.ok()) return mem.status();
+  uint8_t* ne = static_cast<uint8_t*>(mem.value());
+  SetNext(ne, buckets_[b]);
+  uint32_t hint = KeyHint(key);
+  std::memcpy(ne + 8, &hint, 4);
+  uint16_t k_len = static_cast<uint16_t>(key.size());
+  uint16_t v_len = static_cast<uint16_t>(value.size());
+  std::memcpy(ne + 12, &k_len, 2);
+  std::memcpy(ne + 14, &v_len, 2);
+  rng_->Fill(Counter(ne), kCounter);
+  SealEntry(ne, key, value);
+  buckets_[b] = ne;
+  UpdateRoot(b);
+  size_++;
+  return Status::OK();
+}
+
+Status ShieldStore::Delete(Slice key) {
+  uint64_t b = Hash64(key) % config_.num_buckets;
+  uint8_t** loc;
+  uint8_t* e;
+  ARIA_RETURN_IF_ERROR(FindVerified(b, key, &loc, &e, nullptr));
+  if (e == nullptr) return Status::NotFound();
+  *loc = Next(e);
+  ARIA_RETURN_IF_ERROR(allocator_->Free(e));
+  UpdateRoot(b);
+  size_--;
+  return Status::OK();
+}
+
+}  // namespace aria

@@ -1,0 +1,708 @@
+#include "cache/secure_cache.h"
+
+#include <cstring>
+
+namespace aria {
+
+namespace {
+constexpr uint32_t kNoSlot = UINT32_MAX;
+constexpr uint64_t kMinSlots = 4;
+// EPC bytes of metadata charged per cache slot: node tag + dirty bit +
+// replacement-policy links, rounded to a realistic struct size.
+constexpr uint64_t kSlotMetaBytes = 24;
+
+// 128-bit little-endian increment of a counter value.
+void Increment128(uint8_t ctr[16]) {
+  for (int i = 0; i < 16; ++i) {
+    if (++ctr[i] != 0) break;
+  }
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Replacement policies.
+// ---------------------------------------------------------------------------
+
+class SecureCache::Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual void OnInsert(uint32_t slot) = 0;
+  virtual void OnHit(uint32_t slot) = 0;
+  virtual bool PopVictim(uint32_t* slot) = 0;
+};
+
+/// FIFO: a plain ring of slot ids. The hit path is free — exactly the
+/// property §IV-E wants ("avoid the tax of hits").
+class SecureCache::FifoPolicy : public SecureCache::Policy {
+ public:
+  explicit FifoPolicy(uint64_t capacity) { ring_.reserve(capacity + 1); }
+
+  void OnInsert(uint32_t slot) override { ring_.push_back(slot); }
+  void OnHit(uint32_t) override {}
+  bool PopVictim(uint32_t* slot) override {
+    if (head_ >= ring_.size()) return false;
+    *slot = ring_[head_++];
+    // Compact occasionally so the vector does not grow without bound.
+    if (head_ > 4096 && head_ * 2 > ring_.size()) {
+      ring_.erase(ring_.begin(), ring_.begin() + static_cast<long>(head_));
+      head_ = 0;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<uint32_t> ring_;
+  size_t head_ = 0;
+};
+
+/// LRU: intrusive doubly-linked list over slot ids. Every hit rewrites list
+/// links that live in the EPC; the enclave runtime charges those writes,
+/// which is what makes LRU lose to FIFO at large cache sizes (Fig. 12).
+class SecureCache::LruPolicy : public SecureCache::Policy {
+ public:
+  LruPolicy(sgx::EnclaveRuntime* enclave, uint64_t capacity)
+      : enclave_(enclave),
+        prev_(capacity, kNoSlot),
+        next_(capacity, kNoSlot),
+        in_list_(capacity, 0) {}
+
+  void OnInsert(uint32_t slot) override { PushFront(slot); }
+
+  void OnHit(uint32_t slot) override {
+    if (!in_list_[slot] || head_ == slot) return;
+    Unlink(slot);
+    PushFront(slot);
+  }
+
+  bool PopVictim(uint32_t* slot) override {
+    if (tail_ == kNoSlot) return false;
+    *slot = tail_;
+    Unlink(tail_);
+    return true;
+  }
+
+ private:
+  void ChargeLink(uint32_t slot) {
+    // Model the EPC metadata write for this list node.
+    enclave_->TouchWrite(&prev_[slot], sizeof(uint32_t) * 2);
+  }
+
+  void PushFront(uint32_t slot) {
+    prev_[slot] = kNoSlot;
+    next_[slot] = head_;
+    if (head_ != kNoSlot) {
+      prev_[head_] = slot;
+      ChargeLink(head_);
+    }
+    head_ = slot;
+    if (tail_ == kNoSlot) tail_ = slot;
+    in_list_[slot] = 1;
+    ChargeLink(slot);
+  }
+
+  void Unlink(uint32_t slot) {
+    uint32_t p = prev_[slot];
+    uint32_t n = next_[slot];
+    if (p != kNoSlot) {
+      next_[p] = n;
+      ChargeLink(p);
+    } else {
+      head_ = n;
+    }
+    if (n != kNoSlot) {
+      prev_[n] = p;
+      ChargeLink(n);
+    } else {
+      tail_ = p;
+    }
+    in_list_[slot] = 0;
+    ChargeLink(slot);
+  }
+
+  sgx::EnclaveRuntime* enclave_;
+  std::vector<uint32_t> prev_;
+  std::vector<uint32_t> next_;
+  std::vector<uint8_t> in_list_;
+  uint32_t head_ = kNoSlot;
+  uint32_t tail_ = kNoSlot;
+};
+
+// ---------------------------------------------------------------------------
+// SecureCache.
+// ---------------------------------------------------------------------------
+
+uint32_t SecureCache::LookupSlot(MtNodeId id) const {
+  if (id.level == 0) {
+    if (leaf_slot_.empty()) return kNoSlot;
+    enclave_->TouchRead(&leaf_slot_[id.index], sizeof(uint32_t));
+    return leaf_slot_[id.index];
+  }
+  auto it = cached_.find(Key(id));
+  return it == cached_.end() ? kNoSlot : it->second;
+}
+
+void SecureCache::SetSlot(MtNodeId id, uint32_t slot) {
+  if (id.level == 0) {
+    leaf_slot_[id.index] = slot;
+    enclave_->TouchWrite(&leaf_slot_[id.index], sizeof(uint32_t));
+  } else {
+    cached_[Key(id)] = slot;
+  }
+  num_cached_++;
+}
+
+void SecureCache::ClearSlot(MtNodeId id) {
+  if (id.level == 0) {
+    leaf_slot_[id.index] = kNoSlot;
+    enclave_->TouchWrite(&leaf_slot_[id.index], sizeof(uint32_t));
+  } else {
+    cached_.erase(Key(id));
+  }
+  num_cached_--;
+}
+
+SecureCache::SecureCache(sgx::EnclaveRuntime* enclave, FlatMerkleTree* tree,
+                         const crypto::Cmac128* cmac, SecureCacheConfig config)
+    : enclave_(enclave),
+      tree_(tree),
+      cmac_(cmac),
+      config_(config),
+      node_size_(tree->node_size()) {}
+
+SecureCache::~SecureCache() {
+  if (slots_ != nullptr) enclave_->TrustedFree(slots_);
+  if (scratch_a_ != nullptr) enclave_->TrustedFree(scratch_a_);
+  if (scratch_b_ != nullptr) enclave_->TrustedFree(scratch_b_);
+  for (uint8_t* p : pinned_) {
+    if (p != nullptr) enclave_->TrustedFree(p);
+  }
+}
+
+Status SecureCache::Attach() {
+  scratch_a_ = static_cast<uint8_t*>(enclave_->TrustedAlloc(node_size_));
+  scratch_b_ = static_cast<uint8_t*>(enclave_->TrustedAlloc(node_size_));
+  if (scratch_a_ == nullptr || scratch_b_ == nullptr) {
+    return Status::CapacityExceeded("secure cache scratch allocation");
+  }
+  pinned_.assign(tree_->num_levels(), nullptr);
+
+  // Initial pinning: config.pinned_levels counted from the top (root side),
+  // shedding the lowest pinned level while the pins do not fit the budget.
+  int pinned_levels = config_.pinned_levels;
+  if (pinned_levels < 0) {
+    pinned_levels = tree_->num_levels() - 1;  // auto: all levels except L0
+    if (pinned_levels < 1) pinned_levels = 1;
+  }
+  int first = tree_->num_levels() - pinned_levels;
+  if (first < 0) first = 0;
+  auto pin_bytes = [&](int from) {
+    uint64_t total = 0;
+    for (int lvl = from; lvl < tree_->num_levels(); ++lvl) {
+      total += tree_->NodesAt(lvl) * node_size_;
+    }
+    return total;
+  };
+  // Leave at least half the budget for swappable slots.
+  while (first < tree_->num_levels() &&
+         pin_bytes(first) > config_.capacity_bytes / 2) {
+    ++first;
+  }
+  if (pinned_levels > 0 && first < tree_->num_levels()) {
+    ARIA_RETURN_IF_ERROR(PinLevels(first));
+  }
+
+  // The leaf-level direct-mapped index lives in the EPC alongside the
+  // slots; per-slot metadata (tag, dirty bit, policy links) is charged per
+  // slot. This is the "cache metadata" whose relative footprint shrinks as
+  // nodes get bigger (§VI-D3 / Fig. 15).
+  leaf_slot_.assign(tree_->NodesAt(0), kNoSlot);
+  stats_.metadata_bytes = leaf_slot_.size() * sizeof(uint32_t);
+
+  uint64_t remaining = config_.capacity_bytes > stats_.pinned_bytes
+                           ? config_.capacity_bytes - stats_.pinned_bytes
+                           : 0;
+  num_slots_ = remaining / (node_size_ + kSlotMetaBytes);
+  if (config_.start_stopped || num_slots_ < kMinSlots) {
+    num_slots_ = 0;
+    return StopSwap();
+  }
+
+  slots_ = static_cast<uint8_t*>(enclave_->TrustedAlloc(num_slots_ * node_size_));
+  if (slots_ == nullptr) {
+    return Status::CapacityExceeded("secure cache slot allocation");
+  }
+  stats_.slot_bytes = num_slots_ * node_size_;
+  stats_.metadata_bytes += num_slots_ * kSlotMetaBytes;
+  meta_.assign(num_slots_, SlotMeta{});
+  free_slots_.clear();
+  free_slots_.reserve(num_slots_);
+  for (uint64_t s = num_slots_; s-- > 0;) {
+    free_slots_.push_back(static_cast<uint32_t>(s));
+  }
+  if (config_.policy == CachePolicy::kFifo) {
+    policy_ = std::make_unique<FifoPolicy>(num_slots_);
+  } else {
+    policy_ = std::make_unique<LruPolicy>(enclave_, num_slots_);
+  }
+  return Status::OK();
+}
+
+uint8_t* SecureCache::PinnedNodePtr(MtNodeId id) const {
+  uint8_t* base = pinned_[id.level];
+  return base == nullptr ? nullptr : base + id.index * node_size_;
+}
+
+uint8_t* SecureCache::TrustedNodePtr(MtNodeId id, uint32_t* slot_out) const {
+  *slot_out = kNoSlot;
+  if (IsPinned(id.level)) {
+    uint8_t* p = PinnedNodePtr(id);
+    if (p != nullptr) return p;
+  }
+  uint32_t slot = LookupSlot(id);
+  if (slot == kNoSlot) return nullptr;
+  *slot_out = slot;
+  return SlotPtr(slot);
+}
+
+uint8_t* SecureCache::TrustedStoredMacPtr(MtNodeId id,
+                                          uint32_t* parent_slot_out) {
+  *parent_slot_out = kNoSlot;
+  if (tree_->IsTop(id)) return tree_->mutable_root();
+  MtNodeId parent = tree_->ParentOf(id);
+  uint8_t* pcontent = TrustedNodePtr(parent, parent_slot_out);
+  if (pcontent == nullptr) return nullptr;
+  return pcontent + tree_->SlotInParent(id) * FlatMerkleTree::kMacSize;
+}
+
+Status SecureCache::VerifyNodeChain(MtNodeId target, uint8_t* out) {
+  // Collect the untrusted chain: target upward until the parent is trusted
+  // or we hit the top node (whose MAC is the trusted root).
+  MtNodeId chain[64];
+  size_t chain_len = 0;
+  MtNodeId id = target;
+  for (;;) {
+    chain[chain_len++] = id;
+    if (tree_->IsTop(id)) break;
+    MtNodeId parent = tree_->ParentOf(id);
+    uint32_t slot;
+    if (TrustedNodePtr(parent, &slot) != nullptr) break;
+    id = parent;
+  }
+
+  // Verify downward; `prev` holds the verified content of the parent once
+  // we are below the first link.
+  uint8_t* cur = scratch_a_;
+  uint8_t* prev = scratch_b_;
+  for (size_t i = chain_len; i-- > 0;) {
+    MtNodeId x = chain[i];
+    // Copy the node into the enclave before computing its MAC (§IV-D: the
+    // copy grows with node size and is part of the arity trade-off).
+    std::memcpy(cur, tree_->NodePtr(x.level, x.index), node_size_);
+    enclave_->TouchWrite(cur, node_size_);
+    stats_.bytes_swapped_in += node_size_;
+
+    uint8_t mac[FlatMerkleTree::kMacSize];
+    cmac_->Mac(cur, node_size_, mac);
+    stats_.mac_verifications++;
+
+    const uint8_t* expected;
+    if (i == chain_len - 1) {
+      if (tree_->IsTop(x)) {
+        expected = tree_->root();
+      } else {
+        uint32_t pslot;
+        uint8_t* pcontent = TrustedNodePtr(tree_->ParentOf(x), &pslot);
+        if (pcontent == nullptr) {
+          return Status::Internal("verify chain lost its trusted anchor");
+        }
+        expected = pcontent + tree_->SlotInParent(x) * FlatMerkleTree::kMacSize;
+      }
+      enclave_->TouchRead(expected, FlatMerkleTree::kMacSize);
+    } else {
+      expected = prev + tree_->SlotInParent(x) * FlatMerkleTree::kMacSize;
+    }
+    if (!crypto::MacEqual(mac, expected)) {
+      return Status::IntegrityViolation("merkle tree node MAC mismatch");
+    }
+    std::swap(cur, prev);
+  }
+  // The verified target content ended up in `prev`.
+  if (out != prev) std::memcpy(out, prev, node_size_);
+  return Status::OK();
+}
+
+Status SecureCache::Insert(MtNodeId id, const uint8_t* content,
+                           uint32_t* slot_out) {
+  // A recursive parent swap-in during one of our own evictions may already
+  // have inserted this node; its cached copy can be fresher than `content`
+  // (child MACs propagated into it), so keep it.
+  uint32_t existing = LookupSlot(id);
+  if (existing != kNoSlot) {
+    *slot_out = existing;
+    return Status::OK();
+  }
+  if (free_slots_.empty()) {
+    ARIA_RETURN_IF_ERROR(EvictOne());
+  }
+  uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  std::memcpy(SlotPtr(slot), content, node_size_);
+  enclave_->TouchWrite(SlotPtr(slot), node_size_);
+  meta_[slot] = SlotMeta{id, false};
+  SetSlot(id, slot);
+  policy_->OnInsert(slot);
+  *slot_out = slot;
+  return Status::OK();
+}
+
+Status SecureCache::EvictOne() {
+  uint32_t victim;
+  if (policy_ == nullptr || !policy_->PopVictim(&victim)) {
+    return Status::Internal("secure cache eviction with no victims");
+  }
+  MtNodeId id = meta_[victim].id;
+  stats_.evictions++;
+
+  if (meta_[victim].dirty) {
+    // Push the victim's MAC into its parent (Fig. 4, step 3). If the parent
+    // is not trusted, PropagateMacUp verifies it through an enclave scratch
+    // buffer and patches it in place — no cache slot is consumed, so
+    // evictions never cascade. The victim stays cached until the update is
+    // fully propagated so no stale copy can be re-read meanwhile.
+    uint8_t mac[FlatMerkleTree::kMacSize];
+    enclave_->TouchRead(SlotPtr(victim), node_size_);
+    cmac_->Mac(SlotPtr(victim), node_size_, mac);
+    ARIA_RETURN_IF_ERROR(PropagateMacUp(id, mac));
+    // Plaintext write-back: security metadata needs integrity only (§IV-C).
+    std::memcpy(tree_->NodePtr(id.level, id.index), SlotPtr(victim),
+                node_size_);
+    stats_.dirty_writebacks++;
+    stats_.bytes_swapped_out += node_size_;
+    stats_.encryption_bytes_avoided += node_size_;
+  } else if (config_.avoid_clean_writeback) {
+    stats_.clean_discards++;
+    stats_.writebacks_avoided++;
+  } else {
+    enclave_->TouchRead(SlotPtr(victim), node_size_);
+    std::memcpy(tree_->NodePtr(id.level, id.index), SlotPtr(victim),
+                node_size_);
+    stats_.bytes_swapped_out += node_size_;
+  }
+  ClearSlot(id);
+  meta_[victim] = SlotMeta{};
+  free_slots_.push_back(victim);
+  return Status::OK();
+}
+
+Status SecureCache::EnsureCached(MtNodeId id, uint32_t* slot_out) {
+  uint32_t slot = LookupSlot(id);
+  if (slot != kNoSlot) {
+    *slot_out = slot;
+    return Status::OK();
+  }
+  std::vector<uint8_t> buf(node_size_);
+  ARIA_RETURN_IF_ERROR(VerifyNodeChain(id, buf.data()));
+  return Insert(id, buf.data(), slot_out);
+}
+
+Status SecureCache::PropagateMacUp(MtNodeId id, const uint8_t mac[16]) {
+  uint8_t cur_mac[FlatMerkleTree::kMacSize];
+  std::memcpy(cur_mac, mac, FlatMerkleTree::kMacSize);
+
+  auto write_trusted = [&](MtNodeId node, uint8_t* loc, uint32_t pslot) {
+    std::memcpy(loc, cur_mac, FlatMerkleTree::kMacSize);
+    enclave_->TouchWrite(loc, FlatMerkleTree::kMacSize);
+    if (pslot != kNoSlot) {
+      meta_[pslot].dirty = true;
+    } else if (!tree_->IsTop(node) && IsPinned(node.level + 1)) {
+      // Keep the untrusted copy of a pinned parent in sync so future
+      // (un)pinning transitions see a consistent tree.
+      std::memcpy(tree_->StoredMacPtr(node), cur_mac,
+                  FlatMerkleTree::kMacSize);
+    }
+  };
+  // Fast path: the stored-MAC location is already trusted.
+  {
+    uint32_t pslot;
+    uint8_t* loc = TrustedStoredMacPtr(id, &pslot);
+    if (loc != nullptr) {
+      write_trusted(id, loc, pslot);
+      return Status::OK();
+    }
+  }
+
+  // Slow path: collect the untrusted ancestor chain (parent upward until
+  // the first trusted anchor or the top node), verify it ONCE top-down
+  // into local buffers, then patch and write back bottom-up — O(h) MAC
+  // computations total and no cache slots consumed, so evictions never
+  // cascade.
+  MtNodeId chain[64];
+  size_t chain_len = 0;
+  {
+    MtNodeId cur = tree_->ParentOf(id);
+    for (;;) {
+      chain[chain_len++] = cur;
+      if (tree_->IsTop(cur)) break;
+      uint32_t slot;
+      if (TrustedNodePtr(tree_->ParentOf(cur), &slot) != nullptr) break;
+      cur = tree_->ParentOf(cur);
+    }
+  }
+
+  // Verify downward (highest first), keeping every ancestor's content.
+  std::vector<std::vector<uint8_t>> bufs(chain_len,
+                                         std::vector<uint8_t>(node_size_));
+  for (size_t i = chain_len; i-- > 0;) {
+    MtNodeId x = chain[i];
+    uint8_t* buf = bufs[i].data();
+    std::memcpy(buf, tree_->NodePtr(x.level, x.index), node_size_);
+    enclave_->TouchWrite(buf, node_size_);
+    stats_.bytes_swapped_in += node_size_;
+    uint8_t computed[FlatMerkleTree::kMacSize];
+    cmac_->Mac(buf, node_size_, computed);
+    stats_.mac_verifications++;
+    const uint8_t* expected;
+    if (i == chain_len - 1) {
+      if (tree_->IsTop(x)) {
+        expected = tree_->root();
+      } else {
+        uint32_t pslot;
+        uint8_t* pcontent = TrustedNodePtr(tree_->ParentOf(x), &pslot);
+        if (pcontent == nullptr) {
+          return Status::Internal("propagate lost its trusted anchor");
+        }
+        expected =
+            pcontent + tree_->SlotInParent(x) * FlatMerkleTree::kMacSize;
+      }
+      enclave_->TouchRead(expected, FlatMerkleTree::kMacSize);
+    } else {
+      expected = bufs[i + 1].data() +
+                 tree_->SlotInParent(x) * FlatMerkleTree::kMacSize;
+    }
+    if (!crypto::MacEqual(computed, expected)) {
+      return Status::IntegrityViolation("merkle tree node MAC mismatch");
+    }
+  }
+
+  // Patch upward: child MAC into each verified ancestor, write the ancestor
+  // back in plaintext, recompute its MAC, ascend.
+  MtNodeId child = id;
+  for (size_t i = 0; i < chain_len; ++i) {
+    uint8_t* buf = bufs[i].data();
+    std::memcpy(buf + tree_->SlotInParent(child) * FlatMerkleTree::kMacSize,
+                cur_mac, FlatMerkleTree::kMacSize);
+    MtNodeId x = chain[i];
+    std::memcpy(tree_->NodePtr(x.level, x.index), buf, node_size_);
+    cmac_->Mac(buf, node_size_, cur_mac);
+    stats_.mac_verifications++;
+    child = x;
+  }
+  MtNodeId anchor = chain[chain_len - 1];
+  uint32_t pslot;
+  uint8_t* loc = TrustedStoredMacPtr(anchor, &pslot);
+  if (loc == nullptr) {
+    return Status::Internal("propagate anchor vanished");
+  }
+  write_trusted(anchor, loc, pslot);
+  return Status::OK();
+}
+
+Status SecureCache::PinLevels(int first_level) {
+  for (int lvl = tree_->num_levels() - 1; lvl >= first_level; --lvl) {
+    if (pinned_[lvl] != nullptr) continue;
+    uint64_t nodes = tree_->NodesAt(lvl);
+    uint8_t* buf =
+        static_cast<uint8_t*>(enclave_->TrustedAlloc(nodes * node_size_));
+    if (buf == nullptr) return Status::CapacityExceeded("pin allocation");
+    for (uint64_t i = 0; i < nodes; ++i) {
+      MtNodeId id{lvl, i};
+      std::memcpy(scratch_a_, tree_->NodePtr(lvl, i), node_size_);
+      enclave_->TouchWrite(scratch_a_, node_size_);
+      uint8_t mac[FlatMerkleTree::kMacSize];
+      cmac_->Mac(scratch_a_, node_size_, mac);
+      stats_.mac_verifications++;
+      const uint8_t* expected;
+      if (tree_->IsTop(id)) {
+        expected = tree_->root();
+      } else {
+        MtNodeId parent = tree_->ParentOf(id);
+        // Parents are already pinned (we pin top-down).
+        expected = PinnedNodePtr(parent) +
+                   tree_->SlotInParent(id) * FlatMerkleTree::kMacSize;
+      }
+      if (!crypto::MacEqual(mac, expected)) {
+        enclave_->TrustedFree(buf);
+        return Status::IntegrityViolation("pinning found a tampered MT node");
+      }
+      std::memcpy(buf + i * node_size_, scratch_a_, node_size_);
+    }
+    pinned_[lvl] = buf;
+    stats_.pinned_bytes += nodes * node_size_;
+    if (first_pinned_level_ < 0 || lvl < first_pinned_level_) {
+      first_pinned_level_ = lvl;
+    }
+  }
+  return Status::OK();
+}
+
+Status SecureCache::StopSwap() {
+  if (stats_.swap_stopped) return Status::OK();
+  // Flush: evicting every node propagates all dirty MACs toward the root.
+  while (num_cached_ > 0) {
+    ARIA_RETURN_IF_ERROR(EvictOne());
+  }
+  if (slots_ != nullptr) {
+    enclave_->TrustedFree(slots_);
+    slots_ = nullptr;
+  }
+  num_slots_ = 0;
+  stats_.slot_bytes = 0;
+  meta_.clear();
+  free_slots_.clear();
+  policy_.reset();
+
+  // Re-pin as many whole levels as fit in the full budget (top-down).
+  uint64_t acc = stats_.pinned_bytes;
+  int first = tree_->num_levels();
+  for (int lvl = tree_->num_levels() - 1; lvl >= 0; --lvl) {
+    uint64_t bytes =
+        pinned_[lvl] != nullptr ? 0 : tree_->NodesAt(lvl) * node_size_;
+    if (acc + bytes > config_.capacity_bytes) break;
+    acc += bytes;
+    first = lvl;
+  }
+  if (first < tree_->num_levels()) {
+    ARIA_RETURN_IF_ERROR(PinLevels(first));
+  }
+  stats_.swap_stopped = true;
+  return Status::OK();
+}
+
+void SecureCache::NoteAccess(bool hit) {
+  if (hit) {
+    stats_.hits++;
+    window_hits_++;
+  } else {
+    stats_.misses++;
+  }
+  window_accesses_++;
+  if (window_accesses_ >= config_.stop_swap_window) {
+    windows_seen_++;
+    double ratio =
+        static_cast<double>(window_hits_) / static_cast<double>(window_accesses_);
+    window_hits_ = 0;
+    window_accesses_ = 0;
+    // Judge only after warm-up, and require three consecutive bad windows:
+    // a single cold window (e.g. right after bulk loading churned the FIFO)
+    // must not permanently give up on caching. Only request the transition
+    // here: StopSwap() tears down the slot storage, which the current
+    // operation may still be using.
+    if (ratio < config_.stop_swap_threshold) {
+      bad_windows_++;
+    } else {
+      bad_windows_ = 0;
+    }
+    if (config_.stop_swap_enabled && !stats_.swap_stopped &&
+        windows_seen_ >= 2 && bad_windows_ >= 3) {
+      pending_stop_swap_ = true;
+    }
+  }
+}
+
+Status SecureCache::ReadCounter(uint64_t c, uint8_t out[16]) {
+  if (pending_stop_swap_) {
+    pending_stop_swap_ = false;
+    ARIA_RETURN_IF_ERROR(StopSwap());
+  }
+  if (stats_.swap_stopped) return StopSwapAccess(c, /*increment=*/false, out);
+  MtNodeId leaf = tree_->LeafOf(c);
+  size_t off = tree_->CounterOffsetInLeaf(c);
+  uint32_t slot;
+  uint8_t* p = TrustedNodePtr(leaf, &slot);
+  if (p != nullptr) {
+    NoteAccess(true);
+    if (slot != kNoSlot) policy_->OnHit(slot);
+    enclave_->TouchRead(p + off, FlatMerkleTree::kCounterSize);
+    std::memcpy(out, p + off, FlatMerkleTree::kCounterSize);
+    return Status::OK();
+  }
+  NoteAccess(false);
+  ARIA_RETURN_IF_ERROR(EnsureCached(leaf, &slot));
+  enclave_->TouchRead(SlotPtr(slot) + off, FlatMerkleTree::kCounterSize);
+  std::memcpy(out, SlotPtr(slot) + off, FlatMerkleTree::kCounterSize);
+  return Status::OK();
+}
+
+Status SecureCache::BumpCounter(uint64_t c, uint8_t out[16]) {
+  if (pending_stop_swap_) {
+    pending_stop_swap_ = false;
+    ARIA_RETURN_IF_ERROR(StopSwap());
+  }
+  if (stats_.swap_stopped) return StopSwapAccess(c, /*increment=*/true, out);
+  MtNodeId leaf = tree_->LeafOf(c);
+  size_t off = tree_->CounterOffsetInLeaf(c);
+  uint32_t slot;
+  uint8_t* p = TrustedNodePtr(leaf, &slot);
+  if (p == nullptr) {
+    NoteAccess(false);
+    ARIA_RETURN_IF_ERROR(EnsureCached(leaf, &slot));
+    p = SlotPtr(slot);
+  } else {
+    NoteAccess(true);
+    if (slot != kNoSlot) policy_->OnHit(slot);
+  }
+  Increment128(p + off);
+  enclave_->TouchWrite(p + off, FlatMerkleTree::kCounterSize);
+  std::memcpy(out, p + off, FlatMerkleTree::kCounterSize);
+  if (slot != kNoSlot) {
+    // Update stops at the first cached node (§IV-B proof sketch).
+    meta_[slot].dirty = true;
+  } else {
+    // Leaf level is pinned: the pinned copy is authoritative; keep the
+    // untrusted image in sync for later unpinning.
+    std::memcpy(tree_->CounterPtr(c), p + off, FlatMerkleTree::kCounterSize);
+  }
+  return Status::OK();
+}
+
+Status SecureCache::StopSwapAccess(uint64_t c, bool increment,
+                                   uint8_t out[16]) {
+  MtNodeId leaf = tree_->LeafOf(c);
+  size_t off = tree_->CounterOffsetInLeaf(c);
+  uint32_t slot;
+  uint8_t* p = TrustedNodePtr(leaf, &slot);
+  if (p != nullptr) {
+    // The whole leaf level is pinned — no verification needed at all.
+    stats_.hits++;
+    if (increment) {
+      Increment128(p + off);
+      enclave_->TouchWrite(p + off, FlatMerkleTree::kCounterSize);
+      std::memcpy(tree_->CounterPtr(c), p + off,
+                  FlatMerkleTree::kCounterSize);
+    } else {
+      enclave_->TouchRead(p + off, FlatMerkleTree::kCounterSize);
+    }
+    std::memcpy(out, p + off, FlatMerkleTree::kCounterSize);
+    return Status::OK();
+  }
+
+  stats_.misses++;
+  std::vector<uint8_t> buf(node_size_);
+  ARIA_RETURN_IF_ERROR(VerifyNodeChain(leaf, buf.data()));
+  if (!increment) {
+    std::memcpy(out, buf.data() + off, FlatMerkleTree::kCounterSize);
+    return Status::OK();
+  }
+
+  // Write path without caching: update the leaf in place and propagate the
+  // fresh MAC up to the first trusted ancestor.
+  Increment128(buf.data() + off);
+  std::memcpy(out, buf.data() + off, FlatMerkleTree::kCounterSize);
+  std::memcpy(tree_->NodePtr(leaf.level, leaf.index), buf.data(), node_size_);
+  uint8_t mac[FlatMerkleTree::kMacSize];
+  cmac_->Mac(buf.data(), node_size_, mac);
+  stats_.mac_verifications++;
+  return PropagateMacUp(leaf, mac);
+}
+
+}  // namespace aria

@@ -1,0 +1,227 @@
+// Secure Cache (paper §IV): a software-managed cache of Merkle-tree nodes
+// inside the enclave.
+//
+// Design points implemented here, each mapping to a paper section:
+//  * fine-granularity (per-MT-node) swap between EPC and untrusted memory,
+//    replacing 4 KB hardware secure paging                          (§IV-B)
+//  * verification stops at the first cached/pinned ancestor; an update to a
+//    cached leaf stops propagating immediately                      (§IV-B)
+//  * eviction of a dirty node swaps the parent in, pushes the child MAC
+//    into it, then writes the node back *in plaintext* — security metadata
+//    needs integrity, not confidentiality                     (§IV-B, §IV-C)
+//  * clean nodes are discarded without write-back (impossible with the SGX
+//    EWB instruction)                                               (§IV-C)
+//  * level pinning: the top-k MT levels are held permanently in the EPC,
+//    bounding worst-case verification to O(h-k-1)                   (§IV-E)
+//  * FIFO replacement avoids LRU's hit-path metadata writes         (§IV-E)
+//  * stop-swap: when the hit ratio falls below a threshold (uniform-like
+//    traffic), the cache flushes, pins every level that fits (typically all
+//    but L0) and serves requests with exactly one MAC verification  (§IV-E)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/cmac.h"
+#include "mt/flat_merkle_tree.h"
+#include "sgxsim/enclave_runtime.h"
+
+namespace aria {
+
+/// Cache replacement policy selector.
+enum class CachePolicy { kFifo, kLru };
+
+struct SecureCacheConfig {
+  /// Total EPC budget for this cache: pinned levels + node slots.
+  uint64_t capacity_bytes = 64ull * 1024 * 1024;
+
+  CachePolicy policy = CachePolicy::kFifo;
+
+  /// Number of top MT levels (below the root) pinned at attach time.
+  /// -1 = auto: pin every level above the leaves (worst-case verification
+  /// is then a single MAC), budget permitting — the configuration the
+  /// paper's 10M-key setup converges to.
+  int pinned_levels = -1;
+
+  /// Enable the adaptive stop-swap heuristic (§IV-E).
+  bool stop_swap_enabled = true;
+  double stop_swap_threshold = 0.70;
+  uint64_t stop_swap_window = 65536;
+
+  /// Semantic optimization: discard clean nodes instead of writing back.
+  bool avoid_clean_writeback = true;
+
+  /// Start with swapping disabled (used to emulate uniform-workload mode
+  /// directly in benchmarks).
+  bool start_stopped = false;
+};
+
+struct SecureCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t clean_discards = 0;
+  uint64_t dirty_writebacks = 0;
+  uint64_t mac_verifications = 0;
+  uint64_t bytes_swapped_in = 0;
+  uint64_t bytes_swapped_out = 0;
+  uint64_t encryption_bytes_avoided = 0;  ///< vs. SGX paging, which encrypts
+  uint64_t writebacks_avoided = 0;
+  uint64_t pinned_bytes = 0;
+  uint64_t slot_bytes = 0;
+  uint64_t metadata_bytes = 0;  ///< leaf index + per-slot tags (EPC)
+  bool swap_stopped = false;
+
+  double HitRatio() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Software cache of MT nodes for one FlatMerkleTree. Not thread-safe (one
+/// store instance = one enclave = one cache, as in the paper).
+class SecureCache {
+ public:
+  SecureCache(sgx::EnclaveRuntime* enclave, FlatMerkleTree* tree,
+              const crypto::Cmac128* cmac, SecureCacheConfig config);
+  ~SecureCache();
+
+  SecureCache(const SecureCache&) = delete;
+  SecureCache& operator=(const SecureCache&) = delete;
+
+  /// Allocate slot storage, verify-and-pin the configured top levels.
+  /// Must be called after FlatMerkleTree::Init.
+  Status Attach();
+
+  /// Read counter `c` into `out` after integrity verification.
+  Status ReadCounter(uint64_t c, uint8_t out[FlatMerkleTree::kCounterSize]);
+
+  /// Increment counter `c` (128-bit little-endian) and return the NEW value;
+  /// used on the Put path so every encryption uses a fresh counter.
+  Status BumpCounter(uint64_t c, uint8_t out[FlatMerkleTree::kCounterSize]);
+
+  /// Force the stop-swap transition now (flush + max pinning). Also invoked
+  /// automatically by the hit-ratio heuristic.
+  Status StopSwap();
+
+  bool swap_stopped() const { return stats_.swap_stopped; }
+  const SecureCacheStats& stats() const { return stats_; }
+  const SecureCacheConfig& config() const { return config_; }
+
+  /// Number of node slots available after pinning (exposed for tests).
+  uint64_t num_slots() const { return num_slots_; }
+
+  /// True iff the node is currently cached (tests only).
+  bool IsCached(MtNodeId id) const { return LookupSlot(id) != UINT32_MAX; }
+  bool IsPinned(int level) const {
+    return level >= first_pinned_level_ && first_pinned_level_ >= 0;
+  }
+
+ private:
+  struct SlotMeta {
+    MtNodeId id{-1, 0};
+    bool dirty = false;
+  };
+
+  class Policy;
+  class FifoPolicy;
+  class LruPolicy;
+
+  static uint64_t Key(MtNodeId id) {
+    return (static_cast<uint64_t>(id.level) << 56) | id.index;
+  }
+
+  /// Slot holding `id`, or kNoSlot. Leaf nodes (the overwhelmingly common
+  /// lookup) use a dense direct-mapped table — one predictable memory
+  /// access; inner nodes use the hash map.
+  uint32_t LookupSlot(MtNodeId id) const;
+  void SetSlot(MtNodeId id, uint32_t slot);
+  void ClearSlot(MtNodeId id);
+
+  uint8_t* SlotPtr(uint32_t slot) const {
+    return slots_ + static_cast<uint64_t>(slot) * node_size_;
+  }
+
+  /// Trusted bytes of a pinned node.
+  uint8_t* PinnedNodePtr(MtNodeId id) const;
+
+  /// Trusted content of `id` if cached or pinned, else nullptr.
+  uint8_t* TrustedNodePtr(MtNodeId id, uint32_t* slot_out) const;
+
+  /// Trusted location holding the stored MAC of `id`, or nullptr if the
+  /// parent is not trusted. Root counts as trusted.
+  uint8_t* TrustedStoredMacPtr(MtNodeId id, uint32_t* parent_slot_out);
+
+  /// Verify the chain from `target` up to the first trusted ancestor and
+  /// leave target's verified content in `out` (node_size bytes, trusted).
+  Status VerifyNodeChain(MtNodeId target, uint8_t* out);
+
+  /// Insert verified content as a cached node (evicting if necessary).
+  Status Insert(MtNodeId id, const uint8_t* content, uint32_t* slot_out);
+
+  /// Evict one victim according to the policy.
+  Status EvictOne();
+
+  /// Ensure `id` is cached; uses VerifyNodeChain + Insert.
+  Status EnsureCached(MtNodeId id, uint32_t* slot_out);
+
+  /// Write `mac` as the stored MAC of `id`. If the parent is cached or
+  /// pinned (or `id` is the top node), the trusted location is updated in
+  /// place (cached parents are marked dirty). Otherwise each untrusted
+  /// ancestor is verified through an enclave scratch buffer, patched and
+  /// written back, ascending until the first trusted location — without
+  /// consuming any cache slots, so evictions never cascade.
+  Status PropagateMacUp(MtNodeId id, const uint8_t mac[16]);
+
+  /// Full-verification counter access used when swapping is stopped.
+  Status StopSwapAccess(uint64_t c, bool increment, uint8_t out[16]);
+
+  /// Pin levels [first_level .. top] after verifying them against the root.
+  Status PinLevels(int first_level);
+
+  void NoteAccess(bool hit);
+
+  sgx::EnclaveRuntime* enclave_;
+  FlatMerkleTree* tree_;
+  const crypto::Cmac128* cmac_;
+  SecureCacheConfig config_;
+  size_t node_size_;
+
+  // Slot storage (trusted).
+  uint8_t* slots_ = nullptr;
+  uint64_t num_slots_ = 0;
+  std::vector<SlotMeta> meta_;
+  std::vector<uint32_t> free_slots_;
+  // Leaf-level cache index: direct-mapped, one uint32 per MT leaf. Its
+  // size counts against the cache budget — exactly the "cache metadata"
+  // whose footprint shrinks with larger node arity (Fig. 15 trade-off).
+  std::vector<uint32_t> leaf_slot_;
+  std::unordered_map<uint64_t, uint32_t> cached_;  // inner nodes -> slot
+  uint64_t num_cached_ = 0;
+  std::unique_ptr<Policy> policy_;
+
+  // Pinned levels: level -> trusted buffer with all nodes of that level.
+  // first_pinned_level_ == -1 means nothing pinned.
+  int first_pinned_level_ = -1;
+  std::vector<uint8_t*> pinned_;  // indexed by level, nullptr if not pinned
+
+  // Scratch buffers for verification (trusted).
+  uint8_t* scratch_a_ = nullptr;
+  uint8_t* scratch_b_ = nullptr;
+
+  // Stop-swap bookkeeping. The heuristic only *requests* the transition;
+  // it is applied at the start of the next access, never in the middle of
+  // an operation that still holds pointers into the slot storage.
+  uint64_t window_hits_ = 0;
+  uint64_t window_accesses_ = 0;
+  uint64_t windows_seen_ = 0;
+  uint64_t bad_windows_ = 0;
+  bool pending_stop_swap_ = false;
+
+  SecureCacheStats stats_;
+};
+
+}  // namespace aria

@@ -1,0 +1,40 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace aria {
+
+namespace {
+constexpr uint64_t kMul = 0x9ddfea08eb382d69ull;
+
+inline uint64_t Load64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline uint64_t Mix(uint64_t v) {
+  v ^= v >> 47;
+  v *= kMul;
+  v ^= v >> 47;
+  return v;
+}
+}  // namespace
+
+uint64_t Hash64(const void* data, size_t len, uint64_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed ^ (len * kMul);
+  while (len >= 8) {
+    h = Mix(h ^ Load64(p)) * kMul;
+    p += 8;
+    len -= 8;
+  }
+  uint64_t tail = 0;
+  if (len > 0) {
+    std::memcpy(&tail, p, len);
+    h = Mix(h ^ tail) * kMul;
+  }
+  return Mix(h);
+}
+
+}  // namespace aria

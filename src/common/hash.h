@@ -1,0 +1,26 @@
+// Non-cryptographic hashing for index bucket selection and key hints.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace aria {
+
+/// 64-bit xxHash-style mix over arbitrary bytes; used to pick hash buckets.
+uint64_t Hash64(const void* data, size_t len, uint64_t seed = 0);
+
+inline uint64_t Hash64(const Slice& s, uint64_t seed = 0) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+/// 32-bit "key hint" stored next to each encrypted entry so lookups can skip
+/// non-matching candidates without decrypting (ShieldStore's key-hint trick,
+/// reused by Aria-H). A different seed from the bucket hash so that colliding
+/// keys in one bucket usually still have distinct hints.
+inline uint32_t KeyHint(const Slice& key) {
+  return static_cast<uint32_t>(Hash64(key, 0x5bd1e995u));
+}
+
+}  // namespace aria

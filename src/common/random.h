@@ -1,0 +1,34 @@
+// Deterministic, fast PRNG used by workload generators and tests.
+// (Cryptographic randomness lives in crypto/secure_random.h.)
+#pragma once
+
+#include <cstdint>
+
+namespace aria {
+
+/// xoshiro256** — fast non-cryptographic PRNG with 2^256-1 period.
+/// Deterministic for a given seed, so workloads and tests are reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform value in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Uniform(hi - lo + 1); }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace aria

@@ -1,0 +1,56 @@
+// A non-owning byte view, compatible with std::string storage. Used for keys
+// and values throughout Aria's public API.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace aria {
+
+/// Non-owning view over a contiguous byte range. The bytes must outlive the
+/// Slice; stores never retain a Slice past the call that received it.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const uint8_t* data, size_t size)
+      : data_(reinterpret_cast<const char*>(data)), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* cstr) : data_(cstr), size_(std::strlen(cstr)) {}  // NOLINT
+  Slice(std::string_view sv) : data_(sv.data()), size_(sv.size()) {}  // NOLINT
+
+  const char* data() const { return data_; }
+  const uint8_t* bytes() const {
+    return reinterpret_cast<const uint8_t*>(data_);
+  }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const { return data_[i]; }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  /// Three-way comparison by unsigned byte order (shorter prefix is smaller).
+  int compare(const Slice& other) const {
+    size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = min_len == 0 ? 0 : std::memcmp(data_, other.data_, min_len);
+    if (r != 0) return r;
+    if (size_ < other.size_) return -1;
+    if (size_ > other.size_) return 1;
+    return 0;
+  }
+
+  bool operator==(const Slice& other) const { return compare(other) == 0; }
+  bool operator!=(const Slice& other) const { return compare(other) != 0; }
+  bool operator<(const Slice& other) const { return compare(other) < 0; }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace aria

@@ -1,0 +1,34 @@
+#include "common/status.h"
+
+namespace aria {
+
+namespace {
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      return "NotFound";
+    case Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Code::kCapacityExceeded:
+      return "CapacityExceeded";
+    case Code::kIntegrityViolation:
+      return "IntegrityViolation";
+    case Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace aria

@@ -1,0 +1,92 @@
+// Status and Result types used across Aria, modeled on the RocksDB/Arrow
+// convention: cheap to return, explicit error codes, never thrown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace aria {
+
+/// Error taxonomy for Aria operations. `kIntegrityViolation` is the
+/// security-critical code: it means an attack on untrusted memory was
+/// detected (tampered MAC, replayed counter, corrupted index link, ...).
+enum class Code : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kCapacityExceeded = 3,
+  kIntegrityViolation = 4,
+  kInternal = 5,
+};
+
+/// Lightweight status object. Ok status carries no allocation.
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg = "") {
+    return Status(Code::kCapacityExceeded, std::move(msg));
+  }
+  static Status IntegrityViolation(std::string msg = "") {
+    return Status(Code::kIntegrityViolation, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsCapacityExceeded() const { return code_ == Code::kCapacityExceeded; }
+  bool IsIntegrityViolation() const {
+    return code_ == Code::kIntegrityViolation;
+  }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable rendering, e.g. "IntegrityViolation: MAC mismatch".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// A value-or-status pair; `value()` must only be used when `ok()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {}                 // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  T& value() { return value_; }
+  const T& value() const { return value_; }
+  T& operator*() { return value_; }
+  T* operator->() { return &value_; }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+#define ARIA_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::aria::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace aria

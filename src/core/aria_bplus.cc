@@ -1,0 +1,435 @@
+#include "core/aria_bplus.h"
+
+#include <cstring>
+
+namespace aria {
+
+namespace {
+constexpr int kMaxKeys = 15;
+constexpr int kSplitPoint = kMaxKeys / 2;  // 7
+}  // namespace
+
+struct AriaBPlusTree::Node {
+  uint16_t num_keys;
+  uint8_t is_leaf;
+  uint8_t pad[5];
+  uint8_t* records[kMaxKeys];
+  Node* children[kMaxKeys + 1];  // inner nodes only
+  Node* next_leaf;               // leaves only (untrusted chain)
+};
+
+AriaBPlusTree::AriaBPlusTree(sgx::EnclaveRuntime* enclave,
+                             UntrustedAllocator* allocator,
+                             const RecordCodec* codec, CounterStore* counters)
+    : enclave_(enclave),
+      allocator_(allocator),
+      codec_(codec),
+      counters_(counters) {}
+
+void AriaBPlusTree::FreeSubtree(Node* node) {
+  if (node == nullptr) return;
+  for (int i = 0; i < node->num_keys; ++i) {
+    if (node->records[i] != nullptr) {
+      uint8_t* rec = node->records[i];
+      RecordHeader h = RecordCodec::Peek(rec);
+      counters_->FreeCounter(h.red_ptr).ok();
+      allocator_->Free(rec).ok();
+    }
+  }
+  if (!node->is_leaf) {
+    for (int i = 0; i <= node->num_keys; ++i) FreeSubtree(node->children[i]);
+  }
+  allocator_->Free(node).ok();
+}
+
+AriaBPlusTree::~AriaBPlusTree() { FreeSubtree(root_); }
+
+Result<AriaBPlusTree::Node*> AriaBPlusTree::NewNode(bool is_leaf) {
+  auto mem = allocator_->Alloc(sizeof(Node));
+  if (!mem.ok()) return mem.status();
+  Node* n = static_cast<Node*>(mem.value());
+  std::memset(n, 0, sizeof(Node));
+  n->is_leaf = is_leaf ? 1 : 0;
+  if (is_leaf) {
+    stats_.leaf_nodes++;
+  } else {
+    stats_.inner_nodes++;
+  }
+  return n;
+}
+
+Status AriaBPlusTree::CompareAt(Node* node, int i, Slice key, int* cmp,
+                                std::string* value_out) {
+  uint8_t* rec = node->records[i];
+  RecordHeader h = RecordCodec::Peek(rec);
+  uint8_t ctr[CounterStore::kCounterSize];
+  ARIA_RETURN_IF_ERROR(counters_->ReadCounter(h.red_ptr, ctr));
+  ARIA_RETURN_IF_ERROR(codec_->Verify(
+      rec, ctr, reinterpret_cast<uint64_t>(&node->records[i])));
+  stats_.descent_decrypts++;
+  codec_->OpenKey(rec, ctr, &key_scratch_);
+  *cmp = key.compare(Slice(key_scratch_));
+  if (*cmp == 0 && value_out != nullptr) {
+    codec_->OpenValue(rec, ctr, value_out);
+  }
+  return Status::OK();
+}
+
+Status AriaBPlusTree::LowerBound(Node* node, Slice key, int* pos, bool* eq,
+                                 std::string* value_out) {
+  int lo = 0, hi = node->num_keys;
+  int cmp = -1;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    ARIA_RETURN_IF_ERROR(CompareAt(node, mid, key, &cmp, nullptr));
+    if (cmp <= 0) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  *pos = lo;
+  *eq = false;
+  if (lo < node->num_keys) {
+    ARIA_RETURN_IF_ERROR(CompareAt(node, lo, key, &cmp, value_out));
+    *eq = cmp == 0;
+  }
+  return Status::OK();
+}
+
+Status AriaBPlusTree::MoveRecord(Node* from, int from_slot, Node* to,
+                                 int to_slot) {
+  uint8_t* rec = from->records[from_slot];
+  RecordHeader h = RecordCodec::Peek(rec);
+  uint8_t ctr[CounterStore::kCounterSize];
+  ARIA_RETURN_IF_ERROR(counters_->ReadCounter(h.red_ptr, ctr));
+  ARIA_RETURN_IF_ERROR(codec_->Verify(
+      rec, ctr, reinterpret_cast<uint64_t>(&from->records[from_slot])));
+  to->records[to_slot] = rec;
+  codec_->Reseal(rec, ctr, reinterpret_cast<uint64_t>(&to->records[to_slot]));
+  return Status::OK();
+}
+
+Status AriaBPlusTree::SealKeyValue(Node* node, int slot, Slice key,
+                                   Slice value) {
+  auto red = counters_->FetchCounter();
+  if (!red.ok()) return red.status();
+  uint8_t ctr[CounterStore::kCounterSize];
+  ARIA_RETURN_IF_ERROR(counters_->BumpCounter(red.value(), ctr));
+  auto mem =
+      allocator_->Alloc(RecordCodec::SealedSize(key.size(), value.size()));
+  if (!mem.ok()) return mem.status();
+  uint8_t* rec = static_cast<uint8_t*>(mem.value());
+  node->records[slot] = rec;
+  codec_->Seal(red.value(), ctr, key, value,
+               reinterpret_cast<uint64_t>(&node->records[slot]), rec);
+  return Status::OK();
+}
+
+Status AriaBPlusTree::OverwriteValue(Node* node, int slot, Slice key,
+                                     Slice value) {
+  uint8_t* rec = node->records[slot];
+  RecordHeader h = RecordCodec::Peek(rec);
+  uint8_t ctr[CounterStore::kCounterSize];
+  ARIA_RETURN_IF_ERROR(counters_->BumpCounter(h.red_ptr, ctr));
+  size_t sealed = RecordCodec::SealedSize(key.size(), value.size());
+  size_t old_sealed = RecordCodec::SealedSize(h.k_len, h.v_len);
+  uint64_t ad = reinterpret_cast<uint64_t>(&node->records[slot]);
+  if (sealed <= old_sealed) {
+    codec_->Seal(h.red_ptr, ctr, key, value, ad, rec);
+    return Status::OK();
+  }
+  auto mem = allocator_->Alloc(sealed);
+  if (!mem.ok()) return mem.status();
+  uint8_t* nrec = static_cast<uint8_t*>(mem.value());
+  codec_->Seal(h.red_ptr, ctr, key, value, ad, nrec);
+  node->records[slot] = nrec;
+  return allocator_->Free(rec);
+}
+
+Status AriaBPlusTree::FreeRecordAt(Node* node, int slot) {
+  uint8_t* rec = node->records[slot];
+  RecordHeader h = RecordCodec::Peek(rec);
+  ARIA_RETURN_IF_ERROR(counters_->FreeCounter(h.red_ptr));
+  ARIA_RETURN_IF_ERROR(allocator_->Free(rec));
+  for (int j = slot; j + 1 < node->num_keys; ++j) {
+    ARIA_RETURN_IF_ERROR(MoveRecord(node, j + 1, node, j));
+  }
+  node->num_keys--;
+  node->records[node->num_keys] = nullptr;
+  return Status::OK();
+}
+
+Status AriaBPlusTree::SplitChild(Node* parent, int idx) {
+  Node* child = parent->children[idx];
+  auto right_res = NewNode(child->is_leaf != 0);
+  if (!right_res.ok()) return right_res.status();
+  Node* right = right_res.value();
+  stats_.splits++;
+
+  // Make room for one separator + child in the parent.
+  for (int j = parent->num_keys - 1; j >= idx; --j) {
+    ARIA_RETURN_IF_ERROR(MoveRecord(parent, j, parent, j + 1));
+  }
+  for (int j = parent->num_keys; j > idx; --j) {
+    parent->children[j + 1] = parent->children[j];
+  }
+
+  if (child->is_leaf) {
+    // Leaf split: upper half moves right; the separator is a fresh sealed
+    // COPY of the right node's first key (key-only record).
+    int move_from = kSplitPoint;  // keep 7 left, move 8 right
+    for (int j = move_from; j < kMaxKeys; ++j) {
+      ARIA_RETURN_IF_ERROR(MoveRecord(child, j, right, j - move_from));
+    }
+    right->num_keys = static_cast<uint16_t>(kMaxKeys - move_from);
+    child->num_keys = static_cast<uint16_t>(move_from);
+    for (int j = child->num_keys; j < kMaxKeys; ++j) child->records[j] = nullptr;
+    right->next_leaf = child->next_leaf;
+    child->next_leaf = right;
+
+    // Decrypt the right node's first key and seal it as the separator.
+    uint8_t* rec = right->records[0];
+    RecordHeader h = RecordCodec::Peek(rec);
+    uint8_t ctr[CounterStore::kCounterSize];
+    ARIA_RETURN_IF_ERROR(counters_->ReadCounter(h.red_ptr, ctr));
+    ARIA_RETURN_IF_ERROR(codec_->Verify(
+        rec, ctr, reinterpret_cast<uint64_t>(&right->records[0])));
+    codec_->OpenKey(rec, ctr, &key_scratch_);
+    ARIA_RETURN_IF_ERROR(SealKeyValue(parent, idx, key_scratch_, Slice()));
+  } else {
+    // Inner split: median separator moves up, upper separators move right.
+    for (int j = kSplitPoint + 1; j < kMaxKeys; ++j) {
+      ARIA_RETURN_IF_ERROR(MoveRecord(child, j, right, j - kSplitPoint - 1));
+    }
+    for (int j = kSplitPoint + 1; j <= kMaxKeys; ++j) {
+      right->children[j - kSplitPoint - 1] = child->children[j];
+    }
+    right->num_keys = static_cast<uint16_t>(kMaxKeys - kSplitPoint - 1);
+    ARIA_RETURN_IF_ERROR(MoveRecord(child, kSplitPoint, parent, idx));
+    child->num_keys = static_cast<uint16_t>(kSplitPoint);
+    for (int j = child->num_keys; j < kMaxKeys; ++j) child->records[j] = nullptr;
+  }
+  parent->children[idx + 1] = right;
+  parent->num_keys++;
+  return Status::OK();
+}
+
+Status AriaBPlusTree::Get(Slice key, std::string* value) {
+  Node* node = root_;
+  int depth = 0;
+  while (node != nullptr) {
+    if (++depth > height_) {
+      return Status::IntegrityViolation("B+ descent exceeds trusted height");
+    }
+    int pos;
+    bool eq;
+    if (node->is_leaf) {
+      ARIA_RETURN_IF_ERROR(LowerBound(node, key, &pos, &eq, value));
+      return eq ? Status::OK() : Status::NotFound();
+    }
+    ARIA_RETURN_IF_ERROR(LowerBound(node, key, &pos, &eq, nullptr));
+    node = node->children[eq ? pos + 1 : pos];
+  }
+  return Status::NotFound();
+}
+
+Status AriaBPlusTree::Put(Slice key, Slice value) {
+  if (key.size() > RecordCodec::kMaxKeyLen ||
+      value.size() > RecordCodec::kMaxValueLen) {
+    return Status::InvalidArgument("key or value too large");
+  }
+  if (root_ == nullptr) {
+    auto r = NewNode(true);
+    if (!r.ok()) return r.status();
+    root_ = r.value();
+    height_ = 1;
+  }
+  if (root_->num_keys == kMaxKeys) {
+    auto r = NewNode(false);
+    if (!r.ok()) return r.status();
+    Node* nr = r.value();
+    nr->children[0] = root_;
+    root_ = nr;
+    height_++;
+    ARIA_RETURN_IF_ERROR(SplitChild(nr, 0));
+  }
+
+  Node* node = root_;
+  int depth = 1;
+  for (;;) {
+    int pos;
+    bool eq;
+    if (node->is_leaf) {
+      ARIA_RETURN_IF_ERROR(LowerBound(node, key, &pos, &eq, nullptr));
+      if (eq) return OverwriteValue(node, pos, key, value);
+      for (int j = node->num_keys - 1; j >= pos; --j) {
+        ARIA_RETURN_IF_ERROR(MoveRecord(node, j, node, j + 1));
+      }
+      ARIA_RETURN_IF_ERROR(SealKeyValue(node, pos, key, value));
+      node->num_keys++;
+      total_keys_++;
+      return Status::OK();
+    }
+    ARIA_RETURN_IF_ERROR(LowerBound(node, key, &pos, &eq, nullptr));
+    int child_idx = eq ? pos + 1 : pos;
+    Node* child = node->children[child_idx];
+    if (child->num_keys == kMaxKeys) {
+      ARIA_RETURN_IF_ERROR(SplitChild(node, child_idx));
+      int cmp;
+      ARIA_RETURN_IF_ERROR(CompareAt(node, child_idx, key, &cmp, nullptr));
+      if (cmp >= 0) ++child_idx;  // separator <= key: go right
+      child = node->children[child_idx];
+    }
+    node = child;
+    if (++depth > height_) {
+      return Status::IntegrityViolation("B+ descent exceeds trusted height");
+    }
+  }
+}
+
+Status AriaBPlusTree::Delete(Slice key) {
+  Node* node = root_;
+  int depth = 0;
+  while (node != nullptr) {
+    if (++depth > height_) {
+      return Status::IntegrityViolation("B+ descent exceeds trusted height");
+    }
+    int pos;
+    bool eq;
+    if (node->is_leaf) {
+      ARIA_RETURN_IF_ERROR(LowerBound(node, key, &pos, &eq, nullptr));
+      if (!eq) return Status::NotFound();
+      ARIA_RETURN_IF_ERROR(FreeRecordAt(node, pos));
+      total_keys_--;
+      return Status::OK();
+    }
+    ARIA_RETURN_IF_ERROR(LowerBound(node, key, &pos, &eq, nullptr));
+    node = node->children[eq ? pos + 1 : pos];
+  }
+  return Status::NotFound();
+}
+
+Status AriaBPlusTree::RangeScan(
+    Slice start, size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  Node* node = root_;
+  int depth = 0;
+  while (node != nullptr && !node->is_leaf) {
+    if (++depth > height_) {
+      return Status::IntegrityViolation("B+ descent exceeds trusted height");
+    }
+    int pos;
+    bool eq;
+    ARIA_RETURN_IF_ERROR(LowerBound(node, start, &pos, &eq, nullptr));
+    node = node->children[eq ? pos + 1 : pos];
+  }
+  if (node == nullptr) return Status::OK();
+
+  // Walk the leaf chain. The chain pointers live in untrusted memory, so a
+  // forged cycle must not hang us: bound the walk by the trusted key count.
+  uint64_t visited_leaves = 0;
+  uint64_t max_leaves = stats_.leaf_nodes + 1;
+  int pos;
+  bool eq;
+  ARIA_RETURN_IF_ERROR(LowerBound(node, start, &pos, &eq, nullptr));
+  while (node != nullptr && out->size() < limit) {
+    if (++visited_leaves > max_leaves) {
+      return Status::IntegrityViolation("B+ leaf chain longer than the tree");
+    }
+    for (int i = pos; i < node->num_keys && out->size() < limit; ++i) {
+      uint8_t* rec = node->records[i];
+      RecordHeader h = RecordCodec::Peek(rec);
+      uint8_t ctr[CounterStore::kCounterSize];
+      ARIA_RETURN_IF_ERROR(counters_->ReadCounter(h.red_ptr, ctr));
+      ARIA_RETURN_IF_ERROR(codec_->Verify(
+          rec, ctr, reinterpret_cast<uint64_t>(&node->records[i])));
+      stats_.scan_decrypts++;
+      std::string k, v;
+      codec_->Open(rec, ctr, &k, &v);
+      if (Slice(k).compare(start) >= 0) {
+        out->emplace_back(std::move(k), std::move(v));
+      }
+    }
+    node = node->next_leaf;
+    pos = 0;
+  }
+  return Status::OK();
+}
+
+uint8_t** AriaBPlusTree::DebugRecordSlot(Slice key) {
+  Node* node = root_;
+  while (node != nullptr && !node->is_leaf) {
+    int pos;
+    bool eq;
+    if (!LowerBound(node, key, &pos, &eq, nullptr).ok()) return nullptr;
+    node = node->children[eq ? pos + 1 : pos];
+  }
+  if (node == nullptr) return nullptr;
+  int pos;
+  bool eq;
+  if (!LowerBound(node, key, &pos, &eq, nullptr).ok()) return nullptr;
+  return eq ? &node->records[pos] : nullptr;
+}
+
+Status AriaBPlusTree::VerifyFullIntegrity() {
+  if (root_ == nullptr) {
+    return total_keys_ == 0
+               ? Status::OK()
+               : Status::IntegrityViolation("empty tree but nonzero count");
+  }
+  // Descend to the leftmost leaf, verifying inner separators on the way.
+  Node* node = root_;
+  int depth = 1;
+  while (!node->is_leaf) {
+    for (int i = 0; i < node->num_keys; ++i) {
+      uint8_t* rec = node->records[i];
+      RecordHeader h = RecordCodec::Peek(rec);
+      uint8_t ctr[CounterStore::kCounterSize];
+      ARIA_RETURN_IF_ERROR(counters_->ReadCounter(h.red_ptr, ctr));
+      ARIA_RETURN_IF_ERROR(codec_->Verify(
+          rec, ctr, reinterpret_cast<uint64_t>(&node->records[i])));
+    }
+    node = node->children[0];
+    if (++depth > height_) {
+      return Status::IntegrityViolation("tree deeper than trusted height");
+    }
+  }
+  if (depth != height_) {
+    return Status::IntegrityViolation("leftmost leaf at wrong depth");
+  }
+  // Walk the whole chain: verify every record and strict key ordering.
+  uint64_t keys = 0;
+  uint64_t visited = 0;
+  std::string prev;
+  bool have_prev = false;
+  for (Node* leaf = node; leaf != nullptr; leaf = leaf->next_leaf) {
+    if (++visited > stats_.leaf_nodes + 1) {
+      return Status::IntegrityViolation("leaf chain cycle");
+    }
+    for (int i = 0; i < leaf->num_keys; ++i) {
+      uint8_t* rec = leaf->records[i];
+      RecordHeader h = RecordCodec::Peek(rec);
+      uint8_t ctr[CounterStore::kCounterSize];
+      ARIA_RETURN_IF_ERROR(counters_->ReadCounter(h.red_ptr, ctr));
+      ARIA_RETURN_IF_ERROR(codec_->Verify(
+          rec, ctr, reinterpret_cast<uint64_t>(&leaf->records[i])));
+      std::string k;
+      codec_->OpenKey(rec, ctr, &k);
+      if (have_prev && Slice(prev).compare(Slice(k)) >= 0) {
+        return Status::IntegrityViolation("leaf chain keys out of order");
+      }
+      prev = std::move(k);
+      have_prev = true;
+      keys++;
+    }
+  }
+  if (keys != total_keys_) {
+    return Status::IntegrityViolation(
+        "leaf key count mismatch (unauthorized deletion)");
+  }
+  return Status::OK();
+}
+
+}  // namespace aria

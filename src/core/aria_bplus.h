@@ -1,0 +1,94 @@
+// Aria-B+: the B+-tree index the paper names as future work (§VII,
+// "Supporting for B+-tree-based Index ... by encrypting key and value
+// respectively").
+//
+// Differences from Aria-T (core/aria_btree.h):
+//  * inner nodes hold only ROUTING separators — sealed key-only records —
+//    so descents never touch values;
+//  * all KV records live in leaves, which are chained left-to-right: a
+//    range scan descends once and then walks the leaf chain, decrypting
+//    only the records in range (Aria-T walks the whole subtree recursion);
+//  * key and value are decryptable independently (the record format already
+//    supports OpenKey/OpenValue windows into the CTR keystream).
+//
+// Protection: identical record sealing (counter + CMAC + AdField bound to
+// the record-pointer slot); separators are sealed key-records with their
+// own counters. Trusted metadata: root pointer, height, total key count.
+//
+// Simplification (prototype extension, documented in DESIGN.md): Delete
+// removes from leaves without rebalancing; separators are routing-only
+// copies and may outlive the leaf key, which is standard for B+-trees.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "alloc/heap_allocator.h"
+#include "core/counter_store.h"
+#include "core/kv_store.h"
+#include "core/record.h"
+#include "sgxsim/enclave_runtime.h"
+
+namespace aria {
+
+struct AriaBPlusStats {
+  uint64_t leaf_nodes = 0;
+  uint64_t inner_nodes = 0;
+  uint64_t splits = 0;
+  uint64_t descent_decrypts = 0;
+  uint64_t scan_decrypts = 0;
+};
+
+class AriaBPlusTree : public OrderedKVStore {
+ public:
+  AriaBPlusTree(sgx::EnclaveRuntime* enclave, UntrustedAllocator* allocator,
+                const RecordCodec* codec, CounterStore* counters);
+  ~AriaBPlusTree() override;
+
+  Status Put(Slice key, Slice value) override;
+  Status Get(Slice key, std::string* value) override;
+  Status Delete(Slice key) override;
+  Status RangeScan(
+      Slice start, size_t limit,
+      std::vector<std::pair<std::string, std::string>>* out) override;
+  const char* name() const override { return "Aria-B+"; }
+  uint64_t size() const override { return total_keys_; }
+
+  /// O(n) audit: verify every record and separator MAC, leaf-depth
+  /// uniformity, leaf-chain key ordering, and the trusted total count.
+  Status VerifyFullIntegrity();
+
+  int height() const { return height_; }
+  const AriaBPlusStats& stats() const { return stats_; }
+
+  /// Test-only attacker hook: untrusted record-pointer slot for `key`.
+  uint8_t** DebugRecordSlot(Slice key);
+
+ private:
+  struct Node;  // inner and leaf share the layout; leaves use next_leaf
+
+  Result<Node*> NewNode(bool is_leaf);
+  Status CompareAt(Node* node, int i, Slice key, int* cmp,
+                   std::string* value_out);
+  Status LowerBound(Node* node, Slice key, int* pos, bool* eq,
+                    std::string* value_out);
+  Status MoveRecord(Node* from, int from_slot, Node* to, int to_slot);
+  Status SealKeyValue(Node* node, int slot, Slice key, Slice value);
+  Status OverwriteValue(Node* node, int slot, Slice key, Slice value);
+  Status SplitChild(Node* parent, int idx);
+  Status FreeRecordAt(Node* node, int slot);
+  void FreeSubtree(Node* node);
+
+  sgx::EnclaveRuntime* enclave_;
+  UntrustedAllocator* allocator_;
+  const RecordCodec* codec_;
+  CounterStore* counters_;
+
+  Node* root_ = nullptr;     // trusted index entrance
+  int height_ = 0;           // trusted
+  uint64_t total_keys_ = 0;  // trusted
+  AriaBPlusStats stats_;
+  std::string key_scratch_;
+};
+
+}  // namespace aria

@@ -1,0 +1,571 @@
+#include "core/aria_btree.h"
+
+#include <cstring>
+
+namespace aria {
+
+// CLRS-style B-tree with minimum degree t: nodes hold t-1..2t-1 records.
+namespace {
+constexpr int kMinDegree = 8;                  // t
+constexpr int kMaxKeys = 2 * kMinDegree - 1;   // 15
+}  // namespace
+
+struct AriaBTree::Node {
+  uint16_t num_keys;
+  uint8_t is_leaf;
+  uint8_t pad[5];
+  uint8_t* records[kMaxKeys];
+  Node* children[kMaxKeys + 1];
+};
+
+AriaBTree::AriaBTree(sgx::EnclaveRuntime* enclave,
+                     UntrustedAllocator* allocator, const RecordCodec* codec,
+                     CounterStore* counters)
+    : enclave_(enclave),
+      allocator_(allocator),
+      codec_(codec),
+      counters_(counters) {}
+
+void AriaBTree::FreeSubtree(Node* node) {
+  if (node == nullptr) return;
+  for (int i = 0; i < node->num_keys; ++i) {
+    if (node->records[i] != nullptr) allocator_->Free(node->records[i]).ok();
+  }
+  if (!node->is_leaf) {
+    for (int i = 0; i <= node->num_keys; ++i) FreeSubtree(node->children[i]);
+  }
+  allocator_->Free(node).ok();
+}
+
+AriaBTree::~AriaBTree() { FreeSubtree(root_); }
+
+Result<AriaBTree::Node*> AriaBTree::NewNode(bool is_leaf) {
+  auto mem = allocator_->Alloc(sizeof(Node));
+  if (!mem.ok()) return mem.status();
+  Node* n = static_cast<Node*>(mem.value());
+  std::memset(n, 0, sizeof(Node));
+  n->is_leaf = is_leaf ? 1 : 0;
+  stats_.nodes++;
+  return n;
+}
+
+Status AriaBTree::CompareKeyAt(Node* node, int i, Slice key, int* cmp,
+                               std::string* value_out) {
+  uint8_t* rec = node->records[i];
+  RecordHeader h = RecordCodec::Peek(rec);
+  uint8_t ctr[CounterStore::kCounterSize];
+  ARIA_RETURN_IF_ERROR(counters_->ReadCounter(h.red_ptr, ctr));
+  ARIA_RETURN_IF_ERROR(codec_->Verify(
+      rec, ctr, reinterpret_cast<uint64_t>(&node->records[i])));
+  stats_.descent_decrypts++;
+  std::string k;
+  codec_->OpenKey(rec, ctr, &k);
+  *cmp = key.compare(Slice(k));
+  if (*cmp == 0 && value_out != nullptr) {
+    codec_->Open(rec, ctr, nullptr, value_out);
+  }
+  return Status::OK();
+}
+
+Status AriaBTree::MoveRecord(Node* from_node, int from_slot, Node* to_node,
+                             int to_slot) {
+  uint8_t* rec = from_node->records[from_slot];
+  RecordHeader h = RecordCodec::Peek(rec);
+  uint8_t ctr[CounterStore::kCounterSize];
+  ARIA_RETURN_IF_ERROR(counters_->ReadCounter(h.red_ptr, ctr));
+  ARIA_RETURN_IF_ERROR(codec_->Verify(
+      rec, ctr, reinterpret_cast<uint64_t>(&from_node->records[from_slot])));
+  to_node->records[to_slot] = rec;
+  codec_->Reseal(rec, ctr,
+                 reinterpret_cast<uint64_t>(&to_node->records[to_slot]));
+  stats_.record_moves++;
+  return Status::OK();
+}
+
+Status AriaBTree::ShiftRight(Node* node, int from, int /*count*/) {
+  for (int j = node->num_keys - 1; j >= from; --j) {
+    ARIA_RETURN_IF_ERROR(MoveRecord(node, j, node, j + 1));
+  }
+  return Status::OK();
+}
+
+Status AriaBTree::ShiftLeft(Node* node, int from) {
+  for (int j = from; j + 1 < node->num_keys; ++j) {
+    ARIA_RETURN_IF_ERROR(MoveRecord(node, j + 1, node, j));
+  }
+  return Status::OK();
+}
+
+Status AriaBTree::SplitChild(Node* parent, int idx) {
+  Node* child = parent->children[idx];
+  auto right_res = NewNode(child->is_leaf != 0);
+  if (!right_res.ok()) return right_res.status();
+  Node* right = right_res.value();
+
+  constexpr int mid = kMinDegree - 1;  // median index (7)
+  // Move the upper records into the new right sibling.
+  for (int j = mid + 1; j < kMaxKeys; ++j) {
+    ARIA_RETURN_IF_ERROR(MoveRecord(child, j, right, j - mid - 1));
+  }
+  right->num_keys = static_cast<uint16_t>(kMaxKeys - mid - 1);
+  if (!child->is_leaf) {
+    for (int j = mid + 1; j <= kMaxKeys; ++j) {
+      right->children[j - mid - 1] = child->children[j];
+    }
+  }
+
+  // Make room in the parent, then raise the median.
+  ARIA_RETURN_IF_ERROR(ShiftRight(parent, idx, 1));
+  for (int j = parent->num_keys; j > idx; --j) {
+    parent->children[j + 1] = parent->children[j];
+  }
+  ARIA_RETURN_IF_ERROR(MoveRecord(child, mid, parent, idx));
+  parent->children[idx + 1] = right;
+  parent->num_keys++;
+  child->num_keys = mid;
+  stats_.splits++;
+  return Status::OK();
+}
+
+Status AriaBTree::MergeChildren(Node* parent, int idx) {
+  Node* left = parent->children[idx];
+  Node* right = parent->children[idx + 1];
+  // Pull the separator down into the left child, append the right child.
+  ARIA_RETURN_IF_ERROR(MoveRecord(parent, idx, left, kMinDegree - 1));
+  for (int j = 0; j < right->num_keys; ++j) {
+    ARIA_RETURN_IF_ERROR(MoveRecord(right, j, left, kMinDegree + j));
+  }
+  if (!left->is_leaf) {
+    for (int j = 0; j <= right->num_keys; ++j) {
+      left->children[kMinDegree + j] = right->children[j];
+    }
+  }
+  left->num_keys = static_cast<uint16_t>(kMaxKeys);
+  // Close the gap in the parent.
+  ARIA_RETURN_IF_ERROR(ShiftLeft(parent, idx));
+  for (int j = idx + 1; j < parent->num_keys; ++j) {
+    parent->children[j] = parent->children[j + 1];
+  }
+  parent->num_keys--;
+  parent->records[parent->num_keys] = nullptr;
+  parent->children[parent->num_keys + 1] = nullptr;
+  ARIA_RETURN_IF_ERROR(allocator_->Free(right));
+  stats_.nodes--;
+  return Status::OK();
+}
+
+Status AriaBTree::BorrowFromLeft(Node* parent, int idx) {
+  Node* child = parent->children[idx];
+  Node* lsib = parent->children[idx - 1];
+  ARIA_RETURN_IF_ERROR(ShiftRight(child, 0, 1));
+  if (!child->is_leaf) {
+    for (int j = child->num_keys; j >= 0; --j) {
+      child->children[j + 1] = child->children[j];
+    }
+    child->children[0] = lsib->children[lsib->num_keys];
+  }
+  // Rotate: parent separator moves down, sibling's last key moves up.
+  ARIA_RETURN_IF_ERROR(MoveRecord(parent, idx - 1, child, 0));
+  ARIA_RETURN_IF_ERROR(MoveRecord(lsib, lsib->num_keys - 1, parent, idx - 1));
+  child->num_keys++;
+  lsib->num_keys--;
+  lsib->records[lsib->num_keys] = nullptr;
+  return Status::OK();
+}
+
+Status AriaBTree::BorrowFromRight(Node* parent, int idx) {
+  Node* child = parent->children[idx];
+  Node* rsib = parent->children[idx + 1];
+  ARIA_RETURN_IF_ERROR(MoveRecord(parent, idx, child, child->num_keys));
+  ARIA_RETURN_IF_ERROR(MoveRecord(rsib, 0, parent, idx));
+  if (!child->is_leaf) {
+    child->children[child->num_keys + 1] = rsib->children[0];
+    for (int j = 0; j < rsib->num_keys; ++j) {
+      rsib->children[j] = rsib->children[j + 1];
+    }
+  }
+  ARIA_RETURN_IF_ERROR(ShiftLeft(rsib, 0));
+  child->num_keys++;
+  rsib->num_keys--;
+  rsib->records[rsib->num_keys] = nullptr;
+  return Status::OK();
+}
+
+Status AriaBTree::SealNewRecord(Node* node, int slot, Slice key,
+                                Slice value) {
+  auto red = counters_->FetchCounter();
+  if (!red.ok()) return red.status();
+  uint8_t ctr[CounterStore::kCounterSize];
+  ARIA_RETURN_IF_ERROR(counters_->BumpCounter(red.value(), ctr));
+  auto mem =
+      allocator_->Alloc(RecordCodec::SealedSize(key.size(), value.size()));
+  if (!mem.ok()) return mem.status();
+  uint8_t* rec = static_cast<uint8_t*>(mem.value());
+  node->records[slot] = rec;
+  codec_->Seal(red.value(), ctr, key, value,
+               reinterpret_cast<uint64_t>(&node->records[slot]), rec);
+  return Status::OK();
+}
+
+Status AriaBTree::OverwriteRecord(Node* node, int slot, Slice key,
+                                  Slice value) {
+  uint8_t* rec = node->records[slot];
+  RecordHeader h = RecordCodec::Peek(rec);
+  uint8_t ctr[CounterStore::kCounterSize];
+  ARIA_RETURN_IF_ERROR(counters_->BumpCounter(h.red_ptr, ctr));
+  size_t sealed = RecordCodec::SealedSize(key.size(), value.size());
+  size_t old_sealed = RecordCodec::SealedSize(h.k_len, h.v_len);
+  uint64_t ad = reinterpret_cast<uint64_t>(&node->records[slot]);
+  if (sealed <= old_sealed) {
+    codec_->Seal(h.red_ptr, ctr, key, value, ad, rec);
+    return Status::OK();
+  }
+  auto mem = allocator_->Alloc(sealed);
+  if (!mem.ok()) return mem.status();
+  uint8_t* nrec = static_cast<uint8_t*>(mem.value());
+  codec_->Seal(h.red_ptr, ctr, key, value, ad, nrec);
+  node->records[slot] = nrec;
+  return allocator_->Free(rec);
+}
+
+Status AriaBTree::RemoveRecordAt(Node* node, int slot) {
+  uint8_t* rec = node->records[slot];
+  RecordHeader h = RecordCodec::Peek(rec);
+  ARIA_RETURN_IF_ERROR(counters_->FreeCounter(h.red_ptr));
+  ARIA_RETURN_IF_ERROR(allocator_->Free(rec));
+  ARIA_RETURN_IF_ERROR(ShiftLeft(node, slot));
+  node->num_keys--;
+  node->records[node->num_keys] = nullptr;
+  return Status::OK();
+}
+
+Status AriaBTree::Get(Slice key, std::string* value) {
+  Node* node = root_;
+  int depth = 0;
+  while (node != nullptr) {
+    if (++depth > height_) {
+      return Status::IntegrityViolation("B-tree descent exceeds height");
+    }
+    // Binary search over encrypted separators.
+    int lo = 0, hi = node->num_keys;
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      int cmp;
+      ARIA_RETURN_IF_ERROR(CompareKeyAt(node, mid, key, &cmp, nullptr));
+      if (cmp <= 0) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    if (lo < node->num_keys) {
+      int cmp;
+      ARIA_RETURN_IF_ERROR(CompareKeyAt(node, lo, key, &cmp, value));
+      if (cmp == 0) return Status::OK();
+    }
+    if (node->is_leaf) break;
+    node = node->children[lo];
+  }
+  return Status::NotFound();
+}
+
+Status AriaBTree::Put(Slice key, Slice value) {
+  if (key.size() > RecordCodec::kMaxKeyLen ||
+      value.size() > RecordCodec::kMaxValueLen) {
+    return Status::InvalidArgument("key or value too large");
+  }
+  if (root_ == nullptr) {
+    auto r = NewNode(true);
+    if (!r.ok()) return r.status();
+    root_ = r.value();
+    height_ = 1;
+  }
+  if (root_->num_keys == kMaxKeys) {
+    auto r = NewNode(false);
+    if (!r.ok()) return r.status();
+    Node* new_root = r.value();
+    new_root->children[0] = root_;
+    root_ = new_root;
+    height_++;
+    ARIA_RETURN_IF_ERROR(SplitChild(new_root, 0));
+  }
+
+  Node* node = root_;
+  int depth = 1;
+  for (;;) {
+    int lo = 0, hi = node->num_keys;
+    int cmp = -1;
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      ARIA_RETURN_IF_ERROR(CompareKeyAt(node, mid, key, &cmp, nullptr));
+      if (cmp <= 0) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    bool eq = false;
+    if (lo < node->num_keys) {
+      ARIA_RETURN_IF_ERROR(CompareKeyAt(node, lo, key, &cmp, nullptr));
+      eq = cmp == 0;
+    }
+    if (eq) return OverwriteRecord(node, lo, key, value);
+    if (node->is_leaf) {
+      ARIA_RETURN_IF_ERROR(ShiftRight(node, lo, 1));
+      ARIA_RETURN_IF_ERROR(SealNewRecord(node, lo, key, value));
+      node->num_keys++;
+      total_keys_++;
+      return Status::OK();
+    }
+    Node* child = node->children[lo];
+    if (child->num_keys == kMaxKeys) {
+      ARIA_RETURN_IF_ERROR(SplitChild(node, lo));
+      ARIA_RETURN_IF_ERROR(CompareKeyAt(node, lo, key, &cmp, nullptr));
+      if (cmp == 0) return OverwriteRecord(node, lo, key, value);
+      if (cmp > 0) ++lo;
+      child = node->children[lo];
+    }
+    node = child;
+    if (++depth > height_) {
+      return Status::IntegrityViolation("B-tree descent exceeds height");
+    }
+  }
+}
+
+Status AriaBTree::Delete(Slice key) {
+  if (root_ == nullptr) return Status::NotFound();
+
+  // Recursive CLRS delete with pre-strengthening, expressed iteratively.
+  // Every node we descend into has >= kMinDegree keys (except the root), so
+  // removal never underflows.
+  Node* node = root_;
+  std::string target = key.ToString();
+  int depth = 0;
+  for (;;) {
+    if (++depth > height_ + 1) {
+      return Status::IntegrityViolation("B-tree delete exceeds height");
+    }
+    int lo = 0, hi = node->num_keys;
+    int cmp = -1;
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      ARIA_RETURN_IF_ERROR(CompareKeyAt(node, mid, Slice(target), &cmp, nullptr));
+      if (cmp <= 0) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    bool eq = false;
+    if (lo < node->num_keys) {
+      ARIA_RETURN_IF_ERROR(CompareKeyAt(node, lo, Slice(target), &cmp, nullptr));
+      eq = cmp == 0;
+    }
+
+    if (eq && node->is_leaf) {
+      ARIA_RETURN_IF_ERROR(RemoveRecordAt(node, lo));
+      total_keys_--;
+      return Status::OK();
+    }
+
+    if (eq) {
+      Node* left = node->children[lo];
+      Node* right = node->children[lo + 1];
+      if (left->num_keys >= kMinDegree) {
+        // Replace with the predecessor: decrypt it, reseal it in place of
+        // the deleted record, then delete the predecessor key instead.
+        Node* p = left;
+        while (!p->is_leaf) p = p->children[p->num_keys];
+        int pi = p->num_keys - 1;
+        uint8_t* prec = p->records[pi];
+        RecordHeader ph = RecordCodec::Peek(prec);
+        uint8_t pctr[CounterStore::kCounterSize];
+        ARIA_RETURN_IF_ERROR(counters_->ReadCounter(ph.red_ptr, pctr));
+        ARIA_RETURN_IF_ERROR(codec_->Verify(
+            prec, pctr, reinterpret_cast<uint64_t>(&p->records[pi])));
+        std::string pkey, pvalue;
+        codec_->Open(prec, pctr, &pkey, &pvalue);
+        // Overwrite the target's record with the predecessor's contents.
+        ARIA_RETURN_IF_ERROR(OverwriteRecord(node, lo, pkey, pvalue));
+        // Now delete the predecessor key from the left subtree.
+        target = pkey;
+        node = left;
+        continue;
+      }
+      if (right->num_keys >= kMinDegree) {
+        // Symmetric: successor from the right subtree.
+        Node* p = right;
+        while (!p->is_leaf) p = p->children[0];
+        uint8_t* srec = p->records[0];
+        RecordHeader sh = RecordCodec::Peek(srec);
+        uint8_t sctr[CounterStore::kCounterSize];
+        ARIA_RETURN_IF_ERROR(counters_->ReadCounter(sh.red_ptr, sctr));
+        ARIA_RETURN_IF_ERROR(codec_->Verify(
+            srec, sctr, reinterpret_cast<uint64_t>(&p->records[0])));
+        std::string skey, svalue;
+        codec_->Open(srec, sctr, &skey, &svalue);
+        ARIA_RETURN_IF_ERROR(OverwriteRecord(node, lo, skey, svalue));
+        target = skey;
+        node = right;
+        continue;
+      }
+      // Both children minimal: merge them around the target key, then
+      // continue the delete inside the merged child.
+      ARIA_RETURN_IF_ERROR(MergeChildren(node, lo));
+      if (node == root_ && root_->num_keys == 0 && !root_->is_leaf) {
+        Node* old = root_;
+        root_ = root_->children[0];
+        allocator_->Free(old).ok();
+        stats_.nodes--;
+        height_--;
+        depth--;
+      }
+      node = left;
+      continue;
+    }
+
+    if (node->is_leaf) return Status::NotFound();
+
+    // Strengthen the child before descending.
+    Node* child = node->children[lo];
+    if (child->num_keys == kMinDegree - 1) {
+      Node* lsib = lo > 0 ? node->children[lo - 1] : nullptr;
+      Node* rsib = lo < node->num_keys ? node->children[lo + 1] : nullptr;
+      if (lsib != nullptr && lsib->num_keys >= kMinDegree) {
+        ARIA_RETURN_IF_ERROR(BorrowFromLeft(node, lo));
+      } else if (rsib != nullptr && rsib->num_keys >= kMinDegree) {
+        ARIA_RETURN_IF_ERROR(BorrowFromRight(node, lo));
+      } else if (lsib != nullptr) {
+        ARIA_RETURN_IF_ERROR(MergeChildren(node, lo - 1));
+        child = node->children[lo - 1];
+      } else {
+        ARIA_RETURN_IF_ERROR(MergeChildren(node, lo));
+        child = node->children[lo];
+      }
+    }
+    // Root may have emptied after a merge.
+    if (node == root_ && root_->num_keys == 0 && !root_->is_leaf) {
+      Node* old = root_;
+      root_ = root_->children[0];
+      allocator_->Free(old).ok();
+      stats_.nodes--;
+      height_--;
+      node = root_;
+      depth--;
+      continue;
+    }
+    node = child;
+  }
+}
+
+Status AriaBTree::RangeScan(
+    Slice start, size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  if (root_ == nullptr) return Status::OK();
+  return ScanNode(root_, start, limit, out, 1);
+}
+
+Status AriaBTree::ScanNode(
+    Node* node, Slice start, size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out, int depth) {
+  if (depth > height_) {
+    return Status::IntegrityViolation("range scan exceeds height");
+  }
+  // Find the first separator >= start, pruning subtrees entirely below it.
+  int lo = 0, hi = node->num_keys;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    int cmp;
+    ARIA_RETURN_IF_ERROR(CompareKeyAt(node, mid, start, &cmp, nullptr));
+    if (cmp <= 0) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  for (int i = lo; i <= node->num_keys; ++i) {
+    if (out->size() >= limit) return Status::OK();
+    if (!node->is_leaf) {
+      ARIA_RETURN_IF_ERROR(
+          ScanNode(node->children[i], start, limit, out, depth + 1));
+      if (out->size() >= limit) return Status::OK();
+    }
+    if (i < node->num_keys) {
+      uint8_t* rec = node->records[i];
+      RecordHeader h = RecordCodec::Peek(rec);
+      uint8_t ctr[CounterStore::kCounterSize];
+      ARIA_RETURN_IF_ERROR(counters_->ReadCounter(h.red_ptr, ctr));
+      ARIA_RETURN_IF_ERROR(codec_->Verify(
+          rec, ctr, reinterpret_cast<uint64_t>(&node->records[i])));
+      std::string k, v;
+      codec_->Open(rec, ctr, &k, &v);
+      if (Slice(k).compare(start) >= 0) {
+        out->emplace_back(std::move(k), std::move(v));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+uint8_t** AriaBTree::DebugRecordSlot(Slice key) {
+  Node* node = root_;
+  while (node != nullptr) {
+    int lo = 0, hi = node->num_keys;
+    int cmp = -1;
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (!CompareKeyAt(node, mid, key, &cmp, nullptr).ok()) return nullptr;
+      if (cmp <= 0) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    if (lo < node->num_keys) {
+      if (!CompareKeyAt(node, lo, key, &cmp, nullptr).ok()) return nullptr;
+      if (cmp == 0) return &node->records[lo];
+    }
+    if (node->is_leaf) break;
+    node = node->children[lo];
+  }
+  return nullptr;
+}
+
+Status AriaBTree::VerifyNode(Node* node, int depth, uint64_t* keys) {
+  if (depth > height_) {
+    return Status::IntegrityViolation("tree deeper than trusted height");
+  }
+  if (node->is_leaf && depth != height_) {
+    return Status::IntegrityViolation("leaf at wrong depth (node deletion)");
+  }
+  for (int i = 0; i < node->num_keys; ++i) {
+    uint8_t* rec = node->records[i];
+    RecordHeader h = RecordCodec::Peek(rec);
+    uint8_t ctr[CounterStore::kCounterSize];
+    ARIA_RETURN_IF_ERROR(counters_->ReadCounter(h.red_ptr, ctr));
+    ARIA_RETURN_IF_ERROR(codec_->Verify(
+        rec, ctr, reinterpret_cast<uint64_t>(&node->records[i])));
+    (*keys)++;
+  }
+  if (!node->is_leaf) {
+    for (int i = 0; i <= node->num_keys; ++i) {
+      ARIA_RETURN_IF_ERROR(VerifyNode(node->children[i], depth + 1, keys));
+    }
+  }
+  return Status::OK();
+}
+
+Status AriaBTree::VerifyFullIntegrity() {
+  uint64_t keys = 0;
+  if (root_ != nullptr) {
+    ARIA_RETURN_IF_ERROR(VerifyNode(root_, 1, &keys));
+  }
+  if (keys != total_keys_) {
+    return Status::IntegrityViolation(
+        "total key count mismatch (unauthorized deletion)");
+  }
+  return Status::OK();
+}
+
+}  // namespace aria

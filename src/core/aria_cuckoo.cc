@@ -1,0 +1,353 @@
+#include "core/aria_cuckoo.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace aria {
+
+AriaCuckoo::AriaCuckoo(sgx::EnclaveRuntime* enclave,
+                       UntrustedAllocator* allocator, const RecordCodec* codec,
+                       CounterStore* counters, AriaCuckooConfig config)
+    : enclave_(enclave),
+      allocator_(allocator),
+      codec_(codec),
+      counters_(counters),
+      config_(config) {}
+
+AriaCuckoo::~AriaCuckoo() {
+  if (table_ != nullptr) {
+    for (uint64_t b = 0; b < config_.num_buckets; ++b) {
+      for (auto& slot : table_[b].slots) {
+        if (slot.rec != nullptr) allocator_->Free(slot.rec).ok();
+      }
+    }
+    allocator_->Free(table_).ok();
+  }
+  if (bucket_counts_ != nullptr) enclave_->TrustedFree(bucket_counts_);
+}
+
+Status AriaCuckoo::Init() {
+  auto mem = allocator_->Alloc(config_.num_buckets * sizeof(Bucket));
+  if (!mem.ok()) return mem.status();
+  table_ = static_cast<Bucket*>(mem.value());
+  std::memset(table_, 0, config_.num_buckets * sizeof(Bucket));
+  bucket_counts_ =
+      static_cast<uint8_t*>(enclave_->TrustedAlloc(config_.num_buckets));
+  if (bucket_counts_ == nullptr) {
+    return Status::CapacityExceeded("cuckoo bucket counts");
+  }
+  return Status::OK();
+}
+
+uint64_t AriaCuckoo::trusted_index_bytes() const {
+  return config_.num_buckets;  // one occupancy byte per bucket
+}
+
+uint64_t AriaCuckoo::Hash1(Slice key) const {
+  return Hash64(key, 0xAAAA) % config_.num_buckets;
+}
+
+uint64_t AriaCuckoo::Hash2(Slice key) const {
+  uint64_t h = Hash64(key, 0xBBBB) % config_.num_buckets;
+  if (h == Hash1(key)) h = (h + 1) % config_.num_buckets;
+  return h;
+}
+
+uint64_t AriaCuckoo::AltBucket(Slice key, uint64_t bucket) const {
+  uint64_t h1 = Hash1(key);
+  return bucket == h1 ? Hash2(key) : h1;
+}
+
+Status AriaCuckoo::ResealRecord(uint8_t* rec, uint64_t old_ad,
+                                uint64_t new_ad) {
+  RecordHeader h = RecordCodec::Peek(rec);
+  uint8_t ctr[CounterStore::kCounterSize];
+  ARIA_RETURN_IF_ERROR(counters_->ReadCounter(h.red_ptr, ctr));
+  ARIA_RETURN_IF_ERROR(codec_->Verify(rec, ctr, old_ad));
+  codec_->Reseal(rec, ctr, new_ad);
+  stats_.reseals++;
+  return Status::OK();
+}
+
+Status AriaCuckoo::FindInBucket(uint64_t b, Slice key, int* slot_idx,
+                                std::string* value_out) {
+  *slot_idx = -1;
+  uint32_t hint = KeyHint(key);
+  for (int i = 0; i < kSlotsPerBucket; ++i) {
+    Slot& slot = table_[b].slots[i];
+    stats_.probes++;
+    if (slot.rec == nullptr || slot.hint != hint) continue;
+    RecordHeader h = RecordCodec::Peek(slot.rec);
+    uint8_t ctr[CounterStore::kCounterSize];
+    ARIA_RETURN_IF_ERROR(counters_->ReadCounter(h.red_ptr, ctr));
+    ARIA_RETURN_IF_ERROR(codec_->Verify(
+        slot.rec, ctr, reinterpret_cast<uint64_t>(&slot.rec)));
+    codec_->OpenKey(slot.rec, ctr, &key_scratch_);
+    if (Slice(key_scratch_) == key) {
+      if (value_out != nullptr) codec_->OpenValue(slot.rec, ctr, value_out);
+      *slot_idx = i;
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status AriaCuckoo::CheckOccupancy(uint64_t b) {
+  int live = 0;
+  for (const auto& slot : table_[b].slots) live += slot.rec != nullptr;
+  enclave_->TouchRead(&bucket_counts_[b], 1);
+  if (live != bucket_counts_[b]) {
+    return Status::IntegrityViolation(
+        "cuckoo bucket occupancy mismatch (deletion attack)");
+  }
+  return Status::OK();
+}
+
+Status AriaCuckoo::Get(Slice key, std::string* value) {
+  uint64_t b1 = Hash1(key);
+  int idx;
+  ARIA_RETURN_IF_ERROR(FindInBucket(b1, key, &idx, value));
+  if (idx >= 0) return Status::OK();
+  uint64_t b2 = Hash2(key);
+  ARIA_RETURN_IF_ERROR(FindInBucket(b2, key, &idx, value));
+  if (idx >= 0) return Status::OK();
+  ARIA_RETURN_IF_ERROR(CheckOccupancy(b1));
+  ARIA_RETURN_IF_ERROR(CheckOccupancy(b2));
+  return Status::NotFound();
+}
+
+Status AriaCuckoo::Put(Slice key, Slice value) {
+  if (key.size() > RecordCodec::kMaxKeyLen ||
+      value.size() > RecordCodec::kMaxValueLen) {
+    return Status::InvalidArgument("key or value too large");
+  }
+  uint64_t b1 = Hash1(key);
+  uint64_t b2 = Hash2(key);
+
+  // Overwrite path: find the existing record in either candidate bucket.
+  for (uint64_t b : {b1, b2}) {
+    int idx;
+    ARIA_RETURN_IF_ERROR(FindInBucket(b, key, &idx, nullptr));
+    if (idx < 0) continue;
+    Slot& slot = table_[b].slots[idx];
+    RecordHeader h = RecordCodec::Peek(slot.rec);
+    uint8_t ctr[CounterStore::kCounterSize];
+    ARIA_RETURN_IF_ERROR(counters_->BumpCounter(h.red_ptr, ctr));
+    uint64_t ad = reinterpret_cast<uint64_t>(&slot.rec);
+    size_t sealed = RecordCodec::SealedSize(key.size(), value.size());
+    size_t old_sealed = RecordCodec::SealedSize(h.k_len, h.v_len);
+    if (sealed <= old_sealed) {
+      codec_->Seal(h.red_ptr, ctr, key, value, ad, slot.rec);
+      return Status::OK();
+    }
+    auto mem = allocator_->Alloc(sealed);
+    if (!mem.ok()) return mem.status();
+    uint8_t* nrec = static_cast<uint8_t*>(mem.value());
+    codec_->Seal(h.red_ptr, ctr, key, value, ad, nrec);
+    uint8_t* old = slot.rec;
+    slot.rec = nrec;
+    return allocator_->Free(old);
+  }
+
+  // Fresh insert: seal the record, then find it a home (growing the table
+  // if the kick walk cannot).
+  auto red = counters_->FetchCounter();
+  if (!red.ok()) return red.status();
+  uint8_t ctr[CounterStore::kCounterSize];
+  ARIA_RETURN_IF_ERROR(counters_->BumpCounter(red.value(), ctr));
+  auto mem =
+      allocator_->Alloc(RecordCodec::SealedSize(key.size(), value.size()));
+  if (!mem.ok()) return mem.status();
+  uint8_t* rec = static_cast<uint8_t*>(mem.value());
+  // Seal with a provisional AdField; it is fixed up when the record lands.
+  codec_->Seal(red.value(), ctr, key, value, /*ad_field=*/0, rec);
+
+  Status st = TryPlace(rec, KeyHint(key), key.ToString());
+  for (int grow = 0; st.IsCapacityExceeded() && config_.grow_on_full &&
+                     grow < 8;
+       ++grow) {
+    st = Grow();
+    if (st.ok()) st = TryPlace(rec, KeyHint(key), key.ToString());
+  }
+  if (!st.ok()) {
+    stats_.failed_inserts++;
+    counters_->FreeCounter(red.value()).ok();
+    allocator_->Free(rec).ok();
+  }
+  return st;
+}
+
+Status AriaCuckoo::TryPlace(uint8_t* pending, uint32_t pending_hint,
+                            const std::string& original_key) {
+  uint64_t b = Hash1(Slice(original_key));
+  std::string pending_key = original_key;
+  // Kick trail for clean unwinding if the walk fails: each entry is the
+  // cell written at that step plus the hint of the record that was pending
+  // BEFORE the step (needed to restore slot hints while walking back).
+  struct Step {
+    Slot* cell;
+    uint32_t pending_hint_before;
+  };
+  std::vector<Step> trail;
+  for (int kick = 0; kick <= kMaxKicks; ++kick) {
+    // Empty slot in the current bucket?
+    for (auto& slot : table_[b].slots) {
+      if (slot.rec != nullptr) continue;
+      slot.rec = pending;
+      slot.hint = pending_hint;
+      ARIA_RETURN_IF_ERROR(ResealRecord(
+          pending, 0, reinterpret_cast<uint64_t>(&slot.rec)));
+      enclave_->TouchWrite(&bucket_counts_[b], 1);
+      bucket_counts_[b]++;
+      size_++;
+      return Status::OK();
+    }
+    // Also try the pending key's alternate bucket before kicking.
+    uint64_t alt = AltBucket(Slice(pending_key), b);
+    bool placed = false;
+    for (auto& slot : table_[alt].slots) {
+      if (slot.rec != nullptr) continue;
+      slot.rec = pending;
+      slot.hint = pending_hint;
+      ARIA_RETURN_IF_ERROR(ResealRecord(
+          pending, 0, reinterpret_cast<uint64_t>(&slot.rec)));
+      enclave_->TouchWrite(&bucket_counts_[alt], 1);
+      bucket_counts_[alt]++;
+      size_++;
+      placed = true;
+      break;
+    }
+    if (placed) return Status::OK();
+
+    // Kick a random victim from `b`: the pending record takes its slot, the
+    // victim becomes pending and moves toward its alternate bucket.
+    int vi = static_cast<int>(kick_rng_.Uniform(kSlotsPerBucket));
+    Slot& vslot = table_[b].slots[vi];
+    trail.push_back(Step{&vslot, pending_hint});
+    uint8_t* victim = vslot.rec;
+    uint32_t victim_hint = vslot.hint;
+    uint64_t cell_ad = reinterpret_cast<uint64_t>(&vslot.rec);
+    // Decrypt the victim's key (verifying it in its current slot) to learn
+    // where it can go.
+    RecordHeader vh = RecordCodec::Peek(victim);
+    uint8_t vctr[CounterStore::kCounterSize];
+    ARIA_RETURN_IF_ERROR(counters_->ReadCounter(vh.red_ptr, vctr));
+    ARIA_RETURN_IF_ERROR(codec_->Verify(victim, vctr, cell_ad));
+    std::string victim_key;
+    codec_->OpenKey(victim, vctr, &victim_key);
+
+    vslot.rec = pending;
+    vslot.hint = pending_hint;
+    ARIA_RETURN_IF_ERROR(ResealRecord(pending, 0, cell_ad));
+    stats_.kicks++;
+
+    // The victim is now homeless: mark it provisional (ad 0) and continue.
+    codec_->Reseal(victim, vctr, 0);
+    stats_.reseals++;
+    pending = victim;
+    pending_hint = victim_hint;
+    pending_key = victim_key;
+    b = AltBucket(Slice(pending_key), b);
+  }
+
+  // Kick budget exhausted: walk the trail backwards, putting every
+  // displaced record back where it was, until the original new record is
+  // back in hand — then fail without having modified the table.
+  while (!trail.empty()) {
+    Step step = trail.back();
+    trail.pop_back();
+    uint64_t cell_ad = reinterpret_cast<uint64_t>(&step.cell->rec);
+    uint8_t* in_cell = step.cell->rec;          // placed at this step
+    uint32_t in_cell_hint = step.cell->hint;
+    ARIA_RETURN_IF_ERROR(ResealRecord(in_cell, cell_ad, 0));
+    ARIA_RETURN_IF_ERROR(ResealRecord(pending, 0, cell_ad));
+    step.cell->rec = pending;                   // the displaced one returns
+    step.cell->hint = pending_hint;
+    pending = in_cell;
+    pending_hint = step.pending_hint_before;
+    (void)in_cell_hint;
+  }
+  return Status::CapacityExceeded(
+      "cuckoo insert exceeded kick budget (table too full)");
+}
+
+Status AriaCuckoo::Grow() {
+  stats_.grows++;
+  Bucket* old_table = table_;
+  uint8_t* old_counts = bucket_counts_;
+  uint64_t old_buckets = config_.num_buckets;
+
+  config_.num_buckets = old_buckets * 2;
+  auto mem = allocator_->Alloc(config_.num_buckets * sizeof(Bucket));
+  if (!mem.ok()) {
+    config_.num_buckets = old_buckets;
+    return mem.status();
+  }
+  table_ = static_cast<Bucket*>(mem.value());
+  std::memset(table_, 0, config_.num_buckets * sizeof(Bucket));
+  bucket_counts_ =
+      static_cast<uint8_t*>(enclave_->TrustedAlloc(config_.num_buckets));
+  if (bucket_counts_ == nullptr) {
+    allocator_->Free(table_).ok();
+    table_ = old_table;
+    bucket_counts_ = old_counts;
+    config_.num_buckets = old_buckets;
+    return Status::CapacityExceeded("cuckoo grow: bucket counts");
+  }
+
+  // Reinsert every record: verify in its old cell, unbind, place anew.
+  size_ = 0;
+  for (uint64_t b = 0; b < old_buckets; ++b) {
+    for (auto& slot : old_table[b].slots) {
+      if (slot.rec == nullptr) continue;
+      RecordHeader h = RecordCodec::Peek(slot.rec);
+      uint8_t ctr[CounterStore::kCounterSize];
+      ARIA_RETURN_IF_ERROR(counters_->ReadCounter(h.red_ptr, ctr));
+      ARIA_RETURN_IF_ERROR(codec_->Verify(
+          slot.rec, ctr, reinterpret_cast<uint64_t>(&slot.rec)));
+      std::string k;
+      codec_->OpenKey(slot.rec, ctr, &k);
+      codec_->Reseal(slot.rec, ctr, 0);
+      stats_.reseals++;
+      Status st = TryPlace(slot.rec, slot.hint, k);
+      if (!st.ok()) return st;  // ~impossible at half load
+    }
+  }
+  allocator_->Free(old_table).ok();
+  enclave_->TrustedFree(old_counts);
+  return Status::OK();
+}
+
+Status AriaCuckoo::Delete(Slice key) {
+  for (uint64_t b : {Hash1(key), Hash2(key)}) {
+    int idx;
+    ARIA_RETURN_IF_ERROR(FindInBucket(b, key, &idx, nullptr));
+    if (idx < 0) continue;
+    Slot& slot = table_[b].slots[idx];
+    RecordHeader h = RecordCodec::Peek(slot.rec);
+    ARIA_RETURN_IF_ERROR(counters_->FreeCounter(h.red_ptr));
+    ARIA_RETURN_IF_ERROR(allocator_->Free(slot.rec));
+    slot.rec = nullptr;
+    slot.hint = 0;
+    enclave_->TouchWrite(&bucket_counts_[b], 1);
+    bucket_counts_[b]--;
+    size_--;
+    return Status::OK();
+  }
+  ARIA_RETURN_IF_ERROR(CheckOccupancy(Hash1(key)));
+  ARIA_RETURN_IF_ERROR(CheckOccupancy(Hash2(key)));
+  return Status::NotFound();
+}
+
+uint8_t** AriaCuckoo::DebugSlotCell(Slice key) {
+  uint32_t hint = KeyHint(key);
+  for (uint64_t b : {Hash1(key), Hash2(key)}) {
+    for (auto& slot : table_[b].slots) {
+      if (slot.rec != nullptr && slot.hint == hint) return &slot.rec;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace aria

@@ -1,0 +1,125 @@
+// Aria-C: bucketized cuckoo hashing over sealed records — the "other" hash
+// index the paper's §III motivation names (chained hashing, cuckoo hashing,
+// ...). It exists to demonstrate the decoupled design concretely: the
+// security metadata layer (counters + Merkle tree + Secure Cache) is reused
+// unchanged; only the index differs.
+//
+// Layout: untrusted table of buckets, 4 slots each; a slot holds the record
+// pointer and the key hint (one cache line per bucket). Every record's
+// AdField binds the slot-cell address, so cuckoo relocations re-MAC the
+// moved record (verify under the old slot first) — displacing k records
+// costs k verified re-MACs, never re-encryption.
+//
+// Deletion detection: trusted per-bucket occupancy counts; a lookup that
+// misses compares both candidate buckets' live slots against them.
+//
+// Insertion uses a bounded random-walk kick sequence; if it exceeds
+// kMaxKicks the table is effectively full and CapacityExceeded is returned
+// (size the table with >= 1.6x headroom; cuckoo load factors above ~95%
+// need rehashing, which is out of scope here).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "alloc/heap_allocator.h"
+#include "common/random.h"
+#include "core/counter_store.h"
+#include "core/kv_store.h"
+#include "core/record.h"
+#include "sgxsim/enclave_runtime.h"
+
+namespace aria {
+
+struct AriaCuckooConfig {
+  /// Number of 4-slot buckets. Size for keyspace / (4 * 0.6) or larger.
+  uint64_t num_buckets = 1 << 18;
+
+  /// Double the table and rehash when an insert exhausts its kick budget.
+  /// Rehashing decrypts every key (to recompute its buckets) and re-MACs
+  /// every record (slot cells move) — O(n) crypto, so it is pre-sized away
+  /// in benchmarks but lets the index grow unbounded when enabled.
+  bool grow_on_full = true;
+};
+
+struct AriaCuckooStats {
+  uint64_t kicks = 0;          ///< records displaced during inserts
+  uint64_t probes = 0;         ///< slots inspected
+  uint64_t reseals = 0;        ///< AdField re-MACs from relocations
+  uint64_t failed_inserts = 0; ///< kick limit exceeded (table full)
+  uint64_t grows = 0;          ///< rehashes triggered by full tables
+};
+
+class AriaCuckoo : public KVStore {
+ public:
+  static constexpr int kSlotsPerBucket = 4;
+  static constexpr int kMaxKicks = 500;
+
+  AriaCuckoo(sgx::EnclaveRuntime* enclave, UntrustedAllocator* allocator,
+             const RecordCodec* codec, CounterStore* counters,
+             AriaCuckooConfig config);
+  ~AriaCuckoo() override;
+
+  Status Init();
+
+  Status Put(Slice key, Slice value) override;
+  Status Get(Slice key, std::string* value) override;
+  Status Delete(Slice key) override;
+  const char* name() const override { return "Aria-C"; }
+  uint64_t size() const override { return size_; }
+
+  const AriaCuckooStats& stats() const { return stats_; }
+  uint64_t trusted_index_bytes() const;
+
+  // Test-only attacker hooks.
+  uint8_t** DebugSlotCell(Slice key);
+
+ private:
+  struct Slot {
+    uint8_t* rec;
+    uint32_t hint;
+    uint32_t pad;
+  };
+  struct Bucket {
+    Slot slots[kSlotsPerBucket];
+  };
+
+  uint64_t Hash1(Slice key) const;
+  uint64_t Hash2(Slice key) const;
+  uint64_t AltBucket(Slice key, uint64_t bucket) const;
+
+  /// Find `key` in bucket `b`; fills slot index or -1.
+  Status FindInBucket(uint64_t b, Slice key, int* slot_idx,
+                      std::string* value_out);
+
+  /// Verified occupancy check for deletion detection on a miss.
+  Status CheckOccupancy(uint64_t b);
+
+  /// Re-MAC `rec` for a new slot cell after verifying it under the old one.
+  Status ResealRecord(uint8_t* rec, uint64_t old_ad, uint64_t new_ad);
+
+  /// One bounded random-walk insertion attempt of an already-sealed record
+  /// (AdField 0). On success the record lands in a slot; kCapacityExceeded
+  /// means the kick budget ran out and the table is untouched.
+  Status TryPlace(uint8_t* pending, uint32_t pending_hint,
+                  const std::string& pending_key);
+
+  /// Double the table and reinsert every record (verifies, decrypts keys,
+  /// re-MACs for the new slot cells).
+  Status Grow();
+
+  sgx::EnclaveRuntime* enclave_;
+  UntrustedAllocator* allocator_;
+  const RecordCodec* codec_;
+  CounterStore* counters_;
+  AriaCuckooConfig config_;
+
+  Bucket* table_ = nullptr;       // untrusted
+  uint8_t* bucket_counts_ = nullptr;  // trusted occupancy per bucket
+  uint64_t size_ = 0;
+  Random kick_rng_{0xC0C0};
+  AriaCuckooStats stats_;
+  std::string key_scratch_;
+};
+
+}  // namespace aria

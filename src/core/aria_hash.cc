@@ -1,0 +1,229 @@
+#include "core/aria_hash.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace aria {
+
+AriaHash::AriaHash(sgx::EnclaveRuntime* enclave,
+                   UntrustedAllocator* allocator, const RecordCodec* codec,
+                   CounterStore* counters, AriaHashConfig config)
+    : enclave_(enclave),
+      allocator_(allocator),
+      codec_(codec),
+      counters_(counters),
+      config_(config) {}
+
+AriaHash::~AriaHash() {
+  if (buckets_ != nullptr) {
+    for (uint64_t b = 0; b < config_.num_buckets; ++b) {
+      uint8_t* e = buckets_[b];
+      while (e != nullptr) {
+        uint8_t* next = EntryNext(e);
+        allocator_->Free(e).ok();
+        e = next;
+      }
+    }
+    allocator_->Free(buckets_).ok();
+  }
+  if (bucket_counts_ != nullptr) enclave_->TrustedFree(bucket_counts_);
+}
+
+Status AriaHash::Init() {
+  auto table = allocator_->Alloc(config_.num_buckets * sizeof(uint8_t*));
+  if (!table.ok()) return table.status();
+  buckets_ = static_cast<uint8_t**>(table.value());
+  std::memset(buckets_, 0, config_.num_buckets * sizeof(uint8_t*));
+
+  bucket_counts_ = static_cast<uint32_t*>(
+      enclave_->TrustedAlloc(config_.num_buckets * sizeof(uint32_t)));
+  if (bucket_counts_ == nullptr) {
+    return Status::CapacityExceeded("bucket count allocation");
+  }
+  return Status::OK();
+}
+
+uint64_t AriaHash::trusted_index_bytes() const {
+  return config_.num_buckets * sizeof(uint32_t);
+}
+
+uint8_t* AriaHash::DebugEntry(Slice key) {
+  uint32_t hint = KeyHint(key);
+  for (uint8_t* e = buckets_[BucketOf(key)]; e != nullptr; e = EntryNext(e)) {
+    if (EntryHint(e) == hint) return e;
+  }
+  return nullptr;
+}
+
+uint64_t AriaHash::BucketOf(Slice key) const {
+  return Hash64(key) % config_.num_buckets;
+}
+
+Status AriaHash::ResealEntry(uint8_t* entry, uint64_t old_ad,
+                             uint64_t new_ad) {
+  uint8_t* rec = EntryRecord(entry);
+  RecordHeader h = RecordCodec::Peek(rec);
+  uint8_t ctr[CounterStore::kCounterSize];
+  ARIA_RETURN_IF_ERROR(counters_->ReadCounter(h.red_ptr, ctr));
+  // Verify under the old binding first, so a tampered entry is never blessed
+  // with a fresh MAC.
+  ARIA_RETURN_IF_ERROR(codec_->Verify(rec, ctr, old_ad));
+  codec_->Reseal(rec, ctr, new_ad);
+  stats_.reseals++;
+  return Status::OK();
+}
+
+Status AriaHash::FindEntry(uint64_t b, Slice key, uint8_t*** found_loc,
+                           uint8_t** found_entry, std::string* value_out,
+                           uint64_t* walked) {
+  // On a miss, *found_loc is left pointing at the chain's tail cell so the
+  // caller can append there (tail insertion keeps every existing entry's
+  // AdField stable — no re-MACs on insert).
+  *found_entry = nullptr;
+  uint32_t hint = KeyHint(key);
+  uint8_t** loc = &buckets_[b];
+  uint8_t* e = *loc;
+  *walked = 0;
+  while (e != nullptr) {
+    (*walked)++;
+    stats_.entries_walked++;
+    if (EntryHint(e) == hint) {
+      stats_.hint_matches++;
+      uint8_t* rec = EntryRecord(e);
+      RecordHeader h = RecordCodec::Peek(rec);
+      uint8_t ctr[CounterStore::kCounterSize];
+      ARIA_RETURN_IF_ERROR(counters_->ReadCounter(h.red_ptr, ctr));
+      ARIA_RETURN_IF_ERROR(
+          codec_->Verify(rec, ctr, reinterpret_cast<uint64_t>(loc)));
+      codec_->OpenKey(rec, ctr, &key_scratch_);
+      if (Slice(key_scratch_) == key) {
+        if (value_out != nullptr) codec_->OpenValue(rec, ctr, value_out);
+        *found_loc = loc;
+        *found_entry = e;
+        return Status::OK();
+      }
+    }
+    loc = reinterpret_cast<uint8_t**>(e);  // next cell is at offset 0
+    e = *loc;
+  }
+  *found_loc = loc;  // tail cell
+  return Status::OK();
+}
+
+Status AriaHash::Get(Slice key, std::string* value) {
+  uint64_t b = BucketOf(key);
+  uint8_t** loc;
+  uint8_t* e;
+  uint64_t walked;
+  ARIA_RETURN_IF_ERROR(FindEntry(b, key, &loc, &e, value, &walked));
+  if (e != nullptr) return Status::OK();
+
+  // Miss: use the trusted entry count to detect unauthorized deletion.
+  enclave_->TouchRead(&bucket_counts_[b], sizeof(uint32_t));
+  if (walked != bucket_counts_[b]) {
+    return Status::IntegrityViolation(
+        "bucket entry count mismatch (deletion attack)");
+  }
+  return Status::NotFound();
+}
+
+Status AriaHash::Put(Slice key, Slice value) {
+  if (key.size() > RecordCodec::kMaxKeyLen ||
+      value.size() > RecordCodec::kMaxValueLen) {
+    return Status::InvalidArgument("key or value too large");
+  }
+  uint64_t b = BucketOf(key);
+  uint8_t** loc;
+  uint8_t* e;
+  uint64_t walked;
+  ARIA_RETURN_IF_ERROR(FindEntry(b, key, &loc, &e, nullptr, &walked));
+
+  size_t sealed = RecordCodec::SealedSize(key.size(), value.size());
+  if (e != nullptr) {
+    // Overwrite: reuse the existing counter (paper §V-D step 2), bump it so
+    // the new ciphertext uses a fresh counter value.
+    uint8_t* rec = EntryRecord(e);
+    RecordHeader h = RecordCodec::Peek(rec);
+    uint8_t ctr[CounterStore::kCounterSize];
+    ARIA_RETURN_IF_ERROR(counters_->BumpCounter(h.red_ptr, ctr));
+
+    size_t old_sealed = RecordCodec::SealedSize(h.k_len, h.v_len);
+    if (sealed <= old_sealed && !config_.out_of_place_updates) {
+      // In-place re-seal: the entry block is large enough.
+      codec_->Seal(h.red_ptr, ctr, key, value,
+                   reinterpret_cast<uint64_t>(loc), rec);
+      return Status::OK();
+    }
+    // Relocate to a bigger block.
+    auto mem = allocator_->Alloc(kEntryHeader + sealed);
+    if (!mem.ok()) return mem.status();
+    uint8_t* ne = static_cast<uint8_t*>(mem.value());
+    uint8_t* next = EntryNext(e);
+    SetEntryNext(ne, next);
+    SetEntryHint(ne, EntryHint(e));
+    codec_->Seal(h.red_ptr, ctr, key, value, reinterpret_cast<uint64_t>(loc),
+                 EntryRecord(ne));
+    *loc = ne;
+    if (next != nullptr) {
+      // The successor is now pointed at from the new block's next cell.
+      ARIA_RETURN_IF_ERROR(ResealEntry(next, reinterpret_cast<uint64_t>(e),
+                                       reinterpret_cast<uint64_t>(ne)));
+    }
+    ARIA_RETURN_IF_ERROR(allocator_->Free(e));
+    return Status::OK();
+  }
+
+  // Fresh insert at the chain tail: `loc` already points at the tail cell
+  // after the existence walk, and appending there leaves every existing
+  // entry's pointer-cell (and hence AdField binding) untouched.
+  auto red = counters_->FetchCounter();
+  if (!red.ok()) return red.status();
+  uint8_t ctr[CounterStore::kCounterSize];
+  ARIA_RETURN_IF_ERROR(counters_->BumpCounter(red.value(), ctr));
+
+  auto mem = allocator_->Alloc(kEntryHeader + sealed);
+  if (!mem.ok()) return mem.status();
+  uint8_t* ne = static_cast<uint8_t*>(mem.value());
+  SetEntryNext(ne, nullptr);
+  SetEntryHint(ne, KeyHint(key));
+  codec_->Seal(red.value(), ctr, key, value, reinterpret_cast<uint64_t>(loc),
+               EntryRecord(ne));
+  *loc = ne;
+  enclave_->TouchWrite(&bucket_counts_[b], sizeof(uint32_t));
+  bucket_counts_[b]++;
+  size_++;
+  return Status::OK();
+}
+
+Status AriaHash::Delete(Slice key) {
+  uint64_t b = BucketOf(key);
+  uint8_t** loc;
+  uint8_t* e;
+  uint64_t walked;
+  ARIA_RETURN_IF_ERROR(FindEntry(b, key, &loc, &e, nullptr, &walked));
+  if (e == nullptr) {
+    enclave_->TouchRead(&bucket_counts_[b], sizeof(uint32_t));
+    if (walked != bucket_counts_[b]) {
+      return Status::IntegrityViolation(
+          "bucket entry count mismatch (deletion attack)");
+    }
+    return Status::NotFound();
+  }
+  uint8_t* rec = EntryRecord(e);
+  RecordHeader h = RecordCodec::Peek(rec);
+  uint8_t* next = EntryNext(e);
+  *loc = next;
+  if (next != nullptr) {
+    ARIA_RETURN_IF_ERROR(ResealEntry(next, reinterpret_cast<uint64_t>(e),
+                                     reinterpret_cast<uint64_t>(loc)));
+  }
+  ARIA_RETURN_IF_ERROR(counters_->FreeCounter(h.red_ptr));
+  ARIA_RETURN_IF_ERROR(allocator_->Free(e));
+  enclave_->TouchWrite(&bucket_counts_[b], sizeof(uint32_t));
+  bucket_counts_[b]--;
+  size_--;
+  return Status::OK();
+}
+
+}  // namespace aria

@@ -1,0 +1,121 @@
+// Aria-H: the hash-table variant of Aria (paper §V-C).
+//
+// Chained hashing with the whole table in untrusted memory. Each entry block
+// is [next 8][hint 4][pad 4][sealed record]; the key hint (hash of the
+// plaintext key) lets lookups skip non-matching candidates without
+// decryption. Index protection (§V-C):
+//  * each record's MAC binds the AdField — the address of the pointer cell
+//    that points at the entry — so exchanging two entries is detected;
+//  * a trusted per-bucket entry count detects unauthorized deletion when a
+//    lookup misses.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+#include "alloc/heap_allocator.h"
+#include "core/counter_store.h"
+#include "core/kv_store.h"
+#include "core/record.h"
+#include "sgxsim/enclave_runtime.h"
+
+namespace aria {
+
+struct AriaHashConfig {
+  uint64_t num_buckets = 1 << 20;
+
+  /// Allocate a fresh block on every overwrite instead of re-sealing in
+  /// place (the behavior of the original implementations, where each write
+  /// request allocates untrusted memory — the traffic the user-space heap
+  /// allocator exists to absorb, Fig. 12).
+  bool out_of_place_updates = false;
+};
+
+struct AriaHashStats {
+  uint64_t entries_walked = 0;
+  uint64_t hint_matches = 0;
+  uint64_t reseals = 0;  ///< AdField-driven MAC recomputations
+};
+
+class AriaHash : public KVStore {
+ public:
+  AriaHash(sgx::EnclaveRuntime* enclave, UntrustedAllocator* allocator,
+           const RecordCodec* codec, CounterStore* counters,
+           AriaHashConfig config);
+  ~AriaHash() override;
+
+  Status Init();
+
+  Status Put(Slice key, Slice value) override;
+  Status Get(Slice key, std::string* value) override;
+  Status Delete(Slice key) override;
+  const char* name() const override { return "Aria-H"; }
+  uint64_t size() const override { return size_; }
+
+  const AriaHashStats& stats() const { return stats_; }
+
+  /// EPC bytes used by index metadata (trusted bucket counts).
+  uint64_t trusted_index_bytes() const;
+
+  // --- test-only hooks emulating an attacker with full access to untrusted
+  // memory (the bucket array, chain pointers and sealed entries) ---
+
+  /// Address of the head-pointer cell of the bucket that `key` maps to.
+  uint8_t** DebugBucketCell(Slice key) { return &buckets_[BucketOf(key)]; }
+
+  /// First chain entry whose key hint matches `key` (nullptr if none).
+  uint8_t* DebugEntry(Slice key);
+
+ private:
+  static constexpr size_t kEntryHeader = 16;
+
+  static uint8_t* EntryNext(uint8_t* e) {
+    uint8_t* next;
+    std::memcpy(&next, e, sizeof(next));
+    return next;
+  }
+  static void SetEntryNext(uint8_t* e, uint8_t* next) {
+    std::memcpy(e, &next, sizeof(next));
+  }
+  static uint32_t EntryHint(const uint8_t* e) {
+    uint32_t h;
+    std::memcpy(&h, e + 8, sizeof(h));
+    return h;
+  }
+  static void SetEntryHint(uint8_t* e, uint32_t h) {
+    std::memcpy(e + 8, &h, sizeof(h));
+  }
+  static uint8_t* EntryRecord(uint8_t* e) { return e + kEntryHeader; }
+
+  uint64_t BucketOf(Slice key) const;
+
+  /// Pointer cell at `loc` holds the entry address (untrusted memory).
+  static uint8_t* LoadCell(uint8_t** loc) { return *loc; }
+
+  /// Verify an entry against its current AdField and re-MAC it for a new
+  /// pointer-cell address (entry relocation during insert/delete).
+  Status ResealEntry(uint8_t* entry, uint64_t old_ad, uint64_t new_ad);
+
+  /// Walk the chain of bucket `b` looking for `key`. On match fills
+  /// `*found_loc` (the cell pointing at the entry) and `*found_entry`, and
+  /// leaves the decrypted value in `*value_out` if non-null. `*walked`
+  /// counts every entry in the chain up to and including the match.
+  Status FindEntry(uint64_t b, Slice key, uint8_t*** found_loc,
+                   uint8_t** found_entry, std::string* value_out,
+                   uint64_t* walked);
+
+  sgx::EnclaveRuntime* enclave_;
+  UntrustedAllocator* allocator_;
+  const RecordCodec* codec_;
+  CounterStore* counters_;
+  AriaHashConfig config_;
+
+  uint8_t** buckets_ = nullptr;     // untrusted array of chain heads
+  uint32_t* bucket_counts_ = nullptr;  // trusted per-bucket entry counts
+  uint64_t size_ = 0;
+  AriaHashStats stats_;
+  std::string key_scratch_;  // reused candidate-key buffer (enclave memory)
+};
+
+}  // namespace aria

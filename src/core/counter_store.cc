@@ -1,0 +1,6 @@
+#include "core/counter_store.h"
+
+// Interface-only header; this TU anchors the module in the build.
+namespace aria {
+static_assert(CounterStore::kCounterSize == 16);
+}  // namespace aria

@@ -1,0 +1,43 @@
+// Abstract access to per-KV encryption counters. The redirection layer
+// (paper §V-C) maps each KV pair to a counter slot via its RedPtr; the
+// stores below differ in *where* counters live and how they are protected:
+//
+//  * CounterManager (metadata/counter_manager.h): counters in untrusted
+//    memory under a Merkle tree, served through Secure Cache — Aria proper.
+//  * TrustedCounterStore (core/trusted_counter_store.h): counters in EPC
+//    relying on hardware secure paging — the "Aria w/o Cache" baseline.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace aria {
+
+/// Opaque counter handle stored inside each KV record (the RedPtr).
+using RedPtr = uint64_t;
+
+class CounterStore {
+ public:
+  static constexpr size_t kCounterSize = 16;
+
+  virtual ~CounterStore() = default;
+
+  /// Reserve a free counter slot for a new KV pair.
+  virtual Result<RedPtr> FetchCounter() = 0;
+
+  /// Return a slot to the free pool (KV pair deleted).
+  virtual Status FreeCounter(RedPtr id) = 0;
+
+  /// Read the current (verified) counter value.
+  virtual Status ReadCounter(RedPtr id, uint8_t out[kCounterSize]) = 0;
+
+  /// Increment the counter and return the NEW value; called before every
+  /// encryption so ciphertexts never reuse a (key, counter) pair.
+  virtual Status BumpCounter(RedPtr id, uint8_t out[kCounterSize]) = 0;
+
+  /// Counters currently handed out (diagnostics).
+  virtual uint64_t used_counters() const = 0;
+};
+
+}  // namespace aria

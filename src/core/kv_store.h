@@ -1,0 +1,46 @@
+// Public key-value store interface implemented by Aria-H, Aria-T and all
+// baselines, so benchmarks and examples drive every scheme uniformly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace aria {
+
+class KVStore {
+ public:
+  virtual ~KVStore() = default;
+
+  /// Insert or overwrite a KV pair.
+  virtual Status Put(Slice key, Slice value) = 0;
+
+  /// Look up `key`; fills `value` on success. Returns NotFound if absent and
+  /// IntegrityViolation if tampering is detected on the lookup path.
+  virtual Status Get(Slice key, std::string* value) = 0;
+
+  /// Remove a KV pair. NotFound if absent.
+  virtual Status Delete(Slice key) = 0;
+
+  /// Scheme name for reporting ("Aria-H", "ShieldStore", ...).
+  virtual const char* name() const = 0;
+
+  /// Number of live KV pairs.
+  virtual uint64_t size() const = 0;
+};
+
+/// Stores with an ordered index additionally support range scans — the
+/// capability that motivates tree indexes in the paper (§III).
+class OrderedKVStore : public KVStore {
+ public:
+  /// Collect up to `limit` pairs with key >= `start` in key order.
+  virtual Status RangeScan(
+      Slice start, size_t limit,
+      std::vector<std::pair<std::string, std::string>>* out) = 0;
+};
+
+}  // namespace aria

@@ -1,0 +1,104 @@
+#include "core/record.h"
+
+#include <cstring>
+
+#include "crypto/ctr.h"
+
+namespace aria {
+
+RecordHeader RecordCodec::Peek(const uint8_t* rec) {
+  RecordHeader h;
+  std::memcpy(&h.red_ptr, rec, 8);
+  std::memcpy(&h.k_len, rec + 8, 2);
+  std::memcpy(&h.v_len, rec + 10, 2);
+  return h;
+}
+
+void RecordCodec::DeriveCtrBlock(uint64_t red_ptr, const uint8_t counter[16],
+                                 uint8_t out[16]) const {
+  std::memcpy(out, counter, 16);
+  // Bind the keystream to the record identity so random initial counter
+  // collisions across slots cannot cause keystream reuse.
+  for (int i = 0; i < 8; ++i) {
+    out[i] ^= static_cast<uint8_t>(red_ptr >> (8 * i));
+  }
+}
+
+void RecordCodec::ComputeMac(const uint8_t* rec, const uint8_t counter[16],
+                             uint64_t ad_field, uint8_t out[16]) const {
+  RecordHeader h = Peek(rec);
+  crypto::Cmac128::Stream mac(*cmac_);
+  mac.Update(rec, kHeaderSize);  // RedPtr, k_len, v_len
+  mac.Update(counter, kCounterSize);
+  mac.Update(rec + kHeaderSize, static_cast<size_t>(h.k_len) + h.v_len);
+  mac.Update(&ad_field, sizeof(ad_field));
+  mac.Final(out);
+}
+
+void RecordCodec::Seal(uint64_t red_ptr, const uint8_t counter[16], Slice key,
+                       Slice value, uint64_t ad_field, uint8_t* out) const {
+  uint16_t k_len = static_cast<uint16_t>(key.size());
+  uint16_t v_len = static_cast<uint16_t>(value.size());
+  std::memcpy(out, &red_ptr, 8);
+  std::memcpy(out + 8, &k_len, 2);
+  std::memcpy(out + 10, &v_len, 2);
+
+  // Encrypt key||value in one CTR pass.
+  uint8_t ctr_block[16];
+  DeriveCtrBlock(red_ptr, counter, ctr_block);
+  uint8_t* ct = out + kHeaderSize;
+  std::memcpy(ct, key.data(), k_len);
+  std::memcpy(ct + k_len, value.data(), v_len);
+  crypto::AesCtrCrypt(*aes_, ctr_block, ct, ct, static_cast<size_t>(k_len) + v_len);
+
+  ComputeMac(out, counter, ad_field, out + kHeaderSize + k_len + v_len);
+}
+
+Status RecordCodec::Verify(const uint8_t* rec, const uint8_t counter[16],
+                           uint64_t ad_field) const {
+  RecordHeader h = Peek(rec);
+  uint8_t mac[16];
+  ComputeMac(rec, counter, ad_field, mac);
+  const uint8_t* stored = rec + kHeaderSize + h.k_len + h.v_len;
+  if (!crypto::MacEqual(mac, stored)) {
+    return Status::IntegrityViolation("record MAC mismatch");
+  }
+  return Status::OK();
+}
+
+void RecordCodec::Open(const uint8_t* rec, const uint8_t counter[16],
+                       std::string* key, std::string* value) const {
+  if (key != nullptr) OpenKey(rec, counter, key);
+  if (value != nullptr) OpenValue(rec, counter, value);
+}
+
+void RecordCodec::OpenKey(const uint8_t* rec, const uint8_t counter[16],
+                          std::string* key) const {
+  RecordHeader h = Peek(rec);
+  uint8_t ctr_block[16];
+  DeriveCtrBlock(h.red_ptr, counter, ctr_block);
+  key->resize(h.k_len);
+  crypto::AesCtrCrypt(*aes_, ctr_block, rec + kHeaderSize,
+                      reinterpret_cast<uint8_t*>(key->data()), h.k_len);
+  enclave_->TouchWrite(key->data(), key->size());
+}
+
+void RecordCodec::OpenValue(const uint8_t* rec, const uint8_t counter[16],
+                            std::string* value) const {
+  RecordHeader h = Peek(rec);
+  uint8_t ctr_block[16];
+  DeriveCtrBlock(h.red_ptr, counter, ctr_block);
+  value->resize(h.v_len);
+  crypto::AesCtrCryptAt(*aes_, ctr_block, h.k_len,
+                        rec + kHeaderSize + h.k_len,
+                        reinterpret_cast<uint8_t*>(value->data()), h.v_len);
+  enclave_->TouchWrite(value->data(), value->size());
+}
+
+void RecordCodec::Reseal(uint8_t* rec, const uint8_t counter[16],
+                         uint64_t ad_field) const {
+  RecordHeader h = Peek(rec);
+  ComputeMac(rec, counter, ad_field, rec + kHeaderSize + h.k_len + h.v_len);
+}
+
+}  // namespace aria

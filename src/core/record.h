@@ -1,0 +1,99 @@
+// Sealed KV record format (paper §V-D, Fig. 8).
+//
+// A record as it sits in untrusted memory:
+//
+//   [RedPtr 8][k_len 2][v_len 2][ciphertext k_len+v_len][MAC 16]
+//
+// Encryption: AES-CTR with the per-record counter value; the counter block
+// is additionally bound to the RedPtr (address-independent-seed style, cf.
+// Rogers et al. cited by the paper) so two records never share a keystream
+// even if their random initial counters collide.
+//
+// MAC: AES-CMAC over RedPtr || counter || k_len || v_len || ciphertext ||
+// AdField. The AdField is the index-binding field of §V-C: for Aria-H the
+// address of the pointer cell that points at this entry; for Aria-T the
+// address of the record-pointer slot. It defeats pointer-exchange attacks
+// on the unprotected index.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "crypto/aes.h"
+#include "crypto/cmac.h"
+#include "sgxsim/enclave_runtime.h"
+
+namespace aria {
+
+/// Plain header fields, readable without verification.
+struct RecordHeader {
+  uint64_t red_ptr;
+  uint16_t k_len;
+  uint16_t v_len;
+};
+
+/// Seals, verifies and opens KV records. Stateless apart from the keys; one
+/// codec is shared by a whole store instance.
+class RecordCodec {
+ public:
+  static constexpr size_t kHeaderSize = 12;
+  static constexpr size_t kMacSize = 16;
+  static constexpr size_t kCounterSize = 16;
+  static constexpr size_t kMaxKeyLen = UINT16_MAX;
+  static constexpr size_t kMaxValueLen = UINT16_MAX;
+
+  RecordCodec(sgx::EnclaveRuntime* enclave, const crypto::Aes128* aes,
+              const crypto::Cmac128* cmac)
+      : enclave_(enclave), aes_(aes), cmac_(cmac) {}
+
+  /// Bytes a sealed record occupies.
+  static size_t SealedSize(size_t k_len, size_t v_len) {
+    return kHeaderSize + k_len + v_len + kMacSize;
+  }
+
+  /// Parse the unprotected header (lengths are re-checked by the MAC).
+  static RecordHeader Peek(const uint8_t* rec);
+
+  /// Encrypt and MAC (key, value) into `out` (pre-allocated untrusted
+  /// memory of SealedSize bytes). `counter` must be the freshly bumped
+  /// value.
+  void Seal(uint64_t red_ptr, const uint8_t counter[16], Slice key,
+            Slice value, uint64_t ad_field, uint8_t* out) const;
+
+  /// Verify the record MAC against the trusted counter and the expected
+  /// AdField. Returns IntegrityViolation on any mismatch.
+  Status Verify(const uint8_t* rec, const uint8_t counter[16],
+                uint64_t ad_field) const;
+
+  /// Decrypt the record into (key, value). Call only after Verify.
+  void Open(const uint8_t* rec, const uint8_t counter[16], std::string* key,
+            std::string* value) const;
+
+  /// Decrypt only the key (used during lookups to confirm a candidate).
+  void OpenKey(const uint8_t* rec, const uint8_t counter[16],
+               std::string* key) const;
+
+  /// Decrypt only the value — the lookup hot path confirms the key first
+  /// with OpenKey, then fetches just the value's keystream window.
+  void OpenValue(const uint8_t* rec, const uint8_t counter[16],
+                 std::string* value) const;
+
+  /// Recompute and store the MAC after the AdField changed (the ciphertext
+  /// and counter stay as they are — no re-encryption, §V-C).
+  void Reseal(uint8_t* rec, const uint8_t counter[16],
+              uint64_t ad_field) const;
+
+ private:
+  void DeriveCtrBlock(uint64_t red_ptr, const uint8_t counter[16],
+                      uint8_t out[16]) const;
+  void ComputeMac(const uint8_t* rec, const uint8_t counter[16],
+                  uint64_t ad_field, uint8_t out[16]) const;
+
+  sgx::EnclaveRuntime* enclave_;
+  const crypto::Aes128* aes_;
+  const crypto::Cmac128* cmac_;
+};
+
+}  // namespace aria

@@ -1,0 +1,180 @@
+#include "core/store_factory.h"
+
+namespace aria {
+
+namespace {
+
+uint64_t RoundUp(uint64_t v, uint64_t to) { return (v + to - 1) / to * to; }
+
+// Default bucket count, mirroring the paper's setup: 0.4 buckets per key
+// (ShieldStore's 4M roots = 64 MB EPC at 10M keyspace), capped at 4M so
+// the per-bucket trusted metadata (Aria's entry counts / ShieldStore's
+// roots) never outgrows the EPC — beyond the cap, chains simply lengthen,
+// exactly the amplification Fig. 13 measures.
+uint64_t DefaultBuckets(uint64_t keyspace) {
+  uint64_t b = keyspace * 2 / 5;
+  if (b < 1024) b = 1024;
+  if (b > (4ull << 20)) b = 4ull << 20;
+  return b;
+}
+
+uint64_t DefaultShieldBuckets(uint64_t keyspace) {
+  return DefaultBuckets(keyspace);
+}
+
+}  // namespace
+
+Status CreateStore(const StoreOptions& options, StoreBundle* out) {
+  out->enclave = std::make_unique<sgx::EnclaveRuntime>(
+      options.epc_budget_bytes, options.cost_model);
+  out->rng = std::make_unique<crypto::SecureRandom>(options.seed);
+
+  uint8_t enc_key[16];
+  uint8_t mac_key[16];
+  out->rng->Fill(enc_key, sizeof(enc_key));
+  out->rng->Fill(mac_key, sizeof(mac_key));
+  out->aes = std::make_unique<crypto::Aes128>(enc_key);
+  auto mac_aes = std::make_unique<crypto::Aes128>(mac_key);
+  out->cmac = std::make_unique<crypto::Cmac128>(*mac_aes);
+  out->aes_mac_holder = std::move(mac_aes);  // Cmac128 holds a reference
+
+  if (options.use_heap_allocator) {
+    out->allocator = std::make_unique<HeapAllocator>(out->enclave.get());
+  } else {
+    out->allocator = std::make_unique<OcallAllocator>(out->enclave.get());
+  }
+  out->codec = std::make_unique<RecordCodec>(out->enclave.get(),
+                                             out->aes.get(), out->cmac.get());
+
+  const uint64_t keyspace = options.keyspace;
+  switch (options.scheme) {
+    case Scheme::kBaseline: {
+      if (options.index == IndexKind::kHash) {
+        EnclaveKVConfig cfg;
+        cfg.num_buckets = options.num_buckets != 0 ? options.num_buckets
+                                                   : DefaultBuckets(keyspace);
+        auto store = std::make_unique<EnclaveKV>(out->enclave.get(), cfg);
+        ARIA_RETURN_IF_ERROR(store->Init());
+        out->store = std::move(store);
+        out->label = "Baseline";
+      } else {
+        out->store = std::make_unique<EnclaveBTree>(out->enclave.get());
+        out->label = "Baseline-T";
+      }
+      return Status::OK();
+    }
+
+    case Scheme::kShieldStore: {
+      if (options.index != IndexKind::kHash) {
+        return Status::InvalidArgument(
+            "ShieldStore only supports a hash index");
+      }
+      ShieldStoreConfig cfg;
+      cfg.out_of_place_updates = options.out_of_place_updates;
+      cfg.num_buckets = options.shieldstore_buckets != 0
+                            ? options.shieldstore_buckets
+                            : DefaultShieldBuckets(keyspace);
+      auto store = std::make_unique<ShieldStore>(
+          out->enclave.get(), out->allocator.get(), out->aes.get(),
+          out->cmac.get(), out->rng.get(), cfg);
+      ARIA_RETURN_IF_ERROR(store->Init());
+      out->store = std::move(store);
+      out->label = "ShieldStore";
+      return Status::OK();
+    }
+
+    case Scheme::kAriaNoCache: {
+      auto counters = std::make_unique<TrustedCounterStore>(
+          out->enclave.get(), out->rng.get(), keyspace + 1024);
+      ARIA_RETURN_IF_ERROR(counters->Init());
+      out->counters = std::move(counters);
+      out->label = options.index == IndexKind::kHash ? "Aria-H w/o Cache"
+                                                     : "Aria-T w/o Cache";
+      if (options.index == IndexKind::kBPlusTree) {
+        out->label = "Aria-B+ w/o Cache";
+      } else if (options.index == IndexKind::kCuckoo) {
+        out->label = "Aria-C w/o Cache";
+      }
+      break;
+    }
+
+    case Scheme::kAria: {
+      CounterManagerConfig cfg;
+      // 12.5% headroom over the expected keyspace, so filling it exactly
+      // stays below the background-reservation threshold (90%) and a spare
+      // Merkle tree is only prepared when growth genuinely continues.
+      cfg.counters_per_tree =
+          RoundUp(keyspace < 1024 ? 1024 : keyspace * 9 / 8, options.arity);
+      cfg.arity = options.arity;
+      cfg.cache.policy = options.policy;
+      cfg.cache.pinned_levels = options.pinned_levels;
+      cfg.cache.stop_swap_enabled = options.stop_swap_enabled;
+      cfg.cache.start_stopped = options.start_stopped;
+      cfg.cache.avoid_clean_writeback = options.avoid_clean_writeback;
+      if (options.cache_bytes != 0) {
+        cfg.cache.capacity_bytes = options.cache_bytes;
+      } else {
+        // Auto: everything the EPC budget leaves after the trusted index
+        // metadata (bucket counts), the counter bitmap and working slack.
+        uint64_t buckets = options.num_buckets != 0
+                               ? options.num_buckets
+                               : DefaultBuckets(keyspace);
+        uint64_t slack = options.epc_budget_bytes / 50;  // 2% working slack
+        if (slack < 256 * 1024) slack = 256 * 1024;
+        uint64_t reserved = buckets * sizeof(uint32_t) +  // bucket counts
+                            cfg.counters_per_tree / 8 +    // counter bitmap
+                            slack;
+        cfg.cache.capacity_bytes = options.epc_budget_bytes > reserved + (64 << 10)
+                                       ? options.epc_budget_bytes - reserved
+                                       : 64ull * 1024;
+      }
+      cfg.growth_cache = cfg.cache;
+      cfg.growth_cache.capacity_bytes = 4ull * 1024 * 1024;
+      auto counters = std::make_unique<CounterManager>(
+          out->enclave.get(), out->allocator.get(), out->cmac.get(),
+          out->rng.get(), cfg);
+      ARIA_RETURN_IF_ERROR(counters->Init());
+      out->counters = std::move(counters);
+      out->label = options.index == IndexKind::kHash ? "Aria-H" : "Aria-T";
+      if (options.index == IndexKind::kBPlusTree) out->label = "Aria-B+";
+      if (options.index == IndexKind::kCuckoo) out->label = "Aria-C";
+      break;
+    }
+  }
+
+  // Aria / Aria w/o Cache share the index implementations.
+  if (options.index == IndexKind::kBPlusTree) {
+    out->store = std::make_unique<AriaBPlusTree>(
+        out->enclave.get(), out->allocator.get(), out->codec.get(),
+        out->counters.get());
+  } else if (options.index == IndexKind::kCuckoo) {
+    AriaCuckooConfig cfg;
+    // 4 slots/bucket at ~60% load factor.
+    cfg.num_buckets = options.num_buckets != 0
+                          ? options.num_buckets
+                          : (keyspace * 10 / 24 < 1024 ? 1024
+                                                       : keyspace * 10 / 24);
+    auto store = std::make_unique<AriaCuckoo>(
+        out->enclave.get(), out->allocator.get(), out->codec.get(),
+        out->counters.get(), cfg);
+    ARIA_RETURN_IF_ERROR(store->Init());
+    out->store = std::move(store);
+  } else if (options.index == IndexKind::kHash) {
+    AriaHashConfig cfg;
+    cfg.out_of_place_updates = options.out_of_place_updates;
+    cfg.num_buckets = options.num_buckets != 0 ? options.num_buckets
+                                               : DefaultBuckets(keyspace);
+    auto store = std::make_unique<AriaHash>(
+        out->enclave.get(), out->allocator.get(), out->codec.get(),
+        out->counters.get(), cfg);
+    ARIA_RETURN_IF_ERROR(store->Init());
+    out->store = std::move(store);
+  } else {
+    out->store = std::make_unique<AriaBTree>(
+        out->enclave.get(), out->allocator.get(), out->codec.get(),
+        out->counters.get());
+  }
+  return Status::OK();
+}
+
+}  // namespace aria

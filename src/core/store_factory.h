@@ -1,0 +1,102 @@
+// One-stop construction of every evaluated scheme (§VI "Compared Schemes"):
+//   kAria        — Aria proper (Secure Cache over a flat MT)
+//   kAriaNoCache — counters in EPC, hardware paging (Fig. 1b)
+//   kShieldStore — per-bucket MT roots in EPC (Fig. 1a)
+//   kBaseline    — whole store in EPC
+// each with a hash or B-tree index where the paper evaluates it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "alloc/heap_allocator.h"
+#include "baseline/enclave_btree.h"
+#include "baseline/enclave_kv.h"
+#include "baseline/shieldstore.h"
+#include "cache/secure_cache.h"
+#include "core/aria_bplus.h"
+#include "core/aria_cuckoo.h"
+#include "core/aria_btree.h"
+#include "core/aria_hash.h"
+#include "core/counter_store.h"
+#include "core/kv_store.h"
+#include "core/record.h"
+#include "core/trusted_counter_store.h"
+#include "crypto/aes.h"
+#include "crypto/cmac.h"
+#include "crypto/secure_random.h"
+#include "metadata/counter_manager.h"
+#include "sgxsim/enclave_runtime.h"
+
+namespace aria {
+
+enum class Scheme { kAria, kAriaNoCache, kShieldStore, kBaseline };
+enum class IndexKind { kHash, kBTree, kBPlusTree, kCuckoo };
+
+struct StoreOptions {
+  Scheme scheme = Scheme::kAria;
+  IndexKind index = IndexKind::kHash;
+
+  /// Expected number of distinct keys; sizes the counter area, hash buckets
+  /// and ShieldStore roots.
+  uint64_t keyspace = 1 << 20;
+
+  /// EPC available to this instance (divided between tenants in Fig. 16a).
+  uint64_t epc_budget_bytes = sgx::CostModel::kDefaultEpcBytes;
+  sgx::CostModel cost_model{};  ///< set enabled=false for "Aria w/o SGX"
+
+  // --- Aria knobs ---
+  uint64_t cache_bytes = 0;  ///< Secure Cache budget; 0 = auto (max)
+  size_t arity = 8;          ///< Merkle tree branch factor (Fig. 15)
+  CachePolicy policy = CachePolicy::kFifo;
+  int pinned_levels = -1;    ///< top-k level pinning (§IV-E); -1 = auto
+  bool stop_swap_enabled = true;
+  bool start_stopped = false;       ///< force uniform-mode from the start
+  bool use_heap_allocator = true;   ///< false = OCALL per alloc (AriaBase)
+  bool out_of_place_updates = false;  ///< allocate on every overwrite
+                                      ///< (Aria-H and ShieldStore)
+  bool avoid_clean_writeback = true;  ///< §IV-C clean-discard optimization
+
+  // --- index sizing (0 = auto) ---
+  uint64_t num_buckets = 0;          ///< Aria-H / Baseline hash buckets
+  uint64_t shieldstore_buckets = 0;  ///< == MT roots in EPC
+
+  uint64_t seed = 42;
+};
+
+/// Owns every component of one store instance in destruction-safe order.
+struct StoreBundle {
+  std::unique_ptr<sgx::EnclaveRuntime> enclave;
+  std::unique_ptr<crypto::SecureRandom> rng;
+  std::unique_ptr<crypto::Aes128> aes;
+  std::unique_ptr<crypto::Aes128> aes_mac_holder;  ///< cipher behind cmac
+  std::unique_ptr<crypto::Cmac128> cmac;
+  std::unique_ptr<UntrustedAllocator> allocator;
+  std::unique_ptr<RecordCodec> codec;
+  std::unique_ptr<CounterStore> counters;
+  std::unique_ptr<KVStore> store;
+  std::string label;
+
+  ~StoreBundle() {
+    // The store references the counter store / allocator / enclave; destroy
+    // top-down.
+    store.reset();
+    counters.reset();
+    codec.reset();
+    allocator.reset();
+    cmac.reset();
+    aes_mac_holder.reset();
+    aes.reset();
+    rng.reset();
+    enclave.reset();
+  }
+
+  /// CounterManager view when scheme == kAria (for cache stats).
+  CounterManager* counter_manager() {
+    return dynamic_cast<CounterManager*>(counters.get());
+  }
+};
+
+Status CreateStore(const StoreOptions& options, StoreBundle* out);
+
+}  // namespace aria

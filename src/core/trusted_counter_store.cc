@@ -1,0 +1,92 @@
+#include "core/trusted_counter_store.h"
+
+#include <cstring>
+
+namespace aria {
+
+namespace {
+void Increment128(uint8_t ctr[16]) {
+  for (int i = 0; i < 16; ++i) {
+    if (++ctr[i] != 0) break;
+  }
+}
+}  // namespace
+
+TrustedCounterStore::TrustedCounterStore(sgx::EnclaveRuntime* enclave,
+                                         crypto::SecureRandom* rng,
+                                         uint64_t capacity)
+    : enclave_(enclave), rng_(rng), capacity_(capacity) {}
+
+TrustedCounterStore::~TrustedCounterStore() {
+  if (counters_ != nullptr) enclave_->TrustedFree(counters_);
+  if (bitmap_ != nullptr) enclave_->TrustedFree(bitmap_);
+}
+
+Status TrustedCounterStore::Init() {
+  counters_ =
+      static_cast<uint8_t*>(enclave_->TrustedAlloc(capacity_ * kCounterSize));
+  bitmap_words_ = (capacity_ + 63) / 64;
+  bitmap_ = static_cast<uint64_t*>(
+      enclave_->TrustedAlloc(bitmap_words_ * sizeof(uint64_t)));
+  if (counters_ == nullptr || bitmap_ == nullptr) {
+    return Status::CapacityExceeded("trusted counter allocation");
+  }
+  rng_->Fill(counters_, capacity_ * kCounterSize);
+  return Status::OK();
+}
+
+uint64_t TrustedCounterStore::trusted_bytes() const {
+  return capacity_ * kCounterSize + bitmap_words_ * sizeof(uint64_t);
+}
+
+Result<RedPtr> TrustedCounterStore::FetchCounter() {
+  uint64_t slot;
+  if (!free_list_.empty()) {
+    slot = free_list_.back();
+    free_list_.pop_back();
+  } else if (next_unused_ < capacity_) {
+    slot = next_unused_++;
+  } else {
+    return Status::CapacityExceeded("trusted counter store full");
+  }
+  uint64_t word = slot / 64, bit = 1ull << (slot % 64);
+  enclave_->TouchWrite(&bitmap_[word], sizeof(uint64_t));
+  if ((bitmap_[word] & bit) != 0) {
+    return Status::Internal("trusted counter double allocation");
+  }
+  bitmap_[word] |= bit;
+  used_++;
+  return slot;
+}
+
+Status TrustedCounterStore::FreeCounter(RedPtr id) {
+  if (id >= capacity_) return Status::InvalidArgument("counter id range");
+  uint64_t word = id / 64, bit = 1ull << (id % 64);
+  enclave_->TouchWrite(&bitmap_[word], sizeof(uint64_t));
+  if ((bitmap_[word] & bit) == 0) {
+    return Status::IntegrityViolation("freeing unused trusted counter");
+  }
+  bitmap_[word] &= ~bit;
+  free_list_.push_back(id);
+  used_--;
+  return Status::OK();
+}
+
+Status TrustedCounterStore::ReadCounter(RedPtr id, uint8_t out[kCounterSize]) {
+  if (id >= capacity_) return Status::InvalidArgument("counter id range");
+  uint8_t* p = counters_ + id * kCounterSize;
+  enclave_->TouchRead(p, kCounterSize);
+  std::memcpy(out, p, kCounterSize);
+  return Status::OK();
+}
+
+Status TrustedCounterStore::BumpCounter(RedPtr id, uint8_t out[kCounterSize]) {
+  if (id >= capacity_) return Status::InvalidArgument("counter id range");
+  uint8_t* p = counters_ + id * kCounterSize;
+  enclave_->TouchWrite(p, kCounterSize);
+  Increment128(p);
+  std::memcpy(out, p, kCounterSize);
+  return Status::OK();
+}
+
+}  // namespace aria

@@ -1,0 +1,45 @@
+// "Aria w/o Cache" counter store (paper §III, Fig. 1b): ALL encryption
+// counters live inside the enclave as one flat array. There is no Merkle
+// tree — the counters are trusted because SGX protects them — but once the
+// array outgrows the EPC, every cold access triggers hardware secure paging
+// at 4 KB granularity, which the enclave runtime models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/counter_store.h"
+#include "crypto/secure_random.h"
+#include "sgxsim/enclave_runtime.h"
+
+namespace aria {
+
+class TrustedCounterStore : public CounterStore {
+ public:
+  TrustedCounterStore(sgx::EnclaveRuntime* enclave,
+                      crypto::SecureRandom* rng, uint64_t capacity);
+  ~TrustedCounterStore() override;
+
+  Status Init();
+
+  Result<RedPtr> FetchCounter() override;
+  Status FreeCounter(RedPtr id) override;
+  Status ReadCounter(RedPtr id, uint8_t out[kCounterSize]) override;
+  Status BumpCounter(RedPtr id, uint8_t out[kCounterSize]) override;
+  uint64_t used_counters() const override { return used_; }
+
+  uint64_t trusted_bytes() const;
+
+ private:
+  sgx::EnclaveRuntime* enclave_;
+  crypto::SecureRandom* rng_;
+  uint64_t capacity_;
+  uint8_t* counters_ = nullptr;   // trusted, capacity * 16 bytes
+  uint64_t* bitmap_ = nullptr;    // trusted occupation bitmap
+  uint64_t bitmap_words_ = 0;
+  std::vector<uint64_t> free_list_;  // trusted free slots
+  uint64_t next_unused_ = 0;
+  uint64_t used_ = 0;
+};
+
+}  // namespace aria

@@ -1,0 +1,54 @@
+#include "crypto/aes.h"
+
+#include "crypto/aes_internal.h"
+
+namespace aria::crypto {
+
+Aes128::Aes128(const uint8_t key[16], Impl impl) {
+  internal::ExpandKey128(key, round_keys_);
+  switch (impl) {
+    case Impl::kAuto:
+      use_ni_ = internal::CpuHasAesNi();
+      break;
+    case Impl::kPortable:
+      use_ni_ = false;
+      break;
+    case Impl::kAesNi:
+      use_ni_ = true;
+      break;
+  }
+}
+
+bool Aes128::HasAesNi() { return internal::CpuHasAesNi(); }
+
+void Aes128::EncryptBlock(const uint8_t in[16], uint8_t out[16]) const {
+  if (use_ni_) {
+    internal::AesNiEncryptBlocks(round_keys_, in, out, 1);
+  } else {
+    internal::PortableEncryptBlock(round_keys_, in, out);
+  }
+}
+
+void Aes128::CbcMacBlocks(uint8_t state[16], const uint8_t* data,
+                          size_t n) const {
+  if (use_ni_) {
+    internal::AesNiCbcMac(round_keys_, state, data, n);
+    return;
+  }
+  for (size_t b = 0; b < n; ++b) {
+    for (int i = 0; i < 16; ++i) state[i] ^= data[b * 16 + i];
+    internal::PortableEncryptBlock(round_keys_, state, state);
+  }
+}
+
+void Aes128::EncryptBlocks(const uint8_t* in, uint8_t* out, size_t n) const {
+  if (use_ni_) {
+    internal::AesNiEncryptBlocks(round_keys_, in, out, n);
+    return;
+  }
+  for (size_t b = 0; b < n; ++b) {
+    internal::PortableEncryptBlock(round_keys_, in + b * 16, out + b * 16);
+  }
+}
+
+}  // namespace aria::crypto

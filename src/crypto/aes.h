@@ -1,0 +1,46 @@
+// AES-128 block cipher with an AES-NI fast path and a portable fallback.
+// This stands in for the Intel SGX SDK crypto primitives the paper uses
+// (sgx_aes_ctr_encrypt / sgx_rijndael128_cmac are AES-128 based).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace aria::crypto {
+
+/// AES-128 with a precomputed key schedule. Encryption only — CTR mode and
+/// CMAC never need the inverse cipher.
+class Aes128 {
+ public:
+  enum class Impl {
+    kAuto,      ///< AES-NI when the CPU supports it, else portable.
+    kPortable,  ///< Force the table-free portable implementation.
+    kAesNi,     ///< Force AES-NI (caller must have checked HasAesNi()).
+  };
+
+  explicit Aes128(const uint8_t key[16], Impl impl = Impl::kAuto);
+
+  /// Encrypt exactly one 16-byte block. `in` and `out` may alias.
+  void EncryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+  /// Encrypt `n` consecutive 16-byte blocks.
+  void EncryptBlocks(const uint8_t* in, uint8_t* out, size_t n) const;
+
+  /// CBC-MAC absorb: state = AES(state ^ block) for `n` consecutive blocks.
+  /// The CMAC hot loop — keeps round keys in registers on the AES-NI path.
+  void CbcMacBlocks(uint8_t state[16], const uint8_t* data, size_t n) const;
+
+  /// True iff this build can use the AES-NI instruction set at runtime.
+  static bool HasAesNi();
+
+  bool using_aesni() const { return use_ni_; }
+
+  /// Expanded key schedule: 11 round keys, FIPS-197 byte order.
+  const uint8_t* round_keys() const { return round_keys_; }
+
+ private:
+  alignas(16) uint8_t round_keys_[176];
+  bool use_ni_;
+};
+
+}  // namespace aria::crypto

@@ -1,0 +1,31 @@
+// Internal AES helpers shared by the portable and AES-NI translation units.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace aria::crypto::internal {
+
+/// FIPS-197 S-box.
+extern const uint8_t kSbox[256];
+
+/// Expand a 16-byte key into 11 round keys (176 bytes, FIPS byte order).
+void ExpandKey128(const uint8_t key[16], uint8_t round_keys[176]);
+
+/// Portable single-block encryption over an expanded schedule.
+void PortableEncryptBlock(const uint8_t round_keys[176], const uint8_t in[16],
+                          uint8_t out[16]);
+
+/// AES-NI block encryption (defined in aes_ni.cc, compiled with -maes).
+void AesNiEncryptBlocks(const uint8_t round_keys[176], const uint8_t* in,
+                        uint8_t* out, size_t n);
+
+/// AES-NI CBC-MAC absorb: state = AES(state ^ block) over `n` consecutive
+/// blocks, with the round keys kept in registers across blocks.
+void AesNiCbcMac(const uint8_t round_keys[176], uint8_t state[16],
+                 const uint8_t* data, size_t n);
+
+/// Runtime CPU support check for AES-NI.
+bool CpuHasAesNi();
+
+}  // namespace aria::crypto::internal

@@ -1,0 +1,60 @@
+// AES-NI block encryption. This TU is compiled with -maes; callers reach it
+// only after a runtime CPU check (Aes128::HasAesNi).
+#include <wmmintrin.h>
+
+#include "crypto/aes_internal.h"
+
+namespace aria::crypto::internal {
+
+void AesNiEncryptBlocks(const uint8_t round_keys[176], const uint8_t* in,
+                        uint8_t* out, size_t n) {
+  __m128i rk[11];
+  for (int i = 0; i < 11; ++i) {
+    rk[i] = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(round_keys + i * 16));
+  }
+  for (size_t b = 0; b < n; ++b) {
+    __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + b * 16));
+    s = _mm_xor_si128(s, rk[0]);
+    s = _mm_aesenc_si128(s, rk[1]);
+    s = _mm_aesenc_si128(s, rk[2]);
+    s = _mm_aesenc_si128(s, rk[3]);
+    s = _mm_aesenc_si128(s, rk[4]);
+    s = _mm_aesenc_si128(s, rk[5]);
+    s = _mm_aesenc_si128(s, rk[6]);
+    s = _mm_aesenc_si128(s, rk[7]);
+    s = _mm_aesenc_si128(s, rk[8]);
+    s = _mm_aesenc_si128(s, rk[9]);
+    s = _mm_aesenclast_si128(s, rk[10]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + b * 16), s);
+  }
+}
+
+void AesNiCbcMac(const uint8_t round_keys[176], uint8_t state[16],
+                 const uint8_t* data, size_t n) {
+  __m128i rk[11];
+  for (int i = 0; i < 11; ++i) {
+    rk[i] = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(round_keys + i * 16));
+  }
+  __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));
+  for (size_t b = 0; b < n; ++b) {
+    s = _mm_xor_si128(
+        s, _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + b * 16)));
+    s = _mm_xor_si128(s, rk[0]);
+    s = _mm_aesenc_si128(s, rk[1]);
+    s = _mm_aesenc_si128(s, rk[2]);
+    s = _mm_aesenc_si128(s, rk[3]);
+    s = _mm_aesenc_si128(s, rk[4]);
+    s = _mm_aesenc_si128(s, rk[5]);
+    s = _mm_aesenc_si128(s, rk[6]);
+    s = _mm_aesenc_si128(s, rk[7]);
+    s = _mm_aesenc_si128(s, rk[8]);
+    s = _mm_aesenc_si128(s, rk[9]);
+    s = _mm_aesenclast_si128(s, rk[10]);
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), s);
+}
+
+}  // namespace aria::crypto::internal

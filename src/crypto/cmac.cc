@@ -1,0 +1,93 @@
+#include "crypto/cmac.h"
+
+#include <cstring>
+
+namespace aria::crypto {
+
+namespace {
+// Left-shift a 128-bit value by one and conditionally xor the GF(2^128)
+// reduction constant, per RFC 4493 subkey generation.
+void ShiftLeftAndReduce(const uint8_t in[16], uint8_t out[16]) {
+  uint8_t carry = 0;
+  for (int i = 15; i >= 0; --i) {
+    uint8_t next_carry = static_cast<uint8_t>(in[i] >> 7);
+    out[i] = static_cast<uint8_t>((in[i] << 1) | carry);
+    carry = next_carry;
+  }
+  if (carry) out[15] ^= 0x87;
+}
+
+inline void Xor16(uint8_t* dst, const uint8_t* src) {
+  for (int i = 0; i < 16; ++i) dst[i] ^= src[i];
+}
+}  // namespace
+
+Cmac128::Cmac128(const Aes128& aes) : aes_(aes) {
+  uint8_t zero[16] = {0};
+  uint8_t l[16];
+  aes_.EncryptBlock(zero, l);
+  ShiftLeftAndReduce(l, k1_);
+  ShiftLeftAndReduce(k1_, k2_);
+}
+
+void Cmac128::Mac(const void* data, size_t len, uint8_t out[16]) const {
+  Stream s(*this);
+  s.Update(data, len);
+  s.Final(out);
+}
+
+Cmac128::Stream::Stream(const Cmac128& cmac) : cmac_(cmac) {
+  std::memset(state_, 0, 16);
+}
+
+void Cmac128::Stream::Update(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  if (len == 0) return;
+  any_input_ = true;
+  // The final block needs special subkey treatment in Final(), so always
+  // keep at least one byte..one block buffered; everything before it is
+  // absorbed through the bulk CBC-MAC path.
+  if (buf_len_ > 0) {
+    size_t take = 16 - buf_len_;
+    if (take > len) take = len;
+    std::memcpy(buf_ + buf_len_, p, take);
+    buf_len_ += take;
+    p += take;
+    len -= take;
+    if (len == 0) return;  // buffered block may still be the final one
+    cmac_.aes_.CbcMacBlocks(state_, buf_, 1);
+    buf_len_ = 0;
+  }
+  // Absorb all full blocks except a possible final one.
+  size_t bulk = (len - 1) / 16;
+  if (bulk > 0) {
+    cmac_.aes_.CbcMacBlocks(state_, p, bulk);
+    p += bulk * 16;
+    len -= bulk * 16;
+  }
+  std::memcpy(buf_, p, len);
+  buf_len_ = len;
+}
+
+void Cmac128::Stream::Final(uint8_t out[16]) {
+  uint8_t last[16];
+  if (any_input_ && buf_len_ == 16) {
+    std::memcpy(last, buf_, 16);
+    Xor16(last, cmac_.k1_);
+  } else {
+    std::memset(last, 0, 16);
+    std::memcpy(last, buf_, buf_len_);
+    last[buf_len_] = 0x80;
+    Xor16(last, cmac_.k2_);
+  }
+  Xor16(state_, last);
+  cmac_.aes_.EncryptBlock(state_, out);
+}
+
+bool MacEqual(const uint8_t a[16], const uint8_t b[16]) {
+  uint8_t diff = 0;
+  for (int i = 0; i < 16; ++i) diff |= static_cast<uint8_t>(a[i] ^ b[i]);
+  return diff == 0;
+}
+
+}  // namespace aria::crypto

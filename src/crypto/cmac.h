@@ -1,0 +1,47 @@
+// AES-CMAC (RFC 4493), the integrity primitive Aria uses everywhere —
+// mirrors sgx_rijndael128_cmac_msg. Produces 16-byte tags.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/aes.h"
+
+namespace aria::crypto {
+
+/// CMAC engine bound to one AES-128 key. Derives subkeys once; each Mac()
+/// call is then one AES pass over the message.
+class Cmac128 {
+ public:
+  explicit Cmac128(const Aes128& aes);
+
+  /// One-shot MAC over a contiguous buffer.
+  void Mac(const void* data, size_t len, uint8_t out[16]) const;
+
+  /// Streaming interface for multi-part messages (e.g. the record MAC over
+  /// RedPtr || counter || ciphertext || AdField without concatenation).
+  class Stream {
+   public:
+    explicit Stream(const Cmac128& cmac);
+    void Update(const void* data, size_t len);
+    void Final(uint8_t out[16]);
+
+   private:
+    const Cmac128& cmac_;
+    uint8_t state_[16];
+    uint8_t buf_[16];
+    size_t buf_len_ = 0;
+    bool any_input_ = false;
+  };
+
+ private:
+  friend class Stream;
+  const Aes128& aes_;
+  uint8_t k1_[16];
+  uint8_t k2_[16];
+};
+
+/// Constant-time 16-byte tag comparison (avoids early-exit timing leak).
+bool MacEqual(const uint8_t a[16], const uint8_t b[16]);
+
+}  // namespace aria::crypto

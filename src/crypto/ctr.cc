@@ -1,0 +1,73 @@
+#include "crypto/ctr.h"
+
+#include <cstring>
+
+namespace aria::crypto {
+
+void CtrIncrement(uint8_t ctr_block[16]) {
+  for (int i = 15; i >= 0; --i) {
+    if (++ctr_block[i] != 0) break;
+  }
+}
+
+void CtrAdd(uint8_t ctr_block[16], uint64_t n) {
+  for (int i = 15; i >= 0 && n > 0; --i) {
+    uint64_t v = ctr_block[i] + (n & 0xFF);
+    ctr_block[i] = static_cast<uint8_t>(v);
+    n = (n >> 8) + (v >> 8);
+  }
+}
+
+void AesCtrCryptAt(const Aes128& aes, const uint8_t ctr_block[16],
+                   size_t offset, const uint8_t* in, uint8_t* out,
+                   size_t len) {
+  if (len == 0) return;
+  uint8_t ctr[16];
+  std::memcpy(ctr, ctr_block, 16);
+  CtrAdd(ctr, offset / 16);
+  size_t skip = offset % 16;
+  if (skip != 0) {
+    // Partial first block.
+    uint8_t stream[16];
+    aes.EncryptBlock(ctr, stream);
+    size_t chunk = 16 - skip;
+    if (chunk > len) chunk = len;
+    for (size_t i = 0; i < chunk; ++i) out[i] = in[i] ^ stream[skip + i];
+    CtrIncrement(ctr);
+    in += chunk;
+    out += chunk;
+    len -= chunk;
+    if (len == 0) return;
+  }
+  AesCtrCrypt(aes, ctr, in, out, len);
+}
+
+void AesCtrCrypt(const Aes128& aes, const uint8_t ctr_block[16],
+                 const uint8_t* in, uint8_t* out, size_t len) {
+  uint8_t ctr[16];
+  std::memcpy(ctr, ctr_block, 16);
+
+  // Generate the keystream in batches so the AES-NI path amortizes the
+  // round-key loads across blocks.
+  constexpr size_t kBatchBlocks = 8;
+  uint8_t counters[kBatchBlocks * 16];
+  uint8_t stream[kBatchBlocks * 16];
+
+  size_t off = 0;
+  while (off < len) {
+    size_t remaining_blocks = (len - off + 15) / 16;
+    size_t blocks =
+        remaining_blocks < kBatchBlocks ? remaining_blocks : kBatchBlocks;
+    for (size_t b = 0; b < blocks; ++b) {
+      std::memcpy(counters + b * 16, ctr, 16);
+      CtrIncrement(ctr);
+    }
+    aes.EncryptBlocks(counters, stream, blocks);
+    size_t chunk = blocks * 16;
+    if (chunk > len - off) chunk = len - off;
+    for (size_t i = 0; i < chunk; ++i) out[off + i] = in[off + i] ^ stream[i];
+    off += chunk;
+  }
+}
+
+}  // namespace aria::crypto

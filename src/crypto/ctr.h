@@ -1,0 +1,33 @@
+// AES-128 counter-mode encryption, mirroring sgx_aes_ctr_encrypt with
+// 128 counter bits: the 16-byte counter block is incremented as a big-endian
+// integer for every keystream block.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/aes.h"
+
+namespace aria::crypto {
+
+/// Encrypt or decrypt (identical operation) `len` bytes of `in` into `out`
+/// using the keystream AES(ctr), AES(ctr+1), ... `in == out` is allowed.
+/// `ctr_block` is not modified.
+void AesCtrCrypt(const Aes128& aes, const uint8_t ctr_block[16],
+                 const uint8_t* in, uint8_t* out, size_t len);
+
+/// Like AesCtrCrypt, but processes the keystream window starting at byte
+/// `offset` of the stream defined by `ctr_block` — so a suffix of a message
+/// (e.g. just the value of an encrypted key||value record) can be decrypted
+/// without generating keystream for the prefix.
+void AesCtrCryptAt(const Aes128& aes, const uint8_t ctr_block[16],
+                   size_t offset, const uint8_t* in, uint8_t* out,
+                   size_t len);
+
+/// Big-endian increment of a 16-byte counter block (exposed for tests).
+void CtrIncrement(uint8_t ctr_block[16]);
+
+/// Big-endian addition of `n` to a 16-byte counter block.
+void CtrAdd(uint8_t ctr_block[16], uint64_t n);
+
+}  // namespace aria::crypto

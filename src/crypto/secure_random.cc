@@ -1,0 +1,45 @@
+#include "crypto/secure_random.h"
+
+#include <cstring>
+#include <random>
+
+#include "crypto/ctr.h"
+
+namespace aria::crypto {
+
+SecureRandom::SecureRandom() {
+  std::random_device rd;
+  uint8_t key[16];
+  for (int i = 0; i < 16; i += 4) {
+    uint32_t v = rd();
+    std::memcpy(key + i, &v, 4);
+  }
+  aes_ = std::make_unique<Aes128>(key);
+  std::memset(counter_, 0, 16);
+}
+
+SecureRandom::SecureRandom(uint64_t seed) {
+  uint8_t key[16] = {0};
+  std::memcpy(key, &seed, 8);
+  std::memcpy(key + 8, &seed, 8);
+  key[15] ^= 0xA5;
+  aes_ = std::make_unique<Aes128>(key);
+  std::memset(counter_, 0, 16);
+}
+
+void SecureRandom::Fill(void* out, size_t len) {
+  uint8_t* p = static_cast<uint8_t*>(out);
+  std::memset(p, 0, len);
+  AesCtrCrypt(*aes_, counter_, p, p, len);
+  // Advance the counter past the blocks just consumed.
+  size_t blocks = (len + 15) / 16;
+  for (size_t i = 0; i < blocks; ++i) CtrIncrement(counter_);
+}
+
+uint64_t SecureRandom::NextU64() {
+  uint64_t v;
+  Fill(&v, sizeof(v));
+  return v;
+}
+
+}  // namespace aria::crypto

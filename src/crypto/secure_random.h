@@ -1,0 +1,31 @@
+// Cryptographic random bytes for counter initialization and key generation.
+// Implemented as an AES-CTR DRBG: seeded from std::random_device by default,
+// or from a fixed seed for reproducible tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "crypto/aes.h"
+
+namespace aria::crypto {
+
+/// AES-CTR based deterministic random bit generator.
+class SecureRandom {
+ public:
+  /// Seeded from std::random_device (non-deterministic).
+  SecureRandom();
+
+  /// Deterministic stream for the given seed (tests, reproducible runs).
+  explicit SecureRandom(uint64_t seed);
+
+  void Fill(void* out, size_t len);
+  uint64_t NextU64();
+
+ private:
+  std::unique_ptr<Aes128> aes_;
+  uint8_t counter_[16];
+};
+
+}  // namespace aria::crypto

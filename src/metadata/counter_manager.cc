@@ -1,0 +1,237 @@
+#include "metadata/counter_manager.h"
+
+#include <cstring>
+
+namespace aria {
+
+CounterManager::CounterManager(sgx::EnclaveRuntime* enclave,
+                               UntrustedAllocator* allocator,
+                               const crypto::Cmac128* cmac,
+                               crypto::SecureRandom* rng,
+                               CounterManagerConfig config)
+    : enclave_(enclave),
+      allocator_(allocator),
+      cmac_(cmac),
+      rng_(rng),
+      config_(config) {}
+
+CounterManager::~CounterManager() {
+  if (pending_ != nullptr && pending_->worker.joinable()) {
+    pending_->worker.join();
+  }
+  pending_.reset();
+  for (auto& unit : units_) {
+    if (unit->bitmap != nullptr) enclave_->TrustedFree(unit->bitmap);
+    if (unit->ring != nullptr) allocator_->Free(unit->ring).ok();
+    // Cache must be destroyed before its tree.
+    unit->cache.reset();
+    unit->tree.reset();
+  }
+}
+
+Status CounterManager::Init() {
+  if (!units_.empty()) return Status::Internal("CounterManager::Init twice");
+  return AddTree(config_.cache);
+}
+
+Status CounterManager::AddTree(const SecureCacheConfig& cache_config) {
+  auto tree = std::make_unique<FlatMerkleTree>(
+      enclave_, allocator_, cmac_, config_.counters_per_tree, config_.arity);
+  ARIA_RETURN_IF_ERROR(tree->Init(rng_));
+  return FinishTree(std::move(tree), nullptr, cache_config);
+}
+
+Status CounterManager::FinishTree(
+    std::unique_ptr<FlatMerkleTree> tree,
+    std::unique_ptr<sgx::EnclaveRuntime> build_runtime,
+    const SecureCacheConfig& cache_config) {
+  auto unit = std::make_unique<TreeUnit>();
+  unit->tree = std::move(tree);
+  unit->build_runtime_holder = std::move(build_runtime);
+
+  unit->cache = std::make_unique<SecureCache>(enclave_, unit->tree.get(),
+                                              cmac_, cache_config);
+  ARIA_RETURN_IF_ERROR(unit->cache->Attach());
+
+  unit->bitmap_words = (config_.counters_per_tree + 63) / 64;
+  unit->bitmap = static_cast<uint64_t*>(
+      enclave_->TrustedAlloc(unit->bitmap_words * sizeof(uint64_t)));
+  if (unit->bitmap == nullptr) {
+    return Status::CapacityExceeded("counter bitmap allocation");
+  }
+
+  unit->ring_capacity = config_.counters_per_tree + 1;
+  auto ring = allocator_->Alloc(unit->ring_capacity * sizeof(uint64_t));
+  if (!ring.ok()) return ring.status();
+  unit->ring = static_cast<uint64_t*>(ring.value());
+
+  stats_.trees++;
+  stats_.untrusted_mt_bytes += unit->tree->total_bytes();
+  stats_.trusted_bitmap_bytes += unit->bitmap_words * sizeof(uint64_t);
+  units_.push_back(std::move(unit));
+  return Status::OK();
+}
+
+Status CounterManager::CheckAndSetBit(TreeUnit* unit, uint64_t slot,
+                                      bool expect_used) {
+  uint64_t word = slot / 64;
+  uint64_t bit = 1ull << (slot % 64);
+  enclave_->TouchRead(&unit->bitmap[word], sizeof(uint64_t));
+  bool used = (unit->bitmap[word] & bit) != 0;
+  if (used != expect_used) {
+    return Status::IntegrityViolation(
+        expect_used ? "freeing a counter that is not in use"
+                    : "free ring returned an in-use counter (replay attack)");
+  }
+  unit->bitmap[word] ^= bit;
+  enclave_->TouchWrite(&unit->bitmap[word], sizeof(uint64_t));
+  return Status::OK();
+}
+
+Result<RedPtr> CounterManager::FetchCounter() {
+  stats_.fetches++;
+  // Try trees in order: recycled slots first, then the bump cursor.
+  for (size_t t = 0; t < units_.size(); ++t) {
+    TreeUnit* unit = units_[t].get();
+    if (unit->ring_head != unit->ring_tail) {
+      uint64_t slot = unit->ring[unit->ring_head % unit->ring_capacity];
+      if (slot >= config_.counters_per_tree) {
+        return Status::IntegrityViolation("free ring slot out of range");
+      }
+      ARIA_RETURN_IF_ERROR(CheckAndSetBit(unit, slot, /*expect_used=*/false));
+      unit->ring_head++;
+      stats_.recycled++;
+      stats_.used++;
+      return MakeId(t, slot);
+    }
+    if (unit->next_unused < config_.counters_per_tree) {
+      uint64_t slot = unit->next_unused++;
+      ARIA_RETURN_IF_ERROR(CheckAndSetBit(unit, slot, /*expect_used=*/false));
+      stats_.used++;
+      if (t == units_.size() - 1) MaybeStartReservation();
+      return MakeId(t, slot);
+    }
+  }
+  // All trees exhausted: MT expansion (§V-A), ideally adopting the tree
+  // the background thread prepared.
+  ARIA_RETURN_IF_ERROR(AdoptOrBuildTree());
+  TreeUnit* unit = units_.back().get();
+  uint64_t slot = unit->next_unused++;
+  ARIA_RETURN_IF_ERROR(CheckAndSetBit(unit, slot, /*expect_used=*/false));
+  stats_.used++;
+  return MakeId(units_.size() - 1, slot);
+}
+
+void CounterManager::MaybeStartReservation() {
+  if (pending_ != nullptr || config_.reserve_threshold <= 0) return;
+  TreeUnit* last = units_.back().get();
+  if (static_cast<double>(last->next_unused) <
+      config_.reserve_threshold *
+          static_cast<double>(config_.counters_per_tree)) {
+    return;
+  }
+  auto pending = std::make_unique<PendingTree>();
+  // Private runtime: the worker must not race on the main enclave's stats;
+  // its charges are folded in at adoption time.
+  pending->build_runtime = std::make_unique<sgx::EnclaveRuntime>(
+      enclave_->epc_budget_bytes(), enclave_->cost_model());
+  pending->build_rng =
+      std::make_unique<crypto::SecureRandom>(rng_->NextU64());
+  // Allocation happens here, on the calling thread (allocator is not
+  // thread-safe); only the expensive Init runs on the worker.
+  pending->tree = std::make_unique<FlatMerkleTree>(
+      pending->build_runtime.get(), allocator_, cmac_,
+      config_.counters_per_tree, config_.arity);
+  PendingTree* raw = pending.get();
+  pending->worker = std::thread([raw]() {
+    raw->status = raw->tree->Init(raw->build_rng.get());
+    raw->done.store(true, std::memory_order_release);
+  });
+  pending_ = std::move(pending);
+}
+
+Status CounterManager::AdoptOrBuildTree() {
+  if (pending_ != nullptr) {
+    pending_->worker.join();
+    auto pending = std::move(pending_);
+    if (pending->status.ok()) {
+      // Fold the background build's simulated cost into this enclave.
+      enclave_->Charge(pending->build_runtime->stats().charged_cycles);
+      ARIA_RETURN_IF_ERROR(FinishTree(std::move(pending->tree),
+                                      std::move(pending->build_runtime),
+                                      config_.growth_cache));
+      stats_.background_reservations++;
+      return Status::OK();
+    }
+    // Fall through to a synchronous build on background failure.
+  }
+  stats_.synchronous_expansions++;
+  return AddTree(config_.growth_cache);
+}
+
+Result<CounterManager::TreeUnit*> CounterManager::UnitFor(RedPtr id,
+                                                          uint64_t* slot) {
+  uint64_t t = TreeOf(id);
+  if (t >= units_.size()) {
+    return Status::IntegrityViolation("RedPtr names a nonexistent tree");
+  }
+  *slot = SlotOf(id);
+  if (*slot >= config_.counters_per_tree) {
+    return Status::IntegrityViolation("RedPtr slot out of range");
+  }
+  return units_[t].get();
+}
+
+Status CounterManager::FreeCounter(RedPtr id) {
+  uint64_t slot;
+  auto unit = UnitFor(id, &slot);
+  if (!unit.ok()) return unit.status();
+  ARIA_RETURN_IF_ERROR(CheckAndSetBit(unit.value(), slot, /*expect_used=*/true));
+  TreeUnit* u = unit.value();
+  if (u->ring_tail - u->ring_head >= u->ring_capacity) {
+    return Status::Internal("counter free ring overflow");
+  }
+  u->ring[u->ring_tail % u->ring_capacity] = slot;
+  u->ring_tail++;
+  stats_.frees++;
+  stats_.used--;
+  return Status::OK();
+}
+
+Status CounterManager::ReadCounter(RedPtr id, uint8_t out[kCounterSize]) {
+  uint64_t slot;
+  auto unit = UnitFor(id, &slot);
+  if (!unit.ok()) return unit.status();
+  return unit.value()->cache->ReadCounter(slot, out);
+}
+
+Status CounterManager::BumpCounter(RedPtr id, uint8_t out[kCounterSize]) {
+  uint64_t slot;
+  auto unit = UnitFor(id, &slot);
+  if (!unit.ok()) return unit.status();
+  return unit.value()->cache->BumpCounter(slot, out);
+}
+
+SecureCacheStats CounterManager::CacheStats() const {
+  SecureCacheStats agg;
+  for (const auto& unit : units_) {
+    const SecureCacheStats& s = unit->cache->stats();
+    agg.hits += s.hits;
+    agg.misses += s.misses;
+    agg.evictions += s.evictions;
+    agg.clean_discards += s.clean_discards;
+    agg.dirty_writebacks += s.dirty_writebacks;
+    agg.mac_verifications += s.mac_verifications;
+    agg.bytes_swapped_in += s.bytes_swapped_in;
+    agg.bytes_swapped_out += s.bytes_swapped_out;
+    agg.encryption_bytes_avoided += s.encryption_bytes_avoided;
+    agg.writebacks_avoided += s.writebacks_avoided;
+    agg.pinned_bytes += s.pinned_bytes;
+    agg.slot_bytes += s.slot_bytes;
+    agg.metadata_bytes += s.metadata_bytes;
+    agg.swap_stopped = agg.swap_stopped || s.swap_stopped;
+  }
+  return agg;
+}
+
+}  // namespace aria

@@ -1,0 +1,147 @@
+// Counter area management (paper §V-C): the redirection layer's backing
+// store. Counters live in untrusted memory as the leaf level of a flat
+// Merkle tree and are served through Secure Cache. Free slots are recycled
+// through a circular buffer in untrusted memory whose head/tail pointers
+// stay in the EPC; a trusted occupation bitmap detects malicious recycling
+// ("if it is used, we assert that an attack happens"). When a tree fills
+// up, a new Merkle tree is carved out (MT expansion, §V-A).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "alloc/heap_allocator.h"
+#include "cache/secure_cache.h"
+#include "common/status.h"
+#include "core/counter_store.h"
+#include "crypto/cmac.h"
+#include "crypto/secure_random.h"
+#include "mt/flat_merkle_tree.h"
+#include "sgxsim/enclave_runtime.h"
+
+namespace aria {
+
+struct CounterManagerConfig {
+  /// Counter capacity of each Merkle tree (slots).
+  uint64_t counters_per_tree = 1 << 20;
+
+  /// Merkle tree arity (counters per leaf node / MACs per inner node).
+  size_t arity = 8;
+
+  /// Secure Cache configuration for the first tree.
+  SecureCacheConfig cache;
+
+  /// Secure Cache configuration for expansion trees (usually smaller).
+  SecureCacheConfig growth_cache;
+
+  /// Reserve the next Merkle tree on a background thread once the youngest
+  /// tree's bump allocation passes this fraction (§V-A: "Aria reserves a
+  /// new MT using a background thread when the number of used counters
+  /// reaches the threshold"). 0 disables background reservation (the tree
+  /// is then built synchronously on exhaustion).
+  double reserve_threshold = 0.9;
+};
+
+struct CounterManagerStats {
+  uint64_t trees = 0;
+  uint64_t used = 0;
+  uint64_t fetches = 0;
+  uint64_t frees = 0;
+  uint64_t recycled = 0;
+  uint64_t untrusted_mt_bytes = 0;
+  uint64_t trusted_bitmap_bytes = 0;
+  uint64_t background_reservations = 0;  ///< trees initialized off-thread
+  uint64_t synchronous_expansions = 0;   ///< trees built on the hot path
+};
+
+/// Aria's counter store: Merkle-tree-protected counters behind Secure Cache.
+class CounterManager : public CounterStore {
+ public:
+  CounterManager(sgx::EnclaveRuntime* enclave, UntrustedAllocator* allocator,
+                 const crypto::Cmac128* cmac, crypto::SecureRandom* rng,
+                 CounterManagerConfig config);
+  ~CounterManager() override;
+
+  /// Build and initialize the first Merkle tree + cache.
+  Status Init();
+
+  Result<RedPtr> FetchCounter() override;
+  Status FreeCounter(RedPtr id) override;
+  Status ReadCounter(RedPtr id, uint8_t out[kCounterSize]) override;
+  Status BumpCounter(RedPtr id, uint8_t out[kCounterSize]) override;
+  uint64_t used_counters() const override { return stats_.used; }
+
+  const CounterManagerStats& stats() const { return stats_; }
+
+  /// Aggregated Secure Cache statistics across all trees.
+  SecureCacheStats CacheStats() const;
+
+  /// Direct access for tests and benchmarks (tree 0 always exists after
+  /// Init).
+  SecureCache* cache(size_t tree = 0) { return units_[tree]->cache.get(); }
+  FlatMerkleTree* tree(size_t tree = 0) { return units_[tree]->tree.get(); }
+  size_t num_trees() const { return units_.size(); }
+
+ private:
+  struct TreeUnit {
+    std::unique_ptr<FlatMerkleTree> tree;
+    std::unique_ptr<SecureCache> cache;
+    uint64_t next_unused = 0;
+    // Occupation bitmap (trusted).
+    uint64_t* bitmap = nullptr;
+    uint64_t bitmap_words = 0;
+    // Circular free buffer (untrusted) + trusted head/tail.
+    uint64_t* ring = nullptr;
+    uint64_t ring_capacity = 0;
+    uint64_t ring_head = 0;  // pop side
+    uint64_t ring_tail = 0;  // push side
+    // Keeps a background-built tree's private runtime alive (the tree holds
+    // a pointer to it, although it is only used during Init).
+    std::unique_ptr<sgx::EnclaveRuntime> build_runtime_holder;
+  };
+
+  static constexpr int kTreeShift = 48;
+  static uint64_t TreeOf(RedPtr id) { return id >> kTreeShift; }
+  static uint64_t SlotOf(RedPtr id) { return id & ((1ull << kTreeShift) - 1); }
+  static RedPtr MakeId(uint64_t tree, uint64_t slot) {
+    return (tree << kTreeShift) | slot;
+  }
+
+  Status AddTree(const SecureCacheConfig& cache_config);
+  Status FinishTree(std::unique_ptr<FlatMerkleTree> tree,
+                    std::unique_ptr<sgx::EnclaveRuntime> build_runtime,
+                    const SecureCacheConfig& cache_config);
+  Status CheckAndSetBit(TreeUnit* unit, uint64_t slot, bool expect_used);
+  Result<TreeUnit*> UnitFor(RedPtr id, uint64_t* slot);
+
+  /// Background reservation (§V-A): the tree buffer is allocated on the
+  /// calling thread (the allocator is not thread-safe), then the expensive
+  /// Init — random counters plus the full bottom-up MAC build — runs on a
+  /// worker thread against a private enclave runtime whose charges are
+  /// folded into the main enclave at adoption time.
+  struct PendingTree {
+    std::unique_ptr<sgx::EnclaveRuntime> build_runtime;
+    std::unique_ptr<crypto::SecureRandom> build_rng;
+    std::unique_ptr<FlatMerkleTree> tree;
+    std::thread worker;
+    std::atomic<bool> done{false};
+    Status status;
+  };
+
+  void MaybeStartReservation();
+  Status AdoptOrBuildTree();
+
+  sgx::EnclaveRuntime* enclave_;
+  UntrustedAllocator* allocator_;
+  const crypto::Cmac128* cmac_;
+  crypto::SecureRandom* rng_;
+  CounterManagerConfig config_;
+  std::vector<std::unique_ptr<TreeUnit>> units_;
+  std::unique_ptr<PendingTree> pending_;
+  CounterManagerStats stats_;
+};
+
+}  // namespace aria

@@ -1,0 +1,97 @@
+#include "mt/flat_merkle_tree.h"
+
+#include <cstring>
+
+namespace aria {
+
+FlatMerkleTree::FlatMerkleTree(sgx::EnclaveRuntime* enclave,
+                               UntrustedAllocator* allocator,
+                               const crypto::Cmac128* cmac,
+                               uint64_t num_counters, size_t arity)
+    : enclave_(enclave),
+      allocator_(allocator),
+      cmac_(cmac),
+      num_counters_(num_counters),
+      arity_(arity),
+      node_size_(arity * kMacSize) {
+  // Compute the level geometry: level 0 packs the counters, each level above
+  // packs the child MACs, until one node remains.
+  uint64_t nodes = (num_counters_ + arity_ - 1) / arity_;
+  if (nodes == 0) nodes = 1;
+  level_nodes_.push_back(nodes);
+  while (nodes > 1) {
+    nodes = (nodes + arity_ - 1) / arity_;
+    level_nodes_.push_back(nodes);
+  }
+  uint64_t offset = 0;
+  for (uint64_t n : level_nodes_) {
+    level_offsets_.push_back(offset);
+    offset += n * node_size_;
+  }
+  total_bytes_ = offset;
+
+  auto mem = allocator_->Alloc(total_bytes_);
+  if (mem.ok()) {
+    buffer_ = static_cast<uint8_t*>(mem.value());
+    // Zero so padding in partial tail nodes is deterministic.
+    std::memset(buffer_, 0, total_bytes_);
+  }
+}
+
+FlatMerkleTree::~FlatMerkleTree() {
+  if (buffer_ != nullptr) {
+    allocator_->Free(buffer_).ok();
+  }
+}
+
+uint8_t* FlatMerkleTree::NodePtr(int level, uint64_t index) const {
+  return buffer_ + level_offsets_[level] + index * node_size_;
+}
+
+uint8_t* FlatMerkleTree::CounterPtr(uint64_t c) const {
+  return buffer_ + c * kCounterSize;
+}
+
+uint8_t* FlatMerkleTree::StoredMacPtr(MtNodeId id) {
+  if (IsTop(id)) return root_;
+  MtNodeId parent = ParentOf(id);
+  return NodePtr(parent.level, parent.index) + SlotInParent(id) * kMacSize;
+}
+
+void FlatMerkleTree::ComputeNodeMac(MtNodeId id, uint8_t out[kMacSize]) const {
+  cmac_->Mac(NodePtr(id.level, id.index), node_size_, out);
+}
+
+Status FlatMerkleTree::Init(crypto::SecureRandom* rng) {
+  if (buffer_ == nullptr) {
+    return Status::CapacityExceeded("merkle tree buffer allocation failed");
+  }
+  // Random initial counter values (paper §IV-B: "we assign a random value to
+  // each counter first"), so an attacker cannot predict fresh counters.
+  rng->Fill(buffer_, num_counters_ * kCounterSize);
+
+  // Build every MAC level bottom-up. The MAC computation happens inside the
+  // enclave: nodes stream through a trusted scratch buffer, which the
+  // enclave runtime charges for.
+  std::vector<uint8_t> scratch(node_size_);
+  for (int level = 0; level + 1 <= num_levels() - 1; ++level) {
+    for (uint64_t i = 0; i < level_nodes_[level]; ++i) {
+      std::memcpy(scratch.data(), NodePtr(level, i), node_size_);
+      enclave_->TouchWrite(scratch.data(), node_size_);
+      MtNodeId id{level, i};
+      MtNodeId parent = ParentOf(id);
+      cmac_->Mac(scratch.data(), node_size_,
+                 NodePtr(parent.level, parent.index) +
+                     SlotInParent(id) * kMacSize);
+    }
+  }
+  // Root over the single top node.
+  MtNodeId top{num_levels() - 1, 0};
+  std::memcpy(scratch.data(), NodePtr(top.level, 0), node_size_);
+  enclave_->TouchWrite(scratch.data(), node_size_);
+  cmac_->Mac(scratch.data(), node_size_, root_);
+  enclave_->TouchWrite(root_, kMacSize);
+  return Status::OK();
+}
+
+}  // namespace aria

@@ -1,0 +1,121 @@
+// Flat N-ary Merkle tree over encryption counters (paper §IV-D, §V-A).
+//
+// All tree nodes live in ONE continuous untrusted buffer, level by level
+// (Fig. 5), so a node's parent is found by pure address arithmetic and
+// sequential verification benefits from hardware prefetching. Only the
+// 16-byte root MAC is kept inside the enclave.
+//
+// Layout for arity T (node size = 16*T bytes):
+//   level 0: counter blocks — each node packs T 16-byte counters
+//   level i: MAC nodes — each node packs the T child MACs
+//   root:    CMAC of the single top-level node, stored in trusted memory
+//
+// The tree itself is policy-free: verification with caching semantics lives
+// in cache/secure_cache.h, which drives these primitives.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/heap_allocator.h"
+#include "common/status.h"
+#include "crypto/cmac.h"
+#include "crypto/secure_random.h"
+#include "sgxsim/enclave_runtime.h"
+
+namespace aria {
+
+/// Identifies one Merkle-tree node.
+struct MtNodeId {
+  int level;
+  uint64_t index;
+
+  bool operator==(const MtNodeId& o) const {
+    return level == o.level && index == o.index;
+  }
+};
+
+class FlatMerkleTree {
+ public:
+  static constexpr size_t kMacSize = 16;
+  static constexpr size_t kCounterSize = 16;
+
+  /// Create a tree protecting `num_counters` 16-byte counters with the given
+  /// arity (children per node). Memory is obtained from `allocator`
+  /// (untrusted); the root stays in a trusted member.
+  FlatMerkleTree(sgx::EnclaveRuntime* enclave, UntrustedAllocator* allocator,
+                 const crypto::Cmac128* cmac, uint64_t num_counters,
+                 size_t arity);
+  ~FlatMerkleTree();
+
+  FlatMerkleTree(const FlatMerkleTree&) = delete;
+  FlatMerkleTree& operator=(const FlatMerkleTree&) = delete;
+
+  /// Initialize counters with cryptographically random values and build all
+  /// MAC levels bottom-up (executed "inside the enclave": the per-node MACs
+  /// are computed through a trusted scratch buffer).
+  Status Init(crypto::SecureRandom* rng);
+
+  size_t arity() const { return arity_; }
+  size_t node_size() const { return node_size_; }
+  uint64_t num_counters() const { return num_counters_; }
+
+  /// Number of node levels (level 0 .. num_levels()-1). The root MAC sits
+  /// conceptually above level num_levels()-1.
+  int num_levels() const { return static_cast<int>(level_nodes_.size()); }
+
+  uint64_t NodesAt(int level) const { return level_nodes_[level]; }
+
+  /// Untrusted address of a node.
+  uint8_t* NodePtr(int level, uint64_t index) const;
+
+  /// Untrusted address of counter `c` (inside its level-0 node).
+  uint8_t* CounterPtr(uint64_t c) const;
+
+  /// Leaf node that holds counter `c`.
+  MtNodeId LeafOf(uint64_t c) const {
+    return MtNodeId{0, c / arity_};
+  }
+  size_t CounterOffsetInLeaf(uint64_t c) const {
+    return (c % arity_) * kCounterSize;
+  }
+
+  MtNodeId ParentOf(MtNodeId id) const {
+    return MtNodeId{id.level + 1, id.index / arity_};
+  }
+  size_t SlotInParent(MtNodeId id) const { return id.index % arity_; }
+
+  /// True iff this node's stored MAC is the trusted root (i.e. it is the
+  /// single top-level node).
+  bool IsTop(MtNodeId id) const { return id.level == num_levels() - 1; }
+
+  /// Where the MAC of `id` is stored: a 16-byte slot inside its parent node
+  /// (untrusted) or the trusted root for the top node.
+  uint8_t* StoredMacPtr(MtNodeId id);
+
+  /// Trusted root MAC.
+  const uint8_t* root() const { return root_; }
+  uint8_t* mutable_root() { return root_; }
+
+  /// CMAC over the raw node bytes as they currently sit in untrusted memory.
+  void ComputeNodeMac(MtNodeId id, uint8_t out[kMacSize]) const;
+
+  /// Total untrusted bytes used by all levels.
+  uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  sgx::EnclaveRuntime* enclave_;
+  UntrustedAllocator* allocator_;
+  const crypto::Cmac128* cmac_;
+  uint64_t num_counters_;
+  size_t arity_;
+  size_t node_size_;
+
+  uint8_t* buffer_ = nullptr;
+  uint64_t total_bytes_ = 0;
+  std::vector<uint64_t> level_nodes_;    // node count per level
+  std::vector<uint64_t> level_offsets_;  // byte offset of each level
+  uint8_t root_[kMacSize] = {0};         // trusted
+};
+
+}  // namespace aria

@@ -1,0 +1,8 @@
+#include "sgxsim/cost_model.h"
+
+// CostModel is header-only today; this TU anchors the module so the build
+// fails loudly if the header rots.
+namespace aria::sgx {
+static_assert(CostModel::kPageSize == 4096);
+static_assert(CostModel::kPageSize % CostModel::kCacheLineSize == 0);
+}  // namespace aria::sgx

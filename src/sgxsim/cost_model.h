@@ -1,0 +1,76 @@
+// Cycle cost model for the simulated SGX enclave. Constants come from the
+// Aria paper (§II-A) and the literature it cites: an EPC hit costs ~200
+// cycles, a secure page swap ~40K cycles (SCONE), an ECALL/OCALL
+// 8000-14000 cycles (HotCalls), and the MEE adds per-cacheline overhead on
+// every trusted-memory access.
+#pragma once
+
+#include <cstdint>
+
+namespace aria::sgx {
+
+/// Tunable cost constants. All costs are in CPU cycles; `cpu_freq_hz`
+/// converts the accumulated simulated cycles into seconds for throughput
+/// reporting. Setting `enabled = false` models running the same code outside
+/// an enclave ("Aria w/o SGX" in Fig. 12): no charge is ever recorded.
+struct CostModel {
+  bool enabled = true;
+
+  /// Nominal frequency used to convert cycles to seconds (i7-7700 base).
+  uint64_t cpu_freq_hz = 3'600'000'000ull;
+
+  /// Hardware secure paging: evict one EPC page + load/decrypt/verify the
+  /// requested one (OS context switch, copy, crypto, SGX integrity tree).
+  uint64_t page_swap_cycles = 40'000;
+
+  /// Crossing the enclave boundary (either direction).
+  uint64_t ecall_cycles = 10'000;
+  uint64_t ocall_cycles = 10'000;
+
+  /// Memory Encryption Engine: extra cycles per 64-byte cache line moved
+  /// between the LLC and the EPC (encrypt/decrypt + integrity-tree check).
+  uint64_t mee_read_cycles_per_line = 14;
+  uint64_t mee_write_cycles_per_line = 20;
+
+  /// Size of one EPC page (fixed by the SGX architecture).
+  static constexpr uint64_t kPageSize = 4096;
+  static constexpr uint64_t kCacheLineSize = 64;
+
+  /// Usable EPC on the paper's testbed ("the machine we use only supports
+  /// 91 MB EPC").
+  static constexpr uint64_t kDefaultEpcBytes = 91ull * 1024 * 1024;
+
+  double CyclesToSeconds(uint64_t cycles) const {
+    return static_cast<double>(cycles) / static_cast<double>(cpu_freq_hz);
+  }
+};
+
+/// Event counters accumulated by the enclave runtime. Plain struct so tests
+/// and benchmarks can snapshot/diff it.
+struct SgxStats {
+  uint64_t charged_cycles = 0;
+  uint64_t page_swaps = 0;
+  uint64_t epc_page_hits = 0;
+  uint64_t ecalls = 0;
+  uint64_t ocalls = 0;
+  uint64_t trusted_bytes_allocated = 0;
+  uint64_t trusted_bytes_peak = 0;
+  uint64_t mee_lines_read = 0;
+  uint64_t mee_lines_written = 0;
+
+  SgxStats Delta(const SgxStats& earlier) const {
+    SgxStats d;
+    d.charged_cycles = charged_cycles - earlier.charged_cycles;
+    d.page_swaps = page_swaps - earlier.page_swaps;
+    d.epc_page_hits = epc_page_hits - earlier.epc_page_hits;
+    d.ecalls = ecalls - earlier.ecalls;
+    d.ocalls = ocalls - earlier.ocalls;
+    d.trusted_bytes_allocated = trusted_bytes_allocated;
+    d.trusted_bytes_peak = trusted_bytes_peak;
+    d.mee_lines_read = mee_lines_read - earlier.mee_lines_read;
+    d.mee_lines_written = mee_lines_written - earlier.mee_lines_written;
+    return d;
+  }
+};
+
+}  // namespace aria::sgx

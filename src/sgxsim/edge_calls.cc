@@ -1,0 +1,27 @@
+#include "sgxsim/edge_calls.h"
+
+namespace aria::sgx {
+
+namespace {
+// Rough cost of the checked parameter copy at the boundary: ~1 cycle/byte
+// (copy + bounds/security checks), on top of the fixed transition cost.
+constexpr uint64_t kCopyCyclesPerByte = 1;
+}  // namespace
+
+OcallGuard::OcallGuard(EnclaveRuntime* runtime) : runtime_(runtime) {
+  runtime_->Ocall();
+}
+
+void OcallGuard::CopyParams(size_t bytes) {
+  runtime_->Charge(bytes * kCopyCyclesPerByte);
+}
+
+EcallGuard::EcallGuard(EnclaveRuntime* runtime) : runtime_(runtime) {
+  runtime_->Ecall();
+}
+
+void EcallGuard::CopyParams(size_t bytes) {
+  runtime_->Charge(bytes * kCopyCyclesPerByte);
+}
+
+}  // namespace aria::sgx

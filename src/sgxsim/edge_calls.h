@@ -1,0 +1,36 @@
+// ECALL/OCALL helpers: RAII guards that charge boundary-crossing cost and
+// model the parameter-marshalling copy across the security boundary.
+#pragma once
+
+#include <cstddef>
+
+#include "sgxsim/enclave_runtime.h"
+
+namespace aria::sgx {
+
+/// Scope guard for code that leaves the enclave (e.g. a malloc OCALL in the
+/// no-heap-allocator ablation). Charges one OCALL on entry; parameter bytes
+/// may be added with CopyParams().
+class OcallGuard {
+ public:
+  explicit OcallGuard(EnclaveRuntime* runtime);
+
+  /// Model copying `bytes` of call parameters across the boundary.
+  void CopyParams(size_t bytes);
+
+ private:
+  EnclaveRuntime* runtime_;
+};
+
+/// Scope guard for a request entering the enclave.
+class EcallGuard {
+ public:
+  explicit EcallGuard(EnclaveRuntime* runtime);
+
+  void CopyParams(size_t bytes);
+
+ private:
+  EnclaveRuntime* runtime_;
+};
+
+}  // namespace aria::sgx

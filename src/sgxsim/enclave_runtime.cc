@@ -1,0 +1,154 @@
+#include "sgxsim/enclave_runtime.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace aria::sgx {
+
+namespace {
+constexpr uint64_t kPageShift = 12;
+static_assert((1ull << kPageShift) == CostModel::kPageSize);
+}  // namespace
+
+EnclaveRuntime::EnclaveRuntime(uint64_t epc_budget_bytes, CostModel model)
+    : model_(model),
+      epc_budget_bytes_(epc_budget_bytes),
+      epc_budget_pages_(epc_budget_bytes / CostModel::kPageSize) {
+  if (epc_budget_pages_ == 0) epc_budget_pages_ = 1;
+  clock_.reserve(epc_budget_pages_);
+}
+
+EnclaveRuntime::~EnclaveRuntime() {
+  for (auto& [p, size] : allocations_) {
+    (void)size;
+    std::free(p);
+  }
+}
+
+void* EnclaveRuntime::TrustedAlloc(size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  // Cache-line aligned, zeroed — like fresh EPC pages.
+  size_t rounded = (bytes + CostModel::kCacheLineSize - 1) /
+                   CostModel::kCacheLineSize * CostModel::kCacheLineSize;
+  void* p = std::aligned_alloc(CostModel::kCacheLineSize, rounded);
+  if (p == nullptr) return nullptr;
+  std::memset(p, 0, rounded);
+  allocations_.emplace(p, bytes);
+  trusted_in_use_ += bytes;
+  if (trusted_in_use_ > epc_budget_bytes_) ever_exceeded_budget_ = true;
+  stats_.trusted_bytes_allocated += bytes;
+  if (trusted_in_use_ > stats_.trusted_bytes_peak) {
+    stats_.trusted_bytes_peak = trusted_in_use_;
+  }
+  return p;
+}
+
+void EnclaveRuntime::TrustedFree(void* p) {
+  if (p == nullptr) return;
+  auto it = allocations_.find(p);
+  if (it == allocations_.end()) return;
+  // Drop the range's pages from the residency set so the slots are reusable.
+  uint64_t base = reinterpret_cast<uintptr_t>(p) >> kPageShift;
+  uint64_t last =
+      (reinterpret_cast<uintptr_t>(p) + it->second - 1) >> kPageShift;
+  for (uint64_t page = base; page <= last; ++page) {
+    auto rit = resident_.find(page);
+    if (rit == resident_.end()) continue;
+    // Mark the clock slot empty; it will be recycled by the hand.
+    clock_[rit->second].page_id = ~0ull;
+    clock_[rit->second].referenced = false;
+    resident_.erase(rit);
+  }
+  trusted_in_use_ -= it->second;
+  std::free(p);
+  allocations_.erase(it);
+}
+
+void EnclaveRuntime::Touch(const void* p, size_t len, bool is_write) {
+  if (!model_.enabled || len == 0) return;
+  uintptr_t addr = reinterpret_cast<uintptr_t>(p);
+  // MEE charge: every cache line moved between LLC and EPC.
+  uint64_t first_line = addr / CostModel::kCacheLineSize;
+  uint64_t last_line = (addr + len - 1) / CostModel::kCacheLineSize;
+  uint64_t lines = last_line - first_line + 1;
+  if (is_write) {
+    stats_.mee_lines_written += lines;
+    stats_.charged_cycles += lines * model_.mee_write_cycles_per_line;
+  } else {
+    stats_.mee_lines_read += lines;
+    stats_.charged_cycles += lines * model_.mee_read_cycles_per_line;
+  }
+  // Residency check per page (hardware secure paging). As long as the
+  // enclave's live trusted footprint has never exceeded the EPC, every page
+  // trivially fits and no tracking is needed — the common case for Aria and
+  // ShieldStore, whose designs guarantee exactly that.
+  uint64_t first_page = addr >> kPageShift;
+  uint64_t last_page = (addr + len - 1) >> kPageShift;
+  if (!ever_exceeded_budget_) {
+    stats_.epc_page_hits += last_page - first_page + 1;
+    return;
+  }
+  for (uint64_t page = first_page; page <= last_page; ++page) {
+    TouchPage(page);
+  }
+}
+
+void EnclaveRuntime::TouchPage(uint64_t page_id) {
+  auto it = resident_.find(page_id);
+  if (it != resident_.end()) {
+    clock_[it->second].referenced = true;
+    stats_.epc_page_hits++;
+    return;
+  }
+  // Page fault. If the EPC has free slots, this is a cheap demand-fill;
+  // otherwise it is a full secure page swap (evict victim + decrypt/verify
+  // the incoming page).
+  if (clock_.size() < epc_budget_pages_) {
+    resident_.emplace(page_id, clock_.size());
+    clock_.push_back(ClockEntry{page_id, true});
+    return;
+  }
+  // CLOCK second-chance victim selection; reuses freed (~0) slots first.
+  for (;;) {
+    ClockEntry& e = clock_[clock_hand_];
+    if (e.page_id == ~0ull) break;  // slot freed by TrustedFree
+    if (!e.referenced) break;
+    e.referenced = false;
+    clock_hand_ = (clock_hand_ + 1) % clock_.size();
+  }
+  ClockEntry& victim = clock_[clock_hand_];
+  bool was_free = victim.page_id == ~0ull;
+  if (!was_free) resident_.erase(victim.page_id);
+  victim.page_id = page_id;
+  victim.referenced = true;
+  resident_.emplace(page_id, clock_hand_);
+  clock_hand_ = (clock_hand_ + 1) % clock_.size();
+  if (!was_free) {
+    stats_.page_swaps++;
+    stats_.charged_cycles += model_.page_swap_cycles;
+  }
+}
+
+void EnclaveRuntime::TouchRead(const void* p, size_t len) {
+  Touch(p, len, /*is_write=*/false);
+}
+
+void EnclaveRuntime::TouchWrite(const void* p, size_t len) {
+  Touch(p, len, /*is_write=*/true);
+}
+
+void EnclaveRuntime::Ecall() {
+  stats_.ecalls++;
+  if (model_.enabled) stats_.charged_cycles += model_.ecall_cycles;
+}
+
+void EnclaveRuntime::Ocall() {
+  stats_.ocalls++;
+  if (model_.enabled) stats_.charged_cycles += model_.ocall_cycles;
+}
+
+void EnclaveRuntime::Charge(uint64_t cycles) {
+  if (model_.enabled) stats_.charged_cycles += cycles;
+}
+
+}  // namespace aria::sgx

@@ -1,0 +1,101 @@
+#include "workload/driver.h"
+
+#include <chrono>
+
+#include "common/random.h"
+
+namespace aria {
+
+namespace {
+constexpr size_t kBlobSize = 64 * 1024;
+constexpr size_t kMaxValue = 4096;
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+Driver::Driver(uint64_t seed) {
+  blob_.resize(kBlobSize + kMaxValue);
+  Random rng(seed);
+  for (auto& c : blob_) c = static_cast<char>('a' + rng.Uniform(26));
+}
+
+Slice Driver::ValueFor(uint64_t key_id, size_t size) const {
+  size_t off = (key_id * 131) % kBlobSize;
+  return Slice(blob_.data() + off, size);
+}
+
+Status Driver::Prepopulate(
+    KVStore* store, uint64_t keyspace,
+    const std::function<size_t(uint64_t)>& value_size_for) {
+  for (uint64_t id = 0; id < keyspace; ++id) {
+    std::string key = MakeKey(id);
+    ARIA_RETURN_IF_ERROR(store->Put(key, ValueFor(id, value_size_for(id))));
+  }
+  return Status::OK();
+}
+
+Status Driver::Prepopulate(KVStore* store, uint64_t keyspace,
+                           size_t value_size) {
+  return Prepopulate(store, keyspace,
+                     [value_size](uint64_t) { return value_size; });
+}
+
+Result<RunResult> Driver::Run(KVStore* store, sgx::EnclaveRuntime* enclave,
+                              const std::function<Op()>& next_op,
+                              uint64_t num_ops) {
+  RunResult r;
+  r.ops = num_ops;
+  uint64_t start_cycles = enclave->stats().charged_cycles;
+  std::string value;
+  double t0 = Now();
+  for (uint64_t i = 0; i < num_ops; ++i) {
+    Op op = next_op();
+    std::string key = MakeKey(op.key_id);
+    switch (op.type) {
+      case OpType::kGet: {
+        Status st = store->Get(key, &value);
+        if (st.IsNotFound()) {
+          r.not_found++;
+        } else if (!st.ok()) {
+          return st;
+        }
+        r.gets++;
+        break;
+      }
+      case OpType::kPut: {
+        ARIA_RETURN_IF_ERROR(
+            store->Put(key, ValueFor(op.key_id, op.value_size)));
+        r.puts++;
+        break;
+      }
+      case OpType::kDelete: {
+        Status st = store->Delete(key);
+        if (!st.ok() && !st.IsNotFound()) return st;
+        break;
+      }
+    }
+  }
+  r.wall_seconds = Now() - t0;
+  uint64_t cycles = enclave->stats().charged_cycles - start_cycles;
+  r.sim_seconds = enclave->cost_model().CyclesToSeconds(cycles);
+  return r;
+}
+
+Result<RunResult> Driver::RunYcsb(KVStore* store,
+                                  sgx::EnclaveRuntime* enclave,
+                                  const YcsbSpec& spec, uint64_t num_ops) {
+  YcsbWorkload wl(spec);
+  return Run(store, enclave, [&wl]() { return wl.Next(); }, num_ops);
+}
+
+Result<RunResult> Driver::RunEtc(KVStore* store, sgx::EnclaveRuntime* enclave,
+                                 const EtcSpec& spec, uint64_t num_ops) {
+  EtcWorkload wl(spec);
+  return Run(store, enclave, [&wl]() { return wl.Next(); }, num_ops);
+}
+
+}  // namespace aria

@@ -1,0 +1,63 @@
+// Workload driver: prepopulates a store and replays an operation stream,
+// reporting throughput as ops / (measured wall time + simulated SGX time).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/kv_store.h"
+#include "sgxsim/enclave_runtime.h"
+#include "workload/etc.h"
+#include "workload/ycsb.h"
+
+namespace aria {
+
+struct RunResult {
+  uint64_t ops = 0;
+  uint64_t gets = 0;
+  uint64_t puts = 0;
+  uint64_t not_found = 0;
+  double wall_seconds = 0.0;
+  double sim_seconds = 0.0;
+
+  double TotalSeconds() const { return wall_seconds + sim_seconds; }
+  double Throughput() const {
+    double t = TotalSeconds();
+    return t > 0 ? static_cast<double>(ops) / t : 0.0;
+  }
+};
+
+/// Replays operations against a store. Not a class with state machines on
+/// purpose: benchmarks compose it with any generator lambda.
+class Driver {
+ public:
+  explicit Driver(uint64_t seed = 7);
+
+  /// Insert keys [0, keyspace) with per-key value sizes.
+  Status Prepopulate(KVStore* store, uint64_t keyspace,
+                     const std::function<size_t(uint64_t)>& value_size_for);
+
+  /// Fixed-size convenience overload.
+  Status Prepopulate(KVStore* store, uint64_t keyspace, size_t value_size);
+
+  /// Run `num_ops` operations drawn from `next_op`; wall time covers only
+  /// the replay loop, simulated time is the enclave's charge delta.
+  Result<RunResult> Run(KVStore* store, sgx::EnclaveRuntime* enclave,
+                        const std::function<Op()>& next_op, uint64_t num_ops);
+
+  Result<RunResult> RunYcsb(KVStore* store, sgx::EnclaveRuntime* enclave,
+                            const YcsbSpec& spec, uint64_t num_ops);
+
+  Result<RunResult> RunEtc(KVStore* store, sgx::EnclaveRuntime* enclave,
+                           const EtcSpec& spec, uint64_t num_ops);
+
+ private:
+  /// Value payload for a Put: a view into a pre-generated random blob so
+  /// value construction does not pollute the measurement.
+  Slice ValueFor(uint64_t key_id, size_t size) const;
+
+  std::string blob_;
+};
+
+}  // namespace aria

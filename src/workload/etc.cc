@@ -1,0 +1,37 @@
+#include "workload/etc.h"
+
+#include "common/hash.h"
+
+namespace aria {
+
+EtcWorkload::EtcWorkload(const EtcSpec& spec)
+    : spec_(spec),
+      tiny_keys_(static_cast<uint64_t>(spec.keyspace * 0.40)),
+      tiny_small_keys_(static_cast<uint64_t>(spec.keyspace * 0.95)),
+      op_rng_(spec.seed ^ 0x5bd1e995),
+      zipf_(tiny_small_keys_, spec.skewness, spec.seed),
+      large_rng_(spec.seed ^ 0xE7C0ull) {}
+
+size_t EtcWorkload::ValueSizeFor(uint64_t id) const {
+  uint64_t h = Hash64(&id, sizeof(id), 0xE7C);
+  if (id < tiny_keys_) return 1 + h % 13;            // 1-13 B
+  if (id < tiny_small_keys_) return 14 + h % 287;    // 14-300 B
+  size_t span = spec_.max_large_value - 300;
+  return 301 + h % span;                             // 301..max B
+}
+
+Op EtcWorkload::Next() {
+  Op op;
+  op.type = op_rng_.Bernoulli(spec_.read_ratio) ? OpType::kGet : OpType::kPut;
+  if (op_rng_.Bernoulli(spec_.large_request_fraction) &&
+      tiny_small_keys_ < spec_.keyspace) {
+    op.key_id =
+        tiny_small_keys_ + large_rng_.Uniform(spec_.keyspace - tiny_small_keys_);
+  } else {
+    op.key_id = spec_.scrambled ? zipf_.NextKey() : zipf_.NextRank();
+  }
+  op.value_size = ValueSizeFor(op.key_id);
+  return op;
+}
+
+}  // namespace aria

@@ -1,0 +1,54 @@
+// Facebook ETC workload emulation (paper §VI-B, after Atikoglu et al.,
+// SIGMETRICS'12): 16-byte keys; 40% of the keyspace holds tiny values
+// (1-13 B), 55% small (14-300 B), 5% large (>300 B). Requests to the
+// tiny+small population are zipfian (0.99); large items are chosen
+// uniformly at random.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/random.h"
+#include "workload/ycsb.h"
+#include "workload/zipf.h"
+
+namespace aria {
+
+struct EtcSpec {
+  uint64_t keyspace = 10'000'000;
+  double read_ratio = 0.95;
+  double skewness = 0.99;
+  uint64_t seed = 42;
+  /// Fraction of requests aimed at the large-item population. The paper
+  /// gives sizes (5% of keys are large) but not the request split; we send
+  /// requests to large items in proportion to their keyspace share.
+  double large_request_fraction = 0.05;
+  /// See YcsbSpec::scrambled.
+  bool scrambled = false;
+  size_t max_large_value = 1024;
+};
+
+class EtcWorkload {
+ public:
+  explicit EtcWorkload(const EtcSpec& spec);
+
+  Op Next();
+
+  /// Value size for key `id` — deterministic, so prepopulation and
+  /// overwrites agree. Tiny for the first 40% of ids, small for the next
+  /// 55%, large for the rest.
+  size_t ValueSizeFor(uint64_t id) const;
+
+  const EtcSpec& spec() const { return spec_; }
+  uint64_t tiny_small_keys() const { return tiny_small_keys_; }
+
+ private:
+  EtcSpec spec_;
+  uint64_t tiny_keys_;
+  uint64_t tiny_small_keys_;  // tiny + small population size
+  Random op_rng_;
+  ZipfGenerator zipf_;        // over the tiny+small population
+  Random large_rng_;
+};
+
+}  // namespace aria

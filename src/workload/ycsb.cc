@@ -1,0 +1,48 @@
+#include "workload/ycsb.h"
+
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace aria {
+
+std::string MakeKey(uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "K%015llu",
+                static_cast<unsigned long long>(id));
+  return std::string(buf, 16);
+}
+
+std::string MakeValue(uint64_t key_id, size_t size, uint32_t version) {
+  std::string v(size, '\0');
+  uint64_t state = Hash64(&key_id, sizeof(key_id), version);
+  for (size_t i = 0; i < size; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    v[i] = static_cast<char>('A' + ((state >> 33) % 26));
+  }
+  return v;
+}
+
+YcsbWorkload::YcsbWorkload(const YcsbSpec& spec)
+    : spec_(spec), op_rng_(spec.seed ^ 0x9E3779B9) {
+  if (spec_.distribution == KeyDistribution::kZipfian) {
+    zipf_ = std::make_unique<ZipfGenerator>(spec_.keyspace, spec_.skewness,
+                                            spec_.seed);
+  } else {
+    uniform_ = std::make_unique<UniformGenerator>(spec_.keyspace, spec_.seed);
+  }
+}
+
+Op YcsbWorkload::Next() {
+  Op op;
+  op.type = op_rng_.Bernoulli(spec_.read_ratio) ? OpType::kGet : OpType::kPut;
+  if (zipf_) {
+    op.key_id = spec_.scrambled ? zipf_->NextKey() : zipf_->NextRank();
+  } else {
+    op.key_id = uniform_->NextKey();
+  }
+  op.value_size = spec_.value_size;
+  return op;
+}
+
+}  // namespace aria

@@ -1,0 +1,60 @@
+// YCSB-style microbenchmark workload (paper §VI-A): fixed 16-byte keys,
+// configurable value size, read ratio and key distribution.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "workload/zipf.h"
+
+namespace aria {
+
+enum class KeyDistribution { kUniform, kZipfian };
+
+enum class OpType { kGet, kPut, kDelete };
+
+struct YcsbSpec {
+  uint64_t keyspace = 10'000'000;
+  double read_ratio = 0.95;        ///< fraction of Gets
+  size_t value_size = 16;          ///< 16 / 128 / 512 in the paper
+  KeyDistribution distribution = KeyDistribution::kZipfian;
+  double skewness = 0.99;          ///< zipf theta
+  /// Scramble zipf ranks over the keyspace (YCSB's ScrambledZipfian).
+  /// Default off: hot keys are the low ids, so their counters cluster into
+  /// few Merkle-tree leaves — the locality the paper's numbers imply.
+  bool scrambled = false;
+  uint64_t seed = 42;
+};
+
+struct Op {
+  OpType type;
+  uint64_t key_id;
+  size_t value_size;
+};
+
+/// Formats key id `id` as the canonical fixed 16-byte key.
+std::string MakeKey(uint64_t id);
+
+/// Deterministic value bytes for (key, version); tests use it to check that
+/// reads return the last written version.
+std::string MakeValue(uint64_t key_id, size_t size, uint32_t version = 0);
+
+/// Generates the operation stream for a YCSB spec.
+class YcsbWorkload {
+ public:
+  explicit YcsbWorkload(const YcsbSpec& spec);
+
+  Op Next();
+
+  const YcsbSpec& spec() const { return spec_; }
+
+ private:
+  YcsbSpec spec_;
+  Random op_rng_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+  std::unique_ptr<UniformGenerator> uniform_;
+};
+
+}  // namespace aria

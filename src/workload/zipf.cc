@@ -1,0 +1,68 @@
+#include "workload/zipf.h"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "common/hash.h"
+
+namespace aria {
+
+namespace {
+// zeta(n, theta) is O(n) to compute and identical across generator
+// instances; benchmarks construct many generators over the same keyspace.
+std::mutex g_zeta_mu;
+std::map<std::pair<uint64_t, double>, double>& ZetaCache() {
+  static auto* cache = new std::map<std::pair<uint64_t, double>, double>();
+  return *cache;
+}
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  // The Gray et al. sampling formula divides by (1 - theta); at theta == 1
+  // exactly it degenerates (alpha = inf collapses every draw to rank 0).
+  // Nudge to the nearest well-behaved value; the distribution difference is
+  // far below sampling noise.
+  if (theta_ > 0.9999 && theta_ < 1.0001) theta_ = 0.9999;
+  zetan_ = Zeta(n_, theta_);
+  zeta2theta_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) {
+  {
+    std::lock_guard<std::mutex> lock(g_zeta_mu);
+    auto it = ZetaCache().find({n, theta});
+    if (it != ZetaCache().end()) return it->second;
+  }
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  std::lock_guard<std::mutex> lock(g_zeta_mu);
+  ZetaCache().emplace(std::make_pair(n, theta), sum);
+  return sum;
+}
+
+uint64_t ZipfGenerator::NextRank() {
+  double u = rng_.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (rank >= n_) rank = n_ - 1;
+  return rank;
+}
+
+uint64_t ZipfGenerator::NextKey() {
+  // Scramble the rank so popular keys are spread across the keyspace
+  // (YCSB's ScrambledZipfian).
+  uint64_t rank = NextRank();
+  return Hash64(&rank, sizeof(rank), 0xDEADBEEF) % n_;
+}
+
+}  // namespace aria

@@ -1,0 +1,52 @@
+// Zipfian key-popularity generator, following the YCSB implementation of
+// the Gray et al. "Quickly generating billion-record synthetic databases"
+// algorithm, plus hash-scrambling so hot keys are spread over the keyspace.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace aria {
+
+class ZipfGenerator {
+ public:
+  /// Ranks 0..n-1 with P(rank) ∝ 1/(rank+1)^theta. theta == skewness
+  /// (0.99 is the YCSB default).
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 1);
+
+  /// Next rank (0 = most popular).
+  uint64_t NextRank();
+
+  /// Next key id: the rank scrambled over [0, n) so popularity is not
+  /// correlated with key order.
+  uint64_t NextKey();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+  Random rng_;
+};
+
+/// Uniform key generator with the same interface.
+class UniformGenerator {
+ public:
+  UniformGenerator(uint64_t n, uint64_t seed = 1) : n_(n), rng_(seed) {}
+  uint64_t NextKey() { return rng_.Uniform(n_); }
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  Random rng_;
+};
+
+}  // namespace aria

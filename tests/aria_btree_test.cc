@@ -1,0 +1,262 @@
+// Tests for Aria-T: ordered semantics, splits/merges/borrows, range scans,
+// full-integrity audit, and a randomized reference test against std::map.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "core/aria_btree.h"
+#include "core/store_factory.h"
+#include "workload/ycsb.h"
+
+namespace aria {
+namespace {
+
+class AriaBTreeTest : public ::testing::Test {
+ protected:
+  void Build(uint64_t keyspace = 4096) {
+    StoreOptions opts;
+    opts.scheme = Scheme::kAria;
+    opts.index = IndexKind::kBTree;
+    opts.keyspace = keyspace;
+    opts.cache_bytes = 1 << 20;
+    ASSERT_TRUE(CreateStore(opts, &bundle_).ok());
+    store_ = bundle_.store.get();
+    tree_ = static_cast<AriaBTree*>(store_);
+  }
+
+  StoreBundle bundle_;
+  KVStore* store_ = nullptr;
+  AriaBTree* tree_ = nullptr;
+};
+
+TEST_F(AriaBTreeTest, PutGetSingle) {
+  Build();
+  ASSERT_TRUE(store_->Put("k", "v").ok());
+  std::string v;
+  ASSERT_TRUE(store_->Get("k", &v).ok());
+  EXPECT_EQ(v, "v");
+  EXPECT_EQ(tree_->height(), 1);
+}
+
+TEST_F(AriaBTreeTest, MissingIsNotFound) {
+  Build();
+  std::string v;
+  EXPECT_TRUE(store_->Get("nope", &v).IsNotFound());
+  ASSERT_TRUE(store_->Put("a", "1").ok());
+  EXPECT_TRUE(store_->Get("b", &v).IsNotFound());
+}
+
+TEST_F(AriaBTreeTest, SplitsGrowHeight) {
+  Build();
+  // 15 keys fill the root; the 16th forces a split.
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(store_->Put(MakeKey(i), "v").ok());
+  }
+  EXPECT_EQ(tree_->height(), 2);
+  EXPECT_GE(tree_->stats().splits, 1u);
+  std::string v;
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(store_->Get(MakeKey(i), &v).ok()) << i;
+  }
+  ASSERT_TRUE(tree_->VerifyFullIntegrity().ok());
+}
+
+TEST_F(AriaBTreeTest, SequentialInsertAscending) {
+  Build();
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(store_->Put(MakeKey(i), MakeValue(i, 20)).ok()) << i;
+  }
+  std::string v;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(store_->Get(MakeKey(i), &v).ok()) << i;
+    ASSERT_EQ(v, MakeValue(i, 20));
+  }
+  ASSERT_TRUE(tree_->VerifyFullIntegrity().ok());
+  EXPECT_GE(tree_->height(), 3);
+}
+
+TEST_F(AriaBTreeTest, SequentialInsertDescending) {
+  Build();
+  for (int i = 499; i >= 0; --i) {
+    ASSERT_TRUE(store_->Put(MakeKey(i), "d").ok()) << i;
+  }
+  std::string v;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(store_->Get(MakeKey(i), &v).ok()) << i;
+  }
+  ASSERT_TRUE(tree_->VerifyFullIntegrity().ok());
+}
+
+TEST_F(AriaBTreeTest, OverwriteKeepsSize) {
+  Build();
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(store_->Put(MakeKey(i), "1").ok());
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(store_->Put(MakeKey(i), "22").ok());
+  EXPECT_EQ(store_->size(), 100u);
+  std::string v;
+  ASSERT_TRUE(store_->Get(MakeKey(50), &v).ok());
+  EXPECT_EQ(v, "22");
+}
+
+TEST_F(AriaBTreeTest, OverwriteGrowingValue) {
+  Build();
+  ASSERT_TRUE(store_->Put("k", "s").ok());
+  std::string big(700, 'Q');
+  ASSERT_TRUE(store_->Put("k", big).ok());
+  std::string v;
+  ASSERT_TRUE(store_->Get("k", &v).ok());
+  EXPECT_EQ(v, big);
+}
+
+TEST_F(AriaBTreeTest, DeleteFromLeaf) {
+  Build();
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(store_->Put(MakeKey(i), "v").ok());
+  ASSERT_TRUE(store_->Delete(MakeKey(5)).ok());
+  std::string v;
+  EXPECT_TRUE(store_->Get(MakeKey(5), &v).IsNotFound());
+  EXPECT_EQ(store_->size(), 9u);
+  ASSERT_TRUE(tree_->VerifyFullIntegrity().ok());
+}
+
+TEST_F(AriaBTreeTest, DeleteInnerKeysWithRebalancing) {
+  Build();
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(store_->Put(MakeKey(i), MakeValue(i, 16)).ok());
+  }
+  // Delete every third key — exercises predecessor/successor replacement,
+  // borrows and merges.
+  for (int i = 0; i < n; i += 3) {
+    ASSERT_TRUE(store_->Delete(MakeKey(i)).ok()) << i;
+  }
+  std::string v;
+  for (int i = 0; i < n; ++i) {
+    if (i % 3 == 0) {
+      ASSERT_TRUE(store_->Get(MakeKey(i), &v).IsNotFound()) << i;
+    } else {
+      ASSERT_TRUE(store_->Get(MakeKey(i), &v).ok()) << i;
+    }
+  }
+  ASSERT_TRUE(tree_->VerifyFullIntegrity().ok());
+}
+
+TEST_F(AriaBTreeTest, DeleteEverythingShrinksTree) {
+  Build();
+  const int n = 200;
+  for (int i = 0; i < n; ++i) ASSERT_TRUE(store_->Put(MakeKey(i), "v").ok());
+  Random rng(3);
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  for (int i = n - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.Uniform(i + 1)]);
+  }
+  for (int i : order) {
+    ASSERT_TRUE(store_->Delete(MakeKey(i)).ok()) << i;
+  }
+  EXPECT_EQ(store_->size(), 0u);
+  ASSERT_TRUE(tree_->VerifyFullIntegrity().ok());
+  std::string v;
+  EXPECT_TRUE(store_->Get(MakeKey(0), &v).IsNotFound());
+}
+
+TEST_F(AriaBTreeTest, RangeScanOrdered) {
+  Build();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store_->Put(MakeKey(i * 2), MakeValue(i * 2, 8)).ok());
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(tree_->RangeScan(MakeKey(50), 10, &out).ok());
+  ASSERT_EQ(out.size(), 10u);
+  EXPECT_EQ(out[0].first, MakeKey(50));
+  for (size_t i = 0; i + 1 < out.size(); ++i) {
+    EXPECT_LT(out[i].first, out[i + 1].first);
+  }
+  EXPECT_EQ(out[9].first, MakeKey(68));
+}
+
+TEST_F(AriaBTreeTest, RangeScanFromNonExistentStart) {
+  Build();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store_->Put(MakeKey(i * 10), "v").ok());
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(tree_->RangeScan(MakeKey(25), 3, &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].first, MakeKey(30));
+}
+
+TEST_F(AriaBTreeTest, RangeScanPastEnd) {
+  Build();
+  ASSERT_TRUE(store_->Put(MakeKey(1), "v").ok());
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(tree_->RangeScan(MakeKey(500), 10, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(AriaBTreeTest, RandomizedAgainstStdMap) {
+  Build(1 << 16);
+  Random rng(4242);
+  std::map<std::string, std::string> model;
+  std::string v;
+  for (int step = 0; step < 8000; ++step) {
+    uint64_t id = rng.Uniform(400);
+    std::string key = MakeKey(id);
+    double dice = rng.NextDouble();
+    if (dice < 0.5) {
+      std::string value =
+          MakeValue(id, 1 + rng.Uniform(100), static_cast<uint32_t>(step));
+      ASSERT_TRUE(store_->Put(key, value).ok()) << step;
+      model[key] = value;
+    } else if (dice < 0.8) {
+      Status st = store_->Get(key, &v);
+      auto it = model.find(key);
+      if (it != model.end()) {
+        ASSERT_TRUE(st.ok()) << step << " " << st.ToString();
+        ASSERT_EQ(v, it->second) << step;
+      } else {
+        ASSERT_TRUE(st.IsNotFound()) << step;
+      }
+    } else {
+      Status st = store_->Delete(key);
+      if (model.erase(key) > 0) {
+        ASSERT_TRUE(st.ok()) << step << " " << st.ToString();
+      } else {
+        ASSERT_TRUE(st.IsNotFound()) << step;
+      }
+    }
+    ASSERT_EQ(store_->size(), model.size()) << step;
+  }
+  ASSERT_TRUE(tree_->VerifyFullIntegrity().ok());
+  // Final sweep: every model entry still matches.
+  for (auto& [k, val] : model) {
+    ASSERT_TRUE(store_->Get(k, &v).ok());
+    ASSERT_EQ(v, val);
+  }
+  // Full ordered scan matches the model.
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(tree_->RangeScan("", model.size() + 10, &out).ok());
+  ASSERT_EQ(out.size(), model.size());
+  auto it = model.begin();
+  for (size_t i = 0; i < out.size(); ++i, ++it) {
+    EXPECT_EQ(out[i].first, it->first);
+    EXPECT_EQ(out[i].second, it->second);
+  }
+}
+
+TEST_F(AriaBTreeTest, WorksWithTrustedCounterStore) {
+  StoreOptions opts;
+  opts.scheme = Scheme::kAriaNoCache;
+  opts.index = IndexKind::kBTree;
+  opts.keyspace = 1024;
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(bundle.store->Put(MakeKey(i), "x").ok());
+  }
+  std::string v;
+  ASSERT_TRUE(bundle.store->Get(MakeKey(33), &v).ok());
+  EXPECT_EQ(v, "x");
+}
+
+}  // namespace
+}  // namespace aria

@@ -1,0 +1,228 @@
+// Tests for Aria-C (cuckoo index over the shared security-metadata layer):
+// CRUD, kick relocations with AdField reseals, kick-budget unwinding,
+// attack detection, and a randomized reference test.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "core/aria_cuckoo.h"
+#include "core/store_factory.h"
+#include "workload/ycsb.h"
+
+namespace aria {
+namespace {
+
+class AriaCuckooTest : public ::testing::Test {
+ protected:
+  void Build(uint64_t keyspace = 4096, uint64_t buckets = 0) {
+    StoreOptions opts;
+    opts.scheme = Scheme::kAria;
+    opts.index = IndexKind::kCuckoo;
+    opts.keyspace = keyspace;
+    opts.num_buckets = buckets;
+    opts.cache_bytes = 1 << 20;
+    ASSERT_TRUE(CreateStore(opts, &bundle_).ok());
+    EXPECT_EQ(bundle_.label, "Aria-C");
+    store_ = static_cast<AriaCuckoo*>(bundle_.store.get());
+  }
+
+  StoreBundle bundle_;
+  AriaCuckoo* store_ = nullptr;
+};
+
+TEST_F(AriaCuckooTest, PutGetDelete) {
+  Build();
+  ASSERT_TRUE(store_->Put("alpha", "1").ok());
+  ASSERT_TRUE(store_->Put("beta", "2").ok());
+  std::string v;
+  ASSERT_TRUE(store_->Get("alpha", &v).ok());
+  EXPECT_EQ(v, "1");
+  ASSERT_TRUE(store_->Delete("alpha").ok());
+  EXPECT_TRUE(store_->Get("alpha", &v).IsNotFound());
+  EXPECT_TRUE(store_->Delete("alpha").IsNotFound());
+  EXPECT_EQ(store_->size(), 1u);
+}
+
+TEST_F(AriaCuckooTest, OverwriteInPlaceAndGrow) {
+  Build();
+  ASSERT_TRUE(store_->Put("k", "aa").ok());
+  ASSERT_TRUE(store_->Put("k", "bb").ok());
+  std::string v;
+  ASSERT_TRUE(store_->Get("k", &v).ok());
+  EXPECT_EQ(v, "bb");
+  std::string big(400, 'x');
+  ASSERT_TRUE(store_->Put("k", big).ok());
+  ASSERT_TRUE(store_->Get("k", &v).ok());
+  EXPECT_EQ(v, big);
+  EXPECT_EQ(store_->size(), 1u);
+}
+
+TEST_F(AriaCuckooTest, KicksRelocateAndStayReadable) {
+  // Small table at high load: kicks are guaranteed.
+  Build(4096, /*buckets=*/64);  // 256 slots
+  std::string v;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(store_->Put(MakeKey(i), MakeValue(i, 24)).ok()) << i;
+  }
+  EXPECT_GT(store_->stats().kicks, 0u);
+  EXPECT_GT(store_->stats().reseals, 0u);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(store_->Get(MakeKey(i), &v).ok()) << i;
+    ASSERT_EQ(v, MakeValue(i, 24));
+  }
+}
+
+TEST_F(AriaCuckooTest, KickBudgetFailsCleanlyWithoutGrowth) {
+  StoreOptions opts;
+  opts.scheme = Scheme::kAria;
+  opts.index = IndexKind::kCuckoo;
+  opts.keyspace = 4096;
+  opts.num_buckets = 4;  // 16 slots: fill to the brim
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+  auto* store = static_cast<AriaCuckoo*>(bundle.store.get());
+  // This test targets the unwind path, so disable growth via the internal
+  // config by filling a store built without it.
+  // (CreateStore enables growth; rebuild the index directly instead.)
+  AriaCuckooConfig cfg;
+  cfg.num_buckets = 4;
+  cfg.grow_on_full = false;
+  AriaCuckoo fixed(bundle.enclave.get(), bundle.allocator.get(),
+                   bundle.codec.get(), bundle.counters.get(), cfg);
+  ASSERT_TRUE(fixed.Init().ok());
+  (void)store;
+
+  int inserted = 0;
+  Status last;
+  for (int i = 0; i < 64; ++i) {
+    last = fixed.Put(MakeKey(i), "v");
+    if (last.ok()) {
+      inserted++;
+    } else {
+      EXPECT_TRUE(last.IsCapacityExceeded());
+      break;
+    }
+  }
+  EXPECT_GT(inserted, 8);          // decent fill before failure
+  EXPECT_TRUE(last.IsCapacityExceeded());
+  EXPECT_EQ(fixed.size(), static_cast<uint64_t>(inserted));
+  // The failed insert must not have lost or corrupted anything.
+  std::string v;
+  for (int i = 0; i < inserted; ++i) {
+    ASSERT_TRUE(fixed.Get(MakeKey(i), &v).ok()) << i;
+  }
+}
+
+TEST_F(AriaCuckooTest, GrowsWhenFull) {
+  Build(1 << 14, /*buckets=*/8);  // 32 slots, growth enabled by default
+  std::string v;
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(store_->Put(MakeKey(i), MakeValue(i, 16)).ok()) << i;
+  }
+  EXPECT_GE(store_->stats().grows, 1u);
+  EXPECT_EQ(store_->size(), 400u);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(store_->Get(MakeKey(i), &v).ok()) << i;
+    ASSERT_EQ(v, MakeValue(i, 16));
+  }
+  // Deletion detection still consistent after rehash.
+  EXPECT_TRUE(store_->Get(MakeKey(9999), &v).IsNotFound());
+}
+
+TEST_F(AriaCuckooTest, SlotTamperDetected) {
+  Build();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store_->Put(MakeKey(i), MakeValue(i, 16)).ok());
+  }
+  uint8_t** cell = store_->DebugSlotCell(MakeKey(7));
+  ASSERT_NE(cell, nullptr);
+  (*cell)[RecordCodec::kHeaderSize] ^= 1;
+  std::string v;
+  EXPECT_TRUE(store_->Get(MakeKey(7), &v).IsIntegrityViolation());
+}
+
+TEST_F(AriaCuckooTest, SlotExchangeDetected) {
+  Build();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store_->Put(MakeKey(i), MakeValue(i, 16)).ok());
+  }
+  uint8_t** c1 = store_->DebugSlotCell(MakeKey(11));
+  uint8_t** c2 = store_->DebugSlotCell(MakeKey(55));
+  ASSERT_NE(c1, nullptr);
+  ASSERT_NE(c2, nullptr);
+  std::swap(*c1, *c2);
+  std::string v;
+  Status s1 = store_->Get(MakeKey(11), &v);
+  Status s2 = store_->Get(MakeKey(55), &v);
+  // Hints no longer match the swapped records, so lookups either trip the
+  // AdField MAC (hint collision) or miss and fail the occupancy check... a
+  // swap within matching hints always violates the MAC binding.
+  EXPECT_TRUE(s1.IsIntegrityViolation() || s2.IsIntegrityViolation() ||
+              s1.IsNotFound() || s2.IsNotFound());
+  EXPECT_FALSE(s1.ok() && s2.ok());
+}
+
+TEST_F(AriaCuckooTest, UnauthorizedDeletionDetected) {
+  Build();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store_->Put(MakeKey(i), "v").ok());
+  }
+  uint8_t** cell = store_->DebugSlotCell(MakeKey(42));
+  ASSERT_NE(cell, nullptr);
+  *cell = nullptr;  // attacker clears the slot
+  std::string v;
+  EXPECT_TRUE(store_->Get(MakeKey(42), &v).IsIntegrityViolation());
+}
+
+TEST_F(AriaCuckooTest, RandomizedAgainstStdMap) {
+  Build(1 << 16, /*buckets=*/512);  // 2048 slots, heavy kicking
+  Random rng(20202);
+  std::map<std::string, std::string> model;
+  std::string v;
+  for (int step = 0; step < 12000; ++step) {
+    uint64_t id = rng.Uniform(1000);
+    std::string key = MakeKey(id);
+    double dice = rng.NextDouble();
+    if (dice < 0.5) {
+      std::string value =
+          MakeValue(id, 1 + rng.Uniform(64), static_cast<uint32_t>(step));
+      Status st = store_->Put(key, value);
+      if (st.IsCapacityExceeded()) continue;  // table full is legal here
+      ASSERT_TRUE(st.ok()) << step << " " << st.ToString();
+      model[key] = value;
+    } else if (dice < 0.8) {
+      Status st = store_->Get(key, &v);
+      auto it = model.find(key);
+      if (it != model.end()) {
+        ASSERT_TRUE(st.ok()) << step << " " << st.ToString();
+        ASSERT_EQ(v, it->second) << step;
+      } else {
+        ASSERT_TRUE(st.IsNotFound()) << step;
+      }
+    } else {
+      Status st = store_->Delete(key);
+      ASSERT_EQ(model.erase(key) > 0, st.ok()) << step;
+    }
+    ASSERT_EQ(store_->size(), model.size()) << step;
+  }
+}
+
+TEST_F(AriaCuckooTest, WorksWithTrustedCounterStore) {
+  StoreOptions opts;
+  opts.scheme = Scheme::kAriaNoCache;
+  opts.index = IndexKind::kCuckoo;
+  opts.keyspace = 2048;
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+  EXPECT_EQ(bundle.label, "Aria-C w/o Cache");
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(bundle.store->Put(MakeKey(i), "q").ok());
+  }
+  std::string v;
+  ASSERT_TRUE(bundle.store->Get(MakeKey(123), &v).ok());
+  EXPECT_EQ(v, "q");
+}
+
+}  // namespace
+}  // namespace aria

@@ -1,0 +1,238 @@
+// Tests for Aria-H: CRUD semantics, chain handling, overwrites across size
+// classes, deletes with AdField reseals, and a randomized reference test.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "core/store_factory.h"
+#include "workload/ycsb.h"
+
+namespace aria {
+namespace {
+
+class AriaHashTest : public ::testing::Test {
+ protected:
+  void Build(uint64_t keyspace = 4096, uint64_t buckets = 64) {
+    StoreOptions opts;
+    opts.scheme = Scheme::kAria;
+    opts.index = IndexKind::kHash;
+    opts.keyspace = keyspace;
+    opts.num_buckets = buckets;  // small: forces real chains
+    opts.cache_bytes = 1 << 20;
+    ASSERT_TRUE(CreateStore(opts, &bundle_).ok());
+    store_ = bundle_.store.get();
+  }
+
+  StoreBundle bundle_;
+  KVStore* store_ = nullptr;
+};
+
+TEST_F(AriaHashTest, PutGetSingle) {
+  Build();
+  ASSERT_TRUE(store_->Put("hello", "world").ok());
+  std::string v;
+  ASSERT_TRUE(store_->Get("hello", &v).ok());
+  EXPECT_EQ(v, "world");
+  EXPECT_EQ(store_->size(), 1u);
+}
+
+TEST_F(AriaHashTest, GetMissingIsNotFound) {
+  Build();
+  std::string v;
+  EXPECT_TRUE(store_->Get("absent", &v).IsNotFound());
+}
+
+TEST_F(AriaHashTest, OverwriteSameSize) {
+  Build();
+  ASSERT_TRUE(store_->Put("k", "v1").ok());
+  ASSERT_TRUE(store_->Put("k", "v2").ok());
+  std::string v;
+  ASSERT_TRUE(store_->Get("k", &v).ok());
+  EXPECT_EQ(v, "v2");
+  EXPECT_EQ(store_->size(), 1u);
+}
+
+TEST_F(AriaHashTest, OverwriteGrowingValueRelocates) {
+  Build();
+  ASSERT_TRUE(store_->Put("k", "small").ok());
+  std::string big(512, 'B');
+  ASSERT_TRUE(store_->Put("k", big).ok());
+  std::string v;
+  ASSERT_TRUE(store_->Get("k", &v).ok());
+  EXPECT_EQ(v, big);
+  // And shrink back.
+  ASSERT_TRUE(store_->Put("k", "tiny").ok());
+  ASSERT_TRUE(store_->Get("k", &v).ok());
+  EXPECT_EQ(v, "tiny");
+}
+
+TEST_F(AriaHashTest, ManyKeysInOneBucket) {
+  Build(4096, /*buckets=*/1);  // everything collides
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store_->Put(MakeKey(i), MakeValue(i, 32)).ok());
+  }
+  std::string v;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store_->Get(MakeKey(i), &v).ok()) << i;
+    EXPECT_EQ(v, MakeValue(i, 32));
+  }
+  EXPECT_TRUE(store_->Get(MakeKey(99), &v).IsNotFound());
+}
+
+TEST_F(AriaHashTest, DeleteHeadMiddleTail) {
+  Build(4096, /*buckets=*/1);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store_->Put(MakeKey(i), "v").ok());
+  }
+  // Chain order is insertion-reversed: 4 (head) .. 0 (tail).
+  ASSERT_TRUE(store_->Delete(MakeKey(4)).ok());  // head
+  ASSERT_TRUE(store_->Delete(MakeKey(2)).ok());  // middle
+  ASSERT_TRUE(store_->Delete(MakeKey(0)).ok());  // tail
+  std::string v;
+  EXPECT_TRUE(store_->Get(MakeKey(4), &v).IsNotFound());
+  EXPECT_TRUE(store_->Get(MakeKey(2), &v).IsNotFound());
+  EXPECT_TRUE(store_->Get(MakeKey(0), &v).IsNotFound());
+  EXPECT_TRUE(store_->Get(MakeKey(1), &v).ok());
+  EXPECT_TRUE(store_->Get(MakeKey(3), &v).ok());
+  EXPECT_EQ(store_->size(), 2u);
+}
+
+TEST_F(AriaHashTest, DeleteMissingIsNotFound) {
+  Build();
+  EXPECT_TRUE(store_->Delete("nothing").IsNotFound());
+  ASSERT_TRUE(store_->Put("a", "b").ok());
+  EXPECT_TRUE(store_->Delete("c").IsNotFound());
+}
+
+TEST_F(AriaHashTest, ReinsertAfterDelete) {
+  Build();
+  ASSERT_TRUE(store_->Put("k", "v1").ok());
+  ASSERT_TRUE(store_->Delete("k").ok());
+  ASSERT_TRUE(store_->Put("k", "v2").ok());
+  std::string v;
+  ASSERT_TRUE(store_->Get("k", &v).ok());
+  EXPECT_EQ(v, "v2");
+}
+
+TEST_F(AriaHashTest, EmptyValue) {
+  Build();
+  ASSERT_TRUE(store_->Put("k", "").ok());
+  std::string v = "sentinel";
+  ASSERT_TRUE(store_->Get("k", &v).ok());
+  EXPECT_TRUE(v.empty());
+}
+
+TEST_F(AriaHashTest, OversizedInputsRejected) {
+  Build();
+  std::string huge(70000, 'x');
+  EXPECT_TRUE(store_->Put(huge, "v").IsInvalidArgument());
+  EXPECT_TRUE(store_->Put("k", huge).IsInvalidArgument());
+}
+
+TEST_F(AriaHashTest, BinaryKeysAndValues) {
+  Build();
+  std::string key("\x00\x01\x02\xff\xfe", 5);
+  std::string value("\x00\x00\x00", 3);
+  ASSERT_TRUE(store_->Put(key, value).ok());
+  std::string v;
+  ASSERT_TRUE(store_->Get(key, &v).ok());
+  EXPECT_EQ(v, value);
+}
+
+TEST_F(AriaHashTest, RandomizedAgainstStdMap) {
+  Build(1 << 16, /*buckets=*/256);
+  Random rng(2024);
+  std::map<std::string, std::string> model;
+  std::string v;
+  for (int step = 0; step < 20000; ++step) {
+    uint64_t id = rng.Uniform(500);
+    std::string key = MakeKey(id);
+    double dice = rng.NextDouble();
+    if (dice < 0.5) {
+      std::string value = MakeValue(id, 1 + rng.Uniform(200),
+                                    static_cast<uint32_t>(step));
+      ASSERT_TRUE(store_->Put(key, value).ok()) << step;
+      model[key] = value;
+    } else if (dice < 0.8) {
+      Status st = store_->Get(key, &v);
+      auto it = model.find(key);
+      if (it != model.end()) {
+        ASSERT_TRUE(st.ok()) << step << " " << st.ToString();
+        ASSERT_EQ(v, it->second) << step;
+      } else {
+        ASSERT_TRUE(st.IsNotFound()) << step;
+      }
+    } else {
+      Status st = store_->Delete(key);
+      if (model.erase(key) > 0) {
+        ASSERT_TRUE(st.ok()) << step << " " << st.ToString();
+      } else {
+        ASSERT_TRUE(st.IsNotFound()) << step;
+      }
+    }
+    ASSERT_EQ(store_->size(), model.size());
+  }
+}
+
+TEST_F(AriaHashTest, CounterReuseAcrossDeleteCycles) {
+  // Deleting frees the counter slot; the recycled slot must still protect
+  // fresh records correctly.
+  Build(128, 16);
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(store_->Put(MakeKey(i), MakeValue(i, 24, round)).ok());
+    }
+    std::string v;
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(store_->Get(MakeKey(i), &v).ok());
+      ASSERT_EQ(v, MakeValue(i, 24, round));
+    }
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(store_->Delete(MakeKey(i)).ok());
+    }
+  }
+  EXPECT_EQ(store_->size(), 0u);
+}
+
+TEST_F(AriaHashTest, OutOfPlaceUpdateMode) {
+  StoreOptions opts;
+  opts.scheme = Scheme::kAria;
+  opts.keyspace = 2048;
+  opts.num_buckets = 64;
+  opts.out_of_place_updates = true;
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+  auto* store = bundle.store.get();
+  std::string v;
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(store->Put(MakeKey(i), MakeValue(i, 24, round)).ok());
+    }
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store->Get(MakeKey(i), &v).ok()) << i;
+    ASSERT_EQ(v, MakeValue(i, 24, 4));
+  }
+  EXPECT_EQ(store->size(), 100u);
+}
+
+TEST_F(AriaHashTest, WorksWithTrustedCounterStore) {
+  // Aria w/o Cache uses the same index code over trusted counters.
+  StoreOptions opts;
+  opts.scheme = Scheme::kAriaNoCache;
+  opts.keyspace = 1024;
+  opts.num_buckets = 64;
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+  ASSERT_TRUE(bundle.store->Put("a", "1").ok());
+  ASSERT_TRUE(bundle.store->Put("b", "2").ok());
+  std::string v;
+  ASSERT_TRUE(bundle.store->Get("a", &v).ok());
+  EXPECT_EQ(v, "1");
+  ASSERT_TRUE(bundle.store->Delete("a").ok());
+  EXPECT_TRUE(bundle.store->Get("a", &v).IsNotFound());
+}
+
+}  // namespace
+}  // namespace aria

@@ -1,0 +1,213 @@
+// Tests for the EPC baselines: the in-enclave hash table and B-tree, plus
+// the paging behavior that defines their performance cliff.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baseline/enclave_btree.h"
+#include "baseline/enclave_kv.h"
+#include "common/random.h"
+#include "core/store_factory.h"
+#include "workload/ycsb.h"
+
+namespace aria {
+namespace {
+
+TEST(EnclaveKV, BasicCrud) {
+  sgx::EnclaveRuntime rt(64ull * 1024 * 1024);
+  EnclaveKV kv(&rt, EnclaveKVConfig{256});
+  ASSERT_TRUE(kv.Init().ok());
+  ASSERT_TRUE(kv.Put("a", "1").ok());
+  ASSERT_TRUE(kv.Put("b", "2").ok());
+  std::string v;
+  ASSERT_TRUE(kv.Get("a", &v).ok());
+  EXPECT_EQ(v, "1");
+  ASSERT_TRUE(kv.Put("a", "3").ok());
+  ASSERT_TRUE(kv.Get("a", &v).ok());
+  EXPECT_EQ(v, "3");
+  ASSERT_TRUE(kv.Delete("a").ok());
+  EXPECT_TRUE(kv.Get("a", &v).IsNotFound());
+  EXPECT_TRUE(kv.Delete("a").IsNotFound());
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(EnclaveKV, GrowingValueRelocation) {
+  sgx::EnclaveRuntime rt(64ull * 1024 * 1024);
+  EnclaveKV kv(&rt, EnclaveKVConfig{16});
+  ASSERT_TRUE(kv.Init().ok());
+  ASSERT_TRUE(kv.Put("k", "small").ok());
+  std::string big(1000, 'z');
+  ASSERT_TRUE(kv.Put("k", big).ok());
+  std::string v;
+  ASSERT_TRUE(kv.Get("k", &v).ok());
+  EXPECT_EQ(v, big);
+}
+
+TEST(EnclaveKV, RandomizedAgainstStdMap) {
+  sgx::EnclaveRuntime rt(64ull * 1024 * 1024);
+  EnclaveKV kv(&rt, EnclaveKVConfig{64});
+  ASSERT_TRUE(kv.Init().ok());
+  Random rng(9);
+  std::map<std::string, std::string> model;
+  std::string v;
+  for (int step = 0; step < 10000; ++step) {
+    std::string key = MakeKey(rng.Uniform(300));
+    double dice = rng.NextDouble();
+    if (dice < 0.5) {
+      std::string value = MakeValue(step, 1 + rng.Uniform(64));
+      ASSERT_TRUE(kv.Put(key, value).ok());
+      model[key] = value;
+    } else if (dice < 0.8) {
+      Status st = kv.Get(key, &v);
+      auto it = model.find(key);
+      if (it != model.end()) {
+        ASSERT_TRUE(st.ok());
+        ASSERT_EQ(v, it->second);
+      } else {
+        ASSERT_TRUE(st.IsNotFound());
+      }
+    } else {
+      Status st = kv.Delete(key);
+      ASSERT_EQ(model.erase(key) > 0, st.ok());
+    }
+  }
+}
+
+TEST(EnclaveKV, PagesOnceBeyondEpcBudget) {
+  // Working set ~4 MB against a 1 MB EPC: the paging counter must move.
+  sgx::EnclaveRuntime rt(1ull * 1024 * 1024);
+  EnclaveKV kv(&rt, EnclaveKVConfig{4096});
+  ASSERT_TRUE(kv.Init().ok());
+  for (int i = 0; i < 8000; ++i) {
+    ASSERT_TRUE(kv.Put(MakeKey(i), MakeValue(i, 400)).ok());
+  }
+  std::string v;
+  Random rng(1);
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(kv.Get(MakeKey(rng.Uniform(8000)), &v).ok());
+  }
+  EXPECT_GT(rt.stats().page_swaps, 100u);
+}
+
+TEST(EnclaveKV, NoPagingWithinBudget) {
+  sgx::EnclaveRuntime rt(64ull * 1024 * 1024);
+  EnclaveKV kv(&rt, EnclaveKVConfig{1024});
+  ASSERT_TRUE(kv.Init().ok());
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(kv.Put(MakeKey(i), MakeValue(i, 64)).ok());
+  }
+  std::string v;
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(kv.Get(MakeKey(i), &v).ok());
+  }
+  EXPECT_EQ(rt.stats().page_swaps, 0u);
+}
+
+TEST(EnclaveBTree, BasicCrudAndTombstones) {
+  sgx::EnclaveRuntime rt(64ull * 1024 * 1024);
+  EnclaveBTree t(&rt);
+  ASSERT_TRUE(t.Put("b", "2").ok());
+  ASSERT_TRUE(t.Put("a", "1").ok());
+  ASSERT_TRUE(t.Put("c", "3").ok());
+  std::string v;
+  ASSERT_TRUE(t.Get("b", &v).ok());
+  EXPECT_EQ(v, "2");
+  ASSERT_TRUE(t.Delete("b").ok());
+  EXPECT_TRUE(t.Get("b", &v).IsNotFound());
+  EXPECT_TRUE(t.Delete("b").IsNotFound());
+  // Re-insert over the tombstone.
+  ASSERT_TRUE(t.Put("b", "9").ok());
+  ASSERT_TRUE(t.Get("b", &v).ok());
+  EXPECT_EQ(v, "9");
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(EnclaveBTree, ManyKeysOrderedScan) {
+  sgx::EnclaveRuntime rt(64ull * 1024 * 1024);
+  EnclaveBTree t(&rt);
+  for (int i = 299; i >= 0; --i) {
+    ASSERT_TRUE(t.Put(MakeKey(i), MakeValue(i, 10)).ok());
+  }
+  std::string v;
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(t.Get(MakeKey(i), &v).ok()) << i;
+    ASSERT_EQ(v, MakeValue(i, 10));
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(t.RangeScan(MakeKey(100), 50, &out).ok());
+  ASSERT_EQ(out.size(), 50u);
+  EXPECT_EQ(out[0].first, MakeKey(100));
+  for (size_t i = 0; i + 1 < out.size(); ++i) {
+    EXPECT_LT(out[i].first, out[i + 1].first);
+  }
+}
+
+TEST(EnclaveBTree, ScanSkipsTombstones) {
+  sgx::EnclaveRuntime rt(64ull * 1024 * 1024);
+  EnclaveBTree t(&rt);
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(t.Put(MakeKey(i), "v").ok());
+  ASSERT_TRUE(t.Delete(MakeKey(5)).ok());
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(t.RangeScan(MakeKey(0), 100, &out).ok());
+  EXPECT_EQ(out.size(), 19u);
+  for (auto& [k, val] : out) {
+    (void)val;
+    EXPECT_NE(k, MakeKey(5));
+  }
+}
+
+TEST(TrustedCounterStore, FetchFreeReadBump) {
+  sgx::EnclaveRuntime rt(64ull * 1024 * 1024);
+  crypto::SecureRandom rng(7);
+  TrustedCounterStore cs(&rt, &rng, 128);
+  ASSERT_TRUE(cs.Init().ok());
+  auto a = cs.FetchCounter();
+  ASSERT_TRUE(a.ok());
+  uint8_t v1[16], v2[16];
+  ASSERT_TRUE(cs.ReadCounter(a.value(), v1).ok());
+  ASSERT_TRUE(cs.BumpCounter(a.value(), v2).ok());
+  EXPECT_NE(0, memcmp(v1, v2, 16));
+  ASSERT_TRUE(cs.FreeCounter(a.value()).ok());
+  EXPECT_TRUE(cs.FreeCounter(a.value()).IsIntegrityViolation());
+  // Recycled.
+  auto b = cs.FetchCounter();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), a.value());
+}
+
+TEST(TrustedCounterStore, CapacityExceeded) {
+  sgx::EnclaveRuntime rt(64ull * 1024 * 1024);
+  crypto::SecureRandom rng(8);
+  TrustedCounterStore cs(&rt, &rng, 4);
+  ASSERT_TRUE(cs.Init().ok());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(cs.FetchCounter().ok());
+  EXPECT_TRUE(cs.FetchCounter().status().IsCapacityExceeded());
+}
+
+TEST(StoreFactory, AllSchemesConstructAndServe) {
+  for (Scheme scheme : {Scheme::kAria, Scheme::kAriaNoCache,
+                        Scheme::kShieldStore, Scheme::kBaseline}) {
+    StoreOptions opts;
+    opts.scheme = scheme;
+    opts.keyspace = 512;
+    opts.num_buckets = 64;
+    opts.shieldstore_buckets = 64;
+    StoreBundle bundle;
+    ASSERT_TRUE(CreateStore(opts, &bundle).ok()) << bundle.label;
+    ASSERT_TRUE(bundle.store->Put("key", "value").ok()) << bundle.label;
+    std::string v;
+    ASSERT_TRUE(bundle.store->Get("key", &v).ok()) << bundle.label;
+    EXPECT_EQ(v, "value") << bundle.label;
+  }
+}
+
+TEST(StoreFactory, ShieldStoreRejectsBTree) {
+  StoreOptions opts;
+  opts.scheme = Scheme::kShieldStore;
+  opts.index = IndexKind::kBTree;
+  StoreBundle bundle;
+  EXPECT_TRUE(CreateStore(opts, &bundle).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace aria

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace aria {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CodesAndMessages) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::CapacityExceeded().IsCapacityExceeded());
+  EXPECT_TRUE(Status::IntegrityViolation("MAC").IsIntegrityViolation());
+  EXPECT_TRUE(Status::Internal().IsInternal());
+  EXPECT_EQ(Status::IntegrityViolation("MAC mismatch").ToString(),
+            "IntegrityViolation: MAC mismatch");
+  EXPECT_FALSE(Status::NotFound().ok());
+}
+
+TEST(Status, ReturnIfErrorMacro) {
+  auto inner = []() { return Status::NotFound("gone"); };
+  auto outer = [&]() -> Status {
+    ARIA_RETURN_IF_ERROR(inner());
+    return Status::Internal("unreachable");
+  };
+  EXPECT_TRUE(outer().IsNotFound());
+}
+
+TEST(Result, ValueAndStatus) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> bad(Status::NotFound());
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsNotFound());
+}
+
+TEST(Slice, CompareAndEquality) {
+  EXPECT_EQ(Slice("abc"), Slice("abc"));
+  EXPECT_NE(Slice("abc"), Slice("abd"));
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+  EXPECT_GT(Slice("b").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("").compare(Slice("")), 0);
+  EXPECT_TRUE(Slice("").empty());
+}
+
+TEST(Slice, FromStringAndBack) {
+  std::string s = "hello\0world";
+  Slice sl(s);
+  EXPECT_EQ(sl.ToString(), s);
+  EXPECT_EQ(sl.size(), s.size());
+}
+
+TEST(Random, DeterministicPerSeed) {
+  Random a(1), b(1), c(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool differs = false;
+  Random a2(1);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Random, UniformInRange) {
+  Random r(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.Uniform(17), 17u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = r.Range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Random, UniformCoversAllValues) {
+  Random r(4);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Random, DoubleInUnitInterval) {
+  Random r(5);
+  for (int i = 0; i < 10000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Random, BernoulliRoughlyCalibrated) {
+  Random r(6);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += r.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Hash64, StableAndSpread) {
+  EXPECT_EQ(Hash64("abc", 3), Hash64("abc", 3));
+  EXPECT_NE(Hash64("abc", 3), Hash64("abd", 3));
+  EXPECT_NE(Hash64("abc", 3, 0), Hash64("abc", 3, 1));
+  // Distribution sanity: bucket 64k values into 16 bins.
+  std::map<uint64_t, int> bins;
+  for (uint64_t i = 0; i < 65536; ++i) {
+    bins[Hash64(&i, sizeof(i)) % 16]++;
+  }
+  for (auto& [bin, count] : bins) {
+    EXPECT_NEAR(count, 4096, 400) << "bin " << bin;
+  }
+}
+
+TEST(Hash64, EmptyAndShortInputs) {
+  EXPECT_EQ(Hash64(nullptr, 0), Hash64(nullptr, 0));
+  uint8_t b = 7;
+  EXPECT_NE(Hash64(&b, 1), Hash64(nullptr, 0));
+}
+
+TEST(KeyHint, DiffersFromBucketHash) {
+  Slice k("somekey12345");
+  EXPECT_NE(static_cast<uint64_t>(KeyHint(k)), Hash64(k) & 0xFFFFFFFFu);
+}
+
+}  // namespace
+}  // namespace aria

@@ -1,0 +1,317 @@
+// Crypto primitive tests against official vectors: FIPS-197 (AES-128),
+// NIST SP 800-38A (CTR mode), RFC 4493 (AES-CMAC); plus cross-checks
+// between the AES-NI and portable implementations.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "crypto/aes.h"
+#include "crypto/cmac.h"
+#include "crypto/ctr.h"
+#include "crypto/secure_random.h"
+
+namespace aria::crypto {
+namespace {
+
+std::vector<uint8_t> FromHex(const std::string& hex) {
+  std::vector<uint8_t> out;
+  for (size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(
+        static_cast<uint8_t>(std::stoul(hex.substr(i, 2), nullptr, 16)));
+  }
+  return out;
+}
+
+std::string ToHex(const uint8_t* p, size_t n) {
+  static const char* d = "0123456789abcdef";
+  std::string s;
+  for (size_t i = 0; i < n; ++i) {
+    s += d[p[i] >> 4];
+    s += d[p[i] & 15];
+  }
+  return s;
+}
+
+// --- FIPS-197 Appendix C.1 ---
+TEST(Aes128, Fips197VectorPortable) {
+  auto key = FromHex("000102030405060708090a0b0c0d0e0f");
+  auto pt = FromHex("00112233445566778899aabbccddeeff");
+  Aes128 aes(key.data(), Aes128::Impl::kPortable);
+  uint8_t ct[16];
+  aes.EncryptBlock(pt.data(), ct);
+  EXPECT_EQ(ToHex(ct, 16), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+// --- FIPS-197 Appendix B ---
+TEST(Aes128, AppendixBVectorPortable) {
+  auto key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  auto pt = FromHex("3243f6a8885a308d313198a2e0370734");
+  Aes128 aes(key.data(), Aes128::Impl::kPortable);
+  uint8_t ct[16];
+  aes.EncryptBlock(pt.data(), ct);
+  EXPECT_EQ(ToHex(ct, 16), "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(Aes128, AesNiMatchesPortable) {
+  if (!Aes128::HasAesNi()) GTEST_SKIP() << "no AES-NI on this CPU";
+  SecureRandom rng(11);
+  for (int trial = 0; trial < 64; ++trial) {
+    uint8_t key[16], pt[16], a[16], b[16];
+    rng.Fill(key, 16);
+    rng.Fill(pt, 16);
+    Aes128 ni(key, Aes128::Impl::kAesNi);
+    Aes128 port(key, Aes128::Impl::kPortable);
+    ni.EncryptBlock(pt, a);
+    port.EncryptBlock(pt, b);
+    EXPECT_EQ(0, std::memcmp(a, b, 16)) << "trial " << trial;
+  }
+}
+
+TEST(Aes128, MultiBlockMatchesSingle) {
+  SecureRandom rng(12);
+  uint8_t key[16];
+  rng.Fill(key, 16);
+  Aes128 aes(key);
+  std::vector<uint8_t> in(16 * 9), out_bulk(16 * 9), out_one(16 * 9);
+  rng.Fill(in.data(), in.size());
+  aes.EncryptBlocks(in.data(), out_bulk.data(), 9);
+  for (int b = 0; b < 9; ++b) {
+    aes.EncryptBlock(in.data() + b * 16, out_one.data() + b * 16);
+  }
+  EXPECT_EQ(out_bulk, out_one);
+}
+
+// --- NIST SP 800-38A F.5.1 (CTR-AES128.Encrypt) ---
+TEST(AesCtr, Sp800_38aVector) {
+  auto key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  auto ctr = FromHex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  auto pt = FromHex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  Aes128 aes(key.data());
+  std::vector<uint8_t> ct(pt.size());
+  AesCtrCrypt(aes, ctr.data(), pt.data(), ct.data(), pt.size());
+  EXPECT_EQ(ToHex(ct.data(), ct.size()),
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff"
+            "5ae4df3edbd5d35e5b4f09020db03eab"
+            "1e031dda2fbe03d1792170a0f3009cee");
+}
+
+TEST(AesCtr, RoundTripAllLengths) {
+  SecureRandom rng(13);
+  uint8_t key[16], iv[16];
+  rng.Fill(key, 16);
+  rng.Fill(iv, 16);
+  Aes128 aes(key);
+  for (size_t len = 0; len <= 130; ++len) {
+    std::vector<uint8_t> pt(len), ct(len), rt(len);
+    rng.Fill(pt.data(), len);
+    AesCtrCrypt(aes, iv, pt.data(), ct.data(), len);
+    AesCtrCrypt(aes, iv, ct.data(), rt.data(), len);
+    EXPECT_EQ(pt, rt) << "len " << len;
+    if (len >= 8) {
+      EXPECT_NE(0, std::memcmp(pt.data(), ct.data(), len)) << "len " << len;
+    }
+  }
+}
+
+TEST(AesCtr, InPlaceOperation) {
+  SecureRandom rng(14);
+  uint8_t key[16], iv[16];
+  rng.Fill(key, 16);
+  rng.Fill(iv, 16);
+  Aes128 aes(key);
+  std::vector<uint8_t> data(100), expected(100);
+  rng.Fill(data.data(), data.size());
+  AesCtrCrypt(aes, iv, data.data(), expected.data(), data.size());
+  AesCtrCrypt(aes, iv, data.data(), data.data(), data.size());
+  EXPECT_EQ(data, expected);
+}
+
+TEST(AesCtr, OffsetWindowMatchesFullStream) {
+  // Decrypting a suffix window with AesCtrCryptAt must agree byte-for-byte
+  // with decrypting the whole message, for every offset.
+  SecureRandom rng(21);
+  uint8_t key[16], iv[16];
+  rng.Fill(key, 16);
+  rng.Fill(iv, 16);
+  Aes128 aes(key);
+  std::vector<uint8_t> pt(97), ct(97), full(97);
+  rng.Fill(pt.data(), pt.size());
+  AesCtrCrypt(aes, iv, pt.data(), ct.data(), ct.size());
+  AesCtrCrypt(aes, iv, ct.data(), full.data(), ct.size());
+  ASSERT_EQ(0, std::memcmp(full.data(), pt.data(), pt.size()));
+  for (size_t off = 0; off < pt.size(); ++off) {
+    std::vector<uint8_t> window(pt.size() - off);
+    AesCtrCryptAt(aes, iv, off, ct.data() + off, window.data(),
+                  window.size());
+    ASSERT_EQ(0, std::memcmp(window.data(), pt.data() + off, window.size()))
+        << "offset " << off;
+  }
+}
+
+TEST(AesCtr, CtrAddMatchesRepeatedIncrement) {
+  SecureRandom rng(22);
+  for (int trial = 0; trial < 32; ++trial) {
+    uint8_t a[16], b[16];
+    rng.Fill(a, 16);
+    std::memcpy(b, a, 16);
+    uint64_t n = trial * trial * 31 + trial;
+    CtrAdd(a, n);
+    for (uint64_t i = 0; i < n; ++i) CtrIncrement(b);
+    ASSERT_EQ(0, std::memcmp(a, b, 16)) << "n=" << n;
+  }
+}
+
+TEST(AesCtr, CtrAddCarriesAcrossBytes) {
+  uint8_t ctr[16] = {0};
+  std::memset(ctr + 8, 0xFF, 8);  // low 64 bits all ones
+  CtrAdd(ctr, 1);
+  // Carry must ripple into byte 7.
+  EXPECT_EQ(ctr[7], 1);
+  for (int i = 8; i < 16; ++i) EXPECT_EQ(ctr[i], 0);
+}
+
+TEST(AesCtr, CounterIncrementCarries) {
+  uint8_t ctr[16];
+  std::memset(ctr, 0xff, 16);
+  ctr[0] = 0x00;
+  CtrIncrement(ctr);  // carries through bytes 15..1
+  uint8_t expect[16] = {0x01, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_EQ(0, std::memcmp(ctr, expect, 16));
+}
+
+// --- RFC 4493 test vectors ---
+class CmacRfc4493 : public ::testing::TestWithParam<std::pair<size_t, std::string>> {};
+
+TEST_P(CmacRfc4493, Vector) {
+  auto key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  auto msg = FromHex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  Aes128 aes(key.data());
+  Cmac128 cmac(aes);
+  uint8_t tag[16];
+  auto [len, expect] = GetParam();
+  cmac.Mac(msg.data(), len, tag);
+  EXPECT_EQ(ToHex(tag, 16), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rfc4493, CmacRfc4493,
+    ::testing::Values(
+        std::make_pair<size_t, std::string>(0, "bb1d6929e95937287fa37d129b756746"),
+        std::make_pair<size_t, std::string>(16, "070a16b46b4d4144f79bdd9dd04a287c"),
+        std::make_pair<size_t, std::string>(40, "dfa66747de9ae63030ca32611497c827"),
+        std::make_pair<size_t, std::string>(64, "51f0bebf7e3b9d92fc49741779363cfe")));
+
+TEST(Cmac, StreamingMatchesOneShot) {
+  SecureRandom rng(15);
+  uint8_t key[16];
+  rng.Fill(key, 16);
+  Aes128 aes(key);
+  Cmac128 cmac(aes);
+  std::vector<uint8_t> msg(200);
+  rng.Fill(msg.data(), msg.size());
+  for (size_t split1 = 0; split1 < msg.size(); split1 += 17) {
+    for (size_t split2 = split1; split2 < msg.size(); split2 += 41) {
+      uint8_t one[16], multi[16];
+      cmac.Mac(msg.data(), msg.size(), one);
+      Cmac128::Stream s(cmac);
+      s.Update(msg.data(), split1);
+      s.Update(msg.data() + split1, split2 - split1);
+      s.Update(msg.data() + split2, msg.size() - split2);
+      s.Final(multi);
+      ASSERT_EQ(0, std::memcmp(one, multi, 16))
+          << "splits " << split1 << "," << split2;
+    }
+  }
+}
+
+TEST(Cmac, PortableMatchesAesNi) {
+  if (!Aes128::HasAesNi()) GTEST_SKIP() << "no AES-NI on this CPU";
+  SecureRandom rng(23);
+  uint8_t key[16];
+  rng.Fill(key, 16);
+  Aes128 ni(key, Aes128::Impl::kAesNi);
+  Aes128 port(key, Aes128::Impl::kPortable);
+  Cmac128 cmac_ni(ni);
+  Cmac128 cmac_port(port);
+  for (size_t len : {0u, 1u, 16u, 17u, 64u, 333u}) {
+    std::vector<uint8_t> msg(len);
+    rng.Fill(msg.data(), len);
+    uint8_t a[16], b[16];
+    cmac_ni.Mac(msg.data(), len, a);
+    cmac_port.Mac(msg.data(), len, b);
+    ASSERT_TRUE(MacEqual(a, b)) << "len " << len;
+  }
+}
+
+TEST(Cmac, CbcMacBlocksMatchesManualChain) {
+  SecureRandom rng(24);
+  uint8_t key[16];
+  rng.Fill(key, 16);
+  Aes128 aes(key);
+  std::vector<uint8_t> data(16 * 7);
+  rng.Fill(data.data(), data.size());
+  uint8_t bulk[16] = {0};
+  aes.CbcMacBlocks(bulk, data.data(), 7);
+  uint8_t manual[16] = {0};
+  for (int b = 0; b < 7; ++b) {
+    for (int i = 0; i < 16; ++i) manual[i] ^= data[b * 16 + i];
+    aes.EncryptBlock(manual, manual);
+  }
+  EXPECT_TRUE(MacEqual(bulk, manual));
+}
+
+TEST(Cmac, DifferentMessagesDifferentTags) {
+  SecureRandom rng(16);
+  uint8_t key[16];
+  rng.Fill(key, 16);
+  Aes128 aes(key);
+  Cmac128 cmac(aes);
+  uint8_t a[32], tag_a[16], tag_b[16];
+  rng.Fill(a, 32);
+  cmac.Mac(a, 32, tag_a);
+  a[7] ^= 1;
+  cmac.Mac(a, 32, tag_b);
+  EXPECT_FALSE(MacEqual(tag_a, tag_b));
+}
+
+TEST(Cmac, MacEqualConstantTimeSemantics) {
+  uint8_t a[16] = {0};
+  uint8_t b[16] = {0};
+  EXPECT_TRUE(MacEqual(a, b));
+  b[15] = 1;
+  EXPECT_FALSE(MacEqual(a, b));
+  b[15] = 0;
+  b[0] = 0x80;
+  EXPECT_FALSE(MacEqual(a, b));
+}
+
+TEST(SecureRandom, DeterministicWithSeed) {
+  SecureRandom a(99), b(99), c(100);
+  uint8_t x[64], y[64], z[64];
+  a.Fill(x, 64);
+  b.Fill(y, 64);
+  c.Fill(z, 64);
+  EXPECT_EQ(0, std::memcmp(x, y, 64));
+  EXPECT_NE(0, std::memcmp(x, z, 64));
+}
+
+TEST(SecureRandom, StreamAdvances) {
+  SecureRandom rng(5);
+  uint64_t a = rng.NextU64();
+  uint64_t b = rng.NextU64();
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace aria::crypto

@@ -1,0 +1,245 @@
+// Cross-module integration tests: full workload replays over every scheme,
+// behavioral invariants from the paper (hit ratios under skew vs uniform,
+// stop-swap engagement, paging cliffs), and multi-tenant construction.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/aria_btree.h"
+#include "core/store_factory.h"
+#include "workload/driver.h"
+
+namespace aria {
+namespace {
+
+StoreOptions SmallOpts(Scheme scheme, IndexKind index = IndexKind::kHash) {
+  StoreOptions opts;
+  opts.scheme = scheme;
+  opts.index = index;
+  opts.keyspace = 4096;
+  opts.num_buckets = 1024;
+  opts.shieldstore_buckets = 1024;
+  return opts;
+}
+
+TEST(Integration, AllSchemesSurviveMixedYcsb) {
+  for (Scheme scheme : {Scheme::kAria, Scheme::kAriaNoCache,
+                        Scheme::kShieldStore, Scheme::kBaseline}) {
+    StoreBundle bundle;
+    ASSERT_TRUE(CreateStore(SmallOpts(scheme), &bundle).ok());
+    Driver driver;
+    ASSERT_TRUE(driver.Prepopulate(bundle.store.get(), 4096, 16).ok());
+    YcsbSpec spec;
+    spec.keyspace = 4096;
+    spec.read_ratio = 0.5;
+    auto r = driver.RunYcsb(bundle.store.get(), bundle.enclave.get(), spec,
+                            20000);
+    ASSERT_TRUE(r.ok()) << bundle.label << ": " << r.status().ToString();
+    EXPECT_EQ(r->not_found, 0u) << bundle.label;
+  }
+}
+
+TEST(Integration, BothIndexesSurviveEtc) {
+  for (IndexKind index : {IndexKind::kHash, IndexKind::kBTree}) {
+    StoreBundle bundle;
+    ASSERT_TRUE(CreateStore(SmallOpts(Scheme::kAria, index), &bundle).ok());
+    EtcSpec spec;
+    spec.keyspace = 4096;
+    spec.read_ratio = 0.5;
+    EtcWorkload wl(spec);
+    Driver driver;
+    ASSERT_TRUE(driver
+                    .Prepopulate(bundle.store.get(), 4096,
+                                 [&wl](uint64_t id) { return wl.ValueSizeFor(id); })
+                    .ok());
+    auto r = driver.RunEtc(bundle.store.get(), bundle.enclave.get(), spec,
+                           10000);
+    ASSERT_TRUE(r.ok()) << bundle.label;
+    EXPECT_EQ(r->not_found, 0u) << bundle.label;
+  }
+}
+
+TEST(Integration, SkewHitsCacheMoreThanUniform) {
+  auto hit_ratio = [](KeyDistribution dist) {
+    StoreOptions opts = SmallOpts(Scheme::kAria);
+    opts.keyspace = 1 << 15;
+    opts.cache_bytes = 64 * 1024;  // much smaller than the counter area
+    opts.pinned_levels = 2;
+    opts.stop_swap_enabled = false;
+    StoreBundle bundle;
+    EXPECT_TRUE(CreateStore(opts, &bundle).ok());
+    Driver driver;
+    EXPECT_TRUE(driver.Prepopulate(bundle.store.get(), 1 << 15, 16).ok());
+    YcsbSpec spec;
+    spec.keyspace = 1 << 15;
+    spec.distribution = dist;
+    spec.read_ratio = 0.95;
+    auto r =
+        driver.RunYcsb(bundle.store.get(), bundle.enclave.get(), spec, 30000);
+    EXPECT_TRUE(r.ok());
+    return bundle.counter_manager()->CacheStats().HitRatio();
+  };
+  double skew = hit_ratio(KeyDistribution::kZipfian);
+  double uniform = hit_ratio(KeyDistribution::kUniform);
+  EXPECT_GT(skew, uniform + 0.1)
+      << "skew=" << skew << " uniform=" << uniform;
+}
+
+TEST(Integration, StopSwapEngagesUnderUniformOnly) {
+  auto swap_stopped = [](KeyDistribution dist) {
+    StoreOptions opts = SmallOpts(Scheme::kAria);
+    opts.keyspace = 1 << 15;
+    // Cache covers ~half of the leaf level: zipfian traffic concentrates
+    // far above the 70% stop threshold, uniform traffic sits at ~50%.
+    opts.cache_bytes = 256 * 1024;
+    opts.pinned_levels = 0;
+    opts.stop_swap_enabled = true;
+    StoreBundle bundle;
+    EXPECT_TRUE(CreateStore(opts, &bundle).ok());
+    Driver driver;
+    EXPECT_TRUE(driver.Prepopulate(bundle.store.get(), 1 << 15, 16).ok());
+    YcsbSpec spec;
+    spec.keyspace = 1 << 15;
+    spec.distribution = dist;
+    spec.skewness = 1.1;  // clearly above the stop-swap break-even point
+    auto r =
+        driver.RunYcsb(bundle.store.get(), bundle.enclave.get(), spec, 300000);
+    EXPECT_TRUE(r.ok());
+    return bundle.counter_manager()->CacheStats().swap_stopped;
+  };
+  EXPECT_TRUE(swap_stopped(KeyDistribution::kUniform));
+  EXPECT_FALSE(swap_stopped(KeyDistribution::kZipfian));
+}
+
+TEST(Integration, BaselinePagesBeyondEpc) {
+  // ~4K keys * 400 B values inside a 1 MB EPC: constant paging; the same
+  // store inside a big EPC never pages. This is the Fig. 2 cliff.
+  auto swaps = [](uint64_t epc) {
+    StoreOptions opts = SmallOpts(Scheme::kBaseline);
+    opts.epc_budget_bytes = epc;
+    StoreBundle bundle;
+    EXPECT_TRUE(CreateStore(opts, &bundle).ok());
+    Driver driver;
+    EXPECT_TRUE(driver.Prepopulate(bundle.store.get(), 4096, 400).ok());
+    YcsbSpec spec;
+    spec.keyspace = 4096;
+    spec.distribution = KeyDistribution::kUniform;
+    auto r =
+        driver.RunYcsb(bundle.store.get(), bundle.enclave.get(), spec, 5000);
+    EXPECT_TRUE(r.ok());
+    return bundle.enclave->stats().page_swaps;
+  };
+  EXPECT_EQ(swaps(64ull << 20), 0u);
+  EXPECT_GT(swaps(1ull << 20), 1000u);
+}
+
+TEST(Integration, AriaAvoidsHardwarePagingEntirely) {
+  // The whole point of the design: even with a working set far beyond the
+  // cache, Aria's trusted footprint stays under the EPC budget, so the
+  // hardware paging counter never moves.
+  StoreOptions opts = SmallOpts(Scheme::kAria);
+  opts.keyspace = 1 << 15;
+  opts.cache_bytes = 64 * 1024;
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+  Driver driver;
+  ASSERT_TRUE(driver.Prepopulate(bundle.store.get(), 1 << 15, 64).ok());
+  YcsbSpec spec;
+  spec.keyspace = 1 << 15;
+  auto r = driver.RunYcsb(bundle.store.get(), bundle.enclave.get(), spec,
+                          20000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(bundle.enclave->stats().page_swaps, 0u);
+  EXPECT_LT(bundle.enclave->trusted_bytes_in_use(),
+            sgx::CostModel::kDefaultEpcBytes);
+}
+
+TEST(Integration, ShieldStoreReadAmplificationExceedsAria) {
+  // Same chains, same ops: ShieldStore walks whole buckets for MAC
+  // verification, Aria only touches candidates.
+  StoreOptions a = SmallOpts(Scheme::kAria);
+  a.num_buckets = 64;  // average chain length 64
+  StoreOptions s = SmallOpts(Scheme::kShieldStore);
+  s.shieldstore_buckets = 64;
+  StoreBundle aria_b, shield_b;
+  ASSERT_TRUE(CreateStore(a, &aria_b).ok());
+  ASSERT_TRUE(CreateStore(s, &shield_b).ok());
+  Driver driver;
+  ASSERT_TRUE(driver.Prepopulate(aria_b.store.get(), 4096, 16).ok());
+  ASSERT_TRUE(driver.Prepopulate(shield_b.store.get(), 4096, 16).ok());
+  YcsbSpec spec;
+  spec.keyspace = 4096;
+  auto ra =
+      driver.RunYcsb(aria_b.store.get(), aria_b.enclave.get(), spec, 5000);
+  auto rs =
+      driver.RunYcsb(shield_b.store.get(), shield_b.enclave.get(), spec, 5000);
+  ASSERT_TRUE(ra.ok() && rs.ok());
+  auto* aria_store = static_cast<AriaHash*>(aria_b.store.get());
+  auto* shield_store = static_cast<ShieldStore*>(shield_b.store.get());
+  EXPECT_GT(shield_store->stats().entries_scanned,
+            aria_store->stats().hint_matches * 10);
+}
+
+TEST(Integration, MultiTenantInstancesAreIndependent) {
+  // Fig. 16a setup: N instances, each with EPC/N. Run them on threads and
+  // check full isolation of contents.
+  constexpr int kTenants = 4;
+  std::vector<std::unique_ptr<StoreBundle>> bundles;
+  for (int t = 0; t < kTenants; ++t) {
+    StoreOptions opts = SmallOpts(Scheme::kAria);
+    opts.keyspace = 2048;
+    opts.epc_budget_bytes = sgx::CostModel::kDefaultEpcBytes / kTenants;
+    opts.seed = 1000 + t;
+    auto bundle = std::make_unique<StoreBundle>();
+    ASSERT_TRUE(CreateStore(opts, bundle.get()).ok());
+    bundles.push_back(std::move(bundle));
+  }
+  std::vector<std::thread> threads;
+  std::vector<Status> statuses(kTenants);
+  for (int t = 0; t < kTenants; ++t) {
+    threads.emplace_back([&, t]() {
+      KVStore* store = bundles[t]->store.get();
+      for (int i = 0; i < 500; ++i) {
+        Status st = store->Put(MakeKey(i), MakeValue(i, 16, t));
+        if (!st.ok()) {
+          statuses[t] = st;
+          return;
+        }
+      }
+      std::string v;
+      for (int i = 0; i < 500; ++i) {
+        Status st = store->Get(MakeKey(i), &v);
+        if (!st.ok() || v != MakeValue(i, 16, t)) {
+          statuses[t] = st.ok() ? Status::Internal("cross-tenant bleed") : st;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kTenants; ++t) {
+    EXPECT_TRUE(statuses[t].ok()) << "tenant " << t << ": "
+                                  << statuses[t].ToString();
+  }
+}
+
+TEST(Integration, AriaTreeRangeScanAfterWorkload) {
+  StoreBundle bundle;
+  ASSERT_TRUE(
+      CreateStore(SmallOpts(Scheme::kAria, IndexKind::kBTree), &bundle).ok());
+  Driver driver;
+  ASSERT_TRUE(driver.Prepopulate(bundle.store.get(), 1000, 16).ok());
+  YcsbSpec spec;
+  spec.keyspace = 1000;
+  spec.read_ratio = 0.5;
+  auto r = driver.RunYcsb(bundle.store.get(), bundle.enclave.get(), spec, 5000);
+  ASSERT_TRUE(r.ok());
+  auto* tree = static_cast<AriaBTree*>(bundle.store.get());
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(tree->RangeScan(MakeKey(0), 1000, &out).ok());
+  EXPECT_EQ(out.size(), 1000u);
+  ASSERT_TRUE(tree->VerifyFullIntegrity().ok());
+}
+
+}  // namespace
+}  // namespace aria

@@ -1,0 +1,161 @@
+// Tests for the flat Merkle tree: geometry/address arithmetic across
+// arities, initialization consistency, and MAC relationships.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "alloc/heap_allocator.h"
+#include "crypto/aes.h"
+#include "crypto/cmac.h"
+#include "crypto/secure_random.h"
+#include "mt/flat_merkle_tree.h"
+#include "sgxsim/enclave_runtime.h"
+
+namespace aria {
+namespace {
+
+class MerkleTreeTest : public ::testing::Test {
+ protected:
+  MerkleTreeTest()
+      : enclave_(64ull * 1024 * 1024),
+        alloc_(&enclave_),
+        rng_(123),
+        aes_(MakeKey()),
+        cmac_(aes_) {}
+
+  static const uint8_t* MakeKey() {
+    static uint8_t key[16] = {1, 2, 3, 4, 5, 6, 7, 8,
+                              9, 10, 11, 12, 13, 14, 15, 16};
+    return key;
+  }
+
+  sgx::EnclaveRuntime enclave_;
+  HeapAllocator alloc_;
+  crypto::SecureRandom rng_;
+  crypto::Aes128 aes_;
+  crypto::Cmac128 cmac_;
+};
+
+TEST_F(MerkleTreeTest, GeometrySmallTree) {
+  // 64 counters, arity 8: L0 = 8 nodes, L1 = 1 node.
+  FlatMerkleTree tree(&enclave_, &alloc_, &cmac_, 64, 8);
+  EXPECT_EQ(tree.num_levels(), 2);
+  EXPECT_EQ(tree.NodesAt(0), 8u);
+  EXPECT_EQ(tree.NodesAt(1), 1u);
+  EXPECT_EQ(tree.node_size(), 128u);
+  EXPECT_EQ(tree.total_bytes(), 9u * 128);
+}
+
+TEST_F(MerkleTreeTest, GeometryPartialLevels) {
+  // 100 counters, arity 8: L0 = 13 nodes, L1 = 2, L2 = 1.
+  FlatMerkleTree tree(&enclave_, &alloc_, &cmac_, 100, 8);
+  EXPECT_EQ(tree.num_levels(), 3);
+  EXPECT_EQ(tree.NodesAt(0), 13u);
+  EXPECT_EQ(tree.NodesAt(1), 2u);
+  EXPECT_EQ(tree.NodesAt(2), 1u);
+}
+
+TEST_F(MerkleTreeTest, SingleNodeTree) {
+  FlatMerkleTree tree(&enclave_, &alloc_, &cmac_, 4, 8);
+  EXPECT_EQ(tree.num_levels(), 1);
+  EXPECT_EQ(tree.NodesAt(0), 1u);
+  EXPECT_TRUE(tree.Init(&rng_).ok());
+  // Root must equal the MAC of the single node.
+  uint8_t mac[16];
+  tree.ComputeNodeMac(MtNodeId{0, 0}, mac);
+  EXPECT_TRUE(crypto::MacEqual(mac, tree.root()));
+}
+
+TEST_F(MerkleTreeTest, ParentChildArithmetic) {
+  FlatMerkleTree tree(&enclave_, &alloc_, &cmac_, 1000, 4);
+  MtNodeId leaf = tree.LeafOf(37);
+  EXPECT_EQ(leaf.level, 0);
+  EXPECT_EQ(leaf.index, 37u / 4);
+  EXPECT_EQ(tree.CounterOffsetInLeaf(37), (37u % 4) * 16);
+  MtNodeId parent = tree.ParentOf(leaf);
+  EXPECT_EQ(parent.level, 1);
+  EXPECT_EQ(parent.index, leaf.index / 4);
+  EXPECT_EQ(tree.SlotInParent(leaf), leaf.index % 4);
+}
+
+TEST_F(MerkleTreeTest, CounterPtrMatchesLeafLayout) {
+  FlatMerkleTree tree(&enclave_, &alloc_, &cmac_, 256, 8);
+  ASSERT_TRUE(tree.Init(&rng_).ok());
+  for (uint64_t c : {0ull, 7ull, 8ull, 100ull, 255ull}) {
+    MtNodeId leaf = tree.LeafOf(c);
+    uint8_t* via_node =
+        tree.NodePtr(leaf.level, leaf.index) + tree.CounterOffsetInLeaf(c);
+    EXPECT_EQ(tree.CounterPtr(c), via_node) << "counter " << c;
+  }
+}
+
+class MerkleTreeArityTest : public MerkleTreeTest,
+                            public ::testing::WithParamInterface<size_t> {};
+
+TEST_P(MerkleTreeArityTest, InitProducesConsistentTree) {
+  size_t arity = GetParam();
+  FlatMerkleTree tree(&enclave_, &alloc_, &cmac_, 500, arity);
+  ASSERT_TRUE(tree.Init(&rng_).ok());
+  // Every node's computed MAC must equal the stored MAC in its parent.
+  for (int level = 0; level < tree.num_levels(); ++level) {
+    for (uint64_t i = 0; i < tree.NodesAt(level); ++i) {
+      MtNodeId id{level, i};
+      uint8_t mac[16];
+      tree.ComputeNodeMac(id, mac);
+      EXPECT_TRUE(crypto::MacEqual(mac, tree.StoredMacPtr(id)))
+          << "arity " << arity << " node (" << level << "," << i << ")";
+    }
+  }
+}
+
+TEST_P(MerkleTreeArityTest, StoredMacOfTopIsRoot) {
+  size_t arity = GetParam();
+  FlatMerkleTree tree(&enclave_, &alloc_, &cmac_, 500, arity);
+  ASSERT_TRUE(tree.Init(&rng_).ok());
+  MtNodeId top{tree.num_levels() - 1, 0};
+  EXPECT_TRUE(tree.IsTop(top));
+  EXPECT_EQ(tree.StoredMacPtr(top), tree.root());
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, MerkleTreeArityTest,
+                         ::testing::Values(2, 4, 8, 10, 12, 16));
+
+TEST_F(MerkleTreeTest, TamperedCounterBreaksLeafMac) {
+  FlatMerkleTree tree(&enclave_, &alloc_, &cmac_, 128, 8);
+  ASSERT_TRUE(tree.Init(&rng_).ok());
+  MtNodeId leaf = tree.LeafOf(42);
+  uint8_t before[16];
+  tree.ComputeNodeMac(leaf, before);
+  tree.CounterPtr(42)[3] ^= 0x40;  // attacker flips a bit in the counter
+  uint8_t after[16];
+  tree.ComputeNodeMac(leaf, after);
+  EXPECT_FALSE(crypto::MacEqual(before, after));
+  EXPECT_FALSE(crypto::MacEqual(after, tree.StoredMacPtr(leaf)));
+}
+
+TEST_F(MerkleTreeTest, RandomInitialCounters) {
+  FlatMerkleTree t1(&enclave_, &alloc_, &cmac_, 64, 8);
+  ASSERT_TRUE(t1.Init(&rng_).ok());
+  // Counters should not be all-zero (probability ~2^-8192).
+  bool nonzero = false;
+  for (uint64_t c = 0; c < 64; ++c) {
+    for (int i = 0; i < 16; ++i) {
+      if (t1.CounterPtr(c)[i] != 0) nonzero = true;
+    }
+  }
+  EXPECT_TRUE(nonzero);
+}
+
+TEST_F(MerkleTreeTest, LargeTreeGeometry) {
+  FlatMerkleTree tree(&enclave_, &alloc_, &cmac_, 1 << 20, 8);
+  // 2^20 counters, arity 8: levels 2^17, 2^14, 2^11, 2^8, 2^5, 4, 1.
+  EXPECT_EQ(tree.num_levels(), 7);
+  EXPECT_EQ(tree.NodesAt(0), 1u << 17);
+  EXPECT_EQ(tree.NodesAt(6), 1u);
+  // Total untrusted = sum of levels * node_size ≈ 1.14x counters.
+  EXPECT_GT(tree.total_bytes(), (1ull << 20) * 16);
+  EXPECT_LT(tree.total_bytes(), (1ull << 20) * 16 * 5 / 4);
+}
+
+}  // namespace
+}  // namespace aria

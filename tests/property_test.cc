@@ -1,0 +1,275 @@
+// Parameterized property sweeps across modules: each suite checks one
+// invariant over a grid of configurations (TEST_P / INSTANTIATE_TEST_SUITE_P).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "alloc/heap_allocator.h"
+#include "cache/secure_cache.h"
+#include "common/random.h"
+#include "core/record.h"
+#include "core/store_factory.h"
+#include "crypto/secure_random.h"
+#include "mt/flat_merkle_tree.h"
+#include "workload/ycsb.h"
+
+namespace aria {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Record codec: seal/verify/open roundtrip over a (key length, value length)
+// grid, plus MAC sensitivity to a bit flip at every byte position.
+// ---------------------------------------------------------------------------
+
+class RecordSizeSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {
+ protected:
+  RecordSizeSweep()
+      : enclave_(8 << 20),
+        rng_(99),
+        aes_(Key(1)),
+        mac_aes_(Key(2)),
+        cmac_(mac_aes_),
+        codec_(&enclave_, &aes_, &cmac_) {}
+
+  static const uint8_t* Key(uint8_t tag) {
+    static uint8_t k1[16] = {1};
+    static uint8_t k2[16] = {2};
+    return tag == 1 ? k1 : k2;
+  }
+
+  sgx::EnclaveRuntime enclave_;
+  crypto::SecureRandom rng_;
+  crypto::Aes128 aes_;
+  crypto::Aes128 mac_aes_;
+  crypto::Cmac128 cmac_;
+  RecordCodec codec_;
+};
+
+TEST_P(RecordSizeSweep, RoundTripAndTamperDetection) {
+  auto [k_len, v_len] = GetParam();
+  std::string key(k_len, '\0');
+  std::string value(v_len, '\0');
+  rng_.Fill(key.data(), k_len);
+  rng_.Fill(value.data(), v_len);
+  uint8_t counter[16];
+  rng_.Fill(counter, 16);
+
+  std::vector<uint8_t> rec(RecordCodec::SealedSize(k_len, v_len));
+  codec_.Seal(7, counter, key, value, 0xAD, rec.data());
+  ASSERT_TRUE(codec_.Verify(rec.data(), counter, 0xAD).ok());
+  std::string k_out, v_out;
+  codec_.Open(rec.data(), counter, &k_out, &v_out);
+  EXPECT_EQ(k_out, key);
+  EXPECT_EQ(v_out, value);
+
+  // Value-only decryption agrees with the full open.
+  std::string v_only;
+  codec_.OpenValue(rec.data(), counter, &v_only);
+  EXPECT_EQ(v_only, value);
+
+  // Any single-byte flip anywhere in the sealed record breaks the MAC.
+  Random positions(k_len * 1315423911u + v_len);
+  for (int trial = 0; trial < 16; ++trial) {
+    size_t pos = positions.Uniform(rec.size());
+    rec[pos] ^= 0x01;
+    EXPECT_TRUE(codec_.Verify(rec.data(), counter, 0xAD).IsIntegrityViolation())
+        << "flip at " << pos;
+    rec[pos] ^= 0x01;
+  }
+  ASSERT_TRUE(codec_.Verify(rec.data(), counter, 0xAD).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeGrid, RecordSizeSweep,
+    ::testing::Combine(::testing::Values(1, 15, 16, 17, 64, 255),
+                       ::testing::Values(0, 1, 13, 16, 100, 300, 1024)));
+
+// ---------------------------------------------------------------------------
+// Secure Cache: the shadow-model invariant (reads return the last written
+// counter value, everything verifies) must hold across arity × policy ×
+// capacity, including through stop-swap transitions.
+// ---------------------------------------------------------------------------
+
+class CacheConfigSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, CachePolicy, int>> {
+};
+
+TEST_P(CacheConfigSweep, ShadowModelHolds) {
+  auto [arity, policy, slots] = GetParam();
+  sgx::EnclaveRuntime enclave(64 << 20);
+  HeapAllocator alloc(&enclave);
+  crypto::SecureRandom rng(static_cast<uint64_t>(arity) * 131 + slots);
+  uint8_t key[16] = {42};
+  crypto::Aes128 aes(key);
+  crypto::Cmac128 cmac(aes);
+
+  const uint64_t kCounters = 2048;
+  FlatMerkleTree tree(&enclave, &alloc, &cmac, kCounters, arity);
+  ASSERT_TRUE(tree.Init(&rng).ok());
+  SecureCacheConfig cfg;
+  cfg.capacity_bytes = slots * (tree.node_size() + 24);
+  cfg.policy = policy;
+  cfg.pinned_levels = 0;
+  cfg.stop_swap_enabled = true;
+  cfg.stop_swap_window = 512;
+  SecureCache cache(&enclave, &tree, &cmac, cfg);
+  ASSERT_TRUE(cache.Attach().ok());
+
+  Random ops(slots * 7 + arity);
+  std::map<uint64_t, std::vector<uint8_t>> shadow;
+  for (int step = 0; step < 8000; ++step) {
+    uint64_t c = ops.Uniform(kCounters);
+    uint8_t got[16];
+    if (ops.Bernoulli(0.35)) {
+      ASSERT_TRUE(cache.BumpCounter(c, got).ok()) << step;
+      shadow[c].assign(got, got + 16);
+    } else {
+      ASSERT_TRUE(cache.ReadCounter(c, got).ok()) << step;
+      auto it = shadow.find(c);
+      if (it != shadow.end()) {
+        ASSERT_EQ(0, std::memcmp(got, it->second.data(), 16))
+            << "step " << step << " counter " << c << " arity " << arity;
+      } else {
+        shadow[c].assign(got, got + 16);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CacheConfigSweep,
+    ::testing::Combine(::testing::Values(2, 4, 8, 16),
+                       ::testing::Values(CachePolicy::kFifo,
+                                         CachePolicy::kLru),
+                       ::testing::Values(6, 32, 200)));
+
+// ---------------------------------------------------------------------------
+// Merkle tree: tampering any single node at any level must be detected by a
+// verification chain through that node, across arities.
+// ---------------------------------------------------------------------------
+
+class MtTamperSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MtTamperSweep, EveryLevelTamperDetected) {
+  size_t arity = GetParam();
+  sgx::EnclaveRuntime enclave(64 << 20);
+  HeapAllocator alloc(&enclave);
+  crypto::SecureRandom rng(4);
+  uint8_t key[16] = {7};
+  crypto::Aes128 aes(key);
+  crypto::Cmac128 cmac(aes);
+  FlatMerkleTree tree(&enclave, &alloc, &cmac, 4096, arity);
+  ASSERT_TRUE(tree.Init(&rng).ok());
+
+  for (int level = 0; level < tree.num_levels() - 1; ++level) {
+    // Fresh tiny cache per tamper so nothing is cached from earlier rounds.
+    SecureCacheConfig cfg;
+    cfg.capacity_bytes = 8 * (tree.node_size() + 24);
+    cfg.pinned_levels = 0;
+    cfg.stop_swap_enabled = false;
+    SecureCache cache(&enclave, &tree, &cmac, cfg);
+    ASSERT_TRUE(cache.Attach().ok());
+
+    uint64_t node = tree.NodesAt(level) / 2;
+    uint8_t* p = tree.NodePtr(level, node);
+    p[3] ^= 0x10;
+    // A counter beneath the tampered node must fail verification.
+    uint64_t counters_per_node = 1;
+    for (int l = 0; l < level; ++l) counters_per_node *= arity;
+    counters_per_node *= arity;  // level-0 node holds `arity` counters
+    uint64_t victim_counter = node * counters_per_node;
+    if (victim_counter >= 4096) victim_counter = 4095;
+    uint8_t out[16];
+    EXPECT_TRUE(cache.ReadCounter(victim_counter, out).IsIntegrityViolation())
+        << "arity " << arity << " level " << level;
+    p[3] ^= 0x10;  // restore
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, MtTamperSweep,
+                         ::testing::Values(2, 4, 8, 12, 16));
+
+// ---------------------------------------------------------------------------
+// Allocator: alloc/free roundtrip across every size class boundary.
+// ---------------------------------------------------------------------------
+
+class AllocSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AllocSizeSweep, BoundarySizesRoundTrip) {
+  size_t base = GetParam();
+  sgx::EnclaveRuntime enclave(64 << 20);
+  HeapAllocator alloc(&enclave);
+  for (long delta : {-1L, 0L, 1L}) {
+    if (delta < 0 && base == 1) continue;
+    size_t size = base + delta;
+    auto r = alloc.Alloc(size);
+    ASSERT_TRUE(r.ok()) << size;
+    std::memset(r.value(), 0x5A, size);
+    ASSERT_TRUE(alloc.Free(r.value()).ok()) << size;
+    // The class must be at least the requested size.
+    EXPECT_GE(HeapAllocator::RoundUpToClass(size), size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, AllocSizeSweep,
+                         ::testing::Values(1, 16, 24, 32, 48, 64, 96, 128,
+                                           192, 256, 1024, 4096, 65536,
+                                           1 << 20, 4 << 20));
+
+// ---------------------------------------------------------------------------
+// Store equivalence: every Aria index variant must behave identically on
+// the same operation sequence (the decoupled-design claim as a property).
+// ---------------------------------------------------------------------------
+
+class IndexEquivalence : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(IndexEquivalence, MatchesChainedHashBehavior) {
+  IndexKind kind = GetParam();
+  StoreOptions ref_opts;
+  ref_opts.scheme = Scheme::kAria;
+  ref_opts.index = IndexKind::kHash;
+  ref_opts.keyspace = 4096;
+  StoreOptions alt_opts = ref_opts;
+  alt_opts.index = kind;
+
+  StoreBundle ref, alt;
+  ASSERT_TRUE(CreateStore(ref_opts, &ref).ok());
+  ASSERT_TRUE(CreateStore(alt_opts, &alt).ok());
+
+  Random rng(31);
+  std::string v1, v2;
+  for (int step = 0; step < 4000; ++step) {
+    uint64_t id = rng.Uniform(300);
+    std::string key = MakeKey(id);
+    double dice = rng.NextDouble();
+    if (dice < 0.5) {
+      std::string value =
+          MakeValue(id, 1 + rng.Uniform(80), static_cast<uint32_t>(step));
+      Status s1 = ref.store->Put(key, value);
+      Status s2 = alt.store->Put(key, value);
+      ASSERT_EQ(s1.ok(), s2.ok()) << step;
+    } else if (dice < 0.8) {
+      Status s1 = ref.store->Get(key, &v1);
+      Status s2 = alt.store->Get(key, &v2);
+      ASSERT_EQ(s1.code(), s2.code()) << step;
+      if (s1.ok()) ASSERT_EQ(v1, v2) << step;
+    } else {
+      Status s1 = ref.store->Delete(key);
+      Status s2 = alt.store->Delete(key);
+      ASSERT_EQ(s1.code(), s2.code()) << step;
+    }
+    ASSERT_EQ(ref.store->size(), alt.store->size()) << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Indexes, IndexEquivalence,
+                         ::testing::Values(IndexKind::kBTree,
+                                           IndexKind::kBPlusTree,
+                                           IndexKind::kCuckoo));
+
+}  // namespace
+}  // namespace aria

@@ -1,0 +1,181 @@
+// Tests for the sealed record codec: roundtrips, MAC binding of every
+// field, AdField binding, and reseal semantics.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/record.h"
+#include "crypto/secure_random.h"
+#include "sgxsim/enclave_runtime.h"
+
+namespace aria {
+namespace {
+
+class RecordTest : public ::testing::Test {
+ protected:
+  RecordTest()
+      : enclave_(64ull * 1024 * 1024),
+        rng_(42),
+        aes_(EncKey()),
+        mac_aes_(MacKey()),
+        cmac_(mac_aes_),
+        codec_(&enclave_, &aes_, &cmac_) {
+    rng_.Fill(counter_, 16);
+  }
+
+  static const uint8_t* EncKey() {
+    static uint8_t k[16] = {1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 0, 0, 0, 1};
+    return k;
+  }
+  static const uint8_t* MacKey() {
+    static uint8_t k[16] = {2, 7, 1, 8, 2, 8, 1, 8, 2, 8, 4, 5, 9, 0, 4, 5};
+    return k;
+  }
+
+  std::vector<uint8_t> SealToBuffer(uint64_t red_ptr, Slice key, Slice value,
+                                    uint64_t ad) {
+    std::vector<uint8_t> buf(RecordCodec::SealedSize(key.size(), value.size()));
+    codec_.Seal(red_ptr, counter_, key, value, ad, buf.data());
+    return buf;
+  }
+
+  sgx::EnclaveRuntime enclave_;
+  crypto::SecureRandom rng_;
+  crypto::Aes128 aes_;
+  crypto::Aes128 mac_aes_;
+  crypto::Cmac128 cmac_;
+  RecordCodec codec_;
+  uint8_t counter_[16];
+};
+
+TEST_F(RecordTest, SealOpenRoundTrip) {
+  auto rec = SealToBuffer(7, "mykey", "myvalue", 0x1000);
+  ASSERT_TRUE(codec_.Verify(rec.data(), counter_, 0x1000).ok());
+  std::string k, v;
+  codec_.Open(rec.data(), counter_, &k, &v);
+  EXPECT_EQ(k, "mykey");
+  EXPECT_EQ(v, "myvalue");
+}
+
+TEST_F(RecordTest, PeekHeader) {
+  auto rec = SealToBuffer(0xABCD, "key16bytes_test_", "v", 1);
+  RecordHeader h = RecordCodec::Peek(rec.data());
+  EXPECT_EQ(h.red_ptr, 0xABCDu);
+  EXPECT_EQ(h.k_len, 16u);
+  EXPECT_EQ(h.v_len, 1u);
+}
+
+TEST_F(RecordTest, CiphertextHidesPlaintext) {
+  std::string key = "plaintext-key-123";
+  std::string value = "plaintext-value-456";
+  auto rec = SealToBuffer(7, key, value, 0);
+  std::string blob(reinterpret_cast<char*>(rec.data()), rec.size());
+  EXPECT_EQ(blob.find(key), std::string::npos);
+  EXPECT_EQ(blob.find(value), std::string::npos);
+}
+
+TEST_F(RecordTest, EmptyValueAndKeyEdgeCases) {
+  auto rec = SealToBuffer(1, "k", "", 0);
+  ASSERT_TRUE(codec_.Verify(rec.data(), counter_, 0).ok());
+  std::string k, v;
+  codec_.Open(rec.data(), counter_, &k, &v);
+  EXPECT_EQ(k, "k");
+  EXPECT_TRUE(v.empty());
+}
+
+TEST_F(RecordTest, LargeValues) {
+  std::string value(4096, 'x');
+  for (size_t i = 0; i < value.size(); ++i) value[i] = static_cast<char>(i);
+  auto rec = SealToBuffer(9, "key", value, 5);
+  ASSERT_TRUE(codec_.Verify(rec.data(), counter_, 5).ok());
+  std::string k, v;
+  codec_.Open(rec.data(), counter_, &k, &v);
+  EXPECT_EQ(v, value);
+}
+
+TEST_F(RecordTest, TamperCiphertextDetected) {
+  auto rec = SealToBuffer(7, "key", "value", 0);
+  rec[RecordCodec::kHeaderSize] ^= 1;
+  EXPECT_TRUE(codec_.Verify(rec.data(), counter_, 0).IsIntegrityViolation());
+}
+
+TEST_F(RecordTest, TamperMacDetected) {
+  auto rec = SealToBuffer(7, "key", "value", 0);
+  rec[rec.size() - 1] ^= 1;
+  EXPECT_TRUE(codec_.Verify(rec.data(), counter_, 0).IsIntegrityViolation());
+}
+
+TEST_F(RecordTest, TamperLengthsDetected) {
+  auto rec = SealToBuffer(7, "key", "value", 0);
+  rec[8] ^= 1;  // k_len — would shift parsing; MAC covers the header
+  EXPECT_TRUE(codec_.Verify(rec.data(), counter_, 0).IsIntegrityViolation());
+}
+
+TEST_F(RecordTest, TamperRedPtrDetected) {
+  auto rec = SealToBuffer(7, "key", "value", 0);
+  rec[0] ^= 1;
+  EXPECT_TRUE(codec_.Verify(rec.data(), counter_, 0).IsIntegrityViolation());
+}
+
+TEST_F(RecordTest, WrongCounterDetected) {
+  // A replayed (old) counter value must fail the MAC: this is the
+  // freshness guarantee once counters themselves are replay-proof.
+  auto rec = SealToBuffer(7, "key", "value", 0);
+  uint8_t old_counter[16];
+  std::memcpy(old_counter, counter_, 16);
+  old_counter[0] ^= 1;
+  EXPECT_TRUE(
+      codec_.Verify(rec.data(), old_counter, 0).IsIntegrityViolation());
+}
+
+TEST_F(RecordTest, WrongAdFieldDetected) {
+  // Pointer-exchange attack: the record was bound to cell 0x1000 but is
+  // verified as if reached through cell 0x2000.
+  auto rec = SealToBuffer(7, "key", "value", 0x1000);
+  EXPECT_TRUE(codec_.Verify(rec.data(), counter_, 0x2000).IsIntegrityViolation());
+}
+
+TEST_F(RecordTest, ResealChangesOnlyBinding) {
+  auto rec = SealToBuffer(7, "key", "value", 0x1000);
+  std::vector<uint8_t> cipher_before(
+      rec.begin() + RecordCodec::kHeaderSize,
+      rec.end() - RecordCodec::kMacSize);
+  codec_.Reseal(rec.data(), counter_, 0x2000);
+  // Old binding now fails, new binding verifies, ciphertext unchanged.
+  EXPECT_TRUE(codec_.Verify(rec.data(), counter_, 0x1000).IsIntegrityViolation());
+  EXPECT_TRUE(codec_.Verify(rec.data(), counter_, 0x2000).ok());
+  std::vector<uint8_t> cipher_after(
+      rec.begin() + RecordCodec::kHeaderSize,
+      rec.end() - RecordCodec::kMacSize);
+  EXPECT_EQ(cipher_before, cipher_after);
+}
+
+TEST_F(RecordTest, DifferentRedPtrsDifferentKeystreams) {
+  // Identical plaintext + counter but different RedPtr must yield different
+  // ciphertext (keystream bound to the record identity).
+  auto rec1 = SealToBuffer(1, "key", "value", 0);
+  auto rec2 = SealToBuffer(2, "key", "value", 0);
+  EXPECT_NE(0, std::memcmp(rec1.data() + RecordCodec::kHeaderSize,
+                           rec2.data() + RecordCodec::kHeaderSize,
+                           rec1.size() - RecordCodec::kHeaderSize -
+                               RecordCodec::kMacSize));
+}
+
+TEST_F(RecordTest, OpenKeyMatchesOpen) {
+  auto rec = SealToBuffer(3, "some-key", "some-value", 0);
+  std::string k1, k2, v;
+  codec_.OpenKey(rec.data(), counter_, &k1);
+  codec_.Open(rec.data(), counter_, &k2, &v);
+  EXPECT_EQ(k1, k2);
+}
+
+TEST_F(RecordTest, SealedSizeFormula) {
+  EXPECT_EQ(RecordCodec::SealedSize(16, 16),
+            RecordCodec::kHeaderSize + 32 + RecordCodec::kMacSize);
+  EXPECT_EQ(RecordCodec::SealedSize(0, 0),
+            RecordCodec::kHeaderSize + RecordCodec::kMacSize);
+}
+
+}  // namespace
+}  // namespace aria

@@ -1,0 +1,398 @@
+// Tests for Secure Cache: hit/miss behavior, FIFO vs LRU eviction, dirty
+// propagation through evictions, level pinning, stop-swap, tamper
+// detection, and a randomized shadow-model property test.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "alloc/heap_allocator.h"
+#include "cache/secure_cache.h"
+#include "common/random.h"
+#include "crypto/aes.h"
+#include "crypto/cmac.h"
+#include "crypto/secure_random.h"
+#include "mt/flat_merkle_tree.h"
+#include "sgxsim/enclave_runtime.h"
+
+namespace aria {
+namespace {
+
+class SecureCacheTest : public ::testing::Test {
+ protected:
+  SecureCacheTest()
+      : enclave_(64ull * 1024 * 1024),
+        alloc_(&enclave_),
+        rng_(321),
+        aes_(Key()),
+        cmac_(aes_) {}
+
+  static const uint8_t* Key() {
+    static uint8_t key[16] = {9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9};
+    return key;
+  }
+
+  // Tree: 4096 counters, arity 8 -> L0=512, L1=64, L2=8, L3=1 (node 128 B).
+  void Build(SecureCacheConfig config, uint64_t counters = 4096,
+             size_t arity = 8) {
+    tree_ = std::make_unique<FlatMerkleTree>(&enclave_, &alloc_, &cmac_,
+                                             counters, arity);
+    ASSERT_TRUE(tree_->Init(&rng_).ok());
+    cache_ = std::make_unique<SecureCache>(&enclave_, tree_.get(), &cmac_,
+                                           config);
+    ASSERT_TRUE(cache_->Attach().ok());
+  }
+
+  // Counter value as a little-endian low-64 view (suffices for equality).
+  uint64_t Low64(const uint8_t ctr[16]) {
+    uint64_t v;
+    std::memcpy(&v, ctr, 8);
+    return v;
+  }
+
+  sgx::EnclaveRuntime enclave_;
+  HeapAllocator alloc_;
+  crypto::SecureRandom rng_;
+  crypto::Aes128 aes_;
+  crypto::Cmac128 cmac_;
+  std::unique_ptr<FlatMerkleTree> tree_;
+  std::unique_ptr<SecureCache> cache_;
+};
+
+SecureCacheConfig SmallConfig(uint64_t slots = 16) {
+  SecureCacheConfig cfg;
+  // node_size = 128 for arity 8, plus 24 B of per-slot metadata.
+  cfg.capacity_bytes = slots * (128 + 24);
+  cfg.pinned_levels = 0;
+  cfg.stop_swap_enabled = false;
+  return cfg;
+}
+
+TEST_F(SecureCacheTest, ReadMatchesUntrustedCounter) {
+  Build(SmallConfig());
+  for (uint64_t c : {0ull, 1ull, 7ull, 8ull, 4095ull}) {
+    uint8_t got[16];
+    ASSERT_TRUE(cache_->ReadCounter(c, got).ok());
+    EXPECT_EQ(0, std::memcmp(got, tree_->CounterPtr(c), 16)) << c;
+  }
+}
+
+TEST_F(SecureCacheTest, SecondReadIsAHit) {
+  Build(SmallConfig());
+  uint8_t ctr[16];
+  ASSERT_TRUE(cache_->ReadCounter(100, ctr).ok());
+  EXPECT_EQ(cache_->stats().misses, 1u);
+  EXPECT_EQ(cache_->stats().hits, 0u);
+  ASSERT_TRUE(cache_->ReadCounter(100, ctr).ok());
+  EXPECT_EQ(cache_->stats().hits, 1u);
+  // Counters in the same leaf also hit.
+  ASSERT_TRUE(cache_->ReadCounter(101, ctr).ok());
+  EXPECT_EQ(cache_->stats().hits, 2u);
+}
+
+TEST_F(SecureCacheTest, BumpIncrementsAndPersists) {
+  Build(SmallConfig());
+  uint8_t before[16], after[16], read_back[16];
+  ASSERT_TRUE(cache_->ReadCounter(5, before).ok());
+  ASSERT_TRUE(cache_->BumpCounter(5, after).ok());
+  EXPECT_NE(0, std::memcmp(before, after, 16));
+  ASSERT_TRUE(cache_->ReadCounter(5, read_back).ok());
+  EXPECT_EQ(0, std::memcmp(after, read_back, 16));
+}
+
+TEST_F(SecureCacheTest, BumpIs128BitIncrement) {
+  Build(SmallConfig());
+  uint8_t a[16], b[16];
+  ASSERT_TRUE(cache_->ReadCounter(9, a).ok());
+  ASSERT_TRUE(cache_->BumpCounter(9, b).ok());
+  // b = a + 1 (128-bit little-endian).
+  unsigned carry = 1;
+  for (int i = 0; i < 16; ++i) {
+    unsigned v = static_cast<unsigned>(a[i]) + carry;
+    a[i] = static_cast<uint8_t>(v);
+    carry = v >> 8;
+  }
+  EXPECT_EQ(0, std::memcmp(a, b, 16));
+}
+
+TEST_F(SecureCacheTest, FifoEvictsInsertionOrder) {
+  auto cfg = SmallConfig(4);
+  cfg.policy = CachePolicy::kFifo;
+  Build(cfg);
+  ASSERT_EQ(cache_->num_slots(), 4u);
+  uint8_t ctr[16];
+  // Fill 4 slots with leaves 0..3 (counters 0, 8, 16, 24).
+  for (uint64_t leaf = 0; leaf < 4; ++leaf) {
+    ASSERT_TRUE(cache_->ReadCounter(leaf * 8, ctr).ok());
+  }
+  // Hit leaf 0 — FIFO ignores hits.
+  ASSERT_TRUE(cache_->ReadCounter(0, ctr).ok());
+  // Insert a 5th leaf: FIFO must evict leaf 0 (oldest insertion).
+  ASSERT_TRUE(cache_->ReadCounter(4 * 8, ctr).ok());
+  EXPECT_FALSE(cache_->IsCached(MtNodeId{0, 0}));
+  EXPECT_TRUE(cache_->IsCached(MtNodeId{0, 1}));
+}
+
+TEST_F(SecureCacheTest, LruKeepsRecentlyUsed) {
+  auto cfg = SmallConfig(4);
+  cfg.policy = CachePolicy::kLru;
+  Build(cfg);
+  uint8_t ctr[16];
+  for (uint64_t leaf = 0; leaf < 4; ++leaf) {
+    ASSERT_TRUE(cache_->ReadCounter(leaf * 8, ctr).ok());
+  }
+  ASSERT_TRUE(cache_->ReadCounter(0, ctr).ok());  // leaf 0 now MRU
+  ASSERT_TRUE(cache_->ReadCounter(4 * 8, ctr).ok());
+  EXPECT_TRUE(cache_->IsCached(MtNodeId{0, 0}));   // protected by the hit
+  EXPECT_FALSE(cache_->IsCached(MtNodeId{0, 1}));  // LRU victim
+}
+
+TEST_F(SecureCacheTest, CleanEvictionAvoidsWriteback) {
+  auto cfg = SmallConfig(4);
+  Build(cfg);
+  uint8_t ctr[16];
+  for (uint64_t leaf = 0; leaf < 5; ++leaf) {
+    ASSERT_TRUE(cache_->ReadCounter(leaf * 8, ctr).ok());
+  }
+  EXPECT_GE(cache_->stats().clean_discards, 1u);
+  EXPECT_EQ(cache_->stats().dirty_writebacks, 0u);
+}
+
+TEST_F(SecureCacheTest, DirtyEvictionPropagatesAndSurvives) {
+  auto cfg = SmallConfig(4);
+  Build(cfg);
+  uint8_t bumped[16], ctr[16];
+  ASSERT_TRUE(cache_->BumpCounter(0, bumped).ok());
+  // Churn the cache until leaf 0 is evicted (dirty).
+  for (uint64_t leaf = 1; leaf <= 8; ++leaf) {
+    ASSERT_TRUE(cache_->ReadCounter(leaf * 8, ctr).ok());
+  }
+  EXPECT_FALSE(cache_->IsCached(MtNodeId{0, 0}));
+  EXPECT_GE(cache_->stats().dirty_writebacks, 1u);
+  // Reading it back re-verifies the whole chain: the propagated MACs must
+  // be consistent and the bumped value visible.
+  ASSERT_TRUE(cache_->ReadCounter(0, ctr).ok());
+  EXPECT_EQ(0, std::memcmp(bumped, ctr, 16));
+}
+
+TEST_F(SecureCacheTest, PlaintextSwapOutAccounted) {
+  auto cfg = SmallConfig(4);
+  Build(cfg);
+  uint8_t ctr[16];
+  ASSERT_TRUE(cache_->BumpCounter(0, ctr).ok());
+  for (uint64_t leaf = 1; leaf <= 8; ++leaf) {
+    ASSERT_TRUE(cache_->ReadCounter(leaf * 8, ctr).ok());
+  }
+  EXPECT_GE(cache_->stats().encryption_bytes_avoided, tree_->node_size());
+}
+
+TEST_F(SecureCacheTest, PinnedLevelsReduceVerification) {
+  // Pin everything above L0: each miss costs exactly one MAC verification.
+  SecureCacheConfig cfg;
+  cfg.capacity_bytes = 1024 * 128;
+  cfg.pinned_levels = 3;  // L1..L3 for the 4-level tree
+  cfg.stop_swap_enabled = false;
+  Build(cfg);
+  EXPECT_TRUE(cache_->IsPinned(1));
+  EXPECT_TRUE(cache_->IsPinned(2));
+  EXPECT_TRUE(cache_->IsPinned(3));
+  EXPECT_FALSE(cache_->IsPinned(0));
+  uint64_t before = cache_->stats().mac_verifications;
+  uint8_t ctr[16];
+  ASSERT_TRUE(cache_->ReadCounter(4000, ctr).ok());
+  EXPECT_EQ(cache_->stats().mac_verifications - before, 1u);
+}
+
+TEST_F(SecureCacheTest, TamperedLeafDetected) {
+  Build(SmallConfig(4));
+  uint8_t ctr[16];
+  ASSERT_TRUE(cache_->ReadCounter(0, ctr).ok());
+  // Attacker modifies an uncached leaf in untrusted memory.
+  tree_->CounterPtr(999)[0] ^= 0xFF;
+  EXPECT_TRUE(cache_->ReadCounter(999, ctr).IsIntegrityViolation());
+}
+
+TEST_F(SecureCacheTest, TamperedInnerNodeDetected) {
+  Build(SmallConfig(4));
+  uint8_t ctr[16];
+  // Corrupt an L1 node; any verification chain passing through it fails.
+  tree_->NodePtr(1, 3)[5] ^= 0x01;
+  // Counter 3*8*8 = 192 lives under L1 node 3.
+  EXPECT_TRUE(cache_->ReadCounter(192, ctr).IsIntegrityViolation());
+}
+
+TEST_F(SecureCacheTest, ReplayedLeafDetected) {
+  Build(SmallConfig(4));
+  uint8_t ctr[16];
+  // Snapshot the leaf containing counter 0 plus its stored MAC.
+  std::vector<uint8_t> old_leaf(tree_->node_size());
+  std::memcpy(old_leaf.data(), tree_->NodePtr(0, 0), tree_->node_size());
+  // Bump the counter and force the dirty leaf out to untrusted memory.
+  ASSERT_TRUE(cache_->BumpCounter(0, ctr).ok());
+  for (uint64_t leaf = 1; leaf <= 8; ++leaf) {
+    ASSERT_TRUE(cache_->ReadCounter(leaf * 8, ctr).ok());
+  }
+  ASSERT_FALSE(cache_->IsCached(MtNodeId{0, 0}));
+  // Replay the old leaf content (a classic rollback attack).
+  std::memcpy(tree_->NodePtr(0, 0), old_leaf.data(), tree_->node_size());
+  EXPECT_TRUE(cache_->ReadCounter(0, ctr).IsIntegrityViolation());
+}
+
+TEST_F(SecureCacheTest, StopSwapStillReadsAndWrites) {
+  auto cfg = SmallConfig(16);
+  cfg.capacity_bytes = 16 * 1024;  // room to pin L1..L3 (64+8+1 nodes)
+  Build(cfg);
+  uint8_t a[16], b[16];
+  ASSERT_TRUE(cache_->BumpCounter(77, a).ok());
+  ASSERT_TRUE(cache_->StopSwap().ok());
+  EXPECT_TRUE(cache_->swap_stopped());
+  ASSERT_TRUE(cache_->ReadCounter(77, b).ok());
+  EXPECT_EQ(0, std::memcmp(a, b, 16));
+  // Writes keep working and persist.
+  ASSERT_TRUE(cache_->BumpCounter(77, a).ok());
+  ASSERT_TRUE(cache_->ReadCounter(77, b).ok());
+  EXPECT_EQ(0, std::memcmp(a, b, 16));
+}
+
+TEST_F(SecureCacheTest, StopSwapDetectsTampering) {
+  auto cfg = SmallConfig(16);
+  cfg.capacity_bytes = 16 * 1024;
+  Build(cfg);
+  ASSERT_TRUE(cache_->StopSwap().ok());
+  tree_->CounterPtr(500)[0] ^= 1;
+  uint8_t ctr[16];
+  EXPECT_TRUE(cache_->ReadCounter(500, ctr).IsIntegrityViolation());
+}
+
+TEST_F(SecureCacheTest, StopSwapTriggeredByLowHitRatio) {
+  SecureCacheConfig cfg;
+  cfg.capacity_bytes = 16 * 152;  // 16 slots: uniform traffic will thrash
+  cfg.pinned_levels = 0;
+  cfg.stop_swap_enabled = true;
+  cfg.stop_swap_window = 256;
+  Build(cfg);
+  Random rng(5);
+  uint8_t ctr[16];
+  for (int i = 0; i < 4096 && !cache_->swap_stopped(); ++i) {
+    ASSERT_TRUE(cache_->ReadCounter(rng.Uniform(4096), ctr).ok());
+  }
+  EXPECT_TRUE(cache_->swap_stopped());
+}
+
+TEST_F(SecureCacheTest, SkewedTrafficKeepsSwapOn) {
+  SecureCacheConfig cfg;
+  cfg.capacity_bytes = 64 * 152;
+  cfg.pinned_levels = 0;
+  cfg.stop_swap_enabled = true;
+  cfg.stop_swap_window = 256;
+  Build(cfg);
+  Random rng(6);
+  uint8_t ctr[16];
+  // 8 hot leaves: hit ratio ~ 1.
+  for (int i = 0; i < 4096; ++i) {
+    ASSERT_TRUE(cache_->ReadCounter(rng.Uniform(64), ctr).ok());
+  }
+  EXPECT_FALSE(cache_->swap_stopped());
+  EXPECT_GT(cache_->stats().HitRatio(), 0.9);
+}
+
+TEST_F(SecureCacheTest, TinyCapacityFallsBackToStopSwap) {
+  SecureCacheConfig cfg;
+  cfg.capacity_bytes = 256;  // fewer than kMinSlots slots
+  cfg.pinned_levels = 0;
+  Build(cfg);
+  EXPECT_TRUE(cache_->swap_stopped());
+  uint8_t ctr[16];
+  EXPECT_TRUE(cache_->ReadCounter(1234, ctr).ok());
+}
+
+TEST_F(SecureCacheTest, RandomizedShadowModel) {
+  auto cfg = SmallConfig(8);
+  Build(cfg, /*counters=*/2048, /*arity=*/8);
+  Random rng(99);
+  std::map<uint64_t, std::vector<uint8_t>> shadow;
+  for (int step = 0; step < 30000; ++step) {
+    uint64_t c = rng.Uniform(2048);
+    uint8_t got[16];
+    if (rng.Bernoulli(0.4)) {
+      ASSERT_TRUE(cache_->BumpCounter(c, got).ok());
+      shadow[c].assign(got, got + 16);
+    } else {
+      ASSERT_TRUE(cache_->ReadCounter(c, got).ok());
+      auto it = shadow.find(c);
+      if (it != shadow.end()) {
+        ASSERT_EQ(0, std::memcmp(got, it->second.data(), 16))
+            << "step " << step << " counter " << c;
+      } else {
+        shadow[c].assign(got, got + 16);  // initial random value
+      }
+    }
+  }
+  EXPECT_GT(cache_->stats().evictions, 100u);
+}
+
+TEST_F(SecureCacheTest, CleanWritebackModeStillCorrect) {
+  // With the §IV-C optimization disabled, clean victims are written back
+  // instead of discarded; reads after eviction must still verify.
+  auto cfg = SmallConfig(4);
+  cfg.avoid_clean_writeback = false;
+  Build(cfg);
+  uint8_t a[16], b[16];
+  ASSERT_TRUE(cache_->ReadCounter(0, a).ok());
+  for (uint64_t leaf = 1; leaf <= 8; ++leaf) {
+    ASSERT_TRUE(cache_->ReadCounter(leaf * 8, b).ok());
+  }
+  EXPECT_EQ(cache_->stats().clean_discards, 0u);
+  EXPECT_GT(cache_->stats().bytes_swapped_out, 0u);
+  ASSERT_TRUE(cache_->ReadCounter(0, b).ok());
+  EXPECT_EQ(0, std::memcmp(a, b, 16));
+}
+
+TEST_F(SecureCacheTest, DirtyEvictionCostIsLinearInHeight) {
+  // With nothing pinned and nothing cached above L0, evicting a dirty leaf
+  // must verify + recompute each ancestor exactly once: at most 2*(h-1)+1
+  // MAC computations (one verify and one recompute per ancestor, plus the
+  // victim's own MAC). The O(h^2) regression this guards against re-verified
+  // the whole upper chain per level.
+  SecureCacheConfig cfg;
+  cfg.capacity_bytes = 4 * (128 + 24);  // 4 slots, constant churn
+  cfg.pinned_levels = 0;
+  cfg.stop_swap_enabled = false;
+  Build(cfg);  // 4 levels: h-1 = 3 ancestors above a leaf
+  uint8_t ctr[16];
+  // Fill the 4 slots: dirty leaf 0, then leaves 1..3 (clean).
+  ASSERT_TRUE(cache_->BumpCounter(0, ctr).ok());
+  for (uint64_t leaf = 1; leaf <= 3; ++leaf) {
+    ASSERT_TRUE(cache_->ReadCounter(leaf * 8, ctr).ok());
+  }
+  uint64_t before = cache_->stats().mac_verifications;
+  // One more distinct leaf: 4 MACs for its own chain (leaf+3 ancestors),
+  // plus the dirty eviction of leaf 0 = 1 victim MAC + 3 ancestor verifies
+  // + 3 recomputes = 11 total. The O(h^2) regression needed several more.
+  ASSERT_TRUE(cache_->ReadCounter(4 * 8, ctr).ok());
+  ASSERT_FALSE(cache_->IsCached(MtNodeId{0, 0}));
+  EXPECT_LE(cache_->stats().mac_verifications - before, 11u);
+}
+
+TEST_F(SecureCacheTest, ManualStopSwapAfterHeavyDirtyState) {
+  auto cfg = SmallConfig(8);
+  cfg.capacity_bytes = 32 * 152;
+  Build(cfg);
+  Random rng(1);
+  uint8_t ctr[16];
+  std::map<uint64_t, std::vector<uint8_t>> shadow;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t c = rng.Uniform(4096);
+    ASSERT_TRUE(cache_->BumpCounter(c, ctr).ok());
+    shadow[c].assign(ctr, ctr + 16);
+  }
+  ASSERT_TRUE(cache_->StopSwap().ok());
+  for (auto& [c, expect] : shadow) {
+    ASSERT_TRUE(cache_->ReadCounter(c, ctr).ok());
+    ASSERT_EQ(0, std::memcmp(ctr, expect.data(), 16)) << "counter " << c;
+  }
+}
+
+}  // namespace
+}  // namespace aria

@@ -1,0 +1,193 @@
+// Tests for the SGX enclave simulator: EPC residency, CLOCK paging, MEE
+// charges, edge-call accounting, and the disabled ("w/o SGX") mode.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sgxsim/cost_model.h"
+#include "sgxsim/edge_calls.h"
+#include "sgxsim/enclave_runtime.h"
+
+namespace aria::sgx {
+namespace {
+
+constexpr uint64_t kPage = CostModel::kPageSize;
+
+TEST(EnclaveRuntime, AllocationAccounting) {
+  EnclaveRuntime rt(16 * kPage);
+  void* a = rt.TrustedAlloc(1000);
+  void* b = rt.TrustedAlloc(5000);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(rt.trusted_bytes_in_use(), 6000u);
+  EXPECT_EQ(rt.stats().trusted_bytes_peak, 6000u);
+  rt.TrustedFree(a);
+  EXPECT_EQ(rt.trusted_bytes_in_use(), 5000u);
+  EXPECT_EQ(rt.stats().trusted_bytes_peak, 6000u);
+  rt.TrustedFree(b);
+  EXPECT_EQ(rt.trusted_bytes_in_use(), 0u);
+}
+
+TEST(EnclaveRuntime, TrustedAllocZeroInitialized) {
+  EnclaveRuntime rt(16 * kPage);
+  auto* p = static_cast<uint8_t*>(rt.TrustedAlloc(256));
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(p[i], 0);
+  rt.TrustedFree(p);
+}
+
+TEST(EnclaveRuntime, NoSwapsWithinBudget) {
+  EnclaveRuntime rt(64 * kPage);
+  auto* p = static_cast<uint8_t*>(rt.TrustedAlloc(32 * kPage));
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t off = 0; off < 32 * kPage; off += kPage) {
+      rt.TouchRead(p + off, 8);
+    }
+  }
+  EXPECT_EQ(rt.stats().page_swaps, 0u);
+  EXPECT_GT(rt.stats().epc_page_hits, 0u);
+  rt.TrustedFree(p);
+}
+
+TEST(EnclaveRuntime, SwapsWhenOverBudget) {
+  EnclaveRuntime rt(8 * kPage);
+  auto* p = static_cast<uint8_t*>(rt.TrustedAlloc(32 * kPage));
+  // Two full sequential sweeps: the second must evict.
+  for (int round = 0; round < 2; ++round) {
+    for (uint64_t off = 0; off < 32 * kPage; off += kPage) {
+      rt.TouchRead(p + off, 8);
+    }
+  }
+  EXPECT_GT(rt.stats().page_swaps, 0u);
+  EXPECT_GT(rt.stats().charged_cycles, 0u);
+  rt.TrustedFree(p);
+}
+
+TEST(EnclaveRuntime, ClockKeepsHotPagesResident) {
+  EnclaveRuntime rt(8 * kPage);
+  auto* p = static_cast<uint8_t*>(rt.TrustedAlloc(64 * kPage));
+  // Warm a single hot page, then stream over cold pages. The hot page's
+  // reference bit should protect it: touching it repeatedly between cold
+  // sweeps must incur (almost) no additional swaps for it.
+  for (uint64_t off = 0; off < 64 * kPage; off += kPage) {
+    rt.TouchRead(p + off, 8);  // cold stream fills and churns the EPC
+  }
+  uint64_t swaps_before = rt.stats().page_swaps;
+  for (int i = 0; i < 1000; ++i) {
+    rt.TouchRead(p, 8);  // hot page
+  }
+  // After the first (possible) fault the hot page stays resident.
+  EXPECT_LE(rt.stats().page_swaps - swaps_before, 1u);
+  rt.TrustedFree(p);
+}
+
+TEST(EnclaveRuntime, MeeChargesPerCacheLine) {
+  CostModel model;
+  EnclaveRuntime rt(64 * kPage, model);
+  auto* p = static_cast<uint8_t*>(rt.TrustedAlloc(kPage));
+  rt.TouchRead(p, 64);  // one line
+  uint64_t one_line = rt.stats().charged_cycles;
+  EXPECT_EQ(one_line, model.mee_read_cycles_per_line);
+  rt.TouchRead(p, 64 * 10);  // ten lines
+  EXPECT_EQ(rt.stats().charged_cycles, one_line + 10 * model.mee_read_cycles_per_line);
+  EXPECT_EQ(rt.stats().mee_lines_read, 11u);
+  rt.TrustedFree(p);
+}
+
+TEST(EnclaveRuntime, WriteChargesDifferFromReads) {
+  CostModel model;
+  EnclaveRuntime rt(64 * kPage, model);
+  auto* p = static_cast<uint8_t*>(rt.TrustedAlloc(kPage));
+  rt.TouchWrite(p, 64);
+  EXPECT_EQ(rt.stats().charged_cycles, model.mee_write_cycles_per_line);
+  EXPECT_EQ(rt.stats().mee_lines_written, 1u);
+  rt.TrustedFree(p);
+}
+
+TEST(EnclaveRuntime, UnalignedTouchSpansLines) {
+  CostModel model;
+  EnclaveRuntime rt(64 * kPage, model);
+  auto* p = static_cast<uint8_t*>(rt.TrustedAlloc(kPage));
+  // 8 bytes straddling a line boundary = 2 lines.
+  rt.TouchRead(p + 60, 8);
+  EXPECT_EQ(rt.stats().mee_lines_read, 2u);
+  rt.TrustedFree(p);
+}
+
+TEST(EnclaveRuntime, EdgeCallCosts) {
+  CostModel model;
+  EnclaveRuntime rt(64 * kPage, model);
+  rt.Ecall();
+  rt.Ocall();
+  EXPECT_EQ(rt.stats().ecalls, 1u);
+  EXPECT_EQ(rt.stats().ocalls, 1u);
+  EXPECT_EQ(rt.stats().charged_cycles, model.ecall_cycles + model.ocall_cycles);
+}
+
+TEST(EnclaveRuntime, DisabledModelChargesNothing) {
+  CostModel model;
+  model.enabled = false;
+  EnclaveRuntime rt(4 * kPage, model);
+  auto* p = static_cast<uint8_t*>(rt.TrustedAlloc(32 * kPage));
+  for (uint64_t off = 0; off < 32 * kPage; off += kPage) rt.TouchRead(p + off, 64);
+  rt.Ecall();
+  rt.Ocall();
+  rt.Charge(1234);
+  EXPECT_EQ(rt.stats().charged_cycles, 0u);
+  EXPECT_EQ(rt.stats().page_swaps, 0u);
+  // Events are still counted even though they cost nothing.
+  EXPECT_EQ(rt.stats().ecalls, 1u);
+  rt.TrustedFree(p);
+}
+
+TEST(EnclaveRuntime, SimulatedSecondsConversion) {
+  CostModel model;
+  model.cpu_freq_hz = 1'000'000'000;  // 1 GHz for easy math
+  EnclaveRuntime rt(64 * kPage, model);
+  rt.Charge(2'000'000'000);
+  EXPECT_DOUBLE_EQ(rt.SimulatedSeconds(), 2.0);
+}
+
+TEST(EnclaveRuntime, FreeReleasesResidency) {
+  EnclaveRuntime rt(8 * kPage);
+  auto* a = static_cast<uint8_t*>(rt.TrustedAlloc(8 * kPage));
+  for (uint64_t off = 0; off < 8 * kPage; off += kPage) rt.TouchRead(a + off, 8);
+  rt.TrustedFree(a);
+  // A fresh allocation should fill freed slots without swapping.
+  auto* b = static_cast<uint8_t*>(rt.TrustedAlloc(8 * kPage));
+  uint64_t swaps = rt.stats().page_swaps;
+  for (uint64_t off = 0; off < 8 * kPage; off += kPage) rt.TouchRead(b + off, 8);
+  EXPECT_EQ(rt.stats().page_swaps, swaps);
+  rt.TrustedFree(b);
+}
+
+TEST(EdgeCalls, GuardsChargeAndCount) {
+  CostModel model;
+  EnclaveRuntime rt(64 * kPage, model);
+  {
+    OcallGuard g(&rt);
+    g.CopyParams(100);
+  }
+  {
+    EcallGuard g(&rt);
+    g.CopyParams(50);
+  }
+  EXPECT_EQ(rt.stats().ocalls, 1u);
+  EXPECT_EQ(rt.stats().ecalls, 1u);
+  EXPECT_EQ(rt.stats().charged_cycles,
+            model.ocall_cycles + model.ecall_cycles + 150);
+}
+
+TEST(SgxStats, DeltaSubtracts) {
+  SgxStats a;
+  a.charged_cycles = 100;
+  a.page_swaps = 5;
+  SgxStats b = a;
+  b.charged_cycles = 300;
+  b.page_swaps = 9;
+  SgxStats d = b.Delta(a);
+  EXPECT_EQ(d.charged_cycles, 200u);
+  EXPECT_EQ(d.page_swaps, 4u);
+}
+
+}  // namespace
+}  // namespace aria::sgx

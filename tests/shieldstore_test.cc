@@ -1,0 +1,146 @@
+// Tests for the ShieldStore baseline: CRUD, bucket-root maintenance,
+// bucket-granularity verification amplification, and tamper detection.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baseline/shieldstore.h"
+#include "common/random.h"
+#include "core/store_factory.h"
+#include "workload/ycsb.h"
+
+namespace aria {
+namespace {
+
+class ShieldStoreTest : public ::testing::Test {
+ protected:
+  void Build(uint64_t buckets = 64) {
+    StoreOptions opts;
+    opts.scheme = Scheme::kShieldStore;
+    opts.keyspace = 4096;
+    opts.shieldstore_buckets = buckets;
+    ASSERT_TRUE(CreateStore(opts, &bundle_).ok());
+    store_ = static_cast<ShieldStore*>(bundle_.store.get());
+  }
+
+  StoreBundle bundle_;
+  ShieldStore* store_ = nullptr;
+};
+
+TEST_F(ShieldStoreTest, PutGetDelete) {
+  Build();
+  ASSERT_TRUE(store_->Put("k1", "v1").ok());
+  ASSERT_TRUE(store_->Put("k2", "v2").ok());
+  std::string v;
+  ASSERT_TRUE(store_->Get("k1", &v).ok());
+  EXPECT_EQ(v, "v1");
+  ASSERT_TRUE(store_->Delete("k1").ok());
+  EXPECT_TRUE(store_->Get("k1", &v).IsNotFound());
+  EXPECT_EQ(store_->size(), 1u);
+}
+
+TEST_F(ShieldStoreTest, OverwriteInPlaceAndRelocated) {
+  Build();
+  ASSERT_TRUE(store_->Put("k", "aa").ok());
+  ASSERT_TRUE(store_->Put("k", "bb").ok());  // same size: in place
+  std::string v;
+  ASSERT_TRUE(store_->Get("k", &v).ok());
+  EXPECT_EQ(v, "bb");
+  std::string big(300, 'c');
+  ASSERT_TRUE(store_->Put("k", big).ok());  // bigger: relocated
+  ASSERT_TRUE(store_->Get("k", &v).ok());
+  EXPECT_EQ(v, big);
+}
+
+TEST_F(ShieldStoreTest, LongChainsStillCorrect) {
+  Build(/*buckets=*/1);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store_->Put(MakeKey(i), MakeValue(i, 16)).ok());
+  }
+  std::string v;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store_->Get(MakeKey(i), &v).ok()) << i;
+    ASSERT_EQ(v, MakeValue(i, 16));
+  }
+}
+
+TEST_F(ShieldStoreTest, VerificationAmplificationGrowsWithChain) {
+  Build(/*buckets=*/1);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store_->Put(MakeKey(i), "v").ok());
+  }
+  uint64_t scanned_before = store_->stats().entries_scanned;
+  std::string v;
+  ASSERT_TRUE(store_->Get(MakeKey(0), &v).ok());
+  // One Get over a 50-entry chain must scan all 50 MACs.
+  EXPECT_GE(store_->stats().entries_scanned - scanned_before, 50u);
+}
+
+TEST_F(ShieldStoreTest, PutUpdatesRootGetDoesNot) {
+  Build();
+  ASSERT_TRUE(store_->Put("a", "1").ok());
+  uint64_t roots = store_->stats().root_updates;
+  std::string v;
+  ASSERT_TRUE(store_->Get("a", &v).ok());
+  EXPECT_EQ(store_->stats().root_updates, roots);
+  ASSERT_TRUE(store_->Put("a", "2").ok());
+  EXPECT_EQ(store_->stats().root_updates, roots + 1);
+}
+
+TEST_F(ShieldStoreTest, TrustedBytesMatchBucketCount) {
+  Build(/*buckets=*/128);
+  EXPECT_EQ(store_->trusted_bytes(), 128u * 16);
+}
+
+TEST_F(ShieldStoreTest, OutOfPlaceUpdateMode) {
+  StoreOptions opts;
+  opts.scheme = Scheme::kShieldStore;
+  opts.keyspace = 2048;
+  opts.shieldstore_buckets = 32;
+  opts.out_of_place_updates = true;
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+  auto* store = bundle.store.get();
+  std::string v;
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(store->Put(MakeKey(i), MakeValue(i, 24, round)).ok());
+    }
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store->Get(MakeKey(i), &v).ok()) << i;
+    ASSERT_EQ(v, MakeValue(i, 24, 4));
+  }
+  EXPECT_EQ(store->size(), 100u);
+}
+
+TEST_F(ShieldStoreTest, RandomizedAgainstStdMap) {
+  Build(/*buckets=*/16);
+  Random rng(31337);
+  std::map<std::string, std::string> model;
+  std::string v;
+  for (int step = 0; step < 6000; ++step) {
+    std::string key = MakeKey(rng.Uniform(200));
+    double dice = rng.NextDouble();
+    if (dice < 0.5) {
+      std::string value = MakeValue(step, 1 + rng.Uniform(80));
+      ASSERT_TRUE(store_->Put(key, value).ok()) << step;
+      model[key] = value;
+    } else if (dice < 0.8) {
+      Status st = store_->Get(key, &v);
+      auto it = model.find(key);
+      if (it != model.end()) {
+        ASSERT_TRUE(st.ok()) << step << " " << st.ToString();
+        ASSERT_EQ(v, it->second);
+      } else {
+        ASSERT_TRUE(st.IsNotFound()) << step;
+      }
+    } else {
+      Status st = store_->Delete(key);
+      ASSERT_EQ(model.erase(key) > 0, st.ok()) << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aria

@@ -1,0 +1,269 @@
+// Tests for workload generators: zipf skew statistics, determinism, the
+// ETC size mix, and the replay driver.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/store_factory.h"
+#include "workload/driver.h"
+#include "workload/etc.h"
+#include "workload/ycsb.h"
+#include "workload/zipf.h"
+
+namespace aria {
+namespace {
+
+TEST(Zipf, RanksWithinRange) {
+  ZipfGenerator z(1000, 0.99, 5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(z.NextRank(), 1000u);
+    EXPECT_LT(z.NextKey(), 1000u);
+  }
+}
+
+TEST(Zipf, DeterministicForSeed) {
+  ZipfGenerator a(1000, 0.99, 5), b(1000, 0.99, 5), c(1000, 0.99, 6);
+  bool same = true, differs = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t ka = a.NextKey();
+    if (ka != b.NextKey()) same = false;
+    if (ka != c.NextKey()) differs = true;
+  }
+  EXPECT_TRUE(same);
+  EXPECT_TRUE(differs);
+}
+
+TEST(Zipf, SkewConcentratesMass) {
+  // At theta=0.99 the most popular rank should draw ~10%+ of 0-rank hits
+  // over n=10000 and the top-64 ranks well over a third of all traffic.
+  ZipfGenerator z(10000, 0.99, 9);
+  std::map<uint64_t, int> counts;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) counts[z.NextRank()]++;
+  EXPECT_GT(counts[0], kDraws / 20);
+  int top64 = 0;
+  for (uint64_t r = 0; r < 64; ++r) top64 += counts[r];
+  EXPECT_GT(top64, kDraws / 3);
+}
+
+TEST(Zipf, ThetaOneIsWellBehaved) {
+  // theta == 1.0 exactly must not degenerate to a single-rank distribution
+  // (the raw Gray formula divides by 1-theta).
+  ZipfGenerator z(10000, 1.0, 7);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[z.NextRank()]++;
+  EXPECT_GT(counts.size(), 100u);           // many distinct ranks drawn
+  EXPECT_LT(counts[0], 50000 * 3 / 10);     // rank 0 is hot but not all
+}
+
+TEST(Zipf, HigherSkewMoreConcentrated) {
+  auto mass_top1 = [](double theta) {
+    ZipfGenerator z(10000, theta, 3);
+    int zero = 0;
+    for (int i = 0; i < 100000; ++i) zero += z.NextRank() == 0;
+    return zero;
+  };
+  EXPECT_LT(mass_top1(0.8), mass_top1(1.2));
+}
+
+TEST(Zipf, ScrambleSpreadsHotKeys) {
+  ZipfGenerator z(1 << 20, 0.99, 4);
+  // The hottest scrambled keys should not all be tiny ids.
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[z.NextKey()]++;
+  uint64_t hottest = 0;
+  int best = 0;
+  for (auto& [k, c] : counts) {
+    if (c > best) {
+      best = c;
+      hottest = k;
+    }
+  }
+  EXPECT_GT(hottest, 1000u);  // scrambled away from rank position
+}
+
+TEST(Zipf, UnscrambledClustersHotKeysAtLowIds) {
+  // Default workload mode: hot keys are the low ranks themselves, so their
+  // counters (assigned in insertion order) cluster into few Merkle leaves —
+  // the locality assumption DESIGN.md documents.
+  YcsbSpec spec;
+  spec.keyspace = 1 << 20;
+  spec.scrambled = false;
+  YcsbWorkload wl(spec);
+  uint64_t low = 0;
+  const int kOps = 50000;
+  for (int i = 0; i < kOps; ++i) {
+    low += wl.Next().key_id < 1024;
+  }
+  // Zipf 0.99: the top-1024 ranks carry roughly half the traffic.
+  EXPECT_GT(low, kOps / 4u);
+}
+
+TEST(Zipf, ScrambledOptionSpreadsThem) {
+  YcsbSpec spec;
+  spec.keyspace = 1 << 20;
+  spec.scrambled = true;
+  YcsbWorkload wl(spec);
+  uint64_t low = 0;
+  const int kOps = 50000;
+  for (int i = 0; i < kOps; ++i) {
+    low += wl.Next().key_id < 1024;
+  }
+  EXPECT_LT(low, kOps / 20u);
+}
+
+TEST(Etc, ScrambledFlagRespected) {
+  EtcSpec spec;
+  spec.keyspace = 1 << 20;
+  spec.scrambled = false;
+  EtcWorkload wl(spec);
+  uint64_t low = 0;
+  for (int i = 0; i < 20000; ++i) low += wl.Next().key_id < 1024;
+  EXPECT_GT(low, 4000u);
+}
+
+TEST(Uniform, CoversKeyspaceEvenly) {
+  UniformGenerator u(100, 8);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) counts[u.NextKey()]++;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(counts[i], 1000, 250) << i;
+  }
+}
+
+TEST(MakeKey, Fixed16Bytes) {
+  EXPECT_EQ(MakeKey(0).size(), 16u);
+  EXPECT_EQ(MakeKey(99999999).size(), 16u);
+  EXPECT_NE(MakeKey(1), MakeKey(2));
+  EXPECT_EQ(MakeKey(42), MakeKey(42));
+}
+
+TEST(MakeValue, DeterministicPerVersion) {
+  EXPECT_EQ(MakeValue(7, 32, 1), MakeValue(7, 32, 1));
+  EXPECT_NE(MakeValue(7, 32, 1), MakeValue(7, 32, 2));
+  EXPECT_NE(MakeValue(7, 32, 1), MakeValue(8, 32, 1));
+  EXPECT_EQ(MakeValue(7, 100).size(), 100u);
+}
+
+TEST(Ycsb, ReadRatioRespected) {
+  YcsbSpec spec;
+  spec.keyspace = 1000;
+  spec.read_ratio = 0.95;
+  YcsbWorkload wl(spec);
+  int gets = 0;
+  const int kOps = 100000;
+  for (int i = 0; i < kOps; ++i) {
+    Op op = wl.Next();
+    gets += op.type == OpType::kGet;
+    EXPECT_LT(op.key_id, 1000u);
+    EXPECT_EQ(op.value_size, spec.value_size);
+  }
+  EXPECT_NEAR(gets / static_cast<double>(kOps), 0.95, 0.01);
+}
+
+TEST(Ycsb, UniformModeUsesUniformGenerator) {
+  YcsbSpec spec;
+  spec.keyspace = 64;
+  spec.distribution = KeyDistribution::kUniform;
+  YcsbWorkload wl(spec);
+  std::vector<int> counts(64, 0);
+  for (int i = 0; i < 64000; ++i) counts[wl.Next().key_id]++;
+  for (int i = 0; i < 64; ++i) EXPECT_NEAR(counts[i], 1000, 300);
+}
+
+TEST(Etc, SizeMixMatchesPopulations) {
+  EtcSpec spec;
+  spec.keyspace = 10000;
+  EtcWorkload wl(spec);
+  // Per-key sizes: ids < 40% tiny, < 95% small, rest large.
+  EXPECT_LE(wl.ValueSizeFor(0), 13u);
+  EXPECT_GE(wl.ValueSizeFor(5000), 14u);
+  EXPECT_LE(wl.ValueSizeFor(5000), 300u);
+  EXPECT_GT(wl.ValueSizeFor(9999), 300u);
+  // Sizes are deterministic per key.
+  EXPECT_EQ(wl.ValueSizeFor(1234), wl.ValueSizeFor(1234));
+}
+
+TEST(Etc, RequestMixAndRanges) {
+  EtcSpec spec;
+  spec.keyspace = 10000;
+  spec.read_ratio = 0.5;
+  EtcWorkload wl(spec);
+  int large = 0, gets = 0;
+  const int kOps = 100000;
+  for (int i = 0; i < kOps; ++i) {
+    Op op = wl.Next();
+    EXPECT_LT(op.key_id, 10000u);
+    large += op.key_id >= wl.tiny_small_keys();
+    gets += op.type == OpType::kGet;
+  }
+  EXPECT_NEAR(large / static_cast<double>(kOps), 0.05, 0.01);
+  EXPECT_NEAR(gets / static_cast<double>(kOps), 0.5, 0.01);
+}
+
+TEST(Driver, PrepopulateAndReplay) {
+  StoreOptions opts;
+  opts.scheme = Scheme::kAria;
+  opts.keyspace = 2000;
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+  Driver driver;
+  ASSERT_TRUE(driver.Prepopulate(bundle.store.get(), 2000, 16).ok());
+  EXPECT_EQ(bundle.store->size(), 2000u);
+
+  YcsbSpec spec;
+  spec.keyspace = 2000;
+  spec.read_ratio = 0.5;
+  auto result =
+      driver.RunYcsb(bundle.store.get(), bundle.enclave.get(), spec, 5000);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->ops, 5000u);
+  EXPECT_EQ(result->not_found, 0u);  // all keys prepopulated
+  EXPECT_GT(result->Throughput(), 0.0);
+  EXPECT_GT(result->TotalSeconds(), 0.0);
+  EXPECT_NEAR(result->gets / 5000.0, 0.5, 0.05);
+}
+
+TEST(Driver, SimulatedTimeIncludedForSgxHeavySchemes) {
+  StoreOptions opts;
+  opts.scheme = Scheme::kBaseline;
+  opts.keyspace = 3000;
+  opts.epc_budget_bytes = 256 * 1024;  // tiny EPC: heavy paging
+  opts.num_buckets = 512;
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+  Driver driver;
+  ASSERT_TRUE(driver.Prepopulate(bundle.store.get(), 3000, 64).ok());
+  YcsbSpec spec;
+  spec.keyspace = 3000;
+  spec.distribution = KeyDistribution::kUniform;
+  auto result =
+      driver.RunYcsb(bundle.store.get(), bundle.enclave.get(), spec, 2000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->sim_seconds, 0.0);
+  EXPECT_GT(bundle.enclave->stats().page_swaps, 0u);
+}
+
+TEST(Driver, EtcReplayEndToEnd) {
+  StoreOptions opts;
+  opts.scheme = Scheme::kAria;
+  opts.keyspace = 2000;
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+  EtcSpec spec;
+  spec.keyspace = 2000;
+  EtcWorkload wl(spec);
+  Driver driver;
+  ASSERT_TRUE(driver
+                  .Prepopulate(bundle.store.get(), 2000,
+                               [&wl](uint64_t id) { return wl.ValueSizeFor(id); })
+                  .ok());
+  auto result =
+      driver.RunEtc(bundle.store.get(), bundle.enclave.get(), spec, 3000);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->not_found, 0u);
+}
+
+}  // namespace
+}  // namespace aria
