@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_ycsb_hash.dir/bench_fig09_ycsb_hash.cc.o"
+  "CMakeFiles/bench_fig09_ycsb_hash.dir/bench_fig09_ycsb_hash.cc.o.d"
+  "bench_fig09_ycsb_hash"
+  "bench_fig09_ycsb_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_ycsb_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_ycsb_btree.dir/bench_fig10_ycsb_btree.cc.o"
+  "CMakeFiles/bench_fig10_ycsb_btree.dir/bench_fig10_ycsb_btree.cc.o.d"
+  "bench_fig10_ycsb_btree"
+  "bench_fig10_ycsb_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_ycsb_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_etc.dir/bench_fig11_etc.cc.o"
+  "CMakeFiles/bench_fig11_etc.dir/bench_fig11_etc.cc.o.d"
+  "bench_fig11_etc"
+  "bench_fig11_etc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_etc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_nary.dir/bench_fig15_nary.cc.o"
+  "CMakeFiles/bench_fig15_nary.dir/bench_fig15_nary.cc.o.d"
+  "bench_fig15_nary"
+  "bench_fig15_nary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_nary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

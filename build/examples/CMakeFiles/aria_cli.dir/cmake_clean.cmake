@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aria_cli.dir/aria_cli.cpp.o"
+  "CMakeFiles/aria_cli.dir/aria_cli.cpp.o.d"
+  "aria_cli"
+  "aria_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aria_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

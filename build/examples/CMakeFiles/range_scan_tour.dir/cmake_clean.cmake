@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_scan_tour.dir/range_scan_tour.cpp.o"
+  "CMakeFiles/range_scan_tour.dir/range_scan_tour.cpp.o.d"
+  "range_scan_tour"
+  "range_scan_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_scan_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/heap_allocator.cc" "src/CMakeFiles/aria.dir/alloc/heap_allocator.cc.o" "gcc" "src/CMakeFiles/aria.dir/alloc/heap_allocator.cc.o.d"
+  "/root/repo/src/baseline/enclave_btree.cc" "src/CMakeFiles/aria.dir/baseline/enclave_btree.cc.o" "gcc" "src/CMakeFiles/aria.dir/baseline/enclave_btree.cc.o.d"
+  "/root/repo/src/baseline/enclave_kv.cc" "src/CMakeFiles/aria.dir/baseline/enclave_kv.cc.o" "gcc" "src/CMakeFiles/aria.dir/baseline/enclave_kv.cc.o.d"
+  "/root/repo/src/baseline/shieldstore.cc" "src/CMakeFiles/aria.dir/baseline/shieldstore.cc.o" "gcc" "src/CMakeFiles/aria.dir/baseline/shieldstore.cc.o.d"
+  "/root/repo/src/cache/secure_cache.cc" "src/CMakeFiles/aria.dir/cache/secure_cache.cc.o" "gcc" "src/CMakeFiles/aria.dir/cache/secure_cache.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/aria.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/aria.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/aria.dir/common/random.cc.o" "gcc" "src/CMakeFiles/aria.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/aria.dir/common/status.cc.o" "gcc" "src/CMakeFiles/aria.dir/common/status.cc.o.d"
+  "/root/repo/src/core/aria_bplus.cc" "src/CMakeFiles/aria.dir/core/aria_bplus.cc.o" "gcc" "src/CMakeFiles/aria.dir/core/aria_bplus.cc.o.d"
+  "/root/repo/src/core/aria_btree.cc" "src/CMakeFiles/aria.dir/core/aria_btree.cc.o" "gcc" "src/CMakeFiles/aria.dir/core/aria_btree.cc.o.d"
+  "/root/repo/src/core/aria_cuckoo.cc" "src/CMakeFiles/aria.dir/core/aria_cuckoo.cc.o" "gcc" "src/CMakeFiles/aria.dir/core/aria_cuckoo.cc.o.d"
+  "/root/repo/src/core/aria_hash.cc" "src/CMakeFiles/aria.dir/core/aria_hash.cc.o" "gcc" "src/CMakeFiles/aria.dir/core/aria_hash.cc.o.d"
+  "/root/repo/src/core/counter_store.cc" "src/CMakeFiles/aria.dir/core/counter_store.cc.o" "gcc" "src/CMakeFiles/aria.dir/core/counter_store.cc.o.d"
+  "/root/repo/src/core/record.cc" "src/CMakeFiles/aria.dir/core/record.cc.o" "gcc" "src/CMakeFiles/aria.dir/core/record.cc.o.d"
+  "/root/repo/src/core/store_factory.cc" "src/CMakeFiles/aria.dir/core/store_factory.cc.o" "gcc" "src/CMakeFiles/aria.dir/core/store_factory.cc.o.d"
+  "/root/repo/src/core/trusted_counter_store.cc" "src/CMakeFiles/aria.dir/core/trusted_counter_store.cc.o" "gcc" "src/CMakeFiles/aria.dir/core/trusted_counter_store.cc.o.d"
+  "/root/repo/src/crypto/aes.cc" "src/CMakeFiles/aria.dir/crypto/aes.cc.o" "gcc" "src/CMakeFiles/aria.dir/crypto/aes.cc.o.d"
+  "/root/repo/src/crypto/aes_portable.cc" "src/CMakeFiles/aria.dir/crypto/aes_portable.cc.o" "gcc" "src/CMakeFiles/aria.dir/crypto/aes_portable.cc.o.d"
+  "/root/repo/src/crypto/cmac.cc" "src/CMakeFiles/aria.dir/crypto/cmac.cc.o" "gcc" "src/CMakeFiles/aria.dir/crypto/cmac.cc.o.d"
+  "/root/repo/src/crypto/ctr.cc" "src/CMakeFiles/aria.dir/crypto/ctr.cc.o" "gcc" "src/CMakeFiles/aria.dir/crypto/ctr.cc.o.d"
+  "/root/repo/src/crypto/secure_random.cc" "src/CMakeFiles/aria.dir/crypto/secure_random.cc.o" "gcc" "src/CMakeFiles/aria.dir/crypto/secure_random.cc.o.d"
+  "/root/repo/src/metadata/counter_manager.cc" "src/CMakeFiles/aria.dir/metadata/counter_manager.cc.o" "gcc" "src/CMakeFiles/aria.dir/metadata/counter_manager.cc.o.d"
+  "/root/repo/src/mt/flat_merkle_tree.cc" "src/CMakeFiles/aria.dir/mt/flat_merkle_tree.cc.o" "gcc" "src/CMakeFiles/aria.dir/mt/flat_merkle_tree.cc.o.d"
+  "/root/repo/src/sgxsim/cost_model.cc" "src/CMakeFiles/aria.dir/sgxsim/cost_model.cc.o" "gcc" "src/CMakeFiles/aria.dir/sgxsim/cost_model.cc.o.d"
+  "/root/repo/src/sgxsim/edge_calls.cc" "src/CMakeFiles/aria.dir/sgxsim/edge_calls.cc.o" "gcc" "src/CMakeFiles/aria.dir/sgxsim/edge_calls.cc.o.d"
+  "/root/repo/src/sgxsim/enclave_runtime.cc" "src/CMakeFiles/aria.dir/sgxsim/enclave_runtime.cc.o" "gcc" "src/CMakeFiles/aria.dir/sgxsim/enclave_runtime.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/CMakeFiles/aria.dir/workload/driver.cc.o" "gcc" "src/CMakeFiles/aria.dir/workload/driver.cc.o.d"
+  "/root/repo/src/workload/etc.cc" "src/CMakeFiles/aria.dir/workload/etc.cc.o" "gcc" "src/CMakeFiles/aria.dir/workload/etc.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/CMakeFiles/aria.dir/workload/ycsb.cc.o" "gcc" "src/CMakeFiles/aria.dir/workload/ycsb.cc.o.d"
+  "/root/repo/src/workload/zipf.cc" "src/CMakeFiles/aria.dir/workload/zipf.cc.o" "gcc" "src/CMakeFiles/aria.dir/workload/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aria_crypto_ni.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aria_crypto_ni.dir/crypto/aes_ni.cc.o"
+  "CMakeFiles/aria_crypto_ni.dir/crypto/aes_ni.cc.o.d"
+  "libaria_crypto_ni.a"
+  "libaria_crypto_ni.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aria_crypto_ni.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaria_crypto_ni.a"
+)

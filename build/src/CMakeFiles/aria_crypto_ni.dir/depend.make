@@ -1,0 +1,2 @@
+# Empty dependencies file for aria_crypto_ni.
+# This may be replaced when dependencies are built.

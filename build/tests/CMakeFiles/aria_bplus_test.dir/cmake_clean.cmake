@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aria_bplus_test.dir/aria_bplus_test.cc.o"
+  "CMakeFiles/aria_bplus_test.dir/aria_bplus_test.cc.o.d"
+  "aria_bplus_test"
+  "aria_bplus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aria_bplus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aria_btree_test.dir/aria_btree_test.cc.o"
+  "CMakeFiles/aria_btree_test.dir/aria_btree_test.cc.o.d"
+  "aria_btree_test"
+  "aria_btree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aria_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aria_cuckoo_test.dir/aria_cuckoo_test.cc.o"
+  "CMakeFiles/aria_cuckoo_test.dir/aria_cuckoo_test.cc.o.d"
+  "aria_cuckoo_test"
+  "aria_cuckoo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aria_cuckoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aria_hash_test.dir/aria_hash_test.cc.o"
+  "CMakeFiles/aria_hash_test.dir/aria_hash_test.cc.o.d"
+  "aria_hash_test"
+  "aria_hash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aria_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

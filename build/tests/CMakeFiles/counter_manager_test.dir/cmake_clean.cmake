@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_manager_test.dir/counter_manager_test.cc.o"
+  "CMakeFiles/counter_manager_test.dir/counter_manager_test.cc.o.d"
+  "counter_manager_test"
+  "counter_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

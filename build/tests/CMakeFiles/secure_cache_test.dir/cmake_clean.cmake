@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_cache_test.dir/secure_cache_test.cc.o"
+  "CMakeFiles/secure_cache_test.dir/secure_cache_test.cc.o.d"
+  "secure_cache_test"
+  "secure_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgxsim_test.dir/sgxsim_test.cc.o"
+  "CMakeFiles/sgxsim_test.dir/sgxsim_test.cc.o.d"
+  "sgxsim_test"
+  "sgxsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgxsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
