@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Build and run the full test suite under AddressSanitizer and
+# UndefinedBehaviorSanitizer. Usage:
+#
+#   scripts/check_sanitizers.sh [address|undefined|all]   (default: all)
+#
+# Each sanitizer gets its own build tree (build-asan/, build-ubsan/) so the
+# regular build/ stays untouched. Benchmarks and examples are skipped: the
+# tests are what we want instrumented.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_one() {
+  local kind="$1"
+  local dir="build-$2"
+  echo "=== ${kind} sanitizer: configuring ${dir} ==="
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DARIA_SANITIZE="${kind}" \
+    -DARIA_BUILD_BENCHMARKS=OFF \
+    -DARIA_BUILD_EXAMPLES=OFF
+  cmake --build "${dir}" -j "$(nproc)"
+  echo "=== ${kind} sanitizer: running ctest ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"
+}
+
+case "${1:-all}" in
+  address)   run_one address asan ;;
+  undefined) run_one undefined ubsan ;;
+  all)       run_one address asan; run_one undefined ubsan ;;
+  *) echo "usage: $0 [address|undefined|all]" >&2; exit 2 ;;
+esac
+
+echo "All sanitizer runs passed."

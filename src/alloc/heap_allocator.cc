@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/fault_injection.h"
 #include "sgxsim/edge_calls.h"
 
 namespace aria {
@@ -87,6 +88,9 @@ Status HeapAllocator::ValidateAndMark(Chunk* chunk, size_t block_index,
 
 Result<void*> HeapAllocator::Alloc(size_t size) {
   if (size == 0) return Status::InvalidArgument("alloc of size 0");
+  if (fault::InjectAllocFailure(fault::Site::kUntrustedAlloc, size)) {
+    return Status::CapacityExceeded("injected allocation failure");
+  }
   stats_.allocs++;
 
   if (size > kChunkSize) {
@@ -114,6 +118,9 @@ Result<void*> HeapAllocator::Alloc(size_t size) {
     }
     size_t index = offset / chunk->block_size;
     ARIA_RETURN_IF_ERROR(ValidateAndMark(chunk, index, /*expect_used=*/false));
+    // The successor pointer lives in untrusted memory and is validated on
+    // the next pop; an injected corruption here must surface there.
+    fault::InjectUntrustedRead(fault::Site::kFreeListPop, block, sizeof(void*));
     std::memcpy(&chunk->free_head, block, sizeof(void*));
     stats_.freelist_hits++;
     stats_.bytes_in_use += chunk->block_size;
@@ -177,6 +184,9 @@ Status HeapAllocator::Free(void* p) {
 }
 
 Result<void*> OcallAllocator::Alloc(size_t size) {
+  if (fault::InjectAllocFailure(fault::Site::kUntrustedAlloc, size)) {
+    return Status::CapacityExceeded("injected allocation failure");
+  }
   sgx::OcallGuard guard(enclave_);
   guard.CopyParams(sizeof(size_t) + sizeof(void*));
   void* p = std::malloc(size);

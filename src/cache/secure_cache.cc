@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/fault_injection.h"
+
 namespace aria {
 
 namespace {
@@ -297,6 +299,8 @@ Status SecureCache::VerifyNodeChain(MtNodeId target, uint8_t* out) {
     MtNodeId x = chain[i];
     // Copy the node into the enclave before computing its MAC (§IV-D: the
     // copy grows with node size and is part of the arity trade-off).
+    fault::InjectUntrustedRead(fault::Site::kMerkleNodeLoad,
+                               tree_->NodePtr(x.level, x.index), node_size_);
     std::memcpy(cur, tree_->NodePtr(x.level, x.index), node_size_);
     enclave_->TouchWrite(cur, node_size_);
     stats_.bytes_swapped_in += node_size_;
@@ -374,8 +378,13 @@ Status SecureCache::EvictOne() {
     cmac_->Mac(SlotPtr(victim), node_size_, mac);
     ARIA_RETURN_IF_ERROR(PropagateMacUp(id, mac));
     // Plaintext write-back: security metadata needs integrity only (§IV-C).
-    std::memcpy(tree_->NodePtr(id.level, id.index), SlotPtr(victim),
-                node_size_);
+    // An adversary dropping (or duplicating) this untrusted write must be
+    // caught by the freshly propagated MAC on the next load.
+    if (!fault::InjectWritebackDrop(tree_->NodePtr(id.level, id.index),
+                                    SlotPtr(victim), node_size_)) {
+      std::memcpy(tree_->NodePtr(id.level, id.index), SlotPtr(victim),
+                  node_size_);
+    }
     stats_.dirty_writebacks++;
     stats_.bytes_swapped_out += node_size_;
     stats_.encryption_bytes_avoided += node_size_;
@@ -455,6 +464,8 @@ Status SecureCache::PropagateMacUp(MtNodeId id, const uint8_t mac[16]) {
   for (size_t i = chain_len; i-- > 0;) {
     MtNodeId x = chain[i];
     uint8_t* buf = bufs[i].data();
+    fault::InjectUntrustedRead(fault::Site::kMerkleNodeLoad,
+                               tree_->NodePtr(x.level, x.index), node_size_);
     std::memcpy(buf, tree_->NodePtr(x.level, x.index), node_size_);
     enclave_->TouchWrite(buf, node_size_);
     stats_.bytes_swapped_in += node_size_;
@@ -516,6 +527,8 @@ Status SecureCache::PinLevels(int first_level) {
     if (buf == nullptr) return Status::CapacityExceeded("pin allocation");
     for (uint64_t i = 0; i < nodes; ++i) {
       MtNodeId id{lvl, i};
+      fault::InjectUntrustedRead(fault::Site::kMerkleNodeLoad,
+                                 tree_->NodePtr(lvl, i), node_size_);
       std::memcpy(scratch_a_, tree_->NodePtr(lvl, i), node_size_);
       enclave_->TouchWrite(scratch_a_, node_size_);
       uint8_t mac[FlatMerkleTree::kMacSize];

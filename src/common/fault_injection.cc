@@ -1,0 +1,13 @@
+#include "common/fault_injection.h"
+
+namespace aria::fault {
+
+namespace {
+Injector* g_injector = nullptr;
+}  // namespace
+
+Injector* Get() { return g_injector; }
+
+void Set(Injector* injector) { g_injector = injector; }
+
+}  // namespace aria::fault

@@ -1,0 +1,67 @@
+// Fault-injection hook latch. Production code calls the Inject* helpers at
+// the points where untrusted state crosses into the enclave (or where an
+// allocation can fail); with no injector installed each hook is a single
+// predictable null-check. Tests install an aria::testing::ScheduledInjector
+// (src/testing/fault_injector.h) to corrupt untrusted bytes, fail
+// allocations, and drop or duplicate eviction write-backs under a
+// deterministic seeded schedule.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace aria::fault {
+
+/// Where a hook fires.
+enum class Site : uint8_t {
+  kTrustedAlloc = 0,    ///< sgx::EnclaveRuntime::TrustedAlloc
+  kUntrustedAlloc,      ///< HeapAllocator::Alloc / OcallAllocator::Alloc
+  kMerkleNodeLoad,      ///< SecureCache: untrusted MT node about to be read
+  kEvictionWriteback,   ///< SecureCache: dirty victim about to be written back
+  kFreeRingPop,         ///< CounterManager: recycled slot about to be popped
+  kFreeListPop,         ///< HeapAllocator: untrusted next-pointer about to load
+  kNumSites,
+};
+
+/// Interface implemented by the test-side injector.
+class Injector {
+ public:
+  virtual ~Injector() = default;
+
+  /// Called just before the enclave consumes `len` untrusted bytes at `p`;
+  /// the injector may corrupt them in place (the adversary controls
+  /// untrusted memory, so any mutation here models a legal attack).
+  virtual void OnUntrustedRead(Site site, uint8_t* p, size_t len) = 0;
+
+  /// Return true to make the allocation of `bytes` at `site` fail.
+  virtual bool FailAlloc(Site site, size_t bytes) = 0;
+
+  /// One dirty eviction write-back of `len` bytes from trusted `src` to
+  /// untrusted `dst` is about to happen. Return true to suppress it (the
+  /// adversary drops the write); the injector may also duplicate `src`
+  /// elsewhere before returning false.
+  virtual bool OnEvictionWriteback(uint8_t* dst, const uint8_t* src,
+                                   size_t len) = 0;
+};
+
+/// Currently installed injector, or nullptr (production).
+Injector* Get();
+
+/// Install (or clear, with nullptr) the process-wide injector. Test-only.
+void Set(Injector* injector);
+
+inline void InjectUntrustedRead(Site site, void* p, size_t len) {
+  if (Injector* i = Get()) i->OnUntrustedRead(site, static_cast<uint8_t*>(p), len);
+}
+
+inline bool InjectAllocFailure(Site site, size_t bytes) {
+  Injector* i = Get();
+  return i != nullptr && i->FailAlloc(site, bytes);
+}
+
+inline bool InjectWritebackDrop(uint8_t* dst, const uint8_t* src, size_t len) {
+  Injector* i = Get();
+  return i != nullptr && i->OnEvictionWriteback(dst, src, len);
+}
+
+}  // namespace aria::fault

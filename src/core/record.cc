@@ -47,8 +47,9 @@ void RecordCodec::Seal(uint64_t red_ptr, const uint8_t counter[16], Slice key,
   uint8_t ctr_block[16];
   DeriveCtrBlock(red_ptr, counter, ctr_block);
   uint8_t* ct = out + kHeaderSize;
-  std::memcpy(ct, key.data(), k_len);
-  std::memcpy(ct + k_len, value.data(), v_len);
+  // An empty key/value has a null data() — skip the memcpy (null src is UB).
+  if (k_len != 0) std::memcpy(ct, key.data(), k_len);
+  if (v_len != 0) std::memcpy(ct + k_len, value.data(), v_len);
   crypto::AesCtrCrypt(*aes_, ctr_block, ct, ct, static_cast<size_t>(k_len) + v_len);
 
   ComputeMac(out, counter, ad_field, out + kHeaderSize + k_len + v_len);

@@ -28,6 +28,7 @@ SecureRandom::SecureRandom(uint64_t seed) {
 }
 
 void SecureRandom::Fill(void* out, size_t len) {
+  if (len == 0) return;  // an empty buffer may come with a null pointer
   uint8_t* p = static_cast<uint8_t*>(out);
   std::memset(p, 0, len);
   AesCtrCrypt(*aes_, counter_, p, p, len);

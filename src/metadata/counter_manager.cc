@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/fault_injection.h"
+
 namespace aria {
 
 CounterManager::CounterManager(sgx::EnclaveRuntime* enclave,
@@ -94,6 +96,12 @@ Result<RedPtr> CounterManager::FetchCounter() {
   for (size_t t = 0; t < units_.size(); ++t) {
     TreeUnit* unit = units_[t].get();
     if (unit->ring_head != unit->ring_tail) {
+      // The ring lives in untrusted memory: a corrupted recycled slot must
+      // be rejected by the range check or the trusted occupation bitmap.
+      fault::InjectUntrustedRead(
+          fault::Site::kFreeRingPop,
+          &unit->ring[unit->ring_head % unit->ring_capacity],
+          sizeof(uint64_t));
       uint64_t slot = unit->ring[unit->ring_head % unit->ring_capacity];
       if (slot >= config_.counters_per_tree) {
         return Status::IntegrityViolation("free ring slot out of range");

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/fault_injection.h"
+
 namespace aria::sgx {
 
 namespace {
@@ -27,6 +29,9 @@ EnclaveRuntime::~EnclaveRuntime() {
 
 void* EnclaveRuntime::TrustedAlloc(size_t bytes) {
   if (bytes == 0) bytes = 1;
+  if (fault::InjectAllocFailure(fault::Site::kTrustedAlloc, bytes)) {
+    return nullptr;
+  }
   // Cache-line aligned, zeroed — like fresh EPC pages.
   size_t rounded = (bytes + CostModel::kCacheLineSize - 1) /
                    CostModel::kCacheLineSize * CostModel::kCacheLineSize;

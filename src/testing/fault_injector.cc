@@ -1,0 +1,121 @@
+#include "testing/fault_injector.h"
+
+#include <cstring>
+
+namespace aria::testing {
+
+ScheduledInjector::ScheduledInjector(uint64_t seed)
+    : rng_(seed * 0xD1B54A32D192ED03ull + 7) {}
+
+void ScheduledInjector::Arm(FaultSpec spec) {
+  armed_.push_back(Armed{std::move(spec), 0, false});
+}
+
+void ScheduledInjector::DisarmAll() { armed_.clear(); }
+
+bool ScheduledInjector::Due(Armed* armed) {
+  if (armed->spent) return false;
+  uint64_t seen = armed->seen++;
+  if (seen < armed->spec.trigger_after) return false;
+  if (!armed->spec.repeat) armed->spent = true;
+  return true;
+}
+
+void ScheduledInjector::Mutate(const FaultSpec& spec, uint8_t* p, size_t len) {
+  if (len == 0) return;
+  switch (spec.kind) {
+    case FaultKind::kFlipBit:
+      p[(spec.bit / 8) % len] ^= static_cast<uint8_t>(1u << (spec.bit % 8));
+      break;
+    case FaultKind::kFlipRandomBit: {
+      uint64_t bit = rng_.Uniform(len * 8);
+      p[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      break;
+    }
+    case FaultKind::kSetValue: {
+      size_t n = spec.bytes.size() < len ? spec.bytes.size() : len;
+      std::memcpy(p, spec.bytes.data(), n);
+      break;
+    }
+    default:
+      break;
+  }
+  fired_++;
+}
+
+void ScheduledInjector::OnUntrustedRead(fault::Site site, uint8_t* p,
+                                        size_t len) {
+  events_[static_cast<size_t>(site)]++;
+  for (Armed& a : armed_) {
+    if (a.spec.site != site) continue;
+    if (a.spec.kind != FaultKind::kFlipBit &&
+        a.spec.kind != FaultKind::kFlipRandomBit &&
+        a.spec.kind != FaultKind::kSetValue) {
+      continue;
+    }
+    if (Due(&a)) Mutate(a.spec, p, len);
+  }
+}
+
+bool ScheduledInjector::FailAlloc(fault::Site site, size_t bytes) {
+  (void)bytes;
+  events_[static_cast<size_t>(site)]++;
+  for (Armed& a : armed_) {
+    if (a.spec.site != site || a.spec.kind != FaultKind::kFailAlloc) continue;
+    if (Due(&a)) {
+      fired_++;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ScheduledInjector::OnEvictionWriteback(uint8_t* dst, const uint8_t* src,
+                                            size_t len) {
+  (void)dst;
+  events_[static_cast<size_t>(fault::Site::kEvictionWriteback)]++;
+  bool drop = false;
+  for (Armed& a : armed_) {
+    if (a.spec.site != fault::Site::kEvictionWriteback) continue;
+    if (a.spec.kind == FaultKind::kDropWriteback) {
+      if (Due(&a)) {
+        fired_++;
+        drop = true;
+      }
+    } else if (a.spec.kind == FaultKind::kDuplicateWriteback &&
+               a.spec.target != nullptr) {
+      if (Due(&a)) {
+        // Misdirected duplicate: the adversary also lands the bytes on a
+        // sibling node, corrupting it.
+        std::memcpy(a.spec.target, src, len);
+        fired_++;
+      }
+    }
+  }
+  return drop;
+}
+
+std::vector<uint8_t> SnapshotNode(const FlatMerkleTree* tree, MtNodeId id) {
+  const uint8_t* p = tree->NodePtr(id.level, id.index);
+  return std::vector<uint8_t>(p, p + tree->node_size());
+}
+
+void RestoreNode(FlatMerkleTree* tree, MtNodeId id,
+                 const std::vector<uint8_t>& snapshot) {
+  std::memcpy(tree->NodePtr(id.level, id.index), snapshot.data(),
+              tree->node_size());
+}
+
+void FlipCounterBit(FlatMerkleTree* tree, uint64_t c, uint64_t bit) {
+  uint8_t* p = tree->CounterPtr(c);
+  p[(bit / 8) % FlatMerkleTree::kCounterSize] ^=
+      static_cast<uint8_t>(1u << (bit % 8));
+}
+
+void FlipStoredMacBit(FlatMerkleTree* tree, MtNodeId id, uint64_t bit) {
+  uint8_t* p = tree->StoredMacPtr(id);
+  p[(bit / 8) % FlatMerkleTree::kMacSize] ^=
+      static_cast<uint8_t>(1u << (bit % 8));
+}
+
+}  // namespace aria::testing

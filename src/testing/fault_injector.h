@@ -1,0 +1,119 @@
+// Test-side fault injector implementing the aria::fault::Injector hooks.
+//
+// Faults are armed as FaultSpecs against a hook site and fire after a
+// configurable number of matching events, so a schedule is fully
+// deterministic for a given (arming, workload seed) pair. Random-bit mode
+// draws the flipped bit from a seeded PRNG, which makes fuzz-style sweeps
+// replayable through ARIA_REPLAY_SEED (testing/replay.h).
+//
+// Direct-attack helpers (node snapshot/rollback, targeted bit flips) cover
+// the faults that are not read-path events: MAC corruption, counter
+// rollback and record-pointer swaps are mounted straight on untrusted
+// memory, exactly like a malicious host would.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/random.h"
+#include "mt/flat_merkle_tree.h"
+
+namespace aria::testing {
+
+enum class FaultKind : uint8_t {
+  kFlipBit,             ///< XOR one bit of the hooked untrusted buffer
+  kFlipRandomBit,       ///< like kFlipBit, bit drawn from the injector seed
+  kSetValue,            ///< overwrite the buffer prefix with fixed bytes
+  kFailAlloc,           ///< make the hooked allocation fail
+  kDropWriteback,       ///< suppress the dirty eviction write-back
+  kDuplicateWriteback,  ///< also copy the written node over `target`
+};
+
+struct FaultSpec {
+  fault::Site site = fault::Site::kNumSites;
+  FaultKind kind = FaultKind::kFlipBit;
+
+  /// Skip this many matching events before firing (0 = fire on the first).
+  uint64_t trigger_after = 0;
+
+  /// Keep firing on every later matching event instead of once.
+  bool repeat = false;
+
+  uint64_t bit = 0;            ///< kFlipBit: bit index within the buffer
+  std::vector<uint8_t> bytes;  ///< kSetValue: payload (clipped to buffer)
+  uint8_t* target = nullptr;   ///< kDuplicateWriteback: duplicate dst
+};
+
+class ScheduledInjector : public fault::Injector {
+ public:
+  explicit ScheduledInjector(uint64_t seed = 1);
+
+  /// Arm a fault. Multiple specs may be armed at once; each keeps its own
+  /// trigger count.
+  void Arm(FaultSpec spec);
+
+  /// Clear all armed faults (event counters keep running).
+  void DisarmAll();
+
+  /// Total faults actually injected so far.
+  uint64_t fired() const { return fired_; }
+
+  /// Events observed at `site` (fired or not).
+  uint64_t events(fault::Site site) const {
+    return events_[static_cast<size_t>(site)];
+  }
+
+  // fault::Injector:
+  void OnUntrustedRead(fault::Site site, uint8_t* p, size_t len) override;
+  bool FailAlloc(fault::Site site, size_t bytes) override;
+  bool OnEvictionWriteback(uint8_t* dst, const uint8_t* src,
+                           size_t len) override;
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    uint64_t seen = 0;
+    bool spent = false;
+  };
+
+  /// True iff `armed` fires for this event (advances its trigger count).
+  bool Due(Armed* armed);
+  void Mutate(const FaultSpec& spec, uint8_t* p, size_t len);
+
+  Random rng_;
+  std::vector<Armed> armed_;
+  uint64_t events_[static_cast<size_t>(fault::Site::kNumSites)] = {0};
+  uint64_t fired_ = 0;
+};
+
+/// Installs `injector` as the process-wide fault hook for the scope of a
+/// test; clears it on destruction even if the test aborts early.
+class InjectorScope {
+ public:
+  explicit InjectorScope(ScheduledInjector* injector) {
+    fault::Set(injector);
+  }
+  ~InjectorScope() { fault::Set(nullptr); }
+
+  InjectorScope(const InjectorScope&) = delete;
+  InjectorScope& operator=(const InjectorScope&) = delete;
+};
+
+// --- Direct attacks on untrusted Merkle-tree state -------------------------
+
+/// Snapshot one node's raw untrusted bytes (for rollback/replay attacks).
+std::vector<uint8_t> SnapshotNode(const FlatMerkleTree* tree, MtNodeId id);
+
+/// Overwrite a node with previously snapshotted bytes — a replay.
+void RestoreNode(FlatMerkleTree* tree, MtNodeId id,
+                 const std::vector<uint8_t>& snapshot);
+
+/// Flip one bit of counter `c` in untrusted memory.
+void FlipCounterBit(FlatMerkleTree* tree, uint64_t c, uint64_t bit);
+
+/// Flip one bit of the stored MAC of `id` (inside its untrusted parent).
+/// `id` must not be the top node (its MAC is the trusted root).
+void FlipStoredMacBit(FlatMerkleTree* tree, MtNodeId id, uint64_t bit);
+
+}  // namespace aria::testing

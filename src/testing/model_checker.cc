@@ -1,0 +1,169 @@
+#include "testing/model_checker.h"
+
+#include "testing/replay.h"
+#include "workload/ycsb.h"
+
+namespace aria::testing {
+
+namespace {
+
+const char* OpName(DiffOpType type) {
+  switch (type) {
+    case DiffOpType::kPut:
+      return "Put";
+    case DiffOpType::kGet:
+      return "Get";
+    case DiffOpType::kDelete:
+      return "Delete";
+    case DiffOpType::kRangeScan:
+      return "RangeScan";
+  }
+  return "?";
+}
+
+std::string DescribeOp(uint64_t index, const DiffOp& op) {
+  std::string s = "op #" + std::to_string(index) + " " + OpName(op.type) +
+                  "(key " + std::to_string(op.key_id);
+  if (op.type == DiffOpType::kRangeScan) {
+    s += ", limit " + std::to_string(op.scan_limit);
+  }
+  return s + ")";
+}
+
+}  // namespace
+
+DifferentialChecker::DifferentialChecker(const CheckerConfig& config)
+    : config_(config), seed_(EffectiveSeed(config.gen.seed)) {}
+
+Status DifferentialChecker::Fail(CheckerReport* report, uint64_t op_index,
+                                 const std::string& what) {
+  report->failing_op = op_index;
+  report->description = what;
+  report->replay = ReplayRecipe(seed_, config_.harness);
+  return Status::Internal(what + "; " + report->replay);
+}
+
+Status DifferentialChecker::Run(KVStore* store, CheckerReport* report) {
+  *report = CheckerReport{};
+  report->seed = seed_;
+
+  OpGeneratorConfig gen_config = config_.gen;
+  gen_config.seed = seed_;
+  OpGenerator gen(gen_config);
+  ReferenceOracle oracle;
+  auto* ordered = dynamic_cast<OrderedKVStore*>(store);
+
+  for (uint64_t k = 0; k < config_.prepopulate; ++k) {
+    std::string key = MakeKey(k);
+    std::string value = MakeValue(k, config_.prepopulate_value_size, 0);
+    Status st = store->Put(key, value);
+    if (!st.ok()) {
+      return Fail(report, 0,
+                  std::string(store->name()) + " prepopulate Put(" +
+                      std::to_string(k) + ") failed: " + st.ToString());
+    }
+    (void)oracle.Put(key, value);
+  }
+
+  for (uint64_t i = 0; i < config_.num_ops; ++i) {
+    DiffOp op = gen.Next();
+    std::string key = MakeKey(op.key_id);
+    Status store_status;
+    Status oracle_status;
+
+    switch (op.type) {
+      case DiffOpType::kPut: {
+        report->puts++;
+        std::string value = MakeValue(op.key_id, op.value_size, op.version);
+        store_status = store->Put(key, value);
+        oracle_status = oracle.Put(key, value);
+        break;
+      }
+      case DiffOpType::kGet: {
+        report->gets++;
+        std::string got, want;
+        store_status = store->Get(key, &got);
+        oracle_status = oracle.Get(key, &want);
+        if (store_status.ok() && oracle_status.ok() && got != want) {
+          return Fail(report, i,
+                      DescribeOp(i, op) + " on " + store->name() +
+                          ": value mismatch (store returned " +
+                          std::to_string(got.size()) + "B, oracle expected " +
+                          std::to_string(want.size()) + "B)");
+        }
+        if (oracle_status.IsNotFound()) report->not_found++;
+        break;
+      }
+      case DiffOpType::kDelete: {
+        report->deletes++;
+        store_status = store->Delete(key);
+        oracle_status = oracle.Delete(key);
+        break;
+      }
+      case DiffOpType::kRangeScan: {
+        if (ordered == nullptr) {
+          report->gets++;  // degrade to a Get on unordered stores
+          std::string got, want;
+          store_status = store->Get(key, &got);
+          oracle_status = oracle.Get(key, &want);
+          if (store_status.ok() && oracle_status.ok() && got != want) {
+            return Fail(report, i,
+                        DescribeOp(i, op) + " (as Get) on " + store->name() +
+                            ": value mismatch");
+          }
+          break;
+        }
+        report->scans++;
+        std::vector<std::pair<std::string, std::string>> got, want;
+        store_status = ordered->RangeScan(key, op.scan_limit, &got);
+        oracle_status = oracle.RangeScan(key, op.scan_limit, &want);
+        if (store_status.ok() && oracle_status.ok() && got != want) {
+          std::string what = DescribeOp(i, op) + " on " + store->name() +
+                             ": scan mismatch (store " +
+                             std::to_string(got.size()) + " pairs, oracle " +
+                             std::to_string(want.size()) + ")";
+          for (size_t j = 0; j < got.size() && j < want.size(); ++j) {
+            if (got[j] != want[j]) {
+              what += "; first divergent pair at position " +
+                      std::to_string(j);
+              break;
+            }
+          }
+          return Fail(report, i, what);
+        }
+        break;
+      }
+    }
+
+    if (store_status.IsIntegrityViolation()) {
+      if (config_.allow_integrity_violation) {
+        // The scheme detected the injected attack — that is the success
+        // condition of a fault-injection run.
+        report->integrity_violation_op = i;
+        report->ops_executed = i + 1;
+        return Status::OK();
+      }
+      return Fail(report, i,
+                  DescribeOp(i, op) + " on " + store->name() +
+                      ": unexpected IntegrityViolation: " +
+                      store_status.ToString());
+    }
+    if (store_status.code() != oracle_status.code()) {
+      return Fail(report, i,
+                  DescribeOp(i, op) + " on " + store->name() +
+                      ": status mismatch (store " + store_status.ToString() +
+                      ", oracle " + oracle_status.ToString() + ")");
+    }
+    report->ops_executed = i + 1;
+  }
+
+  if (store->size() != oracle.size()) {
+    return Fail(report, config_.num_ops,
+                std::string(store->name()) + ": final size mismatch (store " +
+                    std::to_string(store->size()) + ", oracle " +
+                    std::to_string(oracle.size()) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace aria::testing

@@ -1,0 +1,78 @@
+// Differential model checker: drives any KVStore scheme from store_factory
+// against the std::map reference oracle under one shared seed, cross-checking
+// every operation's status and data. Ordered stores are additionally checked
+// on RangeScan. A divergence produces a report carrying the failing op index
+// and a one-line ARIA_REPLAY_SEED reproduction recipe; with the env var set,
+// the exact schedule reruns (testing/replay.h).
+//
+// Under fault injection (allow_integrity_violation), a store that answers an
+// op with IntegrityViolation has *detected* the attack: the run stops and
+// counts as a success. A store that silently returns data the oracle
+// disagrees with has been fooled — that is always a failure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/kv_store.h"
+#include "testing/op_generator.h"
+#include "testing/oracle.h"
+
+namespace aria::testing {
+
+struct CheckerConfig {
+  OpGeneratorConfig gen;
+
+  uint64_t num_ops = 10000;
+
+  /// Keys [0, prepopulate) inserted into both store and oracle before the
+  /// randomized schedule starts (version 0 values).
+  uint64_t prepopulate = 0;
+  size_t prepopulate_value_size = 16;
+
+  /// Fault-injection mode: an IntegrityViolation from the store ends the
+  /// run successfully (the attack was detected). Silent divergence still
+  /// fails.
+  bool allow_integrity_violation = false;
+
+  /// Name used in the replay recipe (usually the ctest target).
+  std::string harness = "differential_test";
+};
+
+struct CheckerReport {
+  uint64_t seed = 0;          ///< seed actually used (after env override)
+  uint64_t ops_executed = 0;  ///< ops completed before stop/divergence
+  uint64_t failing_op = UINT64_MAX;  ///< first divergent op, if any
+  /// Op at which the store reported IntegrityViolation (fault mode only).
+  uint64_t integrity_violation_op = UINT64_MAX;
+  std::string description;  ///< human-readable divergence summary
+  std::string replay;       ///< one-line ARIA_REPLAY_SEED recipe
+
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t deletes = 0;
+  uint64_t scans = 0;
+  uint64_t not_found = 0;
+};
+
+class DifferentialChecker {
+ public:
+  explicit DifferentialChecker(const CheckerConfig& config);
+
+  /// Seed the schedule will use: ARIA_REPLAY_SEED if set, else the
+  /// configured one.
+  uint64_t seed() const { return seed_; }
+
+  /// Run the full schedule against `store`. ok() iff store and oracle
+  /// agreed on every op (or, in fault mode, the store detected the attack).
+  Status Run(KVStore* store, CheckerReport* report);
+
+ private:
+  Status Fail(CheckerReport* report, uint64_t op_index,
+              const std::string& what);
+
+  CheckerConfig config_;
+  uint64_t seed_;
+};
+
+}  // namespace aria::testing

@@ -1,0 +1,42 @@
+#include "testing/op_generator.h"
+
+namespace aria::testing {
+
+OpGenerator::OpGenerator(const OpGeneratorConfig& config)
+    : config_(config),
+      rng_(config.seed * 0x9E3779B97F4A7C15ull + 1),
+      zipf_(config.keyspace, config.zipf_theta, config.seed + 1),
+      uniform_(config.keyspace, config.seed + 2),
+      versions_(config.keyspace, 0) {}
+
+uint64_t OpGenerator::NextKeyId() {
+  return rng_.Bernoulli(config_.zipf_fraction) ? zipf_.NextKey()
+                                               : uniform_.NextKey();
+}
+
+DiffOp OpGenerator::Next() {
+  DiffOp op;
+  op.key_id = NextKeyId();
+  double roll = rng_.NextDouble();
+  if (roll < config_.put_fraction) {
+    op.type = DiffOpType::kPut;
+    op.version = ++versions_[op.key_id];
+    op.value_size = config_.min_value_size +
+                    rng_.Uniform(config_.max_value_size -
+                                 config_.min_value_size + 1);
+  } else if (roll < config_.put_fraction + config_.get_fraction) {
+    op.type = DiffOpType::kGet;
+  } else if (roll <
+             config_.put_fraction + config_.get_fraction +
+                 config_.delete_fraction) {
+    op.type = DiffOpType::kDelete;
+  } else if (config_.scans) {
+    op.type = DiffOpType::kRangeScan;
+    op.scan_limit = 1 + rng_.Uniform(config_.max_scan_limit);
+  } else {
+    op.type = DiffOpType::kGet;
+  }
+  return op;
+}
+
+}  // namespace aria::testing

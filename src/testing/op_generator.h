@@ -1,0 +1,70 @@
+// Deterministic randomized op-sequence generator for differential testing.
+// Given one seed it produces a bit-reproducible stream of Put/Get/Delete/
+// RangeScan operations, drawing keys from an interleaved mix of uniform and
+// Zipfian (workload/zipf) distributions so both the thrashing and the
+// hot-set regimes of Secure Cache are exercised by the same schedule.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "workload/zipf.h"
+
+namespace aria::testing {
+
+enum class DiffOpType : uint8_t { kPut, kGet, kDelete, kRangeScan };
+
+/// One operation of a differential schedule. Keys/values are materialized
+/// by the checker via MakeKey / MakeValue so the schedule stays tiny.
+struct DiffOp {
+  DiffOpType type;
+  uint64_t key_id;
+  uint32_t version = 0;   ///< Put: value version for this key
+  size_t value_size = 0;  ///< Put: payload size
+  size_t scan_limit = 0;  ///< RangeScan: max results
+};
+
+struct OpGeneratorConfig {
+  uint64_t keyspace = 2048;
+  uint64_t seed = 1;
+
+  /// Fraction of key draws taken from the Zipfian generator (the rest are
+  /// uniform).
+  double zipf_fraction = 0.5;
+  double zipf_theta = 0.99;
+
+  /// Op mix; the remainder after put+get+del goes to RangeScan when
+  /// `scans` is true, else it is folded into Gets.
+  double put_fraction = 0.40;
+  double get_fraction = 0.40;
+  double delete_fraction = 0.15;
+  bool scans = false;
+
+  size_t min_value_size = 8;
+  size_t max_value_size = 64;
+  size_t max_scan_limit = 32;
+};
+
+class OpGenerator {
+ public:
+  explicit OpGenerator(const OpGeneratorConfig& config);
+
+  DiffOp Next();
+
+  const OpGeneratorConfig& config() const { return config_; }
+
+ private:
+  uint64_t NextKeyId();
+
+  OpGeneratorConfig config_;
+  Random rng_;
+  ZipfGenerator zipf_;
+  UniformGenerator uniform_;
+  /// Per-key Put count, so successive overwrites carry distinct values and
+  /// a replayed (stale) value is distinguishable from the fresh one.
+  std::vector<uint32_t> versions_;
+};
+
+}  // namespace aria::testing

@@ -1,0 +1,35 @@
+#include "testing/oracle.h"
+
+namespace aria::testing {
+
+Status ReferenceOracle::Put(Slice key, Slice value) {
+  map_[std::string(key.data(), key.size())] =
+      std::string(value.data(), value.size());
+  return Status::OK();
+}
+
+Status ReferenceOracle::Get(Slice key, std::string* value) const {
+  auto it = map_.find(std::string(key.data(), key.size()));
+  if (it == map_.end()) return Status::NotFound();
+  *value = it->second;
+  return Status::OK();
+}
+
+Status ReferenceOracle::Delete(Slice key) {
+  return map_.erase(std::string(key.data(), key.size())) == 0
+             ? Status::NotFound()
+             : Status::OK();
+}
+
+Status ReferenceOracle::RangeScan(
+    Slice start, size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) const {
+  out->clear();
+  for (auto it = map_.lower_bound(std::string(start.data(), start.size()));
+       it != map_.end() && out->size() < limit; ++it) {
+    out->emplace_back(it->first, it->second);
+  }
+  return Status::OK();
+}
+
+}  // namespace aria::testing

@@ -1,0 +1,39 @@
+// Trusted reference oracle for differential testing: a plain std::map that
+// mirrors the KVStore/OrderedKVStore contract exactly. Every scheme from
+// store_factory is driven against it op-by-op; any divergence in status or
+// data is a bug (or, under fault injection, a missed attack).
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace aria::testing {
+
+class ReferenceOracle {
+ public:
+  /// Insert or overwrite; always succeeds.
+  Status Put(Slice key, Slice value);
+
+  /// NotFound if absent, like KVStore::Get.
+  Status Get(Slice key, std::string* value) const;
+
+  /// NotFound if absent, like KVStore::Delete.
+  Status Delete(Slice key);
+
+  /// Up to `limit` pairs with key >= `start` in key order, like
+  /// OrderedKVStore::RangeScan.
+  Status RangeScan(Slice start, size_t limit,
+                   std::vector<std::pair<std::string, std::string>>* out) const;
+
+  uint64_t size() const { return map_.size(); }
+
+ private:
+  std::map<std::string, std::string> map_;
+};
+
+}  // namespace aria::testing

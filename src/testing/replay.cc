@@ -1,0 +1,29 @@
+#include "testing/replay.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace aria::testing {
+
+bool ReplaySeedFromEnv(uint64_t* seed) {
+  const char* env = std::getenv(kReplaySeedEnv);
+  if (env == nullptr || *env == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(env, &end, 0);
+  if (errno != 0 || end == env || *end != '\0') return false;
+  *seed = static_cast<uint64_t>(v);
+  return true;
+}
+
+uint64_t EffectiveSeed(uint64_t default_seed) {
+  uint64_t seed;
+  return ReplaySeedFromEnv(&seed) ? seed : default_seed;
+}
+
+std::string ReplayRecipe(uint64_t seed, const std::string& what) {
+  return "to reproduce: " + std::string(kReplaySeedEnv) + "=" +
+         std::to_string(seed) + " ctest -R " + what + " --output-on-failure";
+}
+
+}  // namespace aria::testing

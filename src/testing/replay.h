@@ -1,0 +1,27 @@
+// Seed-replay plumbing: any randomized test failure prints a one-line
+// ARIA_REPLAY_SEED=<n> recipe, and setting that environment variable reruns
+// exactly the failing schedule. This turns fuzz findings into deterministic
+// bug reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aria::testing {
+
+/// Name of the environment variable carrying a replay seed.
+inline constexpr const char* kReplaySeedEnv = "ARIA_REPLAY_SEED";
+
+/// True (and fills *seed) iff ARIA_REPLAY_SEED is set to a parseable value.
+bool ReplaySeedFromEnv(uint64_t* seed);
+
+/// The seed a randomized test should use: the ARIA_REPLAY_SEED override if
+/// present, else `default_seed`.
+uint64_t EffectiveSeed(uint64_t default_seed);
+
+/// One-line reproduction recipe for a failure observed under `seed`, e.g.
+///   "to reproduce: ARIA_REPLAY_SEED=42 ctest -R differential_test"
+/// `what` names the failing harness (test binary or suite).
+std::string ReplayRecipe(uint64_t seed, const std::string& what);
+
+}  // namespace aria::testing

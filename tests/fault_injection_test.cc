@@ -1,0 +1,541 @@
+// Fault-injection tests: deterministic, seeded fault schedules mounted
+// through the aria::fault hook sites plus direct attacks on untrusted
+// memory. Every injected data-integrity fault must surface as an
+// IntegrityViolation — never as silent wrong data or a crash — and every
+// injected allocation failure must surface as a clean Status error that
+// leaves the store usable (§IV-B: "an attack always leads to a MAC
+// mismatch somewhere on the path to the root").
+//
+// Fault classes covered (ISSUE acceptance: >= 6 across >= 3 schemes):
+//   1. bit flips in untrusted buffers (Merkle node loads, record
+//      ciphertext) — Aria-H, Aria-T, Aria-B+, Aria-C
+//   2. MAC corruption (stored Merkle node MACs, record MACs)
+//   3. counter rollback (leaf replay after dirty eviction) + free-ring
+//      recycle of an in-use counter
+//   4. record-pointer swaps (hash bucket cells, B-tree record slots)
+//   5. allocation failure (untrusted heap and trusted EPC) — clean errors
+//   6. dropped / misdirected eviction write-backs
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "alloc/heap_allocator.h"
+#include "core/aria_bplus.h"
+#include "core/aria_btree.h"
+#include "core/aria_cuckoo.h"
+#include "core/aria_hash.h"
+#include "core/store_factory.h"
+#include "metadata/counter_manager.h"
+#include "sgxsim/enclave_runtime.h"
+#include "testing/fault_injector.h"
+#include "testing/model_checker.h"
+#include "workload/ycsb.h"
+
+namespace aria {
+namespace {
+
+using testing::DifferentialChecker;
+using testing::FaultKind;
+using testing::FaultSpec;
+using testing::InjectorScope;
+using testing::ScheduledInjector;
+
+// Tiny Secure Cache (~26 slots, nothing pinned) so counter reads miss and
+// the verify / evict paths with their hook sites run constantly.
+StoreOptions TinyCacheOptions(IndexKind index) {
+  StoreOptions opts;
+  opts.scheme = Scheme::kAria;
+  opts.index = index;
+  opts.keyspace = 4096;
+  opts.cache_bytes = 4096;
+  opts.pinned_levels = 0;
+  opts.stop_swap_enabled = false;
+  if (index == IndexKind::kHash) opts.num_buckets = 64;
+  return opts;
+}
+
+std::vector<uint8_t> PointerBytes(const void* p) {
+  std::vector<uint8_t> bytes(sizeof(void*));
+  std::memcpy(bytes.data(), &p, sizeof(void*));
+  return bytes;
+}
+
+std::vector<uint8_t> U64Bytes(uint64_t v) {
+  std::vector<uint8_t> bytes(sizeof(uint64_t));
+  std::memcpy(bytes.data(), &v, sizeof(uint64_t));
+  return bytes;
+}
+
+// Sweep Gets over [0, n): every answer must be either the correct value or
+// an IntegrityViolation. Returns the number of violations seen.
+int SweepExpectNoWrongData(KVStore* store, int n, size_t value_size) {
+  int violations = 0;
+  for (int i = 0; i < n; ++i) {
+    std::string v;
+    Status st = store->Get(MakeKey(i), &v);
+    if (st.ok()) {
+      EXPECT_EQ(v, MakeValue(i, value_size)) << "silent wrong data, key " << i;
+    } else {
+      EXPECT_TRUE(st.IsIntegrityViolation()) << st.ToString();
+      violations++;
+    }
+  }
+  return violations;
+}
+
+// --- Fault class 1: bit flips in untrusted buffers --------------------------
+
+TEST(UntrustedBitFlip, MerkleNodeLoadFlipDetected) {
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(TinyCacheOptions(IndexKind::kHash), &bundle).ok());
+  KVStore* store = bundle.store.get();
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(store->Put(MakeKey(i), MakeValue(i, 32)).ok());
+  }
+
+  ScheduledInjector injector(/*seed=*/7);
+  InjectorScope scope(&injector);
+  injector.Arm({.site = fault::Site::kMerkleNodeLoad,
+                .kind = FaultKind::kFlipBit,
+                .bit = 37});
+
+  // The flip fires on the first counter-leaf swap-in; the chain verification
+  // of that very load must reject it.
+  int violations = SweepExpectNoWrongData(store, 2000, 32);
+  EXPECT_GE(injector.fired(), 1u);
+  EXPECT_GE(violations, 1);
+}
+
+TEST(UntrustedBitFlip, RecordCiphertextFlipDetectedAcrossSchemes) {
+  {  // Aria-H
+    StoreBundle bundle;
+    StoreOptions opts = TinyCacheOptions(IndexKind::kHash);
+    ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+    auto* hash = static_cast<AriaHash*>(bundle.store.get());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(hash->Put(MakeKey(i), MakeValue(i, 32)).ok());
+    }
+    uint8_t* entry = hash->DebugEntry(MakeKey(11));
+    ASSERT_NE(entry, nullptr);
+    entry[16 + RecordCodec::kHeaderSize] ^= 0x04;
+    std::string v;
+    EXPECT_TRUE(hash->Get(MakeKey(11), &v).IsIntegrityViolation());
+  }
+  {  // Aria-T
+    StoreBundle bundle;
+    ASSERT_TRUE(CreateStore(TinyCacheOptions(IndexKind::kBTree), &bundle).ok());
+    auto* btree = static_cast<AriaBTree*>(bundle.store.get());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(btree->Put(MakeKey(i), MakeValue(i, 32)).ok());
+    }
+    uint8_t** slot = btree->DebugRecordSlot(MakeKey(11));
+    ASSERT_NE(slot, nullptr);
+    (*slot)[RecordCodec::kHeaderSize] ^= 0x04;
+    std::string v;
+    EXPECT_TRUE(btree->Get(MakeKey(11), &v).IsIntegrityViolation());
+  }
+  {  // Aria-B+
+    StoreBundle bundle;
+    ASSERT_TRUE(
+        CreateStore(TinyCacheOptions(IndexKind::kBPlusTree), &bundle).ok());
+    auto* bplus = static_cast<AriaBPlusTree*>(bundle.store.get());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(bplus->Put(MakeKey(i), MakeValue(i, 32)).ok());
+    }
+    uint8_t** slot = bplus->DebugRecordSlot(MakeKey(11));
+    ASSERT_NE(slot, nullptr);
+    (*slot)[RecordCodec::kHeaderSize] ^= 0x04;
+    std::string v;
+    EXPECT_TRUE(bplus->Get(MakeKey(11), &v).IsIntegrityViolation());
+  }
+  {  // Aria-C
+    StoreBundle bundle;
+    ASSERT_TRUE(
+        CreateStore(TinyCacheOptions(IndexKind::kCuckoo), &bundle).ok());
+    auto* cuckoo = static_cast<AriaCuckoo*>(bundle.store.get());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(cuckoo->Put(MakeKey(i), MakeValue(i, 32)).ok());
+    }
+    uint8_t** cell = cuckoo->DebugSlotCell(MakeKey(11));
+    ASSERT_NE(cell, nullptr);
+    (*cell)[RecordCodec::kHeaderSize] ^= 0x04;
+    std::string v;
+    EXPECT_TRUE(cuckoo->Get(MakeKey(11), &v).IsIntegrityViolation());
+  }
+}
+
+// --- Fault class 2: MAC corruption ------------------------------------------
+
+TEST(MacCorruption, StoredMerkleNodeMacFlipDetected) {
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(TinyCacheOptions(IndexKind::kHash), &bundle).ok());
+  KVStore* store = bundle.store.get();
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(store->Put(MakeKey(i), MakeValue(i, 32)).ok());
+  }
+  // Counters are bump-allocated in Put order, so leaf 0 guards the counters
+  // of the first `arity` keys — long evicted from the ~26-slot cache.
+  FlatMerkleTree* tree = bundle.counter_manager()->tree();
+  testing::FlipStoredMacBit(tree, MtNodeId{0, 0}, /*bit=*/3);
+  int violations = SweepExpectNoWrongData(store, 64, 32);
+  EXPECT_GE(violations, 1);
+}
+
+TEST(MacCorruption, RecordMacFlipDetected) {
+  StoreBundle bundle;
+  ASSERT_TRUE(
+      CreateStore(TinyCacheOptions(IndexKind::kBPlusTree), &bundle).ok());
+  auto* bplus = static_cast<AriaBPlusTree*>(bundle.store.get());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(bplus->Put(MakeKey(i), MakeValue(i, 32)).ok());
+  }
+  uint8_t** slot = bplus->DebugRecordSlot(MakeKey(42));
+  ASSERT_NE(slot, nullptr);
+  RecordHeader h = RecordCodec::Peek(*slot);
+  (*slot)[RecordCodec::kHeaderSize + h.k_len + h.v_len] ^= 0xFF;
+  std::string v;
+  EXPECT_TRUE(bplus->Get(MakeKey(42), &v).IsIntegrityViolation());
+}
+
+// --- Fault class 3: counter rollback / malicious recycling ------------------
+
+TEST(CounterRollback, LeafReplayAfterEvictionDetected) {
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(TinyCacheOptions(IndexKind::kHash), &bundle).ok());
+  KVStore* store = bundle.store.get();
+  auto* cm = bundle.counter_manager();
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(store->Put(MakeKey(i), MakeValue(i, 32)).ok());
+  }
+  // Flush: churn reads over ~100 distinct leaves so every dirty slot from
+  // the prepopulation has been written back.
+  std::string v;
+  for (int i = 1000; i < 1800; i += 8) {
+    ASSERT_TRUE(store->Get(MakeKey(i), &v).ok());
+  }
+
+  std::vector<uint8_t> old_leaf = testing::SnapshotNode(cm->tree(), {0, 0});
+  // Overwrite key 3: bumps its counter (in leaf 0) and re-seals the record.
+  ASSERT_TRUE(store->Put(MakeKey(3), MakeValue(3, 32, /*version=*/2)).ok());
+  uint64_t writebacks = cm->CacheStats().dirty_writebacks;
+  for (int i = 1000; i < 1800; i += 8) {  // force the dirty leaf out
+    ASSERT_TRUE(store->Get(MakeKey(i), &v).ok());
+  }
+  ASSERT_GT(cm->CacheStats().dirty_writebacks, writebacks);
+
+  // Roll the counter leaf back to its pre-bump bytes. The parent MAC was
+  // refreshed at eviction, so the replayed leaf must fail verification.
+  testing::RestoreNode(cm->tree(), {0, 0}, old_leaf);
+  Status st = store->Get(MakeKey(3), &v);
+  EXPECT_TRUE(st.IsIntegrityViolation()) << st.ToString();
+}
+
+TEST(CounterRollback, FreeRingRecyclesInUseCounterDetected) {
+  StoreOptions opts = TinyCacheOptions(IndexKind::kHash);
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+  KVStore* store = bundle.store.get();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store->Put(MakeKey(i), MakeValue(i, 32)).ok());
+  }
+  ASSERT_TRUE(store->Delete(MakeKey(3)).ok());  // counter 3 -> free ring
+
+  ScheduledInjector injector(/*seed=*/7);
+  InjectorScope scope(&injector);
+  // Malicious host rewrites the recycled slot to counter 5, which is still
+  // in use by key 5. The trusted occupation bitmap must reject it.
+  injector.Arm({.site = fault::Site::kFreeRingPop,
+                .kind = FaultKind::kSetValue,
+                .bytes = U64Bytes(5)});
+  Status st = store->Put(MakeKey(1000), MakeValue(1000, 32));
+  EXPECT_EQ(injector.fired(), 1u);
+  EXPECT_TRUE(st.IsIntegrityViolation()) << st.ToString();
+}
+
+TEST(CounterRollback, FreeRingOutOfRangeSlotDetected) {
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(TinyCacheOptions(IndexKind::kHash), &bundle).ok());
+  KVStore* store = bundle.store.get();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(store->Put(MakeKey(i), MakeValue(i, 32)).ok());
+  }
+  ASSERT_TRUE(store->Delete(MakeKey(7)).ok());
+
+  ScheduledInjector injector(/*seed=*/7);
+  InjectorScope scope(&injector);
+  injector.Arm({.site = fault::Site::kFreeRingPop,
+                .kind = FaultKind::kSetValue,
+                .bytes = U64Bytes(1ull << 40)});
+  Status st = store->Put(MakeKey(1000), MakeValue(1000, 32));
+  EXPECT_EQ(injector.fired(), 1u);
+  EXPECT_TRUE(st.IsIntegrityViolation()) << st.ToString();
+}
+
+// --- Fault class 4: record-pointer swaps ------------------------------------
+
+TEST(PointerSwap, RecordPointerSwapDetectedAcrossSchemes) {
+  {  // Aria-H: swap two bucket head pointers (Fig. 7).
+    StoreBundle bundle;
+    StoreOptions opts = TinyCacheOptions(IndexKind::kHash);
+    opts.num_buckets = 16;
+    ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+    auto* hash = static_cast<AriaHash*>(bundle.store.get());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(hash->Put(MakeKey(i), MakeValue(i, 32)).ok());
+    }
+    uint8_t** c1 = hash->DebugBucketCell(MakeKey(0));
+    uint8_t** c2 = nullptr;
+    std::string k2;
+    for (int i = 1; i < 100 && c2 == nullptr; ++i) {
+      uint8_t** c = hash->DebugBucketCell(MakeKey(i));
+      if (c != c1) {
+        c2 = c;
+        k2 = MakeKey(i);
+      }
+    }
+    ASSERT_NE(c2, nullptr);
+    std::swap(*c1, *c2);
+    std::string v;
+    EXPECT_TRUE(hash->Get(MakeKey(0), &v).IsIntegrityViolation());
+    EXPECT_TRUE(hash->Get(k2, &v).IsIntegrityViolation());
+  }
+  {  // Aria-T: swap two record slots.
+    StoreBundle bundle;
+    ASSERT_TRUE(CreateStore(TinyCacheOptions(IndexKind::kBTree), &bundle).ok());
+    auto* btree = static_cast<AriaBTree*>(bundle.store.get());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(btree->Put(MakeKey(i), MakeValue(i, 32)).ok());
+    }
+    uint8_t** s1 = btree->DebugRecordSlot(MakeKey(5));
+    uint8_t** s2 = btree->DebugRecordSlot(MakeKey(80));
+    ASSERT_NE(s1, nullptr);
+    ASSERT_NE(s2, nullptr);
+    std::swap(*s1, *s2);
+    std::string v;
+    Status st1 = btree->Get(MakeKey(5), &v);
+    Status st2 = btree->Get(MakeKey(80), &v);
+    EXPECT_TRUE(st1.IsIntegrityViolation() || st2.IsIntegrityViolation());
+    EXPECT_FALSE(st1.ok() && v == MakeValue(5, 32));
+  }
+  {  // Aria-B+: same attack on the leaf-linked variant.
+    StoreBundle bundle;
+    ASSERT_TRUE(
+        CreateStore(TinyCacheOptions(IndexKind::kBPlusTree), &bundle).ok());
+    auto* bplus = static_cast<AriaBPlusTree*>(bundle.store.get());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(bplus->Put(MakeKey(i), MakeValue(i, 32)).ok());
+    }
+    uint8_t** s1 = bplus->DebugRecordSlot(MakeKey(5));
+    uint8_t** s2 = bplus->DebugRecordSlot(MakeKey(80));
+    ASSERT_NE(s1, nullptr);
+    ASSERT_NE(s2, nullptr);
+    std::swap(*s1, *s2);
+    std::string v;
+    Status st1 = bplus->Get(MakeKey(5), &v);
+    Status st2 = bplus->Get(MakeKey(80), &v);
+    EXPECT_TRUE(st1.IsIntegrityViolation() || st2.IsIntegrityViolation());
+  }
+}
+
+// --- Fault class 5: allocation failures are clean, never corrupting ---------
+
+TEST(AllocFailure, UntrustedAllocFailureIsCleanAcrossSchemes) {
+  const IndexKind kinds[] = {IndexKind::kHash, IndexKind::kBTree,
+                             IndexKind::kCuckoo};
+  for (IndexKind kind : kinds) {
+    StoreBundle bundle;
+    StoreOptions opts;
+    opts.scheme = Scheme::kAria;
+    opts.index = kind;
+    opts.keyspace = 4096;
+    ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+    KVStore* store = bundle.store.get();
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(store->Put(MakeKey(i), MakeValue(i, 32)).ok());
+    }
+
+    ScheduledInjector injector(/*seed=*/7);
+    InjectorScope scope(&injector);
+    injector.Arm({.site = fault::Site::kUntrustedAlloc,
+                  .kind = FaultKind::kFailAlloc,
+                  .repeat = true});
+    Status st = store->Put(MakeKey(500), MakeValue(500, 48));
+    EXPECT_FALSE(st.ok()) << store->name();
+    EXPECT_FALSE(st.IsIntegrityViolation()) << store->name() << ": "
+                                            << st.ToString();
+    EXPECT_GE(injector.fired(), 1u);
+    injector.DisarmAll();
+
+    // The failed Put must not have corrupted anything: all old keys still
+    // read back, and the store accepts new writes again.
+    std::string v;
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(store->Get(MakeKey(i), &v).ok()) << store->name();
+      ASSERT_EQ(v, MakeValue(i, 32)) << store->name();
+    }
+    EXPECT_TRUE(store->Put(MakeKey(500), MakeValue(500, 48)).ok())
+        << store->name();
+    EXPECT_TRUE(store->Get(MakeKey(500), &v).ok());
+    EXPECT_EQ(v, MakeValue(500, 48));
+  }
+}
+
+TEST(AllocFailure, TrustedAllocFailureFailsCreationCleanly) {
+  ScheduledInjector injector(/*seed=*/7);
+  InjectorScope scope(&injector);
+  injector.Arm({.site = fault::Site::kTrustedAlloc,
+                .kind = FaultKind::kFailAlloc,
+                .repeat = true});
+  StoreBundle bundle;
+  Status st = CreateStore(TinyCacheOptions(IndexKind::kHash), &bundle);
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(st.IsIntegrityViolation()) << st.ToString();
+  EXPECT_GE(injector.fired(), 1u);
+}
+
+// --- Fault class 6: dropped / misdirected eviction write-backs --------------
+
+TEST(EvictionWriteback, DroppedWritebackDetected) {
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(TinyCacheOptions(IndexKind::kHash), &bundle).ok());
+  KVStore* store = bundle.store.get();
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(store->Put(MakeKey(i), MakeValue(i, 32)).ok());
+  }
+  std::string v;
+  for (int i = 1000; i < 1800; i += 8) {  // flush pre-existing dirty slots
+    ASSERT_TRUE(store->Get(MakeKey(i), &v).ok());
+  }
+
+  ScheduledInjector injector(/*seed=*/7);
+  InjectorScope scope(&injector);
+  injector.Arm({.site = fault::Site::kEvictionWriteback,
+                .kind = FaultKind::kDropWriteback});
+
+  // The overwrite dirties exactly one counter leaf; the churn evicts it and
+  // the injector swallows the write-back. The ancestors' MACs were already
+  // refreshed, so the stale untrusted leaf must fail re-verification.
+  ASSERT_TRUE(store->Put(MakeKey(5), MakeValue(5, 32, /*version=*/2)).ok());
+  for (int i = 1000; i < 1800 && injector.fired() == 0; i += 8) {
+    ASSERT_TRUE(store->Get(MakeKey(i), &v).ok());
+  }
+  ASSERT_EQ(injector.fired(), 1u);
+  Status st = store->Get(MakeKey(5), &v);
+  EXPECT_TRUE(st.IsIntegrityViolation()) << st.ToString();
+}
+
+TEST(EvictionWriteback, MisdirectedDuplicateWritebackDetected) {
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(TinyCacheOptions(IndexKind::kHash), &bundle).ok());
+  KVStore* store = bundle.store.get();
+  auto* cm = bundle.counter_manager();
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(store->Put(MakeKey(i), MakeValue(i, 32)).ok());
+  }
+  std::string v;
+  for (int i = 1000; i < 1800; i += 8) {
+    ASSERT_TRUE(store->Get(MakeKey(i), &v).ok());
+  }
+
+  ScheduledInjector injector(/*seed=*/7);
+  InjectorScope scope(&injector);
+  // The write-back additionally lands on leaf 1 — home of the counters of
+  // keys arity..2*arity-1 — clobbering them with another leaf's content.
+  injector.Arm({.site = fault::Site::kEvictionWriteback,
+                .kind = FaultKind::kDuplicateWriteback,
+                .target = cm->tree()->NodePtr(0, 1)});
+
+  ASSERT_TRUE(store->Put(MakeKey(5), MakeValue(5, 32, /*version=*/2)).ok());
+  for (int i = 1000; i < 1800 && injector.fired() == 0; i += 8) {
+    ASSERT_TRUE(store->Get(MakeKey(i), &v).ok());
+  }
+  ASSERT_EQ(injector.fired(), 1u);
+
+  size_t arity = 8;
+  int violations = 0;
+  for (uint64_t k = arity; k < 2 * arity; ++k) {
+    Status st = store->Get(MakeKey(k), &v);
+    if (st.ok()) {
+      EXPECT_EQ(v, MakeValue(k, 32)) << "silent wrong data, key " << k;
+    } else {
+      EXPECT_TRUE(st.IsIntegrityViolation()) << st.ToString();
+      violations++;
+    }
+  }
+  EXPECT_GE(violations, 1);
+}
+
+// --- Allocator free-list corruption (hook-driven) ---------------------------
+
+TEST(AllocatorFault, CorruptedFreeListPointerDetected) {
+  sgx::EnclaveRuntime enclave(64ull << 20);
+  HeapAllocator alloc(&enclave);
+  auto a = alloc.Alloc(64);
+  auto b = alloc.Alloc(64);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(alloc.Free(a.value()).ok());
+  ASSERT_TRUE(alloc.Free(b.value()).ok());  // free list: b -> a
+
+  ScheduledInjector injector(/*seed=*/7);
+  InjectorScope scope(&injector);
+  // Corrupt the successor pointer stored inside b as it is popped: the next
+  // pop must reject the misaligned block instead of handing it out.
+  uint8_t* misaligned = static_cast<uint8_t*>(b.value()) + 1;
+  injector.Arm({.site = fault::Site::kFreeListPop,
+                .kind = FaultKind::kSetValue,
+                .bytes = PointerBytes(misaligned)});
+
+  auto pop1 = alloc.Alloc(64);
+  ASSERT_TRUE(pop1.ok());
+  EXPECT_EQ(pop1.value(), b.value());
+  EXPECT_EQ(injector.fired(), 1u);
+
+  auto pop2 = alloc.Alloc(64);
+  ASSERT_FALSE(pop2.ok());
+  EXPECT_TRUE(pop2.status().IsIntegrityViolation())
+      << pop2.status().ToString();
+}
+
+// --- Randomized fault sweep under the differential checker ------------------
+
+// Seeded random bit flips on Merkle node loads while the differential
+// checker replays a mixed workload: the run must end either untouched or in
+// a detected violation — silent divergence from the oracle fails the test.
+TEST(RandomFaultSweep, NeverSilentWrongDataAcrossSchemes) {
+  const IndexKind kinds[] = {IndexKind::kHash, IndexKind::kBTree,
+                             IndexKind::kCuckoo};
+  for (IndexKind kind : kinds) {
+    StoreBundle bundle;
+    ASSERT_TRUE(CreateStore(TinyCacheOptions(kind), &bundle).ok());
+
+    ScheduledInjector injector(/*seed=*/1234);
+    InjectorScope scope(&injector);
+    injector.Arm({.site = fault::Site::kMerkleNodeLoad,
+                  .kind = FaultKind::kFlipRandomBit,
+                  .trigger_after = 500});
+
+    testing::CheckerConfig config;
+    config.gen.seed = 77;
+    config.gen.keyspace = 1024;
+    config.num_ops = 4000;
+    config.prepopulate = 512;
+    config.allow_integrity_violation = true;
+    config.harness = "fault_injection_test";
+    DifferentialChecker checker(config);
+    testing::CheckerReport report;
+    Status st = checker.Run(bundle.store.get(), &report);
+    ASSERT_TRUE(st.ok()) << bundle.store->name() << ": "
+                         << report.description;
+    // The tiny cache guarantees far more than 500 node loads, so the fault
+    // fired and the scheme must have caught it (never silently absorbed).
+    ASSERT_EQ(injector.fired(), 1u) << bundle.store->name();
+    EXPECT_NE(report.integrity_violation_op, UINT64_MAX)
+        << bundle.store->name() << " absorbed an injected flip silently";
+  }
+}
+
+}  // namespace
+}  // namespace aria

@@ -27,9 +27,10 @@ TEST(Integration, AllSchemesSurviveMixedYcsb) {
                         Scheme::kShieldStore, Scheme::kBaseline}) {
     StoreBundle bundle;
     ASSERT_TRUE(CreateStore(SmallOpts(scheme), &bundle).ok());
-    Driver driver;
+    Driver driver(/*seed=*/7);
     ASSERT_TRUE(driver.Prepopulate(bundle.store.get(), 4096, 16).ok());
     YcsbSpec spec;
+    spec.seed = 42;
     spec.keyspace = 4096;
     spec.read_ratio = 0.5;
     auto r = driver.RunYcsb(bundle.store.get(), bundle.enclave.get(), spec,
@@ -44,10 +45,11 @@ TEST(Integration, BothIndexesSurviveEtc) {
     StoreBundle bundle;
     ASSERT_TRUE(CreateStore(SmallOpts(Scheme::kAria, index), &bundle).ok());
     EtcSpec spec;
+    spec.seed = 42;
     spec.keyspace = 4096;
     spec.read_ratio = 0.5;
     EtcWorkload wl(spec);
-    Driver driver;
+    Driver driver(/*seed=*/7);
     ASSERT_TRUE(driver
                     .Prepopulate(bundle.store.get(), 4096,
                                  [&wl](uint64_t id) { return wl.ValueSizeFor(id); })
@@ -68,9 +70,10 @@ TEST(Integration, SkewHitsCacheMoreThanUniform) {
     opts.stop_swap_enabled = false;
     StoreBundle bundle;
     EXPECT_TRUE(CreateStore(opts, &bundle).ok());
-    Driver driver;
+    Driver driver(/*seed=*/7);
     EXPECT_TRUE(driver.Prepopulate(bundle.store.get(), 1 << 15, 16).ok());
     YcsbSpec spec;
+    spec.seed = 42;
     spec.keyspace = 1 << 15;
     spec.distribution = dist;
     spec.read_ratio = 0.95;
@@ -96,9 +99,10 @@ TEST(Integration, StopSwapEngagesUnderUniformOnly) {
     opts.stop_swap_enabled = true;
     StoreBundle bundle;
     EXPECT_TRUE(CreateStore(opts, &bundle).ok());
-    Driver driver;
+    Driver driver(/*seed=*/7);
     EXPECT_TRUE(driver.Prepopulate(bundle.store.get(), 1 << 15, 16).ok());
     YcsbSpec spec;
+    spec.seed = 42;
     spec.keyspace = 1 << 15;
     spec.distribution = dist;
     spec.skewness = 1.1;  // clearly above the stop-swap break-even point
@@ -119,9 +123,10 @@ TEST(Integration, BaselinePagesBeyondEpc) {
     opts.epc_budget_bytes = epc;
     StoreBundle bundle;
     EXPECT_TRUE(CreateStore(opts, &bundle).ok());
-    Driver driver;
+    Driver driver(/*seed=*/7);
     EXPECT_TRUE(driver.Prepopulate(bundle.store.get(), 4096, 400).ok());
     YcsbSpec spec;
+    spec.seed = 42;
     spec.keyspace = 4096;
     spec.distribution = KeyDistribution::kUniform;
     auto r =
@@ -142,9 +147,10 @@ TEST(Integration, AriaAvoidsHardwarePagingEntirely) {
   opts.cache_bytes = 64 * 1024;
   StoreBundle bundle;
   ASSERT_TRUE(CreateStore(opts, &bundle).ok());
-  Driver driver;
+  Driver driver(/*seed=*/7);
   ASSERT_TRUE(driver.Prepopulate(bundle.store.get(), 1 << 15, 64).ok());
   YcsbSpec spec;
+  spec.seed = 42;
   spec.keyspace = 1 << 15;
   auto r = driver.RunYcsb(bundle.store.get(), bundle.enclave.get(), spec,
                           20000);
@@ -164,10 +170,11 @@ TEST(Integration, ShieldStoreReadAmplificationExceedsAria) {
   StoreBundle aria_b, shield_b;
   ASSERT_TRUE(CreateStore(a, &aria_b).ok());
   ASSERT_TRUE(CreateStore(s, &shield_b).ok());
-  Driver driver;
+  Driver driver(/*seed=*/7);
   ASSERT_TRUE(driver.Prepopulate(aria_b.store.get(), 4096, 16).ok());
   ASSERT_TRUE(driver.Prepopulate(shield_b.store.get(), 4096, 16).ok());
   YcsbSpec spec;
+  spec.seed = 42;
   spec.keyspace = 4096;
   auto ra =
       driver.RunYcsb(aria_b.store.get(), aria_b.enclave.get(), spec, 5000);
@@ -227,9 +234,10 @@ TEST(Integration, AriaTreeRangeScanAfterWorkload) {
   StoreBundle bundle;
   ASSERT_TRUE(
       CreateStore(SmallOpts(Scheme::kAria, IndexKind::kBTree), &bundle).ok());
-  Driver driver;
+  Driver driver(/*seed=*/7);
   ASSERT_TRUE(driver.Prepopulate(bundle.store.get(), 1000, 16).ok());
   YcsbSpec spec;
+  spec.seed = 42;
   spec.keyspace = 1000;
   spec.read_ratio = 0.5;
   auto r = driver.RunYcsb(bundle.store.get(), bundle.enclave.get(), spec, 5000);

@@ -58,7 +58,14 @@ TEST_P(RecordSizeSweep, RoundTripAndTamperDetection) {
   uint8_t counter[16];
   rng_.Fill(counter, 16);
 
-  std::vector<uint8_t> rec(RecordCodec::SealedSize(k_len, v_len));
+  // The sealed record, padded with the worst-case slack a tampered header
+  // can address: a flipped k_len/v_len moves the stored-MAC offset by up to
+  // 2 * 65535 bytes, and Verify reads 16 bytes there before the mismatch is
+  // detected. Production records sit inside 4 MB allocator chunks, so that
+  // read hits mapped (garbage) memory; the test buffer must model the same
+  // invariant or the sweep is undefined behavior under ASan.
+  const size_t sealed = RecordCodec::SealedSize(k_len, v_len);
+  std::vector<uint8_t> rec(RecordCodec::SealedSize(65535, 65535), 0);
   codec_.Seal(7, counter, key, value, 0xAD, rec.data());
   ASSERT_TRUE(codec_.Verify(rec.data(), counter, 0xAD).ok());
   std::string k_out, v_out;
@@ -74,7 +81,7 @@ TEST_P(RecordSizeSweep, RoundTripAndTamperDetection) {
   // Any single-byte flip anywhere in the sealed record breaks the MAC.
   Random positions(k_len * 1315423911u + v_len);
   for (int trial = 0; trial < 16; ++trial) {
-    size_t pos = positions.Uniform(rec.size());
+    size_t pos = positions.Uniform(sealed);
     rec[pos] ^= 0x01;
     EXPECT_TRUE(codec_.Verify(rec.data(), counter, 0xAD).IsIntegrityViolation())
         << "flip at " << pos;

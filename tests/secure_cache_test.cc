@@ -375,6 +375,42 @@ TEST_F(SecureCacheTest, DirtyEvictionCostIsLinearInHeight) {
   EXPECT_LE(cache_->stats().mac_verifications - before, 11u);
 }
 
+TEST_F(SecureCacheTest, DirtyEvictionWithUncachedParentRepairsParentMac) {
+  // §IV-B edge case: the dirty victim's parent is NOT cached at eviction
+  // time, so the write-back must swap the parent in through a scratch
+  // buffer (without consuming a cache slot), verify it, refresh the
+  // victim's stored MAC inside it, and propagate upward.
+  Build(SmallConfig(4));
+  uint8_t bumped[16], ctr[16];
+  ASSERT_TRUE(cache_->BumpCounter(0, bumped).ok());
+  ASSERT_TRUE(cache_->IsCached(MtNodeId{0, 0}));
+  ASSERT_FALSE(cache_->IsCached(MtNodeId{1, 0}));  // parent stays uncached
+  uint8_t stored_before[16];
+  std::memcpy(stored_before, tree_->StoredMacPtr(MtNodeId{0, 0}), 16);
+
+  // Churn distinct leaves until the dirty leaf 0 is evicted.
+  for (uint64_t leaf = 1; leaf <= 8; ++leaf) {
+    ASSERT_TRUE(cache_->ReadCounter(leaf * 8, ctr).ok());
+  }
+  ASSERT_FALSE(cache_->IsCached(MtNodeId{0, 0}));
+  ASSERT_FALSE(cache_->IsCached(MtNodeId{1, 0}));
+  EXPECT_GE(cache_->stats().dirty_writebacks, 1u);
+
+  // The parent's stored MAC for leaf 0 must have been replaced with one
+  // matching the bumped leaf content, and be verifiable from untrusted
+  // memory alone.
+  const uint8_t* stored_after = tree_->StoredMacPtr(MtNodeId{0, 0});
+  EXPECT_FALSE(crypto::MacEqual(stored_before, stored_after));
+  uint8_t recomputed[16];
+  tree_->ComputeNodeMac(MtNodeId{0, 0}, recomputed);
+  EXPECT_TRUE(crypto::MacEqual(recomputed, stored_after));
+
+  // The full chain re-verifies and the bumped value survived the round
+  // trip through untrusted memory.
+  ASSERT_TRUE(cache_->ReadCounter(0, ctr).ok());
+  EXPECT_EQ(0, std::memcmp(bumped, ctr, 16));
+}
+
 TEST_F(SecureCacheTest, ManualStopSwapAfterHeavyDirtyState) {
   auto cfg = SmallConfig(8);
   cfg.capacity_bytes = 32 * 152;
