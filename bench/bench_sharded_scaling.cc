@@ -1,0 +1,124 @@
+// Sharded front-end scaling: throughput of an 8-shard Aria hash store as
+// the worker-thread count grows (1/2/4/8), under uniform and Zipfian(0.99)
+// key distributions for YCSB-A (50/50), YCSB-B (95/5) and YCSB-C (reads).
+//
+// Manual time is the makespan lower bound from Driver::RunThreads
+// (max(total_busy/threads, busiest shard)) rather than raw wall time, so
+// the scaling curve is meaningful even on hosts with fewer cores than
+// worker threads. ops_per_s, p50_us and p99_us are reported as counters.
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+#include "core/sharded_store.h"
+#include "workload/ycsb.h"
+
+namespace ariabench {
+namespace {
+
+constexpr uint32_t kShards = 8;
+
+uint64_t BenchKeys() { return Keys(1'000'000); }
+
+std::string Signature() {
+  return "sharded" + std::to_string(kShards) + "-aria-hash-" +
+         std::to_string(BenchKeys());
+}
+
+StoreBundle* SharedStore() {
+  return StoreCache::Instance().Get(
+      Signature(),
+      [](StoreBundle* bundle) {
+        StoreOptions o = PaperOptions(Scheme::kAria, BenchKeys());
+        o.num_shards = kShards;
+        return CreateStore(o, bundle);
+      },
+      [](KVStore* store) {
+        Driver driver;
+        return driver.Prepopulate(store, BenchKeys(), 128);
+      });
+}
+
+void BM_ShardedYcsb(benchmark::State& state, double read_ratio,
+                    KeyDistribution dist) {
+  StoreBundle* bundle = SharedStore();
+  if (bundle == nullptr) {
+    state.SkipWithError("store construction failed");
+    return;
+  }
+  auto* sharded = dynamic_cast<ShardedStore*>(bundle->store.get());
+  if (sharded == nullptr) {
+    state.SkipWithError("factory did not build a ShardedStore");
+    return;
+  }
+  const uint64_t threads = static_cast<uint64_t>(state.range(0));
+  const uint64_t total_ops = Ops(40'000);
+  const uint64_t ops_per_thread = total_ops / threads;
+
+  YcsbSpec spec;
+  spec.keyspace = BenchKeys();
+  spec.read_ratio = read_ratio;
+  spec.value_size = 128;
+  spec.distribution = dist;
+  spec.skewness = 0.99;
+
+  auto gen_for_thread = [&spec](uint64_t thread) -> std::function<Op()> {
+    YcsbSpec s = spec;
+    s.seed = spec.seed + 7919 * (thread + 1);
+    auto wl = std::make_shared<YcsbWorkload>(s);
+    return [wl]() { return wl->Next(); };
+  };
+
+  Driver driver;
+  // Warm-up (untimed): re-establish the hot set after prepopulation.
+  {
+    auto w = driver.RunThreads(sharded, gen_for_thread, threads,
+                               ops_per_thread / 4 + 1);
+    if (!w.ok()) {
+      state.SkipWithError(w.status().ToString().c_str());
+      return;
+    }
+  }
+  for (auto _ : state) {
+    auto r = driver.RunThreads(sharded, gen_for_thread, threads,
+                               ops_per_thread);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    state.SetIterationTime(r->effective_seconds);
+    state.counters["ops_per_s"] = benchmark::Counter(r->Throughput());
+    state.counters["p50_us"] = benchmark::Counter(
+        static_cast<double>(r->latency.PercentileNanos(0.50)) / 1000.0);
+    state.counters["p99_us"] = benchmark::Counter(
+        static_cast<double>(r->latency.PercentileNanos(0.99)) / 1000.0);
+    state.counters["sim_share"] = benchmark::Counter(
+        r->effective_seconds > 0
+            ? r->totals.sim_seconds / (r->totals.sim_seconds +
+                                       r->totals.wall_seconds)
+            : 0);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * ops_per_thread * threads));
+}
+
+#define SHARDED_BENCH(name, read_ratio, dist)                     \
+  BENCHMARK_CAPTURE(BM_ShardedYcsb, name, read_ratio, dist)       \
+      ->Arg(1)                                                    \
+      ->Arg(2)                                                    \
+      ->Arg(4)                                                    \
+      ->Arg(8)                                                    \
+      ->UseManualTime()                                           \
+      ->Unit(benchmark::kMillisecond)
+
+SHARDED_BENCH(A_uniform, 0.50, KeyDistribution::kUniform);
+SHARDED_BENCH(A_zipf99, 0.50, KeyDistribution::kZipfian);
+SHARDED_BENCH(B_uniform, 0.95, KeyDistribution::kUniform);
+SHARDED_BENCH(B_zipf99, 0.95, KeyDistribution::kZipfian);
+SHARDED_BENCH(C_uniform, 1.00, KeyDistribution::kUniform);
+SHARDED_BENCH(C_zipf99, 1.00, KeyDistribution::kZipfian);
+
+}  // namespace
+}  // namespace ariabench

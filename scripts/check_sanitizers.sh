@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
-# Build and run the full test suite under AddressSanitizer and
-# UndefinedBehaviorSanitizer. Usage:
+# Build and run the full test suite under AddressSanitizer,
+# UndefinedBehaviorSanitizer and ThreadSanitizer. Usage:
 #
-#   scripts/check_sanitizers.sh [address|undefined|all]   (default: all)
+#   scripts/check_sanitizers.sh [address|undefined|thread|all]   (default: all)
 #
-# Each sanitizer gets its own build tree (build-asan/, build-ubsan/) so the
-# regular build/ stays untouched. Benchmarks and examples are skipped: the
-# tests are what we want instrumented.
+# Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
+# build-tsan/) so the regular build/ stays untouched. Benchmarks and
+# examples are skipped: the tests are what we want instrumented. The TSan
+# run is what certifies the sharded front-end's locking discipline.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,8 +29,9 @@ run_one() {
 case "${1:-all}" in
   address)   run_one address asan ;;
   undefined) run_one undefined ubsan ;;
-  all)       run_one address asan; run_one undefined ubsan ;;
-  *) echo "usage: $0 [address|undefined|all]" >&2; exit 2 ;;
+  thread)    run_one thread tsan ;;
+  all)       run_one address asan; run_one undefined ubsan; run_one thread tsan ;;
+  *) echo "usage: $0 [address|undefined|thread|all]" >&2; exit 2 ;;
 esac
 
 echo "All sanitizer runs passed."

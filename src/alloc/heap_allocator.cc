@@ -183,6 +183,24 @@ Status HeapAllocator::Free(void* p) {
   return Status::OK();
 }
 
+size_t HeapAllocator::UsableBytes(const void* p) const {
+  uintptr_t addr = reinterpret_cast<uintptr_t>(p);
+  uintptr_t base = addr & ~(kChunkSize - 1);
+  auto it = chunks_.find(base);
+  if (it == chunks_.end()) return 0;
+  const Chunk* chunk = it->second.get();
+  size_t offset = addr - base;
+  if (chunk->huge_chunks > 1) {
+    // A huge allocation is one block of block_size == requested bytes.
+    // Pointers landing in its trailing chunks resolve to an unknown base
+    // and report 0; records are far smaller than a chunk, so any record
+    // pointer falls in the first chunk.
+    return offset < chunk->block_size ? chunk->block_size - offset : 0;
+  }
+  if (offset >= chunk->num_blocks * chunk->block_size) return 0;
+  return chunk->block_size - offset % chunk->block_size;
+}
+
 Result<void*> OcallAllocator::Alloc(size_t size) {
   if (fault::InjectAllocFailure(fault::Site::kUntrustedAlloc, size)) {
     return Status::CapacityExceeded("injected allocation failure");
@@ -191,14 +209,25 @@ Result<void*> OcallAllocator::Alloc(size_t size) {
   guard.CopyParams(sizeof(size_t) + sizeof(void*));
   void* p = std::malloc(size);
   if (p == nullptr) return Status::CapacityExceeded("host OOM");
+  live_[reinterpret_cast<uintptr_t>(p)] = size;
   return p;
 }
 
 Status OcallAllocator::Free(void* p) {
   sgx::OcallGuard guard(enclave_);
   guard.CopyParams(sizeof(void*));
+  live_.erase(reinterpret_cast<uintptr_t>(p));
   std::free(p);
   return Status::OK();
+}
+
+size_t OcallAllocator::UsableBytes(const void* p) const {
+  uintptr_t addr = reinterpret_cast<uintptr_t>(p);
+  auto it = live_.upper_bound(addr);
+  if (it == live_.begin()) return 0;
+  --it;
+  uintptr_t end = it->first + it->second;
+  return addr < end ? end - addr : 0;
 }
 
 }  // namespace aria

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -34,6 +35,13 @@ class UntrustedAllocator {
   /// IntegrityViolation if the pointer fails validation (double free,
   /// pointer not block-aligned, unknown chunk).
   virtual Status Free(void* p) = 0;
+
+  /// Bytes usable from `p` — which may point *inside* an allocated block —
+  /// to the end of that block, or 0 if `p` lies in no allocation this
+  /// allocator manages. This is the trusted allocation bound that
+  /// RecordCodec::Verify uses to reject untrusted header lengths before
+  /// they can steer a read past the record's block.
+  virtual size_t UsableBytes(const void* p) const = 0;
 };
 
 /// Statistics exposed by HeapAllocator for tests and the memory analysis
@@ -61,6 +69,7 @@ class HeapAllocator : public UntrustedAllocator {
 
   Result<void*> Alloc(size_t size) override;
   Status Free(void* p) override;
+  size_t UsableBytes(const void* p) const override;
 
   /// Size class that would service `size` (exposed for tests).
   static size_t RoundUpToClass(size_t size);
@@ -97,9 +106,14 @@ class OcallAllocator : public UntrustedAllocator {
   explicit OcallAllocator(sgx::EnclaveRuntime* enclave) : enclave_(enclave) {}
   Result<void*> Alloc(size_t size) override;
   Status Free(void* p) override;
+  size_t UsableBytes(const void* p) const override;
 
  private:
   sgx::EnclaveRuntime* enclave_;
+  // Live allocations (base -> size), ordered so interior pointers can be
+  // resolved with upper_bound. Trusted metadata, mirrors what a real
+  // enclave would have to track to bound untrusted lengths.
+  std::map<uintptr_t, size_t> live_;
 };
 
 }  // namespace aria

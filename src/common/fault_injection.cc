@@ -1,13 +1,20 @@
 #include "common/fault_injection.h"
 
+#include <atomic>
+
 namespace aria::fault {
 
 namespace {
-Injector* g_injector = nullptr;
+// Atomic so installing/clearing the injector on one thread while workers
+// pass through hooks on others is well-defined (the concurrency tests
+// always install before spawning, but TSan verifies the latch itself).
+std::atomic<Injector*> g_injector{nullptr};
 }  // namespace
 
-Injector* Get() { return g_injector; }
+Injector* Get() { return g_injector.load(std::memory_order_acquire); }
 
-void Set(Injector* injector) { g_injector = injector; }
+void Set(Injector* injector) {
+  g_injector.store(injector, std::memory_order_release);
+}
 
 }  // namespace aria::fault

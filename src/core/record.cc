@@ -1,7 +1,9 @@
 #include "core/record.h"
 
+#include <cstdint>
 #include <cstring>
 
+#include "alloc/heap_allocator.h"
 #include "crypto/ctr.h"
 
 namespace aria {
@@ -57,7 +59,22 @@ void RecordCodec::Seal(uint64_t red_ptr, const uint8_t counter[16], Slice key,
 
 Status RecordCodec::Verify(const uint8_t* rec, const uint8_t counter[16],
                            uint64_t ad_field) const {
+  size_t bound = allocator_ != nullptr ? allocator_->UsableBytes(rec)
+                                       : SIZE_MAX;
+  return Verify(rec, counter, ad_field, bound);
+}
+
+Status RecordCodec::Verify(const uint8_t* rec, const uint8_t counter[16],
+                           uint64_t ad_field, size_t bound) const {
   RecordHeader h = Peek(rec);
+  // k_len/v_len are untrusted until the MAC is checked, but the MAC itself
+  // sits at an offset derived from them: reject any claimed extent that
+  // leaves the record's allocation before reading a single byte past the
+  // header (a tampered length would otherwise steer the ciphertext and
+  // stored-MAC reads out of bounds).
+  if (SealedSize(h.k_len, h.v_len) > bound) {
+    return Status::IntegrityViolation("record header lengths exceed allocation");
+  }
   uint8_t mac[16];
   ComputeMac(rec, counter, ad_field, mac);
   const uint8_t* stored = rec + kHeaderSize + h.k_len + h.v_len;

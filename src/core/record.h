@@ -27,6 +27,8 @@
 
 namespace aria {
 
+class UntrustedAllocator;
+
 /// Plain header fields, readable without verification.
 struct RecordHeader {
   uint64_t red_ptr;
@@ -44,9 +46,15 @@ class RecordCodec {
   static constexpr size_t kMaxKeyLen = UINT16_MAX;
   static constexpr size_t kMaxValueLen = UINT16_MAX;
 
+  /// `allocator` (optional) is the untrusted allocator records live in;
+  /// when set, Verify bounds the untrusted header lengths by the record's
+  /// allocation before deriving the MAC offset from them. The factory
+  /// always wires it; only unit tests sealing into stack/vector buffers
+  /// pass nullptr.
   RecordCodec(sgx::EnclaveRuntime* enclave, const crypto::Aes128* aes,
-              const crypto::Cmac128* cmac)
-      : enclave_(enclave), aes_(aes), cmac_(cmac) {}
+              const crypto::Cmac128* cmac,
+              const UntrustedAllocator* allocator = nullptr)
+      : enclave_(enclave), aes_(aes), cmac_(cmac), allocator_(allocator) {}
 
   /// Bytes a sealed record occupies.
   static size_t SealedSize(size_t k_len, size_t v_len) {
@@ -63,9 +71,17 @@ class RecordCodec {
             Slice value, uint64_t ad_field, uint8_t* out) const;
 
   /// Verify the record MAC against the trusted counter and the expected
-  /// AdField. Returns IntegrityViolation on any mismatch.
+  /// AdField. Returns IntegrityViolation on any mismatch. The stored-MAC
+  /// offset depends on the (untrusted) header lengths, so when the codec
+  /// knows the allocator it first rejects any record whose claimed
+  /// SealedSize exceeds the allocation the record sits in.
   Status Verify(const uint8_t* rec, const uint8_t counter[16],
                 uint64_t ad_field) const;
+
+  /// Verify with an explicit allocation bound: the record may claim at
+  /// most `bound` bytes from `rec` to the end of its MAC.
+  Status Verify(const uint8_t* rec, const uint8_t counter[16],
+                uint64_t ad_field, size_t bound) const;
 
   /// Decrypt the record into (key, value). Call only after Verify.
   void Open(const uint8_t* rec, const uint8_t counter[16], std::string* key,
@@ -94,6 +110,7 @@ class RecordCodec {
   sgx::EnclaveRuntime* enclave_;
   const crypto::Aes128* aes_;
   const crypto::Cmac128* cmac_;
+  const UntrustedAllocator* allocator_;
 };
 
 }  // namespace aria

@@ -1,0 +1,151 @@
+#include "core/sharded_store.h"
+
+#include <mutex>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace aria {
+
+namespace {
+
+// Distinct from the bucket hash (seed 0) and the key-hint hash: a shard
+// modulus correlated with the in-shard bucket modulus would leave every
+// shard populating only 1/N of its buckets.
+constexpr uint64_t kShardHashSeed = 0x5A17ED0DULL;
+
+uint64_t Divided(uint64_t total, uint32_t n, uint64_t floor) {
+  uint64_t per = total / n;
+  return per < floor ? floor : per;
+}
+
+}  // namespace
+
+Status ShardedStore::Create(const StoreOptions& base,
+                            std::unique_ptr<ShardedStore>* out) {
+  if (base.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (base.shard_shared_reads &&
+      !(base.scheme == Scheme::kBaseline && base.index == IndexKind::kHash &&
+        !base.cost_model.enabled)) {
+    // Every SGX-simulated read path mutates shared state (Secure Cache
+    // swap-ins, CLOCK paging, stats); shared-mode reads are only sound
+    // where Get is genuinely const.
+    return Status::InvalidArgument(
+        "shard_shared_reads requires a const read path "
+        "(Baseline hash with the cost model disabled)");
+  }
+
+  const uint32_t n = base.num_shards;
+  auto sharded = std::unique_ptr<ShardedStore>(new ShardedStore());
+  sharded->shared_reads_ = base.shard_shared_reads;
+  for (uint32_t i = 0; i < n; ++i) {
+    StoreOptions opts = base;
+    opts.num_shards = 1;
+    opts.shard_shared_reads = false;
+    // Split the sizing budgets across shards, with floors so tiny test
+    // configurations still construct.
+    opts.keyspace = Divided(base.keyspace + n - 1, n, 1024);
+    opts.epc_budget_bytes = Divided(base.epc_budget_bytes, n, 1ull << 20);
+    if (base.cache_bytes != 0) {
+      opts.cache_bytes = Divided(base.cache_bytes, n, 4096);
+    }
+    if (base.num_buckets != 0) {
+      opts.num_buckets = Divided(base.num_buckets, n, 64);
+    }
+    if (base.shieldstore_buckets != 0) {
+      opts.shieldstore_buckets = Divided(base.shieldstore_buckets, n, 64);
+    }
+    // Decorrelate per-shard key material and RNG streams.
+    opts.seed = base.seed + 0x9E3779B97F4A7C15ull * (i + 1);
+
+    auto shard = std::make_unique<Shard>();
+    ARIA_RETURN_IF_ERROR(CreateStore(opts, &shard->bundle));
+    shard->ordered = dynamic_cast<OrderedKVStore*>(shard->bundle.store.get());
+    sharded->shards_.push_back(std::move(shard));
+  }
+  sharded->ordered_ = sharded->shards_[0]->ordered != nullptr;
+  sharded->name_ = "Sharded[" + std::to_string(n) + "] " +
+                   sharded->shards_[0]->bundle.label;
+  *out = std::move(sharded);
+  return Status::OK();
+}
+
+uint32_t ShardedStore::ShardOf(Slice key) const {
+  return static_cast<uint32_t>(Hash64(key.data(), key.size(), kShardHashSeed) %
+                               shards_.size());
+}
+
+Status ShardedStore::Put(Slice key, Slice value) {
+  Shard& s = *shards_[ShardOf(key)];
+  std::unique_lock<std::shared_mutex> lock(s.mu);
+  return s.bundle.store->Put(key, value);
+}
+
+Status ShardedStore::Get(Slice key, std::string* value) {
+  Shard& s = *shards_[ShardOf(key)];
+  if (shared_reads_) {
+    std::shared_lock<std::shared_mutex> lock(s.mu);
+    return s.bundle.store->Get(key, value);
+  }
+  std::unique_lock<std::shared_mutex> lock(s.mu);
+  return s.bundle.store->Get(key, value);
+}
+
+Status ShardedStore::Delete(Slice key) {
+  Shard& s = *shards_[ShardOf(key)];
+  std::unique_lock<std::shared_mutex> lock(s.mu);
+  return s.bundle.store->Delete(key);
+}
+
+Status ShardedStore::RangeScan(
+    Slice start, size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  if (!ordered_) {
+    return Status::InvalidArgument("RangeScan on an unordered sharded store");
+  }
+  // Scan every shard for the full limit (any shard might hold all of the
+  // first `limit` keys), one lock at a time — never two shard locks at
+  // once, so lock ordering is a non-issue.
+  std::vector<std::vector<std::pair<std::string, std::string>>> runs(
+      shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = *shards_[i];
+    if (shared_reads_) {
+      std::shared_lock<std::shared_mutex> lock(s.mu);
+      ARIA_RETURN_IF_ERROR(s.ordered->RangeScan(start, limit, &runs[i]));
+    } else {
+      std::unique_lock<std::shared_mutex> lock(s.mu);
+      ARIA_RETURN_IF_ERROR(s.ordered->RangeScan(start, limit, &runs[i]));
+    }
+  }
+  // K-way merge of the per-shard sorted runs; shards hold disjoint keys, so
+  // there are no ties to break.
+  std::vector<size_t> pos(runs.size(), 0);
+  while (out->size() < limit) {
+    int best = -1;
+    for (size_t i = 0; i < runs.size(); ++i) {
+      if (pos[i] >= runs[i].size()) continue;
+      if (best < 0 || runs[i][pos[i]].first < runs[best][pos[best]].first) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    out->push_back(std::move(runs[best][pos[best]]));
+    pos[best]++;
+  }
+  return Status::OK();
+}
+
+uint64_t ShardedStore::size() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    total += shard->bundle.store->size();
+  }
+  return total;
+}
+
+}  // namespace aria

@@ -1,0 +1,96 @@
+// Sharded concurrent front-end (towards the multi-tenant setting of §VI,
+// Fig. 16): the keyspace is hash-partitioned across N fully independent
+// store instances from the factory. Each shard owns its own simulated
+// enclave, untrusted heap, record codec, counter area and (for Aria)
+// Secure Cache + Merkle trees — mirroring the paper's per-tenant MT
+// carve-out, where tenants never share integrity metadata.
+//
+// Locking discipline: one std::shared_mutex per shard. Put/Delete take it
+// exclusive. Get/RangeScan *also* take it exclusive by default, because in
+// this reproduction every SGX-simulated read path writes shared state (the
+// Secure Cache swaps counters in and out, the enclave runtime advances its
+// CLOCK paging hand and statistics, the indexes keep scratch buffers) — a
+// shared-mode read would be a data race, and TSan agrees. The
+// shard_shared_reads option enables true reader parallelism for the one
+// configuration whose Get is genuinely const: the Baseline hash scheme
+// with the cost model disabled. See DESIGN.md §8.
+//
+// Cross-shard RangeScan (ordered schemes): each shard is scanned for the
+// full limit under its own lock, then the per-shard sorted runs are k-way
+// merged and truncated. Shards hold disjoint keys, so no deduplication is
+// needed. The scan is not atomic across shards: locks are taken one shard
+// at a time (which also makes deadlock impossible).
+#pragma once
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/kv_store.h"
+#include "core/store_factory.h"
+
+namespace aria {
+
+class ShardedStore : public OrderedKVStore {
+ public:
+  /// Build `base.num_shards` shards. Each shard gets the base options with
+  /// keyspace / EPC budget / cache / bucket sizing divided by the shard
+  /// count, num_shards reset to 1, and a per-shard seed, then goes through
+  /// the normal factory. Fails if any shard fails (InvalidArgument for
+  /// shard_shared_reads on a config whose reads are not const).
+  static Status Create(const StoreOptions& base,
+                       std::unique_ptr<ShardedStore>* out);
+
+  Status Put(Slice key, Slice value) override;
+  Status Get(Slice key, std::string* value) override;
+  Status Delete(Slice key) override;
+  Status RangeScan(
+      Slice start, size_t limit,
+      std::vector<std::pair<std::string, std::string>>* out) override;
+
+  const char* name() const override { return name_.c_str(); }
+  uint64_t size() const override;
+
+  /// Which shard `key` lives in. Stable across the store's lifetime; uses
+  /// a hash seed distinct from the bucket / key-hint hashes so the shard
+  /// modulus does not correlate with in-shard bucket selection.
+  uint32_t ShardOf(Slice key) const;
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  bool ordered() const { return ordered_; }
+  bool shared_reads() const { return shared_reads_; }
+
+  /// The underlying bundle of shard `i` (tests reach through this for the
+  /// per-shard enclave, allocator and counter manager).
+  StoreBundle& shard_bundle(uint32_t i) { return shards_[i]->bundle; }
+
+  /// Simulated cycles charged by shard `i`'s enclave so far. Only
+  /// meaningful while no worker threads are running (callers snapshot
+  /// before spawning and after joining).
+  uint64_t shard_charged_cycles(uint32_t i) const {
+    return shards_[i]->bundle.enclave->stats().charged_cycles;
+  }
+
+  /// Cost model shared by every shard (copies of the base options' model).
+  const sgx::CostModel& cost_model() const {
+    return shards_[0]->bundle.enclave->cost_model();
+  }
+
+ private:
+  struct Shard {
+    StoreBundle bundle;
+    OrderedKVStore* ordered = nullptr;  // non-null iff the scheme is ordered
+    mutable std::shared_mutex mu;
+  };
+
+  ShardedStore() = default;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool ordered_ = false;
+  bool shared_reads_ = false;
+  std::string name_;
+};
+
+}  // namespace aria

@@ -1,5 +1,7 @@
 #include "core/store_factory.h"
 
+#include "core/sharded_store.h"
+
 namespace aria {
 
 namespace {
@@ -25,6 +27,16 @@ uint64_t DefaultShieldBuckets(uint64_t keyspace) {
 }  // namespace
 
 Status CreateStore(const StoreOptions& options, StoreBundle* out) {
+  if (options.num_shards > 1) {
+    // The sharded front-end recursively builds one single-shard bundle per
+    // shard; the outer bundle only carries the combined store and label.
+    std::unique_ptr<ShardedStore> sharded;
+    ARIA_RETURN_IF_ERROR(ShardedStore::Create(options, &sharded));
+    out->label = sharded->name();
+    out->store = std::move(sharded);
+    return Status::OK();
+  }
+
   out->enclave = std::make_unique<sgx::EnclaveRuntime>(
       options.epc_budget_bytes, options.cost_model);
   out->rng = std::make_unique<crypto::SecureRandom>(options.seed);
@@ -44,7 +56,8 @@ Status CreateStore(const StoreOptions& options, StoreBundle* out) {
     out->allocator = std::make_unique<OcallAllocator>(out->enclave.get());
   }
   out->codec = std::make_unique<RecordCodec>(out->enclave.get(),
-                                             out->aes.get(), out->cmac.get());
+                                             out->aes.get(), out->cmac.get(),
+                                             out->allocator.get());
 
   const uint64_t keyspace = options.keyspace;
   switch (options.scheme) {

@@ -61,6 +61,18 @@ struct StoreOptions {
   uint64_t num_buckets = 0;          ///< Aria-H / Baseline hash buckets
   uint64_t shieldstore_buckets = 0;  ///< == MT roots in EPC
 
+  // --- sharded front-end ---
+  /// >1 hash-partitions the keyspace across that many independent shards
+  /// (each with its own enclave, allocator, Secure Cache and Merkle trees)
+  /// behind a ShardedStore with per-shard locking; keyspace/EPC/cache/bucket
+  /// budgets are divided between the shards.
+  uint32_t num_shards = 1;
+  /// Take shared (reader-parallel) shard locks for Get/RangeScan. Only
+  /// valid for configs whose read path is const: Baseline hash with
+  /// cost_model.enabled == false. Everything SGX-simulated mutates cache /
+  /// paging state on reads and must keep the exclusive default.
+  bool shard_shared_reads = false;
+
   uint64_t seed = 42;
 };
 

@@ -8,10 +8,14 @@ ScheduledInjector::ScheduledInjector(uint64_t seed)
     : rng_(seed * 0xD1B54A32D192ED03ull + 7) {}
 
 void ScheduledInjector::Arm(FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
   armed_.push_back(Armed{std::move(spec), 0, false});
 }
 
-void ScheduledInjector::DisarmAll() { armed_.clear(); }
+void ScheduledInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+}
 
 bool ScheduledInjector::Due(Armed* armed) {
   if (armed->spent) return false;
@@ -45,6 +49,7 @@ void ScheduledInjector::Mutate(const FaultSpec& spec, uint8_t* p, size_t len) {
 
 void ScheduledInjector::OnUntrustedRead(fault::Site site, uint8_t* p,
                                         size_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
   events_[static_cast<size_t>(site)]++;
   for (Armed& a : armed_) {
     if (a.spec.site != site) continue;
@@ -59,6 +64,7 @@ void ScheduledInjector::OnUntrustedRead(fault::Site site, uint8_t* p,
 
 bool ScheduledInjector::FailAlloc(fault::Site site, size_t bytes) {
   (void)bytes;
+  std::lock_guard<std::mutex> lock(mu_);
   events_[static_cast<size_t>(site)]++;
   for (Armed& a : armed_) {
     if (a.spec.site != site || a.spec.kind != FaultKind::kFailAlloc) continue;
@@ -73,6 +79,7 @@ bool ScheduledInjector::FailAlloc(fault::Site site, size_t bytes) {
 bool ScheduledInjector::OnEvictionWriteback(uint8_t* dst, const uint8_t* src,
                                             size_t len) {
   (void)dst;
+  std::lock_guard<std::mutex> lock(mu_);
   events_[static_cast<size_t>(fault::Site::kEvictionWriteback)]++;
   bool drop = false;
   for (Armed& a : armed_) {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/fault_injection.h"
@@ -45,6 +46,10 @@ struct FaultSpec {
   uint8_t* target = nullptr;   ///< kDuplicateWriteback: duplicate dst
 };
 
+/// Thread-safe: hooks may fire concurrently from several store shards and
+/// the concurrency tests poll fired() from other threads; one internal
+/// mutex serializes the schedule (the hooks are rare and cheap, so the
+/// lock is not a bottleneck in tests).
 class ScheduledInjector : public fault::Injector {
  public:
   explicit ScheduledInjector(uint64_t seed = 1);
@@ -57,10 +62,14 @@ class ScheduledInjector : public fault::Injector {
   void DisarmAll();
 
   /// Total faults actually injected so far.
-  uint64_t fired() const { return fired_; }
+  uint64_t fired() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fired_;
+  }
 
   /// Events observed at `site` (fired or not).
   uint64_t events(fault::Site site) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return events_[static_cast<size_t>(site)];
   }
 
@@ -81,6 +90,7 @@ class ScheduledInjector : public fault::Injector {
   bool Due(Armed* armed);
   void Mutate(const FaultSpec& spec, uint8_t* p, size_t len);
 
+  mutable std::mutex mu_;
   Random rng_;
   std::vector<Armed> armed_;
   uint64_t events_[static_cast<size_t>(fault::Site::kNumSites)] = {0};

@@ -1,8 +1,14 @@
 #include "workload/driver.h"
 
+#include <algorithm>
+#include <bit>
 #include <chrono>
+#include <ctime>
+#include <thread>
+#include <vector>
 
 #include "common/random.h"
+#include "core/sharded_store.h"
 
 namespace aria {
 
@@ -15,7 +21,44 @@ double Now() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+// Per-thread CPU clock: counts only the cycles this thread actually burned,
+// excluding preemption and futex waits. RunThreads attributes per-op cost
+// with this clock so the makespan model stays meaningful when the host has
+// fewer cores than worker threads (wall time would charge scheduler noise
+// to whichever shard the op happened to touch).
+uint64_t ThreadCpuNanos() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
 }  // namespace
+
+void LatencyHistogram::Record(uint64_t nanos) {
+  int b = nanos == 0 ? 0 : std::bit_width(nanos);
+  if (b >= kBuckets) b = kBuckets - 1;
+  counts_[b]++;
+  total_++;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+uint64_t LatencyHistogram::PercentileNanos(double p) const {
+  if (total_ == 0) return 0;
+  uint64_t target = static_cast<uint64_t>(p * static_cast<double>(total_));
+  if (target < 1) target = 1;
+  if (target > total_) target = total_;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= target) return (1ull << i) - 1;
+  }
+  return (1ull << (kBuckets - 1)) - 1;
+}
 
 Driver::Driver(uint64_t seed) {
   blob_.resize(kBlobSize + kMaxValue);
@@ -96,6 +139,117 @@ Result<RunResult> Driver::RunEtc(KVStore* store, sgx::EnclaveRuntime* enclave,
                                  const EtcSpec& spec, uint64_t num_ops) {
   EtcWorkload wl(spec);
   return Run(store, enclave, [&wl]() { return wl.Next(); }, num_ops);
+}
+
+Result<ThreadRunResult> Driver::RunThreads(
+    ShardedStore* store,
+    const std::function<std::function<Op()>(uint64_t thread)>& gen_for_thread,
+    uint64_t threads, uint64_t ops_per_thread) {
+  if (threads == 0) return Status::InvalidArgument("threads must be >= 1");
+  const uint32_t shards = store->num_shards();
+
+  struct Worker {
+    RunResult r;
+    LatencyHistogram hist;
+    std::vector<double> shard_cpu;
+    Status status = Status::OK();
+  };
+  std::vector<Worker> workers(threads);
+  // Build every generator on this thread before spawning, so per-thread
+  // RNG construction cannot race.
+  std::vector<std::function<Op()>> gens;
+  gens.reserve(threads);
+  for (uint64_t t = 0; t < threads; ++t) gens.push_back(gen_for_thread(t));
+
+  std::vector<uint64_t> cycles_before(shards);
+  for (uint32_t i = 0; i < shards; ++i) {
+    cycles_before[i] = store->shard_charged_cycles(i);
+  }
+
+  double t0 = Now();
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (uint64_t t = 0; t < threads; ++t) {
+    Worker* w = &workers[t];
+    std::function<Op()> next = std::move(gens[t]);
+    pool.emplace_back([this, store, w, next = std::move(next), ops_per_thread,
+                       shards]() {
+      w->shard_cpu.assign(shards, 0.0);
+      std::string value;
+      for (uint64_t i = 0; i < ops_per_thread; ++i) {
+        Op op = next();
+        std::string key = MakeKey(op.key_id);
+        uint32_t shard = store->ShardOf(key);
+        uint64_t start = ThreadCpuNanos();
+        Status st = Status::OK();
+        switch (op.type) {
+          case OpType::kGet: {
+            st = store->Get(key, &value);
+            if (st.IsNotFound()) {
+              w->r.not_found++;
+              st = Status::OK();
+            }
+            w->r.gets++;
+            break;
+          }
+          case OpType::kPut:
+            st = store->Put(key, ValueFor(op.key_id, op.value_size));
+            w->r.puts++;
+            break;
+          case OpType::kDelete: {
+            st = store->Delete(key);
+            if (st.IsNotFound()) st = Status::OK();
+            break;
+          }
+        }
+        uint64_t ns = ThreadCpuNanos() - start;
+        w->hist.Record(ns);
+        w->shard_cpu[shard] += static_cast<double>(ns) * 1e-9;
+        w->r.ops++;
+        if (!st.ok()) {
+          w->status = st;
+          break;
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  double wall = Now() - t0;
+
+  ThreadRunResult out;
+  out.num_threads = threads;
+  out.totals.wall_seconds = wall;
+  std::vector<double> shard_busy(shards, 0.0);
+  for (const Worker& w : workers) {
+    if (!w.status.ok()) return w.status;
+    out.totals.ops += w.r.ops;
+    out.totals.gets += w.r.gets;
+    out.totals.puts += w.r.puts;
+    out.totals.not_found += w.r.not_found;
+    out.latency.Merge(w.hist);
+    for (uint32_t i = 0; i < shards; ++i) shard_busy[i] += w.shard_cpu[i];
+  }
+  // Per-shard simulated time: each shard's enclave is only driven under
+  // that shard's lock, so the cycle delta is exact and race-free once the
+  // workers have joined.
+  const sgx::CostModel& model = store->cost_model();
+  for (uint32_t i = 0; i < shards; ++i) {
+    uint64_t delta = store->shard_charged_cycles(i) - cycles_before[i];
+    double sim = model.CyclesToSeconds(delta);
+    out.totals.sim_seconds += sim;
+    shard_busy[i] += sim;
+  }
+  double total_busy = 0.0;
+  double max_busy = 0.0;
+  for (double b : shard_busy) {
+    total_busy += b;
+    max_busy = std::max(max_busy, b);
+  }
+  out.total_busy_seconds = total_busy;
+  out.max_shard_busy_seconds = max_busy;
+  out.effective_seconds =
+      std::max(total_busy / static_cast<double>(threads), max_busy);
+  return out;
 }
 
 }  // namespace aria

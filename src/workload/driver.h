@@ -13,6 +13,8 @@
 
 namespace aria {
 
+class ShardedStore;
+
 struct RunResult {
   uint64_t ops = 0;
   uint64_t gets = 0;
@@ -25,6 +27,52 @@ struct RunResult {
   double Throughput() const {
     double t = TotalSeconds();
     return t > 0 ? static_cast<double>(ops) / t : 0.0;
+  }
+};
+
+/// Log2-bucketed latency histogram (nanoseconds). Cheap enough for the
+/// per-op path; each worker thread keeps its own and they are merged after
+/// the run.
+class LatencyHistogram {
+ public:
+  void Record(uint64_t nanos);
+  void Merge(const LatencyHistogram& other);
+  uint64_t total() const { return total_; }
+
+  /// Upper bound (ns) of the bucket holding quantile `p` in (0, 1]; 0 when
+  /// the histogram is empty.
+  uint64_t PercentileNanos(double p) const;
+
+ private:
+  static constexpr int kBuckets = 40;  // up to ~9 minutes per op
+  uint64_t counts_[kBuckets] = {};
+  uint64_t total_ = 0;
+};
+
+/// Result of a multi-threaded run against a ShardedStore.
+struct ThreadRunResult {
+  /// ops/gets/puts/not_found summed over workers; wall_seconds is the
+  /// spawn-to-join wall time, sim_seconds the summed per-shard enclave
+  /// charge deltas.
+  RunResult totals;
+  uint64_t num_threads = 1;
+  /// Per-op cost is measured with the per-thread CPU clock (work actually
+  /// done, excluding preemption and lock waits) and attributed to the shard
+  /// the key hashed to; per-shard simulated enclave time is added on top.
+  double total_busy_seconds = 0.0;      ///< sum over shards of cpu + sim
+  double max_shard_busy_seconds = 0.0;  ///< busiest shard's cpu + sim
+  /// Makespan lower bound: max(total_busy/num_threads, max_shard_busy) —
+  /// perfect balance vs the serial floor of the busiest shard. The host
+  /// may have fewer cores than worker threads (CI runs on one), so raw
+  /// wall time cannot exhibit scaling; this is what an M-core host could
+  /// achieve with this shard assignment. See DESIGN.md §8.
+  double effective_seconds = 0.0;
+  LatencyHistogram latency;
+
+  double Throughput() const {
+    return effective_seconds > 0
+               ? static_cast<double>(totals.ops) / effective_seconds
+               : 0.0;
   }
 };
 
@@ -51,6 +99,19 @@ class Driver {
 
   Result<RunResult> RunEtc(KVStore* store, sgx::EnclaveRuntime* enclave,
                            const EtcSpec& spec, uint64_t num_ops);
+
+  /// Run `threads` workers against a sharded store, each replaying
+  /// `ops_per_thread` ops from its own generator. `gen_for_thread(t)` is
+  /// invoked on the calling thread before any worker spawns, so it can
+  /// hand each worker a private RNG stream with no shared state. Per-op
+  /// thread-CPU time (service time, not queueing) is attributed to the
+  /// shard the key hashes to; per-shard simulated time is each enclave's
+  /// cycle delta, read after the join.
+  Result<ThreadRunResult> RunThreads(
+      ShardedStore* store,
+      const std::function<std::function<Op()>(uint64_t thread)>&
+          gen_for_thread,
+      uint64_t threads, uint64_t ops_per_thread);
 
  private:
   /// Value payload for a Put: a view into a pre-generated random blob so

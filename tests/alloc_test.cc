@@ -182,5 +182,47 @@ TEST(OcallAllocator, EveryCallCrossesBoundary) {
   EXPECT_EQ(rt.stats().ocalls, 2u);
 }
 
+// --- UsableBytes: the trusted bound RecordCodec::Verify builds on -----------
+
+TEST_F(HeapAllocatorTest, UsableBytesReportsBlockRemainder) {
+  auto a = alloc_.Alloc(50);  // lands in the 64-byte class
+  ASSERT_TRUE(a.ok());
+  uint8_t* p = static_cast<uint8_t*>(a.value());
+  EXPECT_EQ(alloc_.UsableBytes(p), HeapAllocator::RoundUpToClass(50));
+  // Interior pointers (Aria-H records sit 16 bytes into their entry block)
+  // get the remainder to the end of the block.
+  EXPECT_EQ(alloc_.UsableBytes(p + 16),
+            HeapAllocator::RoundUpToClass(50) - 16);
+  EXPECT_EQ(alloc_.UsableBytes(p + HeapAllocator::RoundUpToClass(50) - 1), 1u);
+  // A pointer the allocator never handed out resolves to no allocation.
+  uint8_t stack_byte = 0;
+  EXPECT_EQ(alloc_.UsableBytes(&stack_byte), 0u);
+  ASSERT_TRUE(alloc_.Free(p).ok());
+}
+
+TEST_F(HeapAllocatorTest, UsableBytesOnHugeAllocation) {
+  constexpr size_t kHuge = HeapAllocator::kChunkSize + 512;
+  auto a = alloc_.Alloc(kHuge);
+  ASSERT_TRUE(a.ok());
+  uint8_t* p = static_cast<uint8_t*>(a.value());
+  EXPECT_EQ(alloc_.UsableBytes(p), kHuge);
+  EXPECT_EQ(alloc_.UsableBytes(p + 100), kHuge - 100);
+  ASSERT_TRUE(alloc_.Free(p).ok());
+}
+
+TEST(OcallAllocator, UsableBytesTracksLiveAllocations) {
+  sgx::EnclaveRuntime rt(64ull * 1024 * 1024);
+  OcallAllocator alloc(&rt);
+  auto a = alloc.Alloc(100);
+  ASSERT_TRUE(a.ok());
+  uint8_t* p = static_cast<uint8_t*>(a.value());
+  EXPECT_EQ(alloc.UsableBytes(p), 100u);
+  EXPECT_EQ(alloc.UsableBytes(p + 40), 60u);
+  EXPECT_EQ(alloc.UsableBytes(p + 100), 0u);  // one past the end
+  ASSERT_TRUE(alloc.Free(p).ok());
+  uint8_t stack_byte = 0;
+  EXPECT_EQ(alloc.UsableBytes(&stack_byte), 0u);
+}
+
 }  // namespace
 }  // namespace aria

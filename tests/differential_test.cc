@@ -11,7 +11,9 @@
 #include <utility>
 #include <vector>
 
+#include "core/sharded_store.h"
 #include "core/store_factory.h"
+#include "testing/fault_injector.h"
 #include "testing/model_checker.h"
 #include "testing/op_generator.h"
 #include "testing/oracle.h"
@@ -86,6 +88,32 @@ std::vector<SchemeCase> AllSchemes() {
   base_t.opts.scheme = Scheme::kBaseline;
   base_t.opts.index = IndexKind::kBTree;
   cases.push_back(base_t);
+
+  // Sharded front-end variants go through the same factory path and the
+  // same oracle: partitioning plus per-shard locking must be invisible at
+  // the KVStore interface.
+  SchemeCase sh_h{"Sharded[4] Aria-H", base(), false};
+  sh_h.opts.scheme = Scheme::kAria;
+  sh_h.opts.index = IndexKind::kHash;
+  sh_h.opts.num_shards = 4;
+  sh_h.opts.cache_bytes = 32768;  // 8 KB per shard keeps evictions coming
+  sh_h.opts.pinned_levels = 0;
+  sh_h.opts.stop_swap_enabled = false;
+  cases.push_back(sh_h);
+
+  SchemeCase sh_t{"Sharded[4] Aria-T", base(), true};
+  sh_t.opts.scheme = Scheme::kAria;
+  sh_t.opts.index = IndexKind::kBTree;
+  sh_t.opts.num_shards = 4;
+  cases.push_back(sh_t);
+
+  SchemeCase sh_b{"Sharded[2] Baseline-H shared-reads", base(), false};
+  sh_b.opts.scheme = Scheme::kBaseline;
+  sh_b.opts.index = IndexKind::kHash;
+  sh_b.opts.num_shards = 2;
+  sh_b.opts.cost_model.enabled = false;
+  sh_b.opts.shard_shared_reads = true;
+  cases.push_back(sh_b);
 
   return cases;
 }
@@ -165,6 +193,66 @@ TEST(Differential, RangeScanEdgeCasesMatchOracle) {
     ASSERT_TRUE(store->Delete(MakeKey(20)).ok()) << sc.label;
     ASSERT_TRUE(oracle.Delete(MakeKey(20)).ok());
     ExpectScansAgree(store, oracle, MakeKey(0), 10, sc.label, "post delete");
+  }
+}
+
+// --- Fault injection: a failing shard must not poison its siblings ----------
+
+TEST(Differential, AllocFailureInOneShardDoesNotPoisonSiblings) {
+  StoreOptions opts;
+  opts.scheme = Scheme::kAria;
+  opts.index = IndexKind::kHash;
+  opts.keyspace = 4096;
+  opts.num_shards = 4;
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+  auto* sharded = dynamic_cast<ShardedStore*>(bundle.store.get());
+  ASSERT_NE(sharded, nullptr);
+
+  constexpr uint64_t kBaselineKeys = 256;
+  for (uint64_t id = 0; id < kBaselineKeys; ++id) {
+    ASSERT_TRUE(sharded->Put(MakeKey(id), MakeValue(id, 32)).ok());
+  }
+
+  // Fresh key ids, bucketed by the shard they hash to.
+  std::vector<std::vector<uint64_t>> fresh(4);
+  for (uint64_t id = 100000; id < 100400; ++id) {
+    fresh[sharded->ShardOf(MakeKey(id))].push_back(id);
+  }
+  for (uint32_t s = 0; s < 4; ++s) ASSERT_GE(fresh[s].size(), 8u) << s;
+
+  // While armed, every untrusted allocation fails — but only shard 0 is
+  // driven, so only shard 0 experiences the outage.
+  {
+    aria::testing::ScheduledInjector injector(/*seed=*/7);
+    aria::testing::InjectorScope scope(&injector);
+    injector.Arm({.site = fault::Site::kUntrustedAlloc,
+                  .kind = aria::testing::FaultKind::kFailAlloc,
+                  .repeat = true});
+    for (size_t i = 0; i < 8; ++i) {
+      Status st = sharded->Put(MakeKey(fresh[0][i]), MakeValue(fresh[0][i], 32));
+      EXPECT_TRUE(st.IsCapacityExceeded()) << st.ToString();
+    }
+    EXPECT_GE(injector.fired(), 8u);
+  }
+
+  // Siblings: pre-existing data is intact everywhere (including the shard
+  // that failed), the failed keys never became visible, and every shard —
+  // shard 0 included — accepts writes again once the outage clears.
+  std::string value;
+  for (uint64_t id = 0; id < kBaselineKeys; ++id) {
+    Status st = sharded->Get(MakeKey(id), &value);
+    ASSERT_TRUE(st.ok()) << "key " << id << ": " << st.ToString();
+    ASSERT_EQ(value, MakeValue(id, 32)) << "key " << id;
+  }
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(sharded->Get(MakeKey(fresh[0][i]), &value).IsNotFound());
+  }
+  for (uint32_t s = 0; s < 4; ++s) {
+    uint64_t id = fresh[s].back();
+    ASSERT_TRUE(sharded->Put(MakeKey(id), MakeValue(id, 32)).ok()) << s;
+    ASSERT_TRUE(sharded->Get(MakeKey(id), &value).ok()) << s;
+    EXPECT_EQ(value, MakeValue(id, 32)) << s;
   }
 }
 

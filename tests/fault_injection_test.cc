@@ -17,8 +17,10 @@
 //   6. dropped / misdirected eviction write-backs
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "alloc/heap_allocator.h"
@@ -26,6 +28,7 @@
 #include "core/aria_btree.h"
 #include "core/aria_cuckoo.h"
 #include "core/aria_hash.h"
+#include "core/sharded_store.h"
 #include "core/store_factory.h"
 #include "metadata/counter_manager.h"
 #include "sgxsim/enclave_runtime.h"
@@ -465,6 +468,104 @@ TEST(EvictionWriteback, MisdirectedDuplicateWritebackDetected) {
     }
   }
   EXPECT_GE(violations, 1);
+}
+
+// Torn write under concurrency: shard i of a sharded store loses a dirty
+// eviction write-back while shard j concurrently serves reads. The MT
+// carve-out is per shard, so the violation must surface on shard i's keys
+// only — shard j must stay fully readable with correct data throughout.
+TEST(EvictionWriteback, ConcurrentDropIsolatedToOneShard) {
+  StoreOptions opts;
+  opts.scheme = Scheme::kAria;
+  opts.index = IndexKind::kHash;
+  opts.keyspace = 8192;
+  opts.num_shards = 2;
+  opts.cache_bytes = 8192;  // 4 KB per shard: ~26 slots, constant eviction
+  opts.pinned_levels = 0;
+  opts.stop_swap_enabled = false;
+  opts.num_buckets = 128;
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+  auto* sharded = dynamic_cast<ShardedStore*>(bundle.store.get());
+  ASSERT_NE(sharded, nullptr);
+
+  // Bucket key ids by shard, then populate 1200 keys per shard.
+  std::vector<std::vector<uint64_t>> ids(2);
+  for (uint64_t id = 0; id < 8192 && (ids[0].size() < 1200 ||
+                                      ids[1].size() < 1200); ++id) {
+    ids[sharded->ShardOf(MakeKey(id))].push_back(id);
+  }
+  ASSERT_GE(ids[0].size(), 1200u);
+  ASSERT_GE(ids[1].size(), 1200u);
+  for (int s = 0; s < 2; ++s) {
+    for (size_t i = 0; i < 1200; ++i) {
+      uint64_t id = ids[s][i];
+      ASSERT_TRUE(sharded->Put(MakeKey(id), MakeValue(id, 32)).ok());
+    }
+  }
+  // Flush pre-existing dirty slots in both shards so the armed drop can
+  // only ever hit the one leaf the attacked Put dirties.
+  std::string v;
+  for (int s = 0; s < 2; ++s) {
+    for (size_t i = 600; i < 1100; i += 4) {
+      ASSERT_TRUE(sharded->Get(MakeKey(ids[s][i]), &v).ok());
+    }
+  }
+
+  ScheduledInjector injector(/*seed=*/7);
+  InjectorScope scope(&injector);
+  injector.Arm({.site = fault::Site::kEvictionWriteback,
+                .kind = FaultKind::kDropWriteback});
+
+  const uint64_t attacked = ids[0][5];
+  std::atomic<uint64_t> reader_errors{0};
+  std::atomic<bool> attack_fired{false};
+
+  // Shard 1: a reader hammering its own keys. Clean evictions skip the
+  // write-back hook entirely, so the armed drop cannot land here.
+  std::thread reader([&]() {
+    std::string value;
+    size_t i = 0;
+    // Keep reading at least until the attack landed, then one more sweep.
+    for (int round = 0; round < 50 && (round < 2 || !attack_fired.load());
+         ++round) {
+      for (size_t n = 0; n < 400; ++n, ++i) {
+        uint64_t id = ids[1][i % 1200];
+        Status st = sharded->Get(MakeKey(id), &value);
+        if (!st.ok() || value != MakeValue(id, 32)) reader_errors++;
+      }
+    }
+  });
+
+  // Shard 0: overwrite one key (dirties exactly one counter leaf), then
+  // churn reads over distant leaves until the dirty victim is evicted and
+  // the injector swallows its write-back.
+  std::thread attacker([&]() {
+    std::string value;
+    if (!sharded->Put(MakeKey(attacked), MakeValue(attacked, 32, 2)).ok()) {
+      return;
+    }
+    for (size_t i = 600; i < 1100 && injector.fired() == 0; i += 4) {
+      (void)sharded->Get(MakeKey(ids[0][i]), &value);
+    }
+    attack_fired.store(true);
+  });
+  attacker.join();
+  reader.join();
+
+  ASSERT_EQ(injector.fired(), 1u);
+  EXPECT_EQ(reader_errors.load(), 0u) << "shard 1 was affected by shard 0's "
+                                         "torn write";
+  // Shard 0: the stale leaf fails re-verification on the attacked key...
+  Status st = sharded->Get(MakeKey(attacked), &v);
+  EXPECT_TRUE(st.IsIntegrityViolation()) << st.ToString();
+  // ...while shard 1 remains fully intact after the dust settles.
+  for (size_t i = 0; i < 1200; ++i) {
+    uint64_t id = ids[1][i];
+    Status rs = sharded->Get(MakeKey(id), &v);
+    ASSERT_TRUE(rs.ok()) << "key " << id << ": " << rs.ToString();
+    ASSERT_EQ(v, MakeValue(id, 32)) << "key " << id;
+  }
 }
 
 // --- Allocator free-list corruption (hook-driven) ---------------------------

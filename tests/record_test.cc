@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "alloc/heap_allocator.h"
 #include "core/record.h"
 #include "crypto/secure_random.h"
 #include "sgxsim/enclave_runtime.h"
@@ -175,6 +177,117 @@ TEST_F(RecordTest, SealedSizeFormula) {
             RecordCodec::kHeaderSize + 32 + RecordCodec::kMacSize);
   EXPECT_EQ(RecordCodec::SealedSize(0, 0),
             RecordCodec::kHeaderSize + RecordCodec::kMacSize);
+}
+
+// --- Allocation-bounded Verify (tampered-header-length regression) ----------
+//
+// The stored-MAC offset is derived from the untrusted k_len/v_len, so
+// before this fix an oversized tampered length made Verify read (and MAC)
+// bytes far past the record's allocation — the out-of-bounds read the ASan
+// sweep flagged. With the allocator wired into the codec, Verify bounds
+// the claimed extent by the block the record lives in and rejects before
+// touching a byte beyond the header. The sweep below runs under ASan in
+// scripts/check_sanitizers.sh: a regression is a heap-buffer-overflow
+// report, not just a failed expectation.
+
+class RecordBoundsTest : public RecordTest {
+ protected:
+  RecordBoundsTest()
+      : heap_(&enclave_),
+        ocall_(&enclave_),
+        heap_codec_(&enclave_, &aes_, &cmac_, &heap_),
+        ocall_codec_(&enclave_, &aes_, &cmac_, &ocall_) {}
+
+  // Seal into an exactly-sized block from `alloc` and return the pointer
+  // (freed by the allocator's teardown; HeapAllocator reclaims its chunks).
+  uint8_t* SealInto(UntrustedAllocator* alloc, const RecordCodec& codec,
+                    Slice key, Slice value, uint64_t ad) {
+    auto block = alloc->Alloc(RecordCodec::SealedSize(key.size(), value.size()));
+    EXPECT_TRUE(block.ok());
+    uint8_t* rec = static_cast<uint8_t*>(block.value());
+    codec.Seal(7, counter_, key, value, ad, rec);
+    return rec;
+  }
+
+  void SweepTamperedLengths(const RecordCodec& codec, uint8_t* rec,
+                            uint64_t ad) {
+    ASSERT_TRUE(codec.Verify(rec, counter_, ad).ok());
+    uint16_t k_orig, v_orig;
+    std::memcpy(&k_orig, rec + 8, 2);
+    std::memcpy(&v_orig, rec + 10, 2);
+    const uint16_t k_evil[] = {static_cast<uint16_t>(k_orig + 200), 4096,
+                               65535};
+    const uint16_t v_evil[] = {static_cast<uint16_t>(v_orig + 200), 4096,
+                               65535};
+    for (uint16_t k : k_evil) {
+      std::memcpy(rec + 8, &k, 2);
+      EXPECT_TRUE(codec.Verify(rec, counter_, ad).IsIntegrityViolation())
+          << "k_len=" << k;
+      std::memcpy(rec + 8, &k_orig, 2);
+    }
+    for (uint16_t v : v_evil) {
+      std::memcpy(rec + 10, &v, 2);
+      EXPECT_TRUE(codec.Verify(rec, counter_, ad).IsIntegrityViolation())
+          << "v_len=" << v;
+      std::memcpy(rec + 10, &v_orig, 2);
+    }
+    // Both at once (worst case: offset ~128 KB past the block).
+    const uint16_t big = 65535;
+    std::memcpy(rec + 8, &big, 2);
+    std::memcpy(rec + 10, &big, 2);
+    EXPECT_TRUE(codec.Verify(rec, counter_, ad).IsIntegrityViolation());
+    std::memcpy(rec + 8, &k_orig, 2);
+    std::memcpy(rec + 10, &v_orig, 2);
+    // Restored header verifies again — the sweep itself left no damage.
+    EXPECT_TRUE(codec.Verify(rec, counter_, ad).ok());
+  }
+
+  HeapAllocator heap_;
+  OcallAllocator ocall_;
+  RecordCodec heap_codec_;
+  RecordCodec ocall_codec_;
+};
+
+TEST_F(RecordBoundsTest, OversizedHeaderLengthsRejectedOnHeapAllocator) {
+  uint8_t* rec = SealInto(&heap_, heap_codec_, "key16bytes_test_",
+                          std::string(24, 'v'), 0x1000);
+  SweepTamperedLengths(heap_codec_, rec, 0x1000);
+  ASSERT_TRUE(heap_.Free(rec).ok());
+}
+
+TEST_F(RecordBoundsTest, OversizedHeaderLengthsRejectedOnOcallAllocator) {
+  uint8_t* rec = SealInto(&ocall_, ocall_codec_, "key16bytes_test_",
+                          std::string(24, 'v'), 0x1000);
+  SweepTamperedLengths(ocall_codec_, rec, 0x1000);
+  ASSERT_TRUE(ocall_.Free(rec).ok());
+}
+
+TEST_F(RecordBoundsTest, InteriorRecordPointerUsesBlockRemainder) {
+  // Aria-H records start kEntryHeader bytes into their block; the bound
+  // must be the remainder from the record, not the whole block.
+  constexpr size_t kEntryHeader = 16;
+  std::string key = "key16bytes_test_", value(24, 'v');
+  size_t sealed = RecordCodec::SealedSize(key.size(), value.size());
+  auto block = heap_.Alloc(kEntryHeader + sealed);
+  ASSERT_TRUE(block.ok());
+  uint8_t* rec = static_cast<uint8_t*>(block.value()) + kEntryHeader;
+  heap_codec_.Seal(7, counter_, key, value, 0, rec);
+  SweepTamperedLengths(heap_codec_, rec, 0);
+  ASSERT_TRUE(heap_.Free(block.value()).ok());
+}
+
+TEST_F(RecordBoundsTest, ExplicitBoundOverloadAndNullAllocator) {
+  auto rec = SealToBuffer(7, "key", "value", 0);
+  // Null-allocator codec (this buffer is not allocator-backed): the 3-arg
+  // Verify applies no bound; the explicit-bound overload still does.
+  EXPECT_TRUE(codec_.Verify(rec.data(), counter_, 0).ok());
+  EXPECT_TRUE(codec_.Verify(rec.data(), counter_, 0, rec.size()).ok());
+  EXPECT_TRUE(codec_.Verify(rec.data(), counter_, 0, rec.size() - 1)
+                  .IsIntegrityViolation());
+  // An allocator-wired codec refuses to verify a record it cannot bound
+  // (UsableBytes of a foreign pointer is 0).
+  EXPECT_TRUE(heap_codec_.Verify(rec.data(), counter_, 0)
+                  .IsIntegrityViolation());
 }
 
 }  // namespace

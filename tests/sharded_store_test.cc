@@ -1,0 +1,463 @@
+// Thread-safety battery for the sharded front-end: concurrent seeded
+// stress per scheme with a single-threaded full-state audit against
+// per-thread oracles, cross-shard RangeScan edge cases against the
+// reference oracle, reader-parallel (shared-lock) Gets on the one config
+// whose read path is const, and the multi-threaded driver. The whole file
+// is meant to run under ARIA_SANITIZE=thread, where any hole in the
+// locking discipline shows up as a data race.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "core/sharded_store.h"
+#include "core/store_factory.h"
+#include "testing/oracle.h"
+#include "workload/driver.h"
+#include "workload/ycsb.h"
+
+namespace aria {
+namespace {
+
+using testing::ReferenceOracle;
+
+ShardedStore* AsSharded(StoreBundle* bundle) {
+  return dynamic_cast<ShardedStore*>(bundle->store.get());
+}
+
+// --- Construction and partitioning -----------------------------------------
+
+TEST(ShardedStore, FactoryBuildsShardedVariants) {
+  StoreOptions opts;
+  opts.scheme = Scheme::kAria;
+  opts.index = IndexKind::kHash;
+  opts.keyspace = 8192;
+  opts.num_shards = 4;
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+  ShardedStore* store = AsSharded(&bundle);
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->num_shards(), 4u);
+  EXPECT_STREQ(store->name(), "Sharded[4] Aria-H");
+  EXPECT_EQ(bundle.label, "Sharded[4] Aria-H");
+  EXPECT_FALSE(store->ordered());
+  // Each shard is a fully independent instance with its own enclave,
+  // allocator and counter area.
+  for (uint32_t i = 0; i < 4; ++i) {
+    ASSERT_NE(store->shard_bundle(i).enclave, nullptr);
+    ASSERT_NE(store->shard_bundle(i).allocator, nullptr);
+    ASSERT_NE(store->shard_bundle(i).counters, nullptr);
+  }
+
+  // num_shards == 1 stays a plain store.
+  StoreOptions plain = opts;
+  plain.num_shards = 1;
+  StoreBundle plain_bundle;
+  ASSERT_TRUE(CreateStore(plain, &plain_bundle).ok());
+  EXPECT_EQ(plain_bundle.label, "Aria-H");
+  EXPECT_EQ(AsSharded(&plain_bundle), nullptr);
+}
+
+TEST(ShardedStore, ShardHashCoversEveryShard) {
+  StoreOptions opts;
+  opts.scheme = Scheme::kAria;
+  opts.index = IndexKind::kHash;
+  opts.keyspace = 8192;
+  opts.num_shards = 8;
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+  ShardedStore* store = AsSharded(&bundle);
+  ASSERT_NE(store, nullptr);
+
+  std::vector<uint64_t> per_shard(8, 0);
+  for (uint64_t id = 0; id < 4096; ++id) {
+    uint32_t s = store->ShardOf(MakeKey(id));
+    ASSERT_LT(s, 8u);
+    // Deterministic.
+    ASSERT_EQ(s, store->ShardOf(MakeKey(id)));
+    per_shard[s]++;
+  }
+  for (uint32_t s = 0; s < 8; ++s) {
+    // A uniform split would be 512 per shard; just require no starvation.
+    EXPECT_GT(per_shard[s], 100u) << "shard " << s;
+  }
+}
+
+TEST(ShardedStore, SharedReadsRejectedOnMutatingReadPaths) {
+  StoreOptions opts;
+  opts.scheme = Scheme::kAria;
+  opts.index = IndexKind::kHash;
+  opts.num_shards = 2;
+  opts.shard_shared_reads = true;
+  StoreBundle bundle;
+  Status st = CreateStore(opts, &bundle);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+
+  // Baseline hash with the cost model still enabled also mutates paging
+  // state on reads — equally rejected.
+  opts.scheme = Scheme::kBaseline;
+  opts.cost_model.enabled = true;
+  StoreBundle bundle2;
+  EXPECT_TRUE(CreateStore(opts, &bundle2).IsInvalidArgument());
+}
+
+TEST(ShardedStore, RangeScanOnUnorderedSchemeIsInvalid) {
+  StoreOptions opts;
+  opts.scheme = Scheme::kAria;
+  opts.index = IndexKind::kHash;
+  opts.num_shards = 2;
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+  ShardedStore* store = AsSharded(&bundle);
+  ASSERT_NE(store, nullptr);
+  std::vector<std::pair<std::string, std::string>> out;
+  EXPECT_TRUE(store->RangeScan(MakeKey(0), 10, &out).IsInvalidArgument());
+}
+
+// --- Concurrent stress + single-threaded audit ------------------------------
+
+struct StressCase {
+  const char* label;
+  StoreOptions opts;
+  bool ordered;
+};
+
+std::vector<StressCase> StressCases() {
+  std::vector<StressCase> cases;
+  auto base = [] {
+    StoreOptions o;
+    o.keyspace = 8192;
+    o.seed = 42;
+    o.num_shards = 4;
+    return o;
+  };
+
+  StressCase h{"Sharded[4] Aria-H", base(), false};
+  h.opts.scheme = Scheme::kAria;
+  h.opts.index = IndexKind::kHash;
+  // Small per-shard Secure Cache so the stress exercises eviction and
+  // re-verification, not just cache hits.
+  h.opts.cache_bytes = 32768;
+  h.opts.pinned_levels = 0;
+  h.opts.stop_swap_enabled = false;
+  cases.push_back(h);
+
+  StressCase t{"Sharded[4] Aria-T", base(), true};
+  t.opts.scheme = Scheme::kAria;
+  t.opts.index = IndexKind::kBTree;
+  cases.push_back(t);
+
+  StressCase bp{"Sharded[4] Aria-B+", base(), true};
+  bp.opts.scheme = Scheme::kAria;
+  bp.opts.index = IndexKind::kBPlusTree;
+  cases.push_back(bp);
+
+  StressCase c{"Sharded[4] Aria-C", base(), false};
+  c.opts.scheme = Scheme::kAria;
+  c.opts.index = IndexKind::kCuckoo;
+  cases.push_back(c);
+
+  return cases;
+}
+
+// Each worker owns the key ids with id % kThreads == t, so its private
+// std::map oracle is authoritative for them; cross-thread interleavings
+// still contend on the shard locks because the shard hash ignores the
+// id-mod-thread partition.
+TEST(ShardedStressTest, ConcurrentOpsThenFullAudit) {
+  constexpr uint64_t kThreads = 4;
+  constexpr uint64_t kOpsPerThread = 10000;
+  constexpr uint64_t kIdsPerThread = 512;
+  constexpr size_t kValueSize = 32;
+
+  for (const StressCase& sc : StressCases()) {
+    StoreBundle bundle;
+    ASSERT_TRUE(CreateStore(sc.opts, &bundle).ok()) << sc.label;
+    ShardedStore* store = AsSharded(&bundle);
+    ASSERT_NE(store, nullptr) << sc.label;
+
+    std::vector<std::map<uint64_t, uint32_t>> oracles(kThreads);
+    std::atomic<uint64_t> errors{0};
+
+    std::vector<std::thread> workers;
+    for (uint64_t t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t]() {
+        Random rng(0xC0FFEE + 31 * t);
+        std::map<uint64_t, uint32_t>& mine = oracles[t];
+        uint32_t version = 0;
+        std::string value;
+        for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+          uint64_t id = t + kThreads * rng.Uniform(kIdsPerThread);
+          std::string key = MakeKey(id);
+          uint64_t dice = rng.Uniform(100);
+          if (dice < 45) {  // Put
+            uint32_t v = ++version;
+            if (!store->Put(key, MakeValue(id, kValueSize, v)).ok()) {
+              errors++;
+              return;
+            }
+            mine[id] = v;
+          } else if (dice < 80) {  // Get
+            Status st = store->Get(key, &value);
+            auto it = mine.find(id);
+            if (it == mine.end()) {
+              if (!st.IsNotFound()) errors++;
+            } else if (!st.ok() ||
+                       value != MakeValue(id, kValueSize, it->second)) {
+              errors++;
+            }
+          } else {  // Delete
+            Status st = store->Delete(key);
+            bool present = mine.erase(id) != 0;
+            if (present ? !st.ok() : !st.IsNotFound()) errors++;
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    ASSERT_EQ(errors.load(), 0u) << sc.label;
+
+    // Single-threaded audit: the union of the per-thread oracles is the
+    // exact expected state.
+    uint64_t expected_size = 0;
+    std::map<std::string, std::string> merged;
+    std::string value;
+    for (uint64_t t = 0; t < kThreads; ++t) {
+      for (const auto& [id, version] : oracles[t]) {
+        expected_size++;
+        std::string key = MakeKey(id);
+        std::string want = MakeValue(id, kValueSize, version);
+        Status st = store->Get(key, &value);
+        ASSERT_TRUE(st.ok()) << sc.label << " key " << id << ": "
+                             << st.ToString();
+        ASSERT_EQ(value, want) << sc.label << " key " << id;
+        merged.emplace(std::move(key), std::move(want));
+      }
+    }
+    EXPECT_EQ(store->size(), expected_size) << sc.label;
+
+    // A sample of never-written ids must be absent.
+    for (uint64_t id = kThreads * kIdsPerThread + 1;
+         id < kThreads * kIdsPerThread + 64; ++id) {
+      EXPECT_TRUE(store->Get(MakeKey(id), &value).IsNotFound())
+          << sc.label << " key " << id;
+    }
+
+    if (sc.ordered) {
+      // Full cross-shard scan must equal the merged oracle, in key order.
+      std::vector<std::pair<std::string, std::string>> got;
+      ASSERT_TRUE(
+          store->RangeScan(MakeKey(0), expected_size + 16, &got).ok())
+          << sc.label;
+      ASSERT_EQ(got.size(), merged.size()) << sc.label;
+      auto it = merged.begin();
+      for (size_t i = 0; i < got.size(); ++i, ++it) {
+        ASSERT_EQ(got[i].first, it->first) << sc.label << " pos " << i;
+        ASSERT_EQ(got[i].second, it->second) << sc.label << " pos " << i;
+      }
+    }
+  }
+}
+
+// --- Cross-shard RangeScan edge cases ---------------------------------------
+
+TEST(ShardedRangeScan, CrossShardEdgeCasesMatchOracle) {
+  StoreOptions opts;
+  opts.scheme = Scheme::kAria;
+  opts.index = IndexKind::kBTree;
+  opts.keyspace = 4096;
+  opts.num_shards = 8;
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+  ShardedStore* store = AsSharded(&bundle);
+  ASSERT_NE(store, nullptr);
+  ASSERT_TRUE(store->ordered());
+  ReferenceOracle oracle;
+
+  auto agree = [&](const std::string& start, size_t limit, const char* what) {
+    std::vector<std::pair<std::string, std::string>> got, want;
+    Status ss = store->RangeScan(start, limit, &got);
+    Status os = oracle.RangeScan(start, limit, &want);
+    ASSERT_EQ(ss.code(), os.code()) << what;
+    EXPECT_EQ(got, want) << what;
+  };
+
+  // Every shard empty.
+  agree(MakeKey(0), 10, "empty store");
+
+  // Three keys: at least five of the eight shards stay empty, and the merge
+  // must skip them cleanly.
+  for (uint64_t k : {10u, 20u, 30u}) {
+    std::string key = MakeKey(k), value = MakeValue(k, 24);
+    ASSERT_TRUE(store->Put(key, value).ok());
+    ASSERT_TRUE(oracle.Put(key, value).ok());
+  }
+  agree(MakeKey(0), 10, "mostly-empty shards");
+  agree(MakeKey(100), 10, "start beyond max");
+  agree(MakeKey(20), 1, "single key");
+  agree(MakeKey(0), 2, "limit truncation across shards");
+  agree(MakeKey(0), 0, "zero limit");
+  agree(MakeKey(15), 10, "start between keys");
+
+  // Enough keys that every shard holds several: the k-way merge has to
+  // interleave runs from all shards, and limits cut across shard
+  // boundaries at many positions.
+  for (uint64_t k = 100; k < 300; ++k) {
+    std::string key = MakeKey(k), value = MakeValue(k, 16);
+    ASSERT_TRUE(store->Put(key, value).ok());
+    ASSERT_TRUE(oracle.Put(key, value).ok());
+  }
+  agree(MakeKey(0), 500, "full interleaved scan");
+  for (size_t limit : {1u, 7u, 50u, 199u, 203u}) {
+    agree(MakeKey(100), limit, "shard-boundary limits");
+  }
+  agree(MakeKey(150), 500, "mid-range start");
+
+  // Deletions must vanish from the merge.
+  for (uint64_t k = 120; k < 140; ++k) {
+    ASSERT_TRUE(store->Delete(MakeKey(k)).ok());
+    ASSERT_TRUE(oracle.Delete(MakeKey(k)).ok());
+  }
+  agree(MakeKey(100), 500, "post delete");
+}
+
+// --- Shared-lock reader parallelism on the const-read config ----------------
+
+TEST(ShardedSharedReads, ConcurrentReadersSeeConsistentValues) {
+  StoreOptions opts;
+  opts.scheme = Scheme::kBaseline;
+  opts.index = IndexKind::kHash;
+  opts.keyspace = 4096;
+  opts.num_shards = 4;
+  opts.cost_model.enabled = false;  // reads charge nothing => truly const
+  opts.shard_shared_reads = true;
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+  ShardedStore* store = AsSharded(&bundle);
+  ASSERT_NE(store, nullptr);
+  ASSERT_TRUE(store->shared_reads());
+
+  constexpr uint64_t kKeys = 2000;
+  constexpr uint64_t kWriterKeys = 100;  // ids [0, 100) get overwritten
+  for (uint64_t id = 0; id < kKeys; ++id) {
+    ASSERT_TRUE(store->Put(MakeKey(id), MakeValue(id, 32, 1)).ok());
+  }
+
+  // 4 readers share the shard locks on ids the writer never touches, while
+  // one writer takes exclusive locks on its own ids. Under TSan this
+  // certifies that shared-mode Gets on this config are race-free.
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t]() {
+      Random rng(77 + t);
+      std::string value;
+      for (int i = 0; i < 20000; ++i) {
+        uint64_t id = kWriterKeys + rng.Uniform(kKeys - kWriterKeys);
+        Status st = store->Get(MakeKey(id), &value);
+        if (!st.ok() || value != MakeValue(id, 32, 1)) errors++;
+      }
+    });
+  }
+  std::thread writer([&]() {
+    Random rng(999);
+    for (int i = 0; i < 5000; ++i) {
+      uint64_t id = rng.Uniform(kWriterKeys);
+      if (!store->Put(MakeKey(id), MakeValue(id, 32, 2)).ok()) {
+        errors++;
+        return;
+      }
+    }
+  });
+  for (auto& r : readers) r.join();
+  writer.join();
+  ASSERT_EQ(errors.load(), 0u);
+
+  // Post-join: writer ids hold either version 1 or 2 — version 2 once
+  // written at least once; everything else is untouched.
+  std::string value;
+  for (uint64_t id = kWriterKeys; id < kKeys; ++id) {
+    ASSERT_TRUE(store->Get(MakeKey(id), &value).ok());
+    ASSERT_EQ(value, MakeValue(id, 32, 1)) << id;
+  }
+  EXPECT_EQ(store->size(), kKeys);
+}
+
+// --- Multi-threaded driver ---------------------------------------------------
+
+TEST(ShardedDriver, RunThreadsAggregatesAndModelsMakespan) {
+  StoreOptions opts;
+  opts.scheme = Scheme::kAria;
+  opts.index = IndexKind::kHash;
+  opts.keyspace = 4096;
+  opts.num_shards = 4;
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+  ShardedStore* store = AsSharded(&bundle);
+  ASSERT_NE(store, nullptr);
+
+  Driver driver(/*seed=*/7);
+  ASSERT_TRUE(driver.Prepopulate(store, 2048, 32).ok());
+
+  constexpr uint64_t kThreads = 4;
+  constexpr uint64_t kOps = 2000;
+  YcsbSpec spec;
+  spec.keyspace = 2048;
+  spec.read_ratio = 0.5;
+  spec.value_size = 32;
+  spec.distribution = KeyDistribution::kUniform;
+
+  auto gen_for_thread = [&spec](uint64_t t) -> std::function<Op()> {
+    auto wl = std::make_shared<YcsbWorkload>([&spec, t] {
+      YcsbSpec s = spec;
+      s.seed = spec.seed + 7919 * (t + 1);  // private RNG stream per thread
+      return s;
+    }());
+    return [wl]() { return wl->Next(); };
+  };
+
+  auto result = driver.RunThreads(store, gen_for_thread, kThreads, kOps);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ThreadRunResult& r = result.value();
+  EXPECT_EQ(r.totals.ops, kThreads * kOps);
+  EXPECT_EQ(r.totals.gets + r.totals.puts, kThreads * kOps);
+  EXPECT_GT(r.totals.gets, 0u);
+  EXPECT_GT(r.totals.puts, 0u);
+  EXPECT_EQ(r.num_threads, kThreads);
+  EXPECT_EQ(r.latency.total(), kThreads * kOps);
+  EXPECT_GT(r.latency.PercentileNanos(0.5), 0u);
+  EXPECT_LE(r.latency.PercentileNanos(0.5), r.latency.PercentileNanos(0.99));
+
+  // Makespan model invariants: the effective time is bounded below by the
+  // busiest shard and above by the serial busy total; SGX charges landed.
+  EXPECT_GT(r.totals.sim_seconds, 0.0);
+  EXPECT_GT(r.effective_seconds, 0.0);
+  EXPECT_GE(r.effective_seconds, r.max_shard_busy_seconds - 1e-12);
+  EXPECT_LE(r.effective_seconds, r.total_busy_seconds + 1e-12);
+  EXPECT_GE(r.Throughput(),
+            static_cast<double>(r.totals.ops) / (r.total_busy_seconds + 1e-9));
+}
+
+TEST(ShardedDriver, LatencyHistogramPercentiles) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.PercentileNanos(0.5), 0u);
+  for (uint64_t i = 0; i < 90; ++i) h.Record(100);     // bucket [64, 127]
+  for (uint64_t i = 0; i < 10; ++i) h.Record(100000);  // ~2^17
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.PercentileNanos(0.5), 127u);
+  EXPECT_GT(h.PercentileNanos(0.95), 65000u);
+
+  LatencyHistogram other;
+  other.Record(100);
+  other.Merge(h);
+  EXPECT_EQ(other.total(), 101u);
+}
+
+}  // namespace
+}  // namespace aria
