@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test battery.
+# This is the exact line CI and ROADMAP.md treat as the gate; keep it in
+# sync with both. Usage: scripts/run_tier1.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

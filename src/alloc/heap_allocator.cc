@@ -44,6 +44,7 @@ HeapAllocator::Chunk* HeapAllocator::NewChunk(size_t block_size,
   // crosses the boundary; it is amortized over kChunkSize/block_size
   // allocations.
   enclave_->Ocall();
+  stats_.ocalls++;
   size_t total = kChunkSize * num_chunks;
   void* base = std::aligned_alloc(kChunkSize, total);
   if (base == nullptr) return nullptr;
@@ -169,6 +170,7 @@ Status HeapAllocator::Free(void* p) {
   if (chunk->huge_chunks > 1) {
     // Huge allocations are returned to the host directly.
     enclave_->Ocall();
+    stats_.ocalls++;
     stats_.chunks -= chunk->huge_chunks;
     stats_.bytes_reserved -= chunk->huge_chunks * kChunkSize;
     enclave_->TrustedFree(chunk->bitmap);
@@ -206,19 +208,46 @@ Result<void*> OcallAllocator::Alloc(size_t size) {
     return Status::CapacityExceeded("injected allocation failure");
   }
   sgx::OcallGuard guard(enclave_);
+  ocalls_++;
   guard.CopyParams(sizeof(size_t) + sizeof(void*));
   void* p = std::malloc(size);
   if (p == nullptr) return Status::CapacityExceeded("host OOM");
   live_[reinterpret_cast<uintptr_t>(p)] = size;
+  allocs_++;
+  bytes_in_use_ += size;
   return p;
 }
 
 Status OcallAllocator::Free(void* p) {
   sgx::OcallGuard guard(enclave_);
+  ocalls_++;
   guard.CopyParams(sizeof(void*));
-  live_.erase(reinterpret_cast<uintptr_t>(p));
+  auto it = live_.find(reinterpret_cast<uintptr_t>(p));
+  if (it != live_.end()) {
+    bytes_in_use_ -= it->second;
+    live_.erase(it);
+  }
+  frees_++;
   std::free(p);
   return Status::OK();
+}
+
+void HeapAllocator::CollectMetrics(obs::MetricSink* sink) const {
+  sink->Counter("allocs", stats_.allocs);
+  sink->Counter("frees", stats_.frees);
+  sink->Counter("freelist_hits", stats_.freelist_hits);
+  sink->Counter("ocalls", stats_.ocalls);
+  sink->Gauge("chunks", stats_.chunks);
+  sink->Gauge("bytes_reserved", stats_.bytes_reserved);
+  sink->Gauge("bytes_in_use", stats_.bytes_in_use);
+  sink->Gauge("trusted_metadata_bytes", stats_.trusted_metadata_bytes);
+}
+
+void OcallAllocator::CollectMetrics(obs::MetricSink* sink) const {
+  sink->Counter("allocs", allocs_);
+  sink->Counter("frees", frees_);
+  sink->Counter("ocalls", ocalls_);
+  sink->Gauge("bytes_in_use", bytes_in_use_);
 }
 
 size_t OcallAllocator::UsableBytes(const void* p) const {

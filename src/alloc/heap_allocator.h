@@ -18,13 +18,16 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "sgxsim/enclave_runtime.h"
 
 namespace aria {
 
 /// Abstract untrusted-memory allocator, so the OCALL-per-allocation
 /// ablation (AriaBase in Fig. 12) can swap in a different implementation.
-class UntrustedAllocator {
+/// Observable so the invariant checker can attribute every enclave OCALL to
+/// allocator boundary crossings ("alloc." namespace).
+class UntrustedAllocator : public obs::Observable {
  public:
   virtual ~UntrustedAllocator() = default;
 
@@ -54,6 +57,7 @@ struct HeapAllocatorStats {
   uint64_t allocs = 0;
   uint64_t frees = 0;
   uint64_t freelist_hits = 0;
+  uint64_t ocalls = 0;  ///< boundary crossings: chunk acquire + huge release
 };
 
 /// The Aria user-space allocator.
@@ -75,6 +79,8 @@ class HeapAllocator : public UntrustedAllocator {
   static size_t RoundUpToClass(size_t size);
 
   const HeapAllocatorStats& stats() const { return stats_; }
+
+  void CollectMetrics(obs::MetricSink* sink) const override;
 
  private:
   struct Chunk {
@@ -108,12 +114,18 @@ class OcallAllocator : public UntrustedAllocator {
   Status Free(void* p) override;
   size_t UsableBytes(const void* p) const override;
 
+  void CollectMetrics(obs::MetricSink* sink) const override;
+
  private:
   sgx::EnclaveRuntime* enclave_;
   // Live allocations (base -> size), ordered so interior pointers can be
   // resolved with upper_bound. Trusted metadata, mirrors what a real
   // enclave would have to track to bound untrusted lengths.
   std::map<uintptr_t, size_t> live_;
+  uint64_t allocs_ = 0;
+  uint64_t frees_ = 0;
+  uint64_t ocalls_ = 0;
+  uint64_t bytes_in_use_ = 0;
 };
 
 }  // namespace aria

@@ -240,4 +240,13 @@ Status ShieldStore::Delete(Slice key) {
   return Status::OK();
 }
 
+void ShieldStore::CollectMetrics(obs::MetricSink* sink) const {
+  sink->Counter("entries_scanned", stats_.entries_scanned);
+  sink->Counter("root_updates", stats_.root_updates);
+  sink->Counter("bucket_verifications", stats_.bucket_verifications);
+  sink->Gauge("buckets", config_.num_buckets);
+  sink->Gauge("trusted_bytes", trusted_bytes());
+  sink->Gauge("live_entries", size_);
+}
+
 }  // namespace aria

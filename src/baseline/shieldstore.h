@@ -57,6 +57,8 @@ class ShieldStore : public KVStore {
   /// EPC bytes held by the root array.
   uint64_t trusted_bytes() const;
 
+  void CollectMetrics(obs::MetricSink* sink) const override;
+
  private:
   // Entry layout in untrusted memory:
   // [next 8][hint 4][k_len 2][v_len 2][counter 16][ciphertext][mac 16]

@@ -379,14 +379,16 @@ Status SecureCache::EvictOne() {
     ARIA_RETURN_IF_ERROR(PropagateMacUp(id, mac));
     // Plaintext write-back: security metadata needs integrity only (§IV-C).
     // An adversary dropping (or duplicating) this untrusted write must be
-    // caught by the freshly propagated MAC on the next load.
+    // caught by the freshly propagated MAC on the next load. bytes_swapped_out
+    // counts bytes actually written, so a dropped write-back also breaks the
+    // swap-byte conservation law (obs/invariants.h).
     if (!fault::InjectWritebackDrop(tree_->NodePtr(id.level, id.index),
                                     SlotPtr(victim), node_size_)) {
       std::memcpy(tree_->NodePtr(id.level, id.index), SlotPtr(victim),
                   node_size_);
+      stats_.bytes_swapped_out += node_size_;
     }
     stats_.dirty_writebacks++;
-    stats_.bytes_swapped_out += node_size_;
     stats_.encryption_bytes_avoided += node_size_;
   } else if (config_.avoid_clean_writeback) {
     stats_.clean_discards++;
@@ -395,6 +397,7 @@ Status SecureCache::EvictOne() {
     enclave_->TouchRead(SlotPtr(victim), node_size_);
     std::memcpy(tree_->NodePtr(id.level, id.index), SlotPtr(victim),
                 node_size_);
+    stats_.clean_writebacks++;
     stats_.bytes_swapped_out += node_size_;
   }
   ClearSlot(id);
@@ -623,6 +626,9 @@ void SecureCache::NoteAccess(bool hit) {
 }
 
 Status SecureCache::ReadCounter(uint64_t c, uint8_t out[16]) {
+  // Counted at the entry point, while hits/misses are counted deep in the
+  // branch logic — the access-conservation law cross-checks the two.
+  stats_.accesses++;
   if (pending_stop_swap_) {
     pending_stop_swap_ = false;
     ARIA_RETURN_IF_ERROR(StopSwap());
@@ -634,7 +640,11 @@ Status SecureCache::ReadCounter(uint64_t c, uint8_t out[16]) {
   uint8_t* p = TrustedNodePtr(leaf, &slot);
   if (p != nullptr) {
     NoteAccess(true);
-    if (slot != kNoSlot) policy_->OnHit(slot);
+    if (slot != kNoSlot) {
+      policy_->OnHit(slot);
+    } else {
+      stats_.pinned_hits++;
+    }
     enclave_->TouchRead(p + off, FlatMerkleTree::kCounterSize);
     std::memcpy(out, p + off, FlatMerkleTree::kCounterSize);
     return Status::OK();
@@ -647,6 +657,7 @@ Status SecureCache::ReadCounter(uint64_t c, uint8_t out[16]) {
 }
 
 Status SecureCache::BumpCounter(uint64_t c, uint8_t out[16]) {
+  stats_.accesses++;
   if (pending_stop_swap_) {
     pending_stop_swap_ = false;
     ARIA_RETURN_IF_ERROR(StopSwap());
@@ -662,7 +673,11 @@ Status SecureCache::BumpCounter(uint64_t c, uint8_t out[16]) {
     p = SlotPtr(slot);
   } else {
     NoteAccess(true);
-    if (slot != kNoSlot) policy_->OnHit(slot);
+    if (slot != kNoSlot) {
+      policy_->OnHit(slot);
+    } else {
+      stats_.pinned_hits++;
+    }
   }
   Increment128(p + off);
   enclave_->TouchWrite(p + off, FlatMerkleTree::kCounterSize);
@@ -687,6 +702,7 @@ Status SecureCache::StopSwapAccess(uint64_t c, bool increment,
   if (p != nullptr) {
     // The whole leaf level is pinned — no verification needed at all.
     stats_.hits++;
+    stats_.pinned_hits++;
     if (increment) {
       Increment128(p + off);
       enclave_->TouchWrite(p + off, FlatMerkleTree::kCounterSize);
@@ -716,6 +732,27 @@ Status SecureCache::StopSwapAccess(uint64_t c, bool increment,
   cmac_->Mac(buf.data(), node_size_, mac);
   stats_.mac_verifications++;
   return PropagateMacUp(leaf, mac);
+}
+
+void SecureCache::CollectMetrics(obs::MetricSink* sink) const {
+  sink->Counter("accesses", stats_.accesses);
+  sink->Counter("hits", stats_.hits);
+  sink->Counter("pinned_hits", stats_.pinned_hits);
+  sink->Counter("misses", stats_.misses);
+  sink->Counter("evictions", stats_.evictions);
+  sink->Counter("clean_discards", stats_.clean_discards);
+  sink->Counter("clean_writebacks", stats_.clean_writebacks);
+  sink->Counter("dirty_writebacks", stats_.dirty_writebacks);
+  sink->Counter("writebacks_avoided", stats_.writebacks_avoided);
+  sink->Counter("mac_verifications", stats_.mac_verifications);
+  sink->Counter("bytes_swapped_in", stats_.bytes_swapped_in);
+  sink->Counter("bytes_swapped_out", stats_.bytes_swapped_out);
+  sink->Counter("encryption_bytes_avoided", stats_.encryption_bytes_avoided);
+  sink->Gauge("pinned_bytes", stats_.pinned_bytes);
+  sink->Gauge("slot_bytes", stats_.slot_bytes);
+  sink->Gauge("metadata_bytes", stats_.metadata_bytes);
+  sink->Gauge("node_size", node_size_);
+  sink->Gauge("swap_stopped", stats_.swap_stopped ? 1 : 0);
 }
 
 }  // namespace aria

@@ -27,6 +27,7 @@
 #include "common/status.h"
 #include "crypto/cmac.h"
 #include "mt/flat_merkle_tree.h"
+#include "obs/metrics.h"
 #include "sgxsim/enclave_runtime.h"
 
 namespace aria {
@@ -60,10 +61,14 @@ struct SecureCacheConfig {
 };
 
 struct SecureCacheStats {
+  uint64_t accesses = 0;  ///< every ReadCounter/BumpCounter entry; must equal
+                          ///< hits + misses (conservation law, DESIGN.md §9)
   uint64_t hits = 0;
+  uint64_t pinned_hits = 0;  ///< subset of hits served from pinned levels
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t clean_discards = 0;
+  uint64_t clean_writebacks = 0;  ///< only with avoid_clean_writeback off
   uint64_t dirty_writebacks = 0;
   uint64_t mac_verifications = 0;
   uint64_t bytes_swapped_in = 0;
@@ -83,11 +88,11 @@ struct SecureCacheStats {
 
 /// Software cache of MT nodes for one FlatMerkleTree. Not thread-safe (one
 /// store instance = one enclave = one cache, as in the paper).
-class SecureCache {
+class SecureCache : public obs::Observable {
  public:
   SecureCache(sgx::EnclaveRuntime* enclave, FlatMerkleTree* tree,
               const crypto::Cmac128* cmac, SecureCacheConfig config);
-  ~SecureCache();
+  ~SecureCache() override;
 
   SecureCache(const SecureCache&) = delete;
   SecureCache& operator=(const SecureCache&) = delete;
@@ -110,6 +115,8 @@ class SecureCache {
   bool swap_stopped() const { return stats_.swap_stopped; }
   const SecureCacheStats& stats() const { return stats_; }
   const SecureCacheConfig& config() const { return config_; }
+
+  void CollectMetrics(obs::MetricSink* sink) const override;
 
   /// Number of node slots available after pinning (exposed for tests).
   uint64_t num_slots() const { return num_slots_; }

@@ -118,7 +118,12 @@ Status AriaBPlusTree::SealKeyValue(Node* node, int slot, Slice key,
   ARIA_RETURN_IF_ERROR(counters_->BumpCounter(red.value(), ctr));
   auto mem =
       allocator_->Alloc(RecordCodec::SealedSize(key.size(), value.size()));
-  if (!mem.ok()) return mem.status();
+  if (!mem.ok()) {
+    // Roll the fetched counter back so record-counter conservation holds
+    // even when the allocation fails (DESIGN.md §9).
+    counters_->FreeCounter(red.value()).ok();
+    return mem.status();
+  }
   uint8_t* rec = static_cast<uint8_t*>(mem.value());
   node->records[slot] = rec;
   codec_->Seal(red.value(), ctr, key, value,
@@ -430,6 +435,16 @@ Status AriaBPlusTree::VerifyFullIntegrity() {
         "leaf key count mismatch (unauthorized deletion)");
   }
   return Status::OK();
+}
+
+void AriaBPlusTree::CollectMetrics(obs::MetricSink* sink) const {
+  sink->Counter("splits", stats_.splits);
+  sink->Counter("descent_decrypts", stats_.descent_decrypts);
+  sink->Counter("scan_decrypts", stats_.scan_decrypts);
+  sink->Gauge("leaf_nodes", stats_.leaf_nodes);
+  sink->Gauge("inner_nodes", stats_.inner_nodes);
+  sink->Gauge("height", static_cast<uint64_t>(height_));
+  sink->Gauge("live_entries", total_keys_);
 }
 
 }  // namespace aria

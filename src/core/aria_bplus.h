@@ -61,6 +61,10 @@ class AriaBPlusTree : public OrderedKVStore {
   int height() const { return height_; }
   const AriaBPlusStats& stats() const { return stats_; }
 
+  /// live_entries counts leaf KV pairs only; separators own extra counters,
+  /// so for this index the record-counter law checks live <= cm.used.
+  void CollectMetrics(obs::MetricSink* sink) const override;
+
   /// Test-only attacker hook: untrusted record-pointer slot for `key`.
   uint8_t** DebugRecordSlot(Slice key);
 

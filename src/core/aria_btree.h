@@ -58,6 +58,8 @@ class AriaBTree : public OrderedKVStore {
   int height() const { return height_; }
   const AriaBTreeStats& stats() const { return stats_; }
 
+  void CollectMetrics(obs::MetricSink* sink) const override;
+
   /// Test-only attacker hook: address of the record-pointer slot currently
   /// holding `key`'s record (nullptr if absent). Found by decrypting like a
   /// normal descent, but the returned cell lives in untrusted memory.

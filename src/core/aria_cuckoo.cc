@@ -158,7 +158,12 @@ Status AriaCuckoo::Put(Slice key, Slice value) {
   ARIA_RETURN_IF_ERROR(counters_->BumpCounter(red.value(), ctr));
   auto mem =
       allocator_->Alloc(RecordCodec::SealedSize(key.size(), value.size()));
-  if (!mem.ok()) return mem.status();
+  if (!mem.ok()) {
+    // Roll the fetched counter back so record-counter conservation holds
+    // even when the allocation fails (DESIGN.md §9).
+    counters_->FreeCounter(red.value()).ok();
+    return mem.status();
+  }
   uint8_t* rec = static_cast<uint8_t*>(mem.value());
   // Seal with a provisional AdField; it is fixed up when the record lands.
   codec_->Seal(red.value(), ctr, key, value, /*ad_field=*/0, rec);
@@ -348,6 +353,17 @@ uint8_t** AriaCuckoo::DebugSlotCell(Slice key) {
     }
   }
   return nullptr;
+}
+
+void AriaCuckoo::CollectMetrics(obs::MetricSink* sink) const {
+  sink->Counter("kicks", stats_.kicks);
+  sink->Counter("probes", stats_.probes);
+  sink->Counter("reseals", stats_.reseals);
+  sink->Counter("failed_inserts", stats_.failed_inserts);
+  sink->Counter("grows", stats_.grows);
+  sink->Gauge("buckets", config_.num_buckets);
+  sink->Gauge("trusted_index_bytes", trusted_index_bytes());
+  sink->Gauge("live_entries", size_);
 }
 
 }  // namespace aria

@@ -71,6 +71,8 @@ class AriaCuckoo : public KVStore {
   const AriaCuckooStats& stats() const { return stats_; }
   uint64_t trusted_index_bytes() const;
 
+  void CollectMetrics(obs::MetricSink* sink) const override;
+
   // Test-only attacker hooks.
   uint8_t** DebugSlotCell(Slice key);
 

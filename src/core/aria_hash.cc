@@ -183,7 +183,12 @@ Status AriaHash::Put(Slice key, Slice value) {
   ARIA_RETURN_IF_ERROR(counters_->BumpCounter(red.value(), ctr));
 
   auto mem = allocator_->Alloc(kEntryHeader + sealed);
-  if (!mem.ok()) return mem.status();
+  if (!mem.ok()) {
+    // Return the fetched counter so the fetch/free/used books still balance
+    // after a failed insert (record-counter conservation, DESIGN.md §9).
+    counters_->FreeCounter(red.value()).ok();
+    return mem.status();
+  }
   uint8_t* ne = static_cast<uint8_t*>(mem.value());
   SetEntryNext(ne, nullptr);
   SetEntryHint(ne, KeyHint(key));
@@ -224,6 +229,15 @@ Status AriaHash::Delete(Slice key) {
   bucket_counts_[b]--;
   size_--;
   return Status::OK();
+}
+
+void AriaHash::CollectMetrics(obs::MetricSink* sink) const {
+  sink->Counter("entries_walked", stats_.entries_walked);
+  sink->Counter("hint_matches", stats_.hint_matches);
+  sink->Counter("reseals", stats_.reseals);
+  sink->Gauge("buckets", config_.num_buckets);
+  sink->Gauge("trusted_index_bytes", trusted_index_bytes());
+  sink->Gauge("live_entries", size_);
 }
 
 }  // namespace aria

@@ -58,6 +58,8 @@ class AriaHash : public KVStore {
   /// EPC bytes used by index metadata (trusted bucket counts).
   uint64_t trusted_index_bytes() const;
 
+  void CollectMetrics(obs::MetricSink* sink) const override;
+
   // --- test-only hooks emulating an attacker with full access to untrusted
   // memory (the bucket array, chain pointers and sealed entries) ---
 

@@ -9,12 +9,13 @@
 
 #include "common/slice.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace aria {
 
-class KVStore {
+class KVStore : public obs::Observable {
  public:
-  virtual ~KVStore() = default;
+  ~KVStore() override = default;
 
   /// Insert or overwrite a KV pair.
   virtual Status Put(Slice key, Slice value) = 0;
@@ -31,6 +32,13 @@ class KVStore {
 
   /// Number of live KV pairs.
   virtual uint64_t size() const = 0;
+
+  /// Every store reports at least the live_entries gauge; concrete indexes
+  /// override to add their own stats and must keep emitting live_entries
+  /// (the record-counter conservation law reads it, DESIGN.md §9).
+  void CollectMetrics(obs::MetricSink* sink) const override {
+    sink->Gauge("live_entries", size());
+  }
 };
 
 /// Stores with an ordered index additionally support range scans — the

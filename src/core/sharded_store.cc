@@ -148,4 +148,45 @@ uint64_t ShardedStore::size() const {
   return total;
 }
 
+obs::Snapshot ShardedStore::ShardSnapshot(uint32_t i) const {
+  const Shard& s = *shards_[i];
+  std::shared_lock<std::shared_mutex> lock(s.mu);
+  return s.bundle.registry.Collect();
+}
+
+void ShardedStore::CollectMetrics(obs::MetricSink* sink) const {
+  obs::Snapshot total;
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    total.Accumulate(ShardSnapshot(i));
+  }
+  for (const auto& [name, metric] : total.values()) {
+    if (metric.kind == obs::MetricKind::kCounter) {
+      sink->Counter(name, metric.value);
+    } else {
+      sink->Gauge(name, metric.value);
+    }
+  }
+}
+
+obs::InvariantReport ShardedStore::CheckInvariants() const {
+  obs::InvariantReport report;
+  std::vector<obs::Snapshot> snapshots;
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    const Shard& s = *shards_[i];
+    obs::InvariantReport shard_report = s.bundle.CheckInvariants();
+    for (auto& v : shard_report.violations) {
+      v.detail = "shard " + std::to_string(i) + ": " + v.detail;
+      report.violations.push_back(std::move(v));
+    }
+    for (auto& law : shard_report.laws_checked) {
+      report.laws_checked.push_back(std::move(law));
+    }
+    snapshots.push_back(ShardSnapshot(i));
+  }
+  obs::Snapshot aggregate;
+  for (const auto& snap : snapshots) aggregate.Accumulate(snap);
+  obs::InvariantChecker::CheckShardSums(snapshots, aggregate, &report);
+  return report;
+}
+
 }  // namespace aria

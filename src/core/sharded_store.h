@@ -78,6 +78,17 @@ class ShardedStore : public OrderedKVStore {
     return shards_[0]->bundle.enclave->cost_model();
   }
 
+  /// Metrics of shard `i` alone (under the shard's own lock).
+  obs::Snapshot ShardSnapshot(uint32_t i) const;
+
+  /// Sum of all shards' snapshots: counters add, and gauges add too —
+  /// aggregate live_entries / bytes_in_use across disjoint shards are the
+  /// meaningful totals. The shard-conservation law re-derives this sum.
+  void CollectMetrics(obs::MetricSink* sink) const override;
+
+  /// Per-shard conservation laws plus shard-sum reconciliation.
+  obs::InvariantReport CheckInvariants() const;
+
  private:
   struct Shard {
     StoreBundle bundle;

@@ -27,6 +27,7 @@ uint64_t DefaultShieldBuckets(uint64_t keyspace) {
 }  // namespace
 
 Status CreateStore(const StoreOptions& options, StoreBundle* out) {
+  out->options = options;
   if (options.num_shards > 1) {
     // The sharded front-end recursively builds one single-shard bundle per
     // shard; the outer bundle only carries the combined store and label.
@@ -59,6 +60,19 @@ Status CreateStore(const StoreOptions& options, StoreBundle* out) {
                                              out->aes.get(), out->cmac.get(),
                                              out->allocator.get());
 
+  // Per-component allocator views: everything untrusted the index or the
+  // counter layer allocates flows through its view, so the allocator-
+  // conservation law can decompose the global bytes_in_use (the codec only
+  // reads allocation bounds, it never allocates).
+  auto index_mem_owner =
+      std::make_unique<obs::TrackedAllocator>(out->allocator.get());
+  auto cm_mem_owner =
+      std::make_unique<obs::TrackedAllocator>(out->allocator.get());
+  obs::TrackedAllocator* index_mem = index_mem_owner.get();
+  obs::TrackedAllocator* cm_mem = cm_mem_owner.get();
+  out->tracked_allocators.push_back(std::move(index_mem_owner));
+  out->tracked_allocators.push_back(std::move(cm_mem_owner));
+
   const uint64_t keyspace = options.keyspace;
   switch (options.scheme) {
     case Scheme::kBaseline: {
@@ -74,7 +88,7 @@ Status CreateStore(const StoreOptions& options, StoreBundle* out) {
         out->store = std::make_unique<EnclaveBTree>(out->enclave.get());
         out->label = "Baseline-T";
       }
-      return Status::OK();
+      break;
     }
 
     case Scheme::kShieldStore: {
@@ -88,12 +102,12 @@ Status CreateStore(const StoreOptions& options, StoreBundle* out) {
                             ? options.shieldstore_buckets
                             : DefaultShieldBuckets(keyspace);
       auto store = std::make_unique<ShieldStore>(
-          out->enclave.get(), out->allocator.get(), out->aes.get(),
+          out->enclave.get(), index_mem, out->aes.get(),
           out->cmac.get(), out->rng.get(), cfg);
       ARIA_RETURN_IF_ERROR(store->Init());
       out->store = std::move(store);
       out->label = "ShieldStore";
-      return Status::OK();
+      break;
     }
 
     case Scheme::kAriaNoCache: {
@@ -144,7 +158,7 @@ Status CreateStore(const StoreOptions& options, StoreBundle* out) {
       cfg.growth_cache = cfg.cache;
       cfg.growth_cache.capacity_bytes = 4ull * 1024 * 1024;
       auto counters = std::make_unique<CounterManager>(
-          out->enclave.get(), out->allocator.get(), out->cmac.get(),
+          out->enclave.get(), cm_mem, out->cmac.get(),
           out->rng.get(), cfg);
       ARIA_RETURN_IF_ERROR(counters->Init());
       out->counters = std::move(counters);
@@ -155,39 +169,80 @@ Status CreateStore(const StoreOptions& options, StoreBundle* out) {
     }
   }
 
-  // Aria / Aria w/o Cache share the index implementations.
-  if (options.index == IndexKind::kBPlusTree) {
-    out->store = std::make_unique<AriaBPlusTree>(
-        out->enclave.get(), out->allocator.get(), out->codec.get(),
-        out->counters.get());
-  } else if (options.index == IndexKind::kCuckoo) {
-    AriaCuckooConfig cfg;
-    // 4 slots/bucket at ~60% load factor.
-    cfg.num_buckets = options.num_buckets != 0
-                          ? options.num_buckets
-                          : (keyspace * 10 / 24 < 1024 ? 1024
-                                                       : keyspace * 10 / 24);
-    auto store = std::make_unique<AriaCuckoo>(
-        out->enclave.get(), out->allocator.get(), out->codec.get(),
-        out->counters.get(), cfg);
-    ARIA_RETURN_IF_ERROR(store->Init());
-    out->store = std::move(store);
-  } else if (options.index == IndexKind::kHash) {
-    AriaHashConfig cfg;
-    cfg.out_of_place_updates = options.out_of_place_updates;
-    cfg.num_buckets = options.num_buckets != 0 ? options.num_buckets
-                                               : DefaultBuckets(keyspace);
-    auto store = std::make_unique<AriaHash>(
-        out->enclave.get(), out->allocator.get(), out->codec.get(),
-        out->counters.get(), cfg);
-    ARIA_RETURN_IF_ERROR(store->Init());
-    out->store = std::move(store);
-  } else {
-    out->store = std::make_unique<AriaBTree>(
-        out->enclave.get(), out->allocator.get(), out->codec.get(),
-        out->counters.get());
+  // Aria / Aria w/o Cache share the index implementations (the Baseline /
+  // ShieldStore branches built their store inside the switch).
+  if (out->store == nullptr) {
+    if (options.index == IndexKind::kBPlusTree) {
+      out->store = std::make_unique<AriaBPlusTree>(
+          out->enclave.get(), index_mem, out->codec.get(),
+          out->counters.get());
+    } else if (options.index == IndexKind::kCuckoo) {
+      AriaCuckooConfig cfg;
+      // 4 slots/bucket at ~60% load factor.
+      cfg.num_buckets = options.num_buckets != 0
+                            ? options.num_buckets
+                            : (keyspace * 10 / 24 < 1024 ? 1024
+                                                         : keyspace * 10 / 24);
+      auto store = std::make_unique<AriaCuckoo>(
+          out->enclave.get(), index_mem, out->codec.get(),
+          out->counters.get(), cfg);
+      ARIA_RETURN_IF_ERROR(store->Init());
+      out->store = std::move(store);
+    } else if (options.index == IndexKind::kHash) {
+      AriaHashConfig cfg;
+      cfg.out_of_place_updates = options.out_of_place_updates;
+      cfg.num_buckets = options.num_buckets != 0 ? options.num_buckets
+                                                 : DefaultBuckets(keyspace);
+      auto store = std::make_unique<AriaHash>(
+          out->enclave.get(), index_mem, out->codec.get(),
+          out->counters.get(), cfg);
+      ARIA_RETURN_IF_ERROR(store->Init());
+      out->store = std::move(store);
+    } else {
+      out->store = std::make_unique<AriaBTree>(
+          out->enclave.get(), index_mem, out->codec.get(),
+          out->counters.get());
+    }
   }
+
+  // Observability: one registry entry per layer. The counter store (either
+  // implementation) appears under "cm" so the record-counter law reads a
+  // single namespace for every scheme.
+  out->registry.Register("sgx", out->enclave.get());
+  out->registry.Register("alloc", out->allocator.get());
+  if (out->counters != nullptr) {
+    out->registry.Register(
+        "cm", dynamic_cast<const obs::Observable*>(out->counters.get()));
+  }
+  out->registry.Register("index", out->store.get());
+  out->registry.Register("index.mem", index_mem);
+  out->registry.Register("cm.mem", cm_mem);
   return Status::OK();
+}
+
+obs::Snapshot StoreBundle::Metrics() const {
+  if (auto* sharded = dynamic_cast<ShardedStore*>(store.get())) {
+    obs::Snapshot total;
+    for (uint32_t i = 0; i < sharded->num_shards(); ++i) {
+      total.Accumulate(sharded->ShardSnapshot(i));
+    }
+    return total;
+  }
+  return registry.Collect();
+}
+
+obs::InvariantReport StoreBundle::CheckInvariants() const {
+  if (auto* sharded = dynamic_cast<ShardedStore*>(store.get())) {
+    return sharded->CheckInvariants();
+  }
+  obs::InvariantContext ctx;
+  ctx.has_secure_cache = options.scheme == Scheme::kAria;
+  ctx.has_counter_store = options.scheme == Scheme::kAria ||
+                          options.scheme == Scheme::kAriaNoCache;
+  ctx.counters_match_entries = options.index != IndexKind::kBPlusTree;
+  ctx.avoid_clean_writeback = options.avoid_clean_writeback;
+  ctx.cost_model_enabled = options.cost_model.enabled;
+  return obs::InvariantChecker(ctx).Check(registry.Collect());
 }
 
 }  // namespace aria

@@ -26,6 +26,9 @@
 #include "crypto/cmac.h"
 #include "crypto/secure_random.h"
 #include "metadata/counter_manager.h"
+#include "obs/invariants.h"
+#include "obs/metrics.h"
+#include "obs/tracked_allocator.h"
 #include "sgxsim/enclave_runtime.h"
 
 namespace aria {
@@ -89,12 +92,27 @@ struct StoreBundle {
   std::unique_ptr<KVStore> store;
   std::string label;
 
+  /// The options this bundle was built with (CheckInvariants derives the
+  /// applicable conservation laws from them).
+  StoreOptions options;
+
+  /// Per-component views of `allocator` (index, counter manager) whose
+  /// footprints the allocator-conservation law sums. Components hold raw
+  /// pointers into this vector, so it is destroyed after them but before
+  /// the base allocator.
+  std::vector<std::unique_ptr<obs::TrackedAllocator>> tracked_allocators;
+
+  /// Every layer of this instance, registered under its namespace ("sgx",
+  /// "alloc", "cm", "index", ...) by CreateStore.
+  obs::MetricsRegistry registry;
+
   ~StoreBundle() {
     // The store references the counter store / allocator / enclave; destroy
     // top-down.
     store.reset();
     counters.reset();
     codec.reset();
+    tracked_allocators.clear();
     allocator.reset();
     cmac.reset();
     aes_mac_holder.reset();
@@ -107,6 +125,16 @@ struct StoreBundle {
   CounterManager* counter_manager() {
     return dynamic_cast<CounterManager*>(counters.get());
   }
+
+  /// Flat metrics snapshot across every registered layer. For a sharded
+  /// bundle (num_shards > 1) this is the sum over all shards' snapshots.
+  obs::Snapshot Metrics() const;
+
+  /// Run every applicable cross-layer conservation law (DESIGN.md §9)
+  /// against the current metrics. For a sharded bundle, each shard is
+  /// checked individually and the per-shard sums are reconciled against
+  /// the aggregate. Must not race with in-flight operations.
+  obs::InvariantReport CheckInvariants() const;
 };
 
 Status CreateStore(const StoreOptions& options, StoreBundle* out);

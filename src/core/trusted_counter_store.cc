@@ -40,6 +40,7 @@ uint64_t TrustedCounterStore::trusted_bytes() const {
 }
 
 Result<RedPtr> TrustedCounterStore::FetchCounter() {
+  fetches_++;
   uint64_t slot;
   if (!free_list_.empty()) {
     slot = free_list_.back();
@@ -68,12 +69,14 @@ Status TrustedCounterStore::FreeCounter(RedPtr id) {
   }
   bitmap_[word] &= ~bit;
   free_list_.push_back(id);
+  frees_++;
   used_--;
   return Status::OK();
 }
 
 Status TrustedCounterStore::ReadCounter(RedPtr id, uint8_t out[kCounterSize]) {
   if (id >= capacity_) return Status::InvalidArgument("counter id range");
+  reads_++;
   uint8_t* p = counters_ + id * kCounterSize;
   enclave_->TouchRead(p, kCounterSize);
   std::memcpy(out, p, kCounterSize);
@@ -82,11 +85,22 @@ Status TrustedCounterStore::ReadCounter(RedPtr id, uint8_t out[kCounterSize]) {
 
 Status TrustedCounterStore::BumpCounter(RedPtr id, uint8_t out[kCounterSize]) {
   if (id >= capacity_) return Status::InvalidArgument("counter id range");
+  bumps_++;
   uint8_t* p = counters_ + id * kCounterSize;
   enclave_->TouchWrite(p, kCounterSize);
   Increment128(p);
   std::memcpy(out, p, kCounterSize);
   return Status::OK();
+}
+
+void TrustedCounterStore::CollectMetrics(obs::MetricSink* sink) const {
+  sink->Counter("fetches", fetches_);
+  sink->Counter("frees", frees_);
+  sink->Counter("reads", reads_);
+  sink->Counter("bumps", bumps_);
+  sink->Gauge("used", used_);
+  sink->Gauge("capacity", capacity_);
+  sink->Gauge("trusted_bytes", trusted_bytes());
 }
 
 }  // namespace aria

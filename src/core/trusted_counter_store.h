@@ -10,11 +10,12 @@
 
 #include "core/counter_store.h"
 #include "crypto/secure_random.h"
+#include "obs/metrics.h"
 #include "sgxsim/enclave_runtime.h"
 
 namespace aria {
 
-class TrustedCounterStore : public CounterStore {
+class TrustedCounterStore : public CounterStore, public obs::Observable {
  public:
   TrustedCounterStore(sgx::EnclaveRuntime* enclave,
                       crypto::SecureRandom* rng, uint64_t capacity);
@@ -30,6 +31,10 @@ class TrustedCounterStore : public CounterStore {
 
   uint64_t trusted_bytes() const;
 
+  /// Same fetch/free/used vocabulary as CounterManager so the record-counter
+  /// conservation law reads one "cm." namespace for every scheme.
+  void CollectMetrics(obs::MetricSink* sink) const override;
+
  private:
   sgx::EnclaveRuntime* enclave_;
   crypto::SecureRandom* rng_;
@@ -40,6 +45,10 @@ class TrustedCounterStore : public CounterStore {
   std::vector<uint64_t> free_list_;  // trusted free slots
   uint64_t next_unused_ = 0;
   uint64_t used_ = 0;
+  uint64_t fetches_ = 0;
+  uint64_t frees_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t bumps_ = 0;
 };
 
 }  // namespace aria

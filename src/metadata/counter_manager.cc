@@ -1,6 +1,7 @@
 #include "metadata/counter_manager.h"
 
 #include <cstring>
+#include <string>
 
 #include "common/fault_injection.h"
 
@@ -210,6 +211,7 @@ Status CounterManager::ReadCounter(RedPtr id, uint8_t out[kCounterSize]) {
   uint64_t slot;
   auto unit = UnitFor(id, &slot);
   if (!unit.ok()) return unit.status();
+  stats_.reads++;
   return unit.value()->cache->ReadCounter(slot, out);
 }
 
@@ -217,6 +219,7 @@ Status CounterManager::BumpCounter(RedPtr id, uint8_t out[kCounterSize]) {
   uint64_t slot;
   auto unit = UnitFor(id, &slot);
   if (!unit.ok()) return unit.status();
+  stats_.bumps++;
   return unit.value()->cache->BumpCounter(slot, out);
 }
 
@@ -224,10 +227,13 @@ SecureCacheStats CounterManager::CacheStats() const {
   SecureCacheStats agg;
   for (const auto& unit : units_) {
     const SecureCacheStats& s = unit->cache->stats();
+    agg.accesses += s.accesses;
     agg.hits += s.hits;
+    agg.pinned_hits += s.pinned_hits;
     agg.misses += s.misses;
     agg.evictions += s.evictions;
     agg.clean_discards += s.clean_discards;
+    agg.clean_writebacks += s.clean_writebacks;
     agg.dirty_writebacks += s.dirty_writebacks;
     agg.mac_verifications += s.mac_verifications;
     agg.bytes_swapped_in += s.bytes_swapped_in;
@@ -240,6 +246,27 @@ SecureCacheStats CounterManager::CacheStats() const {
     agg.swap_stopped = agg.swap_stopped || s.swap_stopped;
   }
   return agg;
+}
+
+void CounterManager::CollectMetrics(obs::MetricSink* sink) const {
+  sink->Counter("fetches", stats_.fetches);
+  sink->Counter("frees", stats_.frees);
+  sink->Counter("reads", stats_.reads);
+  sink->Counter("bumps", stats_.bumps);
+  sink->Counter("recycled", stats_.recycled);
+  sink->Counter("background_reservations", stats_.background_reservations);
+  sink->Counter("synchronous_expansions", stats_.synchronous_expansions);
+  sink->Gauge("trees", stats_.trees);
+  sink->Gauge("used", stats_.used);
+  sink->Gauge("untrusted_mt_bytes", stats_.untrusted_mt_bytes);
+  sink->Gauge("trusted_bitmap_bytes", stats_.trusted_bitmap_bytes);
+  for (size_t t = 0; t < units_.size(); ++t) {
+    std::string prefix = "tree" + std::to_string(t);
+    obs::PrefixedSink cache_sink(sink, prefix + ".cache");
+    units_[t]->cache->CollectMetrics(&cache_sink);
+    obs::PrefixedSink mt_sink(sink, prefix + ".mt");
+    units_[t]->tree->CollectMetrics(&mt_sink);
+  }
 }
 
 }  // namespace aria

@@ -20,6 +20,7 @@
 #include "crypto/cmac.h"
 #include "crypto/secure_random.h"
 #include "mt/flat_merkle_tree.h"
+#include "obs/metrics.h"
 #include "sgxsim/enclave_runtime.h"
 
 namespace aria {
@@ -50,6 +51,8 @@ struct CounterManagerStats {
   uint64_t used = 0;
   uint64_t fetches = 0;
   uint64_t frees = 0;
+  uint64_t reads = 0;  ///< ReadCounter calls forwarded to a Secure Cache
+  uint64_t bumps = 0;  ///< BumpCounter calls forwarded to a Secure Cache
   uint64_t recycled = 0;
   uint64_t untrusted_mt_bytes = 0;
   uint64_t trusted_bitmap_bytes = 0;
@@ -58,7 +61,7 @@ struct CounterManagerStats {
 };
 
 /// Aria's counter store: Merkle-tree-protected counters behind Secure Cache.
-class CounterManager : public CounterStore {
+class CounterManager : public CounterStore, public obs::Observable {
  public:
   CounterManager(sgx::EnclaveRuntime* enclave, UntrustedAllocator* allocator,
                  const crypto::Cmac128* cmac, crypto::SecureRandom* rng,
@@ -78,6 +81,10 @@ class CounterManager : public CounterStore {
 
   /// Aggregated Secure Cache statistics across all trees.
   SecureCacheStats CacheStats() const;
+
+  /// Emits its own counters plus each tree's cache and MT metrics under
+  /// "treeN.cache." / "treeN.mt." sub-prefixes.
+  void CollectMetrics(obs::MetricSink* sink) const override;
 
   /// Direct access for tests and benchmarks (tree 0 always exists after
   /// Init).

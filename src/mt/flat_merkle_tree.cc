@@ -94,4 +94,12 @@ Status FlatMerkleTree::Init(crypto::SecureRandom* rng) {
   return Status::OK();
 }
 
+void FlatMerkleTree::CollectMetrics(obs::MetricSink* sink) const {
+  sink->Gauge("levels", static_cast<uint64_t>(num_levels()));
+  sink->Gauge("num_counters", num_counters_);
+  sink->Gauge("arity", arity_);
+  sink->Gauge("node_size", node_size_);
+  sink->Gauge("total_bytes", total_bytes_);
+}
+
 }  // namespace aria

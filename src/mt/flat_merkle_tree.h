@@ -21,6 +21,7 @@
 #include "common/status.h"
 #include "crypto/cmac.h"
 #include "crypto/secure_random.h"
+#include "obs/metrics.h"
 #include "sgxsim/enclave_runtime.h"
 
 namespace aria {
@@ -35,7 +36,7 @@ struct MtNodeId {
   }
 };
 
-class FlatMerkleTree {
+class FlatMerkleTree : public obs::Observable {
  public:
   static constexpr size_t kMacSize = 16;
   static constexpr size_t kCounterSize = 16;
@@ -46,7 +47,7 @@ class FlatMerkleTree {
   FlatMerkleTree(sgx::EnclaveRuntime* enclave, UntrustedAllocator* allocator,
                  const crypto::Cmac128* cmac, uint64_t num_counters,
                  size_t arity);
-  ~FlatMerkleTree();
+  ~FlatMerkleTree() override;
 
   FlatMerkleTree(const FlatMerkleTree&) = delete;
   FlatMerkleTree& operator=(const FlatMerkleTree&) = delete;
@@ -102,6 +103,9 @@ class FlatMerkleTree {
 
   /// Total untrusted bytes used by all levels.
   uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Shape gauges (levels, counters, arity, node/total bytes).
+  void CollectMetrics(obs::MetricSink* sink) const override;
 
  private:
   sgx::EnclaveRuntime* enclave_;

@@ -1,0 +1,177 @@
+#include "obs/invariants.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace aria::obs {
+
+namespace {
+
+std::string U64(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+class LawScope {
+ public:
+  LawScope(InvariantReport* report, const char* law)
+      : report_(report), law_(law) {
+    report_->laws_checked.push_back(law);
+  }
+
+  void Expect(bool condition, const std::string& detail) {
+    if (!condition) report_->violations.push_back({law_, detail});
+  }
+
+  void ExpectEq(uint64_t lhs, uint64_t rhs, const std::string& what) {
+    if (lhs != rhs) {
+      report_->violations.push_back(
+          {law_, what + ": " + U64(lhs) + " != " + U64(rhs)});
+    }
+  }
+
+  void ExpectLe(uint64_t lhs, uint64_t rhs, const std::string& what) {
+    if (lhs > rhs) {
+      report_->violations.push_back(
+          {law_, what + ": " + U64(lhs) + " > " + U64(rhs)});
+    }
+  }
+
+ private:
+  InvariantReport* report_;
+  const char* law_;
+};
+
+}  // namespace
+
+std::string InvariantReport::ToString() const {
+  if (violations.empty()) {
+    return "all " + U64(laws_checked.size()) + " invariant laws hold";
+  }
+  std::string out =
+      U64(violations.size()) + " invariant violation(s):";
+  for (const auto& v : violations) {
+    out.append("\n  [").append(v.law).append("] ").append(v.detail);
+  }
+  return out;
+}
+
+InvariantReport InvariantChecker::Check(const Snapshot& snap) const {
+  InvariantReport report;
+
+  // Per-cache laws. Every Secure Cache instance appears under a
+  // "<prefix>.cache." namespace (one per Merkle tree).
+  std::vector<std::string> caches = snap.PrefixesOf(".cache.accesses");
+  if (ctx_.has_secure_cache) {
+    LawScope access(&report, "cache-access-conservation");
+    uint64_t total_accesses = 0;
+    for (const std::string& base : caches) {
+      auto get = [&](const char* name) {
+        return snap.Get(base + ".cache." + name);
+      };
+      uint64_t hits = get("hits");
+      uint64_t misses = get("misses");
+      uint64_t accesses = get("accesses");
+      total_accesses += accesses;
+      access.ExpectEq(hits + misses, accesses, base + ": hits + misses");
+      access.ExpectLe(get("pinned_hits"), hits, base + ": pinned_hits");
+    }
+    // Cross-layer: the counter manager forwards every read/bump to exactly
+    // one cache, and nothing else drives the caches.
+    access.ExpectEq(total_accesses, snap.Get("cm.reads") + snap.Get("cm.bumps"),
+                    "sum(cache accesses) vs cm reads + bumps");
+
+    LawScope evict(&report, "eviction-conservation");
+    LawScope swap(&report, "swap-byte-conservation");
+    for (const std::string& base : caches) {
+      auto get = [&](const char* name) {
+        return snap.Get(base + ".cache." + name);
+      };
+      uint64_t dirty = get("dirty_writebacks");
+      uint64_t clean_wb = get("clean_writebacks");
+      uint64_t discards = get("clean_discards");
+      evict.ExpectEq(dirty + clean_wb + discards, get("evictions"),
+                     base + ": eviction kinds vs evictions");
+      if (ctx_.avoid_clean_writeback) {
+        evict.ExpectEq(clean_wb, 0, base + ": clean write-backs with §IV-C on");
+        evict.ExpectEq(get("writebacks_avoided"), discards,
+                       base + ": writebacks_avoided vs clean discards");
+      }
+      uint64_t node_size = get("node_size");
+      if (node_size != 0) {
+        swap.ExpectEq(get("bytes_swapped_out"), node_size * (dirty + clean_wb),
+                      base + ": swap-out bytes vs write-backs");
+        swap.Expect(get("bytes_swapped_in") % node_size == 0,
+                    base + ": swap-in bytes not node-granular");
+      }
+    }
+  }
+
+  if (ctx_.has_counter_store) {
+    LawScope law(&report, "record-counter-conservation");
+    uint64_t used = snap.Get("cm.used");
+    law.ExpectEq(snap.Get("cm.fetches") - snap.Get("cm.frees"), used,
+                 "fetches - frees vs used");
+    uint64_t live = snap.Get("index.live_entries");
+    if (ctx_.counters_match_entries) {
+      law.ExpectEq(live, used, "index live entries vs used counters");
+    } else {
+      // B+ separators own counters too, so live entries only bound it.
+      law.ExpectLe(live, used, "index live entries vs used counters");
+    }
+  }
+
+  {
+    LawScope law(&report, "allocator-conservation");
+    law.ExpectEq(snap.Get("alloc.bytes_in_use"),
+                 snap.SumSuffix(".mem.untrusted_bytes"),
+                 "allocator bytes_in_use vs component footprints");
+  }
+
+  {
+    LawScope law(&report, "ocall-attribution");
+    law.ExpectEq(snap.Get("sgx.ocalls"), snap.Get("alloc.ocalls"),
+                 "enclave ocalls vs allocator boundary crossings");
+  }
+
+  {
+    LawScope law(&report, "cost-model-attribution");
+    if (!ctx_.cost_model_enabled) {
+      law.ExpectEq(snap.Get("sgx.charged_cycles"), 0,
+                   "cycles charged with cost model off");
+      law.ExpectEq(snap.Get("sgx.page_swaps"), 0,
+                   "page swaps recorded with cost model off");
+    } else {
+      // Paging and MEE traffic imply charges: any recorded event must have
+      // left a nonzero cycle trail.
+      uint64_t events = snap.Get("sgx.page_swaps") +
+                        snap.Get("sgx.mee_lines_read") +
+                        snap.Get("sgx.mee_lines_written") +
+                        snap.Get("sgx.ocalls") + snap.Get("sgx.ecalls");
+      if (events > 0) {
+        law.Expect(snap.Get("sgx.charged_cycles") > 0,
+                   "SGX events recorded but zero cycles charged");
+      }
+    }
+  }
+
+  return report;
+}
+
+void InvariantChecker::CheckShardSums(const std::vector<Snapshot>& shards,
+                                      const Snapshot& aggregate,
+                                      InvariantReport* report) {
+  LawScope law(report, "shard-conservation");
+  Snapshot summed;
+  for (const Snapshot& s : shards) summed.Accumulate(s);
+  for (const auto& [name, metric] : aggregate.values()) {
+    law.ExpectEq(summed.Get(name), metric.value, "shard sum of " + name);
+  }
+  for (const auto& [name, metric] : summed.values()) {
+    (void)metric;
+    law.Expect(aggregate.Has(name), "aggregate missing metric " + name);
+  }
+}
+
+}  // namespace aria::obs

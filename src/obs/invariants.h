@@ -1,0 +1,81 @@
+// Cross-layer conservation laws over metric snapshots (DESIGN.md §9).
+//
+// Each law relates counters maintained by *different* layers (or different
+// code paths of one layer), so a miscounted or dropped event anywhere —
+// including one injected through the fault latch — shows up as a violation.
+// Laws are gated by an InvariantContext describing the store configuration;
+// a law that does not apply to a configuration is skipped, never silently
+// weakened.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace aria::obs {
+
+/// What the checked store is made of; derived from StoreOptions by the
+/// factory (see StoreBundle::CheckInvariants) so the checker itself stays
+/// independent of core headers.
+struct InvariantContext {
+  bool has_secure_cache = false;   ///< scheme kAria
+  bool has_counter_store = false;  ///< kAria or kAriaNoCache
+  /// False for the B+ index, whose routing separators hold counters of
+  /// their own and may outlive deleted leaf keys, making live_entries a
+  /// lower bound on used counters rather than an exact match.
+  bool counters_match_entries = true;
+  bool avoid_clean_writeback = true;
+  bool cost_model_enabled = true;
+};
+
+struct InvariantViolation {
+  std::string law;
+  std::string detail;
+};
+
+struct InvariantReport {
+  std::vector<InvariantViolation> violations;
+  /// Laws that were actually evaluated (non-vacuously) on this snapshot.
+  std::vector<std::string> laws_checked;
+
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;
+};
+
+/// Evaluates every applicable conservation law against a snapshot. The laws
+/// (names as they appear in reports):
+///   cache-access-conservation  hits + misses == accesses per cache, the
+///                              pinned-hit subset bounded by hits, and the
+///                              sum of cache accesses equal to the counter
+///                              manager's read + bump calls          (§IV-B)
+///   eviction-conservation      every eviction is exactly one of dirty
+///                              write-back, clean discard, clean
+///                              write-back; clean discards never write
+///                              untrusted memory                     (§IV-C)
+///   swap-byte-conservation     bytes swapped out == node_size x write-backs
+///                              (catches dropped eviction write-backs)
+///   record-counter-conservation  used == fetched - freed, and live index
+///                              entries match used counters          (§V-C)
+///   allocator-conservation     allocator bytes_in_use == Σ per-component
+///                              untrusted footprints                 (§V-B)
+///   ocall-attribution          every OCALL comes from the allocator's
+///                              chunk-granularity boundary crossings (§V-B)
+///   cost-model-attribution     a disabled cost model charges nothing
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(InvariantContext ctx) : ctx_(ctx) {}
+
+  InvariantReport Check(const Snapshot& snap) const;
+
+  /// shard-conservation: for every counter metric, the per-shard sum must
+  /// equal the aggregate snapshot's value. Appends to `report`.
+  static void CheckShardSums(const std::vector<Snapshot>& shards,
+                             const Snapshot& aggregate,
+                             InvariantReport* report);
+
+ private:
+  InvariantContext ctx_;
+};
+
+}  // namespace aria::obs

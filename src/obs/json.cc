@@ -1,0 +1,96 @@
+#include "obs/json.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace aria::obs {
+
+namespace {
+
+void AppendIndent(std::string* out, int depth) {
+  out->append(static_cast<size_t>(depth), ' ');
+}
+
+void AppendQuoted(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  out->append(buf);
+}
+
+void AppendSnapshot(std::string* out, const Snapshot& snapshot, int indent) {
+  out->append("{");
+  bool first = true;
+  for (const auto& [name, metric] : snapshot.values()) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->push_back('\n');
+    AppendIndent(out, indent);
+    AppendQuoted(out, name);
+    out->append(": ");
+    AppendU64(out, metric.value);
+  }
+  if (!first) {
+    out->push_back('\n');
+    AppendIndent(out, indent > 2 ? indent - 2 : 0);
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string ToJson(const Snapshot& snapshot, int indent) {
+  std::string out;
+  AppendSnapshot(&out, snapshot, indent);
+  out.push_back('\n');
+  return out;
+}
+
+std::string BenchArtifactJson(const std::string& bench,
+                              const std::string& label,
+                              const std::map<std::string, double>& fields,
+                              const Snapshot& metrics) {
+  std::string out = "{\n  \"bench\": ";
+  AppendQuoted(&out, bench);
+  out.append(",\n  \"label\": ");
+  AppendQuoted(&out, label);
+  for (const auto& [name, value] : fields) {
+    out.append(",\n  ");
+    AppendQuoted(&out, name);
+    out.append(": ");
+    AppendDouble(&out, value);
+  }
+  out.append(",\n  \"metrics\": ");
+  AppendSnapshot(&out, metrics, 4);
+  out.append("\n}\n");
+  return out;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  int rc = std::fclose(f);
+  if (written != content.size() || rc != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace aria::obs

@@ -1,0 +1,30 @@
+// Minimal JSON emission for metric snapshots, so benches can drop
+// BENCH_<name>.json artifacts (flat, sorted, diff-friendly) without a JSON
+// dependency. Only what the artifacts need: objects of string -> (uint64 |
+// double | string | nested metrics object).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace aria::obs {
+
+/// `{"a.b": 1, "a.c": 2, ...}` — one line per metric, sorted by name.
+std::string ToJson(const Snapshot& snapshot, int indent = 2);
+
+/// Bench artifact envelope:
+/// `{"bench": ..., "label": ..., <fields...>, "metrics": {<snapshot>}}`.
+/// `fields` carries run-level scalars (throughput, ops, scale).
+std::string BenchArtifactJson(const std::string& bench,
+                              const std::string& label,
+                              const std::map<std::string, double>& fields,
+                              const Snapshot& metrics);
+
+/// Write `content` to `path` atomically enough for bench artifacts
+/// (truncate + write + close).
+Status WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace aria::obs

@@ -1,0 +1,108 @@
+#include "obs/metrics.h"
+
+namespace aria::obs {
+
+namespace {
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Sink writing straight into a Snapshot.
+class SnapshotSink : public MetricSink {
+ public:
+  explicit SnapshotSink(Snapshot* out) : out_(out) {}
+  void Counter(std::string_view name, uint64_t value) override {
+    out_->Set(std::string(name), value, MetricKind::kCounter);
+  }
+  void Gauge(std::string_view name, uint64_t value) override {
+    out_->Set(std::string(name), value, MetricKind::kGauge);
+  }
+
+ private:
+  Snapshot* out_;
+};
+
+}  // namespace
+
+void Snapshot::Set(std::string name, uint64_t value, MetricKind kind) {
+  values_[std::move(name)] = Metric{value, kind};
+}
+
+uint64_t Snapshot::Get(std::string_view name) const {
+  auto it = values_.find(std::string(name));
+  return it == values_.end() ? 0 : it->second.value;
+}
+
+bool Snapshot::Has(std::string_view name) const {
+  return values_.find(std::string(name)) != values_.end();
+}
+
+uint64_t Snapshot::SumSuffix(std::string_view suffix) const {
+  uint64_t total = 0;
+  for (const auto& [name, metric] : values_) {
+    if (EndsWith(name, suffix)) total += metric.value;
+  }
+  return total;
+}
+
+std::vector<std::string> Snapshot::PrefixesOf(std::string_view suffix) const {
+  std::vector<std::string> out;
+  for (const auto& [name, metric] : values_) {
+    (void)metric;
+    if (EndsWith(name, suffix)) {
+      out.push_back(name.substr(0, name.size() - suffix.size()));
+    }
+  }
+  return out;
+}
+
+Snapshot Snapshot::Delta(const Snapshot& earlier) const {
+  Snapshot d;
+  for (const auto& [name, metric] : values_) {
+    if (metric.kind == MetricKind::kCounter) {
+      uint64_t before = earlier.Get(name);
+      d.Set(name, metric.value >= before ? metric.value - before : 0,
+            MetricKind::kCounter);
+    } else {
+      d.Set(name, metric.value, MetricKind::kGauge);
+    }
+  }
+  return d;
+}
+
+void Snapshot::Accumulate(const Snapshot& other) {
+  for (const auto& [name, metric] : other.values_) {
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+      values_[name] = metric;
+    } else {
+      it->second.value += metric.value;
+    }
+  }
+}
+
+void MetricsRegistry::Register(std::string prefix, const Observable* obs) {
+  entries_.emplace_back(std::move(prefix), obs);
+}
+
+Snapshot MetricsRegistry::Collect() const {
+  Snapshot snap;
+  SnapshotSink sink(&snap);
+  CollectMetrics(&sink);
+  return snap;
+}
+
+void MetricsRegistry::CollectMetrics(MetricSink* sink) const {
+  for (const auto& [prefix, obs] : entries_) {
+    if (prefix.empty()) {
+      obs->CollectMetrics(sink);
+    } else {
+      PrefixedSink prefixed(sink, prefix);
+      obs->CollectMetrics(&prefixed);
+    }
+  }
+}
+
+}  // namespace aria::obs

@@ -1,0 +1,129 @@
+// Unified observability layer: every storage layer (enclave runtime, Secure
+// Cache, allocator, counter manager, Merkle tree, index, sharded front-end)
+// exposes its counters through the small Observable interface, and a
+// MetricsRegistry assembles them into one flat, dot-prefixed Snapshot.
+//
+// Two metric kinds:
+//  * counter — monotonically increasing event count; Delta subtracts
+//  * gauge   — point-in-time level (bytes in use, live entries); Delta keeps
+//    the later value
+//
+// Snapshots are plain sorted maps so tests can assert relationships between
+// layers (see obs/invariants.h) and benches can serialize them (obs/json.h)
+// without any registry machinery at read time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace aria::obs {
+
+enum class MetricKind : uint8_t { kCounter, kGauge };
+
+struct Metric {
+  uint64_t value = 0;
+  MetricKind kind = MetricKind::kCounter;
+};
+
+/// Receives one layer's metrics during collection. Implementations prepend
+/// the registration prefix; layers only use local names ("hits", not
+/// "cm.tree0.cache.hits").
+class MetricSink {
+ public:
+  virtual ~MetricSink() = default;
+  virtual void Counter(std::string_view name, uint64_t value) = 0;
+  virtual void Gauge(std::string_view name, uint64_t value) = 0;
+};
+
+/// Implemented by every layer that contributes metrics. Collection must be
+/// cheap and side-effect free: it reads existing stats structs, it does not
+/// compute anything new.
+class Observable {
+ public:
+  virtual ~Observable() = default;
+  virtual void CollectMetrics(MetricSink* sink) const = 0;
+};
+
+/// Sink adapter that prepends "<prefix>." to every metric name. Layers with
+/// internal sub-components (CounterManager's per-tree caches) use this to
+/// namespace them without knowing their own registration prefix.
+class PrefixedSink : public MetricSink {
+ public:
+  PrefixedSink(MetricSink* base, std::string_view prefix) : base_(base) {
+    prefix_.assign(prefix);
+    if (!prefix_.empty() && prefix_.back() != '.') prefix_.push_back('.');
+  }
+
+  void Counter(std::string_view name, uint64_t value) override {
+    scratch_.assign(prefix_).append(name);
+    base_->Counter(scratch_, value);
+  }
+  void Gauge(std::string_view name, uint64_t value) override {
+    scratch_.assign(prefix_).append(name);
+    base_->Gauge(scratch_, value);
+  }
+
+ private:
+  MetricSink* base_;
+  std::string prefix_;
+  std::string scratch_;
+};
+
+/// A flat, sorted name -> Metric map: the unit the invariant checker and the
+/// JSON emitter consume.
+class Snapshot {
+ public:
+  void Set(std::string name, uint64_t value, MetricKind kind);
+
+  /// Value of `name`, or 0 when absent (absent metrics read as zero so
+  /// conservation laws stay total across schemes that lack a layer).
+  uint64_t Get(std::string_view name) const;
+  bool Has(std::string_view name) const;
+
+  /// Sum of every metric whose name ends with `suffix`.
+  uint64_t SumSuffix(std::string_view suffix) const;
+
+  /// For every metric name ending with `suffix`, the leading part before the
+  /// suffix (e.g. suffix ".cache.accesses" yields "cm.tree0" for
+  /// "cm.tree0.cache.accesses"). Used to enumerate per-instance sub-trees.
+  std::vector<std::string> PrefixesOf(std::string_view suffix) const;
+
+  /// Counters subtract; gauges keep this (the later) snapshot's value.
+  Snapshot Delta(const Snapshot& earlier) const;
+
+  /// Merge-add `other` into this snapshot (counters and gauges both add;
+  /// used by the sharded front-end to aggregate per-shard snapshots).
+  void Accumulate(const Snapshot& other);
+
+  const std::map<std::string, Metric>& values() const { return values_; }
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, Metric> values_;
+};
+
+/// Collects registered Observables into Snapshots, prefixing each one's
+/// metrics with its registration name.
+class MetricsRegistry : public Observable {
+ public:
+  /// Register `obs` under `prefix` ("sgx", "alloc", "cm", "index", ...).
+  /// The pointer must outlive the registry; registration order is
+  /// collection order.
+  void Register(std::string prefix, const Observable* obs);
+
+  Snapshot Collect() const;
+
+  /// A registry is itself observable, so registries can nest.
+  void CollectMetrics(MetricSink* sink) const override;
+
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<std::pair<std::string, const Observable*>> entries_;
+};
+
+}  // namespace aria::obs

@@ -1,0 +1,65 @@
+// Per-component view of the shared untrusted allocator that tracks the live
+// footprint of everything allocated through it. The factory hands each
+// component (index, counter manager) its own view; the invariant checker
+// then asserts that the allocator's global bytes_in_use equals the sum of
+// the per-component footprints — the "allocator live_bytes == Σ record
+// footprints + MT/counter areas" conservation law, with no bookkeeping
+// inside the components themselves.
+//
+// Footprints use UsableBytes(p) at the block base, which is exactly what
+// HeapAllocator adds to bytes_in_use (the rounded size class, or the exact
+// size for huge allocations) and what OcallAllocator records per malloc.
+#pragma once
+
+#include <cstdint>
+
+#include "alloc/heap_allocator.h"
+#include "obs/metrics.h"
+
+namespace aria::obs {
+
+class TrackedAllocator : public UntrustedAllocator {
+ public:
+  explicit TrackedAllocator(UntrustedAllocator* base) : base_(base) {}
+
+  Result<void*> Alloc(size_t size) override {
+    auto r = base_->Alloc(size);
+    if (r.ok()) {
+      allocs_++;
+      untrusted_bytes_ += base_->UsableBytes(r.value());
+    }
+    return r;
+  }
+
+  Status Free(void* p) override {
+    // Capture the footprint before the free invalidates the block.
+    size_t footprint = base_->UsableBytes(p);
+    Status st = base_->Free(p);
+    if (st.ok()) {
+      frees_++;
+      untrusted_bytes_ -= footprint;
+    }
+    return st;
+  }
+
+  size_t UsableBytes(const void* p) const override {
+    return base_->UsableBytes(p);
+  }
+
+  /// Live untrusted bytes allocated through this view (block-granular).
+  uint64_t untrusted_bytes() const { return untrusted_bytes_; }
+
+  void CollectMetrics(MetricSink* sink) const override {
+    sink->Counter("allocs", allocs_);
+    sink->Counter("frees", frees_);
+    sink->Gauge("untrusted_bytes", untrusted_bytes_);
+  }
+
+ private:
+  UntrustedAllocator* base_;
+  uint64_t allocs_ = 0;
+  uint64_t frees_ = 0;
+  uint64_t untrusted_bytes_ = 0;
+};
+
+}  // namespace aria::obs

@@ -156,4 +156,18 @@ void EnclaveRuntime::Charge(uint64_t cycles) {
   if (model_.enabled) stats_.charged_cycles += cycles;
 }
 
+void EnclaveRuntime::CollectMetrics(obs::MetricSink* sink) const {
+  sink->Counter("charged_cycles", stats_.charged_cycles);
+  sink->Counter("page_swaps", stats_.page_swaps);
+  sink->Counter("epc_page_hits", stats_.epc_page_hits);
+  sink->Counter("ecalls", stats_.ecalls);
+  sink->Counter("ocalls", stats_.ocalls);
+  sink->Counter("mee_lines_read", stats_.mee_lines_read);
+  sink->Counter("mee_lines_written", stats_.mee_lines_written);
+  sink->Counter("trusted_bytes_allocated", stats_.trusted_bytes_allocated);
+  sink->Gauge("trusted_bytes_peak", stats_.trusted_bytes_peak);
+  sink->Gauge("trusted_bytes_in_use", trusted_in_use_);
+  sink->Gauge("epc_budget_bytes", epc_budget_bytes_);
+}
+
 }  // namespace aria::sgx

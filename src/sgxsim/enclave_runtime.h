@@ -13,17 +13,18 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sgxsim/cost_model.h"
 
 namespace aria::sgx {
 
 /// One simulated enclave. Not thread-safe: each tenant owns its own runtime,
 /// matching the paper's multi-process multi-tenant setup.
-class EnclaveRuntime {
+class EnclaveRuntime : public obs::Observable {
  public:
   explicit EnclaveRuntime(uint64_t epc_budget_bytes = CostModel::kDefaultEpcBytes,
                           CostModel model = CostModel{});
-  ~EnclaveRuntime();
+  ~EnclaveRuntime() override;
 
   EnclaveRuntime(const EnclaveRuntime&) = delete;
   EnclaveRuntime& operator=(const EnclaveRuntime&) = delete;
@@ -64,6 +65,9 @@ class EnclaveRuntime {
   double SimulatedSeconds() const {
     return model_.CyclesToSeconds(stats_.charged_cycles);
   }
+
+  /// Observability ("sgx." namespace when registered by the factory).
+  void CollectMetrics(obs::MetricSink* sink) const override;
 
  private:
   void Touch(const void* p, size_t len, bool is_write);

@@ -249,6 +249,7 @@ Result<ThreadRunResult> Driver::RunThreads(
   out.max_shard_busy_seconds = max_busy;
   out.effective_seconds =
       std::max(total_busy / static_cast<double>(threads), max_busy);
+  out.invariants = store->CheckInvariants();
   return out;
 }
 

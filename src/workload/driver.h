@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/kv_store.h"
+#include "obs/invariants.h"
 #include "sgxsim/enclave_runtime.h"
 #include "workload/etc.h"
 #include "workload/ycsb.h"
@@ -68,6 +69,9 @@ struct ThreadRunResult {
   /// achieve with this shard assignment. See DESIGN.md §8.
   double effective_seconds = 0.0;
   LatencyHistogram latency;
+  /// Cross-layer conservation-law audit (DESIGN.md §9), run after the
+  /// workers joined: every threaded run doubles as an invariant check.
+  obs::InvariantReport invariants;
 
   double Throughput() const {
     return effective_seconds > 0

@@ -69,6 +69,34 @@ TEST(Aes128, AesNiMatchesPortable) {
   }
 }
 
+// --- NIST SP 800-38A F.1.1 (ECB-AES128.Encrypt): four more single-block
+// vectors, checked against BOTH implementations.
+TEST(Aes128, Sp800_38aEcbVectorsBothImpls) {
+  auto key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  const std::pair<std::string, std::string> vectors[] = {
+      {"6bc1bee22e409f96e93d7e117393172a",
+       "3ad77bb40d7a3660a89ecaf32466ef97"},
+      {"ae2d8a571e03ac9c9eb76fac45af8e51",
+       "f5d3d58503b9699de785895a96fdbaaf"},
+      {"30c81c46a35ce411e5fbc1191a0a52ef",
+       "43b1cd7f598ece23881b00e3ed030688"},
+      {"f69f2445df4f9b17ad2b417be66c3710",
+       "7b0c785e27e8ad3f8223207104725dd4"},
+  };
+  for (const auto& [pt_hex, ct_hex] : vectors) {
+    auto pt = FromHex(pt_hex);
+    uint8_t ct[16];
+    Aes128 port(key.data(), Aes128::Impl::kPortable);
+    port.EncryptBlock(pt.data(), ct);
+    EXPECT_EQ(ToHex(ct, 16), ct_hex);
+    if (Aes128::HasAesNi()) {
+      Aes128 ni(key.data(), Aes128::Impl::kAesNi);
+      ni.EncryptBlock(pt.data(), ct);
+      EXPECT_EQ(ToHex(ct, 16), ct_hex);
+    }
+  }
+}
+
 TEST(Aes128, MultiBlockMatchesSingle) {
   SecureRandom rng(12);
   uint8_t key[16];
@@ -117,6 +145,35 @@ TEST(AesCtr, RoundTripAllLengths) {
     if (len >= 8) {
       EXPECT_NE(0, std::memcmp(pt.data(), ct.data(), len)) << "len " << len;
     }
+  }
+}
+
+// Differential: the AES-NI and portable CTR pipelines must agree bit-for-bit
+// over randomized keys, counter blocks and message lengths (including the
+// partial-final-block and bulk-block paths, which diverge internally).
+TEST(AesCtr, RandomizedNiVsPortableDifferential) {
+  if (!Aes128::HasAesNi()) GTEST_SKIP() << "no AES-NI on this CPU";
+  SecureRandom rng(31);
+  for (int trial = 0; trial < 128; ++trial) {
+    uint8_t key[16], iv[16];
+    rng.Fill(key, 16);
+    rng.Fill(iv, 16);
+    uint8_t len_byte;
+    rng.Fill(&len_byte, 1);
+    size_t len = 1 + len_byte % 512;
+    std::vector<uint8_t> pt(len), a(len), b(len);
+    rng.Fill(pt.data(), len);
+    Aes128 ni(key, Aes128::Impl::kAesNi);
+    Aes128 port(key, Aes128::Impl::kPortable);
+    AesCtrCrypt(ni, iv, pt.data(), a.data(), len);
+    AesCtrCrypt(port, iv, pt.data(), b.data(), len);
+    ASSERT_EQ(a, b) << "trial " << trial << " len " << len;
+    // Windowed variant too: both impls must slice the keystream identically.
+    size_t off = len / 3;
+    std::vector<uint8_t> wa(len - off), wb(len - off);
+    AesCtrCryptAt(ni, iv, off, pt.data() + off, wa.data(), len - off);
+    AesCtrCryptAt(port, iv, off, pt.data() + off, wb.data(), len - off);
+    ASSERT_EQ(wa, wb) << "trial " << trial << " off " << off;
   }
 }
 
@@ -251,6 +308,37 @@ TEST(Cmac, PortableMatchesAesNi) {
     cmac_ni.Mac(msg.data(), len, a);
     cmac_port.Mac(msg.data(), len, b);
     ASSERT_TRUE(MacEqual(a, b)) << "len " << len;
+  }
+}
+
+// Differential: randomized keys AND lengths (the fixed-length cross-check
+// above exercises one key only), one-shot and streaming both compared.
+TEST(Cmac, RandomizedNiVsPortableDifferential) {
+  if (!Aes128::HasAesNi()) GTEST_SKIP() << "no AES-NI on this CPU";
+  SecureRandom rng(32);
+  for (int trial = 0; trial < 128; ++trial) {
+    uint8_t key[16];
+    rng.Fill(key, 16);
+    uint8_t len_byte;
+    rng.Fill(&len_byte, 1);
+    size_t len = len_byte % 400;  // covers empty, sub-block, multi-block
+    std::vector<uint8_t> msg(len);
+    rng.Fill(msg.data(), len);
+    Aes128 ni(key, Aes128::Impl::kAesNi);
+    Aes128 port(key, Aes128::Impl::kPortable);
+    Cmac128 cmac_ni(ni);
+    Cmac128 cmac_port(port);
+    uint8_t a[16], b[16];
+    cmac_ni.Mac(msg.data(), len, a);
+    cmac_port.Mac(msg.data(), len, b);
+    ASSERT_TRUE(MacEqual(a, b)) << "trial " << trial << " len " << len;
+    Cmac128::Stream s(cmac_ni);
+    size_t split = len / 2;
+    s.Update(msg.data(), split);
+    s.Update(msg.data() + split, len - split);
+    uint8_t c[16];
+    s.Final(c);
+    ASSERT_TRUE(MacEqual(b, c)) << "trial " << trial << " len " << len;
   }
 }
 

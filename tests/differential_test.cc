@@ -13,6 +13,7 @@
 
 #include "core/sharded_store.h"
 #include "core/store_factory.h"
+#include "obs/invariants.h"
 #include "testing/fault_injector.h"
 #include "testing/model_checker.h"
 #include "testing/op_generator.h"
@@ -141,7 +142,14 @@ TEST(Differential, EverySchemeMatchesOracleOver10kOps) {
     EXPECT_GT(report.puts, 0u) << sc.label;
     EXPECT_GT(report.gets, 0u) << sc.label;
     EXPECT_GT(report.deletes, 0u) << sc.label;
-    if (sc.ordered) EXPECT_GT(report.scans, 0u) << sc.label;
+    if (sc.ordered) {
+      EXPECT_GT(report.scans, 0u) << sc.label;
+    }
+
+    // The randomized schedule doubles as an invariant workload: after 10k
+    // ops every cross-layer conservation law must still balance.
+    obs::InvariantReport inv = bundle.CheckInvariants();
+    EXPECT_TRUE(inv.ok()) << sc.label << ": " << inv.ToString();
   }
 }
 
@@ -254,6 +262,12 @@ TEST(Differential, AllocFailureInOneShardDoesNotPoisonSiblings) {
     ASSERT_TRUE(sharded->Get(MakeKey(id), &value).ok()) << s;
     EXPECT_EQ(value, MakeValue(id, 32)) << s;
   }
+
+  // Even the shard that weathered the outage keeps balanced books: failed
+  // inserts roll their fetched counter back, so every conservation law —
+  // including record-counter — still holds across all four shards.
+  obs::InvariantReport inv = bundle.CheckInvariants();
+  EXPECT_TRUE(inv.ok()) << inv.ToString();
 }
 
 // --- Forced failure reproduces via ARIA_REPLAY_SEED -------------------------

@@ -31,6 +31,7 @@
 #include "core/sharded_store.h"
 #include "core/store_factory.h"
 #include "metadata/counter_manager.h"
+#include "obs/invariants.h"
 #include "sgxsim/enclave_runtime.h"
 #include "testing/fault_injector.h"
 #include "testing/model_checker.h"
@@ -382,6 +383,11 @@ TEST(AllocFailure, UntrustedAllocFailureIsCleanAcrossSchemes) {
         << store->name();
     EXPECT_TRUE(store->Get(MakeKey(500), &v).ok());
     EXPECT_EQ(v, MakeValue(500, 48));
+
+    // A failed insert rolls its fetched counter back, so the fetch/free/used
+    // books — and every other conservation law — still balance.
+    obs::InvariantReport inv = bundle.CheckInvariants();
+    EXPECT_TRUE(inv.ok()) << store->name() << ": " << inv.ToString();
   }
 }
 
@@ -427,6 +433,43 @@ TEST(EvictionWriteback, DroppedWritebackDetected) {
   ASSERT_EQ(injector.fired(), 1u);
   Status st = store->Get(MakeKey(5), &v);
   EXPECT_TRUE(st.IsIntegrityViolation()) << st.ToString();
+}
+
+// Deliberately broken counter caught by the InvariantChecker: a dropped
+// write-back increments dirty_writebacks without moving bytes_swapped_out
+// (the bytes never crossed the boundary), so swap-byte conservation — which
+// insists bytes_swapped_out == node_size * (dirty + clean write-backs) —
+// must flag the snapshot even though the data-path detector (MAC mismatch)
+// would fire only on the next access to the stale node.
+TEST(EvictionWriteback, DroppedWritebackBreaksSwapByteConservation) {
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(TinyCacheOptions(IndexKind::kHash), &bundle).ok());
+  KVStore* store = bundle.store.get();
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(store->Put(MakeKey(i), MakeValue(i, 32)).ok());
+  }
+  // Before the fault the full law suite holds over the eviction churn.
+  ASSERT_TRUE(bundle.CheckInvariants().ok())
+      << bundle.CheckInvariants().ToString();
+
+  ScheduledInjector injector(/*seed=*/7);
+  InjectorScope scope(&injector);
+  injector.Arm({.site = fault::Site::kEvictionWriteback,
+                .kind = FaultKind::kDropWriteback});
+  ASSERT_TRUE(store->Put(MakeKey(5), MakeValue(5, 32, /*version=*/2)).ok());
+  std::string v;
+  for (int i = 1000; i < 1800 && injector.fired() == 0; i += 8) {
+    ASSERT_TRUE(store->Get(MakeKey(i), &v).ok());
+  }
+  ASSERT_EQ(injector.fired(), 1u);
+
+  obs::InvariantReport inv = bundle.CheckInvariants();
+  EXPECT_FALSE(inv.ok());
+  bool flagged = false;
+  for (const auto& violation : inv.violations) {
+    if (violation.law == "swap-byte-conservation") flagged = true;
+  }
+  EXPECT_TRUE(flagged) << inv.ToString();
 }
 
 TEST(EvictionWriteback, MisdirectedDuplicateWritebackDetected) {

@@ -1,0 +1,210 @@
+// Unit tests for the observability primitives: Snapshot arithmetic
+// (Get/SumSuffix/PrefixesOf/Delta/Accumulate), sink prefixing, registry
+// collection and the JSON emitter.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/invariants.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace aria::obs {
+namespace {
+
+/// Minimal Observable emitting a fixed pair of metrics.
+class FakeLayer : public Observable {
+ public:
+  FakeLayer(uint64_t events, uint64_t level)
+      : events_(events), level_(level) {}
+
+  void CollectMetrics(MetricSink* sink) const override {
+    sink->Counter("events", events_);
+    sink->Gauge("level", level_);
+  }
+
+ private:
+  uint64_t events_;
+  uint64_t level_;
+};
+
+TEST(SnapshotTest, GetReturnsZeroWhenAbsent) {
+  Snapshot s;
+  EXPECT_EQ(s.Get("nope"), 0u);
+  EXPECT_FALSE(s.Has("nope"));
+  s.Set("a.hits", 3, MetricKind::kCounter);
+  EXPECT_EQ(s.Get("a.hits"), 3u);
+  EXPECT_TRUE(s.Has("a.hits"));
+}
+
+TEST(SnapshotTest, SumSuffixAddsAllMatches) {
+  Snapshot s;
+  s.Set("cm.tree0.cache.hits", 5, MetricKind::kCounter);
+  s.Set("cm.tree1.cache.hits", 7, MetricKind::kCounter);
+  s.Set("index.hits", 100, MetricKind::kCounter);
+  s.Set("cm.tree0.cache.misses", 2, MetricKind::kCounter);
+  EXPECT_EQ(s.SumSuffix(".cache.hits"), 12u);
+  EXPECT_EQ(s.SumSuffix("hits"), 112u);
+  EXPECT_EQ(s.SumSuffix(".nothing"), 0u);
+}
+
+TEST(SnapshotTest, PrefixesOfEnumeratesInstances) {
+  Snapshot s;
+  s.Set("cm.tree0.cache.accesses", 1, MetricKind::kCounter);
+  s.Set("cm.tree1.cache.accesses", 1, MetricKind::kCounter);
+  s.Set("cm.tree1.cache.hits", 1, MetricKind::kCounter);
+  auto prefixes = s.PrefixesOf(".cache.accesses");
+  ASSERT_EQ(prefixes.size(), 2u);
+  EXPECT_EQ(prefixes[0], "cm.tree0");
+  EXPECT_EQ(prefixes[1], "cm.tree1");
+}
+
+TEST(SnapshotTest, DeltaSubtractsCountersKeepsGauges) {
+  Snapshot before;
+  before.Set("ops", 10, MetricKind::kCounter);
+  before.Set("bytes", 500, MetricKind::kGauge);
+  Snapshot after;
+  after.Set("ops", 25, MetricKind::kCounter);
+  after.Set("bytes", 300, MetricKind::kGauge);
+  after.Set("fresh", 4, MetricKind::kCounter);
+  Snapshot d = after.Delta(before);
+  EXPECT_EQ(d.Get("ops"), 15u);
+  EXPECT_EQ(d.Get("bytes"), 300u);  // gauge: later value, not a difference
+  EXPECT_EQ(d.Get("fresh"), 4u);
+}
+
+TEST(SnapshotTest, AccumulateAddsBothKinds) {
+  Snapshot a;
+  a.Set("ops", 10, MetricKind::kCounter);
+  a.Set("bytes", 100, MetricKind::kGauge);
+  Snapshot b;
+  b.Set("ops", 5, MetricKind::kCounter);
+  b.Set("bytes", 50, MetricKind::kGauge);
+  b.Set("only_b", 1, MetricKind::kCounter);
+  a.Accumulate(b);
+  EXPECT_EQ(a.Get("ops"), 15u);
+  EXPECT_EQ(a.Get("bytes"), 150u);
+  EXPECT_EQ(a.Get("only_b"), 1u);
+}
+
+TEST(RegistryTest, CollectPrefixesEachLayer) {
+  FakeLayer sgx(10, 1), alloc(20, 2);
+  MetricsRegistry registry;
+  registry.Register("sgx", &sgx);
+  registry.Register("alloc", &alloc);
+  Snapshot s = registry.Collect();
+  EXPECT_EQ(s.Get("sgx.events"), 10u);
+  EXPECT_EQ(s.Get("sgx.level"), 1u);
+  EXPECT_EQ(s.Get("alloc.events"), 20u);
+  EXPECT_EQ(s.Get("alloc.level"), 2u);
+  EXPECT_EQ(s.size(), 4u);
+}
+
+TEST(RegistryTest, RegistriesNest) {
+  FakeLayer inner_layer(7, 3);
+  MetricsRegistry inner;
+  inner.Register("cache", &inner_layer);
+  MetricsRegistry outer;
+  outer.Register("shard0", &inner);
+  Snapshot s = outer.Collect();
+  EXPECT_EQ(s.Get("shard0.cache.events"), 7u);
+  EXPECT_EQ(s.Get("shard0.cache.level"), 3u);
+}
+
+TEST(PrefixedSinkTest, NestedPrefixesCompose) {
+  Snapshot s;
+  struct Collector : MetricSink {
+    Snapshot* out;
+    void Counter(std::string_view name, uint64_t v) override {
+      out->Set(std::string(name), v, MetricKind::kCounter);
+    }
+    void Gauge(std::string_view name, uint64_t v) override {
+      out->Set(std::string(name), v, MetricKind::kGauge);
+    }
+  } collector;
+  collector.out = &s;
+  PrefixedSink outer(&collector, "cm");
+  PrefixedSink inner(&outer, "tree0.cache");
+  inner.Counter("hits", 9);
+  EXPECT_EQ(s.Get("cm.tree0.cache.hits"), 9u);
+}
+
+TEST(JsonTest, SnapshotSerializesSortedFlat) {
+  Snapshot s;
+  s.Set("b.two", 2, MetricKind::kCounter);
+  s.Set("a.one", 1, MetricKind::kGauge);
+  std::string json = ToJson(s, /*indent=*/0);
+  // Sorted map: "a.one" must appear before "b.two".
+  size_t a = json.find("\"a.one\": 1");
+  size_t b = json.find("\"b.two\": 2");
+  ASSERT_NE(a, std::string::npos) << json;
+  ASSERT_NE(b, std::string::npos) << json;
+  EXPECT_LT(a, b);
+  EXPECT_EQ(json.front(), '{');
+  ASSERT_GE(json.size(), 2u);
+  EXPECT_EQ(json[json.size() - 2], '}');  // trailing newline after the brace
+}
+
+TEST(JsonTest, BenchArtifactEnvelope) {
+  Snapshot s;
+  s.Set("sgx.ocalls", 12, MetricKind::kCounter);
+  std::string json = BenchArtifactJson(
+      "metrics_smoke", "Aria-H", {{"ops", 1000.0}, {"throughput", 5.5}}, s);
+  EXPECT_NE(json.find("\"bench\": \"metrics_smoke\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"label\": \"Aria-H\""), std::string::npos);
+  EXPECT_NE(json.find("\"ops\": 1000"), std::string::npos);
+  EXPECT_NE(json.find("\"sgx.ocalls\": 12"), std::string::npos);
+}
+
+TEST(InvariantReportTest, ToStringListsViolations) {
+  InvariantReport report;
+  report.laws_checked.push_back("cache-access-conservation");
+  EXPECT_NE(report.ToString().find("1 invariant laws hold"),
+            std::string::npos);
+  report.violations.push_back({"cache-access-conservation", "3 != 4"});
+  EXPECT_FALSE(report.ok());
+  std::string s = report.ToString();
+  EXPECT_NE(s.find("cache-access-conservation"), std::string::npos);
+  EXPECT_NE(s.find("3 != 4"), std::string::npos);
+}
+
+TEST(InvariantCheckerTest, ShardSumsCatchMismatch) {
+  Snapshot s0, s1;
+  s0.Set("index.ops", 10, MetricKind::kCounter);
+  s1.Set("index.ops", 5, MetricKind::kCounter);
+  Snapshot aggregate;
+  aggregate.Set("index.ops", 15, MetricKind::kCounter);
+
+  InvariantReport ok_report;
+  InvariantChecker::CheckShardSums({s0, s1}, aggregate, &ok_report);
+  EXPECT_TRUE(ok_report.ok()) << ok_report.ToString();
+
+  aggregate.Set("index.ops", 14, MetricKind::kCounter);
+  InvariantReport bad_report;
+  InvariantChecker::CheckShardSums({s0, s1}, aggregate, &bad_report);
+  EXPECT_FALSE(bad_report.ok());
+}
+
+TEST(InvariantCheckerTest, SyntheticSnapshotViolationDetected) {
+  // A hand-built snapshot where the cache books don't balance: 3 hits +
+  // 1 miss but 5 accesses recorded.
+  Snapshot snap;
+  snap.Set("cm.tree0.cache.accesses", 5, MetricKind::kCounter);
+  snap.Set("cm.tree0.cache.hits", 3, MetricKind::kCounter);
+  snap.Set("cm.tree0.cache.misses", 1, MetricKind::kCounter);
+  snap.Set("cm.reads", 5, MetricKind::kCounter);
+  InvariantContext ctx;
+  ctx.has_secure_cache = true;
+  ctx.has_counter_store = true;
+  InvariantReport report = InvariantChecker(ctx).Check(snap);
+  EXPECT_FALSE(report.ok());
+  bool found = false;
+  for (const auto& v : report.violations) {
+    if (v.law == "cache-access-conservation") found = true;
+  }
+  EXPECT_TRUE(found) << report.ToString();
+}
+
+}  // namespace
+}  // namespace aria::obs

@@ -1,0 +1,218 @@
+// Invariant regression battery (DESIGN.md §9): mini YCSB-A/C workloads over
+// the full factory matrix, asserting that every applicable cross-layer
+// conservation law holds — for FIFO and LRU caches, with and without level
+// pinning, stop-swap, clean-write-back avoidance and the cost model.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/store_factory.h"
+#include "obs/invariants.h"
+#include "workload/driver.h"
+
+namespace aria {
+namespace {
+
+size_t DistinctLaws(const obs::InvariantReport& report) {
+  return std::set<std::string>(report.laws_checked.begin(),
+                               report.laws_checked.end())
+      .size();
+}
+
+StoreOptions MiniOpts(Scheme scheme, IndexKind index) {
+  StoreOptions opts;
+  opts.scheme = scheme;
+  opts.index = index;
+  opts.keyspace = 2048;
+  opts.num_buckets = 512;
+  opts.shieldstore_buckets = 512;
+  return opts;
+}
+
+/// Prepopulate, replay a YCSB mix, delete a slice of the keyspace (so the
+/// fetch/free/used books move in both directions), then audit.
+obs::InvariantReport RunAndCheck(const StoreOptions& opts, double read_ratio,
+                                 uint64_t ops, StoreBundle* bundle) {
+  EXPECT_TRUE(CreateStore(opts, bundle).ok());
+  Driver driver(/*seed=*/11);
+  EXPECT_TRUE(
+      driver.Prepopulate(bundle->store.get(), opts.keyspace / 2, 32).ok());
+  YcsbSpec spec;
+  spec.keyspace = opts.keyspace / 2;
+  spec.read_ratio = read_ratio;
+  spec.value_size = 32;
+  spec.skewness = 0.99;
+  spec.seed = opts.seed;
+  auto r = driver.RunYcsb(bundle->store.get(), bundle->enclave.get(), spec,
+                          ops);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  for (uint64_t id = 0; id < opts.keyspace / 8; ++id) {
+    EXPECT_TRUE(bundle->store->Delete(MakeKey(id)).ok());
+  }
+  return bundle->CheckInvariants();
+}
+
+TEST(ObsInvariants, FullFactoryMatrixYcsbA) {
+  struct Combo {
+    Scheme scheme;
+    IndexKind index;
+  };
+  const std::vector<Combo> matrix = {
+      {Scheme::kAria, IndexKind::kHash},
+      {Scheme::kAria, IndexKind::kBTree},
+      {Scheme::kAria, IndexKind::kBPlusTree},
+      {Scheme::kAria, IndexKind::kCuckoo},
+      {Scheme::kAriaNoCache, IndexKind::kHash},
+      {Scheme::kAriaNoCache, IndexKind::kBTree},
+      {Scheme::kAriaNoCache, IndexKind::kBPlusTree},
+      {Scheme::kAriaNoCache, IndexKind::kCuckoo},
+      {Scheme::kShieldStore, IndexKind::kHash},
+      {Scheme::kBaseline, IndexKind::kHash},
+      {Scheme::kBaseline, IndexKind::kBTree},
+  };
+  for (const Combo& combo : matrix) {
+    StoreBundle bundle;
+    obs::InvariantReport report =
+        RunAndCheck(MiniOpts(combo.scheme, combo.index), /*read_ratio=*/0.5,
+                    /*ops=*/3000, &bundle);
+    EXPECT_TRUE(report.ok())
+        << bundle.label << ": " << report.ToString();
+    if (combo.scheme == Scheme::kAria) {
+      // The flagship configuration must evaluate the full law suite.
+      EXPECT_GE(DistinctLaws(report), 6u) << bundle.label;
+    }
+  }
+}
+
+TEST(ObsInvariants, YcsbAandCUnderFifoAndLruWithEvictions) {
+  for (CachePolicy policy : {CachePolicy::kFifo, CachePolicy::kLru}) {
+    for (double read_ratio : {0.5, 1.0}) {  // YCSB-A / YCSB-C
+      StoreOptions opts = MiniOpts(Scheme::kAria, IndexKind::kHash);
+      // Tiny unpinned cache: every access contends for a handful of slots,
+      // so the eviction and swap-byte laws are exercised, not vacuous.
+      opts.cache_bytes = 4096;
+      opts.pinned_levels = 0;
+      opts.policy = policy;
+      opts.stop_swap_enabled = false;
+      StoreBundle bundle;
+      obs::InvariantReport report =
+          RunAndCheck(opts, read_ratio, /*ops=*/3000, &bundle);
+      EXPECT_TRUE(report.ok())
+          << bundle.label << " policy=" << static_cast<int>(policy)
+          << " rr=" << read_ratio << ": " << report.ToString();
+      obs::Snapshot snap = bundle.Metrics();
+      EXPECT_GT(snap.Get("cm.tree0.cache.evictions"), 0u);
+      EXPECT_GT(snap.Get("cm.tree0.cache.bytes_swapped_out"), 0u);
+      EXPECT_EQ(snap.Get("cm.tree0.cache.hits") +
+                    snap.Get("cm.tree0.cache.misses"),
+                snap.Get("cm.tree0.cache.accesses"));
+    }
+  }
+}
+
+TEST(ObsInvariants, PinningAndStopSwapVariants) {
+  struct Variant {
+    int pinned_levels;
+    bool stop_swap_enabled;
+    bool start_stopped;
+  };
+  for (const Variant& v : std::vector<Variant>{{-1, true, false},
+                                               {0, false, false},
+                                               {1, true, false},
+                                               {-1, true, true}}) {
+    StoreOptions opts = MiniOpts(Scheme::kAria, IndexKind::kHash);
+    opts.pinned_levels = v.pinned_levels;
+    opts.stop_swap_enabled = v.stop_swap_enabled;
+    opts.start_stopped = v.start_stopped;
+    StoreBundle bundle;
+    obs::InvariantReport report =
+        RunAndCheck(opts, /*read_ratio=*/0.5, /*ops=*/2000, &bundle);
+    EXPECT_TRUE(report.ok())
+        << bundle.label << " pinned=" << v.pinned_levels
+        << " stop_swap=" << v.stop_swap_enabled
+        << " start_stopped=" << v.start_stopped << ": " << report.ToString();
+    if (v.start_stopped) {
+      EXPECT_EQ(bundle.Metrics().Get("cm.tree0.cache.swap_stopped"), 1u);
+    }
+  }
+}
+
+TEST(ObsInvariants, CleanWritebacksAllowedStillConserve) {
+  StoreOptions opts = MiniOpts(Scheme::kAria, IndexKind::kHash);
+  opts.avoid_clean_writeback = false;  // §IV-C optimization off
+  opts.cache_bytes = 4096;
+  opts.pinned_levels = 0;
+  opts.stop_swap_enabled = false;
+  StoreBundle bundle;
+  obs::InvariantReport report =
+      RunAndCheck(opts, /*read_ratio=*/0.9, /*ops=*/3000, &bundle);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  // With the optimization off, clean evictions must write back, and the
+  // eviction/swap-byte laws account for those bytes too.
+  EXPECT_GT(bundle.Metrics().Get("cm.tree0.cache.clean_writebacks"), 0u);
+}
+
+TEST(ObsInvariants, CostModelDisabledChargesNothing) {
+  StoreOptions opts = MiniOpts(Scheme::kAria, IndexKind::kHash);
+  opts.cost_model.enabled = false;
+  StoreBundle bundle;
+  obs::InvariantReport report =
+      RunAndCheck(opts, /*read_ratio=*/0.5, /*ops=*/2000, &bundle);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(bundle.Metrics().Get("sgx.charged_cycles"), 0u);
+}
+
+TEST(ObsInvariants, OcallAllocatorAttribution) {
+  StoreOptions opts = MiniOpts(Scheme::kAria, IndexKind::kHash);
+  opts.use_heap_allocator = false;  // AriaBase: one OCALL per alloc/free
+  StoreBundle bundle;
+  obs::InvariantReport report =
+      RunAndCheck(opts, /*read_ratio=*/0.5, /*ops=*/2000, &bundle);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  obs::Snapshot snap = bundle.Metrics();
+  EXPECT_EQ(snap.Get("sgx.ocalls"), snap.Get("alloc.ocalls"));
+  EXPECT_GT(snap.Get("sgx.ocalls"), 0u);
+}
+
+TEST(ObsInvariants, AllocatorFootprintsDecomposeBytesInUse) {
+  StoreBundle bundle;
+  obs::InvariantReport report =
+      RunAndCheck(MiniOpts(Scheme::kAria, IndexKind::kHash),
+                  /*read_ratio=*/0.3, /*ops=*/2000, &bundle);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  obs::Snapshot snap = bundle.Metrics();
+  EXPECT_GT(snap.Get("alloc.bytes_in_use"), 0u);
+  EXPECT_EQ(snap.Get("alloc.bytes_in_use"),
+            snap.Get("index.mem.untrusted_bytes") +
+                snap.Get("cm.mem.untrusted_bytes"));
+  // Both components hold live untrusted memory in this configuration.
+  EXPECT_GT(snap.Get("index.mem.untrusted_bytes"), 0u);
+  EXPECT_GT(snap.Get("cm.mem.untrusted_bytes"), 0u);
+}
+
+TEST(ObsInvariants, DeltaIsolatesOneWorkloadPhase) {
+  StoreOptions opts = MiniOpts(Scheme::kAria, IndexKind::kHash);
+  StoreBundle bundle;
+  ASSERT_TRUE(CreateStore(opts, &bundle).ok());
+  Driver driver(/*seed=*/13);
+  ASSERT_TRUE(driver.Prepopulate(bundle.store.get(), 1024, 32).ok());
+  obs::Snapshot before = bundle.Metrics();
+  YcsbSpec spec;
+  spec.keyspace = 1024;
+  spec.read_ratio = 1.0;  // reads only: no new counters, no new allocations
+  spec.value_size = 32;
+  ASSERT_TRUE(
+      driver.RunYcsb(bundle.store.get(), bundle.enclave.get(), spec, 1000)
+          .ok());
+  obs::Snapshot delta = bundle.Metrics().Delta(before);
+  EXPECT_EQ(delta.Get("cm.reads"), 1000u);
+  EXPECT_EQ(delta.Get("cm.bumps"), 0u);
+  EXPECT_EQ(delta.Get("cm.fetches"), 0u);
+  // Gauges carry the later absolute value, not a difference.
+  EXPECT_EQ(delta.Get("index.live_entries"), 1024u);
+}
+
+}  // namespace
+}  // namespace aria

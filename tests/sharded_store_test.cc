@@ -18,6 +18,8 @@
 #include "common/random.h"
 #include "core/sharded_store.h"
 #include "core/store_factory.h"
+#include "obs/invariants.h"
+#include "obs/metrics.h"
 #include "testing/oracle.h"
 #include "workload/driver.h"
 #include "workload/ycsb.h"
@@ -262,6 +264,14 @@ TEST(ShardedStressTest, ConcurrentOpsThenFullAudit) {
         ASSERT_EQ(got[i].second, it->second) << sc.label << " pos " << i;
       }
     }
+
+    // After 40k concurrent ops, every per-shard conservation law still
+    // balances and the summed shard snapshots reconcile with the aggregate
+    // (including live_entries == the oracle-audited size).
+    obs::InvariantReport inv = store->CheckInvariants();
+    EXPECT_TRUE(inv.ok()) << sc.label << ": " << inv.ToString();
+    obs::Snapshot aggregate = bundle.Metrics();
+    EXPECT_EQ(aggregate.Get("index.live_entries"), expected_size) << sc.label;
   }
 }
 
@@ -442,6 +452,11 @@ TEST(ShardedDriver, RunThreadsAggregatesAndModelsMakespan) {
   EXPECT_LE(r.effective_seconds, r.total_busy_seconds + 1e-12);
   EXPECT_GE(r.Throughput(),
             static_cast<double>(r.totals.ops) / (r.total_busy_seconds + 1e-9));
+
+  // RunThreads audits the conservation laws after the workers join, so a
+  // threaded run doubles as an invariant regression.
+  EXPECT_TRUE(r.invariants.ok()) << r.invariants.ToString();
+  EXPECT_GE(r.invariants.laws_checked.size(), 6u);
 }
 
 TEST(ShardedDriver, LatencyHistogramPercentiles) {
