@@ -1,0 +1,300 @@
+// Skew-aware network load generator (DESIGN.md §11): drives the epoll
+// server over loopback with N pipelined client connections replaying a
+// YCSB mix, and runs the SAME configuration in-process through
+// Driver::RunThreads so the serving-layer overhead is visible side by side
+// in one artifact. Default mix is YCSB-C / Zipfian(0.99) — the paper's
+// skewed read-heavy headline.
+//
+// Both runs use the per-thread CPU clock (ThreadCpuSeconds) for service
+// time, so "cycles spent per op" is comparable even though the network run
+// additionally pays syscalls, framing and the event loop.
+//
+//   ./build/bench/bench_net_throughput [key=value ...]
+//     ops=200000 keys=65536 shards=4 connections=4 depth=16
+//     theta=0.99 read_ratio=1.0 value_size=128 out=BENCH_net_throughput.json
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sharded_store.h"
+#include "core/store_factory.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/invariants.h"
+#include "obs/json.h"
+#include "workload/driver.h"
+#include "workload/ycsb.h"
+
+using namespace aria;
+
+namespace {
+
+struct Config {
+  uint64_t ops = 200'000;  ///< total, split across connections
+  uint64_t keys = 65'536;
+  uint32_t shards = 4;
+  uint64_t connections = 4;
+  uint64_t depth = 16;  ///< pipeline depth per connection
+  double theta = 0.99;
+  double read_ratio = 1.0;  ///< YCSB-C
+  size_t value_size = 128;
+  uint64_t seed = 42;
+  std::string out = "BENCH_net_throughput.json";
+};
+
+bool ParseArg(Config* cfg, const std::string& arg) {
+  const size_t eq = arg.find('=');
+  if (eq == std::string::npos) return false;
+  const std::string key = arg.substr(0, eq);
+  const std::string val = arg.substr(eq + 1);
+  if (key == "ops") cfg->ops = std::strtoull(val.c_str(), nullptr, 10);
+  else if (key == "keys") cfg->keys = std::strtoull(val.c_str(), nullptr, 10);
+  else if (key == "shards")
+    cfg->shards = static_cast<uint32_t>(std::strtoul(val.c_str(), nullptr, 10));
+  else if (key == "connections")
+    cfg->connections = std::strtoull(val.c_str(), nullptr, 10);
+  else if (key == "depth") cfg->depth = std::strtoull(val.c_str(), nullptr, 10);
+  else if (key == "theta") cfg->theta = std::strtod(val.c_str(), nullptr);
+  else if (key == "read_ratio")
+    cfg->read_ratio = std::strtod(val.c_str(), nullptr);
+  else if (key == "value_size")
+    cfg->value_size = std::strtoull(val.c_str(), nullptr, 10);
+  else if (key == "seed") cfg->seed = std::strtoull(val.c_str(), nullptr, 10);
+  else if (key == "out") cfg->out = val;
+  else return false;
+  return true;
+}
+
+YcsbSpec SpecFor(const Config& cfg, uint64_t thread) {
+  YcsbSpec spec;
+  spec.keyspace = cfg.keys;
+  spec.read_ratio = cfg.read_ratio;
+  spec.value_size = cfg.value_size;
+  spec.distribution = KeyDistribution::kZipfian;
+  spec.skewness = cfg.theta;
+  spec.seed = cfg.seed + 7919 * (thread + 1);
+  return spec;
+}
+
+struct NetRunResult {
+  uint64_t ops = 0;
+  uint64_t not_found = 0;
+  uint64_t errors = 0;
+  double wall_seconds = 0.0;
+  double client_cpu_seconds = 0.0;  ///< summed over connections
+};
+
+/// One connection's worth of the load: replay ops from `wl` with `depth`
+/// requests in flight, counting per-thread CPU for the service-time
+/// comparison against the in-process run.
+void RunConnection(const Config& cfg, uint16_t port, uint64_t thread,
+                   uint64_t ops, NetRunResult* out, std::atomic<bool>* failed) {
+  YcsbWorkload wl(SpecFor(cfg, thread));
+  net::Client client;
+  if (!client.Connect("127.0.0.1", port).ok()) {
+    failed->store(true);
+    return;
+  }
+  const double cpu0 = ThreadCpuSeconds();
+  uint64_t sent = 0, received = 0;
+  auto read_one = [&]() {
+    net::Response resp;
+    if (!client.ReadResponse(&resp).ok()) {
+      failed->store(true);
+      return false;
+    }
+    received++;
+    if (resp.status == net::WireStatus::kNotFound) out->not_found++;
+    else if (resp.status != net::WireStatus::kOk) out->errors++;
+    return true;
+  };
+  while (sent < ops) {
+    Op op = wl.Next();
+    net::Request req;
+    req.key = MakeKey(op.key_id);
+    if (op.type == OpType::kGet) {
+      req.op = net::OpCode::kGet;
+    } else {
+      req.op = net::OpCode::kPut;
+      req.value = MakeValue(op.key_id, op.value_size);
+    }
+    if (!client.Send(req).ok()) {
+      failed->store(true);
+      return;
+    }
+    sent++;
+    if (sent - received >= cfg.depth && !read_one()) return;
+  }
+  while (received < sent) {
+    if (!read_one()) return;
+  }
+  out->client_cpu_seconds = ThreadCpuSeconds() - cpu0;
+  out->ops = received;
+  client.Close();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (!ParseArg(&cfg, argv[i])) {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (cfg.connections == 0 || cfg.depth == 0 || cfg.shards == 0) {
+    std::fprintf(stderr, "connections, depth and shards must be positive\n");
+    return 2;
+  }
+
+  StoreOptions options;
+  options.scheme = Scheme::kAria;
+  options.index = IndexKind::kHash;
+  options.keyspace = cfg.keys;
+  options.num_shards = cfg.shards;
+  StoreBundle bundle;
+  Status st = CreateStore(options, &bundle);
+  if (!st.ok()) {
+    std::fprintf(stderr, "CreateStore: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto* sharded = dynamic_cast<ShardedStore*>(bundle.store.get());
+  if (sharded == nullptr) {
+    std::fprintf(stderr, "factory did not build a ShardedStore\n");
+    return 1;
+  }
+
+  Driver driver(cfg.seed);
+  st = driver.Prepopulate(bundle.store.get(), cfg.keys, cfg.value_size);
+  if (!st.ok()) {
+    std::fprintf(stderr, "Prepopulate: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // --- in-process baseline: same mix, same thread count ---------------------
+  auto gen_for_thread = [&cfg](uint64_t thread) -> std::function<Op()> {
+    auto wl = std::make_shared<YcsbWorkload>(SpecFor(cfg, thread));
+    return [wl]() { return wl->Next(); };
+  };
+  const uint64_t ops_per_thread = cfg.ops / cfg.connections;
+  auto inproc = driver.RunThreads(sharded, gen_for_thread, cfg.connections,
+                                  ops_per_thread);
+  if (!inproc.ok()) {
+    std::fprintf(stderr, "RunThreads: %s\n",
+                 inproc.status().ToString().c_str());
+    return 1;
+  }
+  if (!inproc->invariants.ok()) {
+    std::fprintf(stderr, "in-process invariants:\n%s\n",
+                 inproc->invariants.ToString().c_str());
+    return 1;
+  }
+
+  // --- network run: same mix through the wire protocol ----------------------
+  net::ServerOptions server_options;
+  server_options.max_connections =
+      static_cast<int>(cfg.connections) + 4;  // headroom for stragglers
+  net::Server server(bundle.store.get(), server_options);
+  bundle.registry.Register("net", &server);
+  st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "Server::Start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<NetRunResult> per_conn(cfg.connections);
+  std::atomic<bool> failed{false};
+  const auto wall0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    for (uint64_t t = 0; t < cfg.connections; ++t) {
+      threads.emplace_back(RunConnection, std::cref(cfg), server.port(), t,
+                           ops_per_thread, &per_conn[t], &failed);
+    }
+    for (auto& th : threads) th.join();
+  }
+  const double net_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  if (failed.load()) {
+    std::fprintf(stderr, "a client connection failed mid-run\n");
+    return 1;
+  }
+
+  NetRunResult net_total;
+  for (const NetRunResult& r : per_conn) {
+    net_total.ops += r.ops;
+    net_total.not_found += r.not_found;
+    net_total.errors += r.errors;
+    net_total.client_cpu_seconds += r.client_cpu_seconds;
+  }
+  net_total.wall_seconds = net_wall;
+
+  // Metrics snapshot BEFORE Stop so the gauge side still reflects serving;
+  // counters are monotonic and survive the shutdown anyway.
+  obs::Snapshot snap = bundle.Metrics();
+  st = server.Stop();
+  if (!st.ok()) {
+    std::fprintf(stderr, "Server::Stop: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  obs::InvariantReport report = bundle.CheckInvariants();
+  std::printf("%s\n", report.ToString().c_str());
+  if (!report.ok()) return 1;
+
+  const double inproc_ops_per_s = inproc->Throughput();
+  const double net_ops_per_s =
+      net_wall > 0 ? static_cast<double>(net_total.ops) / net_wall : 0.0;
+  const uint64_t protocol_errors = snap.Get("net.protocol_errors");
+
+  std::string json = obs::BenchArtifactJson(
+      "net_throughput", bundle.label,
+      {{"ops", static_cast<double>(cfg.ops)},
+       {"keys", static_cast<double>(cfg.keys)},
+       {"shards", static_cast<double>(cfg.shards)},
+       {"connections", static_cast<double>(cfg.connections)},
+       {"pipeline_depth", static_cast<double>(cfg.depth)},
+       {"zipf_theta", cfg.theta},
+       {"read_ratio", cfg.read_ratio},
+       {"value_size", static_cast<double>(cfg.value_size)},
+       {"inproc_ops_per_s", inproc_ops_per_s},
+       {"inproc_effective_seconds", inproc->effective_seconds},
+       {"inproc_busy_seconds", inproc->total_busy_seconds},
+       {"net_ops_per_s", net_ops_per_s},
+       {"net_wall_seconds", net_total.wall_seconds},
+       {"net_client_cpu_seconds", net_total.client_cpu_seconds},
+       {"net_ops", static_cast<double>(net_total.ops)},
+       {"net_not_found", static_cast<double>(net_total.not_found)},
+       {"net_errors", static_cast<double>(net_total.errors)},
+       {"protocol_errors", static_cast<double>(protocol_errors)},
+       {"laws_checked", static_cast<double>(report.laws_checked.size())}},
+      snap);
+  st = obs::WriteFile(cfg.out, json);
+  if (!st.ok()) {
+    std::fprintf(stderr, "WriteFile: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "in-process: %.0f ops/s (effective)  |  network: %.0f ops/s "
+      "(%llu conns x depth %llu, wall %.3fs, client cpu %.3fs)\n",
+      inproc_ops_per_s, net_ops_per_s,
+      static_cast<unsigned long long>(cfg.connections),
+      static_cast<unsigned long long>(cfg.depth), net_total.wall_seconds,
+      net_total.client_cpu_seconds);
+  std::printf("wrote %s (%zu metrics)\n", cfg.out.c_str(), snap.size());
+  if (net_total.errors > 0 || protocol_errors > 0) {
+    std::fprintf(stderr, "unexpected errors over the wire\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Standalone Aria network server (DESIGN.md §11): a sharded Aria hash
+// store behind the epoll event-loop server, serving the binary wire
+// protocol until SIGINT/SIGTERM. On shutdown it drains the store (flushing
+// dirty Secure Cache state), runs the end-of-serving conservation-law
+// audit, and prints the full metrics snapshot.
+//
+//   ./build/examples/aria_server [key=value ...]
+//     port=7777 shards=4 keys=65536 value_size=128 max_connections=64
+//
+// Talk to it with examples/aria_cli-style code via aria::net::Client, or
+// drive it with ./build/bench/bench_net_throughput (which starts its own
+// in-process server on an ephemeral port — this binary is for manual runs
+// and cross-machine experiments on a trusted network).
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "core/store_factory.h"
+#include "net/server.h"
+#include "obs/invariants.h"
+#include "obs/json.h"
+#include "workload/driver.h"
+
+using namespace aria;
+
+namespace {
+
+// Signal flag + self-pipe so the main thread can sleep in poll() instead of
+// spinning; the handler only touches async-signal-safe state.
+volatile std::sig_atomic_t g_stop = 0;
+int g_wake_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  g_stop = 1;
+  char byte = 1;
+  [[maybe_unused]] ssize_t n = write(g_wake_pipe[1], &byte, 1);
+}
+
+struct Config {
+  uint16_t port = 7777;
+  uint32_t shards = 4;
+  uint64_t keys = 65'536;
+  size_t value_size = 128;
+  int max_connections = 64;
+};
+
+bool ParseArg(Config* cfg, const std::string& arg) {
+  const size_t eq = arg.find('=');
+  if (eq == std::string::npos) return false;
+  const std::string key = arg.substr(0, eq);
+  const std::string val = arg.substr(eq + 1);
+  if (key == "port")
+    cfg->port = static_cast<uint16_t>(std::strtoul(val.c_str(), nullptr, 10));
+  else if (key == "shards")
+    cfg->shards = static_cast<uint32_t>(std::strtoul(val.c_str(), nullptr, 10));
+  else if (key == "keys") cfg->keys = std::strtoull(val.c_str(), nullptr, 10);
+  else if (key == "value_size")
+    cfg->value_size = std::strtoull(val.c_str(), nullptr, 10);
+  else if (key == "max_connections")
+    cfg->max_connections = static_cast<int>(std::strtol(val.c_str(), nullptr, 10));
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (!ParseArg(&cfg, argv[i])) {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  StoreOptions options;
+  options.scheme = Scheme::kAria;
+  options.index = IndexKind::kHash;
+  options.keyspace = cfg.keys;
+  options.num_shards = cfg.shards;
+  StoreBundle bundle;
+  Status st = CreateStore(options, &bundle);
+  if (!st.ok()) {
+    std::fprintf(stderr, "CreateStore: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  Driver driver;
+  st = driver.Prepopulate(bundle.store.get(), cfg.keys, cfg.value_size);
+  if (!st.ok()) {
+    std::fprintf(stderr, "Prepopulate: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  net::ServerOptions server_options;
+  server_options.port = cfg.port;
+  server_options.max_connections = cfg.max_connections;
+  net::Server server(bundle.store.get(), server_options);
+  bundle.registry.Register("net", &server);
+  st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "Server::Start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s serving on 127.0.0.1:%u (%u shards, %llu keys)\n",
+              bundle.label.c_str(), server.port(), cfg.shards,
+              static_cast<unsigned long long>(cfg.keys));
+  std::printf("Ctrl-C for graceful shutdown + end-of-serving audit\n");
+
+  if (pipe(g_wake_pipe) != 0) {
+    std::fprintf(stderr, "pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_stop == 0) {
+    pollfd pfd{g_wake_pipe[0], POLLIN, 0};
+    poll(&pfd, 1, -1);
+  }
+
+  std::printf("\nshutting down...\n");
+  st = server.Stop();
+  if (!st.ok()) {
+    std::fprintf(stderr, "Server::Stop: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  obs::InvariantReport report = bundle.CheckInvariants();
+  std::printf("%s\n", report.ToString().c_str());
+  obs::Snapshot snap = bundle.Metrics();
+  std::printf("%s\n", obs::ToJson(snap).c_str());
+  return report.ok() ? 0 : 1;
+}

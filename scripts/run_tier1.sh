@@ -10,3 +10,10 @@ BUILD_DIR="${1:-build}"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Loopback serving-layer smoke: the network battery again on its own label
+# (fast; already part of the full run above), then the load generator
+# end-to-end — server + pipelined clients + artifact + invariant audit.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L net
+"$BUILD_DIR"/bench/bench_net_throughput ops=20000 keys=8192 \
+  out="$BUILD_DIR"/BENCH_net_throughput_smoke.json

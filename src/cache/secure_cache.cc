@@ -561,6 +561,13 @@ Status SecureCache::PinLevels(int first_level) {
   return Status::OK();
 }
 
+Status SecureCache::Flush() {
+  while (num_cached_ > 0) {
+    ARIA_RETURN_IF_ERROR(EvictOne());
+  }
+  return Status::OK();
+}
+
 Status SecureCache::StopSwap() {
   if (stats_.swap_stopped) return Status::OK();
   // Flush: evicting every node propagates all dirty MACs toward the root.

@@ -112,6 +112,13 @@ class SecureCache : public obs::Observable {
   /// automatically by the hit-ratio heuristic.
   Status StopSwap();
 
+  /// Evict every cached node, propagating all dirty MACs toward the root,
+  /// without tearing down the slot storage (unlike StopSwap the cache keeps
+  /// serving normally afterwards). Used by graceful shutdown so no update
+  /// is left stranded in EPC-only state; a no-op on an already-clean or
+  /// stop-swapped cache.
+  Status Flush();
+
   bool swap_stopped() const { return stats_.swap_stopped; }
   const SecureCacheStats& stats() const { return stats_; }
   const SecureCacheConfig& config() const { return config_; }

@@ -9,12 +9,21 @@ namespace {
 // pass through hooks on others is well-defined (the concurrency tests
 // always install before spawning, but TSan verifies the latch itself).
 std::atomic<Injector*> g_injector{nullptr};
+std::atomic<NetInjector*> g_net_injector{nullptr};
 }  // namespace
 
 Injector* Get() { return g_injector.load(std::memory_order_acquire); }
 
 void Set(Injector* injector) {
   g_injector.store(injector, std::memory_order_release);
+}
+
+NetInjector* GetNet() {
+  return g_net_injector.load(std::memory_order_acquire);
+}
+
+void SetNet(NetInjector* injector) {
+  g_net_injector.store(injector, std::memory_order_release);
 }
 
 }  // namespace aria::fault

@@ -44,11 +44,36 @@ class Injector {
                                    size_t len) = 0;
 };
 
+/// Network fault points (torn frames, connection drops), implemented by the
+/// serving layer's tests. Separate from Injector because the adversary
+/// model differs: these model a hostile or failing *network peer*, not
+/// tampered untrusted memory.
+class NetInjector {
+ public:
+  virtual ~NetInjector() = default;
+
+  /// The server is about to write `len` bytes of encoded responses on
+  /// connection `conn`. Return a value < `len` to tear the stream: only
+  /// that many bytes are written and the connection is then hard-closed
+  /// mid-frame. Return `len` (or more) to write normally.
+  virtual size_t OnServerWrite(uint64_t conn, size_t len) = 0;
+
+  /// Return true to drop connection `conn` just before the server executes
+  /// its next decoded request (the in-flight pipeline dies with it).
+  virtual bool DropBeforeExecute(uint64_t conn) = 0;
+};
+
 /// Currently installed injector, or nullptr (production).
 Injector* Get();
 
 /// Install (or clear, with nullptr) the process-wide injector. Test-only.
 void Set(Injector* injector);
+
+/// Currently installed network injector, or nullptr (production).
+NetInjector* GetNet();
+
+/// Install (or clear, with nullptr) the network injector. Test-only.
+void SetNet(NetInjector* injector);
 
 inline void InjectUntrustedRead(Site site, void* p, size_t len) {
   if (Injector* i = Get()) i->OnUntrustedRead(site, static_cast<uint8_t*>(p), len);
@@ -62,6 +87,22 @@ inline bool InjectAllocFailure(Site site, size_t bytes) {
 inline bool InjectWritebackDrop(uint8_t* dst, const uint8_t* src, size_t len) {
   Injector* i = Get();
   return i != nullptr && i->OnEvictionWriteback(dst, src, len);
+}
+
+/// Bytes the server may write of a `len`-byte response flush (< len tears
+/// the stream mid-frame).
+inline size_t InjectServerWrite(uint64_t conn, size_t len) {
+  NetInjector* i = GetNet();
+  if (i == nullptr) return len;
+  size_t allowed = i->OnServerWrite(conn, len);
+  return allowed < len ? allowed : len;
+}
+
+/// True if the connection should be dropped before executing its next
+/// decoded request.
+inline bool InjectConnDrop(uint64_t conn) {
+  NetInjector* i = GetNet();
+  return i != nullptr && i->DropBeforeExecute(conn);
 }
 
 }  // namespace aria::fault

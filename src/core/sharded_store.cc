@@ -99,6 +99,45 @@ Status ShardedStore::Delete(Slice key) {
   return s.bundle.store->Delete(key);
 }
 
+void ShardedStore::ExecuteBatch(BatchOp* ops, size_t n) {
+  // Bucket op indices by shard in arrival order, then drain shard by shard
+  // under a single lock acquisition each.
+  std::vector<std::vector<uint32_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < n; ++i) {
+    by_shard[ShardOf(ops[i].key)].push_back(static_cast<uint32_t>(i));
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    for (uint32_t i : by_shard[s]) {
+      BatchOp& op = ops[i];
+      switch (op.kind) {
+        case BatchOp::Kind::kGet:
+          op.result.clear();
+          op.status = shard.bundle.store->Get(op.key, &op.result);
+          break;
+        case BatchOp::Kind::kPut:
+          op.status = shard.bundle.store->Put(op.key, op.value);
+          break;
+        case BatchOp::Kind::kDelete:
+          op.status = shard.bundle.store->Delete(op.key);
+          break;
+      }
+    }
+  }
+}
+
+Status ShardedStore::Drain() {
+  for (auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard->mu);
+    if (CounterManager* cm = shard->bundle.counter_manager()) {
+      ARIA_RETURN_IF_ERROR(cm->Flush());
+    }
+  }
+  return Status::OK();
+}
+
 Status ShardedStore::RangeScan(
     Slice start, size_t limit,
     std::vector<std::pair<std::string, std::string>>* out) {

@@ -33,6 +33,18 @@
 
 namespace aria {
 
+/// One point operation of a shard-grouped batch (see ExecuteBatch). The
+/// slices must stay valid for the duration of the call; `status` and
+/// `result` are outputs.
+struct BatchOp {
+  enum class Kind : uint8_t { kGet, kPut, kDelete };
+  Kind kind = Kind::kGet;
+  Slice key;
+  Slice value;  ///< kPut only
+  Status status;
+  std::string result;  ///< kGet only
+};
+
 class ShardedStore : public OrderedKVStore {
  public:
   /// Build `base.num_shards` shards. Each shard gets the base options with
@@ -52,6 +64,23 @@ class ShardedStore : public OrderedKVStore {
 
   const char* name() const override { return name_.c_str(); }
   uint64_t size() const override;
+
+  /// Execute `n` point operations, grouped by shard so each shard's lock is
+  /// taken once per group instead of once per op — the network analog of
+  /// the paper's boundary-crossing amortization (§V-B): the serving layer
+  /// batches all requests decoded in one event-loop tick through here.
+  /// Relative order of ops that hash to the same shard is preserved, so
+  /// pipelined PUT-then-GET on one key stays sequential; ops on different
+  /// shards may reorder (they are independent). Per-op results land in
+  /// each op's `status` / `result`.
+  void ExecuteBatch(BatchOp* ops, size_t n);
+
+  /// Graceful shutdown: under each shard's exclusive lock, flush that
+  /// shard's dirty Secure Cache state so every pending MAC update reaches
+  /// its Merkle root. Safe to call repeatedly; the store keeps serving
+  /// afterwards. Callers pair this with CheckInvariants() for the
+  /// end-of-serving audit.
+  Status Drain();
 
   /// Which shard `key` lives in. Stable across the store's lifetime; uses
   /// a hash seed distinct from the bucket / key-hint hashes so the shard

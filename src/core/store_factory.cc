@@ -226,6 +226,9 @@ obs::Snapshot StoreBundle::Metrics() const {
     for (uint32_t i = 0; i < sharded->num_shards(); ++i) {
       total.Accumulate(sharded->ShardSnapshot(i));
     }
+    // A sharded bundle's own registry holds only store-external layers
+    // (e.g. the network server registered under "net"); fold them in.
+    if (!registry.empty()) total.Accumulate(registry.Collect());
     return total;
   }
   return registry.Collect();

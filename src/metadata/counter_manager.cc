@@ -223,6 +223,13 @@ Status CounterManager::BumpCounter(RedPtr id, uint8_t out[kCounterSize]) {
   return unit.value()->cache->BumpCounter(slot, out);
 }
 
+Status CounterManager::Flush() {
+  for (const auto& unit : units_) {
+    ARIA_RETURN_IF_ERROR(unit->cache->Flush());
+  }
+  return Status::OK();
+}
+
 SecureCacheStats CounterManager::CacheStats() const {
   SecureCacheStats agg;
   for (const auto& unit : units_) {

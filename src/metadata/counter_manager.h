@@ -82,6 +82,11 @@ class CounterManager : public CounterStore, public obs::Observable {
   /// Aggregated Secure Cache statistics across all trees.
   SecureCacheStats CacheStats() const;
 
+  /// Flush every tree's Secure Cache (graceful shutdown): all dirty MACs
+  /// propagate to their Merkle roots so the untrusted MT image is
+  /// consistent with the trusted roots.
+  Status Flush();
+
   /// Emits its own counters plus each tree's cache and MT metrics under
   /// "treeN.cache." / "treeN.mt." sub-prefixes.
   void CollectMetrics(obs::MetricSink* sink) const override;

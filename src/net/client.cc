@@ -1,0 +1,190 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace aria::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+// A default Slice carries a null data pointer; std::string::assign requires
+// a valid one even for length 0.
+void AssignSlice(std::string* dst, aria::Slice src) {
+  if (src.size() > 0) {
+    dst->assign(src.data(), src.size());
+  } else {
+    dst->clear();
+  }
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) return Status::InvalidArgument("client already connected");
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad address: " + host);
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Errno("connect");
+    Close();
+    return st;
+  }
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  in_flight_ = 0;
+  read_buf_.clear();
+  read_off_ = 0;
+}
+
+Status Client::WriteAll(const char* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    ssize_t n = send(fd_, data + off, size - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Errno("write");
+      Close();
+      return st;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::Send(const Request& req) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  std::string frame;
+  EncodeRequest(req, &frame);
+  ARIA_RETURN_IF_ERROR(WriteAll(frame.data(), frame.size()));
+  in_flight_++;
+  return Status::OK();
+}
+
+Status Client::ReadResponse(Response* resp) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  for (;;) {
+    std::string error;
+    size_t consumed = 0;
+    DecodeResult r =
+        DecodeResponse(read_buf_.data() + read_off_,
+                       read_buf_.size() - read_off_, &consumed, resp, &error);
+    if (r == DecodeResult::kFrame) {
+      read_off_ += consumed;
+      if (read_off_ * 2 >= read_buf_.size()) {
+        read_buf_.erase(0, read_off_);
+        read_off_ = 0;
+      }
+      if (in_flight_ > 0) in_flight_--;
+      return Status::OK();
+    }
+    if (r == DecodeResult::kError) {
+      Close();
+      return Status::Internal("malformed response: " + error);
+    }
+    char chunk[16384];
+    ssize_t n = read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Errno("read");
+      Close();
+      return st;
+    }
+    if (n == 0) {
+      Close();
+      return Status::Internal("connection closed by server");
+    }
+    read_buf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Status Client::Call(const Request& req, Response* resp) {
+  if (in_flight_ > 0) {
+    return Status::InvalidArgument(
+        "synchronous call with a pipeline in flight");
+  }
+  ARIA_RETURN_IF_ERROR(Send(req));
+  return ReadResponse(resp);
+}
+
+Status Client::Get(Slice key, std::string* value) {
+  Request req;
+  req.op = OpCode::kGet;
+  AssignSlice(&req.key, key);
+  Response resp;
+  ARIA_RETURN_IF_ERROR(Call(req, &resp));
+  if (resp.status != WireStatus::kOk) {
+    return FromWire(resp.status, resp.payload);
+  }
+  *value = std::move(resp.payload);
+  return Status::OK();
+}
+
+Status Client::Put(Slice key, Slice value) {
+  Request req;
+  req.op = OpCode::kPut;
+  AssignSlice(&req.key, key);
+  AssignSlice(&req.value, value);
+  Response resp;
+  ARIA_RETURN_IF_ERROR(Call(req, &resp));
+  return FromWire(resp.status, resp.payload);
+}
+
+Status Client::Delete(Slice key) {
+  Request req;
+  req.op = OpCode::kDelete;
+  AssignSlice(&req.key, key);
+  Response resp;
+  ARIA_RETURN_IF_ERROR(Call(req, &resp));
+  return FromWire(resp.status, resp.payload);
+}
+
+Status Client::RangeScan(
+    Slice start, uint32_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  Request req;
+  req.op = OpCode::kScan;
+  AssignSlice(&req.key, start);
+  req.scan_limit = limit;
+  Response resp;
+  ARIA_RETURN_IF_ERROR(Call(req, &resp));
+  if (resp.status != WireStatus::kOk) {
+    return FromWire(resp.status, resp.payload);
+  }
+  return DecodeScanPayload(resp.payload, out);
+}
+
+Status Client::Ping() {
+  Request req;
+  req.op = OpCode::kPing;
+  Response resp;
+  ARIA_RETURN_IF_ERROR(Call(req, &resp));
+  return FromWire(resp.status, resp.payload);
+}
+
+}  // namespace aria::net

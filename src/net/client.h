@@ -1,0 +1,73 @@
+// Blocking client for the Aria wire protocol, with explicit pipelining:
+// the synchronous helpers (Get/Put/Delete/RangeScan/Ping) are one
+// request/response round trip, while Send + ReadResponse let callers keep
+// many requests in flight on one connection — the mode the load generator
+// uses, and the mode that makes the server's per-tick batching visible.
+//
+// Responses arrive strictly in request order (the server guarantees
+// per-connection FIFO), so a pipeline is just a depth counter: Send() n
+// times, ReadResponse() n times.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "net/protocol.h"
+
+namespace aria::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to `host:port` (blocking). A connected client must be
+  /// Close()d or destroyed; reconnecting an open client is an error.
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // --- synchronous one-shot operations -----------------------------------
+
+  Status Get(Slice key, std::string* value);
+  Status Put(Slice key, Slice value);
+  Status Delete(Slice key);
+  Status RangeScan(Slice start, uint32_t limit,
+                   std::vector<std::pair<std::string, std::string>>* out);
+  /// Round trip with no store effect; returning OK proves every previously
+  /// pipelined request has been executed (FIFO).
+  Status Ping();
+
+  // --- pipelining ---------------------------------------------------------
+
+  /// Encode and write `req` now (blocking until the kernel takes the
+  /// bytes). The matching response must eventually be consumed with
+  /// ReadResponse.
+  Status Send(const Request& req);
+
+  /// Blocking-read the next response frame. Returns Internal on EOF or a
+  /// malformed frame (the connection is closed either way).
+  Status ReadResponse(Response* resp);
+
+  /// Responses outstanding (Sends minus ReadResponses).
+  uint64_t in_flight() const { return in_flight_; }
+
+ private:
+  Status WriteAll(const char* data, size_t size);
+  /// One request/response round trip; fails if a pipeline is in flight.
+  Status Call(const Request& req, Response* resp);
+
+  int fd_ = -1;
+  uint64_t in_flight_ = 0;
+  std::string read_buf_;
+  size_t read_off_ = 0;
+};
+
+}  // namespace aria::net

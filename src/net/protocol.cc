@@ -1,0 +1,307 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace aria::net {
+
+namespace {
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint16_t GetU16(const char* p) {
+  const auto* b = reinterpret_cast<const uint8_t*>(p);
+  return static_cast<uint16_t>(b[0] | (b[1] << 8));
+}
+
+uint32_t GetU32(const char* p) {
+  const auto* b = reinterpret_cast<const uint8_t*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+bool ValidOp(uint8_t op) {
+  return op >= static_cast<uint8_t>(OpCode::kGet) &&
+         op <= static_cast<uint8_t>(OpCode::kPing);
+}
+
+}  // namespace
+
+void EncodeRequest(const Request& req, std::string* out) {
+  const uint32_t key_len = static_cast<uint32_t>(req.key.size());
+  uint32_t aux = 0;
+  uint32_t value_len = 0;
+  if (req.op == OpCode::kPut) {
+    value_len = static_cast<uint32_t>(req.value.size());
+    aux = value_len;
+  } else if (req.op == OpCode::kScan) {
+    aux = req.scan_limit;
+  }
+  PutU32(out, kRequestFixedBytes + key_len + value_len);
+  out->push_back(static_cast<char>(req.op));
+  PutU16(out, static_cast<uint16_t>(key_len));
+  PutU32(out, aux);
+  out->append(req.key);
+  if (req.op == OpCode::kPut) out->append(req.value);
+}
+
+void EncodeResponse(WireStatus status, std::string_view payload,
+                    std::string* out) {
+  if (payload.size() > kMaxResponseBodyBytes - kResponseFixedBytes) {
+    payload = payload.substr(0, kMaxResponseBodyBytes - kResponseFixedBytes);
+  }
+  PutU32(out, kResponseFixedBytes + static_cast<uint32_t>(payload.size()));
+  out->push_back(static_cast<char>(status));
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+}
+
+DecodeResult DecodeRequest(const char* data, size_t size, size_t* consumed,
+                           Request* req, std::string* error) {
+  if (size < kLengthPrefixBytes) return DecodeResult::kNeedMore;
+  const uint32_t body_len = GetU32(data);
+  // Bound the declared length BEFORE waiting for the bytes: a huge body_len
+  // must fail now, not after the peer has made us buffer it.
+  if (body_len < kRequestFixedBytes || body_len > kMaxRequestBodyBytes) {
+    *error = "request body length " + std::to_string(body_len) +
+             " outside [" + std::to_string(kRequestFixedBytes) + ", " +
+             std::to_string(kMaxRequestBodyBytes) + "]";
+    return DecodeResult::kError;
+  }
+  if (size < kLengthPrefixBytes + body_len) return DecodeResult::kNeedMore;
+
+  const char* body = data + kLengthPrefixBytes;
+  const uint8_t op = static_cast<uint8_t>(body[0]);
+  if (!ValidOp(op)) {
+    *error = "unknown opcode " + std::to_string(op);
+    return DecodeResult::kError;
+  }
+  const uint16_t key_len = GetU16(body + 1);
+  const uint32_t aux = GetU32(body + 3);
+  if (key_len > kMaxKeyBytes) {
+    *error = "key length " + std::to_string(key_len) + " exceeds " +
+             std::to_string(kMaxKeyBytes);
+    return DecodeResult::kError;
+  }
+
+  uint32_t value_len = 0;
+  switch (static_cast<OpCode>(op)) {
+    case OpCode::kPut:
+      if (aux > kMaxValueBytes) {
+        *error = "value length " + std::to_string(aux) + " exceeds " +
+                 std::to_string(kMaxValueBytes);
+        return DecodeResult::kError;
+      }
+      value_len = aux;
+      break;
+    case OpCode::kScan:
+      if (aux > kMaxScanLimit) {
+        *error = "scan limit " + std::to_string(aux) + " exceeds " +
+                 std::to_string(kMaxScanLimit);
+        return DecodeResult::kError;
+      }
+      break;
+    case OpCode::kGet:
+    case OpCode::kDelete:
+    case OpCode::kPing:
+      if (aux != 0) {
+        *error = "non-zero aux on " + std::string(OpCodeName(
+                     static_cast<OpCode>(op)));
+        return DecodeResult::kError;
+      }
+      break;
+  }
+
+  // The declared pieces must tile the body exactly; any slack could hide
+  // bytes the decoder never validated.
+  const uint64_t expected = static_cast<uint64_t>(kRequestFixedBytes) +
+                            key_len + value_len;
+  if (expected != body_len) {
+    *error = "body length " + std::to_string(body_len) +
+             " does not match declared key/value lengths (" +
+             std::to_string(expected) + ")";
+    return DecodeResult::kError;
+  }
+
+  // Empty keys are meaningless for point ops; only a scan may start from
+  // the beginning of the keyspace, and ping carries no key at all.
+  const OpCode opc = static_cast<OpCode>(op);
+  if (key_len == 0 && (opc == OpCode::kGet || opc == OpCode::kPut ||
+                       opc == OpCode::kDelete)) {
+    *error = "zero-length key";
+    return DecodeResult::kError;
+  }
+  if (opc == OpCode::kPing && key_len != 0) {
+    *error = "ping carries a key";
+    return DecodeResult::kError;
+  }
+
+  req->op = opc;
+  req->key.assign(body + kRequestFixedBytes, key_len);
+  req->value.assign(body + kRequestFixedBytes + key_len, value_len);
+  req->scan_limit = opc == OpCode::kScan ? aux : 0;
+  *consumed = kLengthPrefixBytes + body_len;
+  return DecodeResult::kFrame;
+}
+
+DecodeResult DecodeResponse(const char* data, size_t size, size_t* consumed,
+                            Response* resp, std::string* error) {
+  if (size < kLengthPrefixBytes) return DecodeResult::kNeedMore;
+  const uint32_t body_len = GetU32(data);
+  if (body_len < kResponseFixedBytes || body_len > kMaxResponseBodyBytes) {
+    *error = "response body length " + std::to_string(body_len) +
+             " outside [" + std::to_string(kResponseFixedBytes) + ", " +
+             std::to_string(kMaxResponseBodyBytes) + "]";
+    return DecodeResult::kError;
+  }
+  if (size < kLengthPrefixBytes + body_len) return DecodeResult::kNeedMore;
+
+  const char* body = data + kLengthPrefixBytes;
+  const uint8_t status = static_cast<uint8_t>(body[0]);
+  if (status > static_cast<uint8_t>(WireStatus::kProtocolError)) {
+    *error = "unknown status " + std::to_string(status);
+    return DecodeResult::kError;
+  }
+  const uint32_t payload_len = GetU32(body + 1);
+  if (static_cast<uint64_t>(payload_len) + kResponseFixedBytes != body_len) {
+    *error = "payload length " + std::to_string(payload_len) +
+             " does not match body length " + std::to_string(body_len);
+    return DecodeResult::kError;
+  }
+  resp->status = static_cast<WireStatus>(status);
+  resp->payload.assign(body + kResponseFixedBytes, payload_len);
+  *consumed = kLengthPrefixBytes + body_len;
+  return DecodeResult::kFrame;
+}
+
+size_t EncodeScanPayload(
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    size_t max_payload_bytes, std::string* out) {
+  const size_t count_pos = out->size();
+  PutU32(out, 0);
+  size_t encoded = 0;
+  for (const auto& [key, value] : pairs) {
+    const size_t pair_bytes = 6 + key.size() + value.size();
+    if (out->size() - count_pos + pair_bytes > max_payload_bytes) break;
+    PutU16(out, static_cast<uint16_t>(key.size()));
+    PutU32(out, static_cast<uint32_t>(value.size()));
+    out->append(key);
+    out->append(value);
+    encoded++;
+  }
+  // Patch the count in place now that truncation is known.
+  const uint32_t n = static_cast<uint32_t>(encoded);
+  (*out)[count_pos] = static_cast<char>(n & 0xff);
+  (*out)[count_pos + 1] = static_cast<char>((n >> 8) & 0xff);
+  (*out)[count_pos + 2] = static_cast<char>((n >> 16) & 0xff);
+  (*out)[count_pos + 3] = static_cast<char>((n >> 24) & 0xff);
+  return encoded;
+}
+
+Status DecodeScanPayload(
+    std::string_view payload,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  if (payload.size() < 4) {
+    return Status::InvalidArgument("scan payload shorter than its count");
+  }
+  const uint32_t count = GetU32(payload.data());
+  if (count > kMaxScanLimit) {
+    return Status::InvalidArgument("scan payload count exceeds limit bound");
+  }
+  size_t off = 4;
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (payload.size() - off < 6) {
+      return Status::InvalidArgument("scan payload truncated at pair header");
+    }
+    const uint16_t key_len = GetU16(payload.data() + off);
+    const uint32_t value_len = GetU32(payload.data() + off + 2);
+    off += 6;
+    if (key_len > kMaxKeyBytes || value_len > kMaxValueBytes) {
+      return Status::InvalidArgument("scan payload pair exceeds bounds");
+    }
+    if (payload.size() - off < static_cast<size_t>(key_len) + value_len) {
+      return Status::InvalidArgument("scan payload truncated at pair bytes");
+    }
+    out->emplace_back(std::string(payload.substr(off, key_len)),
+                      std::string(payload.substr(off + key_len, value_len)));
+    off += static_cast<size_t>(key_len) + value_len;
+  }
+  if (off != payload.size()) {
+    return Status::InvalidArgument("scan payload has trailing bytes");
+  }
+  return Status::OK();
+}
+
+WireStatus ToWire(const Status& status) {
+  return static_cast<WireStatus>(status.code());
+}
+
+Status FromWire(WireStatus status, std::string message) {
+  switch (status) {
+    case WireStatus::kOk:
+      return Status::OK();
+    case WireStatus::kNotFound:
+      return Status::NotFound(std::move(message));
+    case WireStatus::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case WireStatus::kCapacityExceeded:
+      return Status::CapacityExceeded(std::move(message));
+    case WireStatus::kIntegrityViolation:
+      return Status::IntegrityViolation(std::move(message));
+    case WireStatus::kInternal:
+      return Status::Internal(std::move(message));
+    case WireStatus::kProtocolError:
+      return Status::Internal("protocol error: " + message);
+  }
+  return Status::Internal("unknown wire status");
+}
+
+const char* OpCodeName(OpCode op) {
+  switch (op) {
+    case OpCode::kGet:
+      return "GET";
+    case OpCode::kPut:
+      return "PUT";
+    case OpCode::kDelete:
+      return "DELETE";
+    case OpCode::kScan:
+      return "SCAN";
+    case OpCode::kPing:
+      return "PING";
+  }
+  return "?";
+}
+
+const char* WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return "Ok";
+    case WireStatus::kNotFound:
+      return "NotFound";
+    case WireStatus::kInvalidArgument:
+      return "InvalidArgument";
+    case WireStatus::kCapacityExceeded:
+      return "CapacityExceeded";
+    case WireStatus::kIntegrityViolation:
+      return "IntegrityViolation";
+    case WireStatus::kInternal:
+      return "Internal";
+    case WireStatus::kProtocolError:
+      return "ProtocolError";
+  }
+  return "?";
+}
+
+}  // namespace aria::net

@@ -1,0 +1,125 @@
+// Binary wire protocol for the network serving layer (DESIGN.md §11).
+//
+// Every frame is a little-endian u32 length prefix followed by that many
+// body bytes. The decoder applies the same discipline RecordCodec::Verify
+// uses against tampered headers: no client-supplied length is trusted until
+// it has been checked against a hard bound AND against the bytes actually
+// present, so a malicious peer can neither make the server over-read nor
+// make it buffer an unbounded frame.
+//
+//   request body:   op(u8) key_len(u16) aux(u32) key[key_len] value[...]
+//     aux = value length (kPut), scan limit (kScan), must be 0 otherwise
+//   response body:  status(u8) payload_len(u32) payload[payload_len]
+//     payload = value (kGet), packed pairs (kScan), error message (errors)
+//
+// Decoding is incremental: feed the buffered bytes, get back kNeedMore (no
+// complete frame yet), kFrame (one frame consumed), or kError (the peer is
+// speaking garbage; the connection must be failed, resynchronization is
+// impossible in a length-prefixed stream).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace aria::net {
+
+enum class OpCode : uint8_t {
+  kGet = 1,
+  kPut = 2,
+  kDelete = 3,
+  kScan = 4,
+  kPing = 5,  ///< no-op round trip; used to drain a pipeline
+};
+
+/// Response status on the wire. The first six values mirror aria::Code so
+/// store results cross the boundary losslessly; kProtocolError is the
+/// server's verdict on a malformed frame (always followed by a close).
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kCapacityExceeded = 3,
+  kIntegrityViolation = 4,
+  kInternal = 5,
+  kProtocolError = 6,
+};
+
+// Hard bounds. A declared length beyond these is a protocol error, so the
+// per-connection buffers the server keeps are bounded by construction.
+inline constexpr uint32_t kMaxKeyBytes = 1024;
+inline constexpr uint32_t kMaxValueBytes = 64 * 1024;
+inline constexpr uint32_t kMaxScanLimit = 1024;
+inline constexpr uint32_t kRequestFixedBytes = 7;  ///< op + key_len + aux
+inline constexpr uint32_t kResponseFixedBytes = 5;  ///< status + payload_len
+inline constexpr uint32_t kMaxRequestBodyBytes =
+    kRequestFixedBytes + kMaxKeyBytes + kMaxValueBytes;
+/// Scan responses are truncated server-side to fit this bound (the count on
+/// the wire is always the count actually encoded).
+inline constexpr uint32_t kMaxResponseBodyBytes = 1 << 20;
+inline constexpr uint32_t kLengthPrefixBytes = 4;
+
+struct Request {
+  OpCode op = OpCode::kPing;
+  std::string key;
+  std::string value;        ///< kPut only
+  uint32_t scan_limit = 0;  ///< kScan only
+};
+
+struct Response {
+  WireStatus status = WireStatus::kOk;
+  std::string payload;
+};
+
+enum class DecodeResult : uint8_t { kNeedMore, kFrame, kError };
+
+/// Append the encoded frame for `req` to `out`. Requests built by our own
+/// client always satisfy the bounds; Encode does not re-check them (the
+/// fuzzer builds its malformed frames by hand).
+void EncodeRequest(const Request& req, std::string* out);
+
+/// Append a response frame. `payload` is truncated to kMaxResponseBodyBytes
+/// minus the fixed header if oversized (callers pre-fit scan payloads).
+void EncodeResponse(WireStatus status, std::string_view payload,
+                    std::string* out);
+
+/// Try to decode one request frame from data[0..size). On kFrame fills
+/// `*req` and sets `*consumed` to the frame's total size. On kError fills
+/// `*error` with the reason; `*consumed` is meaningless and the stream must
+/// be abandoned. On kNeedMore nothing is written.
+DecodeResult DecodeRequest(const char* data, size_t size, size_t* consumed,
+                           Request* req, std::string* error);
+
+/// Same incremental contract for response frames (client side).
+DecodeResult DecodeResponse(const char* data, size_t size, size_t* consumed,
+                            Response* resp, std::string* error);
+
+/// Pack scan results into a response payload: count(u32) then per pair
+/// key_len(u16) value_len(u32) key value. Stops before exceeding
+/// `max_payload_bytes`; returns the number of pairs encoded.
+size_t EncodeScanPayload(
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    size_t max_payload_bytes, std::string* out);
+
+/// Inverse of EncodeScanPayload, with the same no-trust bounds discipline
+/// (every declared length is checked against the bytes present).
+Status DecodeScanPayload(
+    std::string_view payload,
+    std::vector<std::pair<std::string, std::string>>* out);
+
+/// Store status -> wire status (kOk..kInternal map 1:1).
+WireStatus ToWire(const Status& status);
+
+/// Wire status -> store status, reconstructing the taxonomy the caller
+/// would have seen in-process. kProtocolError maps to Internal.
+Status FromWire(WireStatus status, std::string message = "");
+
+/// Human-readable opcode / status names for logs and test failures.
+const char* OpCodeName(OpCode op);
+const char* WireStatusName(WireStatus status);
+
+}  // namespace aria::net

@@ -1,0 +1,557 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "core/sharded_store.h"
+#include "net/protocol.h"
+
+namespace aria::net {
+
+namespace {
+
+constexpr int kMaxEpollEvents = 64;
+// Budget for the best-effort final flush during graceful shutdown.
+constexpr int kStopFlushMillis = 200;
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+/// All connection state is owned by the event-loop thread; nothing here is
+/// shared. `in_off`/`out_off` track consumed prefixes so steady-state
+/// traffic does not re-copy the buffers on every tick.
+struct Server::Connection {
+  int fd = -1;
+  uint64_t id = 0;
+  std::string in;
+  size_t in_off = 0;
+  std::string out;
+  size_t out_off = 0;
+  bool want_write = false;  ///< EPOLLOUT armed
+  bool close_after_flush = false;  ///< protocol error: answer, then close
+  bool dead = false;
+
+  size_t pending_out() const { return out.size() - out_off; }
+};
+
+Server::Server(KVStore* store, ServerOptions options)
+    : store_(store),
+      sharded_(dynamic_cast<ShardedStore*>(store)),
+      ordered_(dynamic_cast<OrderedKVStore*>(store)),
+      options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already running");
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: " + options_.host);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Errno("bind");
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (listen(listen_fd_, 128) < 0) {
+    Status st = Errno("listen");
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    Status st = Errno("getsockname");
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Status st = Errno(epoll_fd_ < 0 ? "epoll_create1" : "eventfd");
+    Stop();
+    return st;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = nullptr;  // nullptr = listen fd
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    Status st = Errno("epoll_ctl(listen)");
+    Stop();
+    return st;
+  }
+  ev.data.ptr = this;  // this = wake fd
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    Status st = Errno("epoll_ctl(wake)");
+    Stop();
+    return st;
+  }
+
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+Status Server::Stop() {
+  if (running_.load(std::memory_order_acquire)) {
+    stop_requested_.store(true, std::memory_order_release);
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+    loop_.join();
+    running_.store(false, std::memory_order_release);
+  } else if (loop_.joinable()) {
+    loop_.join();
+  }
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  // Drain AFTER the loop has joined: no batch can be in flight, so the
+  // flush sees quiescent shards and the end-of-serving invariant audit
+  // (net_test) runs against a consistent image.
+  if (sharded_ != nullptr) return sharded_->Drain();
+  return Status::OK();
+}
+
+void Server::Accept() {
+  for (;;) {
+    int fd = accept4(listen_fd_, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; the listener stays armed
+    }
+    if (static_cast<int>(conns_.size()) >= options_.max_connections) {
+      // Count before close: the peer observes the rejection as EOF, and a
+      // metrics scrape triggered by that EOF must already see the counter.
+      stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      close(fd);
+      continue;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = conn.get();
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      close(fd);
+      continue;
+    }
+    conns_.push_back(std::move(conn));
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections_active.store(conns_.size(), std::memory_order_relaxed);
+  }
+}
+
+bool Server::ReadInput(Connection* conn) {
+  // Reclaim the consumed prefix before appending (amortized O(1)).
+  if (conn->in_off > 0 && conn->in_off * 2 >= conn->in.size()) {
+    conn->in.erase(0, conn->in_off);
+    conn->in_off = 0;
+  }
+  size_t budget = options_.read_chunk_bytes;
+  while (budget > 0) {
+    const size_t chunk = budget < 16384 ? budget : 16384;
+    const size_t old = conn->in.size();
+    conn->in.resize(old + chunk);
+    ssize_t n = read(conn->fd, conn->in.data() + old, chunk);
+    if (n > 0) {
+      conn->in.resize(old + static_cast<size_t>(n));
+      stats_.bytes_in.fetch_add(static_cast<uint64_t>(n),
+                                std::memory_order_relaxed);
+      budget -= static_cast<size_t>(n);
+      if (static_cast<size_t>(n) < chunk) return true;  // drained the socket
+      continue;
+    }
+    conn->in.resize(old);
+    if (n == 0) {
+      stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+      CloseConnection(conn);
+      return false;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(conn);
+    return false;
+  }
+  return true;
+}
+
+void Server::RecordBatchSize(size_t n) {
+  int b = n == 0 ? 0 : std::bit_width(n) - 1;
+  if (b >= ServerStats::kBatchBuckets) b = ServerStats::kBatchBuckets - 1;
+  stats_.batch_size_hist[b].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::ProcessTick(std::vector<Connection*>* ready) {
+  // Decode every complete frame from every ready connection. Entries for
+  // one connection are contiguous and in arrival order, so writing the
+  // responses back in list order preserves per-connection FIFO no matter
+  // how execution is grouped below.
+  struct Pending {
+    Connection* conn = nullptr;
+    Request req;
+    WireStatus status = WireStatus::kOk;
+    std::string payload;
+  };
+  std::vector<Pending> pending;
+
+  for (Connection* conn : *ready) {
+    if (conn->dead || conn->close_after_flush) continue;
+    const size_t first_of_conn = pending.size();
+    for (;;) {
+      Request req;
+      std::string error;
+      size_t consumed = 0;
+      DecodeResult r =
+          DecodeRequest(conn->in.data() + conn->in_off,
+                        conn->in.size() - conn->in_off, &consumed, &req,
+                        &error);
+      if (r == DecodeResult::kNeedMore) break;
+      if (r == DecodeResult::kError) {
+        // One verdict, then the stream is unrecoverable. The verdict goes
+        // through the pending list like any response, so the answers to
+        // the valid frames before it keep their order.
+        stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        Pending verdict;
+        verdict.conn = conn;
+        verdict.status = WireStatus::kProtocolError;
+        verdict.payload = std::move(error);
+        verdict.req.op = OpCode::kPing;  // executes as a no-op
+        pending.push_back(std::move(verdict));
+        conn->close_after_flush = true;
+        conn->in.clear();
+        conn->in_off = 0;
+        break;
+      }
+      conn->in_off += consumed;
+      stats_.requests_decoded.fetch_add(1, std::memory_order_relaxed);
+      Pending p;
+      p.conn = conn;
+      p.req = std::move(req);
+      pending.push_back(std::move(p));
+    }
+    // Fault point: the connection dies after its requests were read but
+    // before any of them executes — the peer's whole in-flight pipeline is
+    // lost mid-exchange.
+    if (pending.size() > first_of_conn &&
+        fault::InjectConnDrop(conn->id)) {
+      pending.resize(first_of_conn);
+      stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+      CloseConnection(conn);
+    }
+  }
+  if (pending.empty()) return;
+
+  // Execute. Point ops accumulate into one shard-grouped batch; a scan is
+  // a barrier (it crosses shards), flushing the batch first so a pipelined
+  // PUT-then-SCAN on one connection observes the PUT.
+  std::vector<BatchOp> batch;
+  std::vector<size_t> batch_owner;  // batch index -> pending index
+  batch.reserve(pending.size());
+
+  auto flush_batch = [&]() {
+    if (batch.empty()) return;
+    if (sharded_ != nullptr) {
+      sharded_->ExecuteBatch(batch.data(), batch.size());
+    } else {
+      for (BatchOp& op : batch) {
+        switch (op.kind) {
+          case BatchOp::Kind::kGet:
+            op.status = store_->Get(op.key, &op.result);
+            break;
+          case BatchOp::Kind::kPut:
+            op.status = store_->Put(op.key, op.value);
+            break;
+          case BatchOp::Kind::kDelete:
+            op.status = store_->Delete(op.key);
+            break;
+        }
+      }
+    }
+    stats_.batches.fetch_add(1, std::memory_order_relaxed);
+    stats_.batched_requests.fetch_add(batch.size(),
+                                      std::memory_order_relaxed);
+    RecordBatchSize(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Pending& p = pending[batch_owner[i]];
+      p.status = ToWire(batch[i].status);
+      if (batch[i].kind == BatchOp::Kind::kGet && batch[i].status.ok()) {
+        p.payload = std::move(batch[i].result);
+      } else if (!batch[i].status.ok()) {
+        p.payload = batch[i].status.message();
+      }
+    }
+    batch.clear();
+    batch_owner.clear();
+  };
+
+  for (size_t i = 0; i < pending.size(); ++i) {
+    Pending& p = pending[i];
+    if (p.conn->dead) continue;
+    BatchOp op;
+    switch (p.req.op) {
+      case OpCode::kGet:
+        op.kind = BatchOp::Kind::kGet;
+        break;
+      case OpCode::kPut:
+        op.kind = BatchOp::Kind::kPut;
+        op.value = Slice(p.req.value);
+        break;
+      case OpCode::kDelete:
+        op.kind = BatchOp::Kind::kDelete;
+        break;
+      case OpCode::kPing:
+        continue;  // already kOk with an empty payload
+      case OpCode::kScan: {
+        flush_batch();
+        stats_.scans.fetch_add(1, std::memory_order_relaxed);
+        if (ordered_ == nullptr) {
+          p.status = WireStatus::kInvalidArgument;
+          p.payload = "store has no ordered index";
+          continue;
+        }
+        std::vector<std::pair<std::string, std::string>> rows;
+        Status st = ordered_->RangeScan(p.req.key, p.req.scan_limit, &rows);
+        p.status = ToWire(st);
+        if (st.ok()) {
+          EncodeScanPayload(rows,
+                            kMaxResponseBodyBytes - kResponseFixedBytes,
+                            &p.payload);
+        } else {
+          p.payload = st.message();
+        }
+        continue;
+      }
+    }
+    op.key = Slice(p.req.key);
+    batch.push_back(op);
+    batch_owner.push_back(i);
+  }
+  flush_batch();
+
+  // Responses, in per-connection arrival order; then one flush attempt per
+  // touched connection.
+  for (Pending& p : pending) {
+    if (p.conn->dead) continue;
+    EncodeResponse(p.status, p.payload, &p.conn->out);
+    stats_.responses_sent.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (Connection* conn : *ready) {
+    if (conn->dead || conn->pending_out() == 0) continue;
+    if (!FlushOutput(conn)) continue;
+    if (conn->pending_out() > options_.max_output_buffer_bytes) {
+      // Backpressure: the peer pipelines faster than it reads. Cut it
+      // loose instead of buffering without bound.
+      stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+      CloseConnection(conn);
+    } else if (conn->close_after_flush && conn->pending_out() == 0) {
+      CloseConnection(conn);
+    }
+  }
+}
+
+bool Server::FlushOutput(Connection* conn) {
+  if (conn->out_off > 0 && conn->out_off * 2 >= conn->out.size()) {
+    conn->out.erase(0, conn->out_off);
+    conn->out_off = 0;
+  }
+  while (conn->pending_out() > 0) {
+    const size_t want = conn->pending_out();
+    // Fault point: tear the stream after a prefix of the encoded bytes —
+    // the peer sees a syntactically broken frame followed by EOF.
+    const size_t allowed = fault::InjectServerWrite(conn->id, want);
+    if (allowed > 0) {
+      ssize_t n = send(conn->fd, conn->out.data() + conn->out_off,
+                       allowed, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          if (!conn->want_write) {
+            epoll_event ev{};
+            ev.events = EPOLLIN | EPOLLOUT;
+            ev.data.ptr = conn;
+            epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+            conn->want_write = true;
+          }
+          return true;
+        }
+        stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+        CloseConnection(conn);
+        return false;
+      }
+      conn->out_off += static_cast<size_t>(n);
+      stats_.bytes_out.fetch_add(static_cast<uint64_t>(n),
+                                 std::memory_order_relaxed);
+      if (static_cast<size_t>(n) < allowed) continue;  // partial; retry
+    }
+    if (allowed < want) {
+      stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+      CloseConnection(conn);
+      return false;
+    }
+  }
+  if (conn->want_write) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = conn;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+    conn->want_write = false;
+  }
+  return true;
+}
+
+void Server::CloseConnection(Connection* conn) {
+  if (conn->dead) return;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  close(conn->fd);
+  conn->fd = -1;
+  conn->dead = true;
+}
+
+void Server::Loop() {
+  epoll_event events[kMaxEpollEvents];
+  std::vector<Connection*> ready;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    int n = epoll_wait(epoll_fd_, events, kMaxEpollEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    ready.clear();
+    for (int i = 0; i < n; ++i) {
+      void* ptr = events[i].data.ptr;
+      if (ptr == nullptr) {
+        Accept();
+        continue;
+      }
+      if (ptr == this) {
+        uint64_t drain;
+        [[maybe_unused]] ssize_t r = read(wake_fd_, &drain, sizeof(drain));
+        continue;
+      }
+      auto* conn = static_cast<Connection*>(ptr);
+      if (conn->dead) continue;  // closed earlier in this event batch
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+        CloseConnection(conn);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) {
+        if (!FlushOutput(conn)) continue;
+        if (conn->close_after_flush && conn->pending_out() == 0) {
+          CloseConnection(conn);
+          continue;
+        }
+      }
+      if (events[i].events & EPOLLIN) {
+        if (ReadInput(conn)) ready.push_back(conn);
+      }
+    }
+    if (!ready.empty()) ProcessTick(&ready);
+    // Garbage-collect dead connections only at the tick boundary: earlier
+    // events in this batch may still reference them by pointer.
+    std::erase_if(conns_, [](const std::unique_ptr<Connection>& c) {
+      return c->dead;
+    });
+    stats_.connections_active.store(conns_.size(), std::memory_order_relaxed);
+  }
+
+  // Graceful exit: give peers one bounded chance to take their pending
+  // responses, then close everything. No new frames are executed.
+  for (auto& conn_ptr : conns_) {
+    Connection* conn = conn_ptr.get();
+    if (conn->dead) continue;
+    int budget = kStopFlushMillis;
+    while (conn->pending_out() > 0 && budget > 0) {
+      ssize_t n = send(conn->fd, conn->out.data() + conn->out_off,
+                       conn->pending_out(), MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->out_off += static_cast<size_t>(n);
+        stats_.bytes_out.fetch_add(static_cast<uint64_t>(n),
+                                   std::memory_order_relaxed);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        pollfd pfd{conn->fd, POLLOUT, 0};
+        poll(&pfd, 1, 10);
+        budget -= 10;
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    CloseConnection(conn);
+  }
+  conns_.clear();
+  stats_.connections_active.store(0, std::memory_order_relaxed);
+}
+
+void Server::CollectMetrics(obs::MetricSink* sink) const {
+  auto get = [](const std::atomic<uint64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  sink->Counter("connections_accepted", get(stats_.connections_accepted));
+  sink->Counter("connections_rejected", get(stats_.connections_rejected));
+  sink->Counter("connections_dropped", get(stats_.connections_dropped));
+  sink->Counter("connections_closed", get(stats_.connections_closed));
+  sink->Gauge("connections_active", get(stats_.connections_active));
+  sink->Counter("requests_decoded", get(stats_.requests_decoded));
+  sink->Counter("responses_sent", get(stats_.responses_sent));
+  sink->Counter("protocol_errors", get(stats_.protocol_errors));
+  sink->Counter("batches", get(stats_.batches));
+  sink->Counter("batched_requests", get(stats_.batched_requests));
+  sink->Counter("scans", get(stats_.scans));
+  sink->Counter("bytes_in", get(stats_.bytes_in));
+  sink->Counter("bytes_out", get(stats_.bytes_out));
+  for (int i = 0; i < ServerStats::kBatchBuckets; ++i) {
+    sink->Counter("batch_size_p2_" + std::to_string(i),
+                  get(stats_.batch_size_hist[i]));
+  }
+}
+
+}  // namespace aria::net

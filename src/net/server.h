@@ -1,0 +1,142 @@
+// Epoll event-loop TCP server for the Aria wire protocol (DESIGN.md §11).
+//
+// One event-loop thread owns every connection. Each tick it reads all
+// ready connections, decodes every complete frame, and executes the
+// decoded point operations as ONE shard-grouped batch through
+// ShardedStore::ExecuteBatch — the network analog of the paper's §V-B
+// boundary-crossing amortization: N pipelined requests cost one shard-lock
+// acquisition per touched shard instead of N. Range scans act as batch
+// barriers (they cross shards), so per-connection request order is
+// preserved exactly.
+//
+// Untrusted clients get the RecordCodec treatment: every frame is decoded
+// under hard bounds (net/protocol.h), a malformed frame earns one
+// ProtocolError response and a close, and both per-connection buffers are
+// capped — input by the max frame size, output by
+// ServerOptions::max_output_buffer_bytes. A client that stops reading
+// while pipelining (slow client) hits the output cap and is disconnected
+// (`connections_dropped`), so server memory stays bounded no matter what
+// the peer does.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/kv_store.h"
+#include "obs/metrics.h"
+
+namespace aria {
+class ShardedStore;
+}  // namespace aria
+
+namespace aria::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = ephemeral; read the bound port from port()
+
+  /// Accepted connections beyond this are closed immediately
+  /// (`connections_rejected`).
+  int max_connections = 64;
+
+  /// Backpressure cap: a connection whose pending (unsent) responses
+  /// exceed this is dropped (`connections_dropped`).
+  size_t max_output_buffer_bytes = 1 << 20;
+
+  /// Bytes read per connection per tick (bounds per-tick work so one noisy
+  /// connection cannot starve the others).
+  size_t read_chunk_bytes = 64 * 1024;
+};
+
+/// Monotonic server counters. Atomics with relaxed ordering: written only
+/// by the event-loop thread, readable from any thread (metrics scrapes
+/// race with serving by design).
+struct ServerStats {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_rejected{0};  ///< over max_connections
+  std::atomic<uint64_t> connections_dropped{0};   ///< backpressure / faults
+  std::atomic<uint64_t> connections_closed{0};    ///< orderly peer close
+  std::atomic<uint64_t> connections_active{0};    ///< gauge
+  std::atomic<uint64_t> requests_decoded{0};
+  std::atomic<uint64_t> responses_sent{0};
+  std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> batches{0};           ///< ExecuteBatch calls
+  std::atomic<uint64_t> batched_requests{0};  ///< point ops through batches
+  std::atomic<uint64_t> scans{0};
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+  /// Log2 batch-size histogram: bucket i counts batches of size in
+  /// [2^i, 2^(i+1)); sizes beyond the last bucket land in it.
+  static constexpr int kBatchBuckets = 12;
+  std::atomic<uint64_t> batch_size_hist[kBatchBuckets] = {};
+};
+
+class Server : public obs::Observable {
+ public:
+  /// `store` must outlive the server. If it is a ShardedStore the batch
+  /// path is used; any other KVStore is driven op-by-op (still pipelined).
+  Server(KVStore* store, ServerOptions options);
+  ~Server() override;
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and spawn the event-loop thread. The bound port is
+  /// available from port() once Start returns.
+  Status Start();
+
+  /// Graceful shutdown: stop accepting, let the loop finish its current
+  /// tick (no batch is abandoned half-executed), flush what the peers will
+  /// take of the pending responses, close every connection, join the loop
+  /// thread, and drain the store (ShardedStore::Drain flushes dirty Secure
+  /// Cache state). Idempotent.
+  Status Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint16_t port() const { return port_; }
+  const ServerStats& stats() const { return stats_; }
+
+  /// "accepted", "dropped", "requests_decoded", "protocol_errors",
+  /// "batch_size_le_N", ... — registered under "net." in the per-store
+  /// MetricsRegistry by callers.
+  void CollectMetrics(obs::MetricSink* sink) const override;
+
+ private:
+  struct Connection;
+
+  void Loop();
+  void Accept();
+  /// Read what's ready on `conn`; returns false if the connection died.
+  bool ReadInput(Connection* conn);
+  /// Decode + execute + encode for every connection with buffered input.
+  void ProcessTick(std::vector<Connection*>* ready);
+  /// Try to write conn->out; arms EPOLLOUT on short writes. Returns false
+  /// if the connection died (error, torn-write fault, backpressure cap).
+  bool FlushOutput(Connection* conn);
+  void CloseConnection(Connection* conn);
+  void RecordBatchSize(size_t n);
+
+  KVStore* store_;
+  ShardedStore* sharded_;  ///< non-null iff store_ is sharded
+  OrderedKVStore* ordered_;  ///< non-null iff store_ supports RangeScan
+  ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd Stop() pokes to leave epoll_wait
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread loop_;
+
+  std::vector<std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 0;
+  ServerStats stats_;
+};
+
+}  // namespace aria::net

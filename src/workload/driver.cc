@@ -35,6 +35,10 @@ uint64_t ThreadCpuNanos() {
 }
 }  // namespace
 
+double ThreadCpuSeconds() {
+  return static_cast<double>(ThreadCpuNanos()) * 1e-9;
+}
+
 void LatencyHistogram::Record(uint64_t nanos) {
   int b = nanos == 0 ? 0 : std::bit_width(nanos);
   if (b >= kBuckets) b = kBuckets - 1;

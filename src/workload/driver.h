@@ -16,6 +16,13 @@ namespace aria {
 
 class ShardedStore;
 
+/// Per-thread CPU clock (CLOCK_THREAD_CPUTIME_ID) in seconds: only the
+/// cycles the calling thread actually burned, excluding preemption and
+/// blocking waits. RunThreads uses it for per-shard makespan accounting;
+/// the network load generator uses the same clock so in-process and
+/// over-network runs report comparable service-time numbers.
+double ThreadCpuSeconds();
+
 struct RunResult {
   uint64_t ops = 0;
   uint64_t gets = 0;
