@@ -1,19 +1,27 @@
-// Skew-aware network load generator (DESIGN.md §11): drives the epoll
-// server over loopback with N pipelined client connections replaying a
-// YCSB mix, and runs the SAME configuration in-process through
+// Skew-aware network load generator (DESIGN.md §11, §12): drives the
+// multi-loop epoll server over loopback with N pipelined client connections
+// replaying a YCSB mix, and runs the SAME configuration in-process through
 // Driver::RunThreads so the serving-layer overhead is visible side by side
 // in one artifact. Default mix is YCSB-C / Zipfian(0.99) — the paper's
 // skewed read-heavy headline.
 //
-// Both runs use the per-thread CPU clock (ThreadCpuSeconds) for service
-// time, so "cycles spent per op" is comparable even though the network run
-// additionally pays syscalls, framing and the event loop.
+// A loop-count sweep (on by default) then re-runs the network load against
+// fresh stores at 1/2/4/8 event loops, uniform and zipf, and emits
+// BENCH_net_scaling.json. Throughput there is reported two ways:
+//  * wall ops/s — honest elapsed time, which on a single-core CI host
+//    cannot show loop scaling (every thread shares the one core);
+//  * effective ops/s — ops / max(total_loop_busy / loops, max_loop_busy),
+//    the same thread-CPU makespan model Driver::RunThreads uses (DESIGN.md
+//    §8), fed by the server's per-loop busy_micros counters. This is the
+//    headline number: it measures how the server's own CPU work divides
+//    across loops, which is exactly what more cores would parallelize.
 //
 //   ./build/bench/bench_net_throughput [key=value ...]
-//     ops=200000 keys=65536 shards=4 connections=4 depth=16
-//     theta=0.99 read_ratio=1.0 value_size=128 out=BENCH_net_throughput.json
-#include <atomic>
-#include <chrono>
+//     ops=200000 keys=65536 shards=4 connections=4 depth=16 loops=1
+//     theta=0.99 read_ratio=1.0 value_size=128 seed=42
+//     sweep=1 sweep_ops=0 (0 = same as ops)
+//     out=BENCH_net_throughput.json scaling_out=BENCH_net_scaling.json
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,7 +29,6 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/sharded_store.h"
@@ -43,11 +50,15 @@ struct Config {
   uint32_t shards = 4;
   uint64_t connections = 4;
   uint64_t depth = 16;  ///< pipeline depth per connection
+  uint32_t loops = 1;   ///< event loops for the main (non-sweep) run
   double theta = 0.99;
   double read_ratio = 1.0;  ///< YCSB-C
   size_t value_size = 128;
   uint64_t seed = 42;
+  bool sweep = true;       ///< run the 1/2/4/8-loop scaling sweep
+  uint64_t sweep_ops = 0;  ///< ops per sweep run; 0 = same as `ops`
   std::string out = "BENCH_net_throughput.json";
+  std::string scaling_out = "BENCH_net_scaling.json";
 };
 
 bool ParseArg(Config* cfg, const std::string& arg) {
@@ -62,62 +73,52 @@ bool ParseArg(Config* cfg, const std::string& arg) {
   else if (key == "connections")
     cfg->connections = std::strtoull(val.c_str(), nullptr, 10);
   else if (key == "depth") cfg->depth = std::strtoull(val.c_str(), nullptr, 10);
+  else if (key == "loops")
+    cfg->loops = static_cast<uint32_t>(std::strtoul(val.c_str(), nullptr, 10));
   else if (key == "theta") cfg->theta = std::strtod(val.c_str(), nullptr);
   else if (key == "read_ratio")
     cfg->read_ratio = std::strtod(val.c_str(), nullptr);
   else if (key == "value_size")
     cfg->value_size = std::strtoull(val.c_str(), nullptr, 10);
   else if (key == "seed") cfg->seed = std::strtoull(val.c_str(), nullptr, 10);
+  else if (key == "sweep") cfg->sweep = val != "0";
+  else if (key == "sweep_ops")
+    cfg->sweep_ops = std::strtoull(val.c_str(), nullptr, 10);
   else if (key == "out") cfg->out = val;
+  else if (key == "scaling_out") cfg->scaling_out = val;
   else return false;
   return true;
 }
 
-YcsbSpec SpecFor(const Config& cfg, uint64_t thread) {
+YcsbSpec SpecFor(const Config& cfg, KeyDistribution dist, uint64_t thread) {
   YcsbSpec spec;
   spec.keyspace = cfg.keys;
   spec.read_ratio = cfg.read_ratio;
   spec.value_size = cfg.value_size;
-  spec.distribution = KeyDistribution::kZipfian;
+  spec.distribution = dist;
   spec.skewness = cfg.theta;
   spec.seed = cfg.seed + 7919 * (thread + 1);
   return spec;
 }
 
-struct NetRunResult {
-  uint64_t ops = 0;
-  uint64_t not_found = 0;
-  uint64_t errors = 0;
-  double wall_seconds = 0.0;
-  double client_cpu_seconds = 0.0;  ///< summed over connections
-};
-
-/// One connection's worth of the load: replay ops from `wl` with `depth`
-/// requests in flight, counting per-thread CPU for the service-time
-/// comparison against the in-process run.
-void RunConnection(const Config& cfg, uint16_t port, uint64_t thread,
-                   uint64_t ops, NetRunResult* out, std::atomic<bool>* failed) {
-  YcsbWorkload wl(SpecFor(cfg, thread));
-  net::Client client;
-  if (!client.Connect("127.0.0.1", port).ok()) {
-    failed->store(true);
-    return;
+/// Drive `ops_total` operations (split across cfg.connections pipelining
+/// client threads) against `server` via net::RunLoad, replaying the YCSB
+/// mix `dist`. Each connection owns its workload generator, so RunLoad's
+/// per-connection request callback stays thread-safe.
+net::LoadStats DriveLoad(const Config& cfg, KeyDistribution dist,
+                         uint16_t port, uint64_t ops_total) {
+  std::vector<std::unique_ptr<YcsbWorkload>> workloads;
+  for (uint64_t t = 0; t < cfg.connections; ++t) {
+    workloads.push_back(
+        std::make_unique<YcsbWorkload>(SpecFor(cfg, dist, t)));
   }
-  const double cpu0 = ThreadCpuSeconds();
-  uint64_t sent = 0, received = 0;
-  auto read_one = [&]() {
-    net::Response resp;
-    if (!client.ReadResponse(&resp).ok()) {
-      failed->store(true);
-      return false;
-    }
-    received++;
-    if (resp.status == net::WireStatus::kNotFound) out->not_found++;
-    else if (resp.status != net::WireStatus::kOk) out->errors++;
-    return true;
-  };
-  while (sent < ops) {
-    Op op = wl.Next();
+  net::LoadOptions lo;
+  lo.port = port;
+  lo.connections = static_cast<uint32_t>(cfg.connections);
+  lo.depth = static_cast<uint32_t>(cfg.depth);
+  lo.ops_per_connection = ops_total / cfg.connections;
+  return net::RunLoad(lo, [&workloads](uint64_t conn, uint64_t) {
+    Op op = workloads[conn]->Next();
     net::Request req;
     req.key = MakeKey(op.key_id);
     if (op.type == OpType::kGet) {
@@ -126,19 +127,119 @@ void RunConnection(const Config& cfg, uint16_t port, uint64_t thread,
       req.op = net::OpCode::kPut;
       req.value = MakeValue(op.key_id, op.value_size);
     }
-    if (!client.Send(req).ok()) {
-      failed->store(true);
-      return;
-    }
-    sent++;
-    if (sent - received >= cfg.depth && !read_one()) return;
+    return req;
+  });
+}
+
+/// Per-loop CPU makespan from the server's busy_micros counters: the time
+/// the run would take if every loop had its own core (DESIGN.md §8 model).
+struct LoopBusy {
+  double total_seconds = 0;
+  double max_seconds = 0;
+
+  double EffectiveSeconds(uint32_t loops) const {
+    return std::max(total_seconds / loops, max_seconds);
   }
-  while (received < sent) {
-    if (!read_one()) return;
+};
+
+LoopBusy BusyFrom(const obs::Snapshot& snap, uint32_t loops) {
+  LoopBusy busy;
+  for (uint32_t l = 0; l < loops; ++l) {
+    const double s =
+        static_cast<double>(
+            snap.Get("net.loop" + std::to_string(l) + ".busy_micros")) *
+        1e-6;
+    busy.total_seconds += s;
+    busy.max_seconds = std::max(busy.max_seconds, s);
   }
-  out->client_cpu_seconds = ThreadCpuSeconds() - cpu0;
-  out->ops = received;
-  client.Close();
+  return busy;
+}
+
+/// One self-contained over-the-wire run for the scaling sweep: fresh store,
+/// fresh server at `loops` event loops, full load, graceful stop, invariant
+/// audit (including net-loop-conservation via the bundle registry).
+struct SweepOutcome {
+  net::LoadStats load;
+  LoopBusy busy;
+  double eff_ops_per_s = 0;
+  double wall_ops_per_s = 0;
+  obs::Snapshot snap;
+};
+
+bool RunSweepPoint(const Config& cfg, KeyDistribution dist, uint32_t loops,
+                   uint64_t ops_total, SweepOutcome* out) {
+  StoreOptions options;
+  options.scheme = Scheme::kAria;
+  options.index = IndexKind::kHash;
+  options.keyspace = cfg.keys;
+  options.num_shards = cfg.shards;
+  StoreBundle bundle;
+  Status st = CreateStore(options, &bundle);
+  if (!st.ok()) {
+    std::fprintf(stderr, "sweep CreateStore: %s\n", st.ToString().c_str());
+    return false;
+  }
+  Driver driver(cfg.seed);
+  st = driver.Prepopulate(bundle.store.get(), cfg.keys, cfg.value_size);
+  if (!st.ok()) {
+    std::fprintf(stderr, "sweep Prepopulate: %s\n", st.ToString().c_str());
+    return false;
+  }
+
+  net::ServerOptions server_options;
+  server_options.num_loops = loops;
+  server_options.max_connections = static_cast<int>(cfg.connections) + 4;
+  net::Server server(bundle.store.get(), server_options);
+  // The bundle (and its registry entry for the server) dies with this
+  // scope, together with the server itself — no dangling registration.
+  bundle.registry.Register("net", &server);
+  st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "sweep Server::Start: %s\n", st.ToString().c_str());
+    return false;
+  }
+
+  out->load = DriveLoad(cfg, dist, server.port(), ops_total);
+  st = server.Stop();
+  if (!st.ok()) {
+    std::fprintf(stderr, "sweep Server::Stop: %s\n", st.ToString().c_str());
+    return false;
+  }
+  if (!out->load.ok()) {
+    std::fprintf(stderr, "sweep load failed: %llu errors, %u dead conns\n",
+                 static_cast<unsigned long long>(out->load.errors),
+                 out->load.failed_connections);
+    return false;
+  }
+
+  out->snap = bundle.Metrics();
+  out->busy = BusyFrom(out->snap, loops);
+  const double eff = out->busy.EffectiveSeconds(loops);
+  out->eff_ops_per_s =
+      eff > 0 ? static_cast<double>(out->load.ops) / eff : 0.0;
+  out->wall_ops_per_s =
+      out->load.wall_seconds > 0
+          ? static_cast<double>(out->load.ops) / out->load.wall_seconds
+          : 0.0;
+
+  obs::InvariantReport report = bundle.CheckInvariants();
+  if (!report.ok()) {
+    std::fprintf(stderr, "sweep invariants (loops=%u):\n%s\n", loops,
+                 report.ToString().c_str());
+    return false;
+  }
+  const bool loop_law_checked =
+      std::find(report.laws_checked.begin(), report.laws_checked.end(),
+                "net-loop-conservation") != report.laws_checked.end();
+  if (!loop_law_checked) {
+    std::fprintf(stderr, "net-loop-conservation was not evaluated\n");
+    return false;
+  }
+  return true;
+}
+
+const char* DistName(KeyDistribution dist) {
+  return dist == KeyDistribution::kUniform ? "uniform" : "zipf";
 }
 
 }  // namespace
@@ -151,8 +252,10 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (cfg.connections == 0 || cfg.depth == 0 || cfg.shards == 0) {
-    std::fprintf(stderr, "connections, depth and shards must be positive\n");
+  if (cfg.connections == 0 || cfg.depth == 0 || cfg.shards == 0 ||
+      cfg.loops == 0) {
+    std::fprintf(stderr,
+                 "connections, depth, shards and loops must be positive\n");
     return 2;
   }
 
@@ -182,7 +285,8 @@ int main(int argc, char** argv) {
 
   // --- in-process baseline: same mix, same thread count ---------------------
   auto gen_for_thread = [&cfg](uint64_t thread) -> std::function<Op()> {
-    auto wl = std::make_shared<YcsbWorkload>(SpecFor(cfg, thread));
+    auto wl = std::make_shared<YcsbWorkload>(
+        SpecFor(cfg, KeyDistribution::kZipfian, thread));
     return [wl]() { return wl->Next(); };
   };
   const uint64_t ops_per_thread = cfg.ops / cfg.connections;
@@ -201,6 +305,7 @@ int main(int argc, char** argv) {
 
   // --- network run: same mix through the wire protocol ----------------------
   net::ServerOptions server_options;
+  server_options.num_loops = cfg.loops;
   server_options.max_connections =
       static_cast<int>(cfg.connections) + 4;  // headroom for stragglers
   net::Server server(bundle.store.get(), server_options);
@@ -211,49 +316,33 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<NetRunResult> per_conn(cfg.connections);
-  std::atomic<bool> failed{false};
-  const auto wall0 = std::chrono::steady_clock::now();
-  {
-    std::vector<std::thread> threads;
-    for (uint64_t t = 0; t < cfg.connections; ++t) {
-      threads.emplace_back(RunConnection, std::cref(cfg), server.port(), t,
-                           ops_per_thread, &per_conn[t], &failed);
-    }
-    for (auto& th : threads) th.join();
-  }
-  const double net_wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
-          .count();
-  if (failed.load()) {
-    std::fprintf(stderr, "a client connection failed mid-run\n");
-    return 1;
-  }
-
-  NetRunResult net_total;
-  for (const NetRunResult& r : per_conn) {
-    net_total.ops += r.ops;
-    net_total.not_found += r.not_found;
-    net_total.errors += r.errors;
-    net_total.client_cpu_seconds += r.client_cpu_seconds;
-  }
-  net_total.wall_seconds = net_wall;
-
-  // Metrics snapshot BEFORE Stop so the gauge side still reflects serving;
-  // counters are monotonic and survive the shutdown anyway.
-  obs::Snapshot snap = bundle.Metrics();
+  net::LoadStats load =
+      DriveLoad(cfg, KeyDistribution::kZipfian, server.port(), cfg.ops);
   st = server.Stop();
   if (!st.ok()) {
     std::fprintf(stderr, "Server::Stop: %s\n", st.ToString().c_str());
     return 1;
   }
+  if (load.failed_connections > 0) {
+    std::fprintf(stderr, "a client connection failed mid-run\n");
+    return 1;
+  }
+
+  obs::Snapshot snap = bundle.Metrics();
   obs::InvariantReport report = bundle.CheckInvariants();
   std::printf("%s\n", report.ToString().c_str());
   if (!report.ok()) return 1;
 
+  const LoopBusy busy = BusyFrom(snap, cfg.loops);
+  const double net_eff_seconds = busy.EffectiveSeconds(cfg.loops);
   const double inproc_ops_per_s = inproc->Throughput();
   const double net_ops_per_s =
-      net_wall > 0 ? static_cast<double>(net_total.ops) / net_wall : 0.0;
+      load.wall_seconds > 0
+          ? static_cast<double>(load.ops) / load.wall_seconds
+          : 0.0;
+  const double net_eff_ops_per_s =
+      net_eff_seconds > 0 ? static_cast<double>(load.ops) / net_eff_seconds
+                          : 0.0;
   const uint64_t protocol_errors = snap.Get("net.protocol_errors");
 
   std::string json = obs::BenchArtifactJson(
@@ -263,6 +352,7 @@ int main(int argc, char** argv) {
        {"shards", static_cast<double>(cfg.shards)},
        {"connections", static_cast<double>(cfg.connections)},
        {"pipeline_depth", static_cast<double>(cfg.depth)},
+       {"loops", static_cast<double>(cfg.loops)},
        {"zipf_theta", cfg.theta},
        {"read_ratio", cfg.read_ratio},
        {"value_size", static_cast<double>(cfg.value_size)},
@@ -270,11 +360,14 @@ int main(int argc, char** argv) {
        {"inproc_effective_seconds", inproc->effective_seconds},
        {"inproc_busy_seconds", inproc->total_busy_seconds},
        {"net_ops_per_s", net_ops_per_s},
-       {"net_wall_seconds", net_total.wall_seconds},
-       {"net_client_cpu_seconds", net_total.client_cpu_seconds},
-       {"net_ops", static_cast<double>(net_total.ops)},
-       {"net_not_found", static_cast<double>(net_total.not_found)},
-       {"net_errors", static_cast<double>(net_total.errors)},
+       {"net_eff_ops_per_s", net_eff_ops_per_s},
+       {"net_effective_seconds", net_eff_seconds},
+       {"net_loop_busy_seconds", busy.total_seconds},
+       {"net_wall_seconds", load.wall_seconds},
+       {"net_client_cpu_seconds", load.client_cpu_seconds},
+       {"net_ops", static_cast<double>(load.ops)},
+       {"net_not_found", static_cast<double>(load.not_found)},
+       {"net_errors", static_cast<double>(load.errors)},
        {"protocol_errors", static_cast<double>(protocol_errors)},
        {"laws_checked", static_cast<double>(report.laws_checked.size())}},
       snap);
@@ -285,16 +378,73 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "in-process: %.0f ops/s (effective)  |  network: %.0f ops/s "
-      "(%llu conns x depth %llu, wall %.3fs, client cpu %.3fs)\n",
-      inproc_ops_per_s, net_ops_per_s,
+      "in-process: %.0f ops/s (effective)  |  network: %.0f ops/s wall, "
+      "%.0f ops/s effective (%u loops, %llu conns x depth %llu, wall %.3fs)\n",
+      inproc_ops_per_s, net_ops_per_s, net_eff_ops_per_s, cfg.loops,
       static_cast<unsigned long long>(cfg.connections),
-      static_cast<unsigned long long>(cfg.depth), net_total.wall_seconds,
-      net_total.client_cpu_seconds);
+      static_cast<unsigned long long>(cfg.depth), load.wall_seconds);
   std::printf("wrote %s (%zu metrics)\n", cfg.out.c_str(), snap.size());
-  if (net_total.errors > 0 || protocol_errors > 0) {
+  if (load.errors > 0 || protocol_errors > 0) {
     std::fprintf(stderr, "unexpected errors over the wire\n");
     return 1;
   }
+  if (!cfg.sweep) return 0;
+
+  // --- loop-count scaling sweep ---------------------------------------------
+  const uint64_t sweep_ops = cfg.sweep_ops > 0 ? cfg.sweep_ops : cfg.ops;
+  const uint32_t kLoopCounts[] = {1, 2, 4, 8};
+  const KeyDistribution kDists[] = {KeyDistribution::kUniform,
+                                    KeyDistribution::kZipfian};
+  std::map<std::string, double> fields = {
+      {"ops_per_run", static_cast<double>(sweep_ops)},
+      {"keys", static_cast<double>(cfg.keys)},
+      {"shards", static_cast<double>(cfg.shards)},
+      {"connections", static_cast<double>(cfg.connections)},
+      {"pipeline_depth", static_cast<double>(cfg.depth)},
+      {"zipf_theta", cfg.theta},
+      {"read_ratio", cfg.read_ratio},
+      {"value_size", static_cast<double>(cfg.value_size)},
+  };
+  std::map<std::string, std::map<uint32_t, double>> eff;  // dist -> loops -> v
+  obs::Snapshot scaling_snap;  // the uniform 4-loop run, for the artifact
+  for (KeyDistribution dist : kDists) {
+    for (uint32_t loops : kLoopCounts) {
+      SweepOutcome outcome;
+      if (!RunSweepPoint(cfg, dist, loops, sweep_ops, &outcome)) return 1;
+      const std::string p =
+          std::string(DistName(dist)) + "_l" + std::to_string(loops) + "_";
+      fields[p + "eff_ops_per_s"] = outcome.eff_ops_per_s;
+      fields[p + "wall_ops_per_s"] = outcome.wall_ops_per_s;
+      fields[p + "loop_busy_seconds"] = outcome.busy.total_seconds;
+      fields[p + "loop_busy_max_seconds"] = outcome.busy.max_seconds;
+      eff[DistName(dist)][loops] = outcome.eff_ops_per_s;
+      if (dist == KeyDistribution::kUniform && loops == 4) {
+        scaling_snap = outcome.snap;
+      }
+      std::printf(
+          "sweep %-7s loops=%u: %10.0f ops/s effective, %10.0f ops/s wall "
+          "(loop busy %.3fs total, %.3fs max)\n",
+          DistName(dist), loops, outcome.eff_ops_per_s, outcome.wall_ops_per_s,
+          outcome.busy.total_seconds, outcome.busy.max_seconds);
+    }
+  }
+  for (const auto& [dist, by_loops] : eff) {
+    const double base = by_loops.at(1);
+    for (const auto& [loops, v] : by_loops) {
+      if (loops == 1 || base <= 0) continue;
+      fields[dist + "_speedup_l" + std::to_string(loops)] = v / base;
+    }
+  }
+
+  std::string scaling_json = obs::BenchArtifactJson(
+      "net_scaling", bundle.label, fields, scaling_snap);
+  st = obs::WriteFile(cfg.scaling_out, scaling_json);
+  if (!st.ok()) {
+    std::fprintf(stderr, "WriteFile: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (uniform 4-loop speedup %.2fx, zipf %.2fx)\n",
+              cfg.scaling_out.c_str(), fields["uniform_speedup_l4"],
+              fields["zipf_speedup_l4"]);
   return 0;
 }

@@ -1,11 +1,14 @@
-// Standalone Aria network server (DESIGN.md §11): a sharded Aria hash
-// store behind the epoll event-loop server, serving the binary wire
-// protocol until SIGINT/SIGTERM. On shutdown it drains the store (flushing
-// dirty Secure Cache state), runs the end-of-serving conservation-law
-// audit, and prints the full metrics snapshot.
+// Standalone Aria network server (DESIGN.md §11, §12): a sharded Aria hash
+// store behind the multi-loop epoll server, serving the binary wire
+// protocol until SIGINT/SIGTERM. On shutdown it drains every event loop
+// and the store (flushing dirty Secure Cache state), runs the
+// end-of-serving conservation-law audit (including net-loop-conservation),
+// and prints the full metrics snapshot.
 //
 //   ./build/examples/aria_server [key=value ...]
 //     port=7777 shards=4 keys=65536 value_size=128 max_connections=64
+//     loops=1   (epoll event-loop threads; pair with shards >= loops so
+//                concurrent per-loop batches hit disjoint shard locks)
 //
 // Talk to it with examples/aria_cli-style code via aria::net::Client, or
 // drive it with ./build/bench/bench_net_throughput (which starts its own
@@ -47,6 +50,7 @@ struct Config {
   uint64_t keys = 65'536;
   size_t value_size = 128;
   int max_connections = 64;
+  uint32_t loops = 1;
 };
 
 bool ParseArg(Config* cfg, const std::string& arg) {
@@ -63,6 +67,8 @@ bool ParseArg(Config* cfg, const std::string& arg) {
     cfg->value_size = std::strtoull(val.c_str(), nullptr, 10);
   else if (key == "max_connections")
     cfg->max_connections = static_cast<int>(std::strtol(val.c_str(), nullptr, 10));
+  else if (key == "loops")
+    cfg->loops = static_cast<uint32_t>(std::strtoul(val.c_str(), nullptr, 10));
   else return false;
   return true;
 }
@@ -100,6 +106,7 @@ int main(int argc, char** argv) {
   net::ServerOptions server_options;
   server_options.port = cfg.port;
   server_options.max_connections = cfg.max_connections;
+  server_options.num_loops = cfg.loops;
   net::Server server(bundle.store.get(), server_options);
   bundle.registry.Register("net", &server);
   st = server.Start();
@@ -107,8 +114,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "Server::Start: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("%s serving on 127.0.0.1:%u (%u shards, %llu keys)\n",
-              bundle.label.c_str(), server.port(), cfg.shards,
+  std::printf("%s serving on 127.0.0.1:%u (%u shards, %u event loops, "
+              "%llu keys)\n",
+              bundle.label.c_str(), server.port(), cfg.shards, cfg.loops,
               static_cast<unsigned long long>(cfg.keys));
   std::printf("Ctrl-C for graceful shutdown + end-of-serving audit\n");
 

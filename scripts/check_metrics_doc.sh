@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Check that docs/METRICS.md documents every metric the system actually
+# emits. Runs bench_metrics_smoke (full store stack) and a small multi-loop
+# bench_net_throughput (network layer, per-loop namespaces), extracts every
+# metric name observed in the resulting BENCH_*.json artifacts, normalizes
+# the repeated namespaces (treeN / loopN / batch_size_p2_B), and fails if
+# any observed name is missing from the catalog tables.
+#
+# Documented-but-not-observed names are fine: the catalog also covers index
+# kinds and schemes the smoke run does not instantiate.
+#
+# Usage: scripts/check_metrics_doc.sh   (from anywhere; BUILD_DIR=build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+
+SMOKE="$BUILD_DIR/bench/bench_metrics_smoke"
+NET="$BUILD_DIR/bench/bench_net_throughput"
+DOC=docs/METRICS.md
+
+for f in "$SMOKE" "$NET"; do
+  if [ ! -x "$f" ]; then
+    echo "check_metrics_doc: missing $f (build first: cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+  fi
+done
+[ -f "$DOC" ] || { echo "check_metrics_doc: missing $DOC" >&2; exit 1; }
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+ROOT=$PWD
+(cd "$TMP" && "$ROOT/$SMOKE" > smoke.log 2>&1) \
+  || { echo "check_metrics_doc: bench_metrics_smoke failed:" >&2; cat "$TMP/smoke.log" >&2; exit 1; }
+(cd "$TMP" && "$ROOT/$NET" ops=8000 keys=4096 loops=2 sweep=0 > net.log 2>&1) \
+  || { echo "check_metrics_doc: bench_net_throughput failed:" >&2; cat "$TMP/net.log" >&2; exit 1; }
+
+# Metric lines in the artifacts are uniquely the 4-space-indented integer
+# fields ('    "name": 123,'); run-level fields sit at 2-space indent with
+# float values, so this pattern cannot pick them up.
+sed -n 's/^    "\([^"]*\)": [0-9][0-9]*,\{0,1\}$/\1/p' "$TMP"/BENCH_*.json \
+  | sed -e 's/\.tree[0-9][0-9]*\./.treeN./' \
+        -e 's/\.loop[0-9][0-9]*\./.loopN./' \
+        -e 's/batch_size_p2_[0-9][0-9]*$/batch_size_p2_B/' \
+  | sort -u > "$TMP/observed"
+
+sed -n 's/^| `\([^`]*\)` .*/\1/p' "$DOC" | sort -u > "$TMP/documented"
+
+if [ ! -s "$TMP/observed" ]; then
+  echo "check_metrics_doc: extracted zero metric names — artifact layout changed?" >&2
+  exit 1
+fi
+
+MISSING=$(comm -23 "$TMP/observed" "$TMP/documented")
+if [ -n "$MISSING" ]; then
+  echo "check_metrics_doc: FAIL — emitted but not documented in $DOC:" >&2
+  echo "$MISSING" >&2
+  exit 1
+fi
+
+echo "check_metrics_doc: OK ($(wc -l < "$TMP/observed") observed metric names, all documented)"

@@ -24,6 +24,12 @@ run_one() {
   cmake --build "${dir}" -j "$(nproc)"
   echo "=== ${kind} sanitizer: running ctest ==="
   ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"
+  # The serving layer again on its own label: the multi-loop epoll server,
+  # loopback differentials and loop-targeted fault injections are the most
+  # concurrency-dense code in the tree — make their pass/fail visible per
+  # sanitizer rather than buried in the full run above.
+  echo "=== ${kind} sanitizer: running net-labeled tests ==="
+  ctest --test-dir "${dir}" --output-on-failure -L net
 }
 
 case "${1:-all}" in

@@ -13,7 +13,15 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 # Loopback serving-layer smoke: the network battery again on its own label
 # (fast; already part of the full run above), then the load generator
-# end-to-end — server + pipelined clients + artifact + invariant audit.
+# end-to-end — multi-loop server (4 epoll loops over 4 shards) + pipelined
+# clients + loop-count sweep artifact + invariant audit (including
+# net-loop-conservation, which reconciles per-loop counters with the
+# aggregates).
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L net
-"$BUILD_DIR"/bench/bench_net_throughput ops=20000 keys=8192 \
-  out="$BUILD_DIR"/BENCH_net_throughput_smoke.json
+"$BUILD_DIR"/bench/bench_net_throughput ops=20000 keys=8192 loops=4 \
+  out="$BUILD_DIR"/BENCH_net_throughput_smoke.json \
+  scaling_out="$BUILD_DIR"/BENCH_net_scaling_smoke.json
+
+# Metrics catalog gate: every metric the system emits must be documented
+# in docs/METRICS.md (runs the smoke benches into a temp dir and diffs).
+BUILD_DIR="$BUILD_DIR" scripts/check_metrics_doc.sh

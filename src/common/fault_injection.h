@@ -52,15 +52,16 @@ class NetInjector {
  public:
   virtual ~NetInjector() = default;
 
-  /// The server is about to write `len` bytes of encoded responses on
-  /// connection `conn`. Return a value < `len` to tear the stream: only
+  /// Event loop `loop` is about to write `len` bytes of encoded responses
+  /// on connection `conn`. Return a value < `len` to tear the stream: only
   /// that many bytes are written and the connection is then hard-closed
   /// mid-frame. Return `len` (or more) to write normally.
-  virtual size_t OnServerWrite(uint64_t conn, size_t len) = 0;
+  virtual size_t OnServerWrite(uint64_t loop, uint64_t conn, size_t len) = 0;
 
-  /// Return true to drop connection `conn` just before the server executes
-  /// its next decoded request (the in-flight pipeline dies with it).
-  virtual bool DropBeforeExecute(uint64_t conn) = 0;
+  /// Return true to drop connection `conn` (owned by event loop `loop`)
+  /// just before the server executes its next decoded request (the
+  /// in-flight pipeline dies with it).
+  virtual bool DropBeforeExecute(uint64_t loop, uint64_t conn) = 0;
 };
 
 /// Currently installed injector, or nullptr (production).
@@ -89,20 +90,20 @@ inline bool InjectWritebackDrop(uint8_t* dst, const uint8_t* src, size_t len) {
   return i != nullptr && i->OnEvictionWriteback(dst, src, len);
 }
 
-/// Bytes the server may write of a `len`-byte response flush (< len tears
-/// the stream mid-frame).
-inline size_t InjectServerWrite(uint64_t conn, size_t len) {
+/// Bytes event loop `loop` may write of a `len`-byte response flush
+/// (< len tears the stream mid-frame).
+inline size_t InjectServerWrite(uint64_t loop, uint64_t conn, size_t len) {
   NetInjector* i = GetNet();
   if (i == nullptr) return len;
-  size_t allowed = i->OnServerWrite(conn, len);
+  size_t allowed = i->OnServerWrite(loop, conn, len);
   return allowed < len ? allowed : len;
 }
 
-/// True if the connection should be dropped before executing its next
-/// decoded request.
-inline bool InjectConnDrop(uint64_t conn) {
+/// True if the connection (owned by event loop `loop`) should be dropped
+/// before executing its next decoded request.
+inline bool InjectConnDrop(uint64_t loop, uint64_t conn) {
   NetInjector* i = GetNet();
-  return i != nullptr && i->DropBeforeExecute(conn);
+  return i != nullptr && i->DropBeforeExecute(loop, conn);
 }
 
 }  // namespace aria::fault

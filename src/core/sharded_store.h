@@ -72,7 +72,10 @@ class ShardedStore : public OrderedKVStore {
   /// Relative order of ops that hash to the same shard is preserved, so
   /// pipelined PUT-then-GET on one key stays sequential; ops on different
   /// shards may reorder (they are independent). Per-op results land in
-  /// each op's `status` / `result`.
+  /// each op's `status` / `result`. Safe to call concurrently from many
+  /// threads — the multi-loop server (DESIGN.md §12) drives one batch per
+  /// event loop through here, and concurrent batches serialize only where
+  /// they touch the same shard's lock.
   void ExecuteBatch(BatchOp* ops, size_t n);
 
   /// Graceful shutdown: under each shard's exclusive lock, flush that

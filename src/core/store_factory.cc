@@ -236,7 +236,14 @@ obs::Snapshot StoreBundle::Metrics() const {
 
 obs::InvariantReport StoreBundle::CheckInvariants() const {
   if (auto* sharded = dynamic_cast<ShardedStore*>(store.get())) {
-    return sharded->CheckInvariants();
+    obs::InvariantReport report = sharded->CheckInvariants();
+    // Store-external layers (the network server registers under "net")
+    // live in the bundle-level registry; reconcile their per-loop counters
+    // against the aggregates they emit.
+    if (!registry.empty()) {
+      obs::InvariantChecker::CheckLoopSums(registry.Collect(), &report);
+    }
+    return report;
   }
   obs::InvariantContext ctx;
   ctx.has_secure_cache = options.scheme == Scheme::kAria;
@@ -245,7 +252,10 @@ obs::InvariantReport StoreBundle::CheckInvariants() const {
   ctx.counters_match_entries = options.index != IndexKind::kBPlusTree;
   ctx.avoid_clean_writeback = options.avoid_clean_writeback;
   ctx.cost_model_enabled = options.cost_model.enabled;
-  return obs::InvariantChecker(ctx).Check(registry.Collect());
+  obs::InvariantReport report =
+      obs::InvariantChecker(ctx).Check(registry.Collect());
+  obs::InvariantChecker::CheckLoopSums(registry.Collect(), &report);
+  return report;
 }
 
 }  // namespace aria

@@ -4,10 +4,14 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace aria::net {
 
@@ -185,6 +189,90 @@ Status Client::Ping() {
   Response resp;
   ARIA_RETURN_IF_ERROR(Call(req, &resp));
   return FromWire(resp.status, resp.payload);
+}
+
+namespace {
+
+double ThreadCpuSecondsNow() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace
+
+LoadStats RunLoad(const LoadOptions& options,
+                  const std::function<Request(uint64_t conn, uint64_t index)>&
+                      make_request) {
+  LoadStats stats;
+  std::atomic<uint64_t> ops{0}, not_found{0}, errors{0};
+  std::atomic<uint32_t> failed{0};
+  std::atomic<uint64_t> cpu_nanos{0};
+
+  auto worker = [&](uint64_t conn) {
+    const double cpu0 = ThreadCpuSecondsNow();
+    Client client;
+    uint64_t local_ops = 0, local_nf = 0, local_err = 0;
+    bool dead = false;
+    if (!client.Connect(options.host, options.port).ok()) {
+      dead = true;
+    } else {
+      uint64_t sent = 0, received = 0;
+      while (received < options.ops_per_connection) {
+        // Top the pipeline up, then take one response: steady state keeps
+        // `depth` requests in flight, which is what makes the server's
+        // per-tick batching (§V-B amortization) visible over the wire.
+        while (sent < options.ops_per_connection &&
+               sent - received < options.depth) {
+          if (!client.Send(make_request(conn, sent)).ok()) {
+            dead = true;
+            break;
+          }
+          sent++;
+        }
+        if (dead) break;
+        Response resp;
+        if (!client.ReadResponse(&resp).ok()) {
+          dead = true;
+          break;
+        }
+        received++;
+        if (resp.status == WireStatus::kOk) {
+          local_ops++;
+        } else if (resp.status == WireStatus::kNotFound) {
+          local_ops++;
+          local_nf++;
+        } else {
+          local_err++;
+        }
+      }
+    }
+    ops.fetch_add(local_ops, std::memory_order_relaxed);
+    not_found.fetch_add(local_nf, std::memory_order_relaxed);
+    errors.fetch_add(local_err, std::memory_order_relaxed);
+    if (dead) failed.fetch_add(1, std::memory_order_relaxed);
+    cpu_nanos.fetch_add(
+        static_cast<uint64_t>((ThreadCpuSecondsNow() - cpu0) * 1e9),
+        std::memory_order_relaxed);
+  };
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(options.connections);
+  for (uint32_t c = 0; c < options.connections; ++c) {
+    threads.emplace_back(worker, c);
+  }
+  for (std::thread& t : threads) t.join();
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  stats.ops = ops.load();
+  stats.not_found = not_found.load();
+  stats.errors = errors.load();
+  stats.failed_connections = failed.load();
+  stats.client_cpu_seconds = static_cast<double>(cpu_nanos.load()) * 1e-9;
+  return stats;
 }
 
 }  // namespace aria::net

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -69,5 +70,41 @@ class Client {
   std::string read_buf_;
   size_t read_off_ = 0;
 };
+
+// --- multi-connection load mode -------------------------------------------
+
+/// Configuration for RunLoad: `connections` client threads, each with its
+/// own Client, each keeping up to `depth` requests in flight for
+/// `ops_per_connection` total operations.
+struct LoadOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint32_t connections = 4;
+  uint32_t depth = 16;
+  uint64_t ops_per_connection = 0;
+};
+
+struct LoadStats {
+  uint64_t ops = 0;        ///< responses with kOk or kNotFound status
+  uint64_t not_found = 0;  ///< the kNotFound subset
+  uint64_t errors = 0;     ///< any other wire status
+  uint32_t failed_connections = 0;  ///< threads that died mid-run
+  double wall_seconds = 0;
+  /// Total CPU burned by the client threads (CLOCK_THREAD_CPUTIME_ID),
+  /// summed. Benches subtract this view from nothing — it exists so a
+  /// single-core host's wall numbers can be sanity-checked against where
+  /// the cycles actually went.
+  double client_cpu_seconds = 0;
+
+  bool ok() const { return errors == 0 && failed_connections == 0; }
+};
+
+/// Drive a server with `connections` pipelining threads. `make_request` is
+/// called as make_request(conn, i) for connection `conn`'s i-th operation;
+/// it must be thread-safe across different `conn` values (each thread only
+/// uses its own `conn`). Blocks until every thread finishes.
+LoadStats RunLoad(const LoadOptions& options,
+                  const std::function<Request(uint64_t conn, uint64_t index)>&
+                      make_request);
 
 }  // namespace aria::net

@@ -7,11 +7,13 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <bit>
 #include <cerrno>
 #include <cstring>
+#include <mutex>
 #include <utility>
 
 #include "common/fault_injection.h"
@@ -30,11 +32,21 @@ Status Errno(const char* what) {
   return Status::Internal(std::string(what) + ": " + std::strerror(errno));
 }
 
+// CPU burned by the calling thread, in microseconds. Same clock as
+// Driver::ThreadCpuSeconds; duplicated here so net/ does not depend on
+// workload/.
+uint64_t ThreadCpuMicros() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000 +
+         static_cast<uint64_t>(ts.tv_nsec) / 1'000;
+}
+
 }  // namespace
 
-/// All connection state is owned by the event-loop thread; nothing here is
-/// shared. `in_off`/`out_off` track consumed prefixes so steady-state
-/// traffic does not re-copy the buffers on every tick.
+/// All connection state is owned by exactly one event-loop thread; nothing
+/// here is shared. `in_off`/`out_off` track consumed prefixes so
+/// steady-state traffic does not re-copy the buffers on every tick.
 struct Server::Connection {
   int fd = -1;
   uint64_t id = 0;
@@ -49,6 +61,43 @@ struct Server::Connection {
   size_t pending_out() const { return out.size() - out_off; }
 };
 
+/// One epoll loop: thread, fd set, connections, counters. Loop 0 also
+/// watches the server's listen fd. Other loops receive accepted fds via
+/// `inbox` + an eventfd wake from the accept loop.
+struct Server::EventLoop {
+  Server* server = nullptr;
+  uint32_t index = 0;
+  int epoll_fd = -1;
+  int wake_fd = -1;  ///< eventfd; Stop() and fd handoff poke it
+  std::thread thread;
+  std::vector<std::unique_ptr<Connection>> conns;
+  ServerStats stats;
+
+  /// Accepted fds handed off by the accept loop, adopted on the next wake.
+  std::mutex inbox_mu;
+  std::vector<int> inbox;
+
+  ~EventLoop() {
+    if (epoll_fd >= 0) close(epoll_fd);
+    if (wake_fd >= 0) close(wake_fd);
+    for (int fd : inbox) close(fd);
+  }
+
+  void Run();
+  void AdoptInbox();
+  /// Register `fd` with this loop. Called on the owning thread only.
+  void AddConnection(int fd);
+  /// Read what's ready on `conn`; returns false if the connection died.
+  bool ReadInput(Connection* conn);
+  /// Decode + execute + encode for every connection with buffered input.
+  void ProcessTick(std::vector<Connection*>* ready);
+  /// Try to write conn->out; arms EPOLLOUT on short writes. Returns false
+  /// if the connection died (error, torn-write fault, backpressure cap).
+  bool FlushOutput(Connection* conn);
+  void CloseConnection(Connection* conn);
+  void RecordBatchSize(size_t n);
+};
+
 Server::Server(KVStore* store, ServerOptions options)
     : store_(store),
       sharded_(dynamic_cast<ShardedStore*>(store)),
@@ -57,9 +106,16 @@ Server::Server(KVStore* store, ServerOptions options)
 
 Server::~Server() { Stop(); }
 
+const ServerStats& Server::loop_stats(uint32_t i) const {
+  return loops_[i]->stats;
+}
+
 Status Server::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("server already running");
+  }
+  if (options_.num_loops == 0) {
+    return Status::InvalidArgument("num_loops must be >= 1");
   }
   listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) return Errno("socket");
@@ -95,31 +151,53 @@ Status Server::Start() {
   }
   port_ = ntohs(addr.sin_port);
 
-  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
-  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (epoll_fd_ < 0 || wake_fd_ < 0) {
-    Status st = Errno(epoll_fd_ < 0 ? "epoll_create1" : "eventfd");
-    Stop();
-    return st;
+  // Build every loop's fds before spawning any thread, so a failure leaves
+  // nothing running and Stop() can clean up uniformly.
+  loops_.clear();
+  for (uint32_t i = 0; i < options_.num_loops; ++i) {
+    auto loop = std::make_unique<EventLoop>();
+    loop->server = this;
+    loop->index = i;
+    loop->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    loop->wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop->epoll_fd < 0 || loop->wake_fd < 0) {
+      Status st = Errno(loop->epoll_fd < 0 ? "epoll_create1" : "eventfd");
+      loops_.clear();
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return st;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = loop.get();  // loop pointer = its own wake fd
+    if (epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_fd, &ev) < 0) {
+      Status st = Errno("epoll_ctl(wake)");
+      loops_.clear();
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return st;
+    }
+    loops_.push_back(std::move(loop));
   }
+  // Loop 0 is the accept loop: only its epoll set watches the listener.
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.ptr = nullptr;  // nullptr = listen fd
-  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+  if (epoll_ctl(loops_[0]->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
     Status st = Errno("epoll_ctl(listen)");
-    Stop();
-    return st;
-  }
-  ev.data.ptr = this;  // this = wake fd
-  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
-    Status st = Errno("epoll_ctl(wake)");
-    Stop();
+    loops_.clear();
+    close(listen_fd_);
+    listen_fd_ = -1;
     return st;
   }
 
+  next_loop_ = 0;
+  total_connections_.store(0, std::memory_order_relaxed);
   stop_requested_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  loop_ = std::thread([this] { Loop(); });
+  for (auto& loop : loops_) {
+    loop->thread = std::thread([l = loop.get()] { l->Run(); });
+  }
   return Status::OK();
 }
 
@@ -127,32 +205,28 @@ Status Server::Stop() {
   if (running_.load(std::memory_order_acquire)) {
     stop_requested_.store(true, std::memory_order_release);
     uint64_t one = 1;
-    [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
-    loop_.join();
+    for (auto& loop : loops_) {
+      [[maybe_unused]] ssize_t n = write(loop->wake_fd, &one, sizeof(one));
+    }
+    for (auto& loop : loops_) loop->thread.join();
     running_.store(false, std::memory_order_release);
-  } else if (loop_.joinable()) {
-    loop_.join();
+  } else {
+    for (auto& loop : loops_) {
+      if (loop->thread.joinable()) loop->thread.join();
+    }
   }
   if (listen_fd_ >= 0) {
     close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (wake_fd_ >= 0) {
-    close(wake_fd_);
-    wake_fd_ = -1;
-  }
-  if (epoll_fd_ >= 0) {
-    close(epoll_fd_);
-    epoll_fd_ = -1;
-  }
-  // Drain AFTER the loop has joined: no batch can be in flight, so the
+  // Drain AFTER every loop has joined: no batch can be in flight, so the
   // flush sees quiescent shards and the end-of-serving invariant audit
   // (net_test) runs against a consistent image.
   if (sharded_ != nullptr) return sharded_->Drain();
   return Status::OK();
 }
 
-void Server::Accept() {
+void Server::Accept(EventLoop* loop) {
   for (;;) {
     int fd = accept4(listen_fd_, nullptr, nullptr,
                      SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -161,38 +235,68 @@ void Server::Accept() {
       if (errno == EINTR) continue;
       return;  // transient accept failure; the listener stays armed
     }
-    if (static_cast<int>(conns_.size()) >= options_.max_connections) {
+    if (total_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
       // Count before close: the peer observes the rejection as EOF, and a
       // metrics scrape triggered by that EOF must already see the counter.
-      stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      loop->stats.connections_rejected.fetch_add(1, std::memory_order_relaxed);
       close(fd);
       continue;
     }
-    int one = 1;
-    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
-    conn->id = next_conn_id_++;
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.ptr = conn.get();
-    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
-      close(fd);
+    total_connections_.fetch_add(1, std::memory_order_relaxed);
+    // Round-robin handoff: deterministic balance regardless of how the
+    // kernel would hash flows (SO_REUSEPORT leaves balance to a 4-tuple
+    // hash, which is terrible at small connection counts).
+    EventLoop* target = loops_[next_loop_ % loops_.size()].get();
+    next_loop_++;
+    if (target == loop) {
+      loop->AddConnection(fd);
       continue;
     }
-    conns_.push_back(std::move(conn));
-    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
-    stats_.connections_active.store(conns_.size(), std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(target->inbox_mu);
+      target->inbox.push_back(fd);
+    }
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = write(target->wake_fd, &one, sizeof(one));
   }
 }
 
-bool Server::ReadInput(Connection* conn) {
+void Server::EventLoop::AdoptInbox() {
+  std::vector<int> pending;
+  {
+    std::lock_guard<std::mutex> lk(inbox_mu);
+    pending.swap(inbox);
+  }
+  for (int fd : pending) AddConnection(fd);
+}
+
+void Server::EventLoop::AddConnection(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto conn = std::make_unique<Connection>();
+  conn->fd = fd;
+  conn->id = server->next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = conn.get();
+  if (epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    close(fd);
+    server->total_connections_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  conns.push_back(std::move(conn));
+  stats.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+  stats.connections_active.store(conns.size(), std::memory_order_relaxed);
+}
+
+bool Server::EventLoop::ReadInput(Connection* conn) {
   // Reclaim the consumed prefix before appending (amortized O(1)).
   if (conn->in_off > 0 && conn->in_off * 2 >= conn->in.size()) {
     conn->in.erase(0, conn->in_off);
     conn->in_off = 0;
   }
-  size_t budget = options_.read_chunk_bytes;
+  size_t budget = server->options_.read_chunk_bytes;
   while (budget > 0) {
     const size_t chunk = budget < 16384 ? budget : 16384;
     const size_t old = conn->in.size();
@@ -200,34 +304,34 @@ bool Server::ReadInput(Connection* conn) {
     ssize_t n = read(conn->fd, conn->in.data() + old, chunk);
     if (n > 0) {
       conn->in.resize(old + static_cast<size_t>(n));
-      stats_.bytes_in.fetch_add(static_cast<uint64_t>(n),
-                                std::memory_order_relaxed);
+      stats.bytes_in.fetch_add(static_cast<uint64_t>(n),
+                               std::memory_order_relaxed);
       budget -= static_cast<size_t>(n);
       if (static_cast<size_t>(n) < chunk) return true;  // drained the socket
       continue;
     }
     conn->in.resize(old);
     if (n == 0) {
-      stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+      stats.connections_closed.fetch_add(1, std::memory_order_relaxed);
       CloseConnection(conn);
       return false;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
     if (errno == EINTR) continue;
-    stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+    stats.connections_dropped.fetch_add(1, std::memory_order_relaxed);
     CloseConnection(conn);
     return false;
   }
   return true;
 }
 
-void Server::RecordBatchSize(size_t n) {
+void Server::EventLoop::RecordBatchSize(size_t n) {
   int b = n == 0 ? 0 : std::bit_width(n) - 1;
   if (b >= ServerStats::kBatchBuckets) b = ServerStats::kBatchBuckets - 1;
-  stats_.batch_size_hist[b].fetch_add(1, std::memory_order_relaxed);
+  stats.batch_size_hist[b].fetch_add(1, std::memory_order_relaxed);
 }
 
-void Server::ProcessTick(std::vector<Connection*>* ready) {
+void Server::EventLoop::ProcessTick(std::vector<Connection*>* ready) {
   // Decode every complete frame from every ready connection. Entries for
   // one connection are contiguous and in arrival order, so writing the
   // responses back in list order preserves per-connection FIFO no matter
@@ -256,7 +360,7 @@ void Server::ProcessTick(std::vector<Connection*>* ready) {
         // One verdict, then the stream is unrecoverable. The verdict goes
         // through the pending list like any response, so the answers to
         // the valid frames before it keep their order.
-        stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        stats.protocol_errors.fetch_add(1, std::memory_order_relaxed);
         Pending verdict;
         verdict.conn = conn;
         verdict.status = WireStatus::kProtocolError;
@@ -269,7 +373,7 @@ void Server::ProcessTick(std::vector<Connection*>* ready) {
         break;
       }
       conn->in_off += consumed;
-      stats_.requests_decoded.fetch_add(1, std::memory_order_relaxed);
+      stats.requests_decoded.fetch_add(1, std::memory_order_relaxed);
       Pending p;
       p.conn = conn;
       p.req = std::move(req);
@@ -277,11 +381,11 @@ void Server::ProcessTick(std::vector<Connection*>* ready) {
     }
     // Fault point: the connection dies after its requests were read but
     // before any of them executes — the peer's whole in-flight pipeline is
-    // lost mid-exchange.
+    // lost mid-exchange. The injector sees which loop fired it.
     if (pending.size() > first_of_conn &&
-        fault::InjectConnDrop(conn->id)) {
+        fault::InjectConnDrop(index, conn->id)) {
       pending.resize(first_of_conn);
-      stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+      stats.connections_dropped.fetch_add(1, std::memory_order_relaxed);
       CloseConnection(conn);
     }
   }
@@ -296,26 +400,25 @@ void Server::ProcessTick(std::vector<Connection*>* ready) {
 
   auto flush_batch = [&]() {
     if (batch.empty()) return;
-    if (sharded_ != nullptr) {
-      sharded_->ExecuteBatch(batch.data(), batch.size());
+    if (server->sharded_ != nullptr) {
+      server->sharded_->ExecuteBatch(batch.data(), batch.size());
     } else {
       for (BatchOp& op : batch) {
         switch (op.kind) {
           case BatchOp::Kind::kGet:
-            op.status = store_->Get(op.key, &op.result);
+            op.status = server->store_->Get(op.key, &op.result);
             break;
           case BatchOp::Kind::kPut:
-            op.status = store_->Put(op.key, op.value);
+            op.status = server->store_->Put(op.key, op.value);
             break;
           case BatchOp::Kind::kDelete:
-            op.status = store_->Delete(op.key);
+            op.status = server->store_->Delete(op.key);
             break;
         }
       }
     }
-    stats_.batches.fetch_add(1, std::memory_order_relaxed);
-    stats_.batched_requests.fetch_add(batch.size(),
-                                      std::memory_order_relaxed);
+    stats.batches.fetch_add(1, std::memory_order_relaxed);
+    stats.batched_requests.fetch_add(batch.size(), std::memory_order_relaxed);
     RecordBatchSize(batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {
       Pending& p = pending[batch_owner[i]];
@@ -349,14 +452,15 @@ void Server::ProcessTick(std::vector<Connection*>* ready) {
         continue;  // already kOk with an empty payload
       case OpCode::kScan: {
         flush_batch();
-        stats_.scans.fetch_add(1, std::memory_order_relaxed);
-        if (ordered_ == nullptr) {
+        stats.scans.fetch_add(1, std::memory_order_relaxed);
+        if (server->ordered_ == nullptr) {
           p.status = WireStatus::kInvalidArgument;
           p.payload = "store has no ordered index";
           continue;
         }
         std::vector<std::pair<std::string, std::string>> rows;
-        Status st = ordered_->RangeScan(p.req.key, p.req.scan_limit, &rows);
+        Status st =
+            server->ordered_->RangeScan(p.req.key, p.req.scan_limit, &rows);
         p.status = ToWire(st);
         if (st.ok()) {
           EncodeScanPayload(rows,
@@ -379,15 +483,15 @@ void Server::ProcessTick(std::vector<Connection*>* ready) {
   for (Pending& p : pending) {
     if (p.conn->dead) continue;
     EncodeResponse(p.status, p.payload, &p.conn->out);
-    stats_.responses_sent.fetch_add(1, std::memory_order_relaxed);
+    stats.responses_sent.fetch_add(1, std::memory_order_relaxed);
   }
   for (Connection* conn : *ready) {
     if (conn->dead || conn->pending_out() == 0) continue;
     if (!FlushOutput(conn)) continue;
-    if (conn->pending_out() > options_.max_output_buffer_bytes) {
+    if (conn->pending_out() > server->options_.max_output_buffer_bytes) {
       // Backpressure: the peer pipelines faster than it reads. Cut it
       // loose instead of buffering without bound.
-      stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+      stats.connections_dropped.fetch_add(1, std::memory_order_relaxed);
       CloseConnection(conn);
     } else if (conn->close_after_flush && conn->pending_out() == 0) {
       CloseConnection(conn);
@@ -395,7 +499,7 @@ void Server::ProcessTick(std::vector<Connection*>* ready) {
   }
 }
 
-bool Server::FlushOutput(Connection* conn) {
+bool Server::EventLoop::FlushOutput(Connection* conn) {
   if (conn->out_off > 0 && conn->out_off * 2 >= conn->out.size()) {
     conn->out.erase(0, conn->out_off);
     conn->out_off = 0;
@@ -404,7 +508,7 @@ bool Server::FlushOutput(Connection* conn) {
     const size_t want = conn->pending_out();
     // Fault point: tear the stream after a prefix of the encoded bytes —
     // the peer sees a syntactically broken frame followed by EOF.
-    const size_t allowed = fault::InjectServerWrite(conn->id, want);
+    const size_t allowed = fault::InjectServerWrite(index, conn->id, want);
     if (allowed > 0) {
       ssize_t n = send(conn->fd, conn->out.data() + conn->out_off,
                        allowed, MSG_NOSIGNAL);
@@ -415,22 +519,22 @@ bool Server::FlushOutput(Connection* conn) {
             epoll_event ev{};
             ev.events = EPOLLIN | EPOLLOUT;
             ev.data.ptr = conn;
-            epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+            epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
             conn->want_write = true;
           }
           return true;
         }
-        stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+        stats.connections_dropped.fetch_add(1, std::memory_order_relaxed);
         CloseConnection(conn);
         return false;
       }
       conn->out_off += static_cast<size_t>(n);
-      stats_.bytes_out.fetch_add(static_cast<uint64_t>(n),
-                                 std::memory_order_relaxed);
+      stats.bytes_out.fetch_add(static_cast<uint64_t>(n),
+                                std::memory_order_relaxed);
       if (static_cast<size_t>(n) < allowed) continue;  // partial; retry
     }
     if (allowed < want) {
-      stats_.connections_dropped.fetch_add(1, std::memory_order_relaxed);
+      stats.connections_dropped.fetch_add(1, std::memory_order_relaxed);
       CloseConnection(conn);
       return false;
     }
@@ -439,25 +543,27 @@ bool Server::FlushOutput(Connection* conn) {
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.ptr = conn;
-    epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+    epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
     conn->want_write = false;
   }
   return true;
 }
 
-void Server::CloseConnection(Connection* conn) {
+void Server::EventLoop::CloseConnection(Connection* conn) {
   if (conn->dead) return;
-  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
   close(conn->fd);
   conn->fd = -1;
   conn->dead = true;
+  server->total_connections_.fetch_sub(1, std::memory_order_relaxed);
 }
 
-void Server::Loop() {
+void Server::EventLoop::Run() {
+  const uint64_t cpu0 = ThreadCpuMicros();
   epoll_event events[kMaxEpollEvents];
   std::vector<Connection*> ready;
-  while (!stop_requested_.load(std::memory_order_acquire)) {
-    int n = epoll_wait(epoll_fd_, events, kMaxEpollEvents, -1);
+  while (!server->stop_requested_.load(std::memory_order_acquire)) {
+    int n = epoll_wait(epoll_fd, events, kMaxEpollEvents, -1);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
@@ -466,18 +572,19 @@ void Server::Loop() {
     for (int i = 0; i < n; ++i) {
       void* ptr = events[i].data.ptr;
       if (ptr == nullptr) {
-        Accept();
+        server->Accept(this);
         continue;
       }
       if (ptr == this) {
         uint64_t drain;
-        [[maybe_unused]] ssize_t r = read(wake_fd_, &drain, sizeof(drain));
+        [[maybe_unused]] ssize_t r = read(wake_fd, &drain, sizeof(drain));
+        AdoptInbox();
         continue;
       }
       auto* conn = static_cast<Connection*>(ptr);
       if (conn->dead) continue;  // closed earlier in this event batch
       if (events[i].events & (EPOLLHUP | EPOLLERR)) {
-        stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+        stats.connections_closed.fetch_add(1, std::memory_order_relaxed);
         CloseConnection(conn);
         continue;
       }
@@ -495,15 +602,18 @@ void Server::Loop() {
     if (!ready.empty()) ProcessTick(&ready);
     // Garbage-collect dead connections only at the tick boundary: earlier
     // events in this batch may still reference them by pointer.
-    std::erase_if(conns_, [](const std::unique_ptr<Connection>& c) {
+    std::erase_if(conns, [](const std::unique_ptr<Connection>& c) {
       return c->dead;
     });
-    stats_.connections_active.store(conns_.size(), std::memory_order_relaxed);
+    stats.connections_active.store(conns.size(), std::memory_order_relaxed);
+    stats.busy_micros.store(ThreadCpuMicros() - cpu0,
+                            std::memory_order_relaxed);
   }
 
   // Graceful exit: give peers one bounded chance to take their pending
-  // responses, then close everything. No new frames are executed.
-  for (auto& conn_ptr : conns_) {
+  // responses, then close everything. No new frames are executed. Fds
+  // still sitting in the inbox never became connections; just close them.
+  for (auto& conn_ptr : conns) {
     Connection* conn = conn_ptr.get();
     if (conn->dead) continue;
     int budget = kStopFlushMillis;
@@ -512,8 +622,8 @@ void Server::Loop() {
                        conn->pending_out(), MSG_NOSIGNAL);
       if (n > 0) {
         conn->out_off += static_cast<size_t>(n);
-        stats_.bytes_out.fetch_add(static_cast<uint64_t>(n),
-                                   std::memory_order_relaxed);
+        stats.bytes_out.fetch_add(static_cast<uint64_t>(n),
+                                  std::memory_order_relaxed);
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -527,31 +637,102 @@ void Server::Loop() {
     }
     CloseConnection(conn);
   }
-  conns_.clear();
-  stats_.connections_active.store(0, std::memory_order_relaxed);
+  conns.clear();
+  {
+    std::lock_guard<std::mutex> lk(inbox_mu);
+    for (int fd : inbox) {
+      close(fd);
+      server->total_connections_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    inbox.clear();
+  }
+  stats.connections_active.store(0, std::memory_order_relaxed);
+  stats.busy_micros.store(ThreadCpuMicros() - cpu0, std::memory_order_relaxed);
 }
 
 void Server::CollectMetrics(obs::MetricSink* sink) const {
-  auto get = [](const std::atomic<uint64_t>& v) {
+  // One relaxed load per counter per collection: the per-loop values below
+  // and the aggregates derived from them come from the SAME reads, so the
+  // net-loop-conservation law holds on every snapshot, even one scraped
+  // mid-serving.
+  struct Plain {
+    uint64_t accepted, rejected, dropped, closed, active;
+    uint64_t decoded, sent, errors, batches, batched, scans, in, out, busy;
+    uint64_t hist[ServerStats::kBatchBuckets];
+  };
+  auto load = [](const std::atomic<uint64_t>& v) {
     return v.load(std::memory_order_relaxed);
   };
-  sink->Counter("connections_accepted", get(stats_.connections_accepted));
-  sink->Counter("connections_rejected", get(stats_.connections_rejected));
-  sink->Counter("connections_dropped", get(stats_.connections_dropped));
-  sink->Counter("connections_closed", get(stats_.connections_closed));
-  sink->Gauge("connections_active", get(stats_.connections_active));
-  sink->Counter("requests_decoded", get(stats_.requests_decoded));
-  sink->Counter("responses_sent", get(stats_.responses_sent));
-  sink->Counter("protocol_errors", get(stats_.protocol_errors));
-  sink->Counter("batches", get(stats_.batches));
-  sink->Counter("batched_requests", get(stats_.batched_requests));
-  sink->Counter("scans", get(stats_.scans));
-  sink->Counter("bytes_in", get(stats_.bytes_in));
-  sink->Counter("bytes_out", get(stats_.bytes_out));
-  for (int i = 0; i < ServerStats::kBatchBuckets; ++i) {
-    sink->Counter("batch_size_p2_" + std::to_string(i),
-                  get(stats_.batch_size_hist[i]));
+  std::vector<Plain> per_loop;
+  per_loop.reserve(loops_.size());
+  for (const auto& loop : loops_) {
+    const ServerStats& s = loop->stats;
+    Plain p{};
+    p.accepted = load(s.connections_accepted);
+    p.rejected = load(s.connections_rejected);
+    p.dropped = load(s.connections_dropped);
+    p.closed = load(s.connections_closed);
+    p.active = load(s.connections_active);
+    p.decoded = load(s.requests_decoded);
+    p.sent = load(s.responses_sent);
+    p.errors = load(s.protocol_errors);
+    p.batches = load(s.batches);
+    p.batched = load(s.batched_requests);
+    p.scans = load(s.scans);
+    p.in = load(s.bytes_in);
+    p.out = load(s.bytes_out);
+    p.busy = load(s.busy_micros);
+    for (int i = 0; i < ServerStats::kBatchBuckets; ++i) {
+      p.hist[i] = load(s.batch_size_hist[i]);
+    }
+    per_loop.push_back(p);
   }
+
+  auto emit = [&](obs::MetricSink* out, const Plain& p, bool gauge_active) {
+    out->Counter("connections_accepted", p.accepted);
+    out->Counter("connections_rejected", p.rejected);
+    out->Counter("connections_dropped", p.dropped);
+    out->Counter("connections_closed", p.closed);
+    if (gauge_active) out->Gauge("connections_active", p.active);
+    out->Counter("requests_decoded", p.decoded);
+    out->Counter("responses_sent", p.sent);
+    out->Counter("protocol_errors", p.errors);
+    out->Counter("batches", p.batches);
+    out->Counter("batched_requests", p.batched);
+    out->Counter("scans", p.scans);
+    out->Counter("bytes_in", p.in);
+    out->Counter("bytes_out", p.out);
+    out->Counter("busy_micros", p.busy);
+    for (int i = 0; i < ServerStats::kBatchBuckets; ++i) {
+      out->Counter("batch_size_p2_" + std::to_string(i), p.hist[i]);
+    }
+  };
+
+  Plain total{};
+  for (size_t i = 0; i < per_loop.size(); ++i) {
+    const Plain& p = per_loop[i];
+    total.accepted += p.accepted;
+    total.rejected += p.rejected;
+    total.dropped += p.dropped;
+    total.closed += p.closed;
+    total.active += p.active;
+    total.decoded += p.decoded;
+    total.sent += p.sent;
+    total.errors += p.errors;
+    total.batches += p.batches;
+    total.batched += p.batched;
+    total.scans += p.scans;
+    total.in += p.in;
+    total.out += p.out;
+    total.busy += p.busy;
+    for (int b = 0; b < ServerStats::kBatchBuckets; ++b) {
+      total.hist[b] += p.hist[b];
+    }
+    obs::PrefixedSink loop_sink(sink, "loop" + std::to_string(i));
+    emit(&loop_sink, p, /*gauge_active=*/true);
+  }
+  emit(sink, total, /*gauge_active=*/true);
+  sink->Gauge("num_loops", loops_.size());
 }
 
 }  // namespace aria::net

@@ -1,13 +1,20 @@
-// Epoll event-loop TCP server for the Aria wire protocol (DESIGN.md §11).
+// Multi-loop epoll TCP server for the Aria wire protocol (DESIGN.md §11,
+// §12).
 //
-// One event-loop thread owns every connection. Each tick it reads all
-// ready connections, decodes every complete frame, and executes the
-// decoded point operations as ONE shard-grouped batch through
-// ShardedStore::ExecuteBatch — the network analog of the paper's §V-B
-// boundary-crossing amortization: N pipelined requests cost one shard-lock
-// acquisition per touched shard instead of N. Range scans act as batch
-// barriers (they cross shards), so per-connection request order is
-// preserved exactly.
+// The server runs ServerOptions::num_loops independent epoll event loops,
+// each on its own thread with its own connection set, buffers and
+// counters. Loop 0 additionally owns the listen socket and hands accepted
+// fds to the other loops round-robin (eventfd wake + per-loop inbox), so
+// connection load is balanced deterministically regardless of kernel
+// hashing. Within a loop the design is unchanged from the single-loop
+// server: each tick reads all ready connections, decodes every complete
+// frame, and executes the decoded point operations as ONE shard-grouped
+// batch through ShardedStore::ExecuteBatch — the network analog of the
+// paper's §V-B boundary-crossing amortization: N pipelined requests cost
+// one shard-lock acquisition per touched shard instead of N. Batches from
+// different loops execute concurrently against disjoint shard locks; range
+// scans act as batch barriers (they cross shards), so per-connection
+// request order is preserved exactly.
 //
 // Untrusted clients get the RecordCodec treatment: every frame is decoded
 // under hard bounds (net/protocol.h), a malformed frame earns one
@@ -40,22 +47,27 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   uint16_t port = 0;  ///< 0 = ephemeral; read the bound port from port()
 
-  /// Accepted connections beyond this are closed immediately
-  /// (`connections_rejected`).
+  /// Number of epoll event-loop threads. Loop 0 accepts and hands fds to
+  /// the loops round-robin; each loop then owns its connections outright.
+  /// 1 reproduces the original single-loop server exactly.
+  uint32_t num_loops = 1;
+
+  /// Accepted connections beyond this (summed over every loop) are closed
+  /// immediately (`connections_rejected`).
   int max_connections = 64;
 
-  /// Backpressure cap: a connection whose pending (unsent) responses
+  /// Backpressure cap per connection: one whose pending (unsent) responses
   /// exceed this is dropped (`connections_dropped`).
   size_t max_output_buffer_bytes = 1 << 20;
 
   /// Bytes read per connection per tick (bounds per-tick work so one noisy
-  /// connection cannot starve the others).
+  /// connection cannot starve the others on its loop).
   size_t read_chunk_bytes = 64 * 1024;
 };
 
-/// Monotonic server counters. Atomics with relaxed ordering: written only
-/// by the event-loop thread, readable from any thread (metrics scrapes
-/// race with serving by design).
+/// Monotonic per-loop counters. Atomics with relaxed ordering: written only
+/// by the owning event-loop thread, readable from any thread (metrics
+/// scrapes race with serving by design).
 struct ServerStats {
   std::atomic<uint64_t> connections_accepted{0};
   std::atomic<uint64_t> connections_rejected{0};  ///< over max_connections
@@ -70,6 +82,12 @@ struct ServerStats {
   std::atomic<uint64_t> scans{0};
   std::atomic<uint64_t> bytes_in{0};
   std::atomic<uint64_t> bytes_out{0};
+  /// CPU microseconds the loop thread has burned so far
+  /// (CLOCK_THREAD_CPUTIME_ID), refreshed at every tick boundary and once
+  /// more at thread exit. The scaling bench derives its per-loop makespan
+  /// from this — the same accounting Driver::RunThreads uses (DESIGN.md
+  /// §8), so scaling is measurable even on a single-core CI host.
+  std::atomic<uint64_t> busy_micros{0};
   /// Log2 batch-size histogram: bucket i counts batches of size in
   /// [2^i, 2^(i+1)); sizes beyond the last bucket land in it.
   static constexpr int kBatchBuckets = 12;
@@ -86,40 +104,38 @@ class Server : public obs::Observable {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind, listen, and spawn the event-loop thread. The bound port is
+  /// Bind, listen, and spawn every event-loop thread. The bound port is
   /// available from port() once Start returns.
   Status Start();
 
-  /// Graceful shutdown: stop accepting, let the loop finish its current
+  /// Graceful shutdown: stop accepting, let every loop finish its current
   /// tick (no batch is abandoned half-executed), flush what the peers will
-  /// take of the pending responses, close every connection, join the loop
-  /// thread, and drain the store (ShardedStore::Drain flushes dirty Secure
+  /// take of the pending responses, close every connection, join all loop
+  /// threads, and drain the store (ShardedStore::Drain flushes dirty Secure
   /// Cache state). Idempotent.
   Status Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
   uint16_t port() const { return port_; }
-  const ServerStats& stats() const { return stats_; }
+  uint32_t num_loops() const { return options_.num_loops; }
+  /// Counters of loop `i` alone (i < num_loops()).
+  const ServerStats& loop_stats(uint32_t i) const;
 
-  /// "accepted", "dropped", "requests_decoded", "protocol_errors",
-  /// "batch_size_le_N", ... — registered under "net." in the per-store
-  /// MetricsRegistry by callers.
+  /// Aggregate counters under their plain names ("requests_decoded",
+  /// "batch_size_le_N", ...) plus the same set per loop under "loopN."
+  /// and a "num_loops" gauge. Registered under "net." in the per-store
+  /// MetricsRegistry by callers; the net-loop-conservation law
+  /// (obs/invariants.h) re-derives every aggregate from the loop sums.
+  /// Each loop's counters are read exactly once per collection, so the
+  /// per-loop values and the aggregates are always mutually consistent
+  /// even while serving.
   void CollectMetrics(obs::MetricSink* sink) const override;
 
  private:
   struct Connection;
+  struct EventLoop;
 
-  void Loop();
-  void Accept();
-  /// Read what's ready on `conn`; returns false if the connection died.
-  bool ReadInput(Connection* conn);
-  /// Decode + execute + encode for every connection with buffered input.
-  void ProcessTick(std::vector<Connection*>* ready);
-  /// Try to write conn->out; arms EPOLLOUT on short writes. Returns false
-  /// if the connection died (error, torn-write fault, backpressure cap).
-  bool FlushOutput(Connection* conn);
-  void CloseConnection(Connection* conn);
-  void RecordBatchSize(size_t n);
+  void Accept(EventLoop* loop);
 
   KVStore* store_;
   ShardedStore* sharded_;  ///< non-null iff store_ is sharded
@@ -127,16 +143,17 @@ class Server : public obs::Observable {
   ServerOptions options_;
 
   int listen_fd_ = -1;
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;  ///< eventfd Stop() pokes to leave epoll_wait
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
-  std::thread loop_;
 
-  std::vector<std::unique_ptr<Connection>> conns_;
-  uint64_t next_conn_id_ = 0;
-  ServerStats stats_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  /// Round-robin accept cursor (only touched by the accept loop's thread).
+  uint64_t next_loop_ = 0;
+  /// Total live connections across loops (admission control) — includes
+  /// fds handed off but not yet adopted by their loop.
+  std::atomic<int> total_connections_{0};
+  std::atomic<uint64_t> next_conn_id_{0};
 };
 
 }  // namespace aria::net

@@ -159,6 +159,34 @@ InvariantReport InvariantChecker::Check(const Snapshot& snap) const {
   return report;
 }
 
+void InvariantChecker::CheckLoopSums(const Snapshot& snap,
+                                     InvariantReport* report) {
+  // Per-loop server metrics live at "net.loop<k>.<rest>"; their aggregates
+  // at "net.<rest>". Sum the loops per <rest> and compare. The server emits
+  // both sides from one read pass (net/server.cc), so this must hold on any
+  // snapshot, including one scraped mid-serving.
+  constexpr std::string_view kPrefix = "net.loop";
+  std::map<std::string, uint64_t> sums;
+  for (const auto& [name, metric] : snap.values()) {
+    if (name.compare(0, kPrefix.size(), kPrefix) != 0) continue;
+    size_t digits = kPrefix.size();
+    while (digits < name.size() && name[digits] >= '0' && name[digits] <= '9') {
+      ++digits;
+    }
+    if (digits == kPrefix.size() || digits >= name.size() ||
+        name[digits] != '.') {
+      continue;  // "net.loops_..." or similar, not a per-loop namespace
+    }
+    sums[name.substr(digits + 1)] += metric.value;
+  }
+  if (sums.empty()) return;  // no multi-loop server in this snapshot
+  LawScope law(report, "net-loop-conservation");
+  for (const auto& [rest, sum] : sums) {
+    law.Expect(snap.Has("net." + rest), "aggregate missing for net." + rest);
+    law.ExpectEq(sum, snap.Get("net." + rest), "loop sum of net." + rest);
+  }
+}
+
 void InvariantChecker::CheckShardSums(const std::vector<Snapshot>& shards,
                                       const Snapshot& aggregate,
                                       InvariantReport* report) {

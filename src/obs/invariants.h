@@ -74,6 +74,14 @@ class InvariantChecker {
                              const Snapshot& aggregate,
                              InvariantReport* report);
 
+  /// net-loop-conservation: for every per-loop server metric
+  /// "net.loop<k>.<rest>" in `snap`, the sum over loops k must equal the
+  /// aggregate "net.<rest>" the server emits alongside them (gauges
+  /// included — connections_active partitions exactly across loops).
+  /// Vacuous (not recorded in laws_checked) when the snapshot holds no
+  /// per-loop net metrics. Appends to `report`.
+  static void CheckLoopSums(const Snapshot& snap, InvariantReport* report);
+
  private:
   InvariantContext ctx_;
 };

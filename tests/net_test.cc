@@ -11,8 +11,13 @@
 //  * slow-client backpressure (bounded output buffer drops the peer)
 //  * max-connection admission, torn-write and connection-drop fault
 //    injection through the aria::fault::NetInjector latch
+//  * multi-loop serving (DESIGN.md §12): 4 epoll loops x 8 pipelined
+//    connections vs the oracle, per-loop counter reconciliation
+//    (net-loop-conservation), and loop-targeted conn-drop injection that
+//    must leave the other loops serving
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
@@ -34,6 +39,7 @@
 #include "net/client.h"
 #include "net/protocol.h"
 #include "net/server.h"
+#include "obs/invariants.h"
 #include "obs/metrics.h"
 #include "testing/replay.h"
 #include "workload/ycsb.h"
@@ -465,114 +471,121 @@ TEST(NetBatch, ExecuteBatchGroupsByShardAndPreservesPerKeyOrder) {
 
 // --- loopback end-to-end ---------------------------------------------------
 
+/// One pipelined client connection driving a mixed GET/PUT/DELETE stream
+/// over a disjoint per-thread key range, checked against a local std::map
+/// oracle. Shared by the single- and multi-loop differentials.
+void DifferentialWorker(uint16_t port, int t, uint64_t seed, int ops,
+                        uint64_t keys_per_thread, size_t depth,
+                        std::atomic<int>* failures) {
+  Client client;
+  if (!client.Connect("127.0.0.1", port).ok()) {
+    (*failures)++;
+    return;
+  }
+  Random rng(seed + static_cast<uint64_t>(t) * 7919);
+  std::map<std::string, std::string> oracle;
+  // Disjoint per-thread key ranges, so each thread's local oracle is
+  // authoritative for its keys.
+  const uint64_t base = static_cast<uint64_t>(t) * keys_per_thread;
+
+  struct Expected {
+    OpCode op;
+    bool found;          // GET/DELETE expectation
+    std::string value;   // GET expectation when found
+  };
+  std::vector<Expected> window;
+  auto drain = [&]() {
+    for (const Expected& e : window) {
+      Response resp;
+      if (!client.ReadResponse(&resp).ok()) {
+        (*failures)++;
+        return false;
+      }
+      switch (e.op) {
+        case OpCode::kPut:
+          if (resp.status != WireStatus::kOk) (*failures)++;
+          break;
+        case OpCode::kGet:
+          if (e.found) {
+            if (resp.status != WireStatus::kOk || resp.payload != e.value) {
+              (*failures)++;
+            }
+          } else if (resp.status != WireStatus::kNotFound) {
+            (*failures)++;
+          }
+          break;
+        case OpCode::kDelete:
+          if (e.found ? resp.status != WireStatus::kOk
+                      : resp.status != WireStatus::kNotFound) {
+            (*failures)++;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    window.clear();
+    return true;
+  };
+
+  for (int i = 0; i < ops; ++i) {
+    const uint64_t id = base + rng.Uniform(keys_per_thread);
+    const std::string key = MakeKey(id);
+    const uint64_t pick = rng.Uniform(10);
+    Request req;
+    Expected exp{};
+    if (pick < 5) {  // 50% GET
+      req = GetReq(key);
+      exp.op = OpCode::kGet;
+      auto it = oracle.find(key);
+      exp.found = it != oracle.end();
+      if (exp.found) exp.value = it->second;
+    } else if (pick < 9) {  // 40% PUT
+      const std::string value =
+          MakeValue(id, 16 + rng.Uniform(200), static_cast<uint32_t>(i));
+      req = PutReq(key, value);
+      exp.op = OpCode::kPut;
+      oracle[key] = value;
+    } else {  // 10% DELETE
+      req.op = OpCode::kDelete;
+      req.key = key;
+      exp.op = OpCode::kDelete;
+      exp.found = oracle.erase(key) > 0;
+    }
+    if (!client.Send(req).ok()) {
+      (*failures)++;
+      return;
+    }
+    window.push_back(std::move(exp));
+    if (window.size() >= depth) {
+      if (!drain()) return;
+    }
+  }
+  drain();
+
+  // Final sweep: every oracle key must read back exactly.
+  for (const auto& [key, value] : oracle) {
+    std::string got;
+    Status st = client.Get(key, &got);
+    if (!st.ok() || got != value) (*failures)++;
+  }
+}
+
 TEST(NetServer, PipelinedDifferentialAgainstOracleFourConnections) {
   ServerFixture fx;
   ASSERT_TRUE(fx.Init(/*shards=*/4, /*keyspace=*/8192).ok());
 
   constexpr int kThreads = 4;
   constexpr int kOpsPerThread = 2'000;
-  constexpr uint64_t kKeysPerThread = 512;
-  constexpr int kDepth = 16;  // pipeline depth
   const uint64_t seed = testing::EffectiveSeed(0xE2E);
   std::atomic<int> failures{0};
 
-  auto worker = [&](int t) {
-    Client client;
-    if (!client.Connect("127.0.0.1", fx.port()).ok()) {
-      failures++;
-      return;
-    }
-    Random rng(seed + static_cast<uint64_t>(t) * 7919);
-    std::map<std::string, std::string> oracle;
-    // Disjoint per-thread key ranges, so each thread's local oracle is
-    // authoritative for its keys.
-    const uint64_t base = static_cast<uint64_t>(t) * kKeysPerThread;
-
-    struct Expected {
-      OpCode op;
-      bool found;          // GET/DELETE expectation
-      std::string value;   // GET expectation when found
-    };
-    std::vector<Expected> window;
-    auto drain = [&]() {
-      for (const Expected& e : window) {
-        Response resp;
-        if (!client.ReadResponse(&resp).ok()) {
-          failures++;
-          return false;
-        }
-        switch (e.op) {
-          case OpCode::kPut:
-            if (resp.status != WireStatus::kOk) failures++;
-            break;
-          case OpCode::kGet:
-            if (e.found) {
-              if (resp.status != WireStatus::kOk || resp.payload != e.value) {
-                failures++;
-              }
-            } else if (resp.status != WireStatus::kNotFound) {
-              failures++;
-            }
-            break;
-          case OpCode::kDelete:
-            if (e.found ? resp.status != WireStatus::kOk
-                        : resp.status != WireStatus::kNotFound) {
-              failures++;
-            }
-            break;
-          default:
-            break;
-        }
-      }
-      window.clear();
-      return true;
-    };
-
-    for (int i = 0; i < kOpsPerThread; ++i) {
-      const uint64_t id = base + rng.Uniform(kKeysPerThread);
-      const std::string key = MakeKey(id);
-      const uint64_t pick = rng.Uniform(10);
-      Request req;
-      Expected exp{};
-      if (pick < 5) {  // 50% GET
-        req = GetReq(key);
-        exp.op = OpCode::kGet;
-        auto it = oracle.find(key);
-        exp.found = it != oracle.end();
-        if (exp.found) exp.value = it->second;
-      } else if (pick < 9) {  // 40% PUT
-        const std::string value =
-            MakeValue(id, 16 + rng.Uniform(200), static_cast<uint32_t>(i));
-        req = PutReq(key, value);
-        exp.op = OpCode::kPut;
-        oracle[key] = value;
-      } else {  // 10% DELETE
-        req.op = OpCode::kDelete;
-        req.key = key;
-        exp.op = OpCode::kDelete;
-        exp.found = oracle.erase(key) > 0;
-      }
-      if (!client.Send(req).ok()) {
-        failures++;
-        return;
-      }
-      window.push_back(std::move(exp));
-      if (window.size() >= kDepth) {
-        if (!drain()) return;
-      }
-    }
-    drain();
-
-    // Final sweep: every oracle key must read back exactly.
-    for (const auto& [key, value] : oracle) {
-      std::string got;
-      Status st = client.Get(key, &got);
-      if (!st.ok() || got != value) failures++;
-    }
-  };
-
   std::vector<std::thread> threads;
-  for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(DifferentialWorker, fx.port(), t, seed, kOpsPerThread,
+                         /*keys_per_thread=*/uint64_t{512}, /*depth=*/size_t{16},
+                         &failures);
+  }
   for (auto& th : threads) th.join();
   EXPECT_EQ(failures.load(), 0);
 
@@ -634,6 +647,132 @@ TEST(NetServer, RangeScanOverTheWireMatchesInProcess) {
 
   client.Close();
   ASSERT_TRUE(fx.server->Stop().ok());
+}
+
+// --- multi-loop serving (DESIGN.md §12) -------------------------------------
+
+TEST(NetServer, MultiLoopDifferentialEightConnectionsFourLoops) {
+  ServerFixture fx;
+  ServerOptions so;
+  so.num_loops = 4;
+  ASSERT_TRUE(fx.Init(/*shards=*/4, /*keyspace=*/16384, so).ok());
+  EXPECT_EQ(fx.server->num_loops(), 4u);
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 1'500;
+  const uint64_t seed = testing::EffectiveSeed(0x41D);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(DifferentialWorker, fx.port(), t, seed, kOpsPerThread,
+                         /*keys_per_thread=*/uint64_t{512},
+                         /*depth=*/size_t{16}, &failures);
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Per-loop counters: round-robin handoff spreads 8 connections exactly
+  // 2 per loop, every loop decoded traffic, and the loop sums reproduce
+  // the aggregates the server emits alongside them.
+  obs::Snapshot snap = fx.bundle.Metrics();
+  EXPECT_EQ(snap.Get("net.num_loops"), 4u);
+  uint64_t decoded_sum = 0, accepted_sum = 0, batched_sum = 0;
+  for (uint32_t l = 0; l < 4; ++l) {
+    const std::string p = "net.loop" + std::to_string(l) + ".";
+    EXPECT_EQ(snap.Get(p + "connections_accepted"), 2u) << p;
+    EXPECT_GT(snap.Get(p + "requests_decoded"), 0u) << p;
+    decoded_sum += snap.Get(p + "requests_decoded");
+    accepted_sum += snap.Get(p + "connections_accepted");
+    batched_sum += snap.Get(p + "batched_requests");
+  }
+  EXPECT_EQ(decoded_sum, snap.Get("net.requests_decoded"));
+  EXPECT_EQ(accepted_sum, snap.Get("net.connections_accepted"));
+  EXPECT_EQ(batched_sum, snap.Get("net.batched_requests"));
+  EXPECT_GT(snap.Get("net.requests_decoded"),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread - 1);
+
+  // End-of-serving audit: graceful Stop drains every loop, then flushes
+  // dirty Secure Cache state; every law must hold, and the new
+  // net-loop-conservation law must have actually been evaluated.
+  ASSERT_TRUE(fx.server->Stop().ok());
+  obs::InvariantReport report = fx.bundle.CheckInvariants();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_NE(std::find(report.laws_checked.begin(), report.laws_checked.end(),
+                      "net-loop-conservation"),
+            report.laws_checked.end());
+}
+
+TEST(NetServer, SingleLoopOptionReproducesOriginalServer) {
+  // num_loops=1 must behave exactly like the pre-multi-loop server, with
+  // the per-loop namespace collapsing to loop0 == aggregate.
+  ServerFixture fx;
+  ServerOptions so;
+  so.num_loops = 1;
+  ASSERT_TRUE(fx.Init(/*shards=*/2, /*keyspace=*/4096, so).ok());
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fx.port()).ok());
+  for (uint64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(client.Put(MakeKey(i), MakeValue(i, 32)).ok());
+  }
+  client.Close();
+
+  obs::Snapshot snap = fx.bundle.Metrics();
+  EXPECT_EQ(snap.Get("net.num_loops"), 1u);
+  EXPECT_EQ(snap.Get("net.loop0.requests_decoded"),
+            snap.Get("net.requests_decoded"));
+  ASSERT_TRUE(fx.server->Stop().ok());
+  obs::InvariantReport report = fx.bundle.CheckInvariants();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(NetServer, RejectsZeroEventLoops) {
+  ServerFixture fx;
+  ServerOptions so;
+  so.num_loops = 0;
+  EXPECT_FALSE(fx.Init(/*shards=*/2, /*keyspace=*/1024, so).ok());
+}
+
+TEST(NetInvariants, LoopSumChecksCatchMismatchAndMissingAggregate) {
+  // Consistent loop sums pass.
+  {
+    obs::Snapshot snap;
+    snap.Set("net.loop0.requests_decoded", 5, obs::MetricKind::kCounter);
+    snap.Set("net.loop1.requests_decoded", 6, obs::MetricKind::kCounter);
+    snap.Set("net.requests_decoded", 11, obs::MetricKind::kCounter);
+    obs::InvariantReport report;
+    obs::InvariantChecker::CheckLoopSums(snap, &report);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+    ASSERT_EQ(report.laws_checked.size(), 1u);
+    EXPECT_EQ(report.laws_checked[0], "net-loop-conservation");
+  }
+  // A loop sum that disagrees with the aggregate is a violation.
+  {
+    obs::Snapshot snap;
+    snap.Set("net.loop0.requests_decoded", 5, obs::MetricKind::kCounter);
+    snap.Set("net.loop1.requests_decoded", 5, obs::MetricKind::kCounter);
+    snap.Set("net.requests_decoded", 11, obs::MetricKind::kCounter);
+    obs::InvariantReport report;
+    obs::InvariantChecker::CheckLoopSums(snap, &report);
+    EXPECT_FALSE(report.ok());
+  }
+  // A per-loop metric with no aggregate counterpart is a violation too.
+  {
+    obs::Snapshot snap;
+    snap.Set("net.loop0.orphan", 1, obs::MetricKind::kCounter);
+    obs::InvariantReport report;
+    obs::InvariantChecker::CheckLoopSums(snap, &report);
+    EXPECT_FALSE(report.ok());
+  }
+  // No per-loop metrics at all: the law is vacuous and not recorded.
+  {
+    obs::Snapshot snap;
+    snap.Set("net.requests_decoded", 3, obs::MetricKind::kCounter);
+    obs::InvariantReport report;
+    obs::InvariantChecker::CheckLoopSums(snap, &report);
+    EXPECT_TRUE(report.ok());
+    EXPECT_TRUE(report.laws_checked.empty());
+  }
 }
 
 // --- robustness over the socket --------------------------------------------
@@ -850,7 +989,7 @@ class TornWriteInjector : public fault::NetInjector {
   explicit TornWriteInjector(uint64_t after_bytes)
       : after_bytes_(after_bytes) {}
 
-  size_t OnServerWrite(uint64_t, size_t len) override {
+  size_t OnServerWrite(uint64_t, uint64_t, size_t len) override {
     uint64_t budget = after_bytes_.load();
     if (budget == 0) return 0;  // tear at a frame boundary offset 0
     if (len <= budget) {
@@ -862,7 +1001,7 @@ class TornWriteInjector : public fault::NetInjector {
     torn_.fetch_add(1);
     return static_cast<size_t>(allowed);
   }
-  bool DropBeforeExecute(uint64_t) override { return false; }
+  bool DropBeforeExecute(uint64_t, uint64_t) override { return false; }
 
   int torn() const { return torn_.load(); }
 
@@ -915,8 +1054,8 @@ TEST(NetServer, TornWriteFaultTearsStreamWithoutCrashing) {
 
 class ConnDropInjector : public fault::NetInjector {
  public:
-  size_t OnServerWrite(uint64_t, size_t len) override { return len; }
-  bool DropBeforeExecute(uint64_t) override {
+  size_t OnServerWrite(uint64_t, uint64_t, size_t len) override { return len; }
+  bool DropBeforeExecute(uint64_t, uint64_t) override {
     return armed_.exchange(false);
   }
   void Arm() { armed_.store(true); }
@@ -954,6 +1093,86 @@ TEST(NetServer, ConnectionDropFaultKillsInFlightPipeline) {
 
   obs::Snapshot snap = fx.bundle.Metrics();
   EXPECT_GE(snap.Get("net.connections_dropped"), 1u);
+  ASSERT_TRUE(fx.server->Stop().ok());
+  obs::InvariantReport report = fx.bundle.CheckInvariants();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+/// Fires DropBeforeExecute only on one target event loop; other loops are
+/// untouched, proving fault points are per-loop as documented.
+class LoopTargetedDropInjector : public fault::NetInjector {
+ public:
+  explicit LoopTargetedDropInjector(uint64_t target_loop)
+      : target_loop_(target_loop) {}
+
+  size_t OnServerWrite(uint64_t, uint64_t, size_t len) override { return len; }
+  bool DropBeforeExecute(uint64_t loop, uint64_t) override {
+    if (loop != target_loop_) return false;
+    fired_.fetch_add(1);
+    return true;
+  }
+  int fired() const { return fired_.load(); }
+
+ private:
+  uint64_t target_loop_;
+  std::atomic<int> fired_{0};
+};
+
+TEST(NetServer, ConnDropFaultOnSingleLoopLeavesOtherLoopsServing) {
+  ServerFixture fx;
+  ServerOptions so;
+  so.num_loops = 4;
+  ASSERT_TRUE(fx.Init(/*shards=*/2, /*keyspace=*/4096, so).ok());
+
+  // Sequential connect + ping: each round trip proves the connection was
+  // adopted by its loop before the next connect, so round-robin handoff
+  // deterministically puts client i on loop i % 4.
+  Client clients[4];
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(clients[i].Connect("127.0.0.1", fx.port()).ok());
+    ASSERT_TRUE(clients[i].Ping().ok());
+  }
+
+  LoopTargetedDropInjector injector(/*target_loop=*/2);
+  fault::SetNet(&injector);
+  // Pipelined bursts on every client. The victim's later sends may
+  // themselves fail (EPIPE) when the server drops it mid-burst, so no
+  // assertion may fire before the injector is uninstalled — an early test
+  // return would leave a dangling injector in the process-wide latch.
+  bool alive[4];
+  for (int i = 0; i < 4; ++i) {
+    alive[i] = true;
+    for (int j = 0; j < 4 && alive[i]; ++j) {
+      alive[i] = clients[i].Send(PutReq(MakeKey(100 * i + j), "v")).ok();
+    }
+  }
+  // Only the client on loop 2 loses its pipeline; the others complete.
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4 && alive[i]; ++j) {
+      Response resp;
+      alive[i] = clients[i].ReadResponse(&resp).ok() &&
+                 resp.status == WireStatus::kOk;
+    }
+  }
+  fault::SetNet(nullptr);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(alive[i], i != 2) << "client " << i;
+  }
+  EXPECT_GE(injector.fired(), 1);
+
+  // The drop precedes execution: none of loop 2's PUTs may have landed,
+  // while the other loops' all did.
+  Client check;
+  ASSERT_TRUE(check.Connect("127.0.0.1", fx.port()).ok());
+  std::string got;
+  EXPECT_TRUE(check.Get(MakeKey(200), &got).IsNotFound());
+  EXPECT_TRUE(check.Get(MakeKey(100), &got).ok());
+  EXPECT_TRUE(check.Get(MakeKey(300), &got).ok());
+  check.Close();
+
+  obs::Snapshot snap = fx.bundle.Metrics();
+  EXPECT_GE(snap.Get("net.loop2.connections_dropped"), 1u);
+  EXPECT_EQ(snap.Get("net.loop1.connections_dropped"), 0u);
   ASSERT_TRUE(fx.server->Stop().ok());
   obs::InvariantReport report = fx.bundle.CheckInvariants();
   EXPECT_TRUE(report.ok()) << report.ToString();
