@@ -1,0 +1,384 @@
+// Open-loop latency-vs-offered-load characterization (DESIGN.md §13): the
+// closed-loop benches report throughput at saturation; this one reports
+// what a *paced* client population experiences on the way there.
+//
+// Method:
+//  1. Calibrate: a short closed-loop net::RunLoad burst measures the
+//     store's saturation throughput M over the wire.
+//  2. Sweep: open-loop runs at {0.25, 0.5, 0.75, 0.9, 1.1} x M offered QPS
+//     (fresh store + server per level), each recording coordinated-
+//     omission-safe p50/p99/p999 (latency stamped from the scheduled send
+//     time) and the goal-QPS controller's saturation verdict. The headline
+//     is max_sustained_qps: the highest achieved throughput whose p99 met
+//     the SLO without the controller latching saturation.
+//  3. Migration: one run at 0.5 x M with the Zipf hot set shifted mid-run;
+//     per-window p99s give the pre-shift baseline, the post-shift peak and
+//     the recovery time back under 1.5 x baseline, while the Secure Cache
+//     swap counters price the hot-set turnover.
+//
+// Every run ends with the full conservation-law audit, including
+// loadgen-request-conservation over the generator's own accounting.
+//
+//   ./build/bench/bench_openloop_latency [key=value ...]
+//     keys=16384 shards=2 connections=4 theta=0.99 read_ratio=0.95
+//     value_size=128 seed=42 calib_ops=60000 duration=1.0 slo_ms=20
+//     migration_duration=3.0 quick=0 out=BENCH_openloop_latency.json
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/store_factory.h"
+#include "loadgen/loadgen.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/invariants.h"
+#include "obs/json.h"
+#include "workload/driver.h"
+#include "workload/ycsb.h"
+
+using namespace aria;
+
+namespace {
+
+struct Config {
+  uint64_t keys = 16'384;
+  uint32_t shards = 2;
+  uint32_t connections = 4;
+  double theta = 0.99;
+  double read_ratio = 0.95;
+  size_t value_size = 128;
+  uint64_t seed = 42;
+  uint64_t calib_ops = 60'000;  ///< closed-loop calibration burst
+  double duration = 1.0;        ///< seconds per sweep level
+  double slo_ms = 20.0;         ///< p99 SLO for max_sustained_qps
+  double migration_duration = 3.0;
+  /// Secure Cache budget for the migration run only (KiB). The sweep runs
+  /// with the auto (max) cache; the migration run constrains it so the
+  /// shifted hot set must displace the old one and the swap counters price
+  /// the turnover. 0 = auto there too.
+  uint64_t migration_cache_kb = 64;
+  bool quick = false;  ///< tier-1 smoke: short calibration, 2 levels
+  std::string out = "BENCH_openloop_latency.json";
+};
+
+bool ParseArg(Config* cfg, const std::string& arg) {
+  const size_t eq = arg.find('=');
+  if (eq == std::string::npos) return false;
+  const std::string key = arg.substr(0, eq);
+  const std::string val = arg.substr(eq + 1);
+  if (key == "keys") cfg->keys = std::strtoull(val.c_str(), nullptr, 10);
+  else if (key == "shards")
+    cfg->shards = static_cast<uint32_t>(std::strtoul(val.c_str(), nullptr, 10));
+  else if (key == "connections")
+    cfg->connections =
+        static_cast<uint32_t>(std::strtoul(val.c_str(), nullptr, 10));
+  else if (key == "theta") cfg->theta = std::strtod(val.c_str(), nullptr);
+  else if (key == "read_ratio")
+    cfg->read_ratio = std::strtod(val.c_str(), nullptr);
+  else if (key == "value_size")
+    cfg->value_size = std::strtoull(val.c_str(), nullptr, 10);
+  else if (key == "seed") cfg->seed = std::strtoull(val.c_str(), nullptr, 10);
+  else if (key == "calib_ops")
+    cfg->calib_ops = std::strtoull(val.c_str(), nullptr, 10);
+  else if (key == "duration") cfg->duration = std::strtod(val.c_str(), nullptr);
+  else if (key == "slo_ms") cfg->slo_ms = std::strtod(val.c_str(), nullptr);
+  else if (key == "migration_duration")
+    cfg->migration_duration = std::strtod(val.c_str(), nullptr);
+  else if (key == "migration_cache_kb")
+    cfg->migration_cache_kb = std::strtoull(val.c_str(), nullptr, 10);
+  else if (key == "quick") cfg->quick = val != "0";
+  else if (key == "out") cfg->out = val;
+  else return false;
+  return true;
+}
+
+/// One open-loop run against a fresh prepopulated store + server.
+struct RunOutcome {
+  loadgen::OpenLoopReport report;
+  obs::Snapshot snap;
+  size_t laws_checked = 0;
+};
+
+bool RunOpenLoopPoint(const Config& cfg, double goal_qps, double duration,
+                      double shift_seconds, uint64_t cache_bytes,
+                      RunOutcome* out) {
+  StoreOptions options;
+  options.scheme = Scheme::kAria;
+  options.index = IndexKind::kHash;
+  options.keyspace = cfg.keys;
+  options.num_shards = cfg.shards;
+  options.cache_bytes = cache_bytes;
+  StoreBundle bundle;
+  Status st = CreateStore(options, &bundle);
+  if (!st.ok()) {
+    std::fprintf(stderr, "CreateStore: %s\n", st.ToString().c_str());
+    return false;
+  }
+  Driver driver(cfg.seed);
+  st = driver.Prepopulate(bundle.store.get(), cfg.keys, cfg.value_size);
+  if (!st.ok()) {
+    std::fprintf(stderr, "Prepopulate: %s\n", st.ToString().c_str());
+    return false;
+  }
+  net::ServerOptions server_options;
+  server_options.max_connections = static_cast<int>(cfg.connections) + 4;
+  net::Server server(bundle.store.get(), server_options);
+  bundle.registry.Register("net", &server);
+  st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "Server::Start: %s\n", st.ToString().c_str());
+    return false;
+  }
+
+  loadgen::OpenLoopOptions opt;
+  opt.port = server.port();
+  opt.connections = cfg.connections;
+  opt.goal_qps = goal_qps;
+  opt.duration_seconds = duration;
+  opt.hotspot_shift_seconds = shift_seconds;
+  opt.timeout_nanos = 1'000'000'000;  // 1s: far past any healthy p999
+  opt.seed = cfg.seed;
+  loadgen::OpenLoopLoadGen lg(opt);
+  bundle.registry.Register("loadgen", &lg);
+
+  loadgen::YcsbStreamOptions stream;
+  stream.keyspace = cfg.keys;
+  stream.theta = cfg.theta;
+  stream.scrambled = false;  // clustered hot keys, the paper's locality
+  stream.read_ratio = cfg.read_ratio;
+  stream.value_size = cfg.value_size;
+  stream.seed = cfg.seed;
+  st = lg.Run(loadgen::MakeYcsbRequestFn(cfg.connections, stream));
+  if (!st.ok()) {
+    std::fprintf(stderr, "OpenLoopLoadGen::Run: %s\n", st.ToString().c_str());
+    return false;
+  }
+  st = server.Stop();
+  if (!st.ok()) {
+    std::fprintf(stderr, "Server::Stop: %s\n", st.ToString().c_str());
+    return false;
+  }
+  if (!lg.report().ok()) {
+    std::fprintf(stderr,
+                 "open-loop run failed: %llu errors, %u dead connections\n",
+                 static_cast<unsigned long long>(lg.report().errors),
+                 lg.report().failed_connections);
+    return false;
+  }
+
+  out->report = lg.report();
+  out->snap = bundle.Metrics();
+  obs::InvariantReport audit = bundle.CheckInvariants();
+  if (!audit.ok()) {
+    std::fprintf(stderr, "invariants (goal=%.0f):\n%s\n", goal_qps,
+                 audit.ToString().c_str());
+    return false;
+  }
+  if (std::find(audit.laws_checked.begin(), audit.laws_checked.end(),
+                "loadgen-request-conservation") == audit.laws_checked.end()) {
+    std::fprintf(stderr, "loadgen-request-conservation was not evaluated\n");
+    return false;
+  }
+  out->laws_checked = audit.laws_checked.size();
+  return true;
+}
+
+/// Closed-loop saturation throughput over the wire (ops/s).
+double Calibrate(const Config& cfg) {
+  StoreOptions options;
+  options.scheme = Scheme::kAria;
+  options.index = IndexKind::kHash;
+  options.keyspace = cfg.keys;
+  options.num_shards = cfg.shards;
+  StoreBundle bundle;
+  if (!CreateStore(options, &bundle).ok()) return 0;
+  Driver driver(cfg.seed);
+  if (!driver.Prepopulate(bundle.store.get(), cfg.keys, cfg.value_size).ok()) {
+    return 0;
+  }
+  net::ServerOptions server_options;
+  server_options.max_connections = static_cast<int>(cfg.connections) + 4;
+  net::Server server(bundle.store.get(), server_options);
+  if (!server.Start().ok()) return 0;
+
+  std::vector<std::unique_ptr<YcsbWorkload>> workloads;
+  for (uint32_t t = 0; t < cfg.connections; ++t) {
+    YcsbSpec spec;
+    spec.keyspace = cfg.keys;
+    spec.read_ratio = cfg.read_ratio;
+    spec.value_size = cfg.value_size;
+    spec.skewness = cfg.theta;
+    spec.seed = cfg.seed + 7919 * (t + 1);
+    workloads.push_back(std::make_unique<YcsbWorkload>(spec));
+  }
+  net::LoadOptions lo;
+  lo.port = server.port();
+  lo.connections = cfg.connections;
+  lo.depth = 16;
+  lo.ops_per_connection = cfg.calib_ops / cfg.connections;
+  net::LoadStats stats =
+      net::RunLoad(lo, [&workloads](uint64_t conn, uint64_t) {
+        Op op = workloads[conn]->Next();
+        net::Request req;
+        req.key = MakeKey(op.key_id);
+        if (op.type == OpType::kGet) {
+          req.op = net::OpCode::kGet;
+        } else {
+          req.op = net::OpCode::kPut;
+          req.value = MakeValue(op.key_id, op.value_size);
+        }
+        return req;
+      });
+  server.Stop().ok();
+  if (!stats.ok() || stats.wall_seconds <= 0) return 0;
+  return static_cast<double>(stats.ops) / stats.wall_seconds;
+}
+
+double MedianOf(std::vector<uint64_t> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  return static_cast<double>(v[v.size() / 2]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (!ParseArg(&cfg, argv[i])) {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (cfg.quick) {
+    cfg.calib_ops = std::min<uint64_t>(cfg.calib_ops, 16'000);
+    cfg.duration = std::min(cfg.duration, 0.6);
+    cfg.migration_duration = std::min(cfg.migration_duration, 1.6);
+  }
+
+  const double saturation_qps = Calibrate(cfg);
+  if (saturation_qps <= 0) {
+    std::fprintf(stderr, "calibration run failed\n");
+    return 1;
+  }
+  std::printf("calibrated closed-loop saturation: %.0f ops/s\n",
+              saturation_qps);
+
+  const std::vector<double> kFullLevels = {0.25, 0.5, 0.75, 0.9, 1.1};
+  const std::vector<double> kQuickLevels = {0.5, 1.1};
+  const std::vector<double>& levels = cfg.quick ? kQuickLevels : kFullLevels;
+
+  std::map<std::string, double> fields = {
+      {"keys", static_cast<double>(cfg.keys)},
+      {"shards", static_cast<double>(cfg.shards)},
+      {"connections", static_cast<double>(cfg.connections)},
+      {"zipf_theta", cfg.theta},
+      {"read_ratio", cfg.read_ratio},
+      {"value_size", static_cast<double>(cfg.value_size)},
+      {"duration_seconds", cfg.duration},
+      {"slo_p99_ms", cfg.slo_ms},
+      {"calibrated_qps", saturation_qps},
+      {"levels", static_cast<double>(levels.size())},
+  };
+
+  // --- latency vs offered load ----------------------------------------------
+  const double slo_nanos = cfg.slo_ms * 1e6;
+  double max_sustained_qps = 0;
+  for (size_t i = 0; i < levels.size(); ++i) {
+    const double goal = levels[i] * saturation_qps;
+    RunOutcome outcome;
+    if (!RunOpenLoopPoint(cfg, goal, cfg.duration, /*shift_seconds=*/0,
+                          /*cache_bytes=*/0, &outcome)) {
+      return 1;
+    }
+    const loadgen::OpenLoopReport& r = outcome.report;
+    const std::string p = "level" + std::to_string(i) + "_";
+    fields[p + "load_factor"] = levels[i];
+    fields[p + "goal_qps"] = goal;
+    fields[p + "offered_qps"] = r.offered_qps;
+    fields[p + "achieved_qps"] = r.achieved_qps;
+    fields[p + "p50_nanos"] = static_cast<double>(r.latency.P50());
+    fields[p + "p99_nanos"] = static_cast<double>(r.latency.P99());
+    fields[p + "p999_nanos"] = static_cast<double>(r.latency.P999());
+    fields[p + "timed_out"] = static_cast<double>(r.timed_out);
+    fields[p + "saturated"] = r.saturated ? 1 : 0;
+    if (!r.saturated && static_cast<double>(r.latency.P99()) <= slo_nanos) {
+      max_sustained_qps = std::max(max_sustained_qps, r.achieved_qps);
+    }
+    std::printf(
+        "load %.2fx (%8.0f qps): achieved %8.0f qps  p50 %7.0fus  p99 "
+        "%7.0fus  p999 %7.0fus%s\n",
+        levels[i], goal, r.achieved_qps,
+        static_cast<double>(r.latency.P50()) / 1e3,
+        static_cast<double>(r.latency.P99()) / 1e3,
+        static_cast<double>(r.latency.P999()) / 1e3,
+        r.saturated ? "  [saturated]" : "");
+  }
+  fields["max_sustained_qps"] = max_sustained_qps;
+  std::printf("max sustained under %.0fms p99 SLO: %.0f qps\n", cfg.slo_ms,
+              max_sustained_qps);
+
+  // --- hotspot migration ----------------------------------------------------
+  // One shift just past the midpoint (x0.51 so a second epoch boundary can
+  // never land inside the run); window p99s before it set the baseline, the
+  // ones after show the disruption and the recovery.
+  const double shift_at = 0.51 * cfg.migration_duration;
+  RunOutcome migration;
+  if (!RunOpenLoopPoint(cfg, 0.5 * saturation_qps, cfg.migration_duration,
+                        shift_at, cfg.migration_cache_kb * 1024, &migration)) {
+    return 1;
+  }
+  fields["migration_cache_kb"] = static_cast<double>(cfg.migration_cache_kb);
+  const loadgen::OpenLoopReport& mr = migration.report;
+  const double window_s = 0.25;
+  const size_t shift_window =
+      static_cast<size_t>(std::ceil(shift_at / window_s));
+  std::vector<uint64_t> pre_p99;
+  for (size_t w = 1; w < std::min(shift_window, mr.windows.size()); ++w) {
+    if (mr.windows[w].completed > 0) pre_p99.push_back(mr.windows[w].p99_nanos);
+  }
+  const double pre_median = MedianOf(pre_p99);
+  // Recovery = time from the shift until p99 *stays* within 1.5x the
+  // pre-shift baseline, i.e. one window past the last breaching one. 0
+  // means the shift never pushed p99 over the threshold.
+  double peak = 0, recovery_seconds = 0;
+  for (size_t w = shift_window; w < mr.windows.size(); ++w) {
+    if (mr.windows[w].completed == 0) continue;
+    peak = std::max(peak, static_cast<double>(mr.windows[w].p99_nanos));
+    if (static_cast<double>(mr.windows[w].p99_nanos) > 1.5 * pre_median) {
+      recovery_seconds = (static_cast<double>(w) + 1 - shift_window) * window_s;
+    }
+  }
+  fields["migration_goal_qps"] = 0.5 * saturation_qps;
+  fields["migration_shifts"] = static_cast<double>(mr.hotset_shifts);
+  fields["migration_pre_p99_nanos"] = pre_median;
+  fields["migration_peak_p99_nanos"] = peak;
+  fields["migration_recovery_seconds"] = recovery_seconds;
+  fields["migration_swapped_in_bytes"] = static_cast<double>(
+      migration.snap.SumSuffix(".cache.bytes_swapped_in"));
+  fields["laws_checked"] = static_cast<double>(migration.laws_checked);
+  std::printf(
+      "migration (%llu shifts): pre-shift p99 %.0fus, post-shift peak "
+      "%.0fus, recovery %.2fs, %.0f MB swapped in\n",
+      static_cast<unsigned long long>(mr.hotset_shifts), pre_median / 1e3,
+      peak / 1e3, recovery_seconds,
+      fields["migration_swapped_in_bytes"] / 1e6);
+
+  // The migration run's snapshot carries the loadgen.* metric namespace the
+  // docs check enforces.
+  std::string json = obs::BenchArtifactJson("openloop_latency", "aria-hash",
+                                            fields, migration.snap);
+  Status st = obs::WriteFile(cfg.out, json);
+  if (!st.ok()) {
+    std::fprintf(stderr, "WriteFile: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu metrics)\n", cfg.out.c_str(),
+              migration.snap.size());
+  return 0;
+}

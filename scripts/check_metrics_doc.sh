@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Check that docs/METRICS.md documents every metric the system actually
-# emits. Runs bench_metrics_smoke (full store stack) and a small multi-loop
-# bench_net_throughput (network layer, per-loop namespaces), extracts every
-# metric name observed in the resulting BENCH_*.json artifacts, normalizes
-# the repeated namespaces (treeN / loopN / batch_size_p2_B), and fails if
-# any observed name is missing from the catalog tables.
+# emits. Runs bench_metrics_smoke (full store stack), a small multi-loop
+# bench_net_throughput (network layer, per-loop namespaces) and a quick
+# bench_openloop_latency (open-loop load generator, per-connection
+# namespaces), extracts every metric name observed in the resulting
+# BENCH_*.json artifacts, normalizes the repeated namespaces
+# (treeN / loopN / connN / batch_size_p2_B), and fails if any observed
+# name is missing from the catalog tables.
 #
 # Documented-but-not-observed names are fine: the catalog also covers index
 # kinds and schemes the smoke run does not instantiate.
@@ -17,9 +19,10 @@ BUILD_DIR=${BUILD_DIR:-build}
 
 SMOKE="$BUILD_DIR/bench/bench_metrics_smoke"
 NET="$BUILD_DIR/bench/bench_net_throughput"
+OPENLOOP="$BUILD_DIR/bench/bench_openloop_latency"
 DOC=docs/METRICS.md
 
-for f in "$SMOKE" "$NET"; do
+for f in "$SMOKE" "$NET" "$OPENLOOP"; do
   if [ ! -x "$f" ]; then
     echo "check_metrics_doc: missing $f (build first: cmake --build $BUILD_DIR -j)" >&2
     exit 1
@@ -35,6 +38,8 @@ ROOT=$PWD
   || { echo "check_metrics_doc: bench_metrics_smoke failed:" >&2; cat "$TMP/smoke.log" >&2; exit 1; }
 (cd "$TMP" && "$ROOT/$NET" ops=8000 keys=4096 loops=2 sweep=0 > net.log 2>&1) \
   || { echo "check_metrics_doc: bench_net_throughput failed:" >&2; cat "$TMP/net.log" >&2; exit 1; }
+(cd "$TMP" && "$ROOT/$OPENLOOP" quick=1 keys=4096 calib_ops=8000 duration=0.3 migration_duration=0.8 > openloop.log 2>&1) \
+  || { echo "check_metrics_doc: bench_openloop_latency failed:" >&2; cat "$TMP/openloop.log" >&2; exit 1; }
 
 # Metric lines in the artifacts are uniquely the 4-space-indented integer
 # fields ('    "name": 123,'); run-level fields sit at 2-space indent with
@@ -42,6 +47,7 @@ ROOT=$PWD
 sed -n 's/^    "\([^"]*\)": [0-9][0-9]*,\{0,1\}$/\1/p' "$TMP"/BENCH_*.json \
   | sed -e 's/\.tree[0-9][0-9]*\./.treeN./' \
         -e 's/\.loop[0-9][0-9]*\./.loopN./' \
+        -e 's/\.conn[0-9][0-9]*\./.connN./' \
         -e 's/batch_size_p2_[0-9][0-9]*$/batch_size_p2_B/' \
   | sort -u > "$TMP/observed"
 

@@ -30,6 +30,11 @@ run_one() {
   # sanitizer rather than buried in the full run above.
   echo "=== ${kind} sanitizer: running net-labeled tests ==="
   ctest --test-dir "${dir}" --output-on-failure -L net
+  # And the open-loop load generator: paced sender + timeout-reaping
+  # receiver threads per connection against the live server, the other
+  # concurrency hot spot.
+  echo "=== ${kind} sanitizer: running loadgen-labeled tests ==="
+  ctest --test-dir "${dir}" --output-on-failure -L loadgen
 }
 
 case "${1:-all}" in

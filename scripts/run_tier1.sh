@@ -22,6 +22,16 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L net
   out="$BUILD_DIR"/BENCH_net_throughput_smoke.json \
   scaling_out="$BUILD_DIR"/BENCH_net_scaling_smoke.json
 
+# Open-loop load-generator smoke: the statistical battery on its own label
+# (arrival goodness-of-fit, controller convergence, hotspot-migration
+# differential, coordinated-omission regression, conservation negative
+# controls), then a quick latency-vs-offered-QPS sweep + migration run
+# emitting the BENCH artifact with its invariant audit (including
+# loadgen-request-conservation).
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L loadgen
+"$BUILD_DIR"/bench/bench_openloop_latency quick=1 keys=8192 \
+  out="$BUILD_DIR"/BENCH_openloop_latency_smoke.json
+
 # Metrics catalog gate: every metric the system emits must be documented
 # in docs/METRICS.md (runs the smoke benches into a temp dir and diffs).
 BUILD_DIR="$BUILD_DIR" scripts/check_metrics_doc.sh

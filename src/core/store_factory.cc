@@ -237,11 +237,14 @@ obs::Snapshot StoreBundle::Metrics() const {
 obs::InvariantReport StoreBundle::CheckInvariants() const {
   if (auto* sharded = dynamic_cast<ShardedStore*>(store.get())) {
     obs::InvariantReport report = sharded->CheckInvariants();
-    // Store-external layers (the network server registers under "net")
-    // live in the bundle-level registry; reconcile their per-loop counters
-    // against the aggregates they emit.
+    // Store-external layers (the network server registers under "net",
+    // the load generator under "loadgen") live in the bundle-level
+    // registry; reconcile their per-instance counters against the
+    // aggregates they emit.
     if (!registry.empty()) {
-      obs::InvariantChecker::CheckLoopSums(registry.Collect(), &report);
+      obs::Snapshot external = registry.Collect();
+      obs::InvariantChecker::CheckLoopSums(external, &report);
+      obs::InvariantChecker::CheckLoadgen(external, &report);
     }
     return report;
   }
@@ -252,9 +255,10 @@ obs::InvariantReport StoreBundle::CheckInvariants() const {
   ctx.counters_match_entries = options.index != IndexKind::kBPlusTree;
   ctx.avoid_clean_writeback = options.avoid_clean_writeback;
   ctx.cost_model_enabled = options.cost_model.enabled;
-  obs::InvariantReport report =
-      obs::InvariantChecker(ctx).Check(registry.Collect());
-  obs::InvariantChecker::CheckLoopSums(registry.Collect(), &report);
+  obs::Snapshot snap = registry.Collect();
+  obs::InvariantReport report = obs::InvariantChecker(ctx).Check(snap);
+  obs::InvariantChecker::CheckLoopSums(snap, &report);
+  obs::InvariantChecker::CheckLoadgen(snap, &report);
   return report;
 }
 

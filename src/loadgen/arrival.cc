@@ -1,0 +1,67 @@
+#include "loadgen/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aria::loadgen {
+
+ArrivalSchedule::ArrivalSchedule(ArrivalProcess process, double rate_qps,
+                                 uint64_t seed)
+    : process_(process),
+      rate_qps_(rate_qps > 0 ? rate_qps : 1.0),
+      gap_nanos_(1e9 / (rate_qps > 0 ? rate_qps : 1.0)),
+      rng_(seed) {}
+
+uint64_t ArrivalSchedule::NextGapNanos() {
+  if (process_ == ArrivalProcess::kPoisson) {
+    // Inverse-CDF exponential. NextDouble() < 1, so the log argument is
+    // strictly positive.
+    const double u = rng_.NextDouble();
+    return static_cast<uint64_t>(-std::log(1.0 - u) * gap_nanos_);
+  }
+  // Deterministic uniform: integer gap with the fractional nanosecond
+  // carried forward, so sum(gaps over N) == N * gap to within 1 ns.
+  carry_ += gap_nanos_;
+  const uint64_t gap = static_cast<uint64_t>(carry_);
+  carry_ -= static_cast<double>(gap);
+  return gap;
+}
+
+GoalQpsController::GoalQpsController(double goal_qps,
+                                     GoalQpsControllerOptions options)
+    : goal_qps_(goal_qps), options_(options) {}
+
+double GoalQpsController::OnWindow(double window_seconds, uint64_t offered,
+                                   uint64_t completed) {
+  if (window_seconds <= 0) return trim_;
+  windows_++;
+  const double offered_rate = static_cast<double>(offered) / window_seconds;
+  const double completed_rate =
+      static_cast<double>(completed) / window_seconds;
+
+  achieved_qps_ = windows_ == 1
+                      ? completed_rate
+                      : options_.ewma_alpha * completed_rate +
+                            (1.0 - options_.ewma_alpha) * achieved_qps_;
+
+  // Pacing feedback: if the offered rate runs under the goal (sleep
+  // overshoot, brief stalls), speed the schedule up proportionally — but at
+  // most 15% per window and max_trim overall. A saturated server drags the
+  // offered rate down through TCP backpressure; the trim clamp keeps the
+  // controller from fighting that (saturation detection below owns it).
+  const double floor_rate = goal_qps_ * 0.05;
+  const double correction =
+      goal_qps_ / std::max(offered_rate, floor_rate);
+  trim_ *= std::clamp(correction, 0.85, 1.15);
+  trim_ = std::clamp(trim_, 1.0, options_.max_trim);
+
+  if (completed_rate < options_.saturation_fraction * goal_qps_) {
+    lagging_windows_++;
+    if (lagging_windows_ >= options_.saturation_windows) saturated_ = true;
+  } else {
+    lagging_windows_ = 0;
+  }
+  return trim_;
+}
+
+}  // namespace aria::loadgen

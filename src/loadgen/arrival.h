@@ -1,0 +1,93 @@
+// Open-loop arrival machinery: inter-arrival time generation (Poisson or
+// deterministic-uniform) and the goal-QPS feedback controller.
+//
+// The schedule is an absolute timeline: the sender adds each gap to the
+// *previous scheduled* send time, never to "now", so pacing errors (sleep
+// overshoot, a blocking send) are repaid by catch-up bursts instead of
+// silently lowering the offered rate — the property that makes the
+// generator open-loop. The controller closes the remaining gap: it trims
+// the schedule rate against the throughput actually achieved and, when the
+// system under test cannot keep up, reports saturation explicitly instead
+// of letting the run quietly lag its goal.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace aria::loadgen {
+
+enum class ArrivalProcess : uint8_t {
+  kPoisson,  ///< exponential inter-arrival gaps (memoryless, bursty)
+  kUniform,  ///< deterministic fixed gaps (smoothest possible offering)
+};
+
+/// Deterministic (per seed) stream of inter-arrival gaps at `rate_qps`.
+class ArrivalSchedule {
+ public:
+  ArrivalSchedule(ArrivalProcess process, double rate_qps, uint64_t seed);
+
+  /// Next gap in nanoseconds at the base rate. Poisson draws an exponential
+  /// via inverse CDF; uniform returns 1/rate with sub-nanosecond remainder
+  /// carried so the cumulative schedule never drifts.
+  uint64_t NextGapNanos();
+
+  double rate_qps() const { return rate_qps_; }
+  ArrivalProcess process() const { return process_; }
+
+ private:
+  ArrivalProcess process_;
+  double rate_qps_;
+  double gap_nanos_;   ///< mean gap
+  double carry_ = 0;   ///< uniform-mode fractional remainder
+  Random rng_;
+};
+
+struct GoalQpsControllerOptions {
+  /// A window whose completion rate is below this fraction of the goal
+  /// counts as lagging.
+  double saturation_fraction = 0.90;
+  /// Consecutive lagging windows before `saturated()` latches (sticky).
+  int saturation_windows = 3;
+  /// Pacing trim is clamped to [1, max_trim] overall and to +/-15% per
+  /// window, so the controller can repay scheduling losses but can never
+  /// turn an open-loop run into a runaway send loop.
+  double max_trim = 1.5;
+  /// EWMA weight of the newest window in `achieved_qps()`.
+  double ewma_alpha = 0.4;
+};
+
+/// Pure feedback logic (no clocks, no threads): feed it one control window
+/// at a time and read back the schedule trim, the achieved-throughput
+/// estimate and the saturation verdict. Being clock-free makes it unit
+/// testable with synthetic windows.
+class GoalQpsController {
+ public:
+  explicit GoalQpsController(double goal_qps,
+                             GoalQpsControllerOptions options = {});
+
+  /// Account one control window of `window_seconds` during which `offered`
+  /// requests were put on the wire and `completed` responses came back.
+  /// Returns the updated schedule trim (multiply the arrival rate by it).
+  double OnWindow(double window_seconds, uint64_t offered, uint64_t completed);
+
+  double goal_qps() const { return goal_qps_; }
+  /// EWMA of the per-window completion rate.
+  double achieved_qps() const { return achieved_qps_; }
+  double trim() const { return trim_; }
+  uint64_t windows() const { return windows_; }
+  /// True once `saturation_windows` consecutive windows lagged the goal;
+  /// sticky for the rest of the run.
+  bool saturated() const { return saturated_; }
+
+ private:
+  double goal_qps_;
+  GoalQpsControllerOptions options_;
+  double trim_ = 1.0;
+  double achieved_qps_ = 0;
+  uint64_t windows_ = 0;
+  int lagging_windows_ = 0;
+  bool saturated_ = false;
+};
+
+}  // namespace aria::loadgen

@@ -1,0 +1,63 @@
+#include "loadgen/histogram.h"
+
+#include <cmath>
+
+namespace aria::loadgen {
+
+int LatencyHistogram::BucketIndex(uint64_t v) {
+  if (v < kSubBuckets) return static_cast<int>(v);
+  // msb >= kSubBits here. Range r = msb - kSubBits + 1 >= 1; within the
+  // range [2^msb, 2^(msb+1)) the top kSubBits bits below the msb select the
+  // linear sub-bucket.
+  const int msb = 63 - __builtin_clzll(v);
+  const int shift = msb - kSubBits;
+  return ((msb - kSubBits + 1) << kSubBits) |
+         static_cast<int>((v >> shift) & (kSubBuckets - 1));
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(int index) {
+  if (index < kSubBuckets) return static_cast<uint64_t>(index);
+  const int range = index >> kSubBits;  // >= 1
+  const uint64_t sub = static_cast<uint64_t>(index & (kSubBuckets - 1));
+  const int shift = range - 1;
+  return ((kSubBuckets + sub + 1) << shift) - 1;
+}
+
+void LatencyHistogram::Record(uint64_t nanos) {
+  buckets_[BucketIndex(nanos)]++;
+  count_++;
+  if (nanos > max_) max_ = nanos;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+void LatencyHistogram::Reset() {
+  for (uint64_t& b : buckets_) b = 0;
+  count_ = 0;
+  max_ = 0;
+}
+
+uint64_t LatencyHistogram::ValueAtPercentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  const uint64_t target =
+      static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target && cumulative > 0) {
+      const uint64_t bound = BucketUpperBound(i);
+      // Never report beyond the recorded maximum (the last bucket's upper
+      // bound can overshoot it by the sub-bucket width).
+      return bound < max_ ? bound : max_;
+    }
+  }
+  return max_;
+}
+
+}  // namespace aria::loadgen

@@ -1,0 +1,53 @@
+// Log-scaled latency histogram (HdrHistogram-style) for the open-loop load
+// generator. Values are nanoseconds. Each power-of-two range splits into 32
+// linear sub-buckets, so any recorded value is reproducible from its bucket
+// to within 1/32 (~3.2%) relative error while the whole uint64 range fits
+// in a fixed 1920-slot array — no allocation on the record path, trivially
+// mergeable across connections.
+#pragma once
+
+#include <cstdint>
+
+namespace aria::loadgen {
+
+class LatencyHistogram {
+ public:
+  /// 32 linear sub-buckets per power-of-two range.
+  static constexpr int kSubBits = 5;
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  /// Identity region [0, 32) (range 0) + 59 split ranges (msb 5..63)
+  /// covers every uint64 value: 60 ranges x 32 sub-buckets.
+  static constexpr int kNumBuckets = (64 - kSubBits + 1) << kSubBits;
+
+  void Record(uint64_t nanos);
+
+  /// Merge-add `other` into this histogram.
+  void Merge(const LatencyHistogram& other);
+
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  /// Largest recorded value, exact (not bucket-rounded). 0 when empty.
+  uint64_t max() const { return max_; }
+
+  /// Smallest recorded-bucket upper bound v such that at least p% of the
+  /// recorded values are <= v. p in [0, 100]; returns 0 when empty. The
+  /// result is within one sub-bucket (~3.2%) above the true quantile.
+  uint64_t ValueAtPercentile(double p) const;
+
+  uint64_t P50() const { return ValueAtPercentile(50.0); }
+  uint64_t P99() const { return ValueAtPercentile(99.0); }
+  uint64_t P999() const { return ValueAtPercentile(99.9); }
+
+  /// Bucket mapping, exposed for tests: BucketIndex is monotone in v and
+  /// BucketUpperBound(BucketIndex(v)) >= v with bounded relative error.
+  static int BucketIndex(uint64_t v);
+  static uint64_t BucketUpperBound(int index);
+
+ private:
+  uint64_t buckets_[kNumBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace aria::loadgen

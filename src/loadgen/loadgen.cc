@@ -1,0 +1,462 @@
+#include "loadgen/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "net/client.h"
+#include "workload/ycsb.h"
+#include "workload/zipf.h"
+
+namespace aria::loadgen {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SleepNanos(uint64_t nanos) {
+  std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+}
+
+/// Longest uninterruptible sleep: bounds how stale a sender's view of
+/// stop_/trim_/epoch_ can get during a low-rate schedule's long gaps.
+constexpr uint64_t kMaxSleepChunkNanos = 10'000'000;  // 10ms
+
+/// Receiver read timeout: how often a blocked receiver re-checks
+/// sender_done / the drain deadline.
+constexpr int kReadTimeoutMs = 50;
+
+}  // namespace
+
+/// Per-connection state. The sender thread owns the schedule and
+/// offered_by_window; the receiver thread owns latency and windows; the
+/// pending queue and the counters are the shared edge between them.
+struct OpenLoopLoadGen::Conn {
+  struct Pending {
+    uint64_t index;
+    uint64_t scheduled_ns;  ///< latency is measured from here, not from
+                            ///< the actual (possibly blocked) send
+  };
+  struct WindowAccum {
+    LatencyHistogram hist;
+    uint64_t completed = 0;
+    uint64_t timed_out = 0;
+  };
+
+  uint32_t index = 0;
+  double rate_qps = 0;
+  net::Client client;
+
+  std::mutex mu;
+  std::deque<Pending> pending;  // push precedes Send, pop follows a frame:
+                                // FIFO responses always find their entry
+  std::atomic<bool> sender_done{false};
+
+  std::atomic<uint64_t> offered{0};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> timed_out{0};
+  std::atomic<uint64_t> in_flight{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> not_found{0};
+  std::atomic<bool> failed{false};
+
+  LatencyHistogram latency;                  // receiver-thread local
+  std::vector<WindowAccum> windows;          // receiver-thread local
+  std::vector<uint64_t> offered_by_window;   // sender-thread local
+};
+
+OpenLoopLoadGen::OpenLoopLoadGen(OpenLoopOptions options)
+    : options_(std::move(options)),
+      controller_(options_.goal_qps, options_.controller) {}
+
+OpenLoopLoadGen::~OpenLoopLoadGen() = default;
+
+void OpenLoopLoadGen::SenderLoop(Conn* c, const RequestFn& request_fn) {
+  ArrivalSchedule schedule(options_.arrival, c->rate_qps,
+                           options_.seed + 0x9E37ull * (c->index + 1));
+  const uint64_t window_ns =
+      static_cast<uint64_t>(options_.control_window_seconds * 1e9);
+  uint64_t next_ns = start_ns_ + schedule.NextGapNanos();
+  uint64_t index = 0;
+  bool stopped = false;
+  while (!stopped) {
+    if (options_.max_requests_per_connection != 0 &&
+        index >= options_.max_requests_per_connection) {
+      break;
+    }
+    // Sleep toward the scheduled instant in bounded chunks. If we are
+    // already past it (sleep overshoot, a send that blocked) we fall
+    // straight through: the absolute timeline turns lateness into a
+    // catch-up burst instead of a lower offered rate.
+    for (;;) {
+      if (stop_.load(std::memory_order_relaxed)) {
+        stopped = true;
+        break;
+      }
+      const uint64_t now = NowNanos();
+      if (now >= next_ns) break;
+      SleepNanos(std::min(next_ns - now, kMaxSleepChunkNanos));
+    }
+    if (stopped) break;
+
+    const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+    net::Request req = request_fn(c->index, index, epoch);
+    {
+      std::lock_guard<std::mutex> lock(c->mu);
+      c->pending.push_back({index, next_ns});
+    }
+    c->offered.fetch_add(1, std::memory_order_relaxed);
+    c->in_flight.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t w = (next_ns - start_ns_) / window_ns;
+    if (w >= c->offered_by_window.size()) {
+      c->offered_by_window.resize(w + 1, 0);
+    }
+    c->offered_by_window[w]++;
+    if (!c->client.Send(req).ok()) {
+      // The request was offered but will never get a response; its pending
+      // entry survives as in-flight-at-stop, keeping conservation exact.
+      c->failed.store(true, std::memory_order_relaxed);
+      break;
+    }
+
+    const double trim = trim_.load(std::memory_order_relaxed);
+    const uint64_t gap = schedule.NextGapNanos();
+    next_ns += std::max<uint64_t>(
+        static_cast<uint64_t>(static_cast<double>(gap) / trim), 1);
+    index++;
+  }
+  c->sender_done.store(true, std::memory_order_release);
+}
+
+void OpenLoopLoadGen::ReceiverLoop(Conn* c, const ResponseFn& response_fn) {
+  const uint64_t window_ns =
+      static_cast<uint64_t>(options_.control_window_seconds * 1e9);
+  const uint64_t drain_ns =
+      static_cast<uint64_t>(options_.drain_seconds * 1e9);
+  uint64_t drain_deadline = 0;
+  for (;;) {
+    if (c->sender_done.load(std::memory_order_acquire)) {
+      bool empty;
+      {
+        std::lock_guard<std::mutex> lock(c->mu);
+        empty = c->pending.empty();
+      }
+      if (empty) break;
+      const uint64_t now = NowNanos();
+      if (drain_deadline == 0) drain_deadline = now + drain_ns;
+      if (now >= drain_deadline) break;  // leftovers = in flight at stop
+    }
+    net::Response resp;
+    bool read_timed_out = false;
+    Status st = c->client.ReadResponseTimeout(&resp, kReadTimeoutMs,
+                                              &read_timed_out);
+    if (!st.ok()) {
+      if (read_timed_out) continue;  // idle socket; re-check sender_done
+      c->failed.store(true, std::memory_order_relaxed);
+      break;  // connection dead; pending entries stay in flight
+    }
+    const uint64_t now = NowNanos();
+    Conn::Pending p;
+    {
+      std::lock_guard<std::mutex> lock(c->mu);
+      p = c->pending.front();
+      c->pending.pop_front();
+    }
+    const uint64_t latency = now > p.scheduled_ns ? now - p.scheduled_ns : 0;
+    c->in_flight.fetch_sub(1, std::memory_order_relaxed);
+    const bool late = latency > options_.timeout_nanos;
+    if (late) {
+      c->timed_out.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      c->completed.fetch_add(1, std::memory_order_relaxed);
+    }
+    c->latency.Record(latency);
+    const uint64_t w = (now - start_ns_) / window_ns;
+    if (w >= c->windows.size()) c->windows.resize(w + 1);
+    Conn::WindowAccum& wa = c->windows[w];
+    wa.hist.Record(latency);
+    if (late) {
+      wa.timed_out++;
+    } else {
+      wa.completed++;
+    }
+    if (resp.status == net::WireStatus::kNotFound) {
+      c->not_found.fetch_add(1, std::memory_order_relaxed);
+    } else if (resp.status != net::WireStatus::kOk) {
+      c->errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (response_fn) response_fn(c->index, p.index, resp, latency, late);
+  }
+}
+
+Status OpenLoopLoadGen::Run(const RequestFn& request_fn,
+                            const ResponseFn& response_fn) {
+  if (ran_) return Status::InvalidArgument("OpenLoopLoadGen is single-use");
+  ran_ = true;
+  if (!request_fn) return Status::InvalidArgument("request_fn is required");
+  if (options_.connections == 0) {
+    return Status::InvalidArgument("connections must be > 0");
+  }
+  if (options_.goal_qps <= 0) {
+    return Status::InvalidArgument("goal_qps must be > 0");
+  }
+  if (options_.control_window_seconds <= 0) {
+    return Status::InvalidArgument("control_window_seconds must be > 0");
+  }
+  if (options_.duration_seconds <= 0 &&
+      options_.max_requests_per_connection == 0) {
+    return Status::InvalidArgument(
+        "either duration_seconds or max_requests_per_connection must bound "
+        "the run");
+  }
+  std::vector<double> fractions(options_.connections,
+                                1.0 / options_.connections);
+  if (!options_.load_fractions.empty()) {
+    if (options_.load_fractions.size() != options_.connections) {
+      return Status::InvalidArgument(
+          "load_fractions must be empty or one entry per connection");
+    }
+    double sum = 0;
+    for (double f : options_.load_fractions) {
+      if (f < 0) return Status::InvalidArgument("negative load fraction");
+      sum += f;
+    }
+    if (sum <= 0) {
+      return Status::InvalidArgument("load fractions sum to zero");
+    }
+    for (uint32_t i = 0; i < options_.connections; ++i) {
+      fractions[i] = options_.load_fractions[i] / sum;
+    }
+  }
+
+  conns_.reserve(options_.connections);
+  uint32_t connect_failed = 0;
+  for (uint32_t i = 0; i < options_.connections; ++i) {
+    auto conn = std::make_unique<Conn>();
+    conn->index = i;
+    conn->rate_qps = options_.goal_qps * fractions[i];
+    if (conn->client.Connect(options_.host, options_.port).ok()) {
+      conn->client.EnableDuplex();
+    } else {
+      conn->failed.store(true, std::memory_order_relaxed);
+      conn->sender_done.store(true, std::memory_order_relaxed);
+      connect_failed++;
+    }
+    conns_.push_back(std::move(conn));
+  }
+  if (connect_failed == options_.connections) {
+    return Status::Internal("no connection could be established");
+  }
+
+  start_ns_ = NowNanos();
+  std::vector<std::thread> senders, receivers;
+  for (auto& conn : conns_) {
+    if (conn->failed.load(std::memory_order_relaxed)) continue;
+    if (conn->rate_qps <= 0) {
+      // Zero-share connection: connected but idle.
+      conn->sender_done.store(true, std::memory_order_relaxed);
+      continue;
+    }
+    Conn* c = conn.get();
+    senders.emplace_back([this, c, &request_fn] { SenderLoop(c, request_fn); });
+    receivers.emplace_back(
+        [this, c, &response_fn] { ReceiverLoop(c, response_fn); });
+  }
+
+  // Control loop: advance the hotspot epoch on its timer and feed the
+  // goal-QPS controller one window at a time.
+  const uint64_t window_ns =
+      static_cast<uint64_t>(options_.control_window_seconds * 1e9);
+  const uint64_t stop_ns =
+      options_.duration_seconds > 0
+          ? start_ns_ +
+                static_cast<uint64_t>(options_.duration_seconds * 1e9)
+          : UINT64_MAX;
+  const uint64_t shift_ns =
+      options_.hotspot_shift_seconds > 0
+          ? static_cast<uint64_t>(options_.hotspot_shift_seconds * 1e9)
+          : 0;
+  auto all_senders_done = [this] {
+    for (const auto& c : conns_) {
+      if (!c->sender_done.load(std::memory_order_acquire)) return false;
+    }
+    return true;
+  };
+  uint64_t next_window_ns = start_ns_ + window_ns;
+  uint64_t last_offered = 0, last_completed = 0, last_t_ns = start_ns_;
+  while (NowNanos() < stop_ns && !all_senders_done()) {
+    SleepNanos(std::min<uint64_t>(5'000'000, window_ns));
+    const uint64_t now = NowNanos();
+    if (shift_ns != 0) {
+      const uint64_t want = (now - start_ns_) / shift_ns;
+      const uint64_t cur = epoch_.load(std::memory_order_relaxed);
+      if (want != cur) {
+        epoch_.store(want, std::memory_order_release);
+        hotset_shifts_.fetch_add(want - cur, std::memory_order_relaxed);
+      }
+    }
+    if (now >= next_window_ns) {
+      uint64_t offered = 0, completed = 0;
+      for (const auto& c : conns_) {
+        offered += c->offered.load(std::memory_order_relaxed);
+        completed += c->completed.load(std::memory_order_relaxed);
+      }
+      const double trim = controller_.OnWindow(
+          static_cast<double>(now - last_t_ns) * 1e-9, offered - last_offered,
+          completed - last_completed);
+      trim_.store(trim, std::memory_order_relaxed);
+      last_offered = offered;
+      last_completed = completed;
+      last_t_ns = now;
+      next_window_ns += window_ns;
+      if (next_window_ns <= now) next_window_ns = now + window_ns;
+    }
+  }
+  stop_.store(true, std::memory_order_release);
+  for (std::thread& t : senders) t.join();
+  const uint64_t end_ns = NowNanos();
+  for (std::thread& t : receivers) t.join();
+  for (auto& conn : conns_) conn->client.Close();
+
+  report_.wall_seconds = static_cast<double>(end_ns - start_ns_) * 1e-9;
+  size_t num_windows = 0;
+  for (const auto& c : conns_) {
+    report_.offered += c->offered.load(std::memory_order_relaxed);
+    report_.completed += c->completed.load(std::memory_order_relaxed);
+    report_.timed_out += c->timed_out.load(std::memory_order_relaxed);
+    report_.in_flight_at_stop += c->in_flight.load(std::memory_order_relaxed);
+    report_.errors += c->errors.load(std::memory_order_relaxed);
+    report_.not_found += c->not_found.load(std::memory_order_relaxed);
+    if (c->failed.load(std::memory_order_relaxed)) {
+      report_.failed_connections++;
+    }
+    report_.latency.Merge(c->latency);
+    num_windows = std::max(
+        num_windows, std::max(c->windows.size(), c->offered_by_window.size()));
+  }
+  report_.hotset_shifts = hotset_shifts_.load(std::memory_order_relaxed);
+  if (report_.wall_seconds > 0) {
+    report_.offered_qps =
+        static_cast<double>(report_.offered) / report_.wall_seconds;
+    report_.achieved_qps =
+        static_cast<double>(report_.completed) / report_.wall_seconds;
+  }
+  report_.saturated = controller_.saturated();
+  report_.windows.reserve(num_windows);
+  for (size_t w = 0; w < num_windows; ++w) {
+    WindowSample sample;
+    sample.start_seconds =
+        static_cast<double>(w) * options_.control_window_seconds;
+    LatencyHistogram hist;
+    for (const auto& c : conns_) {
+      if (w < c->offered_by_window.size()) {
+        sample.offered += c->offered_by_window[w];
+      }
+      if (w < c->windows.size()) {
+        sample.completed += c->windows[w].completed;
+        sample.timed_out += c->windows[w].timed_out;
+        hist.Merge(c->windows[w].hist);
+      }
+    }
+    sample.p50_nanos = hist.P50();
+    sample.p99_nanos = hist.P99();
+    report_.windows.push_back(sample);
+  }
+  return Status::OK();
+}
+
+void OpenLoopLoadGen::CollectMetrics(obs::MetricSink* sink) const {
+  uint64_t offered = 0, completed = 0, timed_out = 0, in_flight = 0;
+  uint64_t errors = 0, not_found = 0;
+  uint64_t failed = 0;
+  for (const auto& c : conns_) {
+    const uint64_t c_offered = c->offered.load(std::memory_order_relaxed);
+    const uint64_t c_completed = c->completed.load(std::memory_order_relaxed);
+    const uint64_t c_timed_out = c->timed_out.load(std::memory_order_relaxed);
+    const uint64_t c_in_flight = c->in_flight.load(std::memory_order_relaxed);
+    offered += c_offered;
+    completed += c_completed;
+    timed_out += c_timed_out;
+    in_flight += c_in_flight;
+    errors += c->errors.load(std::memory_order_relaxed);
+    not_found += c->not_found.load(std::memory_order_relaxed);
+    if (c->failed.load(std::memory_order_relaxed)) failed++;
+    const std::string prefix = "conn" + std::to_string(c->index) + ".";
+    sink->Counter(prefix + "requests_offered", c_offered);
+    sink->Counter(prefix + "requests_completed", c_completed);
+    sink->Counter(prefix + "requests_timed_out", c_timed_out);
+    sink->Gauge(prefix + "requests_in_flight", c_in_flight);
+  }
+  sink->Counter("requests_offered", offered);
+  sink->Counter("requests_completed", completed);
+  sink->Counter("requests_timed_out", timed_out);
+  sink->Gauge("requests_in_flight", in_flight);
+  sink->Counter("response_errors", errors);
+  sink->Counter("response_not_found", not_found);
+  sink->Counter("hotset_shifts",
+                hotset_shifts_.load(std::memory_order_relaxed));
+  sink->Counter("control_windows", controller_.windows());
+  sink->Gauge("connections", conns_.size());
+  sink->Gauge("failed_connections", failed);
+  sink->Gauge("goal_qps",
+              static_cast<uint64_t>(std::llround(options_.goal_qps)));
+  sink->Gauge("achieved_qps",
+              static_cast<uint64_t>(std::llround(report_.achieved_qps)));
+  sink->Gauge("saturated", controller_.saturated() ? 1 : 0);
+  sink->Gauge("trim_permille",
+              static_cast<uint64_t>(std::llround(controller_.trim() * 1000)));
+  sink->Gauge("latency_p50_nanos", report_.latency.P50());
+  sink->Gauge("latency_p99_nanos", report_.latency.P99());
+  sink->Gauge("latency_p999_nanos", report_.latency.P999());
+  sink->Gauge("latency_max_nanos", report_.latency.max());
+}
+
+RequestFn MakeYcsbRequestFn(uint32_t connections, const YcsbStreamOptions& o) {
+  struct PerConn {
+    std::unique_ptr<ShiftableZipfGenerator> zipf;
+    std::unique_ptr<UniformGenerator> uniform;
+    Random op_rng{1};
+  };
+  auto state = std::make_shared<std::vector<PerConn>>(connections);
+  for (uint32_t c = 0; c < connections; ++c) {
+    PerConn& pc = (*state)[c];
+    const uint64_t seed = o.seed + 0x51AB5EEDull * (c + 1);
+    if (o.zipfian) {
+      pc.zipf = std::make_unique<ShiftableZipfGenerator>(o.keyspace, o.theta,
+                                                         seed, o.scrambled);
+    } else {
+      pc.uniform = std::make_unique<UniformGenerator>(o.keyspace, seed);
+    }
+    pc.op_rng = Random(seed ^ 0xA5A5A5A5ull);
+  }
+  const double read_ratio = o.read_ratio;
+  const size_t value_size = o.value_size;
+  return [state, read_ratio, value_size](uint64_t conn, uint64_t index,
+                                         uint64_t epoch) {
+    PerConn& pc = (*state)[conn];
+    if (pc.zipf && pc.zipf->epoch() != epoch) pc.zipf->Shift(epoch);
+    const uint64_t key_id =
+        pc.zipf ? pc.zipf->NextKey() : pc.uniform->NextKey();
+    net::Request req;
+    req.key = MakeKey(key_id);
+    if (pc.op_rng.Bernoulli(read_ratio)) {
+      req.op = net::OpCode::kGet;
+    } else {
+      req.op = net::OpCode::kPut;
+      req.value = MakeValue(key_id, value_size,
+                            static_cast<uint32_t>(index & 0xFFFFFFFFu));
+    }
+    return req;
+  };
+}
+
+}  // namespace aria::loadgen

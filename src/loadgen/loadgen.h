@@ -1,0 +1,189 @@
+// Open-loop load generator for the Aria wire protocol (the measurement
+// harness ROADMAP.md's perf items are judged with).
+//
+// Closed-loop drivers (net::RunLoad, the bench drivers) keep a fixed number
+// of requests in flight: when the server slows down, the *offered load*
+// drops with it, which hides queueing collapse and under-reports tail
+// latency (coordinated omission). This generator is the opposite regime:
+//
+//  * every connection sends on an absolute arrival schedule (Poisson or
+//    deterministic-uniform inter-arrival gaps, loadgen/arrival.h) that
+//    never waits for responses — a sender that falls behind catches up in
+//    a burst rather than quietly lowering the rate;
+//  * latency is stamped from the *scheduled* send time, so time a request
+//    spent waiting behind a stalled socket is part of its latency — the
+//    coordinated-omission fix the regression test in loadgen_test.cc
+//    documents;
+//  * a goal-QPS controller trims the schedule against achieved throughput
+//    and reports saturation explicitly instead of lagging silently;
+//  * the Zipf hot key-set can migrate mid-run (hotspot epochs, advanced on
+//    a timer and applied through workload/zipf.h's ShiftableZipfGenerator),
+//    the workload Aria §IV-E's stop-swap and FIFO-eviction choices exist
+//    for.
+//
+// Accounting is a conservation law checked by the InvariantChecker
+// (obs/invariants.h, loadgen-request-conservation): every offered request
+// is exactly one of completed (response within the timeout), timed out
+// (response after the timeout), or still in flight when the run stopped —
+// per connection and in aggregate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "loadgen/arrival.h"
+#include "loadgen/histogram.h"
+#include "net/protocol.h"
+#include "obs/metrics.h"
+
+namespace aria::loadgen {
+
+struct OpenLoopOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  uint32_t connections = 4;
+  /// Aggregate offered rate across all connections.
+  double goal_qps = 10'000;
+  /// Per-connection share of goal_qps (normalized; empty = equal split).
+  /// This is memtier_skewsyn's "skewed load": one connection can carry an
+  /// outsized fraction of the offered rate.
+  std::vector<double> load_fractions;
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+
+  /// Run length. With max_requests_per_connection == 0 the run is purely
+  /// time-bound; otherwise each sender also stops after that many sends.
+  double duration_seconds = 1.0;
+  uint64_t max_requests_per_connection = 0;
+
+  /// A response slower than this counts as timed out (still recorded in
+  /// the latency histogram at its true latency).
+  uint64_t timeout_nanos = 1'000'000'000;
+  /// After the senders stop, receivers keep draining responses for at most
+  /// this long; whatever is still unanswered is "in flight at stop".
+  double drain_seconds = 1.0;
+
+  /// Goal-QPS controller sampling period.
+  double control_window_seconds = 0.25;
+  GoalQpsControllerOptions controller;
+
+  /// > 0: advance the hotspot epoch every this many seconds — the request
+  /// callback sees the new epoch and must re-map its hot set (see
+  /// MakeYcsbRequestFn). 0 = static hot set.
+  double hotspot_shift_seconds = 0;
+
+  uint64_t seed = 42;
+};
+
+/// One control window of the run, for time-series analysis (p99 recovery
+/// after a hotspot shift). Windows are aligned to the run start.
+struct WindowSample {
+  double start_seconds = 0;
+  uint64_t offered = 0;    ///< requests scheduled in this window
+  uint64_t completed = 0;  ///< responses (within timeout) received in it
+  uint64_t timed_out = 0;  ///< late responses received in it
+  uint64_t p50_nanos = 0;  ///< latency percentiles of responses in it
+  uint64_t p99_nanos = 0;
+};
+
+struct OpenLoopReport {
+  uint64_t offered = 0;
+  uint64_t completed = 0;
+  uint64_t timed_out = 0;
+  uint64_t in_flight_at_stop = 0;
+  uint64_t errors = 0;     ///< responses with a wire status other than
+                           ///< Ok/NotFound (subset of completed+timed_out)
+  uint64_t not_found = 0;  ///< the NotFound subset
+  uint32_t failed_connections = 0;
+  uint64_t hotset_shifts = 0;
+
+  double wall_seconds = 0;   ///< start -> senders stopped (drain excluded)
+  double offered_qps = 0;
+  double achieved_qps = 0;   ///< completed / wall_seconds
+  bool saturated = false;    ///< controller verdict (sticky)
+
+  /// All responses, completed and timed out, stamped from scheduled send
+  /// time.
+  LatencyHistogram latency;
+  std::vector<WindowSample> windows;
+
+  bool ok() const { return errors == 0 && failed_connections == 0; }
+};
+
+/// Builds connection `conn`'s request number `index` under hotspot epoch
+/// `epoch`. Called on that connection's sender thread only (one thread per
+/// conn value), so per-connection generator state needs no locking.
+using RequestFn =
+    std::function<net::Request(uint64_t conn, uint64_t index, uint64_t epoch)>;
+
+/// Observes connection `conn`'s response to request `index` on that
+/// connection's receiver thread. `latency_nanos` is scheduled-send to
+/// receive; `timed_out` marks a late response.
+using ResponseFn =
+    std::function<void(uint64_t conn, uint64_t index, const net::Response&,
+                       uint64_t latency_nanos, bool timed_out)>;
+
+class OpenLoopLoadGen : public obs::Observable {
+ public:
+  explicit OpenLoopLoadGen(OpenLoopOptions options);
+  ~OpenLoopLoadGen() override;
+
+  OpenLoopLoadGen(const OpenLoopLoadGen&) = delete;
+  OpenLoopLoadGen& operator=(const OpenLoopLoadGen&) = delete;
+
+  /// Drive the run to completion (blocking; spawns 2 threads per
+  /// connection plus a controller thread). Single-use: a second call
+  /// returns InvalidArgument.
+  Status Run(const RequestFn& request_fn, const ResponseFn& response_fn = {});
+
+  const OpenLoopReport& report() const { return report_; }
+  const GoalQpsController& controller() const { return controller_; }
+
+  /// Emits loadgen.* aggregates plus loadgen.connN.* per-connection
+  /// request accounting. The loadgen-request-conservation law holds on any
+  /// post-Run snapshot (mid-run scrapes race with serving by design).
+  void CollectMetrics(obs::MetricSink* sink) const override;
+
+ private:
+  struct Conn;
+
+  void SenderLoop(Conn* conn, const RequestFn& request_fn);
+  void ReceiverLoop(Conn* conn, const ResponseFn& response_fn);
+
+  OpenLoopOptions options_;
+  GoalQpsController controller_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> hotset_shifts_{0};
+  std::atomic<double> trim_{1.0};
+  std::atomic<bool> stop_{false};
+  uint64_t start_ns_ = 0;
+  bool ran_ = false;
+
+  OpenLoopReport report_;
+};
+
+/// Per-connection YCSB-style request stream whose Zipf hot set follows the
+/// run's hotspot epoch. The returned callback owns one generator per
+/// connection (safe under OpenLoopLoadGen's one-sender-per-conn contract).
+struct YcsbStreamOptions {
+  uint64_t keyspace = 65'536;
+  bool zipfian = true;
+  double theta = 0.99;
+  /// ShiftableZipfGenerator mapping mode: scrambled scatter vs clustered
+  /// (adjacent hot keys, the paper's default locality — DESIGN.md §5).
+  bool scrambled = true;
+  double read_ratio = 0.95;
+  size_t value_size = 128;
+  uint64_t seed = 42;
+};
+
+RequestFn MakeYcsbRequestFn(uint32_t connections, const YcsbStreamOptions& o);
+
+}  // namespace aria::loadgen

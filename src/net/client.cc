@@ -61,9 +61,23 @@ void Client::Close() {
     close(fd_);
     fd_ = -1;
   }
-  in_flight_ = 0;
+  duplex_ = false;
+  failed_.store(false, std::memory_order_release);
+  in_flight_.store(0, std::memory_order_relaxed);
   read_buf_.clear();
   read_off_ = 0;
+}
+
+void Client::Fail() {
+  if (!duplex_) {
+    Close();
+    return;
+  }
+  // Duplex: the peer thread may be blocked in read()/send() on this fd.
+  // shutdown() wakes it with an error while the fd number stays reserved
+  // until the single-threaded owner calls Close().
+  failed_.store(true, std::memory_order_release);
+  if (fd_ >= 0) shutdown(fd_, SHUT_RDWR);
 }
 
 Status Client::WriteAll(const char* data, size_t size) {
@@ -73,7 +87,7 @@ Status Client::WriteAll(const char* data, size_t size) {
     if (n < 0) {
       if (errno == EINTR) continue;
       Status st = Errno("write");
-      Close();
+      Fail();
       return st;
     }
     off += static_cast<size_t>(n);
@@ -82,16 +96,16 @@ Status Client::WriteAll(const char* data, size_t size) {
 }
 
 Status Client::Send(const Request& req) {
-  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  if (!connected()) return Status::InvalidArgument("not connected");
   std::string frame;
   EncodeRequest(req, &frame);
   ARIA_RETURN_IF_ERROR(WriteAll(frame.data(), frame.size()));
-  in_flight_++;
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status Client::ReadResponse(Response* resp) {
-  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  if (!connected()) return Status::InvalidArgument("not connected");
   for (;;) {
     std::string error;
     size_t consumed = 0;
@@ -104,27 +118,50 @@ Status Client::ReadResponse(Response* resp) {
         read_buf_.erase(0, read_off_);
         read_off_ = 0;
       }
-      if (in_flight_ > 0) in_flight_--;
+      uint64_t cur = in_flight_.load(std::memory_order_relaxed);
+      while (cur > 0 && !in_flight_.compare_exchange_weak(
+                            cur, cur - 1, std::memory_order_relaxed)) {
+      }
       return Status::OK();
     }
     if (r == DecodeResult::kError) {
-      Close();
+      Fail();
       return Status::Internal("malformed response: " + error);
     }
     char chunk[16384];
     ssize_t n = read(fd_, chunk, sizeof(chunk));
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expiry (ReadResponseTimeout). Not a failure: any
+        // partially buffered frame stays put for the next call.
+        return Status::Internal("read timeout");
+      }
       Status st = Errno("read");
-      Close();
+      Fail();
       return st;
     }
     if (n == 0) {
-      Close();
+      Fail();
       return Status::Internal("connection closed by server");
     }
     read_buf_.append(chunk, static_cast<size_t>(n));
   }
+}
+
+Status Client::ReadResponseTimeout(Response* resp, int timeout_ms,
+                                   bool* timed_out) {
+  *timed_out = false;
+  if (!connected()) return Status::InvalidArgument("not connected");
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  Status st = ReadResponse(resp);
+  timeval off{};
+  if (fd_ >= 0) setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &off, sizeof(off));
+  if (!st.ok() && st.message() == "read timeout") *timed_out = true;
+  return st;
 }
 
 Status Client::Call(const Request& req, Response* resp) {

@@ -7,8 +7,18 @@
 // Responses arrive strictly in request order (the server guarantees
 // per-connection FIFO), so a pipeline is just a depth counter: Send() n
 // times, ReadResponse() n times.
+//
+// Duplex mode (EnableDuplex) splits the connection between exactly one
+// sender thread (Send) and one receiver thread (ReadResponse /
+// ReadResponseTimeout) — the shape the open-loop load generator needs,
+// where sends are paced by an arrival schedule and must never wait for
+// responses. In duplex mode an I/O error shuts the socket down (waking the
+// peer thread with an error of its own) but leaves the fd open until the
+// owner calls Close(), so neither thread can race the other onto a reused
+// descriptor.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -33,7 +43,15 @@ class Client {
   /// Close()d or destroyed; reconnecting an open client is an error.
   Status Connect(const std::string& host, uint16_t port);
   void Close();
-  bool connected() const { return fd_ >= 0; }
+  bool connected() const {
+    return fd_ >= 0 && !failed_.load(std::memory_order_acquire);
+  }
+
+  /// Switch this connection to duplex mode: from now on Send may be called
+  /// by one thread concurrently with ReadResponse on another. Error paths
+  /// stop closing the fd (they shut it down and latch `failed`); the owner
+  /// must still Close() from a single thread after both are done.
+  void EnableDuplex() { duplex_ = true; }
 
   // --- synchronous one-shot operations -----------------------------------
 
@@ -54,19 +72,33 @@ class Client {
   Status Send(const Request& req);
 
   /// Blocking-read the next response frame. Returns Internal on EOF or a
-  /// malformed frame (the connection is closed either way).
+  /// malformed frame (the connection is closed, or in duplex mode shut
+  /// down, either way).
   Status ReadResponse(Response* resp);
 
+  /// ReadResponse bounded by `timeout_ms` of socket inactivity. On expiry
+  /// returns Internal, sets *timed_out = true and leaves the connection
+  /// usable (a later call resumes mid-frame; buffered bytes are kept). Any
+  /// other failure sets *timed_out = false and fails the connection as
+  /// ReadResponse would.
+  Status ReadResponseTimeout(Response* resp, int timeout_ms, bool* timed_out);
+
   /// Responses outstanding (Sends minus ReadResponses).
-  uint64_t in_flight() const { return in_flight_; }
+  uint64_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
 
  private:
   Status WriteAll(const char* data, size_t size);
   /// One request/response round trip; fails if a pipeline is in flight.
   Status Call(const Request& req, Response* resp);
+  /// Error-path teardown: Close() normally; shutdown + latch in duplex.
+  void Fail();
 
   int fd_ = -1;
-  uint64_t in_flight_ = 0;
+  bool duplex_ = false;
+  std::atomic<bool> failed_{false};
+  std::atomic<uint64_t> in_flight_{0};
   std::string read_buf_;
   size_t read_off_ = 0;
 };

@@ -187,6 +187,53 @@ void InvariantChecker::CheckLoopSums(const Snapshot& snap,
   }
 }
 
+void InvariantChecker::CheckLoadgen(const Snapshot& snap,
+                                    InvariantReport* report) {
+  if (!snap.Has("loadgen.requests_offered")) return;  // no load generator
+  LawScope law(report, "loadgen-request-conservation");
+  const uint64_t offered = snap.Get("loadgen.requests_offered");
+  const uint64_t completed = snap.Get("loadgen.requests_completed");
+  const uint64_t timed_out = snap.Get("loadgen.requests_timed_out");
+  const uint64_t in_flight = snap.Get("loadgen.requests_in_flight");
+  law.ExpectEq(completed + timed_out + in_flight, offered,
+               "completed + timed_out + in_flight vs offered");
+  // Responses carry exactly one wire status, so the error and not-found
+  // sub-counts are bounded by the responses that actually came back.
+  law.ExpectLe(snap.Get("loadgen.response_errors") +
+                   snap.Get("loadgen.response_not_found"),
+               completed + timed_out, "response sub-counts vs responses");
+
+  // Per-connection accounting, and its reconciliation with the aggregate.
+  constexpr std::string_view kPrefix = "loadgen.conn";
+  std::map<std::string, uint64_t> per_conn;  // conn namespace -> offered
+  std::map<std::string, uint64_t> sums;      // <rest> -> sum over conns
+  for (const auto& [name, metric] : snap.values()) {
+    if (name.compare(0, kPrefix.size(), kPrefix) != 0) continue;
+    size_t digits = kPrefix.size();
+    while (digits < name.size() && name[digits] >= '0' && name[digits] <= '9') {
+      ++digits;
+    }
+    if (digits == kPrefix.size() || digits >= name.size() ||
+        name[digits] != '.') {
+      continue;  // "loadgen.connections", not a per-conn namespace
+    }
+    const std::string base = name.substr(0, digits);
+    const std::string rest = name.substr(digits + 1);
+    sums[rest] += metric.value;
+    if (rest == "requests_offered") per_conn[base] = metric.value;
+  }
+  for (const auto& [base, conn_offered] : per_conn) {
+    law.ExpectEq(snap.Get(base + ".requests_completed") +
+                     snap.Get(base + ".requests_timed_out") +
+                     snap.Get(base + ".requests_in_flight"),
+                 conn_offered, base + ": completed + timed_out + in_flight");
+  }
+  for (const auto& [rest, sum] : sums) {
+    law.ExpectEq(sum, snap.Get("loadgen." + rest),
+                 "conn sum of loadgen." + rest);
+  }
+}
+
 void InvariantChecker::CheckShardSums(const std::vector<Snapshot>& shards,
                                       const Snapshot& aggregate,
                                       InvariantReport* report) {

@@ -82,6 +82,16 @@ class InvariantChecker {
   /// per-loop net metrics. Appends to `report`.
   static void CheckLoopSums(const Snapshot& snap, InvariantReport* report);
 
+  /// loadgen-request-conservation: every request the open-loop load
+  /// generator offered is exactly one of completed, timed out, or still in
+  /// flight — per connection ("loadgen.conn<k>.*"), in aggregate
+  /// ("loadgen.*"), and with the per-connection sums reconciling against
+  /// the aggregates. Response sub-counts (errors, not_found) are bounded by
+  /// the responses received. Holds on quiescent (post-run) snapshots;
+  /// vacuous when the snapshot holds no loadgen metrics. Appends to
+  /// `report`.
+  static void CheckLoadgen(const Snapshot& snap, InvariantReport* report);
+
  private:
   InvariantContext ctx_;
 };

@@ -58,6 +58,25 @@ uint64_t ZipfGenerator::NextRank() {
   return rank;
 }
 
+ShiftableZipfGenerator::ShiftableZipfGenerator(uint64_t n, double theta,
+                                               uint64_t seed, bool scrambled)
+    : zipf_(n, theta, seed), scrambled_(scrambled) {
+  // Golden-ratio stride: successive epochs place the clustered hot set at
+  // low-discrepancy positions around the keyspace, so no two nearby epochs
+  // overlap until the epoch count approaches n / hot-set-size.
+  stride_ = static_cast<uint64_t>(
+      (static_cast<__uint128_t>(n) * 0x9E3779B97F4A7C15ull) >> 64);
+  if (stride_ == 0) stride_ = 1;
+}
+
+uint64_t ShiftableZipfGenerator::KeyForRank(uint64_t rank) const {
+  if (!scrambled_) return (rank + epoch_ * stride_) % zipf_.n();
+  // Epoch 0 must reproduce ZipfGenerator::NextKey (same hash, same salt);
+  // later epochs perturb the salt, which rescatters every rank.
+  const uint64_t salt = 0xDEADBEEF + epoch_ * 0x9E3779B97F4A7C15ull;
+  return Hash64(&rank, sizeof(rank), salt) % zipf_.n();
+}
+
 uint64_t ZipfGenerator::NextKey() {
   // Scramble the rank so popular keys are spread across the keyspace
   // (YCSB's ScrambledZipfian).

@@ -37,6 +37,48 @@ class ZipfGenerator {
   Random rng_;
 };
 
+/// Zipf generator whose hot key-set can be relocated mid-run ("dynamic
+/// hotspot migration"). The rank distribution is the plain ZipfGenerator;
+/// what `Shift(epoch)` changes is the rank -> key mapping, so after a shift
+/// the same popularity mass lands on a (nearly) disjoint set of keys and
+/// every residency structure downstream (Secure Cache, EPC paging) must
+/// re-learn the hot set from scratch.
+///
+/// Two mapping modes, matching YcsbSpec::scrambled:
+///  * scrambled  — key = Hash64(rank, salt(epoch)) % n. Epoch 0 reproduces
+///    ZipfGenerator::NextKey exactly; different epochs give independent
+///    scatters, so the expected top-k overlap between epochs is k^2/n.
+///  * clustered  — key = (rank + epoch * stride) % n with a golden-ratio
+///    stride, keeping the paper's hot-keys-are-adjacent locality (DESIGN.md
+///    §5) while moving the whole cluster far away on every shift.
+class ShiftableZipfGenerator {
+ public:
+  ShiftableZipfGenerator(uint64_t n, double theta, uint64_t seed,
+                         bool scrambled = true);
+
+  /// Relocate the hot set. Instantaneous and O(1); any epoch value is
+  /// valid (re-entering an earlier epoch restores its exact mapping).
+  void Shift(uint64_t epoch) { epoch_ = epoch; }
+  uint64_t epoch() const { return epoch_; }
+
+  uint64_t NextRank() { return zipf_.NextRank(); }
+  uint64_t NextKey() { return KeyForRank(zipf_.NextRank()); }
+
+  /// The key `rank` maps to under the current epoch (deterministic, does
+  /// not advance the generator) — tests use it to measure hot-set overlap
+  /// across epochs.
+  uint64_t KeyForRank(uint64_t rank) const;
+
+  uint64_t n() const { return zipf_.n(); }
+  double theta() const { return zipf_.theta(); }
+
+ private:
+  ZipfGenerator zipf_;
+  bool scrambled_;
+  uint64_t epoch_ = 0;
+  uint64_t stride_;  ///< clustered-mode per-epoch displacement
+};
+
 /// Uniform key generator with the same interface.
 class UniformGenerator {
  public:

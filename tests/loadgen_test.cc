@@ -1,0 +1,775 @@
+// Open-loop load-generator battery (labeled `loadgen` in CTest):
+//
+//  * latency histogram: bucket-mapping guarantees and percentile accuracy
+//    against exact quantiles
+//  * arrival statistics: chi-square and Kolmogorov-Smirnov goodness-of-fit
+//    for the Poisson schedule, with a power check (a 25%-wrong rate must
+//    fail both tests decisively), and zero cumulative drift for the
+//    deterministic-uniform schedule
+//  * goal-QPS controller: unit tests on synthetic windows (trim feedback,
+//    clamps, sticky saturation latch), then end-to-end convergence against
+//    an in-process server — within 5% of a feasible goal, explicit
+//    saturation verdict on an infeasible one
+//  * dynamic hotspot migration: single-connection differential run against
+//    a std::map oracle with mid-run Zipf hot-set shifts, the full
+//    conservation-law audit, and Secure Cache swap counters showing the
+//    post-shift turnover a static hot set does not pay
+//  * coordinated omission: a server stall injected through the NetInjector
+//    latch must surface in the open-loop p99 (scheduled-time stamping) and
+//    be invisible to a closed-loop driver measuring from op start
+//  * loadgen-request-conservation: exercised positively by every audit
+//    above and negatively by tampering with a real run's snapshot (a
+//    dropped completion must break the audit)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/store_factory.h"
+#include "loadgen/arrival.h"
+#include "loadgen/histogram.h"
+#include "loadgen/loadgen.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/invariants.h"
+#include "obs/metrics.h"
+#include "testing/replay.h"
+#include "workload/ycsb.h"
+#include "workload/zipf.h"
+
+namespace aria {
+namespace {
+
+using loadgen::ArrivalProcess;
+using loadgen::ArrivalSchedule;
+using loadgen::GoalQpsController;
+using loadgen::GoalQpsControllerOptions;
+using loadgen::LatencyHistogram;
+using loadgen::OpenLoopLoadGen;
+using loadgen::OpenLoopOptions;
+using net::Server;
+using net::ServerOptions;
+using net::WireStatus;
+
+// --- histogram -------------------------------------------------------------
+
+TEST(LatencyHistogram, BucketMappingIsMonotoneAndBounds) {
+  Random rng(testing::EffectiveSeed(11));
+  std::vector<uint64_t> values;
+  for (uint64_t v = 0; v < 128; ++v) values.push_back(v);
+  for (int shift = 7; shift < 64; ++shift) {
+    const uint64_t p = 1ull << shift;
+    values.push_back(p - 1);
+    values.push_back(p);
+    values.push_back(p + 1);
+    values.push_back(p + rng.Uniform(p));
+  }
+  std::sort(values.begin(), values.end());
+  int prev_index = -1;
+  for (uint64_t v : values) {
+    const int index = LatencyHistogram::BucketIndex(v);
+    ASSERT_GE(index, 0);
+    ASSERT_LT(index, LatencyHistogram::kNumBuckets);
+    EXPECT_GE(index, prev_index) << "BucketIndex not monotone at " << v;
+    prev_index = std::max(prev_index, index);
+    const uint64_t upper = LatencyHistogram::BucketUpperBound(index);
+    EXPECT_GE(upper, v);
+    // The bucket's upper bound over-reports v by at most one sub-bucket.
+    if (v >= LatencyHistogram::kSubBuckets && upper != UINT64_MAX) {
+      EXPECT_LE(static_cast<double>(upper),
+                static_cast<double>(v) *
+                    (1.0 + 2.0 / LatencyHistogram::kSubBuckets))
+          << "bucket upper bound too loose at " << v;
+    }
+  }
+}
+
+TEST(LatencyHistogram, PercentilesTrackExactQuantiles) {
+  Random rng(testing::EffectiveSeed(12));
+  LatencyHistogram hist;
+  std::vector<uint64_t> values;
+  // Log-uniform values spanning ~6 decades, the shape of a latency tail.
+  for (int i = 0; i < 20000; ++i) {
+    const double log_v = rng.NextDouble() * 6.0 + 2.0;  // 1e2 .. 1e8 ns
+    const uint64_t v = static_cast<uint64_t>(std::pow(10.0, log_v));
+    values.push_back(v);
+    hist.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(hist.count(), values.size());
+  EXPECT_EQ(hist.max(), values.back());
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    const size_t rank = std::min(
+        values.size() - 1,
+        static_cast<size_t>(std::ceil(p / 100.0 * values.size())) - 1);
+    const uint64_t exact = values[rank];
+    const uint64_t approx = hist.ValueAtPercentile(p);
+    EXPECT_GE(approx, exact) << "p" << p;
+    EXPECT_LE(static_cast<double>(approx), static_cast<double>(exact) * 1.07)
+        << "p" << p;
+  }
+  EXPECT_LE(hist.ValueAtPercentile(100.0), hist.max());
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
+  Random rng(testing::EffectiveSeed(13));
+  LatencyHistogram a, b, combined;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.Uniform(10'000'000);
+    if (i % 2 == 0) {
+      a.Record(v);
+    } else {
+      b.Record(v);
+    }
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.max(), combined.max());
+  for (double p : {50.0, 99.0, 99.9}) {
+    EXPECT_EQ(a.ValueAtPercentile(p), combined.ValueAtPercentile(p));
+  }
+}
+
+// --- arrival statistics ----------------------------------------------------
+
+/// Chi-square statistic of `gaps` against Exp(mean = 1/rate) using
+/// `buckets` equal-probability bins (edges at exponential quantiles).
+double ExponentialChiSquare(const std::vector<uint64_t>& gaps, double rate_qps,
+                            int buckets) {
+  const double mean_nanos = 1e9 / rate_qps;
+  std::vector<double> edges(buckets);  // upper edge of each bin but the last
+  for (int i = 1; i < buckets; ++i) {
+    edges[i - 1] =
+        -mean_nanos * std::log(1.0 - static_cast<double>(i) / buckets);
+  }
+  edges[buckets - 1] = 1e300;
+  std::vector<uint64_t> observed(buckets, 0);
+  for (uint64_t gap : gaps) {
+    const auto it =
+        std::upper_bound(edges.begin(), edges.end(), static_cast<double>(gap));
+    observed[it - edges.begin()]++;
+  }
+  const double expected = static_cast<double>(gaps.size()) / buckets;
+  double chi2 = 0;
+  for (uint64_t obs : observed) {
+    const double d = static_cast<double>(obs) - expected;
+    chi2 += d * d / expected;
+  }
+  return chi2;
+}
+
+/// Kolmogorov-Smirnov statistic of `gaps` against Exp(mean = 1/rate).
+double ExponentialKs(std::vector<uint64_t> gaps, double rate_qps) {
+  std::sort(gaps.begin(), gaps.end());
+  const double mean_nanos = 1e9 / rate_qps;
+  const double n = static_cast<double>(gaps.size());
+  double d = 0;
+  for (size_t i = 0; i < gaps.size(); ++i) {
+    const double cdf = 1.0 - std::exp(-static_cast<double>(gaps[i]) / mean_nanos);
+    d = std::max(d, std::abs(cdf - static_cast<double>(i) / n));
+    d = std::max(d, std::abs(static_cast<double>(i + 1) / n - cdf));
+  }
+  return d;
+}
+
+std::vector<uint64_t> DrawGaps(ArrivalProcess process, double rate_qps,
+                               uint64_t seed, size_t n) {
+  ArrivalSchedule schedule(process, rate_qps, seed);
+  std::vector<uint64_t> gaps(n);
+  for (size_t i = 0; i < n; ++i) gaps[i] = schedule.NextGapNanos();
+  return gaps;
+}
+
+TEST(ArrivalSchedule, PoissonGapsPassGoodnessOfFit) {
+  const uint64_t seed = testing::EffectiveSeed(21);
+  const double rate = 10'000;
+  const size_t n = 50'000;
+  std::vector<uint64_t> gaps = DrawGaps(ArrivalProcess::kPoisson, rate, seed, n);
+
+  // Sample mean within 2% of 1/rate.
+  double sum = 0;
+  for (uint64_t g : gaps) sum += static_cast<double>(g);
+  EXPECT_NEAR(sum / static_cast<double>(n), 1e9 / rate, 0.02 * 1e9 / rate)
+      << testing::ReplayRecipe(seed, "loadgen_test");
+
+  // 32 equal-probability bins, 31 degrees of freedom: the 99.9th percentile
+  // of chi2(31) is ~61; 90 only fails on a genuinely wrong distribution.
+  const double chi2 = ExponentialChiSquare(gaps, rate, 32);
+  EXPECT_LT(chi2, 90.0) << testing::ReplayRecipe(seed, "loadgen_test");
+
+  // KS critical value at alpha = 0.001 is 1.95 / sqrt(n) ~= 0.0087.
+  const double ks = ExponentialKs(gaps, rate);
+  EXPECT_LT(ks, 0.012) << testing::ReplayRecipe(seed, "loadgen_test");
+}
+
+TEST(ArrivalSchedule, GoodnessOfFitRejectsWrongRate) {
+  // Power check: a schedule running 25% fast must fail both tests against
+  // the nominal rate by a wide margin (expected chi2 ~2100, KS ~0.08 —
+  // anything near the pass thresholds would mean the tests are toothless).
+  const uint64_t seed = testing::EffectiveSeed(22);
+  const double rate = 10'000;
+  std::vector<uint64_t> gaps =
+      DrawGaps(ArrivalProcess::kPoisson, rate * 1.25, seed, 50'000);
+  EXPECT_GT(ExponentialChiSquare(gaps, rate, 32), 500.0)
+      << testing::ReplayRecipe(seed, "loadgen_test");
+  EXPECT_GT(ExponentialKs(gaps, rate), 0.04)
+      << testing::ReplayRecipe(seed, "loadgen_test");
+}
+
+TEST(ArrivalSchedule, UniformGapsNeverDrift) {
+  // 3333 qps has a non-integer nanosecond gap (300030.003...); the carry
+  // must keep the cumulative schedule exact to within 1 ns.
+  const double rate = 3'333;
+  const size_t n = 10'000;
+  ArrivalSchedule schedule(ArrivalProcess::kUniform, rate, 1);
+  const uint64_t base = static_cast<uint64_t>(1e9 / rate);
+  double total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t gap = schedule.NextGapNanos();
+    EXPECT_GE(gap, base);
+    EXPECT_LE(gap, base + 1);
+    total += static_cast<double>(gap);
+  }
+  EXPECT_NEAR(total, static_cast<double>(n) * (1e9 / rate), 1.0);
+}
+
+// --- goal-QPS controller (synthetic windows) -------------------------------
+
+TEST(GoalQpsController, OnTargetWindowsKeepTrimAtOneAndTrackAchieved) {
+  GoalQpsController c(1000);
+  for (int i = 0; i < 8; ++i) {
+    const double trim = c.OnWindow(0.25, 250, 250);
+    EXPECT_DOUBLE_EQ(trim, 1.0);
+  }
+  EXPECT_FALSE(c.saturated());
+  EXPECT_NEAR(c.achieved_qps(), 1000.0, 1e-9);
+  EXPECT_EQ(c.windows(), 8u);
+}
+
+TEST(GoalQpsController, UnderOfferingRaisesTrimWithinClamps) {
+  GoalQpsController c(1000);
+  // Offering 20% low: correction wants 1.25 but is clamped to +15%/window
+  // and max_trim overall.
+  EXPECT_NEAR(c.OnWindow(0.25, 200, 200), 1.15, 1e-9);
+  EXPECT_NEAR(c.OnWindow(0.25, 200, 200), 1.3225, 1e-9);
+  EXPECT_NEAR(c.OnWindow(0.25, 200, 200), 1.5, 1e-9);  // max_trim
+  EXPECT_NEAR(c.OnWindow(0.25, 200, 200), 1.5, 1e-9);
+  // The transient is gone, so the 1.5x trim now makes the schedule
+  // over-offer; the controller unwinds it — at most 15% per window, never
+  // below 1.
+  double trim = 1.5;
+  for (int i = 0; i < 6; ++i) {
+    const double next = c.OnWindow(0.25, 375, 375);  // 1500 qps offered
+    EXPECT_LE(next, trim + 1e-12);
+    EXPECT_GE(next, 1.0);
+    trim = next;
+  }
+  EXPECT_NEAR(trim, 1.0, 1e-9);
+}
+
+TEST(GoalQpsController, SaturationLatchesAfterConsecutiveLaggingWindows) {
+  GoalQpsController c(1000);
+  EXPECT_FALSE(c.saturated());
+  c.OnWindow(0.25, 250, 100);
+  c.OnWindow(0.25, 250, 100);
+  EXPECT_FALSE(c.saturated());  // two lagging windows, threshold is three
+  c.OnWindow(0.25, 250, 100);
+  EXPECT_TRUE(c.saturated());
+  // Sticky: recovering throughput does not clear the verdict.
+  for (int i = 0; i < 5; ++i) c.OnWindow(0.25, 250, 250);
+  EXPECT_TRUE(c.saturated());
+}
+
+TEST(GoalQpsController, InterruptedLagDoesNotLatch) {
+  GoalQpsController c(1000);
+  c.OnWindow(0.25, 250, 100);
+  c.OnWindow(0.25, 250, 100);
+  c.OnWindow(0.25, 250, 240);  // healthy window resets the streak
+  c.OnWindow(0.25, 250, 100);
+  c.OnWindow(0.25, 250, 100);
+  EXPECT_FALSE(c.saturated());
+  EXPECT_EQ(c.OnWindow(0.0, 0, 0), c.trim());  // degenerate window: no-op
+  EXPECT_EQ(c.windows(), 5u);
+}
+
+// --- shiftable zipf --------------------------------------------------------
+
+TEST(ShiftableZipf, EpochZeroScrambledMatchesPlainGenerator) {
+  const uint64_t seed = testing::EffectiveSeed(31);
+  ZipfGenerator plain(100'000, 0.99, seed);
+  ShiftableZipfGenerator shiftable(100'000, 0.99, seed, /*scrambled=*/true);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(shiftable.NextKey(), plain.NextKey()) << "draw " << i;
+  }
+}
+
+size_t TopRankOverlap(ShiftableZipfGenerator* gen, uint64_t epoch_a,
+                      uint64_t epoch_b, uint64_t top_k) {
+  std::set<uint64_t> a, b;
+  gen->Shift(epoch_a);
+  for (uint64_t r = 0; r < top_k; ++r) a.insert(gen->KeyForRank(r));
+  gen->Shift(epoch_b);
+  for (uint64_t r = 0; r < top_k; ++r) b.insert(gen->KeyForRank(r));
+  size_t overlap = 0;
+  for (uint64_t k : a) overlap += b.count(k);
+  return overlap;
+}
+
+TEST(ShiftableZipf, ShiftRelocatesTheHotSet) {
+  for (bool scrambled : {true, false}) {
+    ShiftableZipfGenerator gen(100'000, 0.99, 7, scrambled);
+    // Expected scrambled overlap is k^2/n ~= 0.04 keys; clustered epochs are
+    // golden-ratio strides apart. Either way the hot sets must be nearly
+    // disjoint — that is what forces downstream caches to re-learn.
+    EXPECT_LE(TopRankOverlap(&gen, 0, 1, 64), 8u) << "scrambled=" << scrambled;
+    EXPECT_LE(TopRankOverlap(&gen, 1, 2, 64), 8u) << "scrambled=" << scrambled;
+    EXPECT_LE(TopRankOverlap(&gen, 0, 5, 64), 8u) << "scrambled=" << scrambled;
+    // Re-entering an epoch restores its exact mapping.
+    gen.Shift(1);
+    const uint64_t k0 = gen.KeyForRank(0), k9 = gen.KeyForRank(9);
+    gen.Shift(4);
+    gen.Shift(1);
+    EXPECT_EQ(gen.KeyForRank(0), k0);
+    EXPECT_EQ(gen.KeyForRank(9), k9);
+  }
+}
+
+TEST(ShiftableZipf, ClusteredModeKeepsHotKeysAdjacentInEveryEpoch) {
+  ShiftableZipfGenerator gen(4096, 0.99, 7, /*scrambled=*/false);
+  for (uint64_t epoch : {0ull, 1ull, 3ull}) {
+    gen.Shift(epoch);
+    for (uint64_t r = 0; r < 32; ++r) {
+      EXPECT_EQ(gen.KeyForRank(r + 1), (gen.KeyForRank(r) + 1) % gen.n());
+    }
+  }
+}
+
+// --- in-process server fixture ---------------------------------------------
+
+/// A sharded Aria store + epoll server on an ephemeral loopback port, with
+/// the load generator registered so CheckInvariants() sees loadgen.*.
+struct LoadgenFixture {
+  StoreBundle bundle;
+  std::unique_ptr<Server> server;
+
+  Status Init(uint32_t shards, uint64_t keyspace, ServerOptions options = {}) {
+    StoreOptions o;
+    o.scheme = Scheme::kAria;
+    o.index = IndexKind::kHash;
+    o.keyspace = keyspace;
+    o.num_shards = shards;
+    ARIA_RETURN_IF_ERROR(CreateStore(o, &bundle));
+    server = std::make_unique<Server>(bundle.store.get(), options);
+    bundle.registry.Register("net", server.get());
+    return server->Start();
+  }
+
+  uint16_t port() const { return server->port(); }
+};
+
+void ExpectLawChecked(const obs::InvariantReport& report, const char* law) {
+  EXPECT_NE(std::find(report.laws_checked.begin(), report.laws_checked.end(),
+                      law),
+            report.laws_checked.end())
+      << law << " was not evaluated";
+}
+
+// --- goal-QPS convergence against a live server ----------------------------
+
+TEST(OpenLoopLoadGen, ConvergesToFeasibleGoalWithSkewedFractions) {
+  LoadgenFixture fx;
+  ASSERT_TRUE(fx.Init(2, 8192).ok());
+
+  OpenLoopOptions opt;
+  opt.port = fx.port();
+  opt.connections = 2;
+  opt.goal_qps = 1600;
+  opt.load_fractions = {3.0, 1.0};  // conn0 carries 75% of the offered load
+  opt.arrival = ArrivalProcess::kUniform;
+  opt.duration_seconds = 2.0;
+  opt.seed = testing::EffectiveSeed(41);
+
+  OpenLoopLoadGen lg(opt);
+  fx.bundle.registry.Register("loadgen", &lg);
+  loadgen::YcsbStreamOptions stream;
+  stream.keyspace = 8192;
+  stream.read_ratio = 0.5;
+  stream.seed = opt.seed;
+  ASSERT_TRUE(lg.Run(loadgen::MakeYcsbRequestFn(opt.connections, stream)).ok());
+
+  const loadgen::OpenLoopReport& report = lg.report();
+  EXPECT_TRUE(report.ok()) << report.errors << " errors, "
+                           << report.failed_connections << " failed conns";
+  EXPECT_FALSE(report.saturated);
+  // The acceptance bar: achieved within 5% of a feasible goal.
+  EXPECT_NEAR(report.achieved_qps, opt.goal_qps, 0.05 * opt.goal_qps);
+  EXPECT_NEAR(report.offered_qps, opt.goal_qps, 0.05 * opt.goal_qps);
+
+  // Skewed load fractions: conn0 must offer ~3x conn1.
+  obs::Snapshot snap = fx.bundle.Metrics();
+  const double conn0 =
+      static_cast<double>(snap.Get("loadgen.conn0.requests_offered"));
+  const double conn1 =
+      static_cast<double>(snap.Get("loadgen.conn1.requests_offered"));
+  ASSERT_GT(conn1, 0);
+  EXPECT_NEAR(conn0 / conn1, 3.0, 0.45);
+
+  fx.server->Stop();
+  obs::InvariantReport audit = fx.bundle.CheckInvariants();
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+  ExpectLawChecked(audit, "loadgen-request-conservation");
+}
+
+TEST(OpenLoopLoadGen, ReportsSaturationOnInfeasibleGoal) {
+  LoadgenFixture fx;
+  ASSERT_TRUE(fx.Init(2, 8192).ok());
+
+  OpenLoopOptions opt;
+  opt.port = fx.port();
+  opt.connections = 2;
+  opt.goal_qps = 1'000'000;  // far beyond this store on any host
+  opt.duration_seconds = 1.2;
+  opt.drain_seconds = 0.5;
+  opt.seed = testing::EffectiveSeed(42);
+
+  OpenLoopLoadGen lg(opt);
+  fx.bundle.registry.Register("loadgen", &lg);
+  loadgen::YcsbStreamOptions stream;
+  stream.keyspace = 8192;
+  stream.seed = opt.seed;
+  ASSERT_TRUE(lg.Run(loadgen::MakeYcsbRequestFn(opt.connections, stream)).ok());
+
+  const loadgen::OpenLoopReport& report = lg.report();
+  EXPECT_TRUE(report.saturated);
+  EXPECT_LT(report.achieved_qps, 0.9 * opt.goal_qps);
+  EXPECT_LE(lg.controller().trim(), opt.controller.max_trim);
+  EXPECT_EQ(report.offered,
+            report.completed + report.timed_out + report.in_flight_at_stop);
+
+  fx.server->Stop();
+  obs::InvariantReport audit = fx.bundle.CheckInvariants();
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+  ExpectLawChecked(audit, "loadgen-request-conservation");
+}
+
+// --- dynamic hotspot migration, differential -------------------------------
+
+/// Test-side oracle shared between the request and response callbacks: the
+/// sender records each operation it issued, the receiver (FIFO responses)
+/// replays it against a std::map and diffs the wire result.
+struct OracleState {
+  struct Issued {
+    net::OpCode op;
+    std::string key;
+    std::string value;
+  };
+  std::mutex mu;
+  std::deque<Issued> issued;
+  std::map<std::string, std::string> map;
+  uint64_t mismatches = 0;
+  uint64_t checked = 0;
+};
+
+TEST(OpenLoopLoadGen, HotspotMigrationMatchesOracleAndTurnsOverTheCache) {
+  // Two runs with identical request-count bounds and seeds; only the second
+  // shifts the hot set mid-run. Swap-in traffic is deterministic in the set
+  // of keys touched, so the shifted run must fetch strictly more Merkle
+  // nodes — the re-learning cost the migration exists to measure.
+  const uint64_t seed = testing::EffectiveSeed(43);
+  uint64_t swapped_in[2] = {0, 0};
+  uint64_t shifts[2] = {0, 0};
+
+  for (int run = 0; run < 2; ++run) {
+    LoadgenFixture fx;
+    ASSERT_TRUE(fx.Init(1, 4096).ok());
+
+    OpenLoopOptions opt;
+    opt.port = fx.port();
+    opt.connections = 1;
+    opt.goal_qps = 4000;
+    opt.max_requests_per_connection = 4000;
+    opt.duration_seconds = 20.0;  // bound by request count, not time
+    opt.timeout_nanos = 10'000'000'000ull;
+    opt.hotspot_shift_seconds = run == 0 ? 0.0 : 0.35;
+    opt.seed = seed;
+
+    OpenLoopLoadGen lg(opt);
+    fx.bundle.registry.Register("loadgen", &lg);
+
+    auto state = std::make_shared<OracleState>();
+    auto zipf = std::make_shared<ShiftableZipfGenerator>(
+        4096, 0.99, seed, /*scrambled=*/false);
+    auto op_rng = std::make_shared<Random>(seed ^ 0x0C0FFEEull);
+    loadgen::RequestFn request_fn = [state, zipf, op_rng](
+                                        uint64_t, uint64_t index,
+                                        uint64_t epoch) {
+      if (zipf->epoch() != epoch) zipf->Shift(epoch);
+      const uint64_t key_id = zipf->NextKey();
+      net::Request req;
+      req.key = MakeKey(key_id);
+      if (op_rng->Bernoulli(0.7)) {
+        req.op = net::OpCode::kGet;
+      } else {
+        req.op = net::OpCode::kPut;
+        req.value = MakeValue(key_id, 64,
+                              static_cast<uint32_t>(index & 0xFFFFFFFFu));
+      }
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->issued.push_back({req.op, req.key, req.value});
+      return req;
+    };
+    loadgen::ResponseFn response_fn = [state](uint64_t, uint64_t,
+                                              const net::Response& resp,
+                                              uint64_t, bool) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      OracleState::Issued op = state->issued.front();
+      state->issued.pop_front();
+      state->checked++;
+      if (op.op == net::OpCode::kPut) {
+        if (resp.status != WireStatus::kOk) state->mismatches++;
+        state->map[op.key] = op.value;
+        return;
+      }
+      const auto it = state->map.find(op.key);
+      if (it == state->map.end()) {
+        if (resp.status != WireStatus::kNotFound) state->mismatches++;
+      } else if (resp.status != WireStatus::kOk || resp.payload != it->second) {
+        state->mismatches++;
+      }
+    };
+
+    ASSERT_TRUE(lg.Run(request_fn, response_fn).ok());
+    const loadgen::OpenLoopReport& report = lg.report();
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.completed, 4000u);
+    EXPECT_EQ(report.in_flight_at_stop, 0u);
+    EXPECT_EQ(state->checked, 4000u);
+    EXPECT_EQ(state->mismatches, 0u) << "oracle divergence in run " << run;
+    shifts[run] = report.hotset_shifts;
+
+    fx.server->Stop();
+    obs::InvariantReport audit = fx.bundle.CheckInvariants();
+    EXPECT_TRUE(audit.ok()) << audit.ToString();
+    ExpectLawChecked(audit, "loadgen-request-conservation");
+    swapped_in[run] =
+        fx.bundle.Metrics().SumSuffix(".cache.bytes_swapped_in");
+  }
+
+  EXPECT_EQ(shifts[0], 0u);
+  EXPECT_GE(shifts[1], 1u);
+  // The migrated hot set touches Merkle leaves the static run never pays
+  // for: strictly more swap-in traffic.
+  EXPECT_GT(swapped_in[1], swapped_in[0]);
+}
+
+// --- coordinated omission --------------------------------------------------
+
+/// Stalls the server's write path once, for `stall_ms`, on the `n`-th
+/// response flush: the epoll loop sleeps inside the write, so every queued
+/// and subsequently arriving request waits behind it.
+class StallOnWriteInjector : public fault::NetInjector {
+ public:
+  StallOnWriteInjector(uint64_t stall_at_write, int stall_ms)
+      : stall_at_write_(stall_at_write), stall_ms_(stall_ms) {}
+
+  size_t OnServerWrite(uint64_t, uint64_t, size_t len) override {
+    if (writes_.fetch_add(1) + 1 == stall_at_write_ &&
+        !stalled_.exchange(true)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms_));
+    }
+    return len;
+  }
+  bool DropBeforeExecute(uint64_t, uint64_t) override { return false; }
+
+ private:
+  const uint64_t stall_at_write_;
+  const int stall_ms_;
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<bool> stalled_{false};
+};
+
+TEST(OpenLoopLoadGen, OpenLoopSeesServerStallClosedLoopHidesIt) {
+  // Regression test for coordinated omission. Both drivers face the same
+  // 300ms server stall; the open-loop p99 (stamped from scheduled send
+  // time) must absorb it, while a closed-loop driver that measures from op
+  // start sees one slow op and a clean p99 — exactly the lie open-loop
+  // measurement exists to prevent.
+  constexpr int kStallMs = 300;
+
+  LoadgenFixture fx;
+  ASSERT_TRUE(fx.Init(1, 4096).ok());
+  StallOnWriteInjector open_inj(/*stall_at_write=*/200, kStallMs);
+  fault::SetNet(&open_inj);
+
+  OpenLoopOptions opt;
+  opt.port = fx.port();
+  opt.connections = 1;
+  opt.goal_qps = 2000;
+  opt.arrival = ArrivalProcess::kUniform;
+  opt.duration_seconds = 1.0;
+  opt.timeout_nanos = 10'000'000'000ull;
+  opt.drain_seconds = 2.0;
+  opt.seed = testing::EffectiveSeed(44);
+
+  OpenLoopLoadGen lg(opt);
+  fx.bundle.registry.Register("loadgen", &lg);
+  loadgen::YcsbStreamOptions stream;
+  stream.keyspace = 4096;
+  stream.seed = opt.seed;
+  ASSERT_TRUE(lg.Run(loadgen::MakeYcsbRequestFn(1, stream)).ok());
+  fault::SetNet(nullptr);
+
+  const uint64_t open_p99 = lg.report().latency.P99();
+  EXPECT_TRUE(lg.report().ok());
+
+  // Closed-loop control: same store, same stall, synchronous ops timed from
+  // their own start.
+  LoadgenFixture fx2;
+  ASSERT_TRUE(fx2.Init(1, 4096).ok());
+  StallOnWriteInjector closed_inj(/*stall_at_write=*/200, kStallMs);
+  fault::SetNet(&closed_inj);
+  LatencyHistogram closed;
+  {
+    net::Client client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", fx2.port()).ok());
+    const auto start = std::chrono::steady_clock::now();
+    uint64_t i = 0;
+    while (std::chrono::steady_clock::now() - start <
+           std::chrono::milliseconds(1000)) {
+      const auto op_start = std::chrono::steady_clock::now();
+      std::string value;
+      Status st = client.Get(MakeKey(i++ % 4096), &value);
+      ASSERT_TRUE(st.ok() || st.IsNotFound());
+      closed.Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - op_start)
+              .count()));
+    }
+  }
+  fault::SetNet(nullptr);
+  const uint64_t closed_p99 = closed.P99();
+
+  // The stall parks ~600 of 2000 scheduled requests: open-loop p99 lands in
+  // the hundreds of milliseconds. Closed-loop pays it in exactly one op out
+  // of thousands, far past its p99.
+  EXPECT_GE(open_p99, 100'000'000ull) << "open-loop p99 missed the stall";
+  EXPECT_LE(closed_p99, 50'000'000ull) << "closed-loop run was not clean";
+  EXPECT_GT(open_p99, 4 * closed_p99);
+
+  fx.server->Stop();
+  obs::InvariantReport audit = fx.bundle.CheckInvariants();
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+}
+
+// --- conservation law: negative controls -----------------------------------
+
+TEST(LoadgenConservation, DroppedCompletionBreaksTheAudit) {
+  LoadgenFixture fx;
+  ASSERT_TRUE(fx.Init(1, 2048).ok());
+
+  OpenLoopOptions opt;
+  opt.port = fx.port();
+  opt.connections = 2;
+  opt.goal_qps = 3000;
+  opt.max_requests_per_connection = 150;
+  opt.duration_seconds = 20.0;
+  opt.timeout_nanos = 10'000'000'000ull;
+  opt.seed = testing::EffectiveSeed(45);
+
+  OpenLoopLoadGen lg(opt);
+  fx.bundle.registry.Register("loadgen", &lg);
+  loadgen::YcsbStreamOptions stream;
+  stream.keyspace = 2048;
+  stream.seed = opt.seed;
+  ASSERT_TRUE(lg.Run(loadgen::MakeYcsbRequestFn(2, stream)).ok());
+  fx.server->Stop();
+
+  // The genuine snapshot passes.
+  obs::Snapshot snap = fx.bundle.Metrics();
+  {
+    obs::InvariantReport report;
+    obs::InvariantChecker::CheckLoadgen(snap, &report);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+    ExpectLawChecked(report, "loadgen-request-conservation");
+  }
+  // Dropping one completion breaks the aggregate equation AND the
+  // conn-sum reconciliation.
+  {
+    obs::Snapshot tampered = snap;
+    tampered.Set("loadgen.requests_completed",
+                 snap.Get("loadgen.requests_completed") - 1,
+                 obs::MetricKind::kCounter);
+    obs::InvariantReport report;
+    obs::InvariantChecker::CheckLoadgen(tampered, &report);
+    EXPECT_FALSE(report.ok()) << "dropped completion went unnoticed";
+    EXPECT_GE(report.violations.size(), 2u);
+  }
+  // Inflating one connection's offered count breaks its per-conn equation.
+  {
+    obs::Snapshot tampered = snap;
+    tampered.Set("loadgen.conn0.requests_offered",
+                 snap.Get("loadgen.conn0.requests_offered") + 1,
+                 obs::MetricKind::kCounter);
+    obs::InvariantReport report;
+    obs::InvariantChecker::CheckLoadgen(tampered, &report);
+    EXPECT_FALSE(report.ok()) << "inflated per-conn offered went unnoticed";
+  }
+}
+
+TEST(LoadgenConservation, HandBuiltSnapshots) {
+  // No loadgen metrics: the law is vacuous, not checked, not violated.
+  {
+    obs::Snapshot snap;
+    snap.Set("net.requests", 5, obs::MetricKind::kCounter);
+    obs::InvariantReport report;
+    obs::InvariantChecker::CheckLoadgen(snap, &report);
+    EXPECT_TRUE(report.ok());
+    EXPECT_TRUE(report.laws_checked.empty());
+  }
+  // Consistent aggregate + per-conn snapshot passes.
+  {
+    obs::Snapshot snap;
+    snap.Set("loadgen.requests_offered", 10, obs::MetricKind::kCounter);
+    snap.Set("loadgen.requests_completed", 7, obs::MetricKind::kCounter);
+    snap.Set("loadgen.requests_timed_out", 2, obs::MetricKind::kCounter);
+    snap.Set("loadgen.requests_in_flight", 1, obs::MetricKind::kGauge);
+    snap.Set("loadgen.conn0.requests_offered", 10, obs::MetricKind::kCounter);
+    snap.Set("loadgen.conn0.requests_completed", 7, obs::MetricKind::kCounter);
+    snap.Set("loadgen.conn0.requests_timed_out", 2, obs::MetricKind::kCounter);
+    snap.Set("loadgen.conn0.requests_in_flight", 1, obs::MetricKind::kGauge);
+    obs::InvariantReport report;
+    obs::InvariantChecker::CheckLoadgen(snap, &report);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+    // A leaked in-flight request (gauge up without a matching offer) fails.
+    snap.Set("loadgen.requests_in_flight", 2, obs::MetricKind::kGauge);
+    snap.Set("loadgen.conn0.requests_in_flight", 2, obs::MetricKind::kGauge);
+    obs::InvariantReport report2;
+    obs::InvariantChecker::CheckLoadgen(snap, &report2);
+    EXPECT_FALSE(report2.ok());
+  }
+  // "loadgen.connections" must not be mistaken for a per-conn namespace.
+  {
+    obs::Snapshot snap;
+    snap.Set("loadgen.requests_offered", 0, obs::MetricKind::kCounter);
+    snap.Set("loadgen.connections", 4, obs::MetricKind::kGauge);
+    obs::InvariantReport report;
+    obs::InvariantChecker::CheckLoadgen(snap, &report);
+    EXPECT_TRUE(report.ok()) << report.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace aria
