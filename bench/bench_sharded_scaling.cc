@@ -1,18 +1,39 @@
-// Sharded front-end scaling: throughput of an 8-shard Aria hash store as
-// the worker-thread count grows (1/2/4/8), under uniform and Zipfian(0.99)
-// key distributions for YCSB-A (50/50), YCSB-B (95/5) and YCSB-C (reads).
+// Sharded front-end scaling: throughput of a sharded store as the
+// worker-thread count grows (1/2/4/8), under uniform and Zipfian(0.99) key
+// distributions.
+//
+// Two modes in one binary:
+//
+//  * Default: the locked-vs-optimistic read-mode sweep. An 8-shard
+//    AriaNoCache-hash store (the genuinely lock-free-capable scheme: MAC
+//    verification needs no Secure Cache mutation) runs YCSB-B and YCSB-C,
+//    uniform and zipf-0.99, in ReadMode::kLocked and ReadMode::kOptimistic,
+//    and the artifact (BENCH_sharded_scaling.json) records the per-point
+//    throughput plus the optimistic/locked uplift. Under skew the locked
+//    GET path serializes on the hot shard's lock, so its makespan floor is
+//    the busiest shard; epoch-protected lock-free GETs take that floor off
+//    (DESIGN.md §14) — the uplift at >= 4 threads is the headline number.
+//      bench_sharded_scaling [keys=N] [ops=N] [quick=1] [out=FILE.json]
+//
+//  * gbench=1 [--benchmark_* flags]: the original google-benchmark
+//    families over the 8-shard Aria (full Secure Cache) store.
 //
 // Manual time is the makespan lower bound from Driver::RunThreads
 // (max(total_busy/threads, busiest shard)) rather than raw wall time, so
 // the scaling curve is meaningful even on hosts with fewer cores than
 // worker threads. ops_per_s, p50_us and p99_us are reported as counters.
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/sharded_store.h"
+#include "obs/json.h"
 #include "workload/ycsb.h"
 
 namespace ariabench {
@@ -120,5 +141,220 @@ SHARDED_BENCH(B_zipf99, 0.95, KeyDistribution::kZipfian);
 SHARDED_BENCH(C_uniform, 1.00, KeyDistribution::kUniform);
 SHARDED_BENCH(C_zipf99, 1.00, KeyDistribution::kZipfian);
 
+// --- locked vs optimistic sweep ---------------------------------------------
+
+struct SweepConfig {
+  uint64_t keys = BenchKeys();
+  uint64_t ops = Ops(40'000);  // total per point, split across threads
+  std::string out = "BENCH_sharded_scaling.json";
+  bool gbench = false;
+};
+
+const char* ModeName(ReadMode mode) {
+  return mode == ReadMode::kOptimistic ? "optimistic" : "locked";
+}
+
+Status BuildSweepStore(ReadMode mode, const SweepConfig& cfg,
+                       StoreBundle* bundle) {
+  StoreOptions o = PaperOptions(Scheme::kAriaNoCache, cfg.keys);
+  o.num_shards = kShards;
+  o.read_mode = mode;
+  ARIA_RETURN_IF_ERROR(CreateStore(o, bundle));
+  Driver driver;
+  return driver.Prepopulate(bundle->store.get(), cfg.keys, 128);
+}
+
+struct SweepWorkload {
+  const char* name;
+  double read_ratio;
+  const char* dist_name;
+  KeyDistribution dist;
+};
+
+int RunSweep(const SweepConfig& cfg) {
+  const std::vector<SweepWorkload> workloads = {
+      {"B", 0.95, "uniform", KeyDistribution::kUniform},
+      {"B", 0.95, "zipf99", KeyDistribution::kZipfian},
+      {"C", 1.00, "uniform", KeyDistribution::kUniform},
+      {"C", 1.00, "zipf99", KeyDistribution::kZipfian},
+  };
+  const std::vector<uint64_t> thread_counts = {1, 2, 4, 8};
+  const std::vector<ReadMode> modes = {ReadMode::kLocked,
+                                       ReadMode::kOptimistic};
+
+  // One store per read mode, reused across every point: repopulating
+  // dominates runtime and the sweep's churn keeps both stores equivalent.
+  std::map<ReadMode, std::unique_ptr<StoreBundle>> stores;
+  for (ReadMode mode : modes) {
+    auto bundle = std::make_unique<StoreBundle>();
+    Status st = BuildSweepStore(mode, cfg, bundle.get());
+    if (!st.ok()) {
+      std::fprintf(stderr, "store (%s): %s\n", ModeName(mode),
+                   st.ToString().c_str());
+      return 1;
+    }
+    stores[mode] = std::move(bundle);
+  }
+
+  Driver driver;
+  std::map<std::string, double> fields;
+  fields["keys"] = static_cast<double>(cfg.keys);
+  fields["ops_per_point"] = static_cast<double>(cfg.ops);
+  fields["shards"] = kShards;
+  uint64_t laws_checked = 0;
+
+  std::printf(
+      "%-10s %-11s %8s %12s %12s %10s %10s\n", "workload", "mode", "threads",
+      "ops_per_s", "eff_ms", "lf_share", "p99_us");
+  for (const SweepWorkload& wl : workloads) {
+    const std::string wl_key =
+        std::string(wl.name) + "_" + wl.dist_name;
+    std::map<uint64_t, double> locked_ops_per_s;
+    for (ReadMode mode : modes) {
+      auto* sharded =
+          dynamic_cast<ShardedStore*>(stores[mode]->store.get());
+      if (sharded == nullptr) {
+        std::fprintf(stderr, "factory did not build a ShardedStore\n");
+        return 1;
+      }
+      for (uint64_t threads : thread_counts) {
+        YcsbSpec spec;
+        spec.keyspace = cfg.keys;
+        spec.read_ratio = wl.read_ratio;
+        spec.value_size = 128;
+        spec.distribution = wl.dist;
+        spec.skewness = 0.99;
+        auto gen_for_thread =
+            [&spec](uint64_t thread) -> std::function<Op()> {
+          YcsbSpec s = spec;
+          s.seed = spec.seed + 7919 * (thread + 1);
+          auto gen = std::make_shared<YcsbWorkload>(s);
+          return [gen]() { return gen->Next(); };
+        };
+        const uint64_t ops_per_thread = cfg.ops / threads + 1;
+        // Warm-up (untimed).
+        auto w = driver.RunThreads(sharded, gen_for_thread, threads,
+                                   ops_per_thread / 4 + 1);
+        if (!w.ok()) {
+          std::fprintf(stderr, "warmup: %s\n", w.status().ToString().c_str());
+          return 1;
+        }
+        auto r = driver.RunThreads(sharded, gen_for_thread, threads,
+                                   ops_per_thread);
+        if (!r.ok()) {
+          std::fprintf(stderr, "run: %s\n", r.status().ToString().c_str());
+          return 1;
+        }
+        if (!r->invariants.ok()) {
+          std::fprintf(stderr, "invariants (%s %s t%llu): %s\n", wl_key.c_str(),
+                       ModeName(mode),
+                       static_cast<unsigned long long>(threads),
+                       r->invariants.ToString().c_str());
+          return 1;
+        }
+        laws_checked += r->invariants.laws_checked.size();
+
+        const double ops_per_s = r->Throughput();
+        const double lf_share =
+            r->total_busy_seconds > 0
+                ? r->lockfree_busy_seconds / r->total_busy_seconds
+                : 0.0;
+        const std::string prefix = wl_key + "." + ModeName(mode) + ".t" +
+                                   std::to_string(threads);
+        fields[prefix + ".ops_per_s"] = ops_per_s;
+        fields[prefix + ".effective_seconds"] = r->effective_seconds;
+        fields[prefix + ".max_shard_busy_seconds"] =
+            r->max_shard_busy_seconds;
+        fields[prefix + ".lockfree_share"] = lf_share;
+        fields[prefix + ".p99_us"] =
+            static_cast<double>(r->latency.PercentileNanos(0.99)) / 1000.0;
+        std::printf("%-10s %-11s %8llu %12.0f %12.2f %10.3f %10.1f\n",
+                    wl_key.c_str(), ModeName(mode),
+                    static_cast<unsigned long long>(threads), ops_per_s,
+                    r->effective_seconds * 1e3, lf_share,
+                    static_cast<double>(r->latency.PercentileNanos(0.99)) /
+                        1000.0);
+        if (mode == ReadMode::kLocked) {
+          locked_ops_per_s[threads] = ops_per_s;
+        } else if (locked_ops_per_s.count(threads) &&
+                   locked_ops_per_s[threads] > 0) {
+          fields[wl_key + ".t" + std::to_string(threads) + ".uplift"] =
+              ops_per_s / locked_ops_per_s[threads];
+        }
+      }
+    }
+  }
+  fields["laws_checked"] = static_cast<double>(laws_checked);
+
+  for (const SweepWorkload& wl : workloads) {
+    const std::string wl_key = std::string(wl.name) + "_" + wl.dist_name;
+    std::printf("%s uplift (optimistic/locked):", wl_key.c_str());
+    for (uint64_t threads : thread_counts) {
+      const std::string k = wl_key + ".t" + std::to_string(threads) + ".uplift";
+      if (fields.count(k)) {
+        std::printf("  t%llu=%.2fx", static_cast<unsigned long long>(threads),
+                    fields[k]);
+      }
+    }
+    std::printf("\n");
+  }
+
+  // Final audited snapshot of the optimistic store: the artifact carries
+  // the per-shard optimistic/epoch counters alongside the sweep numbers.
+  obs::Snapshot snap = stores[ReadMode::kOptimistic]->Metrics();
+  obs::InvariantReport report =
+      stores[ReadMode::kOptimistic]->CheckInvariants();
+  std::printf("%s\n", report.ToString().c_str());
+  if (!report.ok()) return 1;
+
+  std::string json = obs::BenchArtifactJson(
+      "sharded_scaling", stores[ReadMode::kOptimistic]->label, fields, snap);
+  Status st = obs::WriteFile(cfg.out, json);
+  if (!st.ok()) {
+    std::fprintf(stderr, "WriteFile: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", cfg.out.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace ariabench
+
+int main(int argc, char** argv) {
+  ariabench::SweepConfig cfg;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "keys=", 5) == 0) {
+      cfg.keys = std::strtoull(a + 5, nullptr, 10);
+    } else if (std::strncmp(a, "ops=", 4) == 0) {
+      cfg.ops = std::strtoull(a + 4, nullptr, 10);
+    } else if (std::strncmp(a, "out=", 4) == 0) {
+      cfg.out = a + 4;
+    } else if (std::strncmp(a, "quick=", 6) == 0) {
+      quick = std::atoi(a + 6) != 0;
+    } else if (std::strncmp(a, "gbench=", 7) == 0) {
+      cfg.gbench = std::atoi(a + 7) != 0;
+    } else if (std::strncmp(a, "--benchmark", 11) == 0) {
+      cfg.gbench = true;  // any native benchmark flag implies gbench mode
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [keys=N] [ops=N] [quick=1] [out=FILE.json] "
+                   "[gbench=1 [--benchmark_*]]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (quick) {
+    cfg.keys = 8192;
+    cfg.ops = 8000;
+  }
+  if (cfg.gbench) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  return ariabench::RunSweep(cfg);
+}

@@ -5,7 +5,7 @@
 # bench_openloop_latency (open-loop load generator, per-connection
 # namespaces), extracts every metric name observed in the resulting
 # BENCH_*.json artifacts, normalizes the repeated namespaces
-# (treeN / loopN / connN / batch_size_p2_B), and fails if any observed
+# (treeN / loopN / connN / shardN / batch_size_p2_B), and fails if any observed
 # name is missing from the catalog tables.
 #
 # Documented-but-not-observed names are fine: the catalog also covers index
@@ -48,6 +48,7 @@ sed -n 's/^    "\([^"]*\)": [0-9][0-9]*,\{0,1\}$/\1/p' "$TMP"/BENCH_*.json \
   | sed -e 's/\.tree[0-9][0-9]*\./.treeN./' \
         -e 's/\.loop[0-9][0-9]*\./.loopN./' \
         -e 's/\.conn[0-9][0-9]*\./.connN./' \
+        -e 's/\.shard[0-9][0-9]*\./.shardN./' \
         -e 's/batch_size_p2_[0-9][0-9]*$/batch_size_p2_B/' \
   | sort -u > "$TMP/observed"
 

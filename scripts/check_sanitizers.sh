@@ -7,7 +7,10 @@
 # Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
 # build-tsan/) so the regular build/ stays untouched. Benchmarks and
 # examples are skipped: the tests are what we want instrumented. The TSan
-# run is what certifies the sharded front-end's locking discipline.
+# run is what certifies the sharded front-end's locking discipline AND the
+# epoch-protected lock-free GET path (seqlock publish windows, epoch
+# pin/retire/reclaim ordering) — both read modes are exercised by the
+# batteries below.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,6 +38,13 @@ run_one() {
   # concurrency hot spot.
   echo "=== ${kind} sanitizer: running loadgen-labeled tests ==="
   ctest --test-dir "${dir}" --output-on-failure -L loadgen
+  # The lock-free GET battery: epoch reclamation, the linearizability
+  # register checker and the torn-read choreography drive racing readers
+  # against in-place writers in both read modes — under TSan this is the
+  # certification that the seqlock + epoch ordering has no data race the
+  # model can see; under ASan it certifies reclamation never frees early.
+  echo "=== ${kind} sanitizer: running lockfree-labeled tests ==="
+  ctest --test-dir "${dir}" --output-on-failure -L lockfree
 }
 
 case "${1:-all}" in

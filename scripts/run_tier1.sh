@@ -32,6 +32,19 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L loadgen
 "$BUILD_DIR"/bench/bench_openloop_latency quick=1 keys=8192 \
   out="$BUILD_DIR"/BENCH_openloop_latency_smoke.json
 
+# Lock-free GET battery on its own label (fast; already part of the full
+# run above): epoch reclamation unit tests, the single-writer-register
+# linearizability checker, and the stall-hook torn-read choreography —
+# the gate for the optimistic read path (DESIGN.md §14).
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L lockfree
+
+# Locked-vs-optimistic read-mode sweep smoke: 8-shard store, YCSB-B/C ×
+# uniform/zipf-0.99 × 1..8 threads in both read modes, with the invariant
+# audit (optimistic-read-conservation, epoch-reclamation-conservation) run
+# on every point. quick=1 shrinks keyspace/ops so this stays seconds.
+"$BUILD_DIR"/bench/bench_sharded_scaling quick=1 \
+  out="$BUILD_DIR"/BENCH_sharded_scaling_smoke.json
+
 # Metrics catalog gate: every metric the system emits must be documented
 # in docs/METRICS.md (runs the smoke benches into a temp dir and diffs).
 BUILD_DIR="$BUILD_DIR" scripts/check_metrics_doc.sh

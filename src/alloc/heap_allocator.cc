@@ -68,6 +68,23 @@ HeapAllocator::Chunk* HeapAllocator::NewChunk(size_t block_size,
 
   Chunk* raw = chunk.get();
   chunks_.emplace(reinterpret_cast<uintptr_t>(base), std::move(chunk));
+
+  // Publish small-class chunk geometry for lock-free readers. Huge chunks
+  // stay unregistered: they are the only chunks Free() ever unmaps, and a
+  // registry entry must outlive every reader. An unregistered (or
+  // overflowed) address simply resolves to 0 → locked fallback.
+  if (num_chunks == 1) {
+    if (registry_ == nullptr) {
+      registry_.reset(new RegisteredChunk[kMaxRegisteredChunks]);
+    }
+    size_t n = registered_chunks_.load(std::memory_order_relaxed);
+    if (n < kMaxRegisteredChunks) {
+      registry_[n].base = reinterpret_cast<uintptr_t>(base);
+      registry_[n].block_size = raw->block_size;
+      registry_[n].num_blocks = raw->num_blocks;
+      registered_chunks_.store(n + 1, std::memory_order_release);
+    }
+  }
   return raw;
 }
 
@@ -201,6 +218,20 @@ size_t HeapAllocator::UsableBytes(const void* p) const {
   }
   if (offset >= chunk->num_blocks * chunk->block_size) return 0;
   return chunk->block_size - offset % chunk->block_size;
+}
+
+size_t HeapAllocator::UsableBytesLockFree(const void* p) const {
+  const uintptr_t addr = reinterpret_cast<uintptr_t>(p);
+  const uintptr_t base = addr & ~(kChunkSize - 1);
+  const size_t n = registered_chunks_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    const RegisteredChunk& rc = registry_[i];
+    if (rc.base != base) continue;
+    const size_t offset = addr - base;
+    if (offset >= rc.num_blocks * rc.block_size) return 0;
+    return rc.block_size - offset % rc.block_size;
+  }
+  return 0;
 }
 
 Result<void*> OcallAllocator::Alloc(size_t size) {

@@ -10,6 +10,7 @@
 // corrupted free-list pointer is detected as an integrity violation.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -45,6 +46,16 @@ class UntrustedAllocator : public obs::Observable {
   /// RecordCodec::Verify uses to reject untrusted header lengths before
   /// they can steer a read past the record's block.
   virtual size_t UsableBytes(const void* p) const = 0;
+
+  /// Same bound as UsableBytes but callable from lock-free readers running
+  /// concurrently with the (locked) allocating/freeing writer. 0 means
+  /// "cannot resolve without the lock" and forces the reader to fall back;
+  /// that is the default for allocators with no concurrent-safe lookup
+  /// structure.
+  virtual size_t UsableBytesLockFree(const void* p) const {
+    (void)p;
+    return 0;
+  }
 };
 
 /// Statistics exposed by HeapAllocator for tests and the memory analysis
@@ -74,6 +85,7 @@ class HeapAllocator : public UntrustedAllocator {
   Result<void*> Alloc(size_t size) override;
   Status Free(void* p) override;
   size_t UsableBytes(const void* p) const override;
+  size_t UsableBytesLockFree(const void* p) const override;
 
   /// Size class that would service `size` (exposed for tests).
   static size_t RoundUpToClass(size_t size);
@@ -97,11 +109,26 @@ class HeapAllocator : public UntrustedAllocator {
   Chunk* NewChunk(size_t block_size, size_t num_chunks);
   Status ValidateAndMark(Chunk* chunk, size_t block_index, bool expect_used);
 
+  // Append-only registry of small-class chunk geometries, readable by
+  // lock-free GETs while the (locked) writer allocates. Entries are
+  // published by a release store of registered_chunks_ and never mutated
+  // or removed afterwards — which is sound because only HUGE (>1-chunk)
+  // allocations are ever unmapped by Free(), and huge chunks are
+  // deliberately not registered (records always live in small classes).
+  struct RegisteredChunk {
+    uintptr_t base = 0;
+    size_t block_size = 0;
+    size_t num_blocks = 0;
+  };
+  static constexpr size_t kMaxRegisteredChunks = 4096;
+
   sgx::EnclaveRuntime* enclave_;
   // chunk base address -> descriptor (trusted metadata).
   std::unordered_map<uintptr_t, std::unique_ptr<Chunk>> chunks_;
   // size class -> chunks of that class that still have space.
   std::unordered_map<size_t, std::vector<Chunk*>> class_chunks_;
+  std::unique_ptr<RegisteredChunk[]> registry_;
+  std::atomic<size_t> registered_chunks_{0};
   HeapAllocatorStats stats_;
 };
 

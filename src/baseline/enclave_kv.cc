@@ -1,5 +1,6 @@
 #include "baseline/enclave_kv.h"
 
+#include "common/fault_injection.h"
 #include "common/hash.h"
 
 namespace aria {
@@ -46,19 +47,58 @@ EnclaveKV::Entry* EnclaveKV::NewEntry(Slice key, Slice value, uint64_t h) {
 
 Status EnclaveKV::Get(Slice key, std::string* value) {
   uint64_t h = Hash64(key);
-  Entry* e = buckets_[h % config_.num_buckets];
   enclave_->TouchRead(&buckets_[h % config_.num_buckets], sizeof(Entry*));
+  Entry* e = LoadCell(&buckets_[h % config_.num_buckets]);
   while (e != nullptr) {
     enclave_->TouchRead(e, sizeof(Entry) + e->k_len);
     if (e->hash == h && e->k_len == key.size() &&
         std::memcmp(e->key(), key.data(), key.size()) == 0) {
-      enclave_->TouchRead(e->value(), e->v_len);
-      value->assign(reinterpret_cast<char*>(e->value()), e->v_len);
+      uint16_t v_len = LoadVLen(e);
+      enclave_->TouchRead(e->value(), v_len);
+      value->assign(reinterpret_cast<const char*>(e->value()), v_len);
       return Status::OK();
     }
-    e = e->next;
+    e = LoadCell(&e->next);
   }
   return Status::NotFound();
+}
+
+LockFreeGetResult EnclaveKV::TryLockFreeGet(Slice key, std::string* value) {
+  if (!config_.lock_free_reads || buckets_ == nullptr) {
+    return LockFreeGetResult::kFallback;
+  }
+  const uint64_t h = Hash64(key);
+  const uint64_t b = h % config_.num_buckets;
+  enclave_->ChargeSharedRead(&buckets_[b], sizeof(Entry*));
+  Entry* e = LoadCell(&buckets_[b]);
+  while (e != nullptr) {
+    // hash, k_len, v_cap and the key bytes are immutable once the entry is
+    // published (an acquire load of the cell orders them), so plain reads
+    // are race-free. Only v_len and the value bytes are overwritten in
+    // place, and those go through atomics on both sides.
+    enclave_->ChargeSharedRead(e, sizeof(Entry) + e->k_len);
+    if (e->hash == h && e->k_len == key.size() &&
+        std::memcmp(e->key(), key.data(), key.size()) == 0) {
+      uint16_t v_len = LoadVLen(e);
+      if (v_len > e->v_cap) v_len = e->v_cap;  // defensive; never torn above cap
+      enclave_->ChargeSharedRead(e->value(), v_len);
+      value->resize(v_len);
+      // Byte-atomic copy: may interleave with an in-flight overwrite and
+      // yield a torn mix of old and new bytes. That is *by design* — the
+      // plaintext scheme has no per-record MAC, so rejecting this copy is
+      // entirely the ShardedStore seqlock revalidation's job. The
+      // linearizability battery's negative control (skip that second seq
+      // read) exists to prove the revalidation is load-bearing here.
+      uint8_t* src = const_cast<uint8_t*>(e->value());
+      for (uint16_t i = 0; i < v_len; ++i) {
+        (*value)[i] = static_cast<char>(
+            std::atomic_ref<uint8_t>(src[i]).load(std::memory_order_relaxed));
+      }
+      return LockFreeGetResult::kHit;
+    }
+    e = LoadCell(&e->next);
+  }
+  return LockFreeGetResult::kNotFound;
 }
 
 Status EnclaveKV::Put(Slice key, Slice value) {
@@ -66,31 +106,50 @@ Status EnclaveKV::Put(Slice key, Slice value) {
   uint64_t b = h % config_.num_buckets;
   enclave_->TouchRead(&buckets_[b], sizeof(Entry*));
   Entry** loc = &buckets_[b];
-  Entry* e = *loc;
+  Entry* e = LoadCell(loc);
   while (e != nullptr) {
     enclave_->TouchRead(e, sizeof(Entry) + e->k_len);
     if (e->hash == h && e->k_len == key.size() &&
         std::memcmp(e->key(), key.data(), key.size()) == 0) {
       if (value.size() <= e->v_cap) {
-        e->v_len = static_cast<uint16_t>(value.size());
-        std::memcpy(e->value(), value.data(), value.size());
+        // In-place overwrite. In lock-free mode the store is byte-atomic
+        // with a stall point halfway through — the deterministic torn
+        // window the regression battery pins open. (The shard seqlock is
+        // already odd here, so a correct optimistic reader retries or
+        // falls back; only a broken one can return the half-written mix.)
+        std::atomic_ref<uint16_t>(e->v_len)
+            .store(static_cast<uint16_t>(value.size()),
+                   std::memory_order_release);
+        if (config_.lock_free_reads) {
+          uint8_t* dst = e->value();
+          const uint8_t* src = reinterpret_cast<const uint8_t*>(value.data());
+          const size_t half = value.size() / 2;
+          for (size_t i = 0; i < value.size(); ++i) {
+            if (i == half) {
+              fault::InjectStall(fault::StallPoint::kBaselineValuePublish);
+            }
+            std::atomic_ref<uint8_t>(dst[i]).store(src[i],
+                                                   std::memory_order_relaxed);
+          }
+        } else {
+          std::memcpy(e->value(), value.data(), value.size());
+        }
         enclave_->TouchWrite(e->value(), value.size());
         return Status::OK();
       }
       Entry* ne = NewEntry(key, value, h);
       if (ne == nullptr) return Status::CapacityExceeded("entry allocation");
-      ne->next = e->next;
-      *loc = ne;
-      enclave_->TrustedFree(e);
-      return Status::OK();
+      ne->next = LoadCell(&e->next);
+      StoreCell(loc, ne);
+      return ReleaseEntry(e);
     }
     loc = &e->next;
-    e = e->next;
+    e = LoadCell(loc);
   }
   Entry* ne = NewEntry(key, value, h);
   if (ne == nullptr) return Status::CapacityExceeded("entry allocation");
-  ne->next = buckets_[b];
-  buckets_[b] = ne;
+  ne->next = LoadCell(&buckets_[b]);
+  StoreCell(&buckets_[b], ne);
   enclave_->TouchWrite(&buckets_[b], sizeof(Entry*));
   size_++;
   return Status::OK();
@@ -100,18 +159,17 @@ Status EnclaveKV::Delete(Slice key) {
   uint64_t h = Hash64(key);
   uint64_t b = h % config_.num_buckets;
   Entry** loc = &buckets_[b];
-  Entry* e = *loc;
+  Entry* e = LoadCell(loc);
   while (e != nullptr) {
     enclave_->TouchRead(e, sizeof(Entry) + e->k_len);
     if (e->hash == h && e->k_len == key.size() &&
         std::memcmp(e->key(), key.data(), key.size()) == 0) {
-      *loc = e->next;
-      enclave_->TrustedFree(e);
+      StoreCell(loc, LoadCell(&e->next));
       size_--;
-      return Status::OK();
+      return ReleaseEntry(e);
     }
     loc = &e->next;
-    e = e->next;
+    e = LoadCell(loc);
   }
   return Status::NotFound();
 }

@@ -3,8 +3,19 @@
 // everything, but every byte counts against the EPC, so working sets beyond
 // ~91 MB page constantly. Chained hash table, plaintext entries, all
 // allocations trusted and touched through the enclave runtime.
+//
+// Lock-free read mode (`lock_free_reads`, DESIGN.md §14): chain pointers
+// are accessed atomically, in-place value overwrites become byte-atomic,
+// and displaced entries are routed through the RetireHook instead of being
+// freed in place. Unlike Aria's record MACs, plaintext entries carry no
+// per-record integrity check, so a lock-free reader can copy a value torn
+// against an in-flight same-size overwrite — the ShardedStore seqlock
+// (second shard-version read) is what rejects that copy, which makes this
+// scheme the load-bearing negative control for the linearizability
+// battery: break the revalidation and torn values become observable.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 
@@ -15,6 +26,10 @@ namespace aria {
 
 struct EnclaveKVConfig {
   uint64_t num_buckets = 1 << 20;
+
+  /// Support TryLockFreeGet (see the file comment). Mutators still require
+  /// external serialization (the shard writer lock).
+  bool lock_free_reads = false;
 };
 
 class EnclaveKV : public KVStore {
@@ -27,6 +42,11 @@ class EnclaveKV : public KVStore {
   Status Put(Slice key, Slice value) override;
   Status Get(Slice key, std::string* value) override;
   Status Delete(Slice key) override;
+  LockFreeGetResult TryLockFreeGet(Slice key, std::string* value) override;
+  void SetRetireHook(RetireHook hook) override {
+    retire_hook_ = std::move(hook);
+  }
+  void FreeRetired(void* p) override { enclave_->TrustedFree(p); }
   const char* name() const override { return "Baseline"; }
   uint64_t size() const override { return size_; }
 
@@ -35,20 +55,50 @@ class EnclaveKV : public KVStore {
     Entry* next;
     uint64_t hash;
     uint16_t k_len;
-    uint16_t v_len;
+    uint16_t v_len;  // atomically updated in lock-free mode (<= v_cap always)
     uint16_t v_cap;
     uint16_t pad;
     // key bytes, then value bytes
     uint8_t* key() { return reinterpret_cast<uint8_t*>(this + 1); }
     uint8_t* value() { return key() + k_len; }
+    const uint8_t* key() const {
+      return reinterpret_cast<const uint8_t*>(this + 1);
+    }
+    const uint8_t* value() const { return key() + k_len; }
   };
 
+  // Chain cells are accessed through atomic_ref so lock-free readers never
+  // race the (locked) writer. TrustedAlloc returns cache-line-aligned
+  // blocks, so Entry fields are naturally aligned. (atomic_ref over a
+  // const-qualified T is not portable until C++26, hence the const_casts on
+  // the load-only helpers.)
+  static Entry* LoadCell(Entry* const* loc) {
+    return std::atomic_ref<Entry*>(*const_cast<Entry**>(loc))
+        .load(std::memory_order_acquire);
+  }
+  static void StoreCell(Entry** loc, Entry* v) {
+    std::atomic_ref<Entry*>(*loc).store(v, std::memory_order_release);
+  }
+  static uint16_t LoadVLen(const Entry* e) {
+    return std::atomic_ref<uint16_t>(const_cast<Entry*>(e)->v_len)
+        .load(std::memory_order_acquire);
+  }
+
   Entry* NewEntry(Slice key, Slice value, uint64_t h);
+  Status ReleaseEntry(Entry* e) {
+    if (retire_hook_) {
+      retire_hook_(e);
+    } else {
+      enclave_->TrustedFree(e);
+    }
+    return Status::OK();
+  }
 
   sgx::EnclaveRuntime* enclave_;
   EnclaveKVConfig config_;
   Entry** buckets_ = nullptr;  // trusted
   uint64_t size_ = 0;
+  RetireHook retire_hook_;
 };
 
 }  // namespace aria

@@ -10,6 +10,7 @@ namespace {
 // always install before spawning, but TSan verifies the latch itself).
 std::atomic<Injector*> g_injector{nullptr};
 std::atomic<NetInjector*> g_net_injector{nullptr};
+std::atomic<StallHook*> g_stall_hook{nullptr};
 }  // namespace
 
 Injector* Get() { return g_injector.load(std::memory_order_acquire); }
@@ -24,6 +25,14 @@ NetInjector* GetNet() {
 
 void SetNet(NetInjector* injector) {
   g_net_injector.store(injector, std::memory_order_release);
+}
+
+StallHook* GetStall() {
+  return g_stall_hook.load(std::memory_order_acquire);
+}
+
+void SetStall(StallHook* hook) {
+  g_stall_hook.store(hook, std::memory_order_release);
 }
 
 }  // namespace aria::fault

@@ -64,6 +64,26 @@ class NetInjector {
   virtual bool DropBeforeExecute(uint64_t loop, uint64_t conn) = 0;
 };
 
+/// Writer stall points for the torn-read battery (DESIGN.md §14). Each
+/// marks the instant a writer has made a record's version/counter state
+/// inconsistent with its payload — the window a broken optimistic reader
+/// would return a half-written value from. Tests install a StallHook that
+/// parks the writer inside the window while a reader probes it.
+enum class StallPoint : uint8_t {
+  kBaselineValuePublish = 0,  ///< EnclaveKV: mid in-place value overwrite
+  kAriaCounterPublish,        ///< AriaHash: counter bumped, new record not yet published
+  kOptimisticReadBody,        ///< ShardedStore: between the first seq read and the probe
+  kNumStallPoints,
+};
+
+/// Test-side stall latch: OnStall blocks (or not) at the writer's
+/// discretion-free stall points above.
+class StallHook {
+ public:
+  virtual ~StallHook() = default;
+  virtual void OnStall(StallPoint point) = 0;
+};
+
 /// Currently installed injector, or nullptr (production).
 Injector* Get();
 
@@ -75,6 +95,16 @@ NetInjector* GetNet();
 
 /// Install (or clear, with nullptr) the network injector. Test-only.
 void SetNet(NetInjector* injector);
+
+/// Currently installed stall hook, or nullptr (production).
+StallHook* GetStall();
+
+/// Install (or clear, with nullptr) the stall hook. Test-only.
+void SetStall(StallHook* hook);
+
+inline void InjectStall(StallPoint point) {
+  if (StallHook* h = GetStall()) h->OnStall(point);
+}
 
 inline void InjectUntrustedRead(Site site, void* p, size_t len) {
   if (Injector* i = Get()) i->OnUntrustedRead(site, static_cast<uint8_t*>(p), len);

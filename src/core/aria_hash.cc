@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/fault_injection.h"
 #include "common/hash.h"
 
 namespace aria {
@@ -50,7 +51,8 @@ uint64_t AriaHash::trusted_index_bytes() const {
 
 uint8_t* AriaHash::DebugEntry(Slice key) {
   uint32_t hint = KeyHint(key);
-  for (uint8_t* e = buckets_[BucketOf(key)]; e != nullptr; e = EntryNext(e)) {
+  for (uint8_t* e = LoadCell(&buckets_[BucketOf(key)]); e != nullptr;
+       e = EntryNext(e)) {
     if (EntryHint(e) == hint) return e;
   }
   return nullptr;
@@ -83,7 +85,7 @@ Status AriaHash::FindEntry(uint64_t b, Slice key, uint8_t*** found_loc,
   *found_entry = nullptr;
   uint32_t hint = KeyHint(key);
   uint8_t** loc = &buckets_[b];
-  uint8_t* e = *loc;
+  uint8_t* e = LoadCell(loc);
   *walked = 0;
   while (e != nullptr) {
     (*walked)++;
@@ -94,8 +96,7 @@ Status AriaHash::FindEntry(uint64_t b, Slice key, uint8_t*** found_loc,
       RecordHeader h = RecordCodec::Peek(rec);
       uint8_t ctr[CounterStore::kCounterSize];
       ARIA_RETURN_IF_ERROR(counters_->ReadCounter(h.red_ptr, ctr));
-      ARIA_RETURN_IF_ERROR(
-          codec_->Verify(rec, ctr, reinterpret_cast<uint64_t>(loc)));
+      ARIA_RETURN_IF_ERROR(codec_->Verify(rec, ctr, AdOf(b, loc)));
       codec_->OpenKey(rec, ctr, &key_scratch_);
       if (Slice(key_scratch_) == key) {
         if (value_out != nullptr) codec_->OpenValue(rec, ctr, value_out);
@@ -105,7 +106,7 @@ Status AriaHash::FindEntry(uint64_t b, Slice key, uint8_t*** found_loc,
       }
     }
     loc = reinterpret_cast<uint8_t**>(e);  // next cell is at offset 0
-    e = *loc;
+    e = LoadCell(loc);
   }
   *found_loc = loc;  // tail cell
   return Status::OK();
@@ -121,11 +122,72 @@ Status AriaHash::Get(Slice key, std::string* value) {
 
   // Miss: use the trusted entry count to detect unauthorized deletion.
   enclave_->TouchRead(&bucket_counts_[b], sizeof(uint32_t));
-  if (walked != bucket_counts_[b]) {
+  if (walked != LoadBucketCount(b)) {
     return Status::IntegrityViolation(
         "bucket entry count mismatch (deletion attack)");
   }
   return Status::NotFound();
+}
+
+LockFreeGetResult AriaHash::TryLockFreeGet(Slice key, std::string* value) {
+  // Only meaningful when published blocks are immutable and the counter
+  // store can serve atomic reads; otherwise the caller must lock. The
+  // Secure Cache counter path (Aria proper) reports no lock-free support —
+  // its reads swap cache lines and advance the CLOCK hand — which is the
+  // "read path genuinely mutates shared state" fallback rule.
+  if (!config_.lock_free_reads || buckets_ == nullptr ||
+      !counters_->SupportsLockFreeRead()) {
+    return LockFreeGetResult::kFallback;
+  }
+  const uint64_t b = BucketOf(key);
+  const uint32_t hint = KeyHint(key);
+  // Chains are acyclic at every instant, but a reader racing many writers
+  // could observe an abnormally long mixed-epoch walk; a generous cap
+  // converts that corner into a locked retry instead of an unbounded loop.
+  constexpr uint64_t kMaxWalk = 1 << 16;
+  uint64_t walked = 0;
+  uint64_t hints_matched = 0;
+  std::string candidate;  // stack-local: key_scratch_ belongs to the writer
+  LockFreeGetResult result = LockFreeGetResult::kFallback;
+  uint8_t** loc = &buckets_[b];
+  uint8_t* e = LoadCell(loc);
+  while (true) {
+    if (e == nullptr) {
+      // Miss: the deletion check against the trusted per-bucket count. A
+      // mismatch here is *not* a verdict — a concurrent writer may have
+      // published an entry before (or after) bumping the count — so it
+      // demotes to the locked path, which alone may report violations.
+      enclave_->ChargeSharedRead(&bucket_counts_[b], sizeof(uint32_t));
+      result = walked == LoadBucketCount(b) ? LockFreeGetResult::kNotFound
+                                            : LockFreeGetResult::kFallback;
+      break;
+    }
+    if (++walked > kMaxWalk) break;  // kFallback
+    const size_t block_bytes = allocator_->UsableBytesLockFree(e);
+    if (block_bytes <= kEntryHeader) break;  // unresolvable without the lock
+    if (EntryHint(e) == hint) {
+      ++hints_matched;
+      const uint8_t* rec = e + kEntryHeader;
+      const RecordHeader h = RecordCodec::Peek(rec);
+      uint8_t ctr[CounterStore::kCounterSize];
+      if (!counters_->TryReadCounterLockFree(h.red_ptr, ctr)) break;
+      // A failed MAC check is indistinguishable from racing an in-flight
+      // overwrite of this very key (counter bumped, new block not yet
+      // published), so it demotes to the locked path rather than walking on.
+      if (!codec_->Verify(rec, ctr, b, block_bytes - kEntryHeader).ok()) break;
+      codec_->OpenKeyLockFree(rec, ctr, &candidate);
+      if (Slice(candidate) == key) {
+        codec_->OpenValueLockFree(rec, ctr, value);
+        result = LockFreeGetResult::kHit;
+        break;
+      }
+    }
+    loc = reinterpret_cast<uint8_t**>(e);
+    e = LoadCell(loc);
+  }
+  lf_entries_walked_.fetch_add(walked, std::memory_order_relaxed);
+  lf_hint_matches_.fetch_add(hints_matched, std::memory_order_relaxed);
+  return result;
 }
 
 Status AriaHash::Put(Slice key, Slice value) {
@@ -149,28 +211,34 @@ Status AriaHash::Put(Slice key, Slice value) {
     ARIA_RETURN_IF_ERROR(counters_->BumpCounter(h.red_ptr, ctr));
 
     size_t old_sealed = RecordCodec::SealedSize(h.k_len, h.v_len);
-    if (sealed <= old_sealed && !config_.out_of_place_updates) {
-      // In-place re-seal: the entry block is large enough.
-      codec_->Seal(h.red_ptr, ctr, key, value,
-                   reinterpret_cast<uint64_t>(loc), rec);
+    if (sealed <= old_sealed && !config_.out_of_place_updates &&
+        !config_.lock_free_reads) {
+      // In-place re-seal: the entry block is large enough. Never taken in
+      // lock-free mode — published blocks are immutable there.
+      codec_->Seal(h.red_ptr, ctr, key, value, AdOf(b, loc), rec);
       return Status::OK();
     }
-    // Relocate to a bigger block.
+    // Relocate to a fresh block (copy-on-write). The counter is already
+    // bumped but the old block is still published: a concurrent lock-free
+    // reader probing now sees a MAC mismatch and retries or falls back —
+    // the window the torn-read battery pins open via this stall point.
+    fault::InjectStall(fault::StallPoint::kAriaCounterPublish);
     auto mem = allocator_->Alloc(kEntryHeader + sealed);
     if (!mem.ok()) return mem.status();
     uint8_t* ne = static_cast<uint8_t*>(mem.value());
     uint8_t* next = EntryNext(e);
     SetEntryNext(ne, next);
     SetEntryHint(ne, EntryHint(e));
-    codec_->Seal(h.red_ptr, ctr, key, value, reinterpret_cast<uint64_t>(loc),
-                 EntryRecord(ne));
-    *loc = ne;
-    if (next != nullptr) {
+    codec_->Seal(h.red_ptr, ctr, key, value, AdOf(b, loc), EntryRecord(ne));
+    StoreCell(loc, ne);
+    if (next != nullptr && !config_.lock_free_reads) {
       // The successor is now pointed at from the new block's next cell.
+      // (Lock-free mode binds the bucket index, so relocation never
+      // invalidates a successor's MAC.)
       ARIA_RETURN_IF_ERROR(ResealEntry(next, reinterpret_cast<uint64_t>(e),
                                        reinterpret_cast<uint64_t>(ne)));
     }
-    ARIA_RETURN_IF_ERROR(allocator_->Free(e));
+    ARIA_RETURN_IF_ERROR(ReleaseBlock(e));
     return Status::OK();
   }
 
@@ -192,11 +260,10 @@ Status AriaHash::Put(Slice key, Slice value) {
   uint8_t* ne = static_cast<uint8_t*>(mem.value());
   SetEntryNext(ne, nullptr);
   SetEntryHint(ne, KeyHint(key));
-  codec_->Seal(red.value(), ctr, key, value, reinterpret_cast<uint64_t>(loc),
-               EntryRecord(ne));
-  *loc = ne;
+  codec_->Seal(red.value(), ctr, key, value, AdOf(b, loc), EntryRecord(ne));
+  StoreCell(loc, ne);
   enclave_->TouchWrite(&bucket_counts_[b], sizeof(uint32_t));
-  bucket_counts_[b]++;
+  StoreBucketCount(b, LoadBucketCount(b) + 1);
   size_++;
   return Status::OK();
 }
@@ -209,7 +276,7 @@ Status AriaHash::Delete(Slice key) {
   ARIA_RETURN_IF_ERROR(FindEntry(b, key, &loc, &e, nullptr, &walked));
   if (e == nullptr) {
     enclave_->TouchRead(&bucket_counts_[b], sizeof(uint32_t));
-    if (walked != bucket_counts_[b]) {
+    if (walked != LoadBucketCount(b)) {
       return Status::IntegrityViolation(
           "bucket entry count mismatch (deletion attack)");
     }
@@ -218,22 +285,26 @@ Status AriaHash::Delete(Slice key) {
   uint8_t* rec = EntryRecord(e);
   RecordHeader h = RecordCodec::Peek(rec);
   uint8_t* next = EntryNext(e);
-  *loc = next;
-  if (next != nullptr) {
+  StoreCell(loc, next);
+  if (next != nullptr && !config_.lock_free_reads) {
     ARIA_RETURN_IF_ERROR(ResealEntry(next, reinterpret_cast<uint64_t>(e),
                                      reinterpret_cast<uint64_t>(loc)));
   }
   ARIA_RETURN_IF_ERROR(counters_->FreeCounter(h.red_ptr));
-  ARIA_RETURN_IF_ERROR(allocator_->Free(e));
+  ARIA_RETURN_IF_ERROR(ReleaseBlock(e));
   enclave_->TouchWrite(&bucket_counts_[b], sizeof(uint32_t));
-  bucket_counts_[b]--;
+  StoreBucketCount(b, LoadBucketCount(b) - 1);
   size_--;
   return Status::OK();
 }
 
 void AriaHash::CollectMetrics(obs::MetricSink* sink) const {
-  sink->Counter("entries_walked", stats_.entries_walked);
-  sink->Counter("hint_matches", stats_.hint_matches);
+  sink->Counter("entries_walked",
+                stats_.entries_walked +
+                    lf_entries_walked_.load(std::memory_order_relaxed));
+  sink->Counter("hint_matches",
+                stats_.hint_matches +
+                    lf_hint_matches_.load(std::memory_order_relaxed));
   sink->Counter("reseals", stats_.reseals);
   sink->Gauge("buckets", config_.num_buckets);
   sink->Gauge("trusted_index_bytes", trusted_index_bytes());

@@ -4,12 +4,28 @@
 // is [next 8][hint 4][pad 4][sealed record]; the key hint (hash of the
 // plaintext key) lets lookups skip non-matching candidates without
 // decryption. Index protection (§V-C):
-//  * each record's MAC binds the AdField — the address of the pointer cell
-//    that points at the entry — so exchanging two entries is detected;
+//  * each record's MAC binds the AdField — by default the address of the
+//    pointer cell that points at the entry — so exchanging two entries is
+//    detected;
 //  * a trusted per-bucket entry count detects unauthorized deletion when a
 //    lookup misses.
+//
+// Lock-free read mode (`lock_free_reads`, DESIGN.md §14): published entry
+// blocks become immutable — every overwrite copy-on-writes into a fresh
+// block and the displaced block is handed to the owner's RetireHook instead
+// of being freed in place — and all pointer cells are accessed atomically.
+// The AdField binding switches from the pointer-cell address to the bucket
+// index: cell addresses change on every CoW relocation, which would force a
+// re-MAC cascade over successors exactly where readers are traversing.
+// Binding the bucket index keeps the §V-C guarantees — cross-bucket
+// splicing breaks the MAC, replaying an old block for the same key breaks
+// against the bumped trusted counter, and deletion is still caught by the
+// trusted per-bucket count; the only power given up is detecting a
+// *reordering* of intact entries within one bucket's chain, which has no
+// semantic effect on a set of distinct keys.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -30,6 +46,12 @@ struct AriaHashConfig {
   /// request allocates untrusted memory — the traffic the user-space heap
   /// allocator exists to absorb, Fig. 12).
   bool out_of_place_updates = false;
+
+  /// Support TryLockFreeGet: immutable published blocks (every overwrite
+  /// goes out of place), atomic pointer-cell accesses, bucket-index AdField
+  /// binding, and displaced blocks routed through the RetireHook. Mutators
+  /// still require external serialization (the shard writer lock).
+  bool lock_free_reads = false;
 };
 
 struct AriaHashStats {
@@ -50,6 +72,11 @@ class AriaHash : public KVStore {
   Status Put(Slice key, Slice value) override;
   Status Get(Slice key, std::string* value) override;
   Status Delete(Slice key) override;
+  LockFreeGetResult TryLockFreeGet(Slice key, std::string* value) override;
+  void SetRetireHook(RetireHook hook) override {
+    retire_hook_ = std::move(hook);
+  }
+  void FreeRetired(void* p) override { allocator_->Free(p).ok(); }
   const char* name() const override { return "Aria-H"; }
   uint64_t size() const override { return size_; }
 
@@ -72,28 +99,62 @@ class AriaHash : public KVStore {
  private:
   static constexpr size_t kEntryHeader = 16;
 
+  // Pointer cells (bucket heads and entry next-cells) and key hints are
+  // accessed through atomic_ref so a lock-free reader never races the
+  // (locked) writer at the byte level. Entry blocks are 8-byte aligned:
+  // HeapAllocator blocks sit at multiples of a >=16-byte size class inside
+  // a chunk-aligned chunk, and OcallAllocator returns malloc alignment.
+  static uint8_t* LoadCell(uint8_t** loc) {
+    return std::atomic_ref<uint8_t*>(*loc).load(std::memory_order_acquire);
+  }
+  static void StoreCell(uint8_t** loc, uint8_t* v) {
+    std::atomic_ref<uint8_t*>(*loc).store(v, std::memory_order_release);
+  }
   static uint8_t* EntryNext(uint8_t* e) {
-    uint8_t* next;
-    std::memcpy(&next, e, sizeof(next));
-    return next;
+    return LoadCell(reinterpret_cast<uint8_t**>(e));
   }
   static void SetEntryNext(uint8_t* e, uint8_t* next) {
-    std::memcpy(e, &next, sizeof(next));
+    StoreCell(reinterpret_cast<uint8_t**>(e), next);
   }
   static uint32_t EntryHint(const uint8_t* e) {
-    uint32_t h;
-    std::memcpy(&h, e + 8, sizeof(h));
-    return h;
+    // atomic_ref over const T is not portable until C++26; load-only.
+    return std::atomic_ref<uint32_t>(
+               *reinterpret_cast<uint32_t*>(const_cast<uint8_t*>(e) + 8))
+        .load(std::memory_order_relaxed);
   }
   static void SetEntryHint(uint8_t* e, uint32_t h) {
-    std::memcpy(e + 8, &h, sizeof(h));
+    std::atomic_ref<uint32_t>(*reinterpret_cast<uint32_t*>(e + 8))
+        .store(h, std::memory_order_relaxed);
   }
   static uint8_t* EntryRecord(uint8_t* e) { return e + kEntryHeader; }
 
   uint64_t BucketOf(Slice key) const;
 
-  /// Pointer cell at `loc` holds the entry address (untrusted memory).
-  static uint8_t* LoadCell(uint8_t** loc) { return *loc; }
+  /// AdField for the entry published in cell `loc` of bucket `b` (see the
+  /// file comment for why lock-free mode binds the bucket index).
+  uint64_t AdOf(uint64_t b, uint8_t** loc) const {
+    return config_.lock_free_reads ? b : reinterpret_cast<uint64_t>(loc);
+  }
+
+  /// Free a displaced block — through the RetireHook when installed (the
+  /// sharded front-end defers it past the current epoch), directly
+  /// otherwise.
+  Status ReleaseBlock(uint8_t* e) {
+    if (retire_hook_) {
+      retire_hook_(e);
+      return Status::OK();
+    }
+    return allocator_->Free(e);
+  }
+
+  uint32_t LoadBucketCount(uint64_t b) const {
+    return std::atomic_ref<uint32_t>(bucket_counts_[b])
+        .load(std::memory_order_acquire);
+  }
+  void StoreBucketCount(uint64_t b, uint32_t v) {
+    std::atomic_ref<uint32_t>(bucket_counts_[b])
+        .store(v, std::memory_order_release);
+  }
 
   /// Verify an entry against its current AdField and re-MAC it for a new
   /// pointer-cell address (entry relocation during insert/delete).
@@ -118,6 +179,12 @@ class AriaHash : public KVStore {
   uint64_t size_ = 0;
   AriaHashStats stats_;
   std::string key_scratch_;  // reused candidate-key buffer (enclave memory)
+
+  RetireHook retire_hook_;
+  // Lock-free-read stats, bumped by concurrent readers and folded into the
+  // same metric names as the locked-path stats_ fields.
+  mutable std::atomic<uint64_t> lf_entries_walked_{0};
+  mutable std::atomic<uint64_t> lf_hint_matches_{0};
 };
 
 }  // namespace aria

@@ -38,6 +38,25 @@ class CounterStore {
 
   /// Counters currently handed out (diagnostics).
   virtual uint64_t used_counters() const = 0;
+
+  /// True when TryReadCounterLockFree can serve concurrent readers while a
+  /// writer (under the shard lock) bumps counters. CounterManager says
+  /// false — its read path swaps Secure Cache lines and advances the CLOCK
+  /// hand, which is exactly the "read path mutates shared state" case that
+  /// forces ShardedStore's optimistic GETs onto the locked fallback.
+  virtual bool SupportsLockFreeRead() const { return false; }
+
+  /// Read a counter using only atomic loads (no verification structures
+  /// touched, no cache state mutated). The value may be torn against a
+  /// concurrent bump at the 8-byte-word level; callers detect that through
+  /// the record MAC and retry or fall back. Returns false when unsupported
+  /// or `id` is out of range.
+  virtual bool TryReadCounterLockFree(RedPtr id,
+                                      uint8_t out[kCounterSize]) const {
+    (void)id;
+    (void)out;
+    return false;
+  }
 };
 
 }  // namespace aria

@@ -1,0 +1,102 @@
+#include "core/epoch.h"
+
+#include <thread>
+
+namespace aria::epoch {
+
+EpochManager::EpochManager(uint32_t num_slots)
+    : num_slots_(num_slots == 0 ? 1 : num_slots),
+      slots_(new Slot[num_slots == 0 ? 1 : num_slots]) {}
+
+uint64_t EpochManager::Guard::epoch() const {
+  if (mgr_ == nullptr) return 0;
+  return mgr_->slots_[slot_].state.load(std::memory_order_relaxed);
+}
+
+void EpochManager::Guard::Release() {
+  if (mgr_ == nullptr) return;
+  mgr_->slots_[slot_].state.store(0, std::memory_order_release);
+  mgr_ = nullptr;
+}
+
+EpochManager::Guard EpochManager::Enter() {
+  // Start probing at a per-thread offset so concurrent readers spread over
+  // the slot array instead of all contending on slot 0.
+  static thread_local uint32_t probe_base =
+      static_cast<uint32_t>(std::hash<std::thread::id>{}(
+          std::this_thread::get_id()));
+  for (uint32_t i = 0; i < num_slots_; ++i) {
+    const uint32_t s = (probe_base + i) % num_slots_;
+    uint64_t expected = 0;
+    uint64_t e = epoch_.load(std::memory_order_seq_cst);
+    if (!slots_[s].state.compare_exchange_strong(expected, e,
+                                                 std::memory_order_seq_cst)) {
+      continue;  // slot busy; try the next one
+    }
+    // Store-then-recheck handshake. The CAS published a possibly stale
+    // epoch; re-read the global and re-publish until they agree. This
+    // closes the race with a concurrent retiring writer: the writer's
+    // AdvanceAfterRetire (seq_cst RMW) either precedes our final epoch
+    // load — in which case we pin an epoch >= the retire tag and, via the
+    // release sequence through the epoch counter, are guaranteed to see
+    // the unlink — or it follows our slot publication in the seq_cst
+    // order, in which case the writer's MinActiveEpoch scan (sequenced
+    // after its RMW) observes our pinned slot and blocks reclamation.
+    for (;;) {
+      const uint64_t now = epoch_.load(std::memory_order_seq_cst);
+      if (now == e) break;
+      slots_[s].state.store(now, std::memory_order_seq_cst);
+      e = now;
+    }
+    return Guard(this, s);
+  }
+  return Guard();  // all slots busy: caller falls back to the locked path
+}
+
+uint64_t EpochManager::MinActiveEpoch() const {
+  uint64_t min = UINT64_MAX;
+  for (uint32_t s = 0; s < num_slots_; ++s) {
+    const uint64_t e = slots_[s].state.load(std::memory_order_seq_cst);
+    if (e != 0 && e < min) min = e;
+  }
+  return min;
+}
+
+uint32_t EpochManager::active_slots() const {
+  uint32_t n = 0;
+  for (uint32_t s = 0; s < num_slots_; ++s) {
+    if (slots_[s].state.load(std::memory_order_relaxed) != 0) ++n;
+  }
+  return n;
+}
+
+void RetireList::Retire(void* p, std::function<void(void*)> deleter,
+                        uint64_t retire_epoch) {
+  items_.push_back(Item{p, std::move(deleter), retire_epoch});
+}
+
+size_t RetireList::Drain(const EpochManager& mgr) {
+  if (items_.empty()) return 0;
+  const uint64_t min_active = mgr.MinActiveEpoch();
+  size_t freed = 0;
+  while (!items_.empty() && items_.front().epoch < min_active) {
+    Item item = std::move(items_.front());
+    items_.pop_front();
+    item.deleter(item.p);
+    ++freed;
+  }
+  return freed;
+}
+
+size_t RetireList::DrainAll() {
+  size_t freed = 0;
+  while (!items_.empty()) {
+    Item item = std::move(items_.front());
+    items_.pop_front();
+    item.deleter(item.p);
+    ++freed;
+  }
+  return freed;
+}
+
+}  // namespace aria::epoch

@@ -1,0 +1,165 @@
+// Epoch-based reclamation for the lock-free GET path (DESIGN.md §14).
+//
+// Readers pin themselves into the current global epoch before touching
+// shared records; writers never free a displaced record in place — they
+// unlink it, advance the global epoch, and push the block onto a deferred
+// RetireList tagged with the post-advance epoch. A retired block is freed
+// only once every pinned reader's epoch is at least as new as the retire
+// epoch, which (via the release sequence through the epoch counter's RMW
+// chain) proves the reader entered after the unlink was published and so
+// cannot still hold a pointer into the block.
+//
+// The manager is deliberately small: a single global epoch counter and a
+// fixed array of cache-line-padded reader slots. Entry claims a free slot
+// with a CAS and then re-checks the global epoch, re-publishing until the
+// published value matches (the store-then-recheck handshake that makes the
+// drain-side scan race-free; see epoch.cc). If every slot is busy, Enter()
+// returns an inactive Guard and the caller must fall back to the locked
+// read path — pinning never blocks and never spins on other readers.
+//
+// Thread-safety: EpochManager is fully thread-safe. RetireList is NOT —
+// each ShardedStore shard owns one and mutates it only while holding that
+// shard's writer lock.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+namespace aria::epoch {
+
+class EpochManager {
+ public:
+  static constexpr uint32_t kDefaultSlots = 64;
+
+  explicit EpochManager(uint32_t num_slots = kDefaultSlots);
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// RAII pin on the current epoch. Move-only; inactive guards (all slots
+  /// busy) are valid objects whose destructor is a no-op.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& o) noexcept : mgr_(o.mgr_), slot_(o.slot_) {
+      o.mgr_ = nullptr;
+    }
+    Guard& operator=(Guard&& o) noexcept {
+      if (this != &o) {
+        Release();
+        mgr_ = o.mgr_;
+        slot_ = o.slot_;
+        o.mgr_ = nullptr;
+      }
+      return *this;
+    }
+    ~Guard() { Release(); }
+
+    /// True when the calling thread holds a reader slot.
+    bool active() const { return mgr_ != nullptr; }
+
+    /// Epoch this guard is pinned at (0 when inactive).
+    uint64_t epoch() const;
+
+    /// Unpin early (idempotent).
+    void Release();
+
+   private:
+    friend class EpochManager;
+    Guard(EpochManager* mgr, uint32_t slot) : mgr_(mgr), slot_(slot) {}
+
+    EpochManager* mgr_ = nullptr;
+    uint32_t slot_ = 0;
+  };
+
+  /// Pin the calling thread into the current epoch. Returns an inactive
+  /// Guard when all reader slots are occupied; the caller must then take
+  /// the locked path instead.
+  Guard Enter();
+
+  /// Current global epoch (starts at 2 so epoch 0 can mean "slot free").
+  uint64_t current_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Advance the global epoch after unlinking an object; returns the new
+  /// epoch, which is the retire tag for the object. Must be called by the
+  /// retiring writer *after* the unlink store — the seq_cst RMW here is
+  /// what orders the unlink before any later reader's pin.
+  uint64_t AdvanceAfterRetire() {
+    return epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  /// Minimum epoch any pinned reader holds, or UINT64_MAX when no reader
+  /// is pinned. Monotone per-call lower bound: a reader that pins after
+  /// the scan starts observes the latest epoch, so it can only raise the
+  /// true minimum.
+  uint64_t MinActiveEpoch() const;
+
+  /// True when an object retired at `retire_epoch` can be freed.
+  bool SafeToReclaim(uint64_t retire_epoch) const {
+    return MinActiveEpoch() > retire_epoch;
+  }
+
+  uint32_t num_slots() const { return num_slots_; }
+
+  /// Number of currently pinned readers (diagnostic; racy by nature).
+  uint32_t active_slots() const;
+
+ private:
+  // One reader slot per cache line so pin/unpin traffic from different
+  // threads never false-shares. state == 0 means free; otherwise it holds
+  // the pinned epoch.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> state{0};
+  };
+
+  std::atomic<uint64_t> epoch_{2};
+  uint32_t num_slots_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+/// Deferred-free list for records displaced by writers. FIFO by retire
+/// epoch (epochs are tagged from a monotone counter, so the front is
+/// always the oldest). NOT thread-safe: owned by one shard and mutated
+/// only under that shard's writer lock.
+class RetireList {
+ public:
+  RetireList() = default;
+  RetireList(const RetireList&) = delete;
+  RetireList& operator=(const RetireList&) = delete;
+
+  /// Frees anything still pending — shutdown path, when no readers can
+  /// remain by contract.
+  ~RetireList() { DrainAll(); }
+
+  /// Defer freeing `p` until no reader pinned before `retire_epoch`
+  /// remains. `deleter` runs on the draining thread (under the shard's
+  /// writer lock).
+  void Retire(void* p, std::function<void(void*)> deleter,
+              uint64_t retire_epoch);
+
+  /// Free every entry no pinned reader can still see. Returns the number
+  /// of entries freed.
+  size_t Drain(const EpochManager& mgr);
+
+  /// Free everything unconditionally. Returns the number freed.
+  size_t DrainAll();
+
+  size_t pending() const { return items_.size(); }
+
+ private:
+  struct Item {
+    void* p;
+    std::function<void(void*)> deleter;
+    uint64_t epoch;
+  };
+
+  std::deque<Item> items_;
+};
+
+}  // namespace aria::epoch

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -12,6 +13,16 @@
 #include "obs/metrics.h"
 
 namespace aria {
+
+/// Outcome of a lock-free read attempt (ShardedStore optimistic mode,
+/// DESIGN.md §8/§14). kFallback means the store could not serve this key
+/// without mutating shared state (Secure Cache swap-in, CLOCK advance) or
+/// could not prove the snapshot consistent — the caller must retry under
+/// the shard's exclusive lock. A lock-free probe NEVER reports
+/// IntegrityViolation: a torn snapshot is indistinguishable from an
+/// in-flight writer, so the locked path is the only place that verdict may
+/// be rendered.
+enum class LockFreeGetResult : uint8_t { kHit, kNotFound, kFallback };
 
 class KVStore : public obs::Observable {
  public:
@@ -26,6 +37,28 @@ class KVStore : public obs::Observable {
 
   /// Remove a KV pair. NotFound if absent.
   virtual Status Delete(Slice key) = 0;
+
+  /// Attempt to serve a GET without any lock, relying only on atomic loads
+  /// plus the caller's epoch pin. Default: unsupported — fall back. Stores
+  /// that support it (AriaHash, EnclaveKV with lock_free_reads configured)
+  /// must leave `*value` meaningful only on kHit and must never mutate
+  /// index or cache state on this path.
+  virtual LockFreeGetResult TryLockFreeGet(Slice key, std::string* value) {
+    (void)key;
+    (void)value;
+    return LockFreeGetResult::kFallback;
+  }
+
+  /// Hook invoked (under the owner's writer lock) instead of freeing a
+  /// displaced block in place, so the owner can defer the free through an
+  /// epoch RetireList. Stores without a lock-free read path ignore it.
+  using RetireHook = std::function<void(void*)>;
+  virtual void SetRetireHook(RetireHook hook) { (void)hook; }
+
+  /// Free a block previously handed to the RetireHook (called by the
+  /// RetireList deleter once no reader can still see it). Must release
+  /// through the same allocator the store used for the block.
+  virtual void FreeRetired(void* p) { (void)p; }
 
   /// Scheme name for reporting ("Aria-H", "ShieldStore", ...).
   virtual const char* name() const = 0;

@@ -113,6 +113,31 @@ void RecordCodec::OpenValue(const uint8_t* rec, const uint8_t counter[16],
   enclave_->TouchWrite(value->data(), value->size());
 }
 
+void RecordCodec::OpenKeyLockFree(const uint8_t* rec,
+                                  const uint8_t counter[16],
+                                  std::string* key) const {
+  RecordHeader h = Peek(rec);
+  uint8_t ctr_block[16];
+  DeriveCtrBlock(h.red_ptr, counter, ctr_block);
+  key->resize(h.k_len);
+  crypto::AesCtrCrypt(*aes_, ctr_block, rec + kHeaderSize,
+                      reinterpret_cast<uint8_t*>(key->data()), h.k_len);
+  enclave_->ChargeSharedWrite(key->data(), key->size());
+}
+
+void RecordCodec::OpenValueLockFree(const uint8_t* rec,
+                                    const uint8_t counter[16],
+                                    std::string* value) const {
+  RecordHeader h = Peek(rec);
+  uint8_t ctr_block[16];
+  DeriveCtrBlock(h.red_ptr, counter, ctr_block);
+  value->resize(h.v_len);
+  crypto::AesCtrCryptAt(*aes_, ctr_block, h.k_len,
+                        rec + kHeaderSize + h.k_len,
+                        reinterpret_cast<uint8_t*>(value->data()), h.v_len);
+  enclave_->ChargeSharedWrite(value->data(), value->size());
+}
+
 void RecordCodec::Reseal(uint8_t* rec, const uint8_t counter[16],
                          uint64_t ad_field) const {
   RecordHeader h = Peek(rec);

@@ -96,6 +96,17 @@ class RecordCodec {
   void OpenValue(const uint8_t* rec, const uint8_t counter[16],
                  std::string* value) const;
 
+  /// Lock-free-read variants of OpenKey/OpenValue: identical decryption,
+  /// but the plaintext's enclave-memory cost is charged through the
+  /// thread-safe ChargeSharedWrite accumulator instead of TouchWrite
+  /// (which mutates EPC residency state and is writer-only). Verify and
+  /// ComputeMac are already safe from lock-free readers — they keep all
+  /// state in locals.
+  void OpenKeyLockFree(const uint8_t* rec, const uint8_t counter[16],
+                       std::string* key) const;
+  void OpenValueLockFree(const uint8_t* rec, const uint8_t counter[16],
+                         std::string* value) const;
+
   /// Recompute and store the MAC after the AdField changed (the ciphertext
   /// and counter stay as they are — no re-encryption, §V-C).
   void Reseal(uint8_t* rec, const uint8_t counter[16],

@@ -3,6 +3,7 @@
 #include <mutex>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/hash.h"
 
 namespace aria {
@@ -13,6 +14,11 @@ namespace {
 // modulus correlated with the in-shard bucket modulus would leave every
 // shard populating only 1/N of its buckets.
 constexpr uint64_t kShardHashSeed = 0x5A17ED0DULL;
+
+// Retired records tolerated on a shard before EndShardWrite drains the
+// list. Small enough to bound deferred memory, large enough that a burst
+// of overwrites amortizes the epoch scan.
+constexpr size_t kDrainBatch = 16;
 
 uint64_t Divided(uint64_t total, uint32_t n, uint64_t floor) {
   uint64_t per = total / n;
@@ -36,10 +42,19 @@ Status ShardedStore::Create(const StoreOptions& base,
         "shard_shared_reads requires a const read path "
         "(Baseline hash with the cost model disabled)");
   }
+  if (base.shard_shared_reads && base.read_mode == ReadMode::kOptimistic) {
+    // Both options answer "how do reads avoid the exclusive lock"; the
+    // optimistic path's fallback assumes the exclusive-lock discipline.
+    return Status::InvalidArgument(
+        "shard_shared_reads and ReadMode::kOptimistic are mutually "
+        "exclusive");
+  }
 
   const uint32_t n = base.num_shards;
   auto sharded = std::unique_ptr<ShardedStore>(new ShardedStore());
   sharded->shared_reads_ = base.shard_shared_reads;
+  sharded->read_mode_ = base.read_mode;
+  sharded->max_retries_ = base.optimistic_max_retries;
   for (uint32_t i = 0; i < n; ++i) {
     StoreOptions opts = base;
     opts.num_shards = 1;
@@ -63,11 +78,29 @@ Status ShardedStore::Create(const StoreOptions& base,
     auto shard = std::make_unique<Shard>();
     ARIA_RETURN_IF_ERROR(CreateStore(opts, &shard->bundle));
     shard->ordered = dynamic_cast<OrderedKVStore*>(shard->bundle.store.get());
+    if (base.read_mode == ReadMode::kOptimistic) {
+      // Writers hand displaced records here instead of freeing them in
+      // place. The hook runs on the writer, under this shard's exclusive
+      // lock (RetireList is not thread-safe), after the record was
+      // unlinked from the index — so AdvanceAfterRetire() tags it with an
+      // epoch no reader that can still reach it will ever be pinned past.
+      KVStore* raw = shard->bundle.store.get();
+      Shard* sp = shard.get();
+      epoch::EpochManager* mgr = &sharded->epoch_mgr_;
+      raw->SetRetireHook([sp, raw, mgr](void* p) {
+        uint64_t e = mgr->AdvanceAfterRetire();
+        sp->retired.Retire(p, [raw](void* q) { raw->FreeRetired(q); }, e);
+        sp->retired_count.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
     sharded->shards_.push_back(std::move(shard));
   }
   sharded->ordered_ = sharded->shards_[0]->ordered != nullptr;
   sharded->name_ = "Sharded[" + std::to_string(n) + "] " +
                    sharded->shards_[0]->bundle.label;
+  if (base.read_mode == ReadMode::kOptimistic) {
+    sharded->name_ += " optimistic";
+  }
   *out = std::move(sharded);
   return Status::OK();
 }
@@ -77,14 +110,102 @@ uint32_t ShardedStore::ShardOf(Slice key) const {
                                shards_.size());
 }
 
+void ShardedStore::BeginShardWrite(Shard& s) {
+  if (read_mode_ != ReadMode::kOptimistic) return;
+  // Single writer (s.mu held exclusive), so a plain increment is enough.
+  // The release fence orders the odd store before every data store of the
+  // mutation — including the relaxed byte-atomic ones — so a reader whose
+  // probe observed any of them also observes an odd (or newer) version.
+  s.seq.store(s.seq.load(std::memory_order_relaxed) + 1,
+              std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+}
+
+void ShardedStore::EndShardWrite(Shard& s) {
+  if (read_mode_ != ReadMode::kOptimistic) return;
+  // The release store orders every data store of the mutation before the
+  // even version: a reader whose first version read sees it is guaranteed
+  // to read fully-published data (or fail validation on a newer writer).
+  s.seq.store(s.seq.load(std::memory_order_relaxed) + 1,
+              std::memory_order_release);
+  if (s.retired.pending() >= kDrainBatch) {
+    s.reclaimed_count.fetch_add(s.retired.Drain(epoch_mgr_),
+                                std::memory_order_relaxed);
+  }
+}
+
+ShardedStore::ProbeOutcome ShardedStore::TryOptimisticOnce(Shard& s,
+                                                           Slice key,
+                                                           std::string* value,
+                                                           Status* st) {
+  const uint64_t v1 = s.seq.load(std::memory_order_acquire);
+  if ((v1 & 1) != 0) return ProbeOutcome::kRaced;  // writer mid-mutation
+  // Deterministic torn-read choreography: tests park the reader here,
+  // release a writer into its own mid-publish stall, then resume us so the
+  // probe reads exactly the half-written state the validation below must
+  // reject.
+  fault::InjectStall(fault::StallPoint::kOptimisticReadBody);
+  LockFreeGetResult r = s.bundle.store->TryLockFreeGet(key, value);
+  if (r == LockFreeGetResult::kFallback) return ProbeOutcome::kDeclined;
+  // Order every data read of the probe before the validating re-read.
+  std::atomic_thread_fence(std::memory_order_acquire);
+  const uint64_t v2 = broken_validation_.load(std::memory_order_relaxed)
+                          ? v1  // negative control: trust the probe blindly
+                          : s.seq.load(std::memory_order_relaxed);
+  if (v2 != v1) return ProbeOutcome::kRaced;
+  *st = r == LockFreeGetResult::kHit ? Status::OK() : Status::NotFound();
+  return ProbeOutcome::kValidated;
+}
+
+Status ShardedStore::OptimisticGet(Shard& s, Slice key, std::string* value,
+                                   bool* served_lock_free) {
+  s.opt_gets.fetch_add(1, std::memory_order_relaxed);
+  {
+    // An inactive guard (every reader slot taken) means we cannot prove
+    // reclamation safety — take the locked path.
+    epoch::EpochManager::Guard guard = epoch_mgr_.Enter();
+    if (guard.active()) {
+      Status st;
+      for (uint32_t attempt = 0; attempt <= max_retries_; ++attempt) {
+        ProbeOutcome o = TryOptimisticOnce(s, key, value, &st);
+        if (o == ProbeOutcome::kValidated) {
+          s.opt_hits.fetch_add(1, std::memory_order_relaxed);
+          if (served_lock_free != nullptr) *served_lock_free = true;
+          return st;
+        }
+        if (o == ProbeOutcome::kDeclined) break;
+        s.opt_retries.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // Guard scope ends here, BEFORE the fallback below can block on the
+    // shard lock: a reader parked behind a writer must not stay pinned in
+    // an old epoch and stall reclamation store-wide.
+  }
+  s.opt_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::shared_mutex> lock(s.mu);
+  return s.bundle.store->Get(key, value);
+}
+
 Status ShardedStore::Put(Slice key, Slice value) {
   Shard& s = *shards_[ShardOf(key)];
   std::unique_lock<std::shared_mutex> lock(s.mu);
-  return s.bundle.store->Put(key, value);
+  BeginShardWrite(s);
+  Status st = s.bundle.store->Put(key, value);
+  EndShardWrite(s);
+  return st;
 }
 
 Status ShardedStore::Get(Slice key, std::string* value) {
+  return Get(key, value, nullptr);
+}
+
+Status ShardedStore::Get(Slice key, std::string* value,
+                         bool* served_lock_free) {
+  if (served_lock_free != nullptr) *served_lock_free = false;
   Shard& s = *shards_[ShardOf(key)];
+  if (read_mode_ == ReadMode::kOptimistic) {
+    return OptimisticGet(s, key, value, served_lock_free);
+  }
   if (shared_reads_) {
     std::shared_lock<std::shared_mutex> lock(s.mu);
     return s.bundle.store->Get(key, value);
@@ -96,7 +217,10 @@ Status ShardedStore::Get(Slice key, std::string* value) {
 Status ShardedStore::Delete(Slice key) {
   Shard& s = *shards_[ShardOf(key)];
   std::unique_lock<std::shared_mutex> lock(s.mu);
-  return s.bundle.store->Delete(key);
+  BeginShardWrite(s);
+  Status st = s.bundle.store->Delete(key);
+  EndShardWrite(s);
+  return st;
 }
 
 void ShardedStore::ExecuteBatch(BatchOp* ops, size_t n) {
@@ -109,19 +233,40 @@ void ShardedStore::ExecuteBatch(BatchOp* ops, size_t n) {
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (by_shard[s].empty()) continue;
     Shard& shard = *shards_[s];
+    const std::vector<uint32_t>& idx = by_shard[s];
+    size_t start = 0;
+    if (read_mode_ == ReadMode::kOptimistic) {
+      // The leading run of GETs has no earlier write in this group to
+      // order against, so it can be served lock-free; concurrent batches'
+      // writers are exactly what the seqlock validation covers. From the
+      // first write on, stay under the lock so pipelined PUT-then-GET on
+      // one key stays sequential.
+      while (start < idx.size() &&
+             ops[idx[start]].kind == BatchOp::Kind::kGet) {
+        BatchOp& op = ops[idx[start]];
+        op.result.clear();
+        op.status = OptimisticGet(shard, op.key, &op.result, nullptr);
+        ++start;
+      }
+      if (start == idx.size()) continue;
+    }
     std::unique_lock<std::shared_mutex> lock(shard.mu);
-    for (uint32_t i : by_shard[s]) {
-      BatchOp& op = ops[i];
+    for (size_t j = start; j < idx.size(); ++j) {
+      BatchOp& op = ops[idx[j]];
       switch (op.kind) {
         case BatchOp::Kind::kGet:
           op.result.clear();
           op.status = shard.bundle.store->Get(op.key, &op.result);
           break;
         case BatchOp::Kind::kPut:
+          BeginShardWrite(shard);
           op.status = shard.bundle.store->Put(op.key, op.value);
+          EndShardWrite(shard);
           break;
         case BatchOp::Kind::kDelete:
+          BeginShardWrite(shard);
           op.status = shard.bundle.store->Delete(op.key);
+          EndShardWrite(shard);
           break;
       }
     }
@@ -134,6 +279,10 @@ Status ShardedStore::Drain() {
     if (CounterManager* cm = shard->bundle.counter_manager()) {
       ARIA_RETURN_IF_ERROR(cm->Flush());
     }
+    // Reclaim everything no pinned reader can still see; records pinned by
+    // still-active readers stay pending (and are accounted as such).
+    shard->reclaimed_count.fetch_add(shard->retired.Drain(epoch_mgr_),
+                                     std::memory_order_relaxed);
   }
   return Status::OK();
 }
@@ -190,21 +339,71 @@ uint64_t ShardedStore::size() const {
 obs::Snapshot ShardedStore::ShardSnapshot(uint32_t i) const {
   const Shard& s = *shards_[i];
   std::shared_lock<std::shared_mutex> lock(s.mu);
-  return s.bundle.registry.Collect();
+  obs::Snapshot snap = s.bundle.registry.Collect();
+  // This front-end's own per-shard counters, plus this shard's
+  // contribution to the bare aggregates (Accumulate over all shards then
+  // yields the shard-summed core.* totals, the same convention the
+  // network server uses for net.loopN.* / net.*).
+  const std::string prefix = "core.shard" + std::to_string(i) + ".";
+  auto counter = [&](const char* name, uint64_t v) {
+    snap.Set(prefix + name, v, obs::MetricKind::kCounter);
+    snap.Set(std::string("core.") + name, v, obs::MetricKind::kCounter);
+  };
+  auto gauge = [&](const char* name, uint64_t v) {
+    snap.Set(prefix + name, v, obs::MetricKind::kGauge);
+    snap.Set(std::string("core.") + name, v, obs::MetricKind::kGauge);
+  };
+  counter("optimistic_gets", s.opt_gets.load(std::memory_order_relaxed));
+  counter("optimistic_hits", s.opt_hits.load(std::memory_order_relaxed));
+  counter("optimistic_retries", s.opt_retries.load(std::memory_order_relaxed));
+  counter("optimistic_fallbacks",
+          s.opt_fallbacks.load(std::memory_order_relaxed));
+  counter("epoch_retired", s.retired_count.load(std::memory_order_relaxed));
+  counter("epoch_reclaimed",
+          s.reclaimed_count.load(std::memory_order_relaxed));
+  gauge("epoch_pending", s.retired.pending());
+  return snap;
 }
 
 void ShardedStore::CollectMetrics(obs::MetricSink* sink) const {
-  obs::Snapshot total;
+  // Only this front-end's own counters (the per-shard layer metrics are
+  // published through ShardSnapshot / StoreBundle::Metrics); names follow
+  // the register-under-"core" convention of ShardSnapshot.
+  uint64_t gets = 0, hits = 0, retries = 0, fallbacks = 0;
+  uint64_t retired = 0, reclaimed = 0, pending = 0;
   for (uint32_t i = 0; i < num_shards(); ++i) {
-    total.Accumulate(ShardSnapshot(i));
+    const Shard& s = *shards_[i];
+    std::shared_lock<std::shared_mutex> lock(s.mu);
+    const std::string p = "shard" + std::to_string(i) + ".";
+    uint64_t g = s.opt_gets.load(std::memory_order_relaxed);
+    uint64_t h = s.opt_hits.load(std::memory_order_relaxed);
+    uint64_t r = s.opt_retries.load(std::memory_order_relaxed);
+    uint64_t f = s.opt_fallbacks.load(std::memory_order_relaxed);
+    uint64_t rt = s.retired_count.load(std::memory_order_relaxed);
+    uint64_t rc = s.reclaimed_count.load(std::memory_order_relaxed);
+    uint64_t pd = s.retired.pending();
+    sink->Counter(p + "optimistic_gets", g);
+    sink->Counter(p + "optimistic_hits", h);
+    sink->Counter(p + "optimistic_retries", r);
+    sink->Counter(p + "optimistic_fallbacks", f);
+    sink->Counter(p + "epoch_retired", rt);
+    sink->Counter(p + "epoch_reclaimed", rc);
+    sink->Gauge(p + "epoch_pending", pd);
+    gets += g;
+    hits += h;
+    retries += r;
+    fallbacks += f;
+    retired += rt;
+    reclaimed += rc;
+    pending += pd;
   }
-  for (const auto& [name, metric] : total.values()) {
-    if (metric.kind == obs::MetricKind::kCounter) {
-      sink->Counter(name, metric.value);
-    } else {
-      sink->Gauge(name, metric.value);
-    }
-  }
+  sink->Counter("optimistic_gets", gets);
+  sink->Counter("optimistic_hits", hits);
+  sink->Counter("optimistic_retries", retries);
+  sink->Counter("optimistic_fallbacks", fallbacks);
+  sink->Counter("epoch_retired", retired);
+  sink->Counter("epoch_reclaimed", reclaimed);
+  sink->Gauge("epoch_pending", pending);
 }
 
 obs::InvariantReport ShardedStore::CheckInvariants() const {
@@ -225,6 +424,7 @@ obs::InvariantReport ShardedStore::CheckInvariants() const {
   obs::Snapshot aggregate;
   for (const auto& snap : snapshots) aggregate.Accumulate(snap);
   obs::InvariantChecker::CheckShardSums(snapshots, aggregate, &report);
+  obs::InvariantChecker::CheckOptimisticReads(aggregate, &report);
   return report;
 }
 

@@ -5,15 +5,38 @@
 // Secure Cache + Merkle trees — mirroring the paper's per-tenant MT
 // carve-out, where tenants never share integrity metadata.
 //
-// Locking discipline: one std::shared_mutex per shard. Put/Delete take it
-// exclusive. Get/RangeScan *also* take it exclusive by default, because in
-// this reproduction every SGX-simulated read path writes shared state (the
-// Secure Cache swaps counters in and out, the enclave runtime advances its
-// CLOCK paging hand and statistics, the indexes keep scratch buffers) — a
-// shared-mode read would be a data race, and TSan agrees. The
-// shard_shared_reads option enables true reader parallelism for the one
-// configuration whose Get is genuinely const: the Baseline hash scheme
-// with the cost model disabled. See DESIGN.md §8.
+// Read paths — three, selected by StoreOptions (DESIGN.md §8, §14):
+//
+//  * Locked (default): one std::shared_mutex per shard; Put/Delete take it
+//    exclusive, and Get/RangeScan *also* take it exclusive, because in this
+//    reproduction most SGX-simulated read paths write shared state (the
+//    Secure Cache swaps counters in and out, the enclave runtime advances
+//    its CLOCK paging hand and statistics, the indexes keep scratch
+//    buffers) — a shared-mode read would be a data race, and TSan agrees.
+//
+//  * shard_shared_reads: shared-mode locks on Get/RangeScan, for the one
+//    configuration whose read path is genuinely const (Baseline hash with
+//    the cost model disabled).
+//
+//  * Optimistic (ReadMode::kOptimistic): Get first runs lock-free. The
+//    reader pins itself into the global epoch (core/epoch.h), reads the
+//    shard's seqlock version, probes the index through TryLockFreeGet, and
+//    re-reads the version; a changed (or odd) version means a writer raced
+//    the probe and the value cannot be trusted — retry, and after
+//    optimistic_max_retries failures fall back to an exclusive-lock Get.
+//    The probe itself also falls back whenever the read path would mutate
+//    shared state (Secure Cache swap-ins / CLOCK advance report
+//    SupportsLockFreeRead() == false) — the fallback is the *rule* for
+//    mutating read paths, not an error path. The epoch guard is always
+//    released before blocking on the lock, so a parked fallback reader
+//    never stalls reclamation. Writers still serialize on the exclusive
+//    lock but additionally bump the shard seqlock around every mutation
+//    (odd while in progress) and retire displaced records through the
+//    epoch manager instead of freeing them in place; retired records are
+//    reclaimed on later writes once every reader pinned before the retire
+//    has exited. Conservation: optimistic_gets == optimistic_hits +
+//    optimistic_fallbacks and epoch_retired == epoch_reclaimed +
+//    epoch_pending, per shard (obs/invariants.h).
 //
 // Cross-shard RangeScan (ordered schemes): each shard is scanned for the
 // full limit under its own lock, then the per-shard sorted runs are k-way
@@ -22,12 +45,14 @@
 // at a time (which also makes deadlock impossible).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/epoch.h"
 #include "core/kv_store.h"
 #include "core/store_factory.h"
 
@@ -51,7 +76,8 @@ class ShardedStore : public OrderedKVStore {
   /// keyspace / EPC budget / cache / bucket sizing divided by the shard
   /// count, num_shards reset to 1, and a per-shard seed, then goes through
   /// the normal factory. Fails if any shard fails (InvalidArgument for
-  /// shard_shared_reads on a config whose reads are not const).
+  /// shard_shared_reads on a config whose reads are not const, or for
+  /// combining shard_shared_reads with ReadMode::kOptimistic).
   static Status Create(const StoreOptions& base,
                        std::unique_ptr<ShardedStore>* out);
 
@@ -62,6 +88,12 @@ class ShardedStore : public OrderedKVStore {
       Slice start, size_t limit,
       std::vector<std::pair<std::string, std::string>>* out) override;
 
+  /// Get that additionally reports whether the value was served by the
+  /// lock-free optimistic path (false on the fallback / locked paths).
+  /// The workload driver uses this to keep lock-free service time out of
+  /// the per-shard serial floor of its makespan model.
+  Status Get(Slice key, std::string* value, bool* served_lock_free);
+
   const char* name() const override { return name_.c_str(); }
   uint64_t size() const override;
 
@@ -71,18 +103,22 @@ class ShardedStore : public OrderedKVStore {
   /// batches all requests decoded in one event-loop tick through here.
   /// Relative order of ops that hash to the same shard is preserved, so
   /// pipelined PUT-then-GET on one key stays sequential; ops on different
-  /// shards may reorder (they are independent). Per-op results land in
-  /// each op's `status` / `result`. Safe to call concurrently from many
-  /// threads — the multi-loop server (DESIGN.md §12) drives one batch per
-  /// event loop through here, and concurrent batches serialize only where
-  /// they touch the same shard's lock.
+  /// shards may reorder (they are independent). In optimistic mode the
+  /// leading run of GETs in a shard's group is served lock-free (no writer
+  /// in this group has executed yet, and outside writers are exactly what
+  /// the seqlock validates against); from the first write on, the group
+  /// holds the exclusive lock. Per-op results land in each op's `status` /
+  /// `result`. Safe to call concurrently from many threads — the
+  /// multi-loop server (DESIGN.md §12) drives one batch per event loop
+  /// through here, and concurrent batches serialize only where they touch
+  /// the same shard's lock.
   void ExecuteBatch(BatchOp* ops, size_t n);
 
   /// Graceful shutdown: under each shard's exclusive lock, flush that
   /// shard's dirty Secure Cache state so every pending MAC update reaches
-  /// its Merkle root. Safe to call repeatedly; the store keeps serving
-  /// afterwards. Callers pair this with CheckInvariants() for the
-  /// end-of-serving audit.
+  /// its Merkle root, and reclaim every retired record no reader can still
+  /// see. Safe to call repeatedly; the store keeps serving afterwards.
+  /// Callers pair this with CheckInvariants() for the end-of-serving audit.
   Status Drain();
 
   /// Which shard `key` lives in. Stable across the store's lifetime; uses
@@ -93,16 +129,25 @@ class ShardedStore : public OrderedKVStore {
   uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
   bool ordered() const { return ordered_; }
   bool shared_reads() const { return shared_reads_; }
+  ReadMode read_mode() const { return read_mode_; }
 
   /// The underlying bundle of shard `i` (tests reach through this for the
   /// per-shard enclave, allocator and counter manager).
   StoreBundle& shard_bundle(uint32_t i) { return shards_[i]->bundle; }
 
-  /// Simulated cycles charged by shard `i`'s enclave so far. Only
-  /// meaningful while no worker threads are running (callers snapshot
+  /// Simulated cycles charged by shard `i`'s enclave under its lock.
+  /// Only meaningful while no worker threads are running (callers snapshot
   /// before spawning and after joining).
   uint64_t shard_charged_cycles(uint32_t i) const {
     return shards_[i]->bundle.enclave->stats().charged_cycles;
+  }
+
+  /// Simulated cycles shard `i`'s enclave charged to *lock-free* reads.
+  /// These do not serialize on the shard lock, so the driver's makespan
+  /// model spreads them across threads instead of stacking them on the
+  /// shard's serial floor.
+  uint64_t shard_shared_charged_cycles(uint32_t i) const {
+    return shards_[i]->bundle.enclave->shared_charged_cycles();
   }
 
   /// Cost model shared by every shard (copies of the base options' model).
@@ -110,29 +155,95 @@ class ShardedStore : public OrderedKVStore {
     return shards_[0]->bundle.enclave->cost_model();
   }
 
-  /// Metrics of shard `i` alone (under the shard's own lock).
+  /// The epoch manager every optimistic reader pins into (test access).
+  epoch::EpochManager& epoch_manager() { return epoch_mgr_; }
+
+  /// TEST ONLY — negative control for the linearizability battery: skip
+  /// the second seqlock read, i.e. trust whatever the lock-free probe
+  /// returned without validating that no writer raced it. With this on,
+  /// torn / stale values become observable, which is how the battery
+  /// proves the revalidation is load-bearing.
+  void TEST_SetBrokenValidation(bool broken) {
+    broken_validation_.store(broken, std::memory_order_relaxed);
+  }
+
+  /// TEST ONLY — shard `i`'s fallback count, readable without the shard
+  /// lock (ShardSnapshot would block behind a parked writer). The torn-read
+  /// choreography polls this to learn the reader has exhausted its retries
+  /// and is headed for the locked path.
+  uint64_t TEST_OptimisticFallbacks(uint32_t i) const {
+    return shards_[i]->opt_fallbacks.load(std::memory_order_relaxed);
+  }
+
+  /// Metrics of shard `i` alone (under the shard's own lock), including
+  /// this front-end's own per-shard counters under "core.".
   obs::Snapshot ShardSnapshot(uint32_t i) const;
 
-  /// Sum of all shards' snapshots: counters add, and gauges add too —
-  /// aggregate live_entries / bytes_in_use across disjoint shards are the
-  /// meaningful totals. The shard-conservation law re-derives this sum.
+  /// This front-end's own counters: per shard under "shardN." (optimistic
+  /// path and epoch-reclamation counts) plus their shard-sum aggregates
+  /// under bare names. Registered under "core" in each snapshot, so the
+  /// full names are core.shardN.optimistic_gets, core.optimistic_gets, ...
   void CollectMetrics(obs::MetricSink* sink) const override;
 
-  /// Per-shard conservation laws plus shard-sum reconciliation.
+  /// Per-shard conservation laws plus shard-sum reconciliation, the
+  /// optimistic-read and epoch-reclamation conservation laws among them.
   obs::InvariantReport CheckInvariants() const;
 
  private:
   struct Shard {
     StoreBundle bundle;
     OrderedKVStore* ordered = nullptr;  // non-null iff the scheme is ordered
+
+    // Seqlock version: even = stable, odd = writer mutating. Bumped (under
+    // mu, so writers never race each other) only in optimistic mode.
+    std::atomic<uint64_t> seq{0};
+
+    // Optimistic-path counters. Conservation: gets == hits + fallbacks.
+    std::atomic<uint64_t> opt_gets{0};
+    std::atomic<uint64_t> opt_hits{0};
+    std::atomic<uint64_t> opt_retries{0};
+    std::atomic<uint64_t> opt_fallbacks{0};
+
+    // Epoch-reclamation counters (mutated under mu, like `retired`).
+    // Conservation: retired == reclaimed + retired.pending().
+    std::atomic<uint64_t> retired_count{0};
+    std::atomic<uint64_t> reclaimed_count{0};
+
     mutable std::shared_mutex mu;
+
+    // Declared after `bundle` so it is destroyed FIRST: its destructor
+    // frees pending blocks through deleters that call back into
+    // bundle.store / bundle.enclave.
+    epoch::RetireList retired;  // guarded by mu (exclusive)
   };
 
   ShardedStore() = default;
 
+  /// Epoch-pinned seqlock-validated lock-free Get with locked fallback.
+  Status OptimisticGet(Shard& s, Slice key, std::string* value,
+                       bool* served_lock_free);
+
+  /// One lock-free probe + validation (no fallback, no gets/fallback
+  /// accounting). kValidated fills `*st` with the result; kRaced means a
+  /// writer invalidated the probe (retryable); kDeclined means the index
+  /// refused the lock-free path (go straight to the lock).
+  enum class ProbeOutcome : uint8_t { kValidated, kRaced, kDeclined };
+  ProbeOutcome TryOptimisticOnce(Shard& s, Slice key, std::string* value,
+                                 Status* st);
+
+  // Writer-side seqlock brackets; both no-ops in locked mode. Call with
+  // s.mu held exclusive. EndShardWrite additionally drains the shard's
+  // retire list when it has grown past a small threshold.
+  void BeginShardWrite(Shard& s);
+  void EndShardWrite(Shard& s);
+
   std::vector<std::unique_ptr<Shard>> shards_;
+  epoch::EpochManager epoch_mgr_;
   bool ordered_ = false;
   bool shared_reads_ = false;
+  ReadMode read_mode_ = ReadMode::kLocked;
+  uint32_t max_retries_ = 3;
+  std::atomic<bool> broken_validation_{false};
   std::string name_;
 };
 

@@ -78,6 +78,7 @@ Status CreateStore(const StoreOptions& options, StoreBundle* out) {
     case Scheme::kBaseline: {
       if (options.index == IndexKind::kHash) {
         EnclaveKVConfig cfg;
+        cfg.lock_free_reads = options.read_mode == ReadMode::kOptimistic;
         cfg.num_buckets = options.num_buckets != 0 ? options.num_buckets
                                                    : DefaultBuckets(keyspace);
         auto store = std::make_unique<EnclaveKV>(out->enclave.get(), cfg);
@@ -190,6 +191,11 @@ Status CreateStore(const StoreOptions& options, StoreBundle* out) {
       out->store = std::move(store);
     } else if (options.index == IndexKind::kHash) {
       AriaHashConfig cfg;
+      // Optimistic mode needs the lock-free layout even when the counter
+      // store ends up declining lock-free reads (Aria proper with the
+      // Secure Cache): the writer-side discipline (CoW overwrites, retire
+      // hooks) must match what a fallback-only reader assumes.
+      cfg.lock_free_reads = options.read_mode == ReadMode::kOptimistic;
       cfg.out_of_place_updates = options.out_of_place_updates;
       cfg.num_buckets = options.num_buckets != 0 ? options.num_buckets
                                                  : DefaultBuckets(keyspace);

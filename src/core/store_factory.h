@@ -36,6 +36,20 @@ namespace aria {
 enum class Scheme { kAria, kAriaNoCache, kShieldStore, kBaseline };
 enum class IndexKind { kHash, kBTree, kBPlusTree, kCuckoo };
 
+/// How a sharded front-end serves Get (DESIGN.md §8, §14).
+///  kLocked     — every Get takes the shard lock (exclusive, or shared with
+///                shard_shared_reads). The pre-§14 behavior.
+///  kOptimistic — Gets first try an epoch-protected, seqlock-validated
+///                lock-free probe of the shard's index and fall back to the
+///                exclusive lock after optimistic_max_retries failed
+///                validations, when the index declines the probe (its read
+///                path genuinely mutates shared state — Secure Cache
+///                swap-ins, CLOCK paging), or when every epoch reader slot
+///                is taken. Writers are unchanged (exclusive lock) but
+///                publish seqlock version bumps and retire displaced
+///                records through the epoch manager.
+enum class ReadMode : uint8_t { kLocked, kOptimistic };
+
 struct StoreOptions {
   Scheme scheme = Scheme::kAria;
   IndexKind index = IndexKind::kHash;
@@ -75,6 +89,14 @@ struct StoreOptions {
   /// cost_model.enabled == false. Everything SGX-simulated mutates cache /
   /// paging state on reads and must keep the exclusive default.
   bool shard_shared_reads = false;
+  /// Sharded Get path (see ReadMode). kOptimistic additionally flips the
+  /// hash indexes into their lock-free-read layout (atomic pointer cells,
+  /// copy-on-write overwrites, epoch-deferred frees); mutually exclusive
+  /// with shard_shared_reads.
+  ReadMode read_mode = ReadMode::kLocked;
+  /// Failed seqlock validations tolerated before an optimistic Get falls
+  /// back to the exclusive shard lock.
+  uint32_t optimistic_max_retries = 3;
 
   uint64_t seed = 42;
 };

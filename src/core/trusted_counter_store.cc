@@ -1,15 +1,19 @@
 #include "core/trusted_counter_store.h"
 
+#include <atomic>
+#include <bit>
 #include <cstring>
 
 namespace aria {
 
 namespace {
-void Increment128(uint8_t ctr[16]) {
-  for (int i = 0; i < 16; ++i) {
-    if (++ctr[i] != 0) break;
-  }
-}
+// Counter slots are mutated as two 8-byte words with atomic release stores
+// so lock-free readers never race them at the byte level. The word-wise
+// increment below is equivalent to a byte-wise little-endian 128-bit
+// increment only on a little-endian host, which the CTR keystream
+// derivation already assumes.
+static_assert(std::endian::native == std::endian::little,
+              "word-atomic counter bump assumes little-endian layout");
 }  // namespace
 
 TrustedCounterStore::TrustedCounterStore(sgx::EnclaveRuntime* enclave,
@@ -88,15 +92,45 @@ Status TrustedCounterStore::BumpCounter(RedPtr id, uint8_t out[kCounterSize]) {
   bumps_++;
   uint8_t* p = counters_ + id * kCounterSize;
   enclave_->TouchWrite(p, kCounterSize);
-  Increment128(p);
+  // Word-atomic 128-bit increment (slots are 8-byte aligned: the array base
+  // is cache-line aligned and kCounterSize is 16). Only the single writer
+  // holding the shard lock mutates the slot; the atomics exist for the
+  // benefit of concurrent TryReadCounterLockFree readers, who may observe
+  // the two words torn across a wrap and then fail MAC verification.
+  auto* words = reinterpret_cast<uint64_t*>(p);
+  const uint64_t lo = std::atomic_ref<uint64_t>(words[0]).load(
+                          std::memory_order_relaxed) +
+                      1;
+  std::atomic_ref<uint64_t>(words[0]).store(lo, std::memory_order_release);
+  if (lo == 0) {
+    const uint64_t hi = std::atomic_ref<uint64_t>(words[1]).load(
+                            std::memory_order_relaxed) +
+                        1;
+    std::atomic_ref<uint64_t>(words[1]).store(hi, std::memory_order_release);
+  }
   std::memcpy(out, p, kCounterSize);
   return Status::OK();
+}
+
+bool TrustedCounterStore::TryReadCounterLockFree(
+    RedPtr id, uint8_t out[kCounterSize]) const {
+  if (counters_ == nullptr || id >= capacity_) return false;
+  lockfree_reads_.fetch_add(1, std::memory_order_relaxed);
+  uint8_t* p = counters_ + id * kCounterSize;
+  enclave_->ChargeSharedRead(p, kCounterSize);
+  auto* words = reinterpret_cast<uint64_t*>(p);
+  uint64_t w[2];
+  w[0] = std::atomic_ref<uint64_t>(words[0]).load(std::memory_order_acquire);
+  w[1] = std::atomic_ref<uint64_t>(words[1]).load(std::memory_order_acquire);
+  std::memcpy(out, w, kCounterSize);
+  return true;
 }
 
 void TrustedCounterStore::CollectMetrics(obs::MetricSink* sink) const {
   sink->Counter("fetches", fetches_);
   sink->Counter("frees", frees_);
-  sink->Counter("reads", reads_);
+  sink->Counter("reads",
+                reads_ + lockfree_reads_.load(std::memory_order_relaxed));
   sink->Counter("bumps", bumps_);
   sink->Gauge("used", used_);
   sink->Gauge("capacity", capacity_);

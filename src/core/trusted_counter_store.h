@@ -5,6 +5,7 @@
 // at 4 KB granularity, which the enclave runtime models.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -29,6 +30,16 @@ class TrustedCounterStore : public CounterStore, public obs::Observable {
   Status BumpCounter(RedPtr id, uint8_t out[kCounterSize]) override;
   uint64_t used_counters() const override { return used_; }
 
+  /// Counters are a flat trusted array with no cache or tree to maintain,
+  /// so a read is just two 8-byte atomic loads — the property that lets
+  /// "Aria w/o Cache" serve ShardedStore's lock-free GET path (Aria proper
+  /// cannot: its counter reads go through Secure Cache). A read racing a
+  /// bump may tear at the word boundary; the record MAC catches that and
+  /// the reader retries or falls back.
+  bool SupportsLockFreeRead() const override { return true; }
+  bool TryReadCounterLockFree(RedPtr id,
+                              uint8_t out[kCounterSize]) const override;
+
   uint64_t trusted_bytes() const;
 
   /// Same fetch/free/used vocabulary as CounterManager so the record-counter
@@ -49,6 +60,9 @@ class TrustedCounterStore : public CounterStore, public obs::Observable {
   uint64_t frees_ = 0;
   uint64_t reads_ = 0;
   uint64_t bumps_ = 0;
+  // Bumped by concurrent lock-free readers; folded into "reads" when
+  // reporting so the counter metrics stay one vocabulary.
+  mutable std::atomic<uint64_t> lockfree_reads_{0};
 };
 
 }  // namespace aria

@@ -187,6 +187,35 @@ void InvariantChecker::CheckLoopSums(const Snapshot& snap,
   }
 }
 
+void InvariantChecker::CheckOptimisticReads(const Snapshot& snap,
+                                            InvariantReport* report) {
+  // The sharded front-end emits one namespace per shard
+  // ("core.shard<k>.optimistic_gets", ...) plus the shard-summed aggregate
+  // ("core.optimistic_gets", ...); the laws must hold in each namespace
+  // independently (they are additive, so per-shard conservation implies
+  // the aggregate — checking both catches a miscounted emission).
+  std::vector<std::string> bases = snap.PrefixesOf(".optimistic_gets");
+  if (bases.empty()) return;  // no optimistic-capable front-end
+  {
+    LawScope law(report, "optimistic-read-conservation");
+    for (const std::string& base : bases) {
+      law.ExpectEq(snap.Get(base + ".optimistic_hits") +
+                       snap.Get(base + ".optimistic_fallbacks"),
+                   snap.Get(base + ".optimistic_gets"),
+                   base + ": hits + fallbacks vs gets");
+    }
+  }
+  {
+    LawScope law(report, "epoch-reclamation-conservation");
+    for (const std::string& base : bases) {
+      law.ExpectEq(snap.Get(base + ".epoch_reclaimed") +
+                       snap.Get(base + ".epoch_pending"),
+                   snap.Get(base + ".epoch_retired"),
+                   base + ": reclaimed + pending vs retired");
+    }
+  }
+}
+
 void InvariantChecker::CheckLoadgen(const Snapshot& snap,
                                     InvariantReport* report) {
   if (!snap.Has("loadgen.requests_offered")) return;  // no load generator

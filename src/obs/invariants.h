@@ -82,6 +82,17 @@ class InvariantChecker {
   /// per-loop net metrics. Appends to `report`.
   static void CheckLoopSums(const Snapshot& snap, InvariantReport* report);
 
+  /// optimistic-read-conservation: every optimistic Get is served exactly
+  /// once — lock-free (hit) or through the locked fallback — so
+  /// optimistic_hits + optimistic_fallbacks == optimistic_gets for every
+  /// "core.*" namespace emitting them (per shard and in aggregate).
+  /// epoch-reclamation-conservation: every record a writer retired is
+  /// either reclaimed or still pending, epoch_retired == epoch_reclaimed +
+  /// epoch_pending. Both vacuous (not recorded in laws_checked) when the
+  /// snapshot holds no optimistic-read metrics. Appends to `report`.
+  static void CheckOptimisticReads(const Snapshot& snap,
+                                   InvariantReport* report);
+
   /// loadgen-request-conservation: every request the open-loop load
   /// generator offered is exactly one of completed, timed out, or still in
   /// flight — per connection ("loadgen.conn<k>.*"), in aggregate

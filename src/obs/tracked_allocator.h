@@ -46,6 +46,13 @@ class TrackedAllocator : public UntrustedAllocator {
     return base_->UsableBytes(p);
   }
 
+  // Must forward, not inherit: the base-class default returns 0 ("no
+  // lock-free support"), which would silently demote every optimistic GET
+  // behind this view to the locked path.
+  size_t UsableBytesLockFree(const void* p) const override {
+    return base_->UsableBytesLockFree(p);
+  }
+
   /// Live untrusted bytes allocated through this view (block-granular).
   uint64_t untrusted_bytes() const { return untrusted_bytes_; }
 

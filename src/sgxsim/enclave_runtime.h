@@ -8,6 +8,7 @@
 // reproduces the paper's performance shapes without SGX hardware.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
@@ -18,8 +19,12 @@
 
 namespace aria::sgx {
 
-/// One simulated enclave. Not thread-safe: each tenant owns its own runtime,
-/// matching the paper's multi-process multi-tenant setup.
+/// One simulated enclave. Not thread-safe, with one carve-out: the
+/// ChargeShared* entry points accumulate into relaxed atomics and may be
+/// called from ShardedStore's lock-free readers concurrently with the
+/// owning shard's (locked) mutators. Everything else still requires
+/// external serialization — each tenant owns its own runtime, matching the
+/// paper's multi-process multi-tenant setup.
 class EnclaveRuntime : public obs::Observable {
  public:
   explicit EnclaveRuntime(uint64_t epc_budget_bytes = CostModel::kDefaultEpcBytes,
@@ -51,6 +56,24 @@ class EnclaveRuntime : public obs::Observable {
   /// the copy performed by edge-call parameter marshalling).
   void Charge(uint64_t cycles);
 
+  /// Thread-safe charging for the lock-free GET path: same per-cacheline
+  /// MEE rates as Touch*, accumulated into atomics instead of stats_, and
+  /// every touched page is assumed EPC-resident (lock-free reads target
+  /// the hot set; probing the CLOCK/residency maps from readers would
+  /// race). No residency state is mutated.
+  void ChargeSharedRead(const void* p, size_t len);
+  void ChargeSharedWrite(const void* p, size_t len);
+
+  /// Cycles charged through the ChargeShared* path.
+  uint64_t shared_charged_cycles() const {
+    return shared_cycles_.load(std::memory_order_relaxed);
+  }
+
+  /// Serial + shared charged cycles.
+  uint64_t total_charged_cycles() const {
+    return stats_.charged_cycles + shared_charged_cycles();
+  }
+
   /// Currently allocated trusted bytes (live, not cumulative).
   uint64_t trusted_bytes_in_use() const { return trusted_in_use_; }
 
@@ -61,9 +84,9 @@ class EnclaveRuntime : public obs::Observable {
   const SgxStats& stats() const { return stats_; }
   const CostModel& cost_model() const { return model_; }
 
-  /// Wall-clock-equivalent of all cycles charged so far.
+  /// Wall-clock-equivalent of all cycles charged so far (serial + shared).
   double SimulatedSeconds() const {
-    return model_.CyclesToSeconds(stats_.charged_cycles);
+    return model_.CyclesToSeconds(total_charged_cycles());
   }
 
   /// Observability ("sgx." namespace when registered by the factory).
@@ -95,6 +118,13 @@ class EnclaveRuntime : public obs::Observable {
   bool ever_exceeded_budget_ = false;
 
   SgxStats stats_;
+
+  // Lock-free-read charge accumulators (ChargeShared*). Relaxed atomics:
+  // only totals matter, never ordering.
+  std::atomic<uint64_t> shared_cycles_{0};
+  std::atomic<uint64_t> shared_lines_read_{0};
+  std::atomic<uint64_t> shared_lines_written_{0};
+  std::atomic<uint64_t> shared_page_hits_{0};
 };
 
 }  // namespace aria::sgx

@@ -67,8 +67,13 @@ struct ThreadRunResult {
   /// Per-op cost is measured with the per-thread CPU clock (work actually
   /// done, excluding preemption and lock waits) and attributed to the shard
   /// the key hashed to; per-shard simulated enclave time is added on top.
-  double total_busy_seconds = 0.0;      ///< sum over shards of cpu + sim
-  double max_shard_busy_seconds = 0.0;  ///< busiest shard's cpu + sim
+  /// GETs served by the lock-free optimistic path (and the simulated cycles
+  /// their shared reads charge) do not serialize on any shard lock, so
+  /// they count toward total_busy_seconds only — never toward a shard's
+  /// serial floor.
+  double total_busy_seconds = 0.0;      ///< all cpu + sim, incl. lock-free
+  double max_shard_busy_seconds = 0.0;  ///< busiest shard's serialized cpu + sim
+  double lockfree_busy_seconds = 0.0;   ///< lock-free-served share of total
   /// Makespan lower bound: max(total_busy/num_threads, max_shard_busy) —
   /// perfect balance vs the serial floor of the busiest shard. The host
   /// may have fewer cores than worker threads (CI runs on one), so raw

@@ -116,6 +116,54 @@ std::vector<SchemeCase> AllSchemes() {
   sh_b.opts.shard_shared_reads = true;
   cases.push_back(sh_b);
 
+  // Optimistic (epoch-protected lock-free GET) variants: the checker runs
+  // single-threaded, so every probe validates on its first try — what this
+  // matrix pins down is that the lock-free layouts (byte-atomic overwrites,
+  // CoW publication, retire-instead-of-free) return byte-identical results
+  // and survive the oracle's delete/overwrite churn without leaking retired
+  // blocks (ASan covers the latter in the sanitizer run).
+  SchemeCase opt_b{"Sharded[2] Baseline-H optimistic", base(), false};
+  opt_b.opts.scheme = Scheme::kBaseline;
+  opt_b.opts.index = IndexKind::kHash;
+  opt_b.opts.num_shards = 2;
+  opt_b.opts.read_mode = ReadMode::kOptimistic;
+  cases.push_back(opt_b);
+
+  SchemeCase opt_nc{"Sharded[2] AriaNoCache-H optimistic", base(), false};
+  opt_nc.opts.scheme = Scheme::kAriaNoCache;
+  opt_nc.opts.index = IndexKind::kHash;
+  opt_nc.opts.num_shards = 2;
+  opt_nc.opts.read_mode = ReadMode::kOptimistic;
+  cases.push_back(opt_nc);
+
+  // Aria proper declines lock-free probes (Secure Cache reads mutate the
+  // CLOCK state), so optimistic mode here exercises the fallback-only
+  // corner: every GET must demote gracefully and still match the oracle.
+  SchemeCase opt_a{"Sharded[4] Aria-H optimistic", base(), false};
+  opt_a.opts.scheme = Scheme::kAria;
+  opt_a.opts.index = IndexKind::kHash;
+  opt_a.opts.num_shards = 4;
+  opt_a.opts.cache_bytes = 32768;
+  opt_a.opts.pinned_levels = 0;
+  opt_a.opts.stop_swap_enabled = false;
+  opt_a.opts.read_mode = ReadMode::kOptimistic;
+  cases.push_back(opt_a);
+
+  // num_shards == 1 builds no ShardedStore front-end: read_mode still
+  // flips the underlying stores into their lock-free layouts, which the
+  // locked Get path must serve identically.
+  SchemeCase lf_b{"Baseline-H lockfree-layout", base(), false};
+  lf_b.opts.scheme = Scheme::kBaseline;
+  lf_b.opts.index = IndexKind::kHash;
+  lf_b.opts.read_mode = ReadMode::kOptimistic;
+  cases.push_back(lf_b);
+
+  SchemeCase lf_nc{"AriaNoCache-H lockfree-layout", base(), false};
+  lf_nc.opts.scheme = Scheme::kAriaNoCache;
+  lf_nc.opts.index = IndexKind::kHash;
+  lf_nc.opts.read_mode = ReadMode::kOptimistic;
+  cases.push_back(lf_nc);
+
   return cases;
 }
 

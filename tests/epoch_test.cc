@@ -1,0 +1,264 @@
+// Epoch-manager unit battery (DESIGN.md §14): reclamation safety
+// (a retired object is freed only after every reader pinned before the
+// retire has exited), slot exhaustion (Enter degrades to an inactive guard
+// instead of blocking), FIFO retire-list draining, shutdown leak-freedom,
+// and a seeded 8-thread churn loop that ASan/TSan verify for use-after-free
+// and data races.
+#include "core/epoch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+
+namespace aria::epoch {
+namespace {
+
+TEST(EpochManager, EpochStartsAboveZeroAndAdvances) {
+  EpochManager mgr;
+  const uint64_t e0 = mgr.current_epoch();
+  EXPECT_GE(e0, 1u);  // 0 is reserved for "slot free"
+  EXPECT_EQ(mgr.AdvanceAfterRetire(), e0 + 1);
+  EXPECT_EQ(mgr.current_epoch(), e0 + 1);
+}
+
+TEST(EpochManager, GuardPinsTheCurrentEpoch) {
+  EpochManager mgr;
+  EXPECT_EQ(mgr.MinActiveEpoch(), UINT64_MAX);  // no readers
+  EXPECT_EQ(mgr.active_slots(), 0u);
+
+  EpochManager::Guard g = mgr.Enter();
+  ASSERT_TRUE(g.active());
+  EXPECT_EQ(g.epoch(), mgr.current_epoch());
+  EXPECT_EQ(mgr.MinActiveEpoch(), g.epoch());
+  EXPECT_EQ(mgr.active_slots(), 1u);
+
+  g.Release();
+  EXPECT_FALSE(g.active());
+  EXPECT_EQ(mgr.MinActiveEpoch(), UINT64_MAX);
+  EXPECT_EQ(mgr.active_slots(), 0u);
+  g.Release();  // idempotent
+}
+
+TEST(EpochManager, GuardMoveTransfersTheSlot) {
+  EpochManager mgr;
+  EpochManager::Guard a = mgr.Enter();
+  ASSERT_TRUE(a.active());
+  EpochManager::Guard b = std::move(a);
+  EXPECT_FALSE(a.active());
+  EXPECT_TRUE(b.active());
+  EXPECT_EQ(mgr.active_slots(), 1u);
+  b.Release();
+  EXPECT_EQ(mgr.active_slots(), 0u);
+}
+
+TEST(EpochManager, ReclaimOnlyAfterAllPinnedReadersExit) {
+  EpochManager mgr;
+  // Two readers pin the pre-retire epoch.
+  EpochManager::Guard r1 = mgr.Enter();
+  EpochManager::Guard r2 = mgr.Enter();
+  ASSERT_TRUE(r1.active());
+  ASSERT_TRUE(r2.active());
+
+  // Writer unlinks an object and retires it at the post-advance epoch.
+  const uint64_t retire_epoch = mgr.AdvanceAfterRetire();
+  EXPECT_FALSE(mgr.SafeToReclaim(retire_epoch));
+
+  r1.Release();
+  EXPECT_FALSE(mgr.SafeToReclaim(retire_epoch)) << "r2 still pinned";
+  r2.Release();
+  EXPECT_TRUE(mgr.SafeToReclaim(retire_epoch));
+}
+
+TEST(EpochManager, LateReaderDoesNotBlockEarlierRetire) {
+  EpochManager mgr;
+  const uint64_t retire_epoch = mgr.AdvanceAfterRetire();
+  // A reader entering in the same epoch the retire was tagged with is
+  // conservatively assumed to hold a reference (Enter pins the current
+  // epoch, which AdvanceAfterRetire just set to retire_epoch) — but once
+  // any later retire advances the clock, new readers pin a strictly
+  // greater epoch and can no longer delay the earlier retire.
+  {
+    EpochManager::Guard same_epoch = mgr.Enter();
+    ASSERT_TRUE(same_epoch.active());
+    EXPECT_EQ(same_epoch.epoch(), retire_epoch);
+    EXPECT_FALSE(mgr.SafeToReclaim(retire_epoch));
+  }
+  const uint64_t later = mgr.AdvanceAfterRetire();
+  EpochManager::Guard late = mgr.Enter();
+  ASSERT_TRUE(late.active());
+  EXPECT_EQ(late.epoch(), later);
+  EXPECT_GT(late.epoch(), retire_epoch);
+  EXPECT_TRUE(mgr.SafeToReclaim(retire_epoch));
+  EXPECT_FALSE(mgr.SafeToReclaim(later)) << "its own epoch is still pinned";
+}
+
+TEST(EpochManager, SlotExhaustionDegradesToInactiveGuard) {
+  EpochManager mgr(/*num_slots=*/2);
+  EpochManager::Guard a = mgr.Enter();
+  EpochManager::Guard b = mgr.Enter();
+  ASSERT_TRUE(a.active());
+  ASSERT_TRUE(b.active());
+
+  EpochManager::Guard c = mgr.Enter();
+  EXPECT_FALSE(c.active()) << "third reader must not find a slot";
+  EXPECT_EQ(c.epoch(), 0u);
+
+  // An inactive guard must not block reclamation (it holds nothing).
+  const uint64_t retire_epoch = mgr.AdvanceAfterRetire();
+  a.Release();
+  b.Release();
+  EXPECT_TRUE(mgr.SafeToReclaim(retire_epoch));
+
+  // A freed slot is reusable.
+  EpochManager::Guard d = mgr.Enter();
+  EXPECT_TRUE(d.active());
+}
+
+TEST(RetireList, DrainFreesOnlyWhatNoReaderCanSee) {
+  EpochManager mgr;
+  RetireList list;
+  int freed[3] = {0, 0, 0};
+  auto deleter_for = [&freed](int i) {
+    return [&freed, i](void*) { freed[i]++; };
+  };
+  int dummy[3];
+
+  // Object 0 retired at e0; the clock then advances (e1), so the reader
+  // entering here pins e1 > e0 — it can see objects 1 and 2 (retired while
+  // it is pinned) but never object 0.
+  const uint64_t e0 = mgr.AdvanceAfterRetire();
+  list.Retire(&dummy[0], deleter_for(0), e0);
+  const uint64_t e1 = mgr.AdvanceAfterRetire();
+  EpochManager::Guard reader = mgr.Enter();
+  ASSERT_TRUE(reader.active());
+  EXPECT_EQ(reader.epoch(), e1);
+  list.Retire(&dummy[1], deleter_for(1), e1);
+  const uint64_t e2 = mgr.AdvanceAfterRetire();
+  list.Retire(&dummy[2], deleter_for(2), e2);
+  EXPECT_EQ(list.pending(), 3u);
+
+  // The reader pins e1, so only object 0 (epoch e0 < e1) drains.
+  EXPECT_EQ(list.Drain(mgr), 1u);
+  EXPECT_EQ(freed[0], 1);
+  EXPECT_EQ(freed[1], 0);
+  EXPECT_EQ(freed[2], 0);
+  EXPECT_EQ(list.pending(), 2u);
+
+  reader.Release();
+  EXPECT_EQ(list.Drain(mgr), 2u);
+  EXPECT_EQ(freed[1], 1);
+  EXPECT_EQ(freed[2], 1);
+  EXPECT_EQ(list.pending(), 0u);
+
+  // Draining an empty list is a no-op.
+  EXPECT_EQ(list.Drain(mgr), 0u);
+}
+
+TEST(RetireList, ShutdownDrainsEverythingExactlyOnce) {
+  // Heap blocks freed through the deleter: if the destructor failed to
+  // drain (or drained twice), ASan's leak / double-free checks on this
+  // binary would fire.
+  std::atomic<int> frees{0};
+  {
+    EpochManager mgr;
+    RetireList list;
+    EpochManager::Guard reader = mgr.Enter();  // pins everything below
+    for (int i = 0; i < 100; ++i) {
+      auto* p = new uint64_t(static_cast<uint64_t>(i));
+      list.Retire(
+          p,
+          [&frees](void* q) {
+            delete static_cast<uint64_t*>(q);
+            frees.fetch_add(1, std::memory_order_relaxed);
+          },
+          mgr.AdvanceAfterRetire());
+    }
+    EXPECT_EQ(list.Drain(mgr), 0u) << "reader still pinned";
+    EXPECT_EQ(list.pending(), 100u);
+    reader.Release();
+    // List destructor runs here: DrainAll must free all 100.
+  }
+  EXPECT_EQ(frees.load(), 100);
+}
+
+// Seeded 8-thread churn: 2 writers copy-on-write a shared cell and retire
+// the displaced block; 6 readers pin an epoch, chase the pointer and read
+// the payload. Every block carries a magic derived from its payload, so a
+// premature free shows up as a magic mismatch even without sanitizers —
+// and under ASan, as a use-after-free at the exact read.
+TEST(EpochChurn, EightThreadsNoUseAfterFree) {
+  struct Block {
+    uint64_t value;
+    uint64_t magic;
+  };
+  constexpr uint64_t kMagicSalt = 0xEC0C4B1D5EEDULL;
+
+  EpochManager mgr;
+  RetireList list;          // guarded by writer_mu (the "shard lock")
+  std::mutex writer_mu;
+  std::atomic<Block*> cell{new Block{0, kMagicSalt}};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads_ok{0};
+  std::atomic<uint64_t> read_failures{0};
+  std::atomic<uint64_t> writes_done{0};
+
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 6;
+  constexpr uint64_t kWritesPerWriter = 4000;
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w]() {
+      Random rng(/*seed=*/0x8EED + static_cast<uint64_t>(w));
+      for (uint64_t i = 0; i < kWritesPerWriter; ++i) {
+        std::lock_guard<std::mutex> lock(writer_mu);
+        uint64_t v = rng.Next();
+        auto* fresh = new Block{v, v ^ kMagicSalt};
+        Block* old = cell.exchange(fresh, std::memory_order_acq_rel);
+        list.Retire(
+            old, [](void* p) { delete static_cast<Block*>(p); },
+            mgr.AdvanceAfterRetire());
+        if (list.pending() >= 32) list.Drain(mgr);
+        writes_done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&]() {
+      while (!stop.load(std::memory_order_acquire)) {
+        EpochManager::Guard guard = mgr.Enter();
+        if (!guard.active()) continue;  // slots full: locked path in prod
+        Block* b = cell.load(std::memory_order_acquire);
+        // The block cannot be freed while this epoch is pinned; its
+        // payload is immutable after publication, so plain reads are
+        // ordered by the acquire load above.
+        if ((b->value ^ kMagicSalt) == b->magic) {
+          reads_ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          read_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  stop.store(true, std::memory_order_release);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(read_failures.load(), 0u);
+  EXPECT_EQ(writes_done.load(), kWriters * kWritesPerWriter);
+  EXPECT_GT(reads_ok.load(), 0u);
+
+  // Shutdown: no reader remains, so everything pending drains, and the
+  // final cell block is freed by hand. ASan verifies nothing leaked.
+  list.DrainAll();
+  delete cell.load();
+}
+
+}  // namespace
+}  // namespace aria::epoch

@@ -1,0 +1,531 @@
+// Linearizability battery for the optimistic (lock-free) sharded GET path
+// (DESIGN.md §14): N reader threads race one writer over a single hot
+// shard while a history recorder timestamps every operation with a logical
+// clock; the history is then checked against a single-writer-register
+// model (reads must fall inside their [completed-before, started-before]
+// version window, be monotone per reader, and never be torn). The battery
+// includes its own negative controls:
+//  * a checker self-test on crafted bad histories, and
+//  * a deterministic torn-read choreography (writer parked mid-publish by
+//    the fault latch while a reader probes) that MUST surface a torn value
+//    when the seqlock revalidation is deliberately broken
+//    (TEST_SetBrokenValidation) and MUST NOT when it is intact —
+//    proving the second version read is load-bearing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/sharded_store.h"
+#include "core/store_factory.h"
+#include "obs/invariants.h"
+#include "workload/ycsb.h"
+
+namespace aria {
+namespace {
+
+// --- versioned register values ----------------------------------------------
+
+constexpr size_t kValueSize = 64;
+
+// Fixed-size value: 16-digit version header + version-derived fill. Every
+// byte is a function of the version, so any torn mix of two versions fails
+// re-derivation. Fixed size keeps Baseline overwrites in place (the torn
+// window under test) and Aria overwrites CoW (the retire churn under test).
+std::string VersionValue(uint64_t version) {
+  std::string s(kValueSize, static_cast<char>('a' + version % 26));
+  char hdr[17];
+  std::snprintf(hdr, sizeof(hdr), "%016llu",
+                static_cast<unsigned long long>(version));
+  s.replace(0, 16, hdr, 16);
+  return s;
+}
+
+// Version encoded in `s`, or UINT64_MAX when `s` is not a value any writer
+// ever produced (torn or otherwise corrupt).
+uint64_t ParseVersionValue(const std::string& s) {
+  if (s.size() != kValueSize) return UINT64_MAX;
+  uint64_t v = 0;
+  for (size_t i = 0; i < 16; ++i) {
+    if (s[i] < '0' || s[i] > '9') return UINT64_MAX;
+    v = v * 10 + static_cast<uint64_t>(s[i] - '0');
+  }
+  const char fill = static_cast<char>('a' + v % 26);
+  for (size_t i = 16; i < s.size(); ++i) {
+    if (s[i] != fill) return UINT64_MAX;
+  }
+  return v;
+}
+
+// --- history model ----------------------------------------------------------
+
+// Write of version == its index into the history (version 0 is the
+// prepopulated value). inv/resp are logical-clock ticks around the Put.
+struct WriteRec {
+  uint64_t inv = 0;
+  uint64_t resp = 0;
+};
+
+struct ReadRec {
+  uint64_t inv = 0;
+  uint64_t resp = 0;
+  uint64_t version = 0;  // UINT64_MAX encodes a torn/corrupt read
+  bool not_found = false;
+};
+
+// Single-writer-register check. Writes are issued sequentially by one
+// writer, so writes[v].inv and writes[v].resp are both nondecreasing in v —
+// which makes the per-read window a pair of binary searches. Returns the
+// first violation's description, or "" when the history linearizes.
+std::string CheckSingleWriterRegister(
+    const std::vector<WriteRec>& writes,
+    const std::vector<std::vector<ReadRec>>& readers) {
+  char buf[256];
+  for (size_t t = 0; t < readers.size(); ++t) {
+    uint64_t prev = 0;
+    for (size_t i = 0; i < readers[t].size(); ++i) {
+      const ReadRec& r = readers[t][i];
+      if (r.version == UINT64_MAX) {
+        std::snprintf(buf, sizeof(buf),
+                      "reader %zu read %zu: torn/corrupt value", t, i);
+        return buf;
+      }
+      if (r.not_found) {
+        std::snprintf(buf, sizeof(buf),
+                      "reader %zu read %zu: NotFound on an initialized "
+                      "register",
+                      t, i);
+        return buf;
+      }
+      // Lower bound: the newest write that completed before this read was
+      // invoked must already be visible.
+      size_t lo = 0;
+      {
+        size_t a = 0, b = writes.size();  // first index with resp >= inv
+        while (a < b) {
+          size_t m = (a + b) / 2;
+          if (writes[m].resp < r.inv) {
+            a = m + 1;
+          } else {
+            b = m;
+          }
+        }
+        lo = a == 0 ? 0 : a - 1;
+      }
+      // Upper bound: a write that had not been invoked when this read
+      // responded cannot be visible.
+      size_t hi = 0;
+      {
+        size_t a = 0, b = writes.size();  // first index with inv >= resp
+        while (a < b) {
+          size_t m = (a + b) / 2;
+          if (writes[m].inv < r.resp) {
+            a = m + 1;
+          } else {
+            b = m;
+          }
+        }
+        hi = a == 0 ? 0 : a - 1;
+      }
+      if (r.version < lo) {
+        std::snprintf(buf, sizeof(buf),
+                      "reader %zu read %zu: stale version %llu < completed "
+                      "version %zu",
+                      t, i, static_cast<unsigned long long>(r.version), lo);
+        return buf;
+      }
+      if (r.version > hi) {
+        std::snprintf(buf, sizeof(buf),
+                      "reader %zu read %zu: future version %llu > last "
+                      "invoked version %zu",
+                      t, i, static_cast<unsigned long long>(r.version), hi);
+        return buf;
+      }
+      if (r.version < prev) {
+        std::snprintf(buf, sizeof(buf),
+                      "reader %zu read %zu: non-monotonic %llu after %llu",
+                      t, i, static_cast<unsigned long long>(r.version),
+                      static_cast<unsigned long long>(prev));
+        return buf;
+      }
+      prev = r.version;
+    }
+  }
+  return "";
+}
+
+// --- checker self-test on crafted histories ---------------------------------
+
+TEST(HistoryChecker, AcceptsALinearizableHistory) {
+  std::vector<WriteRec> writes = {{0, 0}, {10, 20}, {30, 40}};
+  std::vector<std::vector<ReadRec>> readers(1);
+  readers[0] = {{1, 2, 0, false},    // before any overwrite
+                {11, 21, 1, false},  // concurrent with write 1: 0 or 1 ok
+                {25, 26, 1, false},  // after write 1 completed
+                {31, 45, 2, false}};  // concurrent with write 2
+  EXPECT_EQ(CheckSingleWriterRegister(writes, readers), "");
+}
+
+TEST(HistoryChecker, FlagsAStaleRead) {
+  std::vector<WriteRec> writes = {{0, 0}, {10, 20}, {30, 40}};
+  std::vector<std::vector<ReadRec>> readers(1);
+  // Invoked at 50, after write 2 completed at 40 — version 1 is stale.
+  readers[0] = {{50, 60, 1, false}};
+  EXPECT_NE(CheckSingleWriterRegister(writes, readers).find("stale"),
+            std::string::npos);
+}
+
+TEST(HistoryChecker, FlagsAFutureRead) {
+  std::vector<WriteRec> writes = {{0, 0}, {10, 20}, {30, 40}};
+  std::vector<std::vector<ReadRec>> readers(1);
+  // Responded at 5, before write 1 was even invoked — version 1 is
+  // impossible.
+  readers[0] = {{4, 5, 1, false}};
+  EXPECT_NE(CheckSingleWriterRegister(writes, readers).find("future"),
+            std::string::npos);
+}
+
+TEST(HistoryChecker, FlagsANonMonotonicReaderAndTornValue) {
+  std::vector<WriteRec> writes = {{0, 0}, {10, 20}};
+  std::vector<std::vector<ReadRec>> readers(1);
+  // Both reads overlap write 1, so each alone may return 0 or 1 — but the
+  // same reader going 1 then 0 cannot linearize.
+  readers[0] = {{11, 12, 1, false}, {13, 14, 0, false}};
+  EXPECT_NE(CheckSingleWriterRegister(writes, readers).find("non-monotonic"),
+            std::string::npos);
+
+  readers[0] = {{11, 12, UINT64_MAX, false}};
+  EXPECT_NE(CheckSingleWriterRegister(writes, readers).find("torn"),
+            std::string::npos);
+
+  // The value codec itself must expose torn mixes: first half of v2 glued
+  // to the second half of v1 re-derives to neither.
+  std::string torn = VersionValue(2).substr(0, kValueSize / 2) +
+                     VersionValue(1).substr(kValueSize / 2);
+  EXPECT_EQ(ParseVersionValue(torn), UINT64_MAX);
+  EXPECT_EQ(ParseVersionValue(VersionValue(7)), 7u);
+}
+
+// --- live N-reader / 1-writer histories over a single hot shard -------------
+
+StoreOptions OptimisticOptions(Scheme scheme) {
+  StoreOptions opts;
+  opts.scheme = scheme;
+  opts.index = IndexKind::kHash;
+  opts.keyspace = 4096;
+  opts.num_shards = 1;  // a single hot shard: every op contends
+  opts.read_mode = ReadMode::kOptimistic;
+  opts.seed = 42;
+  return opts;
+}
+
+uint64_t CoreMetric(ShardedStore* store, const char* name) {
+  obs::Snapshot total;
+  for (uint32_t i = 0; i < store->num_shards(); ++i) {
+    total.Accumulate(store->ShardSnapshot(i));
+  }
+  return total.Get(std::string("core.") + name);
+}
+
+void RunRegisterHistory(Scheme scheme, const char* label) {
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_TRUE(ShardedStore::Create(OptimisticOptions(scheme), &store).ok())
+      << label;
+
+  const std::string key = MakeKey(7);
+  constexpr uint64_t kWrites = 1200;
+  constexpr int kReaders = 3;
+
+  std::atomic<uint64_t> clock{1};
+  auto tick = [&clock]() { return clock.fetch_add(1); };
+
+  std::vector<WriteRec> writes(kWrites + 1);
+  writes[0].inv = tick();
+  ASSERT_TRUE(store->Put(key, VersionValue(0)).ok()) << label;
+  writes[0].resp = tick();
+
+  std::atomic<bool> done{false};
+  std::vector<std::vector<ReadRec>> reads(kReaders);
+  Status writer_status = Status::OK();
+
+  std::thread writer([&]() {
+    for (uint64_t v = 1; v <= kWrites; ++v) {
+      writes[v].inv = tick();
+      Status st = store->Put(key, VersionValue(v));
+      writes[v].resp = tick();
+      if (!st.ok()) {
+        writer_status = st;
+        return;
+      }
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t]() {
+      std::string value;
+      // do-while: on a one-core host the writer may finish before this
+      // thread first runs; every reader still contributes >= 1 read.
+      do {
+        ReadRec r;
+        r.inv = tick();
+        Status st = store->Get(key, &value);
+        r.resp = tick();
+        if (st.IsNotFound()) {
+          r.not_found = true;
+        } else if (!st.ok()) {
+          r.version = UINT64_MAX;  // integrity violation etc. — flagged
+        } else {
+          r.version = ParseVersionValue(value);
+        }
+        reads[t].push_back(r);
+      } while (!done.load(std::memory_order_acquire));
+    });
+  }
+  writer.join();
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  ASSERT_TRUE(writer_status.ok()) << label << ": " << writer_status.ToString();
+
+  EXPECT_EQ(CheckSingleWriterRegister(writes, reads), "") << label;
+  size_t total_reads = 0;
+  for (const auto& r : reads) total_reads += r.size();
+  EXPECT_GT(total_reads, 0u) << label;
+
+  // With no writer left, the lock-free path must serve — proving the
+  // battery exercised it (scheduler-dependent hits during the run alone
+  // would be a flaky assertion).
+  std::string value;
+  for (int i = 0; i < 16; ++i) {
+    bool lock_free = false;
+    ASSERT_TRUE(store->Get(key, &value, &lock_free).ok()) << label;
+    EXPECT_TRUE(lock_free) << label << ": quiescent GET " << i;
+    EXPECT_EQ(ParseVersionValue(value), kWrites) << label;
+  }
+  EXPECT_GT(CoreMetric(store.get(), "optimistic_hits"), 0u) << label;
+  EXPECT_EQ(CoreMetric(store.get(), "optimistic_hits") +
+                CoreMetric(store.get(), "optimistic_fallbacks"),
+            CoreMetric(store.get(), "optimistic_gets"))
+      << label;
+
+  obs::InvariantReport inv = store->CheckInvariants();
+  EXPECT_TRUE(inv.ok()) << label << ": " << inv.ToString();
+}
+
+TEST(Linearizability, BaselineHashRegisterHistoryLinearizes) {
+  // Plaintext in-place overwrites: the seqlock revalidation is the ONLY
+  // torn-read defense (no per-record MAC), so this scheme leans on the
+  // shard version check hardest.
+  RunRegisterHistory(Scheme::kBaseline, "Baseline-H optimistic");
+}
+
+TEST(Linearizability, AriaNoCacheRegisterHistoryLinearizes) {
+  // MAC-verified CoW overwrites: every Put retires a block through the
+  // epoch manager while readers hold pins — the reclamation path under
+  // real concurrent load (ASan cross-checks in the sanitizer run).
+  RunRegisterHistory(Scheme::kAriaNoCache, "AriaNoCache-H optimistic");
+}
+
+// --- deterministic torn-read choreography -----------------------------------
+
+// Test-side stall latch: parks a thread at an armed stall point until the
+// test releases it, so the writer can be held mid-publish while a reader
+// probes the half-written state.
+class StallLatch : public fault::StallHook {
+ public:
+  void Arm(fault::StallPoint p) {
+    std::lock_guard<std::mutex> l(mu_);
+    armed_[Idx(p)] = true;
+  }
+  void OnStall(fault::StallPoint p) override {
+    std::unique_lock<std::mutex> l(mu_);
+    if (!armed_[Idx(p)]) return;  // one-shot: retries pass through freely
+    armed_[Idx(p)] = false;
+    parked_[Idx(p)] = true;
+    cv_.notify_all();
+    cv_.wait(l, [&] { return released_[Idx(p)]; });
+    released_[Idx(p)] = false;
+    parked_[Idx(p)] = false;
+  }
+  void WaitUntilParked(fault::StallPoint p) {
+    std::unique_lock<std::mutex> l(mu_);
+    cv_.wait(l, [&] { return parked_[Idx(p)]; });
+  }
+  void Release(fault::StallPoint p) {
+    std::lock_guard<std::mutex> l(mu_);
+    released_[Idx(p)] = true;
+    cv_.notify_all();
+  }
+
+ private:
+  static size_t Idx(fault::StallPoint p) { return static_cast<size_t>(p); }
+  static constexpr size_t kN =
+      static_cast<size_t>(fault::StallPoint::kNumStallPoints);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool armed_[kN] = {};
+  bool parked_[kN] = {};
+  bool released_[kN] = {};
+};
+
+class StallScope {
+ public:
+  explicit StallScope(StallLatch* latch) { fault::SetStall(latch); }
+  ~StallScope() { fault::SetStall(nullptr); }
+};
+
+// Drives the deterministic interleaving: reader parked between its first
+// seq read and the probe → writer parked inside its publish window →
+// reader released into the half-written state → writer released. Returns
+// the reader's result and whether it was served lock-free.
+struct TornProbeResult {
+  Status status;
+  std::string value;
+  bool lock_free = false;
+};
+
+TornProbeResult RunTornChoreography(ShardedStore* store,
+                                    const std::string& key,
+                                    const std::string& new_value,
+                                    fault::StallPoint writer_point,
+                                    bool reader_finishes_before_writer) {
+  StallLatch latch;
+  StallScope scope(&latch);
+
+  latch.Arm(fault::StallPoint::kOptimisticReadBody);
+  TornProbeResult out;
+  std::thread reader([&]() {
+    out.status = store->Get(key, &out.value, &out.lock_free);
+  });
+  latch.WaitUntilParked(fault::StallPoint::kOptimisticReadBody);
+
+  // The reader has read an even shard version and stands before the probe.
+  // Start the overwrite and park it inside its publish window (the shard
+  // version is odd from here until the writer completes).
+  latch.Arm(writer_point);
+  Status writer_status;
+  std::thread writer([&]() { writer_status = store->Put(key, new_value); });
+  latch.WaitUntilParked(writer_point);
+
+  // Reader probes the half-written state.
+  latch.Release(fault::StallPoint::kOptimisticReadBody);
+  if (reader_finishes_before_writer) {
+    // Broken validation: the probe returns the torn mix directly, with no
+    // need for the lock — join the reader while the writer is STILL parked
+    // mid-publish, so the probe provably raced the half-written state.
+    reader.join();
+    latch.Release(writer_point);
+    writer.join();
+  } else {
+    // Intact validation: while the writer stays parked the shard version
+    // stays odd, so every retry races and the reader must fall back. Hold
+    // the writer until the fallback counter proves the reader gave up
+    // (it increments before the reader blocks on the shard lock the
+    // parked writer holds), then let the writer finish so the locked read
+    // can proceed.
+    while (store->TEST_OptimisticFallbacks(0) == 0) {
+      std::this_thread::yield();
+    }
+    latch.Release(writer_point);
+    reader.join();
+    writer.join();
+  }
+  EXPECT_TRUE(writer_status.ok()) << writer_status.ToString();
+  return out;
+}
+
+TEST(TornRead, BrokenValidationObservesTheTornValue) {
+  // NEGATIVE CONTROL. Skip the second seqlock read and the torn plaintext
+  // mix becomes an observable read result — the battery's proof that the
+  // revalidation (not luck) is what makes the Baseline scheme safe.
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_TRUE(
+      ShardedStore::Create(OptimisticOptions(Scheme::kBaseline), &store)
+          .ok());
+  const std::string key = MakeKey(7);
+  ASSERT_TRUE(store->Put(key, VersionValue(1)).ok());
+
+  store->TEST_SetBrokenValidation(true);
+  TornProbeResult r = RunTornChoreography(
+      store.get(), key, VersionValue(2),
+      fault::StallPoint::kBaselineValuePublish,
+      /*reader_finishes_before_writer=*/true);
+  store->TEST_SetBrokenValidation(false);
+
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_TRUE(r.lock_free);
+  // The observed value is provably torn: it parses as neither version.
+  EXPECT_EQ(ParseVersionValue(r.value), UINT64_MAX)
+      << "expected a torn mix, got: " << r.value;
+  EXPECT_NE(r.value, VersionValue(1));
+  EXPECT_NE(r.value, VersionValue(2));
+
+  // And the history checker catches exactly this: a broken validation
+  // surfaces as a torn-value violation, never silently.
+  std::vector<WriteRec> writes = {{0, 0}, {1, 2}, {3, 8}};
+  std::vector<std::vector<ReadRec>> reads(1);
+  reads[0] = {{4, 5, ParseVersionValue(r.value), false}};
+  EXPECT_NE(CheckSingleWriterRegister(writes, reads).find("torn"),
+            std::string::npos);
+}
+
+TEST(TornRead, IntactValidationNeverReturnsTheTornValue) {
+  // Same choreography, validation ON: the probe lands in the same torn
+  // window, but the odd shard version forces retry → fallback, and the
+  // reader comes back with the complete new value.
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_TRUE(
+      ShardedStore::Create(OptimisticOptions(Scheme::kBaseline), &store)
+          .ok());
+  const std::string key = MakeKey(7);
+  ASSERT_TRUE(store->Put(key, VersionValue(1)).ok());
+
+  TornProbeResult r = RunTornChoreography(
+      store.get(), key, VersionValue(2),
+      fault::StallPoint::kBaselineValuePublish,
+      /*reader_finishes_before_writer=*/false);
+
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_FALSE(r.lock_free) << "a raced probe must not count as lock-free";
+  EXPECT_EQ(r.value, VersionValue(2));
+  // The shard version stays odd while the writer is parked, so the reader
+  // deterministically exhausts its retries and falls back.
+  EXPECT_GE(CoreMetric(store.get(), "optimistic_fallbacks"), 1u);
+  EXPECT_GE(CoreMetric(store.get(), "optimistic_retries"), 1u);
+}
+
+TEST(TornRead, AriaMacMismatchDemotesToFallbackNotViolation) {
+  // Aria's CoW overwrite bumps the trusted counter before publishing the
+  // new block: a reader probing inside that window sees the OLD block
+  // against the NEW counter and fails MAC verification. On the lock-free
+  // path that is indistinguishable from this exact benign race, so it must
+  // demote to a locked fallback — never surface IntegrityViolation.
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_TRUE(
+      ShardedStore::Create(OptimisticOptions(Scheme::kAriaNoCache), &store)
+          .ok());
+  const std::string key = MakeKey(7);
+  ASSERT_TRUE(store->Put(key, VersionValue(1)).ok());
+
+  TornProbeResult r = RunTornChoreography(
+      store.get(), key, VersionValue(2),
+      fault::StallPoint::kAriaCounterPublish,
+      /*reader_finishes_before_writer=*/false);
+
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_FALSE(r.lock_free);
+  EXPECT_EQ(r.value, VersionValue(2));
+  EXPECT_GE(CoreMetric(store.get(), "optimistic_fallbacks"), 1u);
+
+  obs::InvariantReport inv = store->CheckInvariants();
+  EXPECT_TRUE(inv.ok()) << inv.ToString();
+}
+
+}  // namespace
+}  // namespace aria
