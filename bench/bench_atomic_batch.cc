@@ -1,0 +1,169 @@
+// Atomic multi-key batch amortization bench (DESIGN.md §15): the same
+// zipf-0.99 ATOMIC_RMW point-op stream pushed through batch sizes 1, 4, 16
+// and 64 on the flagship Aria-H sharded configuration. The §V-B payoff under
+// measurement is the counter/Merkle flush amortization — ONE update pass per
+// mutated shard per batch instead of one per op — so the headline,
+// core.batch_mt_update_passes per point op, must fall STRICTLY as the batch
+// size grows (batches cannot touch more shards than they carry ops, and a
+// 64-op zipf batch funnels many ops into few hot shards). The run fails if
+// the headline is not strictly decreasing, and every size's store must pass
+// the full invariant audit.
+//
+//   ./build/bench/bench_atomic_batch [ops_per_size] [out.json]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sharded_store.h"
+#include "core/store_factory.h"
+#include "obs/invariants.h"
+#include "obs/json.h"
+#include "workload/ycsb.h"
+#include "workload/zipf.h"
+
+using namespace aria;
+
+namespace {
+
+constexpr uint32_t kShards = 8;
+constexpr uint64_t kKeyspace = 1 << 15;
+constexpr size_t kValueSize = 64;
+constexpr double kTheta = 0.99;
+
+struct SizeResult {
+  size_t batch_size = 0;
+  uint64_t ops = 0;
+  double wall_seconds = 0;
+  uint64_t mt_passes = 0;
+  uint64_t shard_touches = 0;
+  double passes_per_op = 0;
+};
+
+Status RunOneSize(size_t batch_size, uint64_t total_ops, SizeResult* out,
+                  obs::Snapshot* last_snapshot) {
+  StoreOptions o;
+  o.scheme = Scheme::kAria;
+  o.index = IndexKind::kHash;
+  o.keyspace = kKeyspace;
+  o.num_shards = kShards;
+  o.seed = 42;
+  std::unique_ptr<ShardedStore> store;
+  ARIA_RETURN_IF_ERROR(ShardedStore::Create(o, &store));
+
+  for (uint64_t id = 0; id < kKeyspace; ++id) {
+    ARIA_RETURN_IF_ERROR(store->Put(MakeKey(id), MakeValue(id, kValueSize)));
+  }
+
+  ZipfGenerator zipf(kKeyspace, kTheta, /*seed=*/7);
+  const uint64_t batches = (total_ops + batch_size - 1) / batch_size;
+  std::vector<std::string> keys(batch_size);
+  std::vector<std::string> values(batch_size);
+  std::vector<AtomicOp> ops(batch_size);
+
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t executed = 0;
+  for (uint64_t b = 0; b < batches; ++b) {
+    for (size_t i = 0; i < batch_size; ++i) {
+      const uint64_t id = zipf.NextKey();
+      keys[i] = MakeKey(id);
+      values[i] = MakeValue(id, kValueSize, static_cast<uint32_t>(b));
+      ops[i] = AtomicOp{};
+      ops[i].kind = AtomicOp::Kind::kRmw;
+      ops[i].key = Slice(keys[i]);
+      ops[i].value = Slice(values[i]);
+    }
+    ARIA_RETURN_IF_ERROR(store->ExecuteAtomicBatch(ops.data(), batch_size));
+    executed += batch_size;
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  obs::Snapshot total;
+  for (uint32_t s = 0; s < store->num_shards(); ++s) {
+    total.Accumulate(store->ShardSnapshot(s));
+  }
+  out->batch_size = batch_size;
+  out->ops = executed;
+  out->wall_seconds = std::chrono::duration<double>(end - start).count();
+  out->mt_passes = total.Get("core.batch_mt_update_passes");
+  out->shard_touches = total.Get("core.batch_shard_touches");
+  out->passes_per_op =
+      executed > 0 ? static_cast<double>(out->mt_passes) / executed : 0;
+
+  obs::InvariantReport report = store->CheckInvariants();
+  if (!report.ok()) {
+    return Status::Internal("invariant audit failed at batch size " +
+                            std::to_string(batch_size) + ": " +
+                            report.ToString());
+  }
+  *last_snapshot = std::move(total);
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t ops =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100'000;
+  const std::string out_path = argc > 2 ? argv[2] : "BENCH_atomic_batch.json";
+  const size_t sizes[] = {1, 4, 16, 64};
+
+  std::vector<SizeResult> results;
+  obs::Snapshot last_snapshot;
+  for (size_t b : sizes) {
+    SizeResult r;
+    Status st = RunOneSize(b, ops, &r, &last_snapshot);
+    if (!st.ok()) {
+      std::fprintf(stderr, "batch size %zu: %s\n", b, st.ToString().c_str());
+      return 1;
+    }
+    results.push_back(r);
+    std::printf(
+        "batch=%2zu  ops=%llu  wall=%.3fs  ops/s=%.0f  mt_passes/op=%.4f  "
+        "(passes=%llu touches=%llu)\n",
+        b, static_cast<unsigned long long>(r.ops), r.wall_seconds,
+        r.wall_seconds > 0 ? r.ops / r.wall_seconds : 0, r.passes_per_op,
+        static_cast<unsigned long long>(r.mt_passes),
+        static_cast<unsigned long long>(r.shard_touches));
+  }
+
+  // The headline: flush passes per point op must fall strictly with batch
+  // size, or the §V-B amortization regressed.
+  bool strictly_decreasing = true;
+  for (size_t i = 1; i < results.size(); ++i) {
+    if (results[i].passes_per_op >= results[i - 1].passes_per_op) {
+      strictly_decreasing = false;
+      std::fprintf(stderr,
+                   "HEADLINE REGRESSION: mt_passes/op %.4f at batch %zu is "
+                   "not below %.4f at batch %zu\n",
+                   results[i].passes_per_op, results[i].batch_size,
+                   results[i - 1].passes_per_op, results[i - 1].batch_size);
+    }
+  }
+
+  std::map<std::string, double> fields;
+  fields["ops_per_size"] = static_cast<double>(ops);
+  fields["shards"] = kShards;
+  fields["zipf_theta"] = kTheta;
+  fields["headline_strictly_decreasing"] = strictly_decreasing ? 1 : 0;
+  for (const SizeResult& r : results) {
+    const std::string p = "b" + std::to_string(r.batch_size) + "_";
+    fields[p + "mt_passes_per_op"] = r.passes_per_op;
+    fields[p + "ops_per_s"] =
+        r.wall_seconds > 0 ? r.ops / r.wall_seconds : 0;
+    fields[p + "shard_touches"] = static_cast<double>(r.shard_touches);
+  }
+  const std::string json = obs::BenchArtifactJson(
+      "atomic_batch", "Aria-H sharded x" + std::to_string(kShards), fields,
+      last_snapshot);
+  Status st = obs::WriteFile(out_path, json);
+  if (!st.ok()) {
+    std::fprintf(stderr, "WriteFile: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return strictly_decreasing ? 0 : 1;
+}

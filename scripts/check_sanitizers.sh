@@ -45,6 +45,13 @@ run_one() {
   # model can see; under ASan it certifies reclamation never frees early.
   echo "=== ${kind} sanitizer: running lockfree-labeled tests ==="
   ctest --test-dir "${dir}" --output-on-failure -L lockfree
+  # The atomic multi-key batch battery: ascending-shard-order lock
+  # acquisition under 4 threads issuing opposite key orders (the deadlock
+  # regression), mid-batch fault rollback, and multi-writer atomicity
+  # torture in both read modes — under TSan this certifies the batch lock
+  # discipline, under ASan the rollback's undo-log value handling.
+  echo "=== ${kind} sanitizer: running batch-labeled tests ==="
+  ctest --test-dir "${dir}" --output-on-failure -L batch
 }
 
 case "${1:-all}" in

@@ -38,6 +38,17 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L loadgen
 # the gate for the optimistic read path (DESIGN.md §14).
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L lockfree
 
+# Atomic multi-key batch battery on its own label (fast; already part of
+# the full run above): all-or-none rollback with its broken-atomicity
+# negative control, the multi-writer atomicity torture in both read modes,
+# and the opposite-key-order deadlock regression (DESIGN.md §15). Then the
+# batch amortization smoke: mt-update passes per op across batch sizes
+# 1/4/16/64 must fall strictly, with the invariant audit (including
+# batch-atomicity-conservation) on every size.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L batch
+"$BUILD_DIR"/bench/bench_atomic_batch 40000 \
+  "$BUILD_DIR"/BENCH_atomic_batch_smoke.json
+
 # Locked-vs-optimistic read-mode sweep smoke: 8-shard store, YCSB-B/C ×
 # uniform/zipf-0.99 × 1..8 threads in both read modes, with the invariant
 # audit (optimistic-read-conservation, epoch-reclamation-conservation) run

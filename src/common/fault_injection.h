@@ -73,6 +73,7 @@ enum class StallPoint : uint8_t {
   kBaselineValuePublish = 0,  ///< EnclaveKV: mid in-place value overwrite
   kAriaCounterPublish,        ///< AriaHash: counter bumped, new record not yet published
   kOptimisticReadBody,        ///< ShardedStore: between the first seq read and the probe
+  kAtomicBatchApply,          ///< ShardedStore: between two ops of an atomic batch apply
   kNumStallPoints,
 };
 

@@ -273,6 +273,195 @@ void ShardedStore::ExecuteBatch(BatchOp* ops, size_t n) {
   }
 }
 
+Status ShardedStore::ExecuteAtomicBatch(AtomicOp* ops, size_t n) {
+  if (n == 0) return Status::OK();
+
+  // Plan: shard of every op, which shards are touched, which get writes.
+  std::vector<uint32_t> shard_of(n);
+  std::vector<uint32_t> ops_per_shard(shards_.size(), 0);
+  std::vector<uint8_t> writes_on_shard(shards_.size(), 0);
+  bool has_write = false;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t s = ShardOf(ops[i].key);
+    shard_of[i] = s;
+    ops_per_shard[s]++;
+    if (ops[i].kind != AtomicOp::Kind::kGet) {
+      writes_on_shard[s] = 1;
+      has_write = true;
+    }
+  }
+  std::vector<uint32_t> order;  // touched shards, ascending
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    if (ops_per_shard[s] != 0) order.push_back(s);
+  }
+
+  // Canonical ascending shard-index acquisition, all locks held together
+  // for the whole batch. Every batch agrees on this total order (and no
+  // other code path ever holds two shard locks), so deadlock is impossible
+  // regardless of the key order clients submit. Read-only batches ride the
+  // shared-read mode where it exists; everywhere else the read path may
+  // mutate shard state, so even MULTIGET holds the exclusive locks (which
+  // is also what makes it an atomic snapshot).
+  const bool shared = shared_reads_ && !has_write;
+  std::vector<std::shared_lock<std::shared_mutex>> shared_locks;
+  std::vector<std::unique_lock<std::shared_mutex>> excl_locks;
+  for (uint32_t s : order) {
+    if (shared) {
+      shared_locks.emplace_back(shards_[s]->mu);
+    } else {
+      excl_locks.emplace_back(shards_[s]->mu);
+    }
+  }
+
+  for (uint32_t s : order) {
+    shards_[s]->batch_ops_admitted.fetch_add(ops_per_shard[s],
+                                             std::memory_order_relaxed);
+    shards_[s]->batch_shard_touches.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // ONE seqlock bracket per mutated shard for the whole batch: optimistic
+  // readers see the entire apply (and any rollback) as a single mutation
+  // window — the §V-B amortization extended to atomicity, since the
+  // bracket is also the unit the deferred counter/MT flush below pairs
+  // with.
+  if (!shared) {
+    for (uint32_t s : order) {
+      if (writes_on_shard[s]) BeginShardWrite(*shards_[s]);
+    }
+  }
+
+  // Apply in op order, capturing each mutation's pre-image just before it
+  // applies. Rollback replays the undo log in reverse, so interleaved
+  // writes to one key still restore the pre-batch state.
+  struct Undo {
+    uint32_t shard;
+    size_t op;  // index into ops, whose key is the undo key
+    bool existed;
+    std::string old_value;
+  };
+  std::vector<Undo> undo;
+  Status failure;
+  size_t failed_op = n;
+  for (size_t i = 0; i < n && failure.ok(); ++i) {
+    AtomicOp& op = ops[i];
+    Shard& s = *shards_[shard_of[i]];
+    // Mid-batch latch for the atomicity torture battery: a writer parked
+    // here has applied a strict prefix of the batch — the exact window a
+    // torn MULTIGET would observe if the locks or rollback were broken.
+    if (i != 0) fault::InjectStall(fault::StallPoint::kAtomicBatchApply);
+    switch (op.kind) {
+      case AtomicOp::Kind::kGet: {
+        op.result.clear();
+        op.status = s.bundle.store->Get(op.key, &op.result);
+        if (!op.status.ok() && !op.status.IsNotFound()) {
+          failure = op.status;
+          failed_op = i;
+        }
+        break;
+      }
+      case AtomicOp::Kind::kPut:
+      case AtomicOp::Kind::kRmw: {
+        std::string old;
+        Status pre = s.bundle.store->Get(op.key, &old);
+        if (!pre.ok() && !pre.IsNotFound()) {
+          op.status = pre;
+          failure = pre;
+          failed_op = i;
+          break;
+        }
+        Status st = s.bundle.store->Put(op.key, op.value);
+        if (!st.ok()) {
+          op.status = st;
+          failure = st;
+          failed_op = i;
+          break;
+        }
+        undo.push_back(Undo{shard_of[i], i, pre.ok(), std::move(old)});
+        if (op.kind == AtomicOp::Kind::kRmw) {
+          // The RMW result is the pre-image; absent reads back as
+          // kNotFound with the write still applied (upsert semantics).
+          op.result = undo.back().old_value;
+          op.status = pre.ok() ? Status::OK() : Status::NotFound();
+        } else {
+          op.status = Status::OK();
+        }
+        break;
+      }
+      case AtomicOp::Kind::kDelete: {
+        std::string old;
+        Status pre = s.bundle.store->Get(op.key, &old);
+        if (!pre.ok() && !pre.IsNotFound()) {
+          op.status = pre;
+          failure = pre;
+          failed_op = i;
+          break;
+        }
+        Status st = s.bundle.store->Delete(op.key);
+        if (!st.ok() && !st.IsNotFound()) {
+          op.status = st;
+          failure = st;
+          failed_op = i;
+          break;
+        }
+        undo.push_back(Undo{shard_of[i], i, pre.ok(), std::move(old)});
+        op.status = st;  // per-op kNotFound is a valid outcome
+        break;
+      }
+    }
+  }
+
+  if (!failure.ok() &&
+      !broken_atomicity_.load(std::memory_order_relaxed)) {
+    // All-or-nothing: unwind the applied prefix in reverse. Displaced
+    // records flow through the normal retire hook, so in optimistic mode
+    // rollback is epoch-safe against in-flight lock-free readers exactly
+    // like any overwrite. Rollback statuses are deliberately ignored: the
+    // pre-image Put/Delete of a record that was just resident cannot fail
+    // for capacity, and a second injected fault here would only leave the
+    // batch as torn as not rolling back at all.
+    for (size_t j = undo.size(); j-- > 0;) {
+      const Undo& u = undo[j];
+      Shard& s = *shards_[u.shard];
+      if (u.existed) {
+        (void)s.bundle.store->Put(ops[u.op].key, Slice(u.old_value));
+      } else {
+        (void)s.bundle.store->Delete(ops[u.op].key);
+      }
+    }
+  }
+
+  // The batch's single counter/MT update pass per mutated shard: flush the
+  // deferred counter state once, not once per op — the amortization
+  // headline (core.batch_mt_update_passes / ops) of bench_atomic_batch.
+  Status flush_failure;
+  if (!shared) {
+    for (uint32_t s : order) {
+      if (!writes_on_shard[s]) continue;
+      shards_[s]->batch_mt_update_passes.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      if (CounterManager* cm = shards_[s]->bundle.counter_manager()) {
+        Status st = cm->Flush();
+        if (!st.ok() && flush_failure.ok()) flush_failure = st;
+      }
+      EndShardWrite(*shards_[s]);
+    }
+  }
+
+  const bool applied = failure.ok();
+  for (uint32_t s : order) {
+    (applied ? shards_[s]->batch_ops_applied
+             : shards_[s]->batch_ops_rolled_back)
+        .fetch_add(ops_per_shard[s], std::memory_order_relaxed);
+  }
+  if (!failure.ok()) {
+    for (size_t i = 0; i < n; ++i) {
+      if (i != failed_op) ops[i].status = Status::Internal("batch aborted");
+    }
+    return failure;
+  }
+  return flush_failure;
+}
+
 Status ShardedStore::Drain() {
   for (auto& shard : shards_) {
     std::unique_lock<std::shared_mutex> lock(shard->mu);
@@ -361,6 +550,16 @@ obs::Snapshot ShardedStore::ShardSnapshot(uint32_t i) const {
   counter("epoch_retired", s.retired_count.load(std::memory_order_relaxed));
   counter("epoch_reclaimed",
           s.reclaimed_count.load(std::memory_order_relaxed));
+  counter("batch_ops_admitted",
+          s.batch_ops_admitted.load(std::memory_order_relaxed));
+  counter("batch_ops_applied",
+          s.batch_ops_applied.load(std::memory_order_relaxed));
+  counter("batch_ops_rolled_back",
+          s.batch_ops_rolled_back.load(std::memory_order_relaxed));
+  counter("batch_shard_touches",
+          s.batch_shard_touches.load(std::memory_order_relaxed));
+  counter("batch_mt_update_passes",
+          s.batch_mt_update_passes.load(std::memory_order_relaxed));
   gauge("epoch_pending", s.retired.pending());
   return snap;
 }
@@ -371,6 +570,7 @@ void ShardedStore::CollectMetrics(obs::MetricSink* sink) const {
   // the register-under-"core" convention of ShardSnapshot.
   uint64_t gets = 0, hits = 0, retries = 0, fallbacks = 0;
   uint64_t retired = 0, reclaimed = 0, pending = 0;
+  uint64_t adm = 0, app = 0, rb = 0, touches = 0, passes = 0;
   for (uint32_t i = 0; i < num_shards(); ++i) {
     const Shard& s = *shards_[i];
     std::shared_lock<std::shared_mutex> lock(s.mu);
@@ -382,12 +582,22 @@ void ShardedStore::CollectMetrics(obs::MetricSink* sink) const {
     uint64_t rt = s.retired_count.load(std::memory_order_relaxed);
     uint64_t rc = s.reclaimed_count.load(std::memory_order_relaxed);
     uint64_t pd = s.retired.pending();
+    uint64_t ba = s.batch_ops_admitted.load(std::memory_order_relaxed);
+    uint64_t bp = s.batch_ops_applied.load(std::memory_order_relaxed);
+    uint64_t br = s.batch_ops_rolled_back.load(std::memory_order_relaxed);
+    uint64_t bt = s.batch_shard_touches.load(std::memory_order_relaxed);
+    uint64_t bm = s.batch_mt_update_passes.load(std::memory_order_relaxed);
     sink->Counter(p + "optimistic_gets", g);
     sink->Counter(p + "optimistic_hits", h);
     sink->Counter(p + "optimistic_retries", r);
     sink->Counter(p + "optimistic_fallbacks", f);
     sink->Counter(p + "epoch_retired", rt);
     sink->Counter(p + "epoch_reclaimed", rc);
+    sink->Counter(p + "batch_ops_admitted", ba);
+    sink->Counter(p + "batch_ops_applied", bp);
+    sink->Counter(p + "batch_ops_rolled_back", br);
+    sink->Counter(p + "batch_shard_touches", bt);
+    sink->Counter(p + "batch_mt_update_passes", bm);
     sink->Gauge(p + "epoch_pending", pd);
     gets += g;
     hits += h;
@@ -396,6 +606,11 @@ void ShardedStore::CollectMetrics(obs::MetricSink* sink) const {
     retired += rt;
     reclaimed += rc;
     pending += pd;
+    adm += ba;
+    app += bp;
+    rb += br;
+    touches += bt;
+    passes += bm;
   }
   sink->Counter("optimistic_gets", gets);
   sink->Counter("optimistic_hits", hits);
@@ -403,6 +618,11 @@ void ShardedStore::CollectMetrics(obs::MetricSink* sink) const {
   sink->Counter("optimistic_fallbacks", fallbacks);
   sink->Counter("epoch_retired", retired);
   sink->Counter("epoch_reclaimed", reclaimed);
+  sink->Counter("batch_ops_admitted", adm);
+  sink->Counter("batch_ops_applied", app);
+  sink->Counter("batch_ops_rolled_back", rb);
+  sink->Counter("batch_shard_touches", touches);
+  sink->Counter("batch_mt_update_passes", passes);
   sink->Gauge("epoch_pending", pending);
 }
 
@@ -425,6 +645,7 @@ obs::InvariantReport ShardedStore::CheckInvariants() const {
   for (const auto& snap : snapshots) aggregate.Accumulate(snap);
   obs::InvariantChecker::CheckShardSums(snapshots, aggregate, &report);
   obs::InvariantChecker::CheckOptimisticReads(aggregate, &report);
+  obs::InvariantChecker::CheckAtomicBatches(aggregate, &report);
   return report;
 }
 

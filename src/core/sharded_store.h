@@ -70,6 +70,21 @@ struct BatchOp {
   std::string result;  ///< kGet only
 };
 
+/// One operation of a client-visible *atomic* multi-key batch (see
+/// ExecuteAtomicBatch). Unlike BatchOp, the whole list commits or none of
+/// it does. The slices must stay valid for the duration of the call;
+/// `status` and `result` are outputs. For kRmw, `result` receives the old
+/// value (empty + kNotFound status if the key was absent) and `value` is
+/// the new value written.
+struct AtomicOp {
+  enum class Kind : uint8_t { kGet, kPut, kDelete, kRmw };
+  Kind kind = Kind::kGet;
+  Slice key;
+  Slice value;  ///< kPut / kRmw only
+  Status status;
+  std::string result;  ///< kGet / kRmw only
+};
+
 class ShardedStore : public OrderedKVStore {
  public:
   /// Build `base.num_shards` shards. Each shard gets the base options with
@@ -113,6 +128,29 @@ class ShardedStore : public OrderedKVStore {
   /// through here, and concurrent batches serialize only where they touch
   /// the same shard's lock.
   void ExecuteBatch(BatchOp* ops, size_t n);
+
+  /// Execute `n` operations as ONE atomic unit: either every op applies or
+  /// none does, and no concurrent reader (locked, shared or optimistic) can
+  /// observe a partially-applied batch. Locking discipline (DESIGN.md §15):
+  /// the involved shards' writer locks are all acquired in canonical
+  /// ascending shard-index order and held together for the whole batch —
+  /// the only place in the tree where two shard locks are held at once, and
+  /// the total order is what makes deadlock impossible. Read-only batches
+  /// (all kGet) take shared locks instead when shard_shared_reads is on.
+  ///
+  /// Apply protocol: capture pre-state for every mutating op (undo log),
+  /// then apply in op order; on any failure, roll back the already-applied
+  /// prefix in reverse (displaced records flow through the epoch retire
+  /// list in optimistic mode, exactly like normal overwrites) and return
+  /// the failure; ops that did not cause it carry Internal("batch aborted").
+  /// Per-op kNotFound on kGet / kDelete / kRmw is NOT a batch
+  /// failure — it is a valid outcome recorded in that op's status.
+  ///
+  /// §V-B amortization: each touched shard gets ONE counter/MT update pass
+  /// per batch (one seqlock bracket + one deferred-flush window), not one
+  /// per op — core.batch_mt_update_passes counts these and is the headline
+  /// of bench_atomic_batch.
+  Status ExecuteAtomicBatch(AtomicOp* ops, size_t n);
 
   /// Graceful shutdown: under each shard's exclusive lock, flush that
   /// shard's dirty Secure Cache state so every pending MAC update reaches
@@ -167,6 +205,15 @@ class ShardedStore : public OrderedKVStore {
     broken_validation_.store(broken, std::memory_order_relaxed);
   }
 
+  /// TEST ONLY — negative control for the atomicity battery: when a batch
+  /// apply fails mid-way, skip the rollback and commit the torn prefix.
+  /// With this on, concurrent MULTIGETs can observe half a batch and the
+  /// batch-atomicity oracle must flag it — proving the checker (and the
+  /// rollback it guards) is load-bearing.
+  void TEST_SetBrokenAtomicity(bool broken) {
+    broken_atomicity_.store(broken, std::memory_order_relaxed);
+  }
+
   /// TEST ONLY — shard `i`'s fallback count, readable without the shard
   /// lock (ShardSnapshot would block behind a parked writer). The torn-read
   /// choreography polls this to learn the reader has exhausted its retries
@@ -209,6 +256,15 @@ class ShardedStore : public OrderedKVStore {
     std::atomic<uint64_t> retired_count{0};
     std::atomic<uint64_t> reclaimed_count{0};
 
+    // Atomic-batch counters (mutated while holding mu). Conservation:
+    // admitted == applied + rolled_back, and mt_update_passes <=
+    // shard_touches (a pass only happens for shards with >= 1 write op).
+    std::atomic<uint64_t> batch_ops_admitted{0};
+    std::atomic<uint64_t> batch_ops_applied{0};
+    std::atomic<uint64_t> batch_ops_rolled_back{0};
+    std::atomic<uint64_t> batch_shard_touches{0};
+    std::atomic<uint64_t> batch_mt_update_passes{0};
+
     mutable std::shared_mutex mu;
 
     // Declared after `bundle` so it is destroyed FIRST: its destructor
@@ -244,6 +300,7 @@ class ShardedStore : public OrderedKVStore {
   ReadMode read_mode_ = ReadMode::kLocked;
   uint32_t max_retries_ = 3;
   std::atomic<bool> broken_validation_{false};
+  std::atomic<bool> broken_atomicity_{false};
   std::string name_;
 };
 

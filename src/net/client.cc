@@ -230,6 +230,69 @@ Status Client::Ping() {
 
 namespace {
 
+// Shared round-trip tail of the three multi-op helpers: a non-OK wire
+// status is a batch-level failure; an OK payload must decode to exactly one
+// record per request op.
+Status FinishMultiCall(Client* client, const Request& req, size_t n_ops,
+                       std::vector<MultiResult>* results) {
+  Response resp;
+  {
+    Status st = client->Send(req);
+    if (!st.ok()) return st;
+    st = client->ReadResponse(&resp);
+    if (!st.ok()) return st;
+  }
+  if (resp.status != WireStatus::kOk) {
+    return FromWire(resp.status, resp.payload);
+  }
+  ARIA_RETURN_IF_ERROR(DecodeMultiResultPayload(resp.payload, results));
+  if (results->size() != n_ops) {
+    return Status::Internal("multi-op response record count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Client::MultiGet(const std::vector<std::string>& keys,
+                        std::vector<MultiResult>* results) {
+  if (in_flight() > 0) {
+    return Status::InvalidArgument(
+        "synchronous call with a pipeline in flight");
+  }
+  Request req;
+  req.op = OpCode::kMultiGet;
+  req.ops.reserve(keys.size());
+  for (const std::string& key : keys) req.ops.push_back(MultiOp{key, {}});
+  return FinishMultiCall(this, req, keys.size(), results);
+}
+
+Status Client::MultiPut(const std::vector<MultiOp>& ops,
+                        std::vector<MultiResult>* results) {
+  if (in_flight() > 0) {
+    return Status::InvalidArgument(
+        "synchronous call with a pipeline in flight");
+  }
+  Request req;
+  req.op = OpCode::kMultiPut;
+  req.ops = ops;
+  return FinishMultiCall(this, req, ops.size(), results);
+}
+
+Status Client::AtomicRmw(const std::vector<MultiOp>& ops,
+                         std::vector<MultiResult>* results) {
+  if (in_flight() > 0) {
+    return Status::InvalidArgument(
+        "synchronous call with a pipeline in flight");
+  }
+  Request req;
+  req.op = OpCode::kAtomicRmw;
+  req.ops = ops;
+  return FinishMultiCall(this, req, ops.size(), results);
+}
+
+namespace {
+
 double ThreadCpuSecondsNow() {
   timespec ts{};
   if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;

@@ -64,6 +64,28 @@ class Client {
   /// pipelined request has been executed (FIFO).
   Status Ping();
 
+  // --- atomic multi-key operations ----------------------------------------
+  // One round trip each; the server executes the whole batch as a single
+  // atomic unit (ShardedStore::ExecuteAtomicBatch). On OK, `results` holds
+  // exactly one record per input op, in op order. A non-OK return means the
+  // batch as a whole did not commit (per-op kNotFound records inside an OK
+  // batch are normal outcomes, not batch failures).
+
+  /// Atomic multi-key snapshot read: no concurrent batch's writes can be
+  /// observed split across the returned values.
+  Status MultiGet(const std::vector<std::string>& keys,
+                  std::vector<MultiResult>* results);
+
+  /// Atomic all-or-nothing multi-key write; `op.value` is the new value.
+  Status MultiPut(const std::vector<MultiOp>& ops,
+                  std::vector<MultiResult>* results);
+
+  /// Atomic read-modify-write: writes every op's `value`, returns each
+  /// key's pre-image (status kNotFound when the key was absent — the write
+  /// still applies, upsert-style).
+  Status AtomicRmw(const std::vector<MultiOp>& ops,
+                   std::vector<MultiResult>* results);
+
   // --- pipelining ---------------------------------------------------------
 
   /// Encode and write `req` now (blocking until the kernel takes the

@@ -32,12 +32,32 @@ uint32_t GetU32(const char* p) {
 
 bool ValidOp(uint8_t op) {
   return op >= static_cast<uint8_t>(OpCode::kGet) &&
-         op <= static_cast<uint8_t>(OpCode::kPing);
+         op <= static_cast<uint8_t>(OpCode::kAtomicRmw);
 }
 
 }  // namespace
 
 void EncodeRequest(const Request& req, std::string* out) {
+  if (IsMultiOp(req.op)) {
+    // Multi-key frame: fixed header with key_len = 0 and aux = op count,
+    // then the count-prefixed entries.
+    const bool with_values = req.op != OpCode::kMultiGet;
+    uint64_t body = kRequestFixedBytes;
+    for (const MultiOp& op : req.ops) {
+      body += 2 + op.key.size() + (with_values ? 4 + op.value.size() : 0);
+    }
+    PutU32(out, static_cast<uint32_t>(body));
+    out->push_back(static_cast<char>(req.op));
+    PutU16(out, 0);
+    PutU32(out, static_cast<uint32_t>(req.ops.size()));
+    for (const MultiOp& op : req.ops) {
+      PutU16(out, static_cast<uint16_t>(op.key.size()));
+      if (with_values) PutU32(out, static_cast<uint32_t>(op.value.size()));
+      out->append(op.key);
+      if (with_values) out->append(op.value);
+    }
+    return;
+  }
   const uint32_t key_len = static_cast<uint32_t>(req.key.size());
   uint32_t aux = 0;
   uint32_t value_len = 0;
@@ -71,27 +91,101 @@ DecodeResult DecodeRequest(const char* data, size_t size, size_t* consumed,
   if (size < kLengthPrefixBytes) return DecodeResult::kNeedMore;
   const uint32_t body_len = GetU32(data);
   // Bound the declared length BEFORE waiting for the bytes: a huge body_len
-  // must fail now, not after the peer has made us buffer it.
-  if (body_len < kRequestFixedBytes || body_len > kMaxRequestBodyBytes) {
+  // must fail now, not after the peer has made us buffer it. The prefix
+  // alone can only be checked against the multi-op ceiling (the opcode is
+  // not visible yet); the tighter single-op bound applies the moment the
+  // opcode byte arrives, below.
+  if (body_len < kRequestFixedBytes || body_len > kMaxMultiRequestBodyBytes) {
     *error = "request body length " + std::to_string(body_len) +
              " outside [" + std::to_string(kRequestFixedBytes) + ", " +
-             std::to_string(kMaxRequestBodyBytes) + "]";
+             std::to_string(kMaxMultiRequestBodyBytes) + "]";
     return DecodeResult::kError;
+  }
+  if (size > kLengthPrefixBytes) {
+    const uint8_t op0 = static_cast<uint8_t>(data[kLengthPrefixBytes]);
+    if (!ValidOp(op0)) {
+      *error = "unknown opcode " + std::to_string(op0);
+      return DecodeResult::kError;
+    }
+    if (!IsMultiOp(static_cast<OpCode>(op0)) &&
+        body_len > kMaxRequestBodyBytes) {
+      *error = "request body length " + std::to_string(body_len) +
+               " exceeds single-op bound " +
+               std::to_string(kMaxRequestBodyBytes);
+      return DecodeResult::kError;
+    }
   }
   if (size < kLengthPrefixBytes + body_len) return DecodeResult::kNeedMore;
 
   const char* body = data + kLengthPrefixBytes;
   const uint8_t op = static_cast<uint8_t>(body[0]);
-  if (!ValidOp(op)) {
-    *error = "unknown opcode " + std::to_string(op);
-    return DecodeResult::kError;
-  }
   const uint16_t key_len = GetU16(body + 1);
   const uint32_t aux = GetU32(body + 3);
   if (key_len > kMaxKeyBytes) {
     *error = "key length " + std::to_string(key_len) + " exceeds " +
              std::to_string(kMaxKeyBytes);
     return DecodeResult::kError;
+  }
+
+  if (IsMultiOp(static_cast<OpCode>(op))) {
+    // Multi-key frame: key_len must be 0, aux is the op count, and the
+    // count-prefixed entries must tile the body exactly. All offset math
+    // is u64 so a hostile count x entry-size product cannot wrap.
+    if (key_len != 0) {
+      *error = "multi-op frame carries a header key";
+      return DecodeResult::kError;
+    }
+    if (aux > kMaxBatchOps) {
+      *error = "batch op count " + std::to_string(aux) + " exceeds " +
+               std::to_string(kMaxBatchOps);
+      return DecodeResult::kError;
+    }
+    const bool with_values = static_cast<OpCode>(op) != OpCode::kMultiGet;
+    std::vector<MultiOp> ops;
+    ops.reserve(aux);
+    uint64_t off = kRequestFixedBytes;
+    for (uint32_t i = 0; i < aux; ++i) {
+      const uint64_t header = with_values ? 6 : 2;
+      if (off + header > body_len) {
+        *error = "multi-op entry " + std::to_string(i) +
+                 " header truncated";
+        return DecodeResult::kError;
+      }
+      const uint16_t klen = GetU16(body + off);
+      const uint32_t vlen = with_values ? GetU32(body + off + 2) : 0;
+      off += header;
+      if (klen == 0 || klen > kMaxKeyBytes) {
+        *error = "multi-op entry key length " + std::to_string(klen) +
+                 " outside [1, " + std::to_string(kMaxKeyBytes) + "]";
+        return DecodeResult::kError;
+      }
+      if (vlen > kMaxValueBytes) {
+        *error = "multi-op entry value length " + std::to_string(vlen) +
+                 " exceeds " + std::to_string(kMaxValueBytes);
+        return DecodeResult::kError;
+      }
+      if (off + klen + vlen > body_len) {
+        *error = "multi-op entry " + std::to_string(i) + " bytes truncated";
+        return DecodeResult::kError;
+      }
+      MultiOp m;
+      m.key.assign(body + off, klen);
+      m.value.assign(body + off + klen, vlen);
+      ops.push_back(std::move(m));
+      off += static_cast<uint64_t>(klen) + vlen;
+    }
+    if (off != body_len) {
+      *error = "multi-op entries do not tile the body (" +
+               std::to_string(off) + " vs " + std::to_string(body_len) + ")";
+      return DecodeResult::kError;
+    }
+    req->op = static_cast<OpCode>(op);
+    req->key.clear();
+    req->value.clear();
+    req->scan_limit = 0;
+    req->ops = std::move(ops);
+    *consumed = kLengthPrefixBytes + body_len;
+    return DecodeResult::kFrame;
   }
 
   uint32_t value_len = 0;
@@ -120,6 +214,10 @@ DecodeResult DecodeRequest(const char* data, size_t size, size_t* consumed,
         return DecodeResult::kError;
       }
       break;
+    case OpCode::kMultiGet:
+    case OpCode::kMultiPut:
+    case OpCode::kAtomicRmw:
+      break;  // unreachable: multi-op frames returned above
   }
 
   // The declared pieces must tile the body exactly; any slack could hide
@@ -150,6 +248,7 @@ DecodeResult DecodeRequest(const char* data, size_t size, size_t* consumed,
   req->key.assign(body + kRequestFixedBytes, key_len);
   req->value.assign(body + kRequestFixedBytes + key_len, value_len);
   req->scan_limit = opc == OpCode::kScan ? aux : 0;
+  req->ops.clear();
   *consumed = kLengthPrefixBytes + body_len;
   return DecodeResult::kFrame;
 }
@@ -244,6 +343,62 @@ Status DecodeScanPayload(
   return Status::OK();
 }
 
+bool EncodeMultiResultPayload(const std::vector<MultiResult>& results,
+                              size_t max_payload_bytes, std::string* out) {
+  uint64_t need = 4;
+  for (const MultiResult& r : results) need += 5 + r.value.size();
+  if (need > max_payload_bytes) return false;
+  PutU32(out, static_cast<uint32_t>(results.size()));
+  for (const MultiResult& r : results) {
+    out->push_back(static_cast<char>(r.status));
+    PutU32(out, static_cast<uint32_t>(r.value.size()));
+    out->append(r.value);
+  }
+  return true;
+}
+
+Status DecodeMultiResultPayload(std::string_view payload,
+                                std::vector<MultiResult>* out) {
+  out->clear();
+  if (payload.size() < 4) {
+    return Status::InvalidArgument("multi-op payload shorter than its count");
+  }
+  const uint32_t count = GetU32(payload.data());
+  if (count > kMaxBatchOps) {
+    return Status::InvalidArgument("multi-op payload count exceeds bound");
+  }
+  size_t off = 4;
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (payload.size() - off < 5) {
+      return Status::InvalidArgument(
+          "multi-op payload truncated at record header");
+    }
+    const uint8_t status = static_cast<uint8_t>(payload[off]);
+    if (status > static_cast<uint8_t>(WireStatus::kProtocolError)) {
+      return Status::InvalidArgument("multi-op payload has unknown status");
+    }
+    const uint32_t value_len = GetU32(payload.data() + off + 1);
+    off += 5;
+    if (value_len > kMaxValueBytes) {
+      return Status::InvalidArgument("multi-op payload value exceeds bound");
+    }
+    if (payload.size() - off < value_len) {
+      return Status::InvalidArgument(
+          "multi-op payload truncated at record bytes");
+    }
+    MultiResult r;
+    r.status = static_cast<WireStatus>(status);
+    r.value.assign(payload.substr(off, value_len));
+    out->push_back(std::move(r));
+    off += value_len;
+  }
+  if (off != payload.size()) {
+    return Status::InvalidArgument("multi-op payload has trailing bytes");
+  }
+  return Status::OK();
+}
+
 WireStatus ToWire(const Status& status) {
   return static_cast<WireStatus>(status.code());
 }
@@ -280,6 +435,12 @@ const char* OpCodeName(OpCode op) {
       return "SCAN";
     case OpCode::kPing:
       return "PING";
+    case OpCode::kMultiGet:
+      return "MULTIGET";
+    case OpCode::kMultiPut:
+      return "MULTIPUT";
+    case OpCode::kAtomicRmw:
+      return "ATOMIC_RMW";
   }
   return "?";
 }

@@ -12,6 +12,16 @@
 //   response body:  status(u8) payload_len(u32) payload[payload_len]
 //     payload = value (kGet), packed pairs (kScan), error message (errors)
 //
+// Multi-key frames (kMultiGet / kMultiPut / kAtomicRmw) reuse the fixed
+// request header with key_len = 0 and aux = op count, followed by `aux`
+// count-prefixed entries that must tile the body exactly:
+//   kMultiGet entry:            key_len(u16) key[key_len]
+//   kMultiPut / kAtomicRmw:     key_len(u16) value_len(u32) key value
+// Their response payload is count(u32) then one per-op record
+// status(u8) value_len(u32) value — the old value for kAtomicRmw, the read
+// value for kMultiGet, empty for kMultiPut — encoded / decoded with the
+// same no-trust discipline as scan payloads.
+//
 // Decoding is incremental: feed the buffered bytes, get back kNeedMore (no
 // complete frame yet), kFrame (one frame consumed), or kError (the peer is
 // speaking garbage; the connection must be failed, resynchronization is
@@ -34,7 +44,16 @@ enum class OpCode : uint8_t {
   kDelete = 3,
   kScan = 4,
   kPing = 5,  ///< no-op round trip; used to drain a pipeline
+  kMultiGet = 6,   ///< atomic multi-key snapshot read
+  kMultiPut = 7,   ///< atomic multi-key write (all-or-nothing)
+  kAtomicRmw = 8,  ///< atomic read-modify-write: returns old values, writes new
 };
+
+/// True for the count-prefixed multi-key opcodes.
+inline constexpr bool IsMultiOp(OpCode op) {
+  return op == OpCode::kMultiGet || op == OpCode::kMultiPut ||
+         op == OpCode::kAtomicRmw;
+}
 
 /// Response status on the wire. The first six values mirror aria::Code so
 /// store results cross the boundary losslessly; kProtocolError is the
@@ -62,12 +81,34 @@ inline constexpr uint32_t kMaxRequestBodyBytes =
 /// the wire is always the count actually encoded).
 inline constexpr uint32_t kMaxResponseBodyBytes = 1 << 20;
 inline constexpr uint32_t kLengthPrefixBytes = 4;
+/// Multi-key frames: at most this many ops per batch, and the whole body
+/// (header + every entry) must fit the multi-op body bound — the global
+/// ceiling on what a peer can make the server buffer for one frame. The
+/// decoder still rejects single-op frames beyond kMaxRequestBodyBytes as
+/// soon as the opcode byte is visible.
+inline constexpr uint32_t kMaxBatchOps = 256;
+inline constexpr uint32_t kMaxMultiRequestBodyBytes = 1 << 20;
+
+/// One op of a multi-key request. `value` is used by kMultiPut (new value)
+/// and kAtomicRmw (value to write); kMultiGet entries carry only the key.
+struct MultiOp {
+  std::string key;
+  std::string value;
+};
+
+/// One per-op record of a multi-key response payload. `value` is the read
+/// value (kMultiGet), the pre-image (kAtomicRmw), or empty (kMultiPut).
+struct MultiResult {
+  WireStatus status = WireStatus::kOk;
+  std::string value;
+};
 
 struct Request {
   OpCode op = OpCode::kPing;
   std::string key;
   std::string value;        ///< kPut only
   uint32_t scan_limit = 0;  ///< kScan only
+  std::vector<MultiOp> ops;  ///< kMultiGet / kMultiPut / kAtomicRmw only
 };
 
 struct Response {
@@ -110,6 +151,21 @@ size_t EncodeScanPayload(
 Status DecodeScanPayload(
     std::string_view payload,
     std::vector<std::pair<std::string, std::string>>* out);
+
+/// Pack per-op multi-key results into a response payload: count(u32) then
+/// per op status(u8) value_len(u32) value. All-or-nothing — response
+/// records must stay 1:1 with request ops, so unlike scan payloads nothing
+/// is truncated: returns false (leaving `out` untouched) if the encoding
+/// would exceed `max_payload_bytes`, and the server answers
+/// kCapacityExceeded instead.
+bool EncodeMultiResultPayload(const std::vector<MultiResult>& results,
+                              size_t max_payload_bytes, std::string* out);
+
+/// Inverse of EncodeMultiResultPayload, with the scan-payload no-trust
+/// discipline: count and every declared length checked against hard bounds
+/// and against the bytes present, no trailing slack.
+Status DecodeMultiResultPayload(std::string_view payload,
+                                std::vector<MultiResult>* out);
 
 /// Store status -> wire status (kOk..kInternal map 1:1).
 WireStatus ToWire(const Status& status);

@@ -42,6 +42,95 @@ uint64_t ThreadCpuMicros() {
          static_cast<uint64_t>(ts.tv_nsec) / 1'000;
 }
 
+// Atomic-batch semantics for a non-sharded store: sequential apply with an
+// undo log, rolled back in reverse on any failure. Plain stores are only
+// served single-loop (they have no internal locking), so the apply window
+// is not observable concurrently — this mirrors
+// ShardedStore::ExecuteAtomicBatch minus the locks and counters.
+Status ExecuteAtomicFallback(KVStore* store, AtomicOp* ops, size_t n) {
+  struct Undo {
+    size_t op;
+    bool existed;
+    std::string old_value;
+  };
+  std::vector<Undo> undo;
+  Status failure;
+  size_t failed_op = n;
+  for (size_t i = 0; i < n && failure.ok(); ++i) {
+    AtomicOp& op = ops[i];
+    switch (op.kind) {
+      case AtomicOp::Kind::kGet: {
+        op.result.clear();
+        op.status = store->Get(op.key, &op.result);
+        if (!op.status.ok() && !op.status.IsNotFound()) {
+          failure = op.status;
+          failed_op = i;
+        }
+        break;
+      }
+      case AtomicOp::Kind::kPut:
+      case AtomicOp::Kind::kRmw: {
+        std::string old;
+        Status pre = store->Get(op.key, &old);
+        if (!pre.ok() && !pre.IsNotFound()) {
+          op.status = pre;
+          failure = pre;
+          failed_op = i;
+          break;
+        }
+        Status st = store->Put(op.key, op.value);
+        if (!st.ok()) {
+          op.status = st;
+          failure = st;
+          failed_op = i;
+          break;
+        }
+        undo.push_back(Undo{i, pre.ok(), std::move(old)});
+        if (op.kind == AtomicOp::Kind::kRmw) {
+          op.result = undo.back().old_value;
+          op.status = pre.ok() ? Status::OK() : Status::NotFound();
+        } else {
+          op.status = Status::OK();
+        }
+        break;
+      }
+      case AtomicOp::Kind::kDelete: {
+        std::string old;
+        Status pre = store->Get(op.key, &old);
+        if (!pre.ok() && !pre.IsNotFound()) {
+          op.status = pre;
+          failure = pre;
+          failed_op = i;
+          break;
+        }
+        Status st = store->Delete(op.key);
+        if (!st.ok() && !st.IsNotFound()) {
+          op.status = st;
+          failure = st;
+          failed_op = i;
+          break;
+        }
+        undo.push_back(Undo{i, pre.ok(), std::move(old)});
+        op.status = st;
+        break;
+      }
+    }
+  }
+  if (failure.ok()) return Status::OK();
+  for (size_t j = undo.size(); j-- > 0;) {
+    const Undo& u = undo[j];
+    if (u.existed) {
+      (void)store->Put(ops[u.op].key, Slice(u.old_value));
+    } else {
+      (void)store->Delete(ops[u.op].key);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (i != failed_op) ops[i].status = Status::Internal("batch aborted");
+  }
+  return failure;
+}
+
 }  // namespace
 
 /// All connection state is owned by exactly one event-loop thread; nothing
@@ -471,6 +560,63 @@ void Server::EventLoop::ProcessTick(std::vector<Connection*>* ready) {
         }
         continue;
       }
+      case OpCode::kMultiGet:
+      case OpCode::kMultiPut:
+      case OpCode::kAtomicRmw: {
+        // A multi-op frame is a batch barrier like a scan: the whole client
+        // batch executes as ONE atomic unit, ordered after every point op
+        // decoded before it on this connection.
+        flush_batch();
+        stats.multiop_frames.fetch_add(1, std::memory_order_relaxed);
+        stats.multiop_ops.fetch_add(p.req.ops.size(),
+                                    std::memory_order_relaxed);
+        AtomicOp::Kind kind = AtomicOp::Kind::kGet;
+        if (p.req.op == OpCode::kMultiGet) {
+          stats.multigets.fetch_add(1, std::memory_order_relaxed);
+        } else if (p.req.op == OpCode::kMultiPut) {
+          stats.multiputs.fetch_add(1, std::memory_order_relaxed);
+          kind = AtomicOp::Kind::kPut;
+        } else {
+          stats.atomic_rmws.fetch_add(1, std::memory_order_relaxed);
+          kind = AtomicOp::Kind::kRmw;
+        }
+        std::vector<AtomicOp> aops(p.req.ops.size());
+        for (size_t j = 0; j < p.req.ops.size(); ++j) {
+          aops[j].kind = kind;
+          aops[j].key = Slice(p.req.ops[j].key);
+          aops[j].value = Slice(p.req.ops[j].value);
+        }
+        Status st =
+            server->sharded_ != nullptr
+                ? server->sharded_->ExecuteAtomicBatch(aops.data(),
+                                                       aops.size())
+                : ExecuteAtomicFallback(server->store_, aops.data(),
+                                        aops.size());
+        if (!st.ok()) {
+          p.status = ToWire(st);
+          p.payload = st.message();
+          continue;
+        }
+        std::vector<MultiResult> results(aops.size());
+        for (size_t j = 0; j < aops.size(); ++j) {
+          results[j].status = ToWire(aops[j].status);
+          if (kind != AtomicOp::Kind::kPut) {
+            results[j].value = std::move(aops[j].result);
+          }
+        }
+        if (EncodeMultiResultPayload(
+                results, kMaxResponseBodyBytes - kResponseFixedBytes,
+                &p.payload)) {
+          p.status = WireStatus::kOk;
+        } else {
+          // Response records are 1:1 with request ops and never truncated;
+          // a batch whose values cannot fit one response frame is refused
+          // (the writes, if any, have still committed atomically).
+          p.status = WireStatus::kCapacityExceeded;
+          p.payload = "multi-op response exceeds response body bound";
+        }
+        continue;
+      }
     }
     op.key = Slice(p.req.key);
     batch.push_back(op);
@@ -658,6 +804,7 @@ void Server::CollectMetrics(obs::MetricSink* sink) const {
   struct Plain {
     uint64_t accepted, rejected, dropped, closed, active;
     uint64_t decoded, sent, errors, batches, batched, scans, in, out, busy;
+    uint64_t multiop_frames, multiop_ops, multigets, multiputs, atomic_rmws;
     uint64_t hist[ServerStats::kBatchBuckets];
   };
   auto load = [](const std::atomic<uint64_t>& v) {
@@ -682,6 +829,11 @@ void Server::CollectMetrics(obs::MetricSink* sink) const {
     p.in = load(s.bytes_in);
     p.out = load(s.bytes_out);
     p.busy = load(s.busy_micros);
+    p.multiop_frames = load(s.multiop_frames);
+    p.multiop_ops = load(s.multiop_ops);
+    p.multigets = load(s.multigets);
+    p.multiputs = load(s.multiputs);
+    p.atomic_rmws = load(s.atomic_rmws);
     for (int i = 0; i < ServerStats::kBatchBuckets; ++i) {
       p.hist[i] = load(s.batch_size_hist[i]);
     }
@@ -700,6 +852,11 @@ void Server::CollectMetrics(obs::MetricSink* sink) const {
     out->Counter("batches", p.batches);
     out->Counter("batched_requests", p.batched);
     out->Counter("scans", p.scans);
+    out->Counter("multiop_frames", p.multiop_frames);
+    out->Counter("multiop_ops", p.multiop_ops);
+    out->Counter("multigets", p.multigets);
+    out->Counter("multiputs", p.multiputs);
+    out->Counter("atomic_rmws", p.atomic_rmws);
     out->Counter("bytes_in", p.in);
     out->Counter("bytes_out", p.out);
     out->Counter("busy_micros", p.busy);
@@ -722,6 +879,11 @@ void Server::CollectMetrics(obs::MetricSink* sink) const {
     total.batches += p.batches;
     total.batched += p.batched;
     total.scans += p.scans;
+    total.multiop_frames += p.multiop_frames;
+    total.multiop_ops += p.multiop_ops;
+    total.multigets += p.multigets;
+    total.multiputs += p.multiputs;
+    total.atomic_rmws += p.atomic_rmws;
     total.in += p.in;
     total.out += p.out;
     total.busy += p.busy;

@@ -14,7 +14,10 @@
 // one shard-lock acquisition per touched shard instead of N. Batches from
 // different loops execute concurrently against disjoint shard locks; range
 // scans act as batch barriers (they cross shards), so per-connection
-// request order is preserved exactly.
+// request order is preserved exactly. Multi-key frames (MULTIGET /
+// MULTIPUT / ATOMIC_RMW) are barriers too: each one executes as a single
+// ShardedStore::ExecuteAtomicBatch unit, so a whole client batch commits
+// (or aborts) atomically under the canonical shard-lock order.
 //
 // Untrusted clients get the RecordCodec treatment: every frame is decoded
 // under hard bounds (net/protocol.h), a malformed frame earns one
@@ -80,6 +83,13 @@ struct ServerStats {
   std::atomic<uint64_t> batches{0};           ///< ExecuteBatch calls
   std::atomic<uint64_t> batched_requests{0};  ///< point ops through batches
   std::atomic<uint64_t> scans{0};
+  /// Multi-key frames (kMultiGet / kMultiPut / kAtomicRmw): frames served,
+  /// ops carried inside them, and the per-kind frame split.
+  std::atomic<uint64_t> multiop_frames{0};
+  std::atomic<uint64_t> multiop_ops{0};
+  std::atomic<uint64_t> multigets{0};
+  std::atomic<uint64_t> multiputs{0};
+  std::atomic<uint64_t> atomic_rmws{0};
   std::atomic<uint64_t> bytes_in{0};
   std::atomic<uint64_t> bytes_out{0};
   /// CPU microseconds the loop thread has burned so far

@@ -216,6 +216,26 @@ void InvariantChecker::CheckOptimisticReads(const Snapshot& snap,
   }
 }
 
+void InvariantChecker::CheckAtomicBatches(const Snapshot& snap,
+                                          InvariantReport* report) {
+  // Same namespace discipline as the optimistic-read laws: one namespace
+  // per shard ("core.shard<k>.batch_ops_admitted", ...) plus the
+  // shard-summed aggregate ("core.batch_ops_admitted", ...); both are
+  // checked so a miscounted emission on either side is caught.
+  std::vector<std::string> bases = snap.PrefixesOf(".batch_ops_admitted");
+  if (bases.empty()) return;  // no atomic-batch-capable front-end
+  LawScope law(report, "batch-atomicity-conservation");
+  for (const std::string& base : bases) {
+    law.ExpectEq(snap.Get(base + ".batch_ops_applied") +
+                     snap.Get(base + ".batch_ops_rolled_back"),
+                 snap.Get(base + ".batch_ops_admitted"),
+                 base + ": applied + rolled_back vs admitted");
+    law.ExpectLe(snap.Get(base + ".batch_mt_update_passes"),
+                 snap.Get(base + ".batch_shard_touches"),
+                 base + ": MT update passes vs shard touches");
+  }
+}
+
 void InvariantChecker::CheckLoadgen(const Snapshot& snap,
                                     InvariantReport* report) {
   if (!snap.Has("loadgen.requests_offered")) return;  // no load generator

@@ -93,6 +93,17 @@ class InvariantChecker {
   static void CheckOptimisticReads(const Snapshot& snap,
                                    InvariantReport* report);
 
+  /// batch-atomicity-conservation: every op admitted into an atomic
+  /// multi-key batch is exactly one of applied or rolled back
+  /// (batch_ops_admitted == batch_ops_applied + batch_ops_rolled_back),
+  /// and the §V-B amortization holds — at most one counter/MT update pass
+  /// per shard touch (batch_mt_update_passes <= batch_shard_touches) — for
+  /// every "core.*" namespace emitting them (per shard and in aggregate).
+  /// Vacuous (not recorded in laws_checked) when the snapshot holds no
+  /// atomic-batch metrics. Appends to `report`.
+  static void CheckAtomicBatches(const Snapshot& snap,
+                                 InvariantReport* report);
+
   /// loadgen-request-conservation: every request the open-loop load
   /// generator offered is exactly one of completed, timed out, or still in
   /// flight — per connection ("loadgen.conn<k>.*"), in aggregate

@@ -52,6 +52,8 @@ struct CheckerReport {
   uint64_t gets = 0;
   uint64_t deletes = 0;
   uint64_t scans = 0;
+  uint64_t multis = 0;      ///< multi-key atomic batches executed
+  uint64_t multi_ops = 0;   ///< point ops carried inside those batches
   uint64_t not_found = 0;
 };
 

@@ -16,6 +16,35 @@ uint64_t OpGenerator::NextKeyId() {
 
 DiffOp OpGenerator::Next() {
   DiffOp op;
+  // Drawn only when enabled, so multi_fraction == 0 leaves the RNG stream —
+  // and with it every existing schedule — bit-identical.
+  if (config_.multi_fraction > 0 && rng_.Bernoulli(config_.multi_fraction)) {
+    switch (rng_.Uniform(3)) {
+      case 0:
+        op.type = DiffOpType::kMultiGet;
+        break;
+      case 1:
+        op.type = DiffOpType::kMultiPut;
+        break;
+      default:
+        op.type = DiffOpType::kAtomicRmw;
+        break;
+    }
+    size_t n = 1 + rng_.Uniform(config_.max_batch_keys);
+    op.multi_keys.reserve(n);
+    for (size_t i = 0; i < n; ++i) op.multi_keys.push_back(NextKeyId());
+    op.key_id = op.multi_keys[0];
+    if (op.type != DiffOpType::kMultiGet) {
+      op.value_size =
+          config_.min_value_size +
+          rng_.Uniform(config_.max_value_size - config_.min_value_size + 1);
+      op.multi_versions.reserve(n);
+      for (uint64_t k : op.multi_keys) {
+        op.multi_versions.push_back(++versions_[k]);
+      }
+    }
+    return op;
+  }
   op.key_id = NextKeyId();
   double roll = rng_.NextDouble();
   if (roll < config_.put_fraction) {

@@ -14,7 +14,19 @@
 
 namespace aria::testing {
 
-enum class DiffOpType : uint8_t { kPut, kGet, kDelete, kRangeScan };
+enum class DiffOpType : uint8_t {
+  kPut,
+  kGet,
+  kDelete,
+  kRangeScan,
+  // Multi-key atomic batches (DESIGN.md §15). The whole key list is one
+  // operation: all-or-nothing on the store side, applied sequentially on
+  // the oracle side (the checker runs single-threaded, where the two are
+  // equivalent).
+  kMultiGet,
+  kMultiPut,
+  kAtomicRmw,
+};
 
 /// One operation of a differential schedule. Keys/values are materialized
 /// by the checker via MakeKey / MakeValue so the schedule stays tiny.
@@ -22,8 +34,13 @@ struct DiffOp {
   DiffOpType type;
   uint64_t key_id;
   uint32_t version = 0;   ///< Put: value version for this key
-  size_t value_size = 0;  ///< Put: payload size
+  size_t value_size = 0;  ///< Put / multi-write: payload size
   size_t scan_limit = 0;  ///< RangeScan: max results
+  /// Multi-key ops: the batch's key ids (may repeat — same-key batches are
+  /// a deliberate edge case) and, for kMultiPut / kAtomicRmw, the per-entry
+  /// value version, index-aligned with `multi_keys`.
+  std::vector<uint64_t> multi_keys;
+  std::vector<uint32_t> multi_versions;
 };
 
 struct OpGeneratorConfig {
@@ -41,6 +58,12 @@ struct OpGeneratorConfig {
   double get_fraction = 0.40;
   double delete_fraction = 0.15;
   bool scans = false;
+
+  /// Fraction of ops replaced by a multi-key atomic batch (MULTIGET /
+  /// MULTIPUT / ATOMIC_RMW, drawn uniformly). 0 reproduces the original
+  /// point-op schedules bit-exactly.
+  double multi_fraction = 0.0;
+  size_t max_batch_keys = 8;  ///< keys per multi-key batch (>= 1)
 
   size_t min_value_size = 8;
   size_t max_value_size = 64;

@@ -124,6 +124,20 @@ Result<RunResult> Driver::Run(KVStore* store, sgx::EnclaveRuntime* enclave,
         if (!st.ok() && !st.IsNotFound()) return st;
         break;
       }
+      case OpType::kRmw: {
+        // Read-modify-write (YCSB-F): read the current value, write a new
+        // one for the same key. An absent key is a normal upsert.
+        Status st = store->Get(key, &value);
+        if (st.IsNotFound()) {
+          r.not_found++;
+        } else if (!st.ok()) {
+          return st;
+        }
+        ARIA_RETURN_IF_ERROR(
+            store->Put(key, ValueFor(op.key_id, op.value_size)));
+        r.rmws++;
+        break;
+      }
     }
   }
   r.wall_seconds = Now() - t0;
@@ -209,6 +223,21 @@ Result<ThreadRunResult> Driver::RunThreads(
             if (st.IsNotFound()) st = Status::OK();
             break;
           }
+          case OpType::kRmw: {
+            st = store->Get(key, &value, &lock_free);
+            if (st.IsNotFound()) {
+              w->r.not_found++;
+              st = Status::OK();
+            }
+            // The write half always holds the shard lock, so an RMW never
+            // counts as lock-free even if its read half was served so.
+            lock_free = false;
+            if (st.ok()) {
+              st = store->Put(key, ValueFor(op.key_id, op.value_size));
+            }
+            w->r.rmws++;
+            break;
+          }
         }
         uint64_t ns = ThreadCpuNanos() - start;
         w->hist.Record(ns);
@@ -241,6 +270,7 @@ Result<ThreadRunResult> Driver::RunThreads(
     out.totals.ops += w.r.ops;
     out.totals.gets += w.r.gets;
     out.totals.puts += w.r.puts;
+    out.totals.rmws += w.r.rmws;
     out.totals.not_found += w.r.not_found;
     out.latency.Merge(w.hist);
     for (uint32_t i = 0; i < shards; ++i) shard_busy[i] += w.shard_cpu[i];

@@ -27,6 +27,7 @@ struct RunResult {
   uint64_t ops = 0;
   uint64_t gets = 0;
   uint64_t puts = 0;
+  uint64_t rmws = 0;  ///< read-modify-writes (YCSB-F); not double-counted
   uint64_t not_found = 0;
   double wall_seconds = 0.0;
   double sim_seconds = 0.0;

@@ -35,7 +35,16 @@ YcsbWorkload::YcsbWorkload(const YcsbSpec& spec)
 
 Op YcsbWorkload::Next() {
   Op op;
-  op.type = op_rng_.Bernoulli(spec_.read_ratio) ? OpType::kGet : OpType::kPut;
+  // One uniform draw splits three ways; with rmw_ratio == 0 this consumes
+  // the RNG stream exactly like the original Bernoulli(read_ratio) split.
+  double u = op_rng_.NextDouble();
+  if (u < spec_.read_ratio) {
+    op.type = OpType::kGet;
+  } else if (u < spec_.read_ratio + spec_.rmw_ratio) {
+    op.type = OpType::kRmw;
+  } else {
+    op.type = OpType::kPut;
+  }
   if (zipf_) {
     op.key_id = spec_.scrambled ? zipf_->NextKey() : zipf_->NextRank();
   } else {

@@ -13,11 +13,16 @@ namespace aria {
 
 enum class KeyDistribution { kUniform, kZipfian };
 
-enum class OpType { kGet, kPut, kDelete };
+enum class OpType { kGet, kPut, kDelete, kRmw };
 
 struct YcsbSpec {
   uint64_t keyspace = 10'000'000;
   double read_ratio = 0.95;        ///< fraction of Gets
+  /// Fraction of read-modify-writes (YCSB workload F). Drawn after the
+  /// read fraction: P(Get) = read_ratio, P(Rmw) = rmw_ratio, the rest are
+  /// Puts. Default 0 reproduces the original two-way mix exactly (same RNG
+  /// stream, same ops).
+  double rmw_ratio = 0.0;
   size_t value_size = 16;          ///< 16 / 128 / 512 in the paper
   KeyDistribution distribution = KeyDistribution::kZipfian;
   double skewness = 0.99;          ///< zipf theta

@@ -1,0 +1,702 @@
+// Atomicity + deadlock-freedom battery for multi-key atomic batches
+// (DESIGN.md §15), labeled `batch` in CTest and swept per-sanitizer by
+// check_sanitizers.sh:
+//
+//  * semantics unit tests: op-order visibility inside a batch, RMW
+//    pre-images with upsert, per-op kNotFound as a non-failure, empty
+//    batches, per-shard counter bookkeeping and the
+//    batch-atomicity-conservation law
+//  * rollback: a fault injected mid-batch (alloc outage on a fresh-key
+//    insert) must unwind the applied prefix — plus the NEGATIVE control
+//    (TEST_SetBrokenAtomicity) where the torn prefix commits and the
+//    atomicity oracle MUST flag it, proving the rollback is load-bearing
+//  * deterministic mid-batch choreography: a writer parked between two ops
+//    of a batch (kAtomicBatchApply latch) while a MULTIGET waits; the read
+//    must block until the batch completes and then see all of it
+//  * atomicity torture: N writer threads racing overlapping ATOMIC_RMW
+//    batches over one hot keyset against concurrent MULTIGET readers; every
+//    read AND every batch's pre-image set must be tag-coherent (all K
+//    values from the same batch), in both read modes
+//  * deadlock regression: threads submitting batches over the same shard
+//    sets in opposite key orders — single-shard fast path, two-shard, and
+//    all-shards — under a watchdog; the canonical ascending shard-lock
+//    order must make every schedule terminate (TSan covers the lock
+//    discipline in the sanitizer run)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/sharded_store.h"
+#include "core/store_factory.h"
+#include "obs/invariants.h"
+#include "obs/metrics.h"
+#include "testing/fault_injector.h"
+#include "workload/ycsb.h"
+
+namespace aria {
+namespace {
+
+// --- tagged values -----------------------------------------------------------
+
+constexpr size_t kTagValueSize = 32;
+
+// Fixed-size value: 16-digit tag header + tag-derived fill. Any torn mix of
+// two tags fails re-derivation, and fixed size keeps Baseline overwrites in
+// place (the torn window under test).
+std::string TagValue(uint64_t tag) {
+  std::string s(kTagValueSize, static_cast<char>('a' + tag % 26));
+  char hdr[17];
+  std::snprintf(hdr, sizeof(hdr), "%016llu",
+                static_cast<unsigned long long>(tag));
+  s.replace(0, 16, hdr, 16);
+  return s;
+}
+
+// Tag encoded in `s`, or UINT64_MAX when `s` is not a value any writer ever
+// produced.
+uint64_t ParseTagValue(const std::string& s) {
+  if (s.size() != kTagValueSize) return UINT64_MAX;
+  uint64_t v = 0;
+  for (size_t i = 0; i < 16; ++i) {
+    if (s[i] < '0' || s[i] > '9') return UINT64_MAX;
+    v = v * 10 + static_cast<uint64_t>(s[i] - '0');
+  }
+  const char fill = static_cast<char>('a' + v % 26);
+  for (size_t i = 16; i < s.size(); ++i) {
+    if (s[i] != fill) return UINT64_MAX;
+  }
+  return v;
+}
+
+// The atomicity oracle: a snapshot of the hot keyset is coherent iff every
+// value parses to the SAME tag. Returns that tag, or UINT64_MAX for a torn
+// (mixed or corrupt) snapshot.
+uint64_t CoherentTag(const std::vector<std::string>& values) {
+  if (values.empty()) return UINT64_MAX;
+  uint64_t tag = ParseTagValue(values[0]);
+  for (const std::string& v : values) {
+    if (ParseTagValue(v) != tag) return UINT64_MAX;
+  }
+  return tag;
+}
+
+TEST(AtomicBatchOracle, FlagsMixedTagSnapshots) {
+  // Oracle self-test: coherent sets pass, any mix or torn byte fails.
+  EXPECT_EQ(CoherentTag({TagValue(7), TagValue(7), TagValue(7)}), 7u);
+  EXPECT_EQ(CoherentTag({TagValue(7), TagValue(8)}), UINT64_MAX);
+  std::string torn = TagValue(3).substr(0, kTagValueSize / 2) +
+                     TagValue(4).substr(kTagValueSize / 2);
+  EXPECT_EQ(CoherentTag({torn}), UINT64_MAX);
+}
+
+// --- helpers -----------------------------------------------------------------
+
+StoreOptions ShardedOptions(Scheme scheme, uint32_t shards,
+                            ReadMode mode = ReadMode::kLocked) {
+  StoreOptions o;
+  o.scheme = scheme;
+  o.index = IndexKind::kHash;
+  o.keyspace = 4096;
+  o.num_shards = shards;
+  o.read_mode = mode;
+  o.seed = 42;
+  return o;
+}
+
+uint64_t CoreMetric(ShardedStore* store, const char* name) {
+  obs::Snapshot total;
+  for (uint32_t i = 0; i < store->num_shards(); ++i) {
+    total.Accumulate(store->ShardSnapshot(i));
+  }
+  return total.Get(std::string("core.") + name);
+}
+
+// `key` and `value` back the op's slices: both must outlive the
+// ExecuteAtomicBatch call (never pass a temporary).
+AtomicOp MakeOp(AtomicOp::Kind kind, const std::string& key,
+                const std::string& value) {
+  AtomicOp op;
+  op.kind = kind;
+  op.key = Slice(key);
+  op.value = Slice(value);
+  return op;
+}
+
+AtomicOp MakeOp(AtomicOp::Kind kind, const std::string& key) {
+  AtomicOp op;
+  op.kind = kind;
+  op.key = Slice(key);
+  return op;
+}
+
+// Atomic MULTIGET of `keys`; every status must be OK and the values are
+// returned in key order.
+std::vector<std::string> AtomicSnapshot(ShardedStore* store,
+                                        const std::vector<std::string>& keys) {
+  std::vector<AtomicOp> ops;
+  ops.reserve(keys.size());
+  for (const std::string& k : keys) {
+    ops.push_back(MakeOp(AtomicOp::Kind::kGet, k));
+  }
+  Status st = store->ExecuteAtomicBatch(ops.data(), ops.size());
+  std::vector<std::string> values;
+  if (!st.ok()) return values;
+  for (AtomicOp& op : ops) {
+    if (!op.status.ok()) return {};
+    values.push_back(std::move(op.result));
+  }
+  return values;
+}
+
+// --- semantics ---------------------------------------------------------------
+
+TEST(AtomicBatch, EmptyBatchIsANoOp) {
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_TRUE(
+      ShardedStore::Create(ShardedOptions(Scheme::kAria, 4), &store).ok());
+  EXPECT_TRUE(store->ExecuteAtomicBatch(nullptr, 0).ok());
+  EXPECT_EQ(CoreMetric(store.get(), "batch_ops_admitted"), 0u);
+  EXPECT_EQ(CoreMetric(store.get(), "batch_shard_touches"), 0u);
+}
+
+TEST(AtomicBatch, OpOrderVisibilityAndRmwUpsertSemantics) {
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_TRUE(
+      ShardedStore::Create(ShardedOptions(Scheme::kAria, 4), &store).ok());
+
+  const std::string k1 = MakeKey(1), k2 = MakeKey(2), k3 = MakeKey(3);
+  const std::string v1 = TagValue(1), v2 = TagValue(2), v3 = TagValue(3);
+
+  // Put → Get → Rmw → Get → Delete → Get, all on one key inside ONE batch:
+  // each op must see its predecessors.
+  std::vector<AtomicOp> ops;
+  ops.push_back(MakeOp(AtomicOp::Kind::kPut, k1, v1));
+  ops.push_back(MakeOp(AtomicOp::Kind::kGet, k1));
+  ops.push_back(MakeOp(AtomicOp::Kind::kRmw, k1, v2));
+  ops.push_back(MakeOp(AtomicOp::Kind::kGet, k1));
+  ops.push_back(MakeOp(AtomicOp::Kind::kDelete, k1));
+  ops.push_back(MakeOp(AtomicOp::Kind::kGet, k1));
+  // Rmw on a never-written key: kNotFound pre-image, write still applies.
+  ops.push_back(MakeOp(AtomicOp::Kind::kRmw, k2, v3));
+  ops.push_back(MakeOp(AtomicOp::Kind::kGet, k2));
+  // Delete of an absent key: per-op kNotFound, NOT a batch failure.
+  ops.push_back(MakeOp(AtomicOp::Kind::kDelete, k3));
+
+  ASSERT_TRUE(store->ExecuteAtomicBatch(ops.data(), ops.size()).ok());
+  EXPECT_TRUE(ops[0].status.ok());
+  ASSERT_TRUE(ops[1].status.ok());
+  EXPECT_EQ(ops[1].result, v1);
+  ASSERT_TRUE(ops[2].status.ok());
+  EXPECT_EQ(ops[2].result, v1);  // Rmw pre-image
+  ASSERT_TRUE(ops[3].status.ok());
+  EXPECT_EQ(ops[3].result, v2);
+  EXPECT_TRUE(ops[4].status.ok());
+  EXPECT_TRUE(ops[5].status.IsNotFound());
+  EXPECT_TRUE(ops[6].status.IsNotFound());  // upsert pre-image of absent key
+  ASSERT_TRUE(ops[7].status.ok());
+  EXPECT_EQ(ops[7].result, v3);  // ...but the write applied
+  EXPECT_TRUE(ops[8].status.IsNotFound());
+
+  // Post-batch state matches: k1 deleted, k2 written.
+  std::string value;
+  EXPECT_TRUE(store->Get(k1, &value).IsNotFound());
+  ASSERT_TRUE(store->Get(k2, &value).ok());
+  EXPECT_EQ(value, v3);
+
+  // Bookkeeping: every op admitted and applied, one MT pass per mutated
+  // shard, and the conservation law balances.
+  EXPECT_EQ(CoreMetric(store.get(), "batch_ops_admitted"), ops.size());
+  EXPECT_EQ(CoreMetric(store.get(), "batch_ops_applied"), ops.size());
+  EXPECT_EQ(CoreMetric(store.get(), "batch_ops_rolled_back"), 0u);
+  EXPECT_LE(CoreMetric(store.get(), "batch_mt_update_passes"),
+            CoreMetric(store.get(), "batch_shard_touches"));
+  obs::InvariantReport inv = store->CheckInvariants();
+  EXPECT_TRUE(inv.ok()) << inv.ToString();
+}
+
+TEST(AtomicBatch, ReadOnlyBatchCostsNoMtUpdatePass) {
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_TRUE(
+      ShardedStore::Create(ShardedOptions(Scheme::kAria, 4), &store).ok());
+  std::vector<std::string> keys;
+  for (uint64_t id = 0; id < 16; ++id) {
+    keys.push_back(MakeKey(id));
+    ASSERT_TRUE(store->Put(keys.back(), TagValue(id)).ok());
+  }
+  std::vector<std::string> values = AtomicSnapshot(store.get(), keys);
+  ASSERT_EQ(values.size(), keys.size());
+  for (uint64_t id = 0; id < 16; ++id) EXPECT_EQ(values[id], TagValue(id));
+
+  EXPECT_EQ(CoreMetric(store.get(), "batch_ops_admitted"), 16u);
+  EXPECT_EQ(CoreMetric(store.get(), "batch_mt_update_passes"), 0u);
+  EXPECT_GT(CoreMetric(store.get(), "batch_shard_touches"), 0u);
+  obs::InvariantReport inv = store->CheckInvariants();
+  EXPECT_TRUE(inv.ok()) << inv.ToString();
+}
+
+TEST(AtomicBatch, SharedReadsServesPureReadBatchesUnderSharedLocks) {
+  // The one config with genuinely const reads: a pure-read batch takes
+  // shared locks (no seqlock bracket, no MT pass) and must still return a
+  // coherent snapshot.
+  StoreOptions o = ShardedOptions(Scheme::kBaseline, 2);
+  o.cost_model.enabled = false;
+  o.shard_shared_reads = true;
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_TRUE(ShardedStore::Create(o, &store).ok());
+
+  std::vector<std::string> keys;
+  for (uint64_t id = 0; id < 8; ++id) {
+    keys.push_back(MakeKey(id));
+    ASSERT_TRUE(store->Put(keys.back(), TagValue(5)).ok());
+  }
+  std::vector<std::string> values = AtomicSnapshot(store.get(), keys);
+  ASSERT_EQ(values.size(), keys.size());
+  EXPECT_EQ(CoherentTag(values), 5u);
+  EXPECT_EQ(CoreMetric(store.get(), "batch_mt_update_passes"), 0u);
+
+  // A writing batch on the same store takes the exclusive path as usual.
+  std::string six = TagValue(6);  // named: must outlive the batch call
+  std::vector<AtomicOp> w;
+  for (const std::string& k : keys) {
+    w.push_back(MakeOp(AtomicOp::Kind::kRmw, k, six));
+  }
+  ASSERT_TRUE(store->ExecuteAtomicBatch(w.data(), w.size()).ok());
+  for (AtomicOp& op : w) {
+    ASSERT_TRUE(op.status.ok());
+    EXPECT_EQ(ParseTagValue(op.result), 5u);
+  }
+  obs::InvariantReport inv = store->CheckInvariants();
+  EXPECT_TRUE(inv.ok()) << inv.ToString();
+}
+
+// --- rollback + negative control ---------------------------------------------
+
+// Shared setup: key A exists (32B value), key C is fresh. The batch is
+// [Rmw A → new, Put C (fresh insert)] with every untrusted allocation
+// failing, so the batch deterministically dies on C's insert AFTER A's
+// overwrite applied.
+struct RollbackRig {
+  std::unique_ptr<ShardedStore> store;
+  std::string key_a, key_c;
+  std::string old_a = TagValue(10), new_a = TagValue(11), val_c = TagValue(12);
+
+  void Init() {
+    ASSERT_TRUE(
+        ShardedStore::Create(ShardedOptions(Scheme::kAria, 4), &store).ok());
+    key_a = MakeKey(1);
+    key_c = MakeKey(100001);
+    ASSERT_TRUE(store->Put(key_a, old_a).ok());
+  }
+
+  Status RunFaultedBatch(std::vector<AtomicOp>* ops) {
+    ops->clear();
+    ops->push_back(MakeOp(AtomicOp::Kind::kRmw, key_a, new_a));
+    ops->push_back(MakeOp(AtomicOp::Kind::kPut, key_c, val_c));
+    aria::testing::ScheduledInjector injector(/*seed=*/7);
+    aria::testing::InjectorScope scope(&injector);
+    injector.Arm({.site = fault::Site::kUntrustedAlloc,
+                  .kind = aria::testing::FaultKind::kFailAlloc,
+                  .repeat = true});
+    return store->ExecuteAtomicBatch(ops->data(), ops->size());
+  }
+};
+
+TEST(AtomicBatch, MidBatchFaultRollsBackTheAppliedPrefix) {
+  RollbackRig rig;
+  rig.Init();
+  std::vector<AtomicOp> ops;
+  Status st = rig.RunFaultedBatch(&ops);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCapacityExceeded()) << st.ToString();
+
+  // All-or-nothing: A's applied overwrite was unwound, C never became
+  // visible, and the ops that did not cause the failure say "aborted".
+  std::string value;
+  ASSERT_TRUE(rig.store->Get(rig.key_a, &value).ok());
+  EXPECT_EQ(value, rig.old_a);
+  EXPECT_TRUE(rig.store->Get(rig.key_c, &value).IsNotFound());
+  EXPECT_TRUE(ops[0].status.IsInternal()) << ops[0].status.ToString();
+  EXPECT_TRUE(ops[1].status.IsCapacityExceeded()) << ops[1].status.ToString();
+
+  // Conservation: both ops admitted and rolled back, none applied.
+  EXPECT_EQ(CoreMetric(rig.store.get(), "batch_ops_admitted"), 2u);
+  EXPECT_EQ(CoreMetric(rig.store.get(), "batch_ops_rolled_back"), 2u);
+  EXPECT_EQ(CoreMetric(rig.store.get(), "batch_ops_applied"), 0u);
+  obs::InvariantReport inv = rig.store->CheckInvariants();
+  EXPECT_TRUE(inv.ok()) << inv.ToString();
+
+  // The store still serves: the same batch succeeds once the outage ends.
+  std::vector<AtomicOp> retry;
+  retry.push_back(MakeOp(AtomicOp::Kind::kRmw, rig.key_a, rig.new_a));
+  retry.push_back(MakeOp(AtomicOp::Kind::kPut, rig.key_c, rig.val_c));
+  ASSERT_TRUE(
+      rig.store->ExecuteAtomicBatch(retry.data(), retry.size()).ok());
+  EXPECT_EQ(retry[0].result, rig.old_a);
+  ASSERT_TRUE(rig.store->Get(rig.key_c, &value).ok());
+  EXPECT_EQ(value, rig.val_c);
+}
+
+TEST(AtomicBatch, BrokenRollbackCommitsATornPrefixTheOracleFlags) {
+  // NEGATIVE CONTROL. Same fault, rollback disabled: the applied prefix
+  // stays committed, so A carries the new tag while C is absent — exactly
+  // the half-batch state the atomicity oracle must flag. This is the proof
+  // that the rollback (not luck) is what makes the positive tests pass.
+  RollbackRig rig;
+  rig.Init();
+  rig.store->TEST_SetBrokenAtomicity(true);
+  std::vector<AtomicOp> ops;
+  Status st = rig.RunFaultedBatch(&ops);
+  rig.store->TEST_SetBrokenAtomicity(false);
+  ASSERT_FALSE(st.ok());
+
+  std::string value;
+  ASSERT_TRUE(rig.store->Get(rig.key_a, &value).ok());
+  EXPECT_EQ(value, rig.new_a) << "broken rollback must leave the torn prefix";
+  EXPECT_TRUE(rig.store->Get(rig.key_c, &value).IsNotFound());
+
+  // The torn state is observable through the oracle: A moved to tag 11
+  // without the batch committing — a snapshot mixing pre- and post-batch
+  // keys no coherent history can produce.
+  std::vector<std::string> snapshot(2);
+  ASSERT_TRUE(rig.store->Get(rig.key_a, &snapshot[0]).ok());
+  snapshot[1] = rig.old_a;  // what C's cohort still answers pre-batch
+  EXPECT_EQ(CoherentTag(snapshot), UINT64_MAX)
+      << "the oracle failed to flag a half-committed batch";
+
+  // Even the broken control keeps its books: admitted == applied +
+  // rolled_back stays balanced (the accounting is not what was broken).
+  EXPECT_EQ(CoreMetric(rig.store.get(), "batch_ops_admitted"),
+            CoreMetric(rig.store.get(), "batch_ops_applied") +
+                CoreMetric(rig.store.get(), "batch_ops_rolled_back"));
+}
+
+// --- deterministic mid-batch choreography ------------------------------------
+
+// Test-side stall latch (same shape as the torn-read battery's): parks a
+// thread at an armed stall point until released.
+class StallLatch : public fault::StallHook {
+ public:
+  void Arm(fault::StallPoint p) {
+    std::lock_guard<std::mutex> l(mu_);
+    armed_[Idx(p)] = true;
+  }
+  void OnStall(fault::StallPoint p) override {
+    std::unique_lock<std::mutex> l(mu_);
+    if (!armed_[Idx(p)]) return;  // one-shot
+    armed_[Idx(p)] = false;
+    parked_[Idx(p)] = true;
+    cv_.notify_all();
+    cv_.wait(l, [&] { return released_[Idx(p)]; });
+    released_[Idx(p)] = false;
+    parked_[Idx(p)] = false;
+  }
+  void WaitUntilParked(fault::StallPoint p) {
+    std::unique_lock<std::mutex> l(mu_);
+    cv_.wait(l, [&] { return parked_[Idx(p)]; });
+  }
+  void Release(fault::StallPoint p) {
+    std::lock_guard<std::mutex> l(mu_);
+    released_[Idx(p)] = true;
+    cv_.notify_all();
+  }
+
+ private:
+  static size_t Idx(fault::StallPoint p) { return static_cast<size_t>(p); }
+  static constexpr size_t kN =
+      static_cast<size_t>(fault::StallPoint::kNumStallPoints);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool armed_[kN] = {};
+  bool parked_[kN] = {};
+  bool released_[kN] = {};
+};
+
+class StallScope {
+ public:
+  explicit StallScope(StallLatch* latch) { fault::SetStall(latch); }
+  ~StallScope() { fault::SetStall(nullptr); }
+};
+
+TEST(AtomicBatch, ReaderBlocksAcrossAParkedBatchAndSeesAllOfIt) {
+  // Writer parked BETWEEN the two ops of its batch — the exact window a
+  // torn MULTIGET would observe if the locks were per-op instead of
+  // per-batch. The concurrent MULTIGET must instead block until the batch
+  // completes and then see both writes.
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_TRUE(
+      ShardedStore::Create(ShardedOptions(Scheme::kBaseline, 4), &store).ok());
+  std::vector<std::string> keys = {MakeKey(1), MakeKey(2)};
+  for (const std::string& k : keys) ASSERT_TRUE(store->Put(k, TagValue(1)).ok());
+
+  StallLatch latch;
+  StallScope scope(&latch);
+  latch.Arm(fault::StallPoint::kAtomicBatchApply);
+
+  Status writer_status;
+  std::thread writer([&]() {
+    std::string value = TagValue(2);
+    std::vector<AtomicOp> ops;
+    for (const std::string& k : keys) {
+      ops.push_back(MakeOp(AtomicOp::Kind::kRmw, k, value));
+    }
+    writer_status = store->ExecuteAtomicBatch(ops.data(), ops.size());
+  });
+  latch.WaitUntilParked(fault::StallPoint::kAtomicBatchApply);
+
+  // The writer holds every involved shard lock with op 0 applied and op 1
+  // pending. A MULTIGET of the same keys must not complete in this window.
+  std::atomic<bool> reader_done{false};
+  std::vector<std::string> snapshot;
+  std::thread reader([&]() {
+    snapshot = AtomicSnapshot(store.get(), keys);
+    reader_done.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(reader_done.load(std::memory_order_acquire))
+      << "MULTIGET completed against a half-applied batch";
+
+  latch.Release(fault::StallPoint::kAtomicBatchApply);
+  writer.join();
+  reader.join();
+  ASSERT_TRUE(writer_status.ok()) << writer_status.ToString();
+  ASSERT_EQ(snapshot.size(), keys.size());
+  EXPECT_EQ(CoherentTag(snapshot), 2u)
+      << "reader released after the batch must see all of it";
+}
+
+// --- atomicity torture -------------------------------------------------------
+
+void RunAtomicityTorture(const StoreOptions& opts, const char* label) {
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_TRUE(ShardedStore::Create(opts, &store).ok()) << label;
+
+  constexpr int kHotKeys = 8;
+  constexpr int kWriters = 4;
+  constexpr int kRounds = 200;
+  constexpr int kReaders = 2;
+
+  std::vector<std::string> keys;
+  for (uint64_t id = 0; id < kHotKeys; ++id) keys.push_back(MakeKey(id));
+  {
+    // Tag 0 everywhere: the initial state is itself a coherent snapshot.
+    std::string zero = TagValue(0);
+    std::vector<AtomicOp> init;
+    for (const std::string& k : keys) {
+      init.push_back(MakeOp(AtomicOp::Kind::kPut, k, zero));
+    }
+    ASSERT_TRUE(store->ExecuteAtomicBatch(init.data(), init.size()).ok())
+        << label;
+  }
+
+  // Writers: each round ATOMIC_RMWs a unique tag onto ALL hot keys. The
+  // returned pre-images are an atomic snapshot of the displaced state, so
+  // they must be tag-coherent — every batch doubles as a reader.
+  std::atomic<bool> done{false};
+  std::atomic<int> torn_batches{0};
+  std::vector<Status> writer_status(kWriters);
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w]() {
+      for (int round = 0; round < kRounds; ++round) {
+        const uint64_t tag = 1 + static_cast<uint64_t>(w) * kRounds + round;
+        std::string value = TagValue(tag);
+        std::vector<AtomicOp> ops;
+        for (const std::string& k : keys) {
+          ops.push_back(MakeOp(AtomicOp::Kind::kRmw, k, value));
+        }
+        Status st = store->ExecuteAtomicBatch(ops.data(), ops.size());
+        if (!st.ok()) {
+          writer_status[w] = st;
+          return;
+        }
+        std::vector<std::string> pre;
+        for (AtomicOp& op : ops) {
+          if (!op.status.ok()) {
+            writer_status[w] = op.status;
+            return;
+          }
+          pre.push_back(std::move(op.result));
+        }
+        if (CoherentTag(pre) == UINT64_MAX) torn_batches.fetch_add(1);
+      }
+    });
+  }
+
+  // Readers: MULTIGET snapshots of the full keyset until the writers stop.
+  std::vector<uint64_t> reads_done(kReaders, 0);
+  std::atomic<int> torn_reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t]() {
+      do {
+        std::vector<std::string> snapshot = AtomicSnapshot(store.get(), keys);
+        if (snapshot.size() != keys.size() ||
+            CoherentTag(snapshot) == UINT64_MAX) {
+          torn_reads.fetch_add(1);
+        }
+        reads_done[t]++;
+      } while (!done.load(std::memory_order_acquire));
+    });
+  }
+  for (auto& th : writers) th.join();
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  for (int w = 0; w < kWriters; ++w) {
+    ASSERT_TRUE(writer_status[w].ok())
+        << label << " writer " << w << ": " << writer_status[w].ToString();
+  }
+  EXPECT_EQ(torn_batches.load(), 0)
+      << label << ": ATOMIC_RMW returned a mixed pre-image snapshot";
+  EXPECT_EQ(torn_reads.load(), 0)
+      << label << ": MULTIGET observed a half-applied batch";
+  for (int t = 0; t < kReaders; ++t) EXPECT_GT(reads_done[t], 0u) << label;
+
+  // Books: every admitted op applied (no faults were injected), MT passes
+  // bounded by shard touches, and the full cross-layer audit balances.
+  EXPECT_EQ(CoreMetric(store.get(), "batch_ops_admitted"),
+            CoreMetric(store.get(), "batch_ops_applied"));
+  EXPECT_EQ(CoreMetric(store.get(), "batch_ops_rolled_back"), 0u);
+  EXPECT_LE(CoreMetric(store.get(), "batch_mt_update_passes"),
+            CoreMetric(store.get(), "batch_shard_touches"));
+  obs::InvariantReport inv = store->CheckInvariants();
+  EXPECT_TRUE(inv.ok()) << label << ": " << inv.ToString();
+}
+
+TEST(AtomicBatchTorture, LockedReadsNeverObserveAHalfBatch) {
+  RunAtomicityTorture(ShardedOptions(Scheme::kBaseline, 4), "Baseline locked");
+}
+
+TEST(AtomicBatchTorture, OptimisticReadsNeverObserveAHalfBatch) {
+  // Optimistic mode adds the seqlock/epoch machinery to the same schedule:
+  // lock-free point GETs race the batch windows (odd seq → fallback), and
+  // rollbackless reclamation churn runs under ASan in the sanitizer sweep.
+  RunAtomicityTorture(
+      ShardedOptions(Scheme::kBaseline, 4, ReadMode::kOptimistic),
+      "Baseline optimistic");
+}
+
+TEST(AtomicBatchTorture, AriaSecureCacheSurvivesTheSameSchedule) {
+  // Aria proper: every batch's single flush pass drives the Secure Cache /
+  // Merkle path under contention.
+  StoreOptions o = ShardedOptions(Scheme::kAria, 4);
+  o.cache_bytes = 32768;
+  o.pinned_levels = 0;
+  o.stop_swap_enabled = false;
+  RunAtomicityTorture(o, "Aria locked");
+}
+
+// --- deadlock regression -----------------------------------------------------
+
+// Threads hammer atomic batches over IDENTICAL key sets in OPPOSITE key
+// orders — the classic deadlock schedule if locks were taken in client key
+// order. The canonical ascending shard-index acquisition must make every
+// schedule terminate; a watchdog turns a deadlock into a loud failure
+// instead of a hung test (and TSan checks the lock discipline itself in the
+// sanitizer run).
+TEST(AtomicBatchDeadlock, OppositeKeyOrdersTerminate) {
+  constexpr uint32_t kShards = 4;
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_TRUE(
+      ShardedStore::Create(ShardedOptions(Scheme::kBaseline, kShards), &store)
+          .ok());
+
+  // One key per shard (all-shards batches), two keys in one shard (the
+  // single-shard fast path), and a two-shard pair.
+  std::vector<std::string> shard_key(kShards);
+  std::string second_in_shard0;
+  for (uint64_t id = 0; id < 4096; ++id) {
+    std::string key = MakeKey(id);
+    uint32_t s = store->ShardOf(key);
+    if (shard_key[s].empty()) {
+      shard_key[s] = key;
+    } else if (s == store->ShardOf(shard_key[0]) && second_in_shard0.empty() &&
+               key != shard_key[s]) {
+      second_in_shard0 = key;
+    }
+  }
+  for (uint32_t s = 0; s < kShards; ++s) ASSERT_FALSE(shard_key[s].empty());
+  ASSERT_FALSE(second_in_shard0.empty());
+
+  std::vector<std::vector<std::string>> keysets = {
+      shard_key,                                      // all shards
+      {shard_key[0], second_in_shard0},               // single shard
+      {shard_key[1], shard_key[2]},                   // two shards
+  };
+  for (auto& ks : keysets) {
+    for (const std::string& k : ks) ASSERT_TRUE(store->Put(k, TagValue(0)).ok());
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  std::atomic<int> finished{0};
+  std::vector<Status> status(kThreads);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t]() {
+      for (int i = 0; i < kIters; ++i) {
+        std::vector<std::string> keys = keysets[i % keysets.size()];
+        // Odd threads submit every keyset reversed: the same shard sets in
+        // opposite client orders, every iteration.
+        if (t % 2 == 1) std::reverse(keys.begin(), keys.end());
+        std::vector<AtomicOp> ops;
+        std::string value = TagValue(static_cast<uint64_t>(t) * kIters + i);
+        for (const std::string& k : keys) {
+          ops.push_back(MakeOp(AtomicOp::Kind::kRmw, k, value));
+        }
+        Status st = store->ExecuteAtomicBatch(ops.data(), ops.size());
+        if (!st.ok()) {
+          status[t] = st;
+          break;
+        }
+      }
+      finished.fetch_add(1);
+    });
+  }
+
+  // Watchdog: a deadlock shows up as threads never finishing. 120s is two
+  // orders of magnitude beyond the contended runtime of this schedule.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  while (finished.load() < kThreads &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (finished.load() < kThreads) {
+    // Joining deadlocked threads would hang the harness forever; abort
+    // loudly instead so CI reports the failure.
+    fprintf(stderr, "FATAL: atomic-batch deadlock watchdog expired\n");
+    fflush(stderr);
+    abort();
+  }
+  for (auto& th : pool) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(status[t].ok()) << t << ": " << status[t].ToString();
+  }
+
+  // Every key ends on SOME writer's intact tag. (Whole-keyset coherence is
+  // not expected here — the keysets deliberately share keys, so the final
+  // state legally mixes tags across keysets; never within one value.)
+  for (auto& ks : keysets) {
+    std::vector<std::string> snapshot = AtomicSnapshot(store.get(), ks);
+    ASSERT_EQ(snapshot.size(), ks.size());
+    for (const std::string& v : snapshot) {
+      EXPECT_NE(ParseTagValue(v), UINT64_MAX) << "torn value bytes";
+    }
+  }
+  obs::InvariantReport inv = store->CheckInvariants();
+  EXPECT_TRUE(inv.ok()) << inv.ToString();
+}
+
+}  // namespace
+}  // namespace aria

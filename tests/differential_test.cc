@@ -201,6 +201,66 @@ TEST(Differential, EverySchemeMatchesOracleOver10kOps) {
   }
 }
 
+// --- multi-key atomic batches vs the oracle ---------------------------------
+
+// Same harness with a quarter of the schedule replaced by MULTIGET /
+// MULTIPUT / ATOMIC_RMW batches (1-8 keys, duplicates allowed). Sharded
+// stores route them through ExecuteAtomicBatch — both read modes and the
+// shared-read config take their distinct locking branches — while plain
+// stores take the sequential degradation, which must be indistinguishable
+// at this single-threaded interface.
+TEST(Differential, MultiKeyBatchesMatchOracleAcrossShardedConfigs) {
+  std::vector<SchemeCase> cases;
+  for (const SchemeCase& sc : AllSchemes()) {
+    // Every sharded config (locked / optimistic / shared-reads) plus one
+    // unsharded store for the degradation path.
+    if (sc.opts.num_shards > 1 ||
+        std::string(sc.label) == "Baseline-H") {
+      cases.push_back(sc);
+    }
+  }
+  ASSERT_GE(cases.size(), 5u);
+
+  for (const SchemeCase& sc : cases) {
+    StoreBundle bundle;
+    ASSERT_TRUE(CreateStore(sc.opts, &bundle).ok()) << sc.label;
+
+    CheckerConfig config;
+    config.gen.seed = 20260808;
+    config.gen.keyspace = 1024;
+    config.gen.scans = sc.ordered;
+    config.gen.multi_fraction = 0.25;
+    config.gen.max_batch_keys = 8;
+    config.num_ops = 6000;
+    config.prepopulate = 512;
+    DifferentialChecker checker(config);
+    CheckerReport report;
+    Status st = checker.Run(bundle.store.get(), &report);
+    EXPECT_TRUE(st.ok()) << sc.label << ": " << report.description << "\n  "
+                         << report.replay;
+    EXPECT_EQ(report.ops_executed, config.num_ops) << sc.label;
+    EXPECT_GT(report.multis, 0u) << sc.label;
+    EXPECT_GT(report.multi_ops, report.multis) << sc.label;
+
+    // Sharded stores must have actually taken the atomic-batch path, and
+    // its conservation law (admitted == applied + rolled_back, MT passes
+    // <= shard touches) must balance along with every other law.
+    obs::Snapshot snap = bundle.Metrics();
+    if (sc.opts.num_shards > 1) {
+      EXPECT_EQ(snap.Get("core.batch_ops_admitted"), report.multi_ops)
+          << sc.label;
+      EXPECT_EQ(snap.Get("core.batch_ops_applied"), report.multi_ops)
+          << sc.label;
+      EXPECT_EQ(snap.Get("core.batch_ops_rolled_back"), 0u) << sc.label;
+      EXPECT_LE(snap.Get("core.batch_mt_update_passes"),
+                snap.Get("core.batch_shard_touches"))
+          << sc.label;
+    }
+    obs::InvariantReport inv = bundle.CheckInvariants();
+    EXPECT_TRUE(inv.ok()) << sc.label << ": " << inv.ToString();
+  }
+}
+
 // --- RangeScan edge cases for every ordered scheme --------------------------
 
 void ExpectScansAgree(OrderedKVStore* store, const ReferenceOracle& oracle,

@@ -331,6 +331,139 @@ TEST(Linearizability, AriaNoCacheRegisterHistoryLinearizes) {
   RunRegisterHistory(Scheme::kAriaNoCache, "AriaNoCache-H optimistic");
 }
 
+// --- multi-register atomic-batch histories (DESIGN.md §15) ------------------
+
+// K registers written together by ATOMIC_RMW batches collapse into ONE
+// logical register: every batch writes the same version to all K, so a
+// MULTIGET snapshot either returns K copies of one version (that version is
+// the read) or has observed a half-applied batch (torn, UINT64_MAX). The
+// single-writer-register checker then applies unchanged — window, torn and
+// monotonicity violations all mean batch atomicity broke somewhere.
+void RunMultiRegisterHistory(ReadMode mode, const char* label) {
+  StoreOptions opts;
+  opts.scheme = Scheme::kBaseline;
+  opts.index = IndexKind::kHash;
+  opts.keyspace = 4096;
+  opts.num_shards = 2;  // registers span shards: cross-shard atomicity
+  opts.read_mode = mode;
+  opts.seed = 42;
+  std::unique_ptr<ShardedStore> store;
+  ASSERT_TRUE(ShardedStore::Create(opts, &store).ok()) << label;
+
+  constexpr int kRegisters = 6;
+  constexpr uint64_t kWrites = 800;
+  constexpr int kReaders = 3;
+  std::vector<std::string> keys;
+  for (uint64_t id = 0; id < kRegisters; ++id) keys.push_back(MakeKey(id));
+
+  std::atomic<uint64_t> clock{1};
+  auto tick = [&clock]() { return clock.fetch_add(1); };
+
+  auto write_all = [&](uint64_t v) {
+    std::string value = VersionValue(v);
+    std::vector<AtomicOp> ops(kRegisters);
+    for (int k = 0; k < kRegisters; ++k) {
+      ops[k].kind = AtomicOp::Kind::kRmw;
+      ops[k].key = Slice(keys[k]);
+      ops[k].value = Slice(value);
+    }
+    return store->ExecuteAtomicBatch(ops.data(), ops.size());
+  };
+
+  std::vector<WriteRec> writes(kWrites + 1);
+  writes[0].inv = tick();
+  ASSERT_TRUE(write_all(0).ok()) << label;
+  writes[0].resp = tick();
+
+  std::atomic<bool> done{false};
+  std::vector<std::vector<ReadRec>> reads(kReaders);
+  Status writer_status = Status::OK();
+
+  std::thread writer([&]() {
+    for (uint64_t v = 1; v <= kWrites; ++v) {
+      writes[v].inv = tick();
+      Status st = write_all(v);
+      writes[v].resp = tick();
+      if (!st.ok()) {
+        writer_status = st;
+        return;
+      }
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t]() {
+      do {
+        ReadRec r;
+        std::vector<AtomicOp> ops(kRegisters);
+        for (int k = 0; k < kRegisters; ++k) {
+          ops[k].kind = AtomicOp::Kind::kGet;
+          ops[k].key = Slice(keys[k]);
+        }
+        r.inv = tick();
+        Status st = store->ExecuteAtomicBatch(ops.data(), ops.size());
+        r.resp = tick();
+        if (!st.ok()) {
+          r.version = UINT64_MAX;
+        } else {
+          // Collapse the K records into one read: all registers must carry
+          // the SAME intact version, else the snapshot is torn.
+          for (int k = 0; k < kRegisters; ++k) {
+            if (ops[k].status.IsNotFound()) {
+              r.not_found = true;
+              break;
+            }
+            const uint64_t v = ops[k].status.ok()
+                                   ? ParseVersionValue(ops[k].result)
+                                   : UINT64_MAX;
+            if (k == 0) {
+              r.version = v;
+            } else if (v != r.version) {
+              r.version = UINT64_MAX;
+              break;
+            }
+          }
+        }
+        reads[t].push_back(r);
+      } while (!done.load(std::memory_order_acquire));
+    });
+  }
+  writer.join();
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  ASSERT_TRUE(writer_status.ok()) << label << ": " << writer_status.ToString();
+
+  EXPECT_EQ(CheckSingleWriterRegister(writes, reads), "") << label;
+  size_t total_reads = 0;
+  for (const auto& r : reads) total_reads += r.size();
+  EXPECT_GT(total_reads, 0u) << label;
+
+  // Batch books: nothing failed, so every admitted op applied, with one MT
+  // pass per written shard per batch at most.
+  EXPECT_EQ(CoreMetric(store.get(), "batch_ops_admitted"),
+            CoreMetric(store.get(), "batch_ops_applied"))
+      << label;
+  EXPECT_EQ(CoreMetric(store.get(), "batch_ops_rolled_back"), 0u) << label;
+  EXPECT_LE(CoreMetric(store.get(), "batch_mt_update_passes"),
+            CoreMetric(store.get(), "batch_shard_touches"))
+      << label;
+  obs::InvariantReport inv = store->CheckInvariants();
+  EXPECT_TRUE(inv.ok()) << label << ": " << inv.ToString();
+}
+
+TEST(Linearizability, MultiRegisterAtomicBatchesLinearizeLocked) {
+  RunMultiRegisterHistory(ReadMode::kLocked, "Baseline-H locked batches");
+}
+
+TEST(Linearizability, MultiRegisterAtomicBatchesLinearizeOptimistic) {
+  // Optimistic mode: concurrent single-key lock-free GETs race the batch
+  // seqlock windows elsewhere in this battery; here the MULTIGET batches
+  // themselves take the locks, and the seqlock brackets around each batch
+  // keep any lock-free reader from trusting a mid-batch probe.
+  RunMultiRegisterHistory(ReadMode::kOptimistic,
+                          "Baseline-H optimistic batches");
+}
+
 // --- deterministic torn-read choreography -----------------------------------
 
 // Test-side stall latch: parks a thread at an armed stall point until the

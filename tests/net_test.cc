@@ -214,10 +214,10 @@ std::string U32(uint32_t v) {
 TEST(NetProtocol, RejectsCraftedMalformedFrames) {
   // Declared body length below the fixed header.
   ExpectRequestError(U32(3) + std::string(3, '\0'), "undersized body");
-  // Declared body length beyond the hard bound: rejected from the 4-byte
-  // prefix alone, BEFORE any buffering of the claimed payload.
+  // Declared body length beyond the hard multi-op bound: rejected from the
+  // 4-byte prefix alone, BEFORE any buffering of the claimed payload.
   {
-    std::string huge = U32(net::kMaxRequestBodyBytes + 1);
+    std::string huge = U32(net::kMaxMultiRequestBodyBytes + 1);
     Request req;
     std::string error;
     size_t consumed = 0;
@@ -466,6 +466,427 @@ TEST(NetBatch, ExecuteBatchGroupsByShardAndPreservesPerKeyOrder) {
 
   // The audit must hold right after a batch (same laws as op-by-op).
   obs::InvariantReport report = sharded->CheckInvariants();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+// --- multi-key atomic frames (DESIGN.md §15) --------------------------------
+
+Request MultiReq(OpCode op, std::vector<net::MultiOp> ops) {
+  Request r;
+  r.op = op;
+  r.ops = std::move(ops);
+  return r;
+}
+
+TEST(NetProtocol, MultiOpRequestRoundTripsAllThreeOpcodesAndZeroOpBatches) {
+  std::vector<Request> reqs;
+  reqs.push_back(MultiReq(OpCode::kMultiGet,
+                          {{"alpha", ""}, {"beta", ""}, {"gamma", ""}}));
+  reqs.push_back(MultiReq(OpCode::kMultiPut,
+                          {{"k1", std::string(200, 'v')}, {"k2", ""}}));
+  reqs.push_back(MultiReq(OpCode::kAtomicRmw, {{"counter", "new-value"}}));
+  // A zero-op batch is VALID on the wire (a degenerate atomic unit the
+  // server answers with an empty result list), not a protocol error.
+  reqs.push_back(MultiReq(OpCode::kMultiGet, {}));
+  reqs.push_back(MultiReq(OpCode::kAtomicRmw, {}));
+
+  std::string wire;
+  for (const Request& r : reqs) net::EncodeRequest(r, &wire);
+  size_t off = 0;
+  for (const Request& want : reqs) {
+    Request got;
+    std::string error;
+    size_t consumed = 0;
+    ASSERT_EQ(net::DecodeRequest(wire.data() + off, wire.size() - off,
+                                 &consumed, &got, &error),
+              DecodeResult::kFrame)
+        << error;
+    EXPECT_EQ(got.op, want.op);
+    ASSERT_EQ(got.ops.size(), want.ops.size());
+    for (size_t i = 0; i < want.ops.size(); ++i) {
+      EXPECT_EQ(got.ops[i].key, want.ops[i].key);
+      if (want.op != OpCode::kMultiGet) {
+        EXPECT_EQ(got.ops[i].value, want.ops[i].value);
+      }
+    }
+    off += consumed;
+  }
+  EXPECT_EQ(off, wire.size());
+
+  // Any partial prefix of a multi frame is kNeedMore, never an error.
+  std::string one = EncodedRequest(
+      MultiReq(OpCode::kMultiPut, {{"key-a", "val-a"}, {"key-b", "val-b"}}));
+  for (size_t cut = 0; cut < one.size(); ++cut) {
+    Request got;
+    std::string error;
+    size_t consumed = 0;
+    EXPECT_EQ(net::DecodeRequest(one.data(), cut, &consumed, &got, &error),
+              DecodeResult::kNeedMore)
+        << "cut at " << cut;
+  }
+}
+
+TEST(NetProtocol, RejectsCraftedMalformedMultiFrames) {
+  auto u16 = [](uint16_t v) {
+    std::string s(2, '\0');
+    std::memcpy(s.data(), &v, 2);
+    return s;
+  };
+  // Frame skeleton: header with key_len = 0, aux = declared count.
+  auto multi_header = [&](OpCode op, uint32_t count, uint32_t body_len) {
+    std::string f = U32(body_len);
+    f += static_cast<char>(op);
+    f += u16(0);
+    f += U32(count);
+    return f;
+  };
+
+  // Batch op count beyond the hard bound, body otherwise minimal.
+  ExpectRequestError(
+      multi_header(OpCode::kMultiGet, net::kMaxBatchOps + 1,
+                   net::kRequestFixedBytes),
+      "batch op count beyond kMaxBatchOps");
+
+  // count x entry-size overflow bait: a count that claims more entry
+  // headers than the body could ever hold. The u64 offset math must reject
+  // at the first truncated header instead of wrapping.
+  ExpectRequestError(
+      multi_header(OpCode::kMultiPut, 255, net::kRequestFixedBytes + 6) +
+          u16(1) + U32(0) + "k",
+      "count claims entries the body cannot hold");
+
+  // Truncated LAST entry: two declared ops, the second's bytes cut short.
+  {
+    std::string f;
+    f += static_cast<char>(OpCode::kMultiPut);
+    f += u16(0);
+    f += U32(2);
+    f += u16(2) + U32(3) + "ab" + "xyz";  // entry 0, complete
+    f += u16(2) + U32(3) + "cd";          // entry 1: 3 value bytes missing
+    ExpectRequestError(U32(static_cast<uint32_t>(f.size())) + f,
+                       "last entry bytes truncated");
+  }
+
+  // A multi-op header carrying a key (key_len != 0) is malformed.
+  {
+    std::string f;
+    f += static_cast<char>(OpCode::kMultiGet);
+    f += u16(3);
+    f += U32(1);
+    f += "abc";
+    f += u16(1) + "k";
+    ExpectRequestError(U32(static_cast<uint32_t>(f.size())) + f,
+                       "multi-op frame with header key");
+  }
+
+  // Zero-length entry key (empty keys are meaningless for point ops).
+  {
+    std::string f;
+    f += static_cast<char>(OpCode::kMultiGet);
+    f += u16(0);
+    f += U32(1);
+    f += u16(0);
+    ExpectRequestError(U32(static_cast<uint32_t>(f.size())) + f,
+                       "zero-length entry key");
+  }
+
+  // Entry key / value lengths beyond the absolute bounds.
+  {
+    std::string f;
+    f += static_cast<char>(OpCode::kMultiGet);
+    f += u16(0);
+    f += U32(1);
+    f += u16(static_cast<uint16_t>(net::kMaxKeyBytes + 1));
+    f += std::string(net::kMaxKeyBytes + 1, 'k');
+    ExpectRequestError(U32(static_cast<uint32_t>(f.size())) + f,
+                       "entry key beyond kMaxKeyBytes");
+  }
+  {
+    std::string f;
+    f += static_cast<char>(OpCode::kMultiPut);
+    f += u16(0);
+    f += U32(1);
+    f += u16(1) + U32(net::kMaxValueBytes + 1) + "k";
+    // Declared value bound is checked before the bytes are demanded, so the
+    // frame need not actually carry 64K+1 value bytes — pad to the declared
+    // body length with a shorter run to keep the decoder past kNeedMore.
+    ExpectRequestError(U32(static_cast<uint32_t>(f.size())) + f,
+                       "entry value beyond kMaxValueBytes");
+  }
+
+  // Trailing slack after the last entry: entries must tile the body.
+  {
+    std::string f;
+    f += static_cast<char>(OpCode::kMultiGet);
+    f += u16(0);
+    f += U32(1);
+    f += u16(1) + "k";
+    f += "slack";
+    ExpectRequestError(U32(static_cast<uint32_t>(f.size())) + f,
+                       "entries do not tile the body");
+  }
+
+  // Single-op early rejection: a body length beyond the single-op bound is
+  // an error the moment the opcode byte shows it is NOT a multi frame —
+  // before the peer makes the server buffer the claimed body.
+  {
+    std::string partial = U32(net::kMaxRequestBodyBytes + 1);
+    partial += '\x01';  // GET
+    Request req;
+    std::string error;
+    size_t consumed = 0;
+    EXPECT_EQ(net::DecodeRequest(partial.data(), partial.size(), &consumed,
+                                 &req, &error),
+              DecodeResult::kError)
+        << "oversized single-op body must be rejected from the opcode byte";
+    // The same declared length with no opcode visible yet is kNeedMore: it
+    // is still within the multi-op ceiling, so the verdict must wait.
+    std::string prefix_only = U32(net::kMaxRequestBodyBytes + 1);
+    EXPECT_EQ(net::DecodeRequest(prefix_only.data(), prefix_only.size(),
+                                 &consumed, &req, &error),
+              DecodeResult::kNeedMore);
+  }
+}
+
+TEST(NetProtocol, MultiResultPayloadRoundTripBoundsAndFuzz) {
+  std::vector<net::MultiResult> results;
+  results.push_back({WireStatus::kOk, std::string(300, 'v')});
+  results.push_back({WireStatus::kNotFound, ""});
+  results.push_back({WireStatus::kOk, ""});
+  results.push_back({WireStatus::kInternal, "batch aborted"});
+
+  std::string payload;
+  ASSERT_TRUE(net::EncodeMultiResultPayload(results, 1 << 20, &payload));
+  std::vector<net::MultiResult> back;
+  ASSERT_TRUE(net::DecodeMultiResultPayload(payload, &back).ok());
+  ASSERT_EQ(back.size(), results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(back[i].status, results[i].status);
+    EXPECT_EQ(back[i].value, results[i].value);
+  }
+
+  // Zero records round trip too (the zero-op batch's answer).
+  std::string empty_payload;
+  ASSERT_TRUE(net::EncodeMultiResultPayload({}, 1 << 20, &empty_payload));
+  ASSERT_TRUE(net::DecodeMultiResultPayload(empty_payload, &back).ok());
+  EXPECT_TRUE(back.empty());
+
+  // All-or-nothing encoding: a budget too small for every record refuses
+  // outright and leaves `out` untouched — multi responses are never
+  // truncated (unlike scan payloads), the server answers CapacityExceeded.
+  std::string refused = "sentinel";
+  EXPECT_FALSE(net::EncodeMultiResultPayload(results, 64, &refused));
+  EXPECT_EQ(refused, "sentinel");
+
+  // Seeded fuzz: random bytes and bit-flipped valid payloads through the
+  // decoder; it must never crash and never accept slack or bad lengths.
+  const uint64_t seed = testing::EffectiveSeed(0xBA7C4);
+  SCOPED_TRACE(testing::ReplayRecipe(seed, "net_test"));
+  Random rng(seed);
+  for (int i = 0; i < 6'000; ++i) {
+    std::string buf;
+    if (rng.Bernoulli(0.5)) {
+      buf.resize(rng.Uniform(96));
+      for (auto& c : buf) c = static_cast<char>(rng.Uniform(256));
+    } else {
+      std::vector<net::MultiResult> rs(rng.Uniform(5));
+      for (auto& r : rs) {
+        r.status = static_cast<WireStatus>(rng.Uniform(7));
+        r.value = std::string(rng.Uniform(64), 'x');
+      }
+      ASSERT_TRUE(net::EncodeMultiResultPayload(rs, 1 << 20, &buf));
+      if (!buf.empty() && rng.Bernoulli(0.7)) {
+        buf[rng.Uniform(buf.size())] ^=
+            static_cast<char>(1 + rng.Uniform(255));
+      }
+    }
+    std::vector<net::MultiResult> rows;
+    net::DecodeMultiResultPayload(buf, &rows);
+  }
+}
+
+TEST(NetServer, MultiOpsOverTheWireMatchOracleWithMixedPipelinedTraffic) {
+  ServerFixture fx;
+  ASSERT_TRUE(fx.Init(/*shards=*/4, /*keyspace=*/8192).ok());
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fx.port()).ok());
+
+  // One connection mixing pipelined single-key traffic with multi-key
+  // atomic frames IN THE SAME PIPELINE, against a local std::map oracle.
+  // Per-connection FIFO makes the oracle exact: each frame executes against
+  // the state every earlier frame left behind, and a multi frame is a batch
+  // barrier ordered after every point op decoded before it.
+  const uint64_t seed = testing::EffectiveSeed(0xBA7C5);
+  SCOPED_TRACE(testing::ReplayRecipe(seed, "net_test"));
+  Random rng(seed);
+  std::map<std::string, std::string> oracle;
+
+  struct Expected {
+    bool is_multi = false;
+    OpCode op = OpCode::kPing;
+    // Single-op expectation.
+    bool found = false;
+    std::string value;
+    // Multi-op expectation: one record per entry, in op order.
+    std::vector<net::MultiResult> records;
+  };
+  std::vector<Expected> window;
+  uint64_t sent_multigets = 0, sent_multiputs = 0, sent_rmws = 0;
+  uint64_t sent_multi_entries = 0, sent_singles = 0;
+
+  auto drain = [&]() {
+    for (const Expected& e : window) {
+      Response resp;
+      ASSERT_TRUE(client.ReadResponse(&resp).ok());
+      if (e.is_multi) {
+        ASSERT_EQ(resp.status, WireStatus::kOk);
+        std::vector<net::MultiResult> got;
+        ASSERT_TRUE(net::DecodeMultiResultPayload(resp.payload, &got).ok());
+        ASSERT_EQ(got.size(), e.records.size());
+        for (size_t j = 0; j < got.size(); ++j) {
+          EXPECT_EQ(got[j].status, e.records[j].status)
+              << OpCodeName(e.op) << " entry " << j;
+          EXPECT_EQ(got[j].value, e.records[j].value)
+              << OpCodeName(e.op) << " entry " << j;
+        }
+      } else if (e.op == OpCode::kGet) {
+        if (e.found) {
+          ASSERT_EQ(resp.status, WireStatus::kOk);
+          EXPECT_EQ(resp.payload, e.value);
+        } else {
+          EXPECT_EQ(resp.status, WireStatus::kNotFound);
+        }
+      } else {
+        EXPECT_EQ(resp.status, WireStatus::kOk);
+      }
+    }
+    window.clear();
+  };
+
+  constexpr uint64_t kKeyspace = 512;
+  constexpr int kRounds = 1'500;
+  for (int i = 0; i < kRounds; ++i) {
+    Expected exp;
+    Request req;
+    if (i % 8 == 7) {
+      // One multi frame, 1..6 entries, duplicates allowed (sequential
+      // within-batch semantics are part of the contract under test).
+      exp.is_multi = true;
+      const uint32_t kind = rng.Uniform(3);
+      const size_t n = 1 + rng.Uniform(6);
+      std::vector<net::MultiOp> mops(n);
+      for (size_t j = 0; j < n; ++j) {
+        const uint64_t id = rng.Uniform(kKeyspace);
+        mops[j].key = MakeKey(id);
+        if (kind != 0) {
+          mops[j].value =
+              MakeValue(id, 16 + rng.Uniform(64), static_cast<uint32_t>(i));
+        }
+      }
+      exp.records.resize(n);
+      for (size_t j = 0; j < n; ++j) {
+        auto it = oracle.find(mops[j].key);
+        switch (kind) {
+          case 0:  // MULTIGET: snapshot read
+            exp.op = OpCode::kMultiGet;
+            exp.records[j].status =
+                it != oracle.end() ? WireStatus::kOk : WireStatus::kNotFound;
+            if (it != oracle.end()) exp.records[j].value = it->second;
+            break;
+          case 1:  // MULTIPUT: all-or-nothing write, empty records
+            exp.op = OpCode::kMultiPut;
+            exp.records[j].status = WireStatus::kOk;
+            oracle[mops[j].key] = mops[j].value;
+            break;
+          default:  // ATOMIC_RMW: pre-image out, new value in (upsert)
+            exp.op = OpCode::kAtomicRmw;
+            exp.records[j].status =
+                it != oracle.end() ? WireStatus::kOk : WireStatus::kNotFound;
+            if (it != oracle.end()) exp.records[j].value = it->second;
+            oracle[mops[j].key] = mops[j].value;
+            break;
+        }
+      }
+      req = MultiReq(exp.op, std::move(mops));
+      sent_multi_entries += n;
+      if (kind == 0) sent_multigets++;
+      if (kind == 1) sent_multiputs++;
+      if (kind == 2) sent_rmws++;
+    } else {
+      const uint64_t id = rng.Uniform(kKeyspace);
+      const std::string key = MakeKey(id);
+      if (rng.Bernoulli(0.5)) {
+        req = GetReq(key);
+        exp.op = OpCode::kGet;
+        auto it = oracle.find(key);
+        exp.found = it != oracle.end();
+        if (exp.found) exp.value = it->second;
+      } else {
+        const std::string value =
+            MakeValue(id, 16 + rng.Uniform(64), static_cast<uint32_t>(i));
+        req = PutReq(key, value);
+        exp.op = OpCode::kPut;
+        oracle[key] = value;
+      }
+      sent_singles++;
+    }
+    ASSERT_TRUE(client.Send(req).ok());
+    window.push_back(std::move(exp));
+    if (window.size() >= 16) drain();
+  }
+  drain();
+
+  // The synchronous multi helpers share the same wire path: a zero-op
+  // MULTIGET is a valid degenerate atomic unit answered with zero records.
+  std::vector<net::MultiResult> results;
+  ASSERT_TRUE(client.MultiGet({}, &results).ok());
+  EXPECT_TRUE(results.empty());
+  sent_multigets++;
+
+  // And a final synchronous ATOMIC_RMW whose pre-images must equal the
+  // oracle's view after all the pipelined traffic above.
+  std::vector<net::MultiOp> final_ops(3);
+  for (size_t j = 0; j < final_ops.size(); ++j) {
+    final_ops[j].key = MakeKey(j);
+    final_ops[j].value = MakeValue(j, 24, 0xFFFF);
+  }
+  ASSERT_TRUE(client.AtomicRmw(final_ops, &results).ok());
+  ASSERT_EQ(results.size(), final_ops.size());
+  for (size_t j = 0; j < final_ops.size(); ++j) {
+    auto it = oracle.find(final_ops[j].key);
+    if (it != oracle.end()) {
+      EXPECT_EQ(results[j].status, WireStatus::kOk);
+      EXPECT_EQ(results[j].value, it->second);
+    } else {
+      EXPECT_EQ(results[j].status, WireStatus::kNotFound);
+    }
+    oracle[final_ops[j].key] = final_ops[j].value;
+  }
+  sent_rmws++;
+  sent_multi_entries += final_ops.size();
+
+  // net.multiop_* accounting: frames, per-kind split, and ops carried. No
+  // scans or pings were sent, so decoded frames split exactly between the
+  // point-op batches and the multi-op barriers.
+  obs::Snapshot snap = fx.bundle.Metrics();
+  const uint64_t frames = sent_multigets + sent_multiputs + sent_rmws;
+  EXPECT_EQ(snap.Get("net.multiop_frames"), frames);
+  EXPECT_EQ(snap.Get("net.multigets"), sent_multigets);
+  EXPECT_EQ(snap.Get("net.multiputs"), sent_multiputs);
+  EXPECT_EQ(snap.Get("net.atomic_rmws"), sent_rmws);
+  EXPECT_EQ(snap.Get("net.multiop_ops"), sent_multi_entries);
+  EXPECT_EQ(snap.Get("net.requests_decoded"), sent_singles + frames);
+  EXPECT_EQ(snap.Get("net.batched_requests") + snap.Get("net.multiop_frames"),
+            snap.Get("net.requests_decoded"));
+  EXPECT_EQ(snap.Get("net.protocol_errors"), 0u);
+  // The store-side batch books agree with the wire-side op count.
+  EXPECT_EQ(snap.Get("core.batch_ops_admitted"), sent_multi_entries);
+  EXPECT_EQ(snap.Get("core.batch_ops_applied"), sent_multi_entries);
+
+  client.Close();
+  ASSERT_TRUE(fx.server->Stop().ok());
+  obs::InvariantReport report = fx.bundle.CheckInvariants();
   EXPECT_TRUE(report.ok()) << report.ToString();
 }
 
@@ -854,12 +1275,12 @@ TEST(NetServer, TenThousandMalformedFramesOverSockets) {
   constexpr int kConns = 100;
   constexpr int kFramesPerConn = 100;
   for (int c = 0; c < kConns; ++c) {
-    std::string blast = U32(net::kMaxRequestBodyBytes + 1 +
+    std::string blast = U32(net::kMaxMultiRequestBodyBytes + 1 +
                             static_cast<uint32_t>(rng.Uniform(1 << 16)));
     for (int f = 1; f < kFramesPerConn; ++f) {
       switch (rng.Uniform(3)) {
         case 0: {  // oversized declared length
-          blast += U32(net::kMaxRequestBodyBytes + 1 +
+          blast += U32(net::kMaxMultiRequestBodyBytes + 1 +
                        static_cast<uint32_t>(rng.Uniform(1 << 16)));
           break;
         }
